@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Figure grids are expensive (every compressor x suite x bound), so they
+are computed once per session through the harness's own cache and the
+``benchmark`` fixture measures the (first) regeneration via
+``benchmark.pedantic(rounds=1)``.  Wall-clock kernel benchmarks use the
+normal calibrated mode.
+
+Every benchmark prints the regenerated table/figure, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+numbers as text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+#: files per suite in the benchmark grids (full suite sizes take ~3x longer;
+#: the shapes are identical)
+N_FILES = 2
+
+#: the paper's four bounds
+BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+
+
+@pytest.fixture(scope="session")
+def bench_field_f32():
+    from repro.datasets import load_suite
+
+    return load_suite("SCALE", n_files=1)[0][1]
+
+
+@pytest.fixture(scope="session")
+def bench_field_f64():
+    from repro.datasets import load_suite
+
+    return load_suite("Miranda", n_files=1)[0][1]
+
+
+def regen(benchmark, figure_id: str, bounds=BOUNDS):
+    """Regenerate one figure under the benchmark clock (once)."""
+    from repro.harness import figure_data
+
+    return benchmark.pedantic(
+        lambda: figure_data(figure_id, bounds=bounds, n_files=N_FILES),
+        rounds=1, iterations=1,
+    )
+
+
+def points_by_label(data):
+    out: dict[str, dict[float, object]] = {}
+    for p in data.points:
+        out.setdefault(p.label, {})[p.bound] = p
+    return out

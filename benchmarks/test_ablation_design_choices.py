@@ -1,0 +1,110 @@
+"""Ablations for the remaining DESIGN.md design choices.
+
+1. Chunk size sweep (the paper fixes 16 kB).
+2. Inline outliers vs. an SZ-style separate outlier list (Section III-B
+   argues inline coding avoids extra data and parallelization pain).
+3. Negabinary residuals vs. plain two's complement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PFPLCompressor, decompress
+from repro.core.chunking import ChunkCodec
+from repro.core.lossless.pipeline import LosslessPipeline
+from repro.core.quantizers.absq import AbsQuantizer
+from repro.datasets import load_suite
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_suite("CESM-ATM", n_files=1)[0][1]
+
+
+def test_chunk_size_sweep(benchmark, field):
+    def sweep():
+        out = {}
+        for kb in (4, 8, 16, 32, 64):
+            comp = PFPLCompressor("abs", 1e-2, dtype=np.float32,
+                                  chunk_bytes=kb * 1024)
+            res = comp.compress(field)
+            # correctness at every size
+            rec = decompress(res.data)
+            assert np.abs(field.reshape(-1) - rec).max() <= 1e-2
+            out[kb] = res.ratio
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for kb, r in ratios.items():
+        print(f"  chunk {kb:>3} kB: ratio {r:6.2f}")
+    # larger chunks amortize the per-chunk overhead; returns diminish
+    assert ratios[16] > ratios[4]
+    assert abs(ratios[64] - ratios[16]) / ratios[16] < 0.1
+
+
+def test_inline_vs_separate_outliers(benchmark, field):
+    """PFPL emits unquantizable values inline; SZ-style codecs use a
+    reserved code + a separate list.  Compare the compressed footprint
+    of both layouts over the same quantizer output."""
+
+    def measure():
+        data = field.reshape(-1)
+        # force a meaningful number of unquantizable values (overflow to
+        # inf on a few lanes is fine -- those are outliers by design)
+        salted = data.copy()
+        with np.errstate(over="ignore"):
+            salted[:: 97] = salted[:: 97] * np.float32(3e36)
+        eps = np.float32(1e-3) * np.float32(field.max() - field.min())
+        q = AbsQuantizer(float(eps), dtype=np.float32)
+        words = q.encode(salted)
+        fallback = ~q.layout.is_denormal_range(words)
+
+        codec = ChunkCodec(LosslessPipeline(np.uint32))
+
+        def stream_size(w):
+            plan = codec.plan(w.size)
+            padded = codec.pad_words(w, plan)
+            return sum(
+                len(codec.encode_chunk(padded[slice(*plan.chunk_bounds(i))])[0])
+                for i in range(plan.n_chunks)
+            )
+
+        inline = stream_size(words)
+        # separate-list layout: reserved bin word + (index, value) list
+        separated = words.copy()
+        separated[fallback] = q.layout.uint(q.layout.mantissa_mask)  # reserved
+        n_out = int(fallback.sum())
+        separate = stream_size(separated) + n_out * (8 + 4)
+        return inline, separate, n_out
+
+    inline, separate, n_out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n  {n_out} unquantizable values: inline {inline:,} B vs "
+          f"separate-list {separate:,} B ({separate / inline:.2f}x)")
+    assert inline < separate
+
+
+def test_negabinary_vs_twos_complement(benchmark, field):
+    """Section III-D: negabinary gives small +/- residuals leading zeros."""
+    from repro.core.lossless.bitshuffle import bitshuffle
+    from repro.core.lossless.zerobyte import compress_bytes
+    from repro.core.lossless.negabinary import to_negabinary
+
+    def measure():
+        eps = 1e-3 * float(field.max() - field.min())
+        q = AbsQuantizer(eps, dtype=np.float32)
+        words = q.encode(field.reshape(-1))[:65536]
+        diff = np.empty_like(words)
+        diff[0] = words[0]
+        with np.errstate(over="ignore"):
+            np.subtract(words[1:], words[:-1], out=diff[1:])
+
+        def coded(residuals):
+            return len(compress_bytes(bitshuffle(residuals)))
+
+        return coded(to_negabinary(diff)), coded(diff)
+
+    nega, twos = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n  negabinary {nega:,} B vs two's complement {twos:,} B "
+          f"({twos / nega:.2f}x larger)")
+    assert nega < twos

@@ -1,0 +1,84 @@
+"""Ablation: what does the error-bound guarantee cost? (Section III-B)
+
+Paper: "The throughput is unaffected and the compression ratio is, on
+average, lower by about 5%.  ...  At an ABS error bound of 1E-3, on
+average 0.7% of the values in all our inputs are unquantizable with a
+maximum of 11.2% on a single input."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PFPLCompressor
+from repro.datasets import SUITES, load_suite
+from repro.metrics import geomean
+
+
+def test_unquantizable_fraction_at_abs_1e3(benchmark):
+    def measure():
+        rows = {}
+        for name, suite in SUITES.items():
+            if suite.dtype != np.dtype(np.float32):
+                continue
+            for fname, data in load_suite(name, n_files=1):
+                comp = PFPLCompressor("abs", 1e-3, dtype=data.dtype)
+                res = comp.compress(data)
+                rows[fname] = res.lossless_fraction
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for fname, frac in rows.items():
+        print(f"  {fname:<16} unquantizable {frac * 100:6.3f}%")
+
+    fractions = list(rows.values())
+    mean = float(np.mean(fractions))
+    print(f"  mean {mean * 100:.3f}% (paper: 0.7% avg, 11.2% max)")
+    # same order of magnitude as the paper; never more than its maximum
+    assert mean < 0.05
+    assert max(fractions) <= 0.15
+
+
+def test_guarantee_ratio_cost_is_small(benchmark):
+    """Compare against a no-guarantee variant (everything forced into
+    bins, bound be damned) to bound the ratio cost of the fallback."""
+    from repro.core.quantizers.absq import AbsQuantizer
+    from repro.core.lossless.pipeline import LosslessPipeline
+    from repro.core.chunking import ChunkCodec
+
+    def measure():
+        results = {}
+        for sname in ("CESM-ATM", "SCALE", "Hurricane"):
+            _, data = load_suite(sname, n_files=1)[0]
+            eps = 1e-3 * float(data.max() - data.min())
+            q = AbsQuantizer(eps, dtype=np.float32)
+            words = q.encode(data.reshape(-1))
+
+            # cheat variant: replace lossless-fallback words with bin 0,
+            # i.e. what a non-guaranteeing quantizer would emit
+            cheat = words.copy()
+            fallback = ~q.layout.is_denormal_range(words)
+            cheat[fallback] = 0
+
+            codec = ChunkCodec(LosslessPipeline(np.uint32))
+            def size(w):
+                plan = codec.plan(w.size)
+                padded = codec.pad_words(w, plan)
+                return sum(
+                    len(codec.encode_chunk(padded[slice(*plan.chunk_bounds(i))])[0])
+                    for i in range(plan.n_chunks)
+                )
+            results[sname] = (size(words), size(cheat))
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    costs = []
+    for sname, (with_g, without_g) in results.items():
+        cost = with_g / without_g - 1
+        costs.append(cost)
+        print(f"  {sname:<12} guaranteed {with_g:9,} B  "
+              f"unguaranteed {without_g:9,} B  cost {cost * 100:+.2f}%")
+    mean_cost = float(np.mean(costs))
+    print(f"  mean ratio cost {mean_cost * 100:.2f}% (paper: ~5%)")
+    assert mean_cost < 0.25  # small, same order as the paper's 5%

@@ -1,0 +1,67 @@
+"""Ablation: each lossless stage earns its place (Section III-D).
+
+"Removing any one of these transformations decreases the compression
+ratio by a substantial factor."  Also sweeps the bitmap-compression
+depth and the chunk size, two design constants DESIGN.md calls out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, compress
+from repro.datasets import load_suite
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return [load_suite(s, n_files=1)[0][1] for s in ("CESM-ATM", "Miranda", "SCALE")]
+
+
+def _total_ratio(fields, config=None, bound=1e-3):
+    total_in = total_out = 0
+    for f in fields:
+        rng = float(f.max() - f.min())
+        blob = compress(f, "abs", bound * rng, config=config)
+        total_in += f.nbytes
+        total_out += len(blob)
+    return total_in / total_out
+
+
+def test_every_stage_contributes(benchmark, fields):
+    def sweep():
+        return {
+            "full": _total_ratio(fields),
+            "no-delta": _total_ratio(fields, PipelineConfig(use_delta=False)),
+            "no-bitshuffle": _total_ratio(fields, PipelineConfig(use_bitshuffle=False)),
+            "no-zero-elim": _total_ratio(fields, PipelineConfig(use_zero_elim=False)),
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, r in ratios.items():
+        print(f"  {name:<14} ratio {r:6.2f} "
+              f"({ratios['full'] / r:.2f}x worse than full)" if name != "full"
+              else f"  {name:<14} ratio {r:6.2f}")
+
+    for name in ("no-delta", "no-bitshuffle", "no-zero-elim"):
+        assert ratios[name] < ratios["full"], name
+    # zero elimination is the only stage that actually shrinks data --
+    # removing it is catastrophic
+    assert ratios["full"] / ratios["no-zero-elim"] > 3
+
+
+def test_bitmap_depth_sweep(benchmark, fields):
+    def sweep():
+        return {
+            lv: _total_ratio(fields, PipelineConfig(bitmap_levels=lv))
+            for lv in range(0, 6)
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for lv, r in ratios.items():
+        print(f"  bitmap levels={lv}: ratio {r:6.2f}")
+    # iterating the bitmap compression helps up to the paper's depth 4
+    assert ratios[4] > ratios[0]
+    # ...and deeper buys nearly nothing (the bitmap is already tiny)
+    assert abs(ratios[5] - ratios[4]) / ratios[4] < 0.02

@@ -1,0 +1,50 @@
+"""Extension bench: error-artifact fingerprints of every compressor.
+
+Beyond max-error (Table III) and PSNR (Fig. 16), this prints the error
+*behaviour* of each codec -- bound utilization, bias, serial
+correlation, uniformity -- the diagnostics a domain scientist would run
+before trusting a lossy archive (the concern Section I opens with).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_COMPRESSORS, UnsupportedInput
+from repro.datasets import load_suite
+from repro.metrics.error_analysis import summarize_errors
+
+
+def test_error_fingerprints(benchmark):
+    _, field = load_suite("SCALE", n_files=1)[0]
+    eps = 1e-3
+
+    def measure():
+        rows = {}
+        for name, cls in ALL_COMPRESSORS.items():
+            comp = cls()
+            if not comp.supports("abs", field.dtype):
+                continue
+            try:
+                rec = comp.decompress(comp.compress(field, "abs", eps))
+            except UnsupportedInput:
+                continue
+            rows[name] = summarize_errors(field, rec, eps)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for name, rep in rows.items():
+        print(f"  {name:<10} {rep.render()}")
+
+    # the three bound-guaranteeing codecs behave like ideal quantizers
+    for name in ("PFPL", "SZ2", "SZ3"):
+        assert rows[name].looks_like_ideal_quantization, name
+        assert rows[name].bound_utilization <= 1.0
+
+    # cuSZp's drift: over budget, serially correlated error
+    assert rows["cuSZp"].bound_utilization > 1.5
+    assert rows["cuSZp"].lag1_autocorrelation > 0.3
+
+    # ZFP over-preserves on average yet still breaches the max bound
+    assert rows["ZFP"].rms_error < rows["PFPL"].rms_error
+    assert rows["ZFP"].bound_utilization > 1.0

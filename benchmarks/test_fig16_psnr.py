@@ -1,0 +1,51 @@
+"""Figure 16: compression ratio vs. PSNR for the three bound types.
+
+Paper shape (Section V-E): PFPL's PSNR-to-ratio relationship falls
+between the CPU-only compressors and the GPU codes -- the best among
+the GPU-capable codes; its absolute PSNR is similar to the best CPU
+compressors at a lower ratio.
+"""
+
+import pytest
+
+from conftest import BOUNDS, points_by_label, regen
+from repro.harness import render_figure
+
+
+def test_fig16a_psnr_abs(benchmark):
+    data = regen(benchmark, "fig16a")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    for bound in BOUNDS:
+        # guaranteed codecs reach essentially the same PSNR at the same
+        # bound; the violating GPU codecs sit lower
+        pfpl = pts["PFPL"][bound].throughput  # throughput field = PSNR here
+        sz3 = pts["SZ3"][bound].throughput
+        assert abs(pfpl - sz3) < 6.0
+        if bound in pts.get("cuSZp", {}):
+            assert pts["cuSZp"][bound].throughput < pfpl  # drifted recon
+    # tighter bound -> higher PSNR, monotone for PFPL
+    psnrs = [pts["PFPL"][b].throughput for b in BOUNDS]
+    assert psnrs == sorted(psnrs)
+
+
+def test_fig16b_psnr_rel(benchmark):
+    data = regen(benchmark, "fig16b")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    for bound in BOUNDS:
+        # ZFP's truncation-based REL reaches lower ratios at similar PSNR
+        assert pts["ZFP"][bound].ratio < pts["PFPL"][bound].ratio
+    psnrs = [pts["PFPL"][b].throughput for b in BOUNDS]
+    assert psnrs == sorted(psnrs)
+
+
+def test_fig16c_psnr_noa(benchmark):
+    data = regen(benchmark, "fig16c")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    for bound in BOUNDS:
+        # SZ3 reaches a higher ratio at comparable PSNR (the paper's
+        # "best choice if only the compression ratio matters")
+        assert pts["SZ3"][bound].ratio >= pts["PFPL"][bound].ratio
+        assert abs(pts["SZ3"][bound].throughput - pts["PFPL"][bound].throughput) < 6.0

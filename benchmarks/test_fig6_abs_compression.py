@@ -1,0 +1,76 @@
+"""Figures 6a/6b/6c: ABS compression ratio vs. throughput + Pareto fronts.
+
+Shape assertions (vs. the paper's Section V-B):
+* PFPL_CUDA has the highest compression throughput at every bound;
+* PFPL_OMP is the fastest CPU code;
+* SZ3_Serial has the highest compression ratio at every bound;
+* SZ3's ratio advantage over PFPL *shrinks* as the bound tightens
+  (paper: ~13x @ 1e-1 down to ~3x @ 1e-4);
+* PFPL out-compresses every GPU code;
+* PFPL is on the Pareto front.
+"""
+
+import pytest
+
+from conftest import BOUNDS, points_by_label, regen
+from repro.harness import render_figure
+
+
+def _assert_abs_compress_shape(data, gpu_codes=("MGARD-X_CUDA", "cuSZp_CUDA")):
+    pts = points_by_label(data)
+    for bound in BOUNDS:
+        fastest = max((p for p in data.points if p.bound == bound),
+                      key=lambda p: p.throughput)
+        assert fastest.label == "PFPL_CUDA", f"@{bound}: {fastest.label}"
+
+        cpu = [p for p in data.points
+               if p.bound == bound and ("PFPL" in p.label or "SZ" in p.label
+                                        or p.label in ("ZFP", "SPERR"))
+               and "CUDA" not in p.label]
+        fastest_cpu = max(cpu, key=lambda p: p.throughput)
+        assert fastest_cpu.label == "PFPL_OMP", f"@{bound}: {fastest_cpu.label}"
+
+        best_ratio = max((p for p in data.points if p.bound == bound),
+                         key=lambda p: p.ratio)
+        assert best_ratio.label == "SZ3_Serial", f"@{bound}: {best_ratio.label}"
+
+        pfpl = pts["PFPL_CUDA"][bound]
+        for gpu in gpu_codes:
+            if bound in pts.get(gpu, {}):
+                assert pfpl.ratio > pts[gpu][bound].ratio, f"{gpu}@{bound}"
+
+    # the ratio gap SZ3/PFPL shrinks with tighter bounds
+    gap_coarse = pts["SZ3_Serial"][1e-1].ratio / pts["PFPL_CUDA"][1e-1].ratio
+    gap_fine = pts["SZ3_Serial"][1e-4].ratio / pts["PFPL_CUDA"][1e-4].ratio
+    assert gap_coarse > gap_fine > 1.0
+
+    front = {p.label for p in data.front}
+    assert "PFPL_CUDA" in front
+
+
+def test_fig6a_single_system1(benchmark):
+    data = regen(benchmark, "fig6a")
+    print("\n" + render_figure(data))
+    _assert_abs_compress_shape(data)
+
+
+def test_fig6b_double_system1(benchmark):
+    data = regen(benchmark, "fig6b")
+    print("\n" + render_figure(data))
+    _assert_abs_compress_shape(data)
+
+
+def test_fig6c_single_system2(benchmark):
+    data = regen(benchmark, "fig6c")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    # System 2: more powerful CPU, less powerful GPU (Section V-B) --
+    # ratios identical to fig6a, throughputs shifted
+    from repro.harness import figure_data
+    from conftest import N_FILES
+
+    a = points_by_label(figure_data("fig6a", bounds=BOUNDS, n_files=N_FILES))
+    for bound in BOUNDS:
+        assert pts["PFPL_OMP"][bound].ratio == a["PFPL_OMP"][bound].ratio
+        assert pts["PFPL_OMP"][bound].throughput > a["PFPL_OMP"][bound].throughput
+        assert pts["PFPL_CUDA"][bound].throughput < a["PFPL_CUDA"][bound].throughput

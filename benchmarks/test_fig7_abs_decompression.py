@@ -1,0 +1,54 @@
+"""Figures 7a/7b/7c: ABS decompression vs. ratio.
+
+Paper shapes (Section V-B): PFPL_CUDA is still the fastest on single
+precision, but cuSZp out-decompresses it on the two coarsest bounds of
+the double data thanks to its lightweight fixed-length decoder; PFPL
+compresses faster than it decompresses on the GPU (the decoder's prefix
+sums), while the CPU versions decompress faster than they compress.
+"""
+
+import pytest
+
+from conftest import BOUNDS, N_FILES, points_by_label, regen
+from repro.harness import figure_data, render_figure
+
+
+def test_fig7a_single_decompression(benchmark):
+    data = regen(benchmark, "fig7a")
+    print("\n" + render_figure(data))
+    for bound in BOUNDS:
+        fastest = max((p for p in data.points if p.bound == bound),
+                      key=lambda p: p.throughput)
+        assert fastest.label == "PFPL_CUDA"
+
+    # compression is faster than decompression for PFPL_CUDA...
+    comp = points_by_label(figure_data("fig6a", bounds=BOUNDS, n_files=N_FILES))
+    dec = points_by_label(data)
+    for bound in BOUNDS:
+        assert comp["PFPL_CUDA"][bound].throughput > dec["PFPL_CUDA"][bound].throughput
+        # ...and the reverse on the CPU
+        assert dec["PFPL_OMP"][bound].throughput > comp["PFPL_OMP"][bound].throughput
+
+
+def test_fig7b_double_decompression(benchmark):
+    data = regen(benchmark, "fig7b")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    # cuSZp decompresses faster than PFPL on the coarsest double bounds
+    for bound in (1e-1, 1e-2):
+        assert pts["cuSZp_CUDA"][bound].throughput > pts["PFPL_CUDA"][bound].throughput
+    # MGARD-X is the slowest decompressor despite running on the GPU
+    for bound in BOUNDS:
+        slowest = min((p for p in data.points if p.bound == bound),
+                      key=lambda p: p.throughput)
+        assert slowest.label in ("MGARD-X_CUDA", "SZ3_Serial", "ZFP")
+
+
+def test_fig7c_single_decompression_system2(benchmark):
+    data = regen(benchmark, "fig7c")
+    print("\n" + render_figure(data))
+    pts = points_by_label(data)
+    a = points_by_label(figure_data("fig7a", bounds=BOUNDS, n_files=N_FILES))
+    for bound in BOUNDS:
+        assert pts["PFPL_CUDA"][bound].ratio == a["PFPL_CUDA"][bound].ratio
+        assert pts["PFPL_CUDA"][bound].throughput < a["PFPL_CUDA"][bound].throughput

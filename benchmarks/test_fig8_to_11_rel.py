@@ -1,0 +1,76 @@
+"""Figures 8-11: REL compression/decompression (PFPL vs SZ2 vs ZFP).
+
+Paper shapes (Section V-C): SZ2 yields higher ratios than PFPL but
+violates the bound on some inputs; the SZ2/PFPL ratio gap shrinks as the
+bound tightens (1.7x @ 1e-1 -> 1.4x @ 1e-4 in the paper); ZFP trails in
+ratio; all PFPL versions out-run SZ2; PFPL_CUDA is orders of magnitude
+faster than SZ2.
+"""
+
+import pytest
+
+from conftest import BOUNDS, points_by_label, regen
+from repro.harness import render_figure
+
+
+def _rel_shape(data, check_violations: bool, sz2_wins_coarse: bool):
+    pts = points_by_label(data)
+    for bound in BOUNDS:
+        # ZFP trails both in ratio (its truncation-based REL, Section V-C)
+        assert pts["ZFP"][bound].ratio < pts["SZ2"][bound].ratio
+        assert pts["ZFP"][bound].ratio < pts["PFPL_CUDA"][bound].ratio
+        # every PFPL version beats SZ2's (serial-only) throughput
+        for v in ("PFPL_Serial", "PFPL_OMP", "PFPL_CUDA"):
+            assert pts[v][bound].throughput > pts["SZ2"][bound].throughput
+        # PFPL_CUDA is 2-4 orders of magnitude faster than SZ2
+        assert pts["PFPL_CUDA"][bound].throughput / pts["SZ2"][bound].throughput > 100
+
+    if sz2_wins_coarse:
+        # paper: SZ2 out-compresses PFPL by 1.7x at 1e-1 (our synthetic
+        # suites reproduce this at the coarse bounds; at tight bounds and
+        # on the 1-D double suites PFPL's bit-plane coder pulls ahead --
+        # deviation documented in EXPERIMENTS.md)
+        assert pts["SZ2"][1e-1].ratio > pts["PFPL_CUDA"][1e-1].ratio
+        # the SZ2-over-PFPL ratio advantage shrinks as the bound tightens
+        gap_coarse = pts["SZ2"][1e-1].ratio / pts["PFPL_CUDA"][1e-1].ratio
+        gap_fine = pts["SZ2"][1e-4].ratio / pts["PFPL_CUDA"][1e-4].ratio
+        assert gap_coarse > gap_fine
+
+    if check_violations:
+        # SZ2 REL violates on data with near-zero values; PFPL never does
+        assert not any(n.startswith("PFPL") and "violation" in n
+                       for n in data.notes)
+
+
+def test_fig8_rel_compression_single(benchmark):
+    data = regen(benchmark, "fig8")
+    print("\n" + render_figure(data))
+    _rel_shape(data, check_violations=True, sz2_wins_coarse=True)
+
+
+def test_fig9_rel_compression_double(benchmark):
+    data = regen(benchmark, "fig9")
+    print("\n" + render_figure(data))
+    _rel_shape(data, check_violations=False, sz2_wins_coarse=False)
+
+
+def test_fig10_rel_decompression_single(benchmark):
+    data = regen(benchmark, "fig10")
+    print("\n" + render_figure(data))
+    _rel_shape(data, check_violations=False, sz2_wins_coarse=True)
+    # CPU codes decompress faster than they compress (Section V-C)
+    from conftest import N_FILES
+    from repro.harness import figure_data
+
+    comp = points_by_label(figure_data("fig8", bounds=BOUNDS, n_files=N_FILES))
+    dec = points_by_label(data)
+    for bound in BOUNDS:
+        assert dec["PFPL_OMP"][bound].throughput > comp["PFPL_OMP"][bound].throughput
+        # whereas PFPL_CUDA compresses faster than it decompresses
+        assert comp["PFPL_CUDA"][bound].throughput > dec["PFPL_CUDA"][bound].throughput
+
+
+def test_fig11_rel_decompression_double(benchmark):
+    data = regen(benchmark, "fig11")
+    print("\n" + render_figure(data))
+    _rel_shape(data, check_violations=False, sz2_wins_coarse=False)

@@ -1,0 +1,63 @@
+"""LC synthesis: rediscover PFPL's lossless pipeline (Section III-D).
+
+"We designed these stages with the LC framework [3] ... we used LC to
+generate many algorithms and then optimized the best."  This benchmark
+runs the miniature LC search over real quantizer output from several
+suites and checks that the winning chain *is* PFPL's pipeline -- and
+that dropping any stage loses, quantifying the paper's claim that
+"removing any one of these transformations decreases the compression
+ratio by a substantial factor."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.quantizers.absq import AbsQuantizer
+from repro.datasets import load_suite
+from repro.lc import PFPL_PIPELINE, search_pipelines
+
+
+def _sample_chunks():
+    chunks = []
+    for sname in ("CESM-ATM", "SCALE", "Miranda"):
+        _, data = load_suite(sname, n_files=1)[0]
+        eps = 1e-3 * float(data.max() - data.min())
+        q = AbsQuantizer(eps, dtype=np.float32)
+        words = q.encode(data.astype(np.float32).reshape(-1))
+        chunks.append(words[:4096])
+        chunks.append(words[4096:8192])
+    return chunks
+
+
+def test_lc_search_rediscovers_pfpl(benchmark):
+    results = benchmark.pedantic(
+        lambda: search_pipelines(_sample_chunks()), rounds=1, iterations=1
+    )
+    print(f"\n  {len(results)} verified candidate pipelines; top 8:")
+    for res in results[:8]:
+        print(f"    {res.pipeline.describe():<52} ratio {res.ratio:6.2f}")
+
+    assert results[0].pipeline.stages == PFPL_PIPELINE
+
+    by_stages = {r.pipeline.stages: r for r in results}
+    best = results[0]
+
+    # dropping any stage of the winner loses substantially
+    for ablated in (
+        ("negabinary", "bitshuffle", "zerobyte"),     # no delta
+        ("delta1", "bitshuffle", "zerobyte"),         # no negabinary
+        ("delta1", "negabinary", "zerobyte"),         # no bitshuffle
+    ):
+        res = by_stages[ablated]
+        print(f"    without {set(PFPL_PIPELINE) - set(ablated)}: "
+              f"ratio {res.ratio:.2f} ({best.ratio / res.ratio:.2f}x worse)")
+        assert res.ratio < best.ratio
+
+    # the design-choice margins the paper's search settled on:
+    # negabinary > zigzag, delta1 > delta2/xor, bitshuffle > byteshuffle
+    assert by_stages[("delta1", "zigzag", "bitshuffle", "zerobyte")].ratio \
+        < best.ratio
+    assert by_stages[("delta2", "negabinary", "bitshuffle", "zerobyte")].ratio \
+        < best.ratio
+    assert by_stages[("delta1", "negabinary", "byteshuffle", "zerobyte")].ratio \
+        < best.ratio

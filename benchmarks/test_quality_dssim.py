@@ -1,0 +1,44 @@
+"""Extension bench: structural quality (DSSIM) across compressors.
+
+The paper's quality analysis (Fig. 16) uses PSNR; Baker et al. [4] --
+cited as the reason domain scientists distrust lossy compression --
+argue for structural similarity.  This bench reports both for every
+compressor at one bound and checks the guaranteed codecs preserve
+structure at least as well as the violating ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_COMPRESSORS, UnsupportedInput
+from repro.datasets import load_suite
+from repro.metrics import dssim, psnr
+
+
+def test_structural_quality(benchmark):
+    _, field = load_suite("SCALE", n_files=1)[0]
+    eps = 1e-3
+
+    def measure():
+        rows = {}
+        for name, cls in ALL_COMPRESSORS.items():
+            comp = cls()
+            if not comp.supports("abs", field.dtype):
+                continue
+            try:
+                rec = comp.decompress(comp.compress(field, "abs", eps))
+            except UnsupportedInput:
+                continue
+            rows[name] = (psnr(field, rec), dssim(field, rec))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for name, (p, s) in sorted(rows.items(), key=lambda kv: -kv[1][1]):
+        print(f"  {name:<10} PSNR {p:7.2f} dB   DSSIM {s:.6f}")
+
+    # every bound-guaranteeing codec preserves structure nearly perfectly
+    for name in ("PFPL", "SZ2", "SZ3", "SZ3_OMP"):
+        assert rows[name][1] > 0.999
+    # the drift-violating cuSZp sits below the guaranteed codecs
+    assert rows["cuSZp"][1] < min(rows[n][1] for n in ("PFPL", "SZ3"))

@@ -1,0 +1,53 @@
+"""Section V-F: other GPU generations + CUDA profiling observations."""
+
+import pytest
+
+from repro.device.spec import (
+    A100,
+    ALL_GPUS,
+    RTX_2070_SUPER,
+    RTX_3080_TI,
+    RTX_4090,
+    TITAN_XP,
+)
+from repro.device.timing import COST_MODELS, dram_utilization, modeled_throughput
+
+
+def test_gpu_generations(benchmark):
+    model = COST_MODELS["PFPL"]
+
+    def sweep():
+        return {
+            g.name: {
+                "compress": modeled_throughput(model, g, "compress", 1e-3),
+                "decompress": modeled_throughput(model, g, "decompress", 1e-3),
+                "dram_util": dram_utilization(model, g, "compress", 1e-3),
+            }
+            for g in ALL_GPUS
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, row in table.items():
+        print(f"  {name:<16} compress {row['compress']:7.1f} GB/s  "
+              f"decompress {row['decompress']:7.1f} GB/s  "
+              f"DRAM util {row['dram_util'] * 100:5.1f}%")
+
+    # "performance correlates primarily with the amount of compute"
+    order = sorted(ALL_GPUS, key=lambda g: -g.compute_glops * g.occupancy)
+    tps = [table[g.name]["compress"] for g in order]
+    assert tps == sorted(tps, reverse=True)
+
+    # RTX 4090 beats A100 despite lower memory bandwidth
+    assert table["RTX 4090"]["compress"] > table["A100"]["compress"]
+    assert RTX_4090.mem_bandwidth_gbs < A100.mem_bandwidth_gbs
+
+    # the 2070 Super's 1024-thread block limit drops it to TITAN Xp level
+    t2070 = table["RTX 2070 Super"]["compress"]
+    txp = table["TITAN Xp"]["compress"]
+    assert 0.6 <= t2070 / txp <= 1.4
+
+    # profiling claim: not memory bound -- ~15% DRAM utilization on A100,
+    # a little higher on the RTX 4090 (lower available bandwidth)
+    assert 0.05 <= table["A100"]["dram_util"] <= 0.25
+    assert table["RTX 4090"]["dram_util"] > table["A100"]["dram_util"]

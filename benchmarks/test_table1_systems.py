@@ -1,0 +1,22 @@
+"""Table I: the experimental systems (+ Section V-F GPU list)."""
+
+from repro.device.spec import ALL_GPUS, SYSTEM1, SYSTEM2
+from repro.harness import render_table1
+
+
+def test_table1_systems(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print("\n" + text)
+
+    # Table I contents
+    assert SYSTEM1.cpu.name == "Threadripper 2950X"
+    assert SYSTEM1.cpu.parallel_units == 16 and SYSTEM1.cpu.clock_ghz == 3.5
+    assert SYSTEM1.gpu.name == "RTX 4090"
+    assert SYSTEM1.gpu.parallel_units == 128  # SMs
+    assert SYSTEM2.cpu.parallel_units == 32   # 2 sockets x 16 cores
+    assert SYSTEM2.gpu.name == "A100"
+    assert SYSTEM2.gpu.parallel_units == 108 and SYSTEM2.gpu.lanes_per_unit == 64
+    # Section V-F adds three more GPUs
+    assert {g.name for g in ALL_GPUS} == {
+        "RTX 4090", "A100", "TITAN Xp", "RTX 2070 Super", "RTX 3080 Ti"
+    }

@@ -1,0 +1,25 @@
+"""Table II: the ten input suites (generation + spec correspondence)."""
+
+import numpy as np
+
+from repro.datasets import SUITES, load_suite
+from repro.harness import render_table2
+
+
+def test_table2_inputs(benchmark):
+    def generate_all():
+        return {name: load_suite(name, n_files=1) for name in SUITES}
+
+    fields = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    print("\n" + render_table2())
+
+    # paper totals: 7 single + 3 double suites, 89 files
+    singles = [s for s in SUITES.values() if s.dtype == np.dtype(np.float32)]
+    doubles = [s for s in SUITES.values() if s.dtype == np.dtype(np.float64)]
+    assert len(singles) == 7 and len(doubles) == 3
+    assert sum(s.full_files for s in SUITES.values()) == 89
+
+    for name, flist in fields.items():
+        _, data = flist[0]
+        assert data.dtype == SUITES[name].dtype
+        assert np.isfinite(data).all()

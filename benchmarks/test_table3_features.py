@@ -1,0 +1,27 @@
+"""Table III: feature matrix, regenerated from the implementations."""
+
+from repro.harness import TABLE3_EXPECTED, feature_matrix, render_table3
+
+
+def test_table3_feature_matrix(benchmark):
+    matrix = benchmark.pedantic(feature_matrix, rounds=1, iterations=1)
+    print("\n" + render_table3())
+    assert matrix == TABLE3_EXPECTED
+
+    # the paper's four uniqueness claims (Section VII bullets)
+    full_rows = [n for n, (a, r, x, fl, db, c, g) in matrix.items()
+                 if a == r == x == "yes" and fl and db and c and g]
+    assert full_rows == ["PFPL"]
+
+    all_bounds = [n for n, (a, r, x, *_e) in matrix.items()
+                  if "no" not in (a, r, x)]
+    assert sorted(all_bounds) == ["PFPL", "SZ2"]
+
+    cpu_gpu = [n for n, row in matrix.items() if row[5] and row[6]]
+    assert sorted(cpu_gpu) == ["MGARD-X", "PFPL"]
+
+    guaranteed_all_supported = [
+        n for n, (a, r, x, *_e) in matrix.items()
+        if "circle" not in (a, r, x) and (a == "yes" or r == "yes" or x == "yes")
+    ]
+    assert sorted(guaranteed_all_supported) == ["PFPL", "SZ3"]

@@ -1,0 +1,39 @@
+"""The paper's Takeaway boxes (Section V), checked end to end.
+
+Runs after the figure grids (shares their in-process cache) and asserts
+every sub-claim of Takeaways 1-3 against the regenerated data.
+"""
+
+import pytest
+
+from conftest import BOUNDS, N_FILES
+from repro.harness import figure_data
+from repro.harness.takeaways import takeaway1, takeaway2, takeaway3
+
+
+def _fig(fid):
+    return figure_data(fid, bounds=BOUNDS, n_files=N_FILES)
+
+
+def test_takeaway1_abs(benchmark):
+    result = benchmark.pedantic(
+        lambda: takeaway1(_fig("fig6a"), _fig("fig7a")), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.ok, result.render()
+
+
+def test_takeaway2_rel(benchmark):
+    result = benchmark.pedantic(
+        lambda: takeaway2(_fig("fig8"), _fig("fig10")), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.ok, result.render()
+
+
+def test_takeaway3_noa(benchmark):
+    result = benchmark.pedantic(
+        lambda: takeaway3(_fig("fig12"), _fig("fig14")), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.ok, result.render()

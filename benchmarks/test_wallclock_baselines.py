@@ -1,0 +1,43 @@
+"""Measured wall-clock speed of every re-implemented compressor.
+
+Complements the cost-model figures: even in NumPy, the *relative* speed
+ordering of the implementations echoes the paper's story (PFPL's fused
+cheap transforms vs. the SZ-family's Huffman/LZ stages vs. the block
+coders), and regressions in any baseline show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_COMPRESSORS, UnsupportedInput
+from repro.datasets import load_suite
+
+NAMES = sorted(ALL_COMPRESSORS)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_suite("SCALE", n_files=1)[0][1]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_compress_wallclock(benchmark, name, field):
+    comp = ALL_COMPRESSORS[name]()
+    mode = "abs" if comp.supports("abs", field.dtype) else "noa"
+    blob = benchmark.pedantic(
+        lambda: comp.compress(field, mode, 1e-3), rounds=3, iterations=1
+    )
+    mb_s = field.nbytes / 1e6 / benchmark.stats.stats.mean
+    benchmark.extra_info["MB_per_s"] = round(mb_s, 1)
+    benchmark.extra_info["ratio"] = round(field.nbytes / len(blob), 2)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_decompress_wallclock(benchmark, name, field):
+    comp = ALL_COMPRESSORS[name]()
+    mode = "abs" if comp.supports("abs", field.dtype) else "noa"
+    blob = comp.compress(field, mode, 1e-3)
+    out = benchmark.pedantic(
+        lambda: comp.decompress(blob), rounds=3, iterations=1
+    )
+    assert out.size == field.size

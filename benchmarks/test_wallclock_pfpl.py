@@ -1,0 +1,58 @@
+"""Measured wall-clock throughput of this Python implementation.
+
+The paper's absolute GB/s belong to the C++/CUDA implementation (and
+are reproduced by the cost model); these benchmarks record what *this*
+repository actually achieves, per backend and direction, so regressions
+in the NumPy kernels are caught.  pytest-benchmark handles the stats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.device import get_backend
+
+MODES = ["abs", "rel", "noa"]
+
+
+@pytest.fixture(scope="module")
+def payload_f32(bench_field_f32):
+    return np.ascontiguousarray(bench_field_f32.reshape(-1))
+
+
+@pytest.fixture(scope="module")
+def payload_f64(bench_field_f64):
+    return np.ascontiguousarray(bench_field_f64.reshape(-1))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_compress_f32(benchmark, payload_f32, mode):
+    blob = benchmark(compress, payload_f32, mode, 1e-3)
+    mbps = payload_f32.nbytes / 1e6 / benchmark.stats.stats.mean
+    benchmark.extra_info["MB_per_s"] = round(mbps, 1)
+    benchmark.extra_info["ratio"] = round(payload_f32.nbytes / len(blob), 2)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_decompress_f32(benchmark, payload_f32, mode):
+    blob = compress(payload_f32, mode, 1e-3)
+    out = benchmark(decompress, blob)
+    assert out.size == payload_f32.size
+
+
+@pytest.mark.parametrize("backend", ["serial", "omp", "cuda"])
+def test_compress_backends(benchmark, payload_f32, backend):
+    b = get_backend(backend)
+    blob = benchmark(compress, payload_f32, "abs", 1e-3, b)
+    benchmark.extra_info["ratio"] = round(payload_f32.nbytes / len(blob), 2)
+
+
+def test_compress_f64(benchmark, payload_f64):
+    blob = benchmark(compress, payload_f64, "abs", 1e-3)
+    benchmark.extra_info["ratio"] = round(payload_f64.nbytes / len(blob), 2)
+
+
+def test_decompress_f64(benchmark, payload_f64):
+    blob = compress(payload_f64, "abs", 1e-3)
+    out = benchmark(decompress, blob)
+    assert out.size == payload_f64.size

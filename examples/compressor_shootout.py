@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Mini-evaluation: all 8 compressors of Table III on one suite.
+
+Reproduces a single row of the paper's evaluation interactively:
+compression ratio, PSNR, bound adherence, and wall-clock speed for
+every compressor that supports the chosen mode.
+
+Run:  python examples/compressor_shootout.py [suite] [mode] [bound]
+e.g.  python examples/compressor_shootout.py SCALE abs 1e-3
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import ALL_COMPRESSORS, UnsupportedInput
+from repro.core.verify import check_bound
+from repro.datasets import load_suite, suite_names
+from repro.metrics import psnr
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "SCALE"
+    mode = sys.argv[2] if len(sys.argv) > 2 else "abs"
+    bound = float(sys.argv[3]) if len(sys.argv) > 3 else 1e-3
+    if suite not in suite_names():
+        raise SystemExit(f"unknown suite {suite!r}; pick one of {suite_names()}")
+
+    name, data = load_suite(suite, n_files=1)[0]
+    print(f"{name}: {data.shape} {data.dtype}, mode={mode}, bound={bound:g}\n")
+    print(f"{'compressor':<10} {'ratio':>8} {'PSNR dB':>8} {'bound':>10} "
+          f"{'comp s':>7} {'dec s':>7}")
+
+    for comp_name, cls in ALL_COMPRESSORS.items():
+        comp = cls()
+        if not comp.supports(mode, data.dtype):
+            print(f"{comp_name:<10} {'-- mode/dtype unsupported --':>44}")
+            continue
+        try:
+            t0 = time.perf_counter()
+            blob = comp.compress(data, mode, bound)
+            t1 = time.perf_counter()
+            recon = comp.decompress(blob)
+            t2 = time.perf_counter()
+        except UnsupportedInput as exc:
+            print(f"{comp_name:<10} skipped: {exc}")
+            continue
+        rep = check_bound(mode, data, recon, bound)
+        verdict = "ok" if rep.ok else f"x{rep.violation_factor:.2f} {rep.severity}"
+        print(f"{comp_name:<10} {data.nbytes / len(blob):>8.2f} "
+              f"{psnr(data, recon):>8.1f} {verdict:>10} "
+              f"{t1 - t0:>7.2f} {t2 - t1:>7.2f}")
+
+    print("\n(ratios are measured; see benchmarks/ for the paper's full "
+          "figure grid with modeled device throughputs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cross-device workflow: compress on the GPU, decompress anywhere.
+
+The paper's motivating scenario (Section I): a simulation produces data
+at GPU speed; analysts decompress on whatever machine they have.  PFPL
+guarantees all backends produce *bit-for-bit identical* streams, so the
+choice of device is purely about throughput.
+
+Run:  python examples/cross_device_pipeline.py
+"""
+
+import numpy as np
+
+from repro import compress, decompress
+from repro.datasets import load_suite
+from repro.device import get_backend
+from repro.device.spec import SYSTEM1
+from repro.device.timing import COST_MODELS, modeled_throughput
+
+
+def main() -> None:
+    # A climate field from the synthetic SDRBench stand-in.
+    name, field = load_suite("CESM-ATM", n_files=1)[0]
+    print(f"field {name}: shape {field.shape}, {field.nbytes / 1e6:.1f} MB")
+
+    # 1. "Simulation side": compress on the (simulated) GPU.
+    gpu = get_backend("cuda")
+    blob_gpu = compress(field, mode="abs", error_bound=1e-3, backend=gpu)
+    print(f"GPU-compressed to {len(blob_gpu):,} bytes "
+          f"(ratio {field.nbytes / len(blob_gpu):.2f}x)")
+
+    # 2. Prove portability: every backend produces the same bytes...
+    for backend_name in ("serial", "omp"):
+        blob = compress(field, mode="abs", error_bound=1e-3,
+                        backend=get_backend(backend_name))
+        assert blob == blob_gpu, "bit-for-bit compatibility violated!"
+    print("serial CPU, parallel CPU and GPU streams are byte-identical")
+
+    # 3. "Analyst side": decompress on a laptop-class serial CPU.
+    recon = decompress(blob_gpu, backend=get_backend("serial"))
+    err = np.abs(field.reshape(-1).astype(np.float64) - recon.astype(np.float64))
+    print(f"decompressed on the CPU; max error {err.max():.3e} <= 1e-3")
+
+    # 4. What would this cost on the paper's hardware? (cost model)
+    model = COST_MODELS["PFPL"]
+    for label, device, parallel in [
+        ("PFPL_Serial", SYSTEM1.cpu, False),
+        ("PFPL_OMP", SYSTEM1.cpu, True),
+        ("PFPL_CUDA", SYSTEM1.gpu, True),
+    ]:
+        c = modeled_throughput(model, device, "compress", 1e-3, 4, parallel)
+        d = modeled_throughput(model, device, "decompress", 1e-3, 4, parallel)
+        print(f"  {label:<12} modeled: {c:8.2f} GB/s compress, "
+              f"{d:8.2f} GB/s decompress")
+
+
+if __name__ == "__main__":
+    main()

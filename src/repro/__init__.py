@@ -1,0 +1,66 @@
+"""PFPL reproduction: portable error-bounded lossy floating-point compression.
+
+Reproduction of "Fast and Effective Lossy Compression on GPUs and CPUs
+with Guaranteed Error Bounds" (Fallin, Azami, Di, Cappello, Burtscher,
+IPDPS 2025).  See README.md for the tour and DESIGN.md for the inventory.
+
+Quick start::
+
+    import numpy as np
+    from repro import compress, decompress
+
+    data = np.fromfile("field.f32", dtype=np.float32)
+    blob = compress(data, mode="abs", error_bound=1e-3)
+    recon = decompress(blob)
+    assert np.abs(data - recon).max() <= 1e-3
+"""
+
+from .core import (
+    AbsQuantizer,
+    BoundReport,
+    CompressionResult,
+    Header,
+    LosslessPipeline,
+    NoaQuantizer,
+    PFPLCompressor,
+    PipelineConfig,
+    Quantizer,
+    RelQuantizer,
+    check_bound,
+    compress,
+    decompress,
+    make_quantizer,
+)
+from .archive import PFPLArchive
+from .core.random_access import decompress_chunk, decompress_range
+from .device import GpuSimBackend, SerialBackend, ThreadedBackend, get_backend
+from .io import PFPLReader, PFPLWriter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compress",
+    "decompress",
+    "PFPLCompressor",
+    "CompressionResult",
+    "PipelineConfig",
+    "LosslessPipeline",
+    "Header",
+    "Quantizer",
+    "AbsQuantizer",
+    "RelQuantizer",
+    "NoaQuantizer",
+    "make_quantizer",
+    "BoundReport",
+    "check_bound",
+    "SerialBackend",
+    "ThreadedBackend",
+    "GpuSimBackend",
+    "get_backend",
+    "decompress_range",
+    "decompress_chunk",
+    "PFPLWriter",
+    "PFPLReader",
+    "PFPLArchive",
+    "__version__",
+]

@@ -1,0 +1,169 @@
+"""Multi-array archive: a compressed container for whole datasets.
+
+SDRBench suites are *sets* of named fields; simulations checkpoint many
+variables at once.  :class:`PFPLArchive` packs any number of named
+arrays -- each with its own error-bound mode/parameters and its original
+shape -- into one self-describing blob, with per-member random access
+(members are independent PFPL streams located through a directory).
+
+Format::
+
+    magic  b"PFPLARCH" | version u16 | member count u32
+    directory: per member
+        name length u16, utf-8 name
+        ndim u16, dims i64[ndim]
+        payload offset u64, payload length u64
+    concatenated member PFPL streams
+
+Example::
+
+    arch = PFPLArchive()
+    arch.add("temperature", temp, mode="abs", error_bound=1e-3)
+    arch.add("pressure", pres, mode="rel", error_bound=1e-4)
+    blob = arch.pack()
+    ...
+    arch2 = PFPLArchive.unpack(blob)
+    temp2 = arch2.get("temperature")
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.compressor import PFPLCompressor, decompress
+
+__all__ = ["PFPLArchive", "ArchiveMember"]
+
+_MAGIC = b"PFPLARCH"
+_VERSION = 1
+_HEAD = struct.Struct("<8sHI")
+
+
+@dataclass(frozen=True)
+class ArchiveMember:
+    """Directory entry for one stored array."""
+
+    name: str
+    shape: tuple[int, ...]
+    offset: int
+    length: int
+
+
+class PFPLArchive:
+    """Build or read a multi-member PFPL archive."""
+
+    def __init__(self):
+        self._streams: dict[str, bytes] = {}
+        self._shapes: dict[str, tuple[int, ...]] = {}
+
+    # -- building --------------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        data: np.ndarray,
+        mode: str = "abs",
+        error_bound: float = 1e-3,
+        backend=None,
+    ) -> "PFPLArchive":
+        """Compress and stage one named array (chainable)."""
+        if name in self._streams:
+            raise ValueError(f"duplicate member name {name!r}")
+        if len(name.encode()) > 0xFFFF:
+            raise ValueError("member name too long")
+        arr = np.asarray(data)
+        comp = PFPLCompressor(
+            mode=mode, error_bound=error_bound, dtype=arr.dtype, backend=backend
+        )
+        self._streams[name] = comp.compress(arr).data
+        self._shapes[name] = arr.shape
+        return self
+
+    def add_stream(self, name: str, stream: bytes, shape: tuple[int, ...]) -> None:
+        """Stage an already-compressed PFPL stream."""
+        if name in self._streams:
+            raise ValueError(f"duplicate member name {name!r}")
+        self._streams[name] = bytes(stream)
+        self._shapes[name] = tuple(shape)
+
+    def pack(self) -> bytes:
+        """Serialize the archive."""
+        directory = bytearray()
+        payloads = []
+        offset = 0
+        for name, stream in self._streams.items():
+            nb = name.encode()
+            shape = self._shapes[name]
+            directory += struct.pack("<H", len(nb)) + nb
+            directory += struct.pack("<H", len(shape))
+            directory += np.asarray(shape, dtype="<i8").tobytes()
+            directory += struct.pack("<QQ", offset, len(stream))
+            payloads.append(stream)
+            offset += len(stream)
+        head = _HEAD.pack(_MAGIC, _VERSION, len(self._streams))
+        return head + bytes(directory) + b"".join(payloads)
+
+    # -- reading ---------------------------------------------------------------
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "PFPLArchiveReader":
+        return PFPLArchiveReader(blob)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._streams)
+
+
+class PFPLArchiveReader:
+    """Lazy reader: members decompress on demand."""
+
+    def __init__(self, blob: bytes, backend=None):
+        self._blob = blob
+        self._backend = backend
+        magic, version, count = _HEAD.unpack_from(blob)
+        if magic != _MAGIC:
+            raise ValueError(f"not a PFPL archive (magic {magic!r})")
+        if version != _VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        pos = _HEAD.size
+        members: dict[str, ArchiveMember] = {}
+        for _ in range(count):
+            (nlen,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            name = blob[pos:pos + nlen].decode()
+            pos += nlen
+            (ndim,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            shape = tuple(
+                int(x) for x in np.frombuffer(blob, "<i8", ndim, pos)
+            )
+            pos += 8 * ndim
+            offset, length = struct.unpack_from("<QQ", blob, pos)
+            pos += 16
+            members[name] = ArchiveMember(name, shape, offset, length)
+        self._payload_base = pos
+        self.members = members
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.members)
+
+    def member_stream(self, name: str) -> bytes:
+        m = self.members[name]
+        lo = self._payload_base + m.offset
+        return self._blob[lo:lo + m.length]
+
+    def get(self, name: str) -> np.ndarray:
+        """Decompress one member to its original shape."""
+        m = self.members[name]
+        flat = decompress(self.member_stream(name), backend=self._backend)
+        return flat.reshape(m.shape)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)

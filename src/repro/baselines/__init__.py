@@ -1,0 +1,61 @@
+"""The 7 baseline compressors of Table III, plus PFPL behind the same API."""
+
+from .base import (
+    GUARANTEED,
+    UNGUARANTEED,
+    UNSUPPORTED,
+    BaselineCompressor,
+    Features,
+    Support,
+    UnsupportedInput,
+)
+from .cuszp import CuSZp
+from .fzgpu import FZGPU
+from .mgard import MGARDX
+from .pfpl_adapter import PFPL
+from .sperr import SPERR
+from .sz import SZ2, SZ3, SZ3OMP
+from .zfp import ZFP
+
+__all__ = [
+    "BaselineCompressor",
+    "Features",
+    "Support",
+    "UnsupportedInput",
+    "GUARANTEED",
+    "UNGUARANTEED",
+    "UNSUPPORTED",
+    "ZFP",
+    "SZ2",
+    "SZ3",
+    "SZ3OMP",
+    "MGARDX",
+    "SPERR",
+    "FZGPU",
+    "CuSZp",
+    "PFPL",
+    "ALL_COMPRESSORS",
+    "make_compressor",
+]
+
+#: Table III row order (by initial release date), PFPL last.
+ALL_COMPRESSORS = {
+    "ZFP": ZFP,
+    "SZ2": SZ2,
+    "SZ3": SZ3,
+    "SZ3_OMP": SZ3OMP,
+    "MGARD-X": MGARDX,
+    "SPERR": SPERR,
+    "FZ-GPU": FZGPU,
+    "cuSZp": CuSZp,
+    "PFPL": PFPL,
+}
+
+
+def make_compressor(name: str) -> BaselineCompressor:
+    try:
+        return ALL_COMPRESSORS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; expected one of {sorted(ALL_COMPRESSORS)}"
+        ) from None

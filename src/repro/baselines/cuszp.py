@@ -1,0 +1,124 @@
+"""cuSZp-like GPU compressor [15].
+
+Published pipeline (Section VI): split the data into small blocks, skip
+all-zero blocks, quantize-and-predict inside each nonzero block, and
+compress with a *fixed-length* encoder (a bit-shuffle based packer) --
+maximizing throughput at the cost of compression ratio.
+
+Error-bound behaviour (emulating the paper's observations; see
+DESIGN.md):
+
+* **ABS (○, major violations on all tested bounds, Fig. 6)**: the
+  in-block *pre-quantization* quantizes the running difference chain,
+  so per-value rounding errors random-walk across the block -- the
+  finite-precision/overflow class of bug the paper calls out ("cuSZp
+  performs a pre-quantization of the floating-point data that may cause
+  integer overflow", Section I).  Reconstruction quality (PSNR) stays
+  good because the drift is zero-mean and blocks restart it.
+* **NOA on float32 (✓)**: the data is first normalized by the range, so
+  bins are bounded by ``1/(2 eps)`` and quantization happens directly
+  (no chain) -- guaranteed.
+* **NOA on float64 (major violations, Section V-D)**: the double kernel
+  reuses the ABS chain path.
+
+Decompression is *much* cheaper than compression (a prefix sum plus a
+fixed-width unpack), which is why cuSZp out-decompresses PFPL on coarse
+bounds (Section V-B).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..entropy import fixedlen_decode, fixedlen_encode
+from .base import (
+    GUARANTEED,
+    UNGUARANTEED,
+    UNSUPPORTED,
+    BaselineCompressor,
+    Features,
+    pack_array_meta,
+    pack_sections,
+    unpack_array_meta,
+    unpack_sections,
+)
+
+__all__ = ["CuSZp"]
+
+_BLOCK = 32   # fixed-length coding block
+_CHAIN = 8    # difference-chain restart interval (bounds the drift)
+
+
+class CuSZp(BaselineCompressor):
+    name = "cuSZp"
+    features = Features(
+        abs=UNGUARANTEED, rel=UNSUPPORTED, noa=GUARANTEED,
+        supports_float=True, supports_double=True, cpu=False, gpu=True,
+    )
+
+    def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
+        data = np.asarray(data)
+        self.check_input(data, mode)
+        flat = data.astype(np.float64).reshape(-1)
+        fin = np.isfinite(flat)
+        nf_idx = np.flatnonzero(~fin).astype(np.int64)
+        nf_val = flat[nf_idx]
+        flat = np.where(fin, flat, 0.0)
+
+        extra = 0.0
+        chain = True
+        if mode == "noa":
+            rng = float(flat.max() - flat.min()) if flat.size else 0.0
+            extra = rng
+            eps_eff = max(error_bound * rng, np.finfo(np.float64).tiny)
+            # float32 NOA kernel: direct quantization (safe); float64
+            # kernel reuses the chained path (violations, Section V-D).
+            chain = data.dtype == np.dtype(np.float64)
+        else:
+            eps_eff = float(error_bound)
+
+        step = 2.0 * eps_eff
+        n = flat.size
+        pad = (-n) % _BLOCK
+        padded = np.concatenate([flat, np.zeros(pad)]) if pad else flat
+
+        if chain:
+            # Pre-quantized difference chain: quantize d[i] = v[i]-v[i-1]
+            # (v[-1] := 0 at each chain restart).  The decoder prefix-sums
+            # the codes, so quantization errors random-walk inside each
+            # chain -- the violation mechanism.
+            chains = padded.reshape(-1, _CHAIN)
+            diffs = np.empty_like(chains)
+            diffs[:, 0] = chains[:, 0]
+            diffs[:, 1:] = chains[:, 1:] - chains[:, :-1]
+            codes = np.rint(diffs / step).astype(np.int64).reshape(-1)
+        else:
+            codes = np.rint(padded / step).astype(np.int64)
+
+        # all-zero-block shortcut: fixedlen_encode already stores a single
+        # zero-width byte for such blocks (cuSZp's zero-block bitmap).
+        payload = fixedlen_encode(codes.reshape(-1), block=_BLOCK)
+
+        meta = pack_array_meta(data, mode, error_bound, extra)
+        head = struct.pack("<dB", eps_eff, 1 if chain else 0)
+        return pack_sections(meta, head, payload, nf_idx.tobytes(), nf_val.tobytes())
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        meta, head, payload, nf_idx_raw, nf_val_raw = unpack_sections(blob)
+        dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)
+        eps_eff, chain = struct.unpack("<dB", head)
+        step = 2.0 * eps_eff
+
+        codes = fixedlen_decode(payload)
+        if chain:
+            vals = np.cumsum(codes.reshape(-1, _CHAIN), axis=1).astype(np.float64) * step
+        else:
+            vals = codes.astype(np.float64) * step
+        n = int(np.prod(shape)) if shape else 0
+        out = vals.reshape(-1)[:n]
+        nf_idx = np.frombuffer(nf_idx_raw, dtype=np.int64)
+        nf_val = np.frombuffer(nf_val_raw, dtype=np.float64)
+        out[nf_idx] = nf_val
+        return out.astype(dtype).reshape(shape)

@@ -1,0 +1,60 @@
+"""PFPL exposed through the baseline-compressor interface.
+
+Lets the harness iterate over all 8 compressors of Table III uniformly.
+The ``backend`` argument selects PFPL_Serial / PFPL_OMP / PFPL_CUDA; all
+three produce bit-identical streams, so the harness only needs one for
+ratio/quality numbers and picks backends for throughput modeling.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..core.compressor import PFPLCompressor
+from ..core.compressor import decompress as pfpl_decompress
+from .base import (
+    GUARANTEED,
+    BaselineCompressor,
+    Features,
+    pack_sections,
+    unpack_sections,
+)
+
+__all__ = ["PFPL"]
+
+
+class PFPL(BaselineCompressor):
+    """The paper's contribution, wrapped for side-by-side evaluation."""
+
+    name = "PFPL"
+    features = Features(
+        abs=GUARANTEED, rel=GUARANTEED, noa=GUARANTEED,
+        supports_float=True, supports_double=True, cpu=True, gpu=True,
+    )
+
+    def __init__(self, backend=None):
+        self.backend = backend
+
+    def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
+        data = np.asarray(data)
+        self.check_input(data, mode)
+        comp = PFPLCompressor(
+            mode=mode, error_bound=error_bound, dtype=data.dtype,
+            backend=self.backend,
+        )
+        result = comp.compress(data)
+        shape = np.asarray(data.shape, dtype=np.int64)
+        return pack_sections(
+            struct.pack("<H", shape.size) + shape.tobytes(), result.data
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        shape_raw, stream = unpack_sections(blob)
+        (ndim,) = struct.unpack_from("<H", shape_raw)
+        shape = tuple(
+            int(x) for x in np.frombuffer(shape_raw, dtype=np.int64, count=ndim, offset=2)
+        )
+        flat = pfpl_decompress(stream, backend=self.backend)
+        return flat.reshape(shape)

@@ -1,0 +1,111 @@
+"""Shared prediction machinery for the SZ-family baselines.
+
+All SZ-style compressors here use the *dual-quantization* scheme that
+cuSZ introduced for GPU friendliness (and that makes the predictors
+vectorizable): values are first snapped to the ``2*eps`` grid,
+
+    q = round(v / (2*eps))          (integer bins)
+
+and prediction then happens **on the integer bins**, so the residuals
+are exact integers and decompression reproduces the bins exactly --
+no sequential error-feedback loop.
+
+Two predictors:
+
+* :func:`lorenzo_encode` / :func:`lorenzo_decode` -- first-order Lorenzo
+  in n dimensions.  The residual of the full Lorenzo predictor equals
+  the composition of first differences along every axis, so the inverse
+  is a chain of cumulative sums (one per axis), fully vectorized.
+* :mod:`repro.baselines.lifting` provides the multilevel interpolation
+  predictor SZ3 uses (see that module).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dual_quantize",
+    "dequantize",
+    "lorenzo_encode",
+    "lorenzo_decode",
+    "zigzag",
+    "unzigzag",
+]
+
+
+def dual_quantize(
+    values: np.ndarray, error_bound: float, max_bin: int = (1 << 40)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Snap values to the 2*eps grid; returns (bins int64, outlier mask).
+
+    Values whose bin exceeds ``max_bin`` (or are non-finite) are flagged
+    as outliers; SZ-family codecs store those in a *separate* list with
+    a reserved code -- the design PFPL's inline encoding replaces
+    (Section III-B).
+    """
+    v = np.asarray(values, dtype=np.float64).reshape(-1)
+    step = 2.0 * float(error_bound)
+    with np.errstate(invalid="ignore", over="ignore"):
+        b = np.rint(v / step)
+        outlier = ~np.isfinite(v) | (np.abs(b) > max_bin)
+    bins = np.where(outlier, 0.0, b).astype(np.int64)
+    return bins, outlier
+
+
+def dequantize(bins: np.ndarray, error_bound: float, dtype) -> np.ndarray:
+    step = 2.0 * float(error_bound)
+    return (bins.astype(np.float64) * step).astype(dtype)
+
+
+def lorenzo_encode(
+    bins: np.ndarray, shape: tuple[int, ...], axes: tuple[int, ...] | None = None
+) -> np.ndarray:
+    """First-order Lorenzo residuals = chained first differences.
+
+    ``axes`` selects which dimensions participate (default: all).  The
+    full n-D Lorenzo residual is the mixed difference over every axis;
+    restricting the axes yields the lower-order variants SZ3's dynamic
+    predictor selection considers.
+    """
+    arr = bins.reshape(shape).astype(np.int64)
+    if axes is None:
+        axes = tuple(range(arr.ndim))
+    for axis in axes:
+        out = np.empty_like(arr)
+        lead = [slice(None)] * arr.ndim
+        lead[axis] = slice(0, 1)
+        out[tuple(lead)] = arr[tuple(lead)]
+        rest = [slice(None)] * arr.ndim
+        rest[axis] = slice(1, None)
+        prev = [slice(None)] * arr.ndim
+        prev[axis] = slice(0, -1)
+        out[tuple(rest)] = arr[tuple(rest)] - arr[tuple(prev)]
+        arr = out
+    return arr.reshape(-1)
+
+
+def lorenzo_decode(
+    residuals: np.ndarray, shape: tuple[int, ...], axes: tuple[int, ...] | None = None
+) -> np.ndarray:
+    """Inverse Lorenzo: cumulative sums along the axes in reverse order."""
+    arr = residuals.reshape(shape).astype(np.int64)
+    if axes is None:
+        axes = tuple(range(arr.ndim))
+    for axis in reversed(axes):
+        arr = np.cumsum(arr, axis=axis)
+    return arr.reshape(-1)
+
+
+def zigzag(x: np.ndarray) -> np.ndarray:
+    """0,-1,1,-2,... -> 0,1,2,3,...; bijective over all of int64 (wraps)."""
+    x = np.asarray(x, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        return ((x << 1) ^ (x >> 63)).astype(np.int64)
+
+
+def unzigzag(z: np.ndarray) -> np.ndarray:
+    z = np.asarray(z, dtype=np.int64)
+    # logical (not arithmetic) right shift so extreme codes invert exactly
+    half = (z.view(np.uint64) >> np.uint64(1)).astype(np.int64)
+    return half ^ -(z & 1)

@@ -1,0 +1,142 @@
+"""SPERR-like wavelet compressor [21].
+
+SPERR applies recursive wavelet transforms, codes the coefficients with
+a SPECK-style set-partitioning scheme, *detects outliers that do not
+meet the error bound and stores correction factors for them*, and
+finishes with ZSTD (Section VI).  This re-implementation:
+
+* wavelet = the separable multilevel predict lifting
+  (:mod:`repro.baselines.lifting`, float variant);
+* coefficient coding = uniform quantization + zero-RLE + Huffman + LZ;
+* outlier correction = a reconstruction pass on the encoder side that
+  stores eps-granular corrections for values whose error exceeds
+  ``1.5 * eps``.
+
+The correction threshold/granularity combination caps the worst error
+at ``1.5x`` the bound but does not eliminate errors in ``(1, 1.5]x`` --
+the *minor* violations the paper reports for SPERR (Fig. 6 notes,
+"SPERR has minor (< 1.5x) violations for the 1E-2 error bound").
+
+Envelope (Section IV): SPERR-3D only -- non-3-D inputs are rejected --
+and the paper shows it for single-precision suites (its double-precision
+parallel path is unavailable).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .base import (
+    GUARANTEED,
+    UNGUARANTEED,
+    UNSUPPORTED,
+    BaselineCompressor,
+    Features,
+    UnsupportedInput,
+    pack_array_meta,
+    pack_sections,
+    unpack_array_meta,
+    unpack_sections,
+)
+from .lifting import lift_forward_float, lift_inverse_float
+from .predictors import dequantize, dual_quantize
+from .sz import _decode_codes, _encode_codes
+
+__all__ = ["SPERR"]
+
+
+def _depth(shape: tuple[int, ...]) -> int:
+    levels = 0
+    for s in shape:
+        n, d = s, 0
+        while n > 2:
+            n = (n + 1) // 2
+            d += 1
+        levels = max(levels, d)
+    return levels
+
+#: errors beyond this multiple of the bound get a stored correction;
+#: errors in (1, threshold] survive as the paper's *minor* violations
+_CORRECTION_THRESHOLD = 1.05
+
+
+class SPERR(BaselineCompressor):
+    name = "SPERR"
+    features = Features(
+        abs=UNGUARANTEED, rel=UNSUPPORTED, noa=UNSUPPORTED,
+        supports_float=True, supports_double=True, cpu=True, gpu=False,
+    )
+
+    def check_input(self, data: np.ndarray, mode: str) -> None:
+        super().check_input(data, mode)
+        if data.ndim != 3:
+            raise UnsupportedInput("SPERR-3D requires 3-D input")
+
+    def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
+        data = np.asarray(data)
+        self.check_input(data, mode)
+        flat = data.astype(np.float64).reshape(-1)
+        fin = np.isfinite(flat)
+        nf_idx = np.flatnonzero(~fin).astype(np.int64)
+        nf_val = flat[nf_idx]
+        flat = np.where(fin, flat, 0.0)
+
+        eps = float(error_bound)
+        coeffs = lift_forward_float(flat, data.shape)
+        # Coefficient budget scaled by the hierarchy depth: the predict
+        # lifting's synthesis gain grows with depth, so a uniform eps-level
+        # budget would overshoot.  (The real SPERR's CDF 9/7 wavelet has a
+        # bounded synthesis gain and gets away with a larger budget; our
+        # stand-in under-compresses accordingly -- noted in EXPERIMENTS.md.)
+        budget = eps / (_depth(data.shape) + 1)
+        bins, outlier = dual_quantize(coeffs, budget)
+        bins[outlier] = 0
+        codes_blob = _encode_codes(bins, use_lz=True)
+
+        out_idx = np.flatnonzero(outlier).astype(np.int64)
+        out_val = coeffs[outlier]
+
+        # Encoder-side outlier pass: reconstruct and correct the values
+        # whose error exceeds the correction threshold.
+        qcoeffs = dequantize(bins, budget, np.float64)
+        qcoeffs[out_idx] = out_val
+        recon = lift_inverse_float(qcoeffs, data.shape)
+        err = flat - recon.reshape(-1)
+        bad = np.abs(err) > _CORRECTION_THRESHOLD * eps
+        corr_idx = np.flatnonzero(bad).astype(np.int64)
+        # corrections are themselves eps/2-granular (SPERR stores quantized
+        # correction factors, not exact residuals)
+        corr_val = (np.rint(err[bad] / (0.5 * eps)) * (0.5 * eps)).astype(np.float64)
+
+        meta = pack_array_meta(data, mode, error_bound)
+        head = struct.pack("<d", budget)
+        return pack_sections(
+            meta, head, codes_blob,
+            out_idx.tobytes(), out_val.astype(np.float64).tobytes(),
+            corr_idx.tobytes(), corr_val.tobytes(),
+            nf_idx.tobytes(), nf_val.tobytes(),
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        (meta, head, codes_blob, out_idx_raw, out_val_raw,
+         corr_idx_raw, corr_val_raw, nf_idx_raw, nf_val_raw) = unpack_sections(blob)
+        dtype, mode, shape, error_bound, _ = unpack_array_meta(meta)
+        (budget,) = struct.unpack("<d", head)
+
+        bins = _decode_codes(codes_blob)
+        coeffs = dequantize(bins, budget, np.float64)
+        out_idx = np.frombuffer(out_idx_raw, dtype=np.int64)
+        out_val = np.frombuffer(out_val_raw, dtype=np.float64)
+        coeffs[out_idx] = out_val
+
+        flat = lift_inverse_float(coeffs, shape)
+        corr_idx = np.frombuffer(corr_idx_raw, dtype=np.int64)
+        corr_val = np.frombuffer(corr_val_raw, dtype=np.float64)
+        flat[corr_idx] += corr_val
+
+        nf_idx = np.frombuffer(nf_idx_raw, dtype=np.int64)
+        nf_val = np.frombuffer(nf_val_raw, dtype=np.float64)
+        flat[nf_idx] = nf_val
+        return flat.astype(dtype).reshape(shape)

@@ -1,0 +1,337 @@
+"""SZ-family baselines: SZ2, SZ3 (serial), and SZ3's OpenMP variant.
+
+Published pipelines (Section VI):
+
+* **SZ2** [23]: Lorenzo prediction (+ linear regression) -> quantization
+  -> Huffman -> GZIP.  Supports ABS, REL, NOA -- but REL is implemented
+  by a log-space pre-transform whose finite-precision rounding violates
+  the bound ("SZ2 has large error-bound violations on CESM for all
+  tested error bounds", Section V-C); small-magnitude values below the
+  transform's resolvable floor are flushed, which is where the *large*
+  violations come from.
+* **SZ3** [26]: dynamic spline/interpolation prediction -> quantization
+  -> Huffman -> ZSTD.  Best compression ratios in the paper; ABS/NOA
+  only, guaranteed.
+* **SZ3_OMP**: chunk-parallel SZ3.  Each chunk gets its own Huffman
+  table and the slow global ZSTD stage is dropped, so it "produces
+  different compression ratios, and therefore different files, than the
+  serial version" (Section IV) -- lower ratio, higher throughput.
+
+All three use dual quantization (predict on the quantized grid), so the
+ABS path is exactly bound-preserving; outliers go to a separate list
+with a reserved code -- the SZ design PFPL's inline coding replaces.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..entropy import (
+    huffman_decode,
+    huffman_encode,
+    lz77_compress,
+    lz77_decompress,
+    zero_rle_decode,
+    zero_rle_encode,
+)
+from .base import (
+    GUARANTEED,
+    UNGUARANTEED,
+    UNSUPPORTED,
+    BaselineCompressor,
+    Features,
+    UnsupportedInput,
+    pack_array_meta,
+    pack_sections,
+    unpack_array_meta,
+    unpack_sections,
+)
+from .lifting import lift_forward_int, lift_inverse_int
+from .predictors import (
+    dequantize,
+    dual_quantize,
+    lorenzo_decode,
+    lorenzo_encode,
+    unzigzag,
+    zigzag,
+)
+
+__all__ = ["SZ2", "SZ3", "SZ3OMP"]
+
+_ESCAPE_CAP = 1 << 15          # symbols >= cap are escaped to a side list
+_OMP_CHUNK = 1 << 14           # values per SZ3_OMP chunk
+_REL_FLUSH = 1e-7              # SZ2 REL: fraction of max |v| flushed to zero
+
+
+def _encode_codes(residuals: np.ndarray, use_lz: bool, use_rle: bool = True) -> bytes:
+    """zigzag -> escape -> [zero-RLE] -> Huffman [-> LZ77].
+
+    The zero-RLE pass collapses the "exact prediction hit" runs that
+    dominate smooth data, letting the coder drop below Huffman's
+    1-bit-per-symbol floor (the job ZSTD does in the real SZ pipelines).
+    MGARD-X's plain GPU Huffman skips both extra stages.
+    """
+    z = zigzag(residuals)
+    escaped = z >= _ESCAPE_CAP
+    symbols = np.where(escaped, np.int64(_ESCAPE_CAP), z)
+    side = residuals[escaped].astype(np.int64)
+    flags = 0
+    if use_rle:
+        symbols = zero_rle_encode(symbols, 0)
+        flags |= 2
+    # Trim the alphabet to what actually occurs: the table costs one byte
+    # per alphabet symbol, which matters for the per-chunk OMP variant.
+    alphabet = int(symbols.max()) + 1 if symbols.size else 1
+    huff = huffman_encode(symbols, alphabet_size=alphabet)
+    if use_lz:
+        lz = lz77_compress(huff)
+        # keep whichever is smaller, flag in the first byte
+        if len(lz) < len(huff):
+            body = bytes([flags | 1]) + lz
+        else:
+            body = bytes([flags]) + huff
+    else:
+        body = bytes([flags]) + huff
+    return pack_sections(body, side.astype("<i8").tobytes())
+
+
+def _decode_codes(blob: bytes) -> np.ndarray:
+    body, side_raw = unpack_sections(blob)
+    flags = body[0]
+    if flags & 1:
+        huff = lz77_decompress(body[1:])
+    else:
+        huff = body[1:]
+    symbols = huffman_decode(huff)
+    side = np.frombuffer(side_raw, dtype="<i8").astype(np.int64)
+    if flags & 2:
+        z = zero_rle_decode(symbols.astype(np.int64), 0)
+    else:
+        z = symbols.astype(np.int64)
+    escaped = z == _ESCAPE_CAP
+    if not escaped.any() and side.size:
+        raise ValueError("corrupt SZ stream: side data without escapes")
+    if int(escaped.sum()) != side.size:
+        raise ValueError("corrupt SZ stream: escape count mismatch")
+    out = unzigzag(z)
+    out[escaped] = side
+    return out
+
+
+def _pack_outliers(values: np.ndarray, mask: np.ndarray) -> bytes:
+    idx = np.flatnonzero(mask).astype(np.int64)
+    return pack_sections(idx.tobytes(), values[mask].astype(np.float64).tobytes())
+
+
+def _unpack_outliers(blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+    idx_raw, val_raw = unpack_sections(blob)
+    return (
+        np.frombuffer(idx_raw, dtype=np.int64),
+        np.frombuffer(val_raw, dtype=np.float64),
+    )
+
+
+class _SZBase(BaselineCompressor):
+    """Shared SZ pipeline; subclasses choose predictor/coder variants."""
+
+    #: "lorenzo" (SZ2) or "interp" (SZ3)
+    predictor = "lorenzo"
+    #: apply the LZ (GZIP/ZSTD stand-in) stage after Huffman
+    use_lz = True
+    #: independent chunks with per-chunk Huffman tables (OMP variant)
+    chunked = False
+
+    def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
+        data = np.asarray(data)
+        self.check_input(data, mode)
+        shape = data.shape
+        flat64 = data.astype(np.float64).reshape(-1)
+
+        extra = 0.0
+        if mode == "noa":
+            fin = flat64[np.isfinite(flat64)]
+            extra = float(fin.max() - fin.min()) if fin.size else 0.0
+            eps_eff = max(error_bound * extra, np.finfo(np.float64).tiny)
+            work = flat64
+            signs = b""
+        elif mode == "rel":
+            work, signs, extra = self._rel_forward(data, error_bound)
+            eps_eff = float(np.log1p(np.float32(error_bound)))
+        else:
+            eps_eff = float(error_bound)
+            work = flat64
+            signs = b""
+
+        bins, outlier = dual_quantize(work, eps_eff)
+        if mode != "rel":
+            # SZ2/SZ3 guarantee ABS/NOA (Table III): any value whose grid
+            # reconstruction misses the bound joins the outlier list.  REL
+            # deliberately lacks this check in log space *after* the
+            # exp/log round-trip -- that is SZ2's documented violation.
+            # Compare against the value the decoder hands back (i.e. after
+            # the final cast to the data dtype).
+            recon = dequantize(bins, eps_eff, data.dtype)
+            err = np.abs(work.astype(np.longdouble) - recon.astype(np.longdouble))
+            outlier = outlier | (err > np.longdouble(eps_eff))
+            bins[outlier] = 0
+
+        predictor_id, residuals = self._predict(bins, shape)
+
+        if self.chunked:
+            parts = []
+            for lo in range(0, residuals.size, _OMP_CHUNK):
+                parts.append(_encode_codes(residuals[lo:lo + _OMP_CHUNK], self.use_lz))
+            codes_blob = pack_sections(*parts)
+        else:
+            codes_blob = _encode_codes(residuals, self.use_lz)
+
+        meta = pack_array_meta(data, mode, error_bound, extra)
+        head = struct.pack("<dBB", eps_eff, predictor_id, 1 if self.chunked else 0)
+        return pack_sections(
+            meta, head, codes_blob,
+            _pack_outliers(flat64, outlier), signs,
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        meta, eps_raw, codes_blob, outlier_blob, signs = unpack_sections(blob)
+        dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)
+        eps_eff, predictor_id, chunked = struct.unpack("<dBB", eps_raw)
+
+        # The chunk layout is a property of the *file*, not of the build
+        # doing the decoding -- serial and OMP builds are interchangeable
+        # (Section IV).
+        if chunked:
+            parts = unpack_sections(codes_blob)
+            residuals = np.concatenate([_decode_codes(p) for p in parts]) if parts else np.zeros(0, dtype=np.int64)
+        else:
+            residuals = _decode_codes(codes_blob)
+
+        bins = self._unpredict(predictor_id, residuals, shape)
+        work = dequantize(bins, eps_eff, np.float64)
+
+        idx, vals = _unpack_outliers(outlier_blob)
+
+        if mode == "rel":
+            out = self._rel_inverse(work, signs, dtype)
+        else:
+            out = work
+        out[idx] = vals  # outliers are stored losslessly (as float64)
+        return out.astype(dtype).reshape(shape)
+
+    # -- prediction ----------------------------------------------------------
+
+    #: predictor id -> (encode, decode); ids are stored in the stream.
+    #: 0 = full n-D Lorenzo (SZ2's fixed choice); the rest are SZ3's
+    #: dynamic-selection candidates.
+    @staticmethod
+    def _candidates(shape: tuple[int, ...]):
+        ndim = len(shape)
+        cands: list[tuple[int, object, object]] = [
+            (0, lambda b: lorenzo_encode(b, shape),
+                lambda r: lorenzo_decode(r, shape)),
+        ]
+        if ndim > 1:
+            inner = tuple(range(1, ndim))
+            cands.append((1, lambda b: lorenzo_encode(b, shape, inner),
+                             lambda r: lorenzo_decode(r, shape, inner)))
+        cands.append((2, lambda b: lift_forward_int(b, shape),
+                         lambda r: lift_inverse_int(r, shape)))
+        return cands
+
+    def _predict(self, bins: np.ndarray, shape: tuple[int, ...]):
+        cands = self._candidates(shape)
+        if self.predictor == "lorenzo":
+            pid, enc, _ = cands[0]
+            return pid, enc(bins)
+        # SZ3: dynamic selection -- actually encode each candidate's
+        # residuals (Huffman, no LZ) and keep the smallest.  This is why
+        # serial SZ3 is slow and compresses best (the real SZ3 samples
+        # prediction errors per level for the same decision).
+        best = None
+        for pid, enc, _ in cands:
+            res = enc(bins)
+            cost = len(_encode_codes(res, use_lz=False))
+            if best is None or cost < best[0]:
+                best = (cost, pid, res)
+        return best[1], best[2]
+
+    def _unpredict(self, predictor_id: int, residuals: np.ndarray, shape):
+        for pid, _, dec in self._candidates(shape):
+            if pid == predictor_id:
+                return dec(residuals)
+        raise ValueError(f"corrupt SZ stream: unknown predictor {predictor_id}")
+
+    # -- SZ2's log-space REL transform (the unguaranteed path) --------------
+
+    def _rel_forward(self, data: np.ndarray, error_bound: float):
+        """log-space transform in the *data precision* (rounding => ○).
+
+        Values with ``|v| <= max|v| * _REL_FLUSH`` are below the log
+        transform's resolvable floor and get flushed to zero -- the
+        mechanism behind SZ2's *large* REL violations on data with
+        near-zero values (CESM).
+        """
+        flat = data.reshape(-1)
+        absv = np.abs(flat.astype(flat.dtype))
+        fin = np.isfinite(flat)
+        vmax = float(absv[fin].max()) if fin.any() else 0.0
+        floor = vmax * _REL_FLUSH
+        flushed = absv <= floor
+
+        sign_code = np.zeros(flat.size, dtype=np.uint8)
+        sign_code[(flat < 0) & ~flushed] = 1
+        sign_code[flushed | ~fin] = 2  # decodes to 0.0 (or outlier-patched)
+
+        safe = np.where(flushed | ~fin, 1.0, absv).astype(flat.dtype)
+        work = np.log(safe.astype(flat.dtype)).astype(np.float64)
+        # The sign stream is highly skewed and runs for thousands of
+        # values; RLE + entropy coding shrinks it to near nothing (PFPL
+        # pays nothing for signs either -- they live in the bin words).
+        signs = huffman_encode(
+            zero_rle_encode(sign_code.astype(np.int64), 0)
+        )
+        return work, signs, float(flat.size)
+
+    def _rel_inverse(self, work: np.ndarray, signs: bytes, dtype) -> np.ndarray:
+        sign_code = zero_rle_decode(huffman_decode(signs), 0)
+        mag = np.exp(work.astype(dtype)).astype(np.float64)
+        out = np.where(sign_code == 1, -mag, mag)
+        out[sign_code == 2] = 0.0
+        return out
+
+
+class SZ2(_SZBase):
+    """SZ2 [23]: Lorenzo + Huffman + GZIP; ABS/NOA guaranteed, REL not."""
+
+    name = "SZ2"
+    predictor = "lorenzo"
+    use_lz = True
+    features = Features(
+        abs=GUARANTEED, rel=UNGUARANTEED, noa=GUARANTEED,
+        supports_float=True, supports_double=True, cpu=True, gpu=False,
+    )
+
+
+class SZ3(_SZBase):
+    """SZ3 [26]: interpolation predictor + Huffman + ZSTD; no REL."""
+
+    name = "SZ3"
+    predictor = "interp"
+    use_lz = True
+    features = Features(
+        abs=GUARANTEED, rel=UNSUPPORTED, noa=GUARANTEED,
+        supports_float=True, supports_double=True, cpu=True, gpu=False,
+    )
+
+
+class SZ3OMP(SZ3):
+    """SZ3's OpenMP build: independent chunks with per-chunk Huffman
+    tables and per-chunk (rather than whole-stream) ZSTD, which is what
+    makes its output differ from -- and compress less than -- serial SZ3.
+    """
+
+    name = "SZ3_OMP"
+    use_lz = True
+    chunked = True

@@ -1,0 +1,284 @@
+"""ZFP-like transform coder [11, 27].
+
+Pipeline (Section VI): split the input into 4^d blocks, align each
+block to a common exponent (block-floating-point), apply ZFP's integer
+decorrelating lifting transform along every axis, reorder to negabinary,
+and emit bit planes from most to least significant down to a per-block
+cutoff.
+
+Error-bound behaviour matches Table III:
+
+* **ABS (fixed-accuracy mode, ○)**: the cutoff plane is derived from the
+  error bound, but the *transform's own rounding* (the ``>> 1`` steps)
+  adds error the plane budget does not account for -- exactly the class
+  of finite-precision issue the paper blames for ZFP's major
+  violations.  Most blocks over-preserve (the transform compacts energy
+  into few planes, so the tail planes it keeps are zero), which is why
+  ZFP's ratios trail the other CPU codes ("ZFP often over-preserves",
+  Section V-B).
+* **REL (fixed-precision mode, ✓)**: a fixed number of planes per block
+  independent of the bound-vs-exponent relation -- the bit-truncation
+  scheme the paper describes ("ZFP bounds the relative error by
+  truncating a requested number of least significant bits").
+* NOA: unsupported.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from .base import (
+    GUARANTEED,
+    UNGUARANTEED,
+    UNSUPPORTED,
+    BaselineCompressor,
+    Features,
+    pack_array_meta,
+    pack_sections,
+    unpack_array_meta,
+    unpack_sections,
+)
+
+__all__ = ["ZFP"]
+
+_BS = 4          # block side length
+_QBITS = 26      # Q-format fraction bits for the block integers
+#: guard planes kept beyond the naive bound-derived cutoff in accuracy
+#: mode -- real ZFP's bound analysis needs a transform-gain factor the
+#: plane budget only partially covers, hence the remaining (major, but
+#: bounded) violations on some blocks.
+_GUARD = 3
+#: extra planes in precision (REL) mode so per-value relative errors of
+#: small in-block values stay sane (ZFP still "does not conform to the
+#: error bound due to its different bounding technique", Section V-C).
+_REL_EXTRA = 8
+
+
+def _blockify(data: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Split an nd array into (n_blocks, 4^d) rows, edge-padded."""
+    ndim = data.ndim
+    padded_shape = tuple(-(-s // _BS) * _BS for s in data.shape)
+    padded = np.zeros(padded_shape, dtype=np.float64)
+    padded[tuple(slice(0, s) for s in data.shape)] = data
+    # replicate edges so padding doesn't create artificial jumps
+    for ax, s in enumerate(data.shape):
+        if padded_shape[ax] != s:
+            src = [slice(None)] * ndim
+            dst = [slice(None)] * ndim
+            src[ax] = slice(s - 1, s)
+            dst[ax] = slice(s, None)
+            padded[tuple(dst)] = padded[tuple(src)]
+    # gather blocks: reshape to (b0, 4, b1, 4, ...) then move the 4s last
+    nb = [ps // _BS for ps in padded_shape]
+    shape2 = []
+    for b in nb:
+        shape2.extend([b, _BS])
+    arr = padded.reshape(shape2)
+    perm = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
+    arr = arr.transpose(perm).reshape(int(np.prod(nb)), _BS**ndim)
+    return arr, tuple(nb)
+
+
+def _unblockify(blocks: np.ndarray, nb: tuple[int, ...], shape: tuple[int, ...]) -> np.ndarray:
+    ndim = len(shape)
+    arr = blocks.reshape(tuple(nb) + (_BS,) * ndim)
+    perm = []
+    for i in range(ndim):
+        perm.extend([i, ndim + i])
+    arr = arr.transpose(perm).reshape(tuple(b * _BS for b in nb))
+    return arr[tuple(slice(0, s) for s in shape)]
+
+
+def _fwd_lift4(x: np.ndarray, axis: int) -> None:
+    """ZFP's 4-point decorrelating transform along one block axis."""
+    idx = [slice(None)] * x.ndim
+    def g(i):
+        idx2 = list(idx)
+        idx2[axis] = i
+        return tuple(idx2)
+    a, b, c, d = x[g(0)].copy(), x[g(1)].copy(), x[g(2)].copy(), x[g(3)].copy()
+    a += d; a >>= 1; d -= a
+    c += b; c >>= 1; b -= c
+    a += c; a >>= 1; c -= a
+    d += b; d >>= 1; b -= d
+    d += b >> 1; b -= d >> 1
+    x[g(0)], x[g(1)], x[g(2)], x[g(3)] = a, b, c, d
+
+
+def _inv_lift4(x: np.ndarray, axis: int) -> None:
+    idx = [slice(None)] * x.ndim
+    def g(i):
+        idx2 = list(idx)
+        idx2[axis] = i
+        return tuple(idx2)
+    a, b, c, d = x[g(0)].copy(), x[g(1)].copy(), x[g(2)].copy(), x[g(3)].copy()
+    b += d >> 1; d -= b >> 1
+    b += d; d <<= 1; d -= b
+    c += a; a <<= 1; a -= c
+    b += c; c <<= 1; c -= b
+    d += a; a <<= 1; a -= d
+    x[g(0)], x[g(1)], x[g(2)], x[g(3)] = a, b, c, d
+
+
+def _to_negabinary(x: np.ndarray) -> np.ndarray:
+    u = x.astype(np.int64).view(np.uint64)
+    mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+    with np.errstate(over="ignore"):
+        return (u + mask) ^ mask
+
+
+def _from_negabinary(u: np.ndarray) -> np.ndarray:
+    mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+    with np.errstate(over="ignore"):
+        return ((u ^ mask) - mask).view(np.int64)
+
+
+class ZFP(BaselineCompressor):
+    """Block-transform compressor in fixed-accuracy / fixed-precision modes."""
+
+    name = "ZFP"
+    features = Features(
+        abs=UNGUARANTEED, rel=GUARANTEED, noa=UNSUPPORTED,
+        supports_float=True, supports_double=True, cpu=True, gpu=False,
+    )
+
+    def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
+        data = np.asarray(data)
+        self.check_input(data, mode)
+        if data.ndim > 3:
+            data = data.reshape(data.shape[0], -1)
+        work = data.astype(np.float64)
+        fin = np.isfinite(work)
+        nonfinite_idx = np.flatnonzero(~fin.reshape(-1)).astype(np.int64)
+        nonfinite_val = work.reshape(-1)[nonfinite_idx]
+        work = np.where(fin, work, 0.0)
+
+        blocks, nb = _blockify(work)
+        ncoeff = blocks.shape[1]
+        ndim = work.ndim
+
+        # Block-floating-point: common exponent per block.
+        absmax = np.abs(blocks).max(axis=1)
+        emax = np.zeros(blocks.shape[0], dtype=np.int32)
+        nz = absmax > 0
+        emax[nz] = np.frexp(absmax[nz])[1]  # absmax < 2^emax
+        scale = np.ldexp(1.0, _QBITS - emax)[:, None]
+        ints = np.rint(blocks * scale).astype(np.int64)
+
+        cube = ints.reshape((blocks.shape[0],) + (_BS,) * ndim)
+        for axis in range(1, ndim + 1):
+            _fwd_lift4(cube, axis)
+        coeffs = cube.reshape(blocks.shape[0], ncoeff)
+        neg = _to_negabinary(coeffs)
+
+        # Planes to keep per block.
+        if mode == "abs":
+            # fixed accuracy: keep planes down to the bound-derived cutoff
+            cut = np.maximum(
+                0,
+                _QBITS - emax + int(math.floor(math.log2(error_bound))) - _GUARD
+            ).astype(np.int64)
+        else:
+            # fixed precision: constant plane count from the bound
+            prec = min(
+                _QBITS + 2,
+                max(2, int(math.ceil(-math.log2(error_bound))) + _REL_EXTRA),
+            )
+            cut = np.full(blocks.shape[0], _QBITS + 2 - prec, dtype=np.int64)
+        msb = np.zeros(blocks.shape[0], dtype=np.int64)
+        any_bits = neg.max(axis=1)
+        tmp = any_bits.copy()
+        # position of highest set bit over the block (vectorized)
+        for shift in (32, 16, 8, 4, 2, 1):
+            test = tmp >= (np.uint64(1) << np.uint64(shift))
+            msb[test] += shift
+            tmp = np.where(test, tmp >> np.uint64(shift), tmp)
+        msb = np.where(any_bits > 0, msb + 1, 0)  # number of planes with data
+        nplanes = np.maximum(0, msb - cut).astype(np.int64)
+
+        # Emit plane bits: for block b, planes msb-1 .. cut (MSB first).
+        total_bits = int((nplanes * ncoeff).sum())
+        bits = np.zeros((total_bits + 7) // 8 * 8, dtype=np.uint8)
+        starts = np.zeros(blocks.shape[0], dtype=np.int64)
+        np.cumsum((nplanes * ncoeff)[:-1], out=starts[1:])
+        max_np = int(nplanes.max()) if nplanes.size else 0
+        for p in range(max_np):
+            sel = nplanes > p
+            if not np.any(sel):
+                break
+            plane_idx = (msb[sel] - 1 - p).astype(np.uint64)
+            plane_bits = ((neg[sel] >> plane_idx[:, None]) & np.uint64(1)).astype(np.uint8)
+            pos = (starts[sel] + p * ncoeff)[:, None] + np.arange(ncoeff)[None, :]
+            bits[pos.reshape(-1)] = plane_bits.reshape(-1)
+        payload = np.packbits(bits).tobytes()
+
+        meta = pack_array_meta(data, mode, error_bound)
+        head = struct.pack("<QH", blocks.shape[0], ncoeff)
+        return pack_sections(
+            meta,
+            head,
+            emax.astype("<i4").tobytes(),
+            nplanes.astype("<i2").tobytes(),
+            np.asarray(nb, dtype="<i4").tobytes(),
+            payload,
+            nonfinite_idx.tobytes(),
+            nonfinite_val.tobytes(),
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        (meta, head, emax_raw, nplanes_raw, nb_raw, payload,
+         nf_idx_raw, nf_val_raw) = unpack_sections(blob)
+        dtype, mode, shape, error_bound, _ = unpack_array_meta(meta)
+        n_blocks, ncoeff = struct.unpack("<QH", head)
+        emax = np.frombuffer(emax_raw, dtype="<i4").astype(np.int32)
+        nplanes = np.frombuffer(nplanes_raw, dtype="<i2").astype(np.int64)
+        nb = tuple(int(x) for x in np.frombuffer(nb_raw, dtype="<i4"))
+        ndim = len(nb)
+
+        if mode == "abs":
+            cut = np.maximum(
+                0,
+                _QBITS - emax + int(math.floor(math.log2(error_bound))) - _GUARD
+            ).astype(np.int64)
+        else:
+            prec = min(
+                _QBITS + 2,
+                max(2, int(math.ceil(-math.log2(error_bound))) + _REL_EXTRA),
+            )
+            cut = np.full(n_blocks, _QBITS + 2 - prec, dtype=np.int64)
+        msb = nplanes + cut
+
+        total_bits = int((nplanes * ncoeff).sum())
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=total_bits)
+        starts = np.zeros(n_blocks, dtype=np.int64)
+        np.cumsum((nplanes * ncoeff)[:-1], out=starts[1:])
+
+        neg = np.zeros((n_blocks, ncoeff), dtype=np.uint64)
+        max_np = int(nplanes.max()) if nplanes.size else 0
+        for p in range(max_np):
+            sel = nplanes > p
+            if not np.any(sel):
+                break
+            plane_idx = (msb[sel] - 1 - p).astype(np.uint64)
+            pos = (starts[sel] + p * ncoeff)[:, None] + np.arange(ncoeff)[None, :]
+            pb = bits[pos.reshape(-1)].reshape(-1, ncoeff).astype(np.uint64)
+            neg[sel] |= pb << plane_idx[:, None]
+
+        coeffs = _from_negabinary(neg)
+        cube = coeffs.reshape((n_blocks,) + (_BS,) * ndim)
+        for axis in range(ndim, 0, -1):
+            _inv_lift4(cube, axis)
+        ints = cube.reshape(n_blocks, ncoeff)
+        scale = np.ldexp(1.0, (emax - _QBITS).astype(np.int64))[:, None]
+        blocks = ints.astype(np.float64) * scale
+
+        # ZFP stores >3-D data as 2-D; recover the stored shape first.
+        stored_shape = shape if len(shape) <= 3 else (shape[0], int(np.prod(shape[1:])))
+        out = _unblockify(blocks, nb, stored_shape).reshape(-1)
+        nf_idx = np.frombuffer(nf_idx_raw, dtype=np.int64)
+        nf_val = np.frombuffer(nf_val_raw, dtype=np.float64)
+        out[nf_idx] = nf_val
+        return out.astype(dtype).reshape(shape)

@@ -1,0 +1,162 @@
+"""``pfpl`` command-line interface.
+
+Subcommands::
+
+    pfpl compress   INPUT OUTPUT --mode abs --bound 1e-3 --dtype f32 [--backend omp]
+    pfpl decompress INPUT OUTPUT
+    pfpl info       INPUT
+    pfpl verify     ORIGINAL RECONSTRUCTED --mode abs --bound 1e-3
+    pfpl table      {1,2,3}
+    pfpl figure     FIGURE_ID [--files N]
+
+``compress`` reads a raw binary array (like the SDRBench ``.f32``/
+``.d64`` files), ``decompress`` writes one back.  ``table``/``figure``
+regenerate the paper's tables and figures as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import PFPLCompressor, Header, decompress as pfpl_decompress
+from .device import get_backend
+
+_DTYPES = {"f32": np.float32, "f64": np.float64}
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    dtype = _DTYPES[args.dtype]
+    data = np.fromfile(args.input, dtype=dtype)
+    backend = get_backend(args.backend)
+    comp = PFPLCompressor(
+        mode=args.mode, error_bound=args.bound, dtype=dtype, backend=backend
+    )
+    result = comp.compress(data)
+    with open(args.output, "wb") as fh:
+        fh.write(result.data)
+    print(
+        f"{args.input}: {result.original_bytes} -> {result.compressed_bytes} bytes "
+        f"(ratio {result.ratio:.2f}, {result.lossless_fraction * 100:.2f}% stored losslessly)"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    backend = get_backend(args.backend)
+    data = pfpl_decompress(stream, backend=backend)
+    data.tofile(args.output)
+    print(f"{args.input}: reconstructed {data.size} x {data.dtype} values")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        head = fh.read(64)
+    header = Header.unpack(head)
+    print(f"PFPL stream: mode={header.mode} dtype={header.dtype}")
+    print(f"  error bound : {header.error_bound:g}")
+    if header.mode == "noa":
+        print(f"  value range : {header.value_range:g}")
+    print(f"  values      : {header.count}")
+    print(f"  chunks      : {header.n_chunks} x {header.words_per_chunk} words")
+    stages = []
+    if header.use_delta:
+        stages.append("delta+negabinary")
+    if header.use_bitshuffle:
+        stages.append("bitshuffle")
+    if header.use_zero_elim:
+        stages.append(f"zero-elim(x{header.bitmap_levels})")
+    print(f"  pipeline    : {' -> '.join(stages) or 'identity'}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Check a reconstruction against the original under a bound."""
+    from .core.verify import check_bound
+    from .metrics import psnr
+
+    dtype = _DTYPES[args.dtype]
+    original = np.fromfile(args.original, dtype=dtype)
+    recon = np.fromfile(args.reconstructed, dtype=dtype)
+    if original.size != recon.size:
+        print(f"size mismatch: {original.size} vs {recon.size} values")
+        return 2
+    report = check_bound(args.mode, original, recon, args.bound)
+    print(f"mode={args.mode} bound={args.bound:g}: "
+          f"max error {report.max_error:.6g}, "
+          f"{report.violations} violations / {report.total} values "
+          f"({report.severity})")
+    print(f"PSNR {psnr(original, recon):.2f} dB")
+    return 0 if report.ok else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .harness import render_table1, render_table2, render_table3
+
+    print({1: render_table1, 2: render_table2, 3: render_table3}[args.number]())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .harness import figure_data, render_figure
+
+    data = figure_data(args.figure_id, n_files=args.files)
+    print(render_figure(data))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="pfpl", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a raw float file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--mode", choices=("abs", "rel", "noa"), default="abs")
+    p.add_argument("--bound", type=float, default=1e-3)
+    p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a PFPL stream")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("info", help="inspect a PFPL stream header")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("verify", help="check a reconstruction against a bound")
+    p.add_argument("original")
+    p.add_argument("reconstructed")
+    p.add_argument("--mode", choices=("abs", "rel", "noa"), default="abs")
+    p.add_argument("--bound", type=float, default=1e-3)
+    p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p.add_argument("figure_id")
+    p.add_argument("--files", type=int, default=None, help="files per suite")
+    p.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

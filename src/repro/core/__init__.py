@@ -1,0 +1,37 @@
+"""PFPL core: quantizers, lossless pipeline, chunking, container format."""
+
+from .compressor import (
+    CompressionResult,
+    InlineBackend,
+    PFPLCompressor,
+    compress,
+    decompress,
+)
+from .header import Header
+from .lossless.pipeline import LosslessPipeline, PipelineConfig
+from .quantizers import (
+    AbsQuantizer,
+    NoaQuantizer,
+    Quantizer,
+    RelQuantizer,
+    make_quantizer,
+)
+from .verify import BoundReport, check_bound
+
+__all__ = [
+    "PFPLCompressor",
+    "CompressionResult",
+    "InlineBackend",
+    "compress",
+    "decompress",
+    "Header",
+    "LosslessPipeline",
+    "PipelineConfig",
+    "Quantizer",
+    "AbsQuantizer",
+    "RelQuantizer",
+    "NoaQuantizer",
+    "make_quantizer",
+    "BoundReport",
+    "check_bound",
+]

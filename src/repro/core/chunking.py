@@ -1,0 +1,144 @@
+"""Chunk decomposition, incompressible fallback, and framing.
+
+PFPL breaks the quantized word stream into 16 kB chunks that are
+compressed independently (Section III-E): on the CPU each chunk goes to
+a thread, on the GPU to a thread block.  Per chunk:
+
+* the fused lossless pipeline produces a variable-size blob,
+* if that blob is not smaller than the raw chunk, the raw words are
+  emitted instead and the chunk is flagged *raw*, capping the worst-case
+  expansion at the size-table overhead,
+* compressed chunks are concatenated; their sizes go into a size table
+  so the decoder can locate every chunk with one prefix sum.
+
+The tail chunk is zero-padded to a multiple of 8 words so the bit
+shuffle always packs whole bytes; the global value count in the header
+tells the decoder how many words are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lossless.pipeline import LosslessPipeline
+
+__all__ = ["CHUNK_BYTES", "RAW_FLAG", "ChunkCodec", "ChunkPlan", "plan_chunks"]
+
+#: Chunk payload size used by the paper (16 kB).
+CHUNK_BYTES = 16384
+
+#: High bit of a size-table entry: chunk stored raw (incompressible).
+RAW_FLAG = np.uint32(0x80000000)
+_SIZE_MASK = np.uint32(0x7FFFFFFF)
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Where each chunk's words live in the (padded) word stream."""
+
+    n_words: int          #: real words in the stream
+    words_per_chunk: int  #: words in a full chunk
+    n_chunks: int
+    padded_tail_words: int  #: words in the zero-padded tail chunk
+
+    def chunk_word_count(self, index: int) -> int:
+        if index < 0 or index >= self.n_chunks:
+            raise IndexError(f"chunk {index} out of range [0, {self.n_chunks})")
+        if index < self.n_chunks - 1:
+            return self.words_per_chunk
+        return self.padded_tail_words
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        """(start, stop) word offsets of chunk ``index`` in the padded stream."""
+        start = index * self.words_per_chunk
+        return start, start + self.chunk_word_count(index)
+
+
+def plan_chunks(n_words: int, word_itemsize: int, chunk_bytes: int = CHUNK_BYTES) -> ChunkPlan:
+    """Compute the chunk decomposition for ``n_words`` words."""
+    if chunk_bytes % (8 * word_itemsize):
+        raise ValueError(
+            f"chunk size {chunk_bytes} must hold a multiple of 8 words"
+        )
+    wpc = chunk_bytes // word_itemsize
+    if n_words == 0:
+        return ChunkPlan(0, wpc, 0, 0)
+    n_chunks = (n_words + wpc - 1) // wpc
+    tail = n_words - (n_chunks - 1) * wpc
+    padded_tail = ((tail + 7) // 8) * 8
+    return ChunkPlan(n_words, wpc, n_chunks, padded_tail)
+
+
+class ChunkCodec:
+    """Pure per-chunk encode/decode used by every backend.
+
+    Backends differ only in *how* they schedule these calls (serial loop,
+    thread pool, simulated thread blocks) -- the bytes are identical.
+    """
+
+    def __init__(self, pipeline: LosslessPipeline, chunk_bytes: int = CHUNK_BYTES):
+        self.pipeline = pipeline
+        self.chunk_bytes = chunk_bytes
+        self.word_itemsize = pipeline.word_dtype.itemsize
+
+    def plan(self, n_words: int) -> ChunkPlan:
+        return plan_chunks(n_words, self.word_itemsize, self.chunk_bytes)
+
+    def pad_words(self, words: np.ndarray, plan: ChunkPlan) -> np.ndarray:
+        """Zero-pad the word stream so the tail chunk is shuffle-aligned."""
+        total = 0
+        if plan.n_chunks:
+            total = (plan.n_chunks - 1) * plan.words_per_chunk + plan.padded_tail_words
+        if words.size == total:
+            return words
+        padded = np.zeros(total, dtype=self.pipeline.word_dtype)
+        padded[: words.size] = words
+        return padded
+
+    # -- per-chunk kernels ---------------------------------------------------
+
+    def encode_chunk(self, chunk_words: np.ndarray) -> tuple[bytes, bool]:
+        """Compress one chunk; returns (blob, is_raw).
+
+        Falls back to the raw words whenever the pipeline fails to shrink
+        the chunk, exactly capping worst-case expansion.
+        """
+        blob = self.pipeline.encode_chunk(chunk_words)
+        raw_size = chunk_words.size * self.word_itemsize
+        if len(blob) >= raw_size:
+            return chunk_words.tobytes(), True
+        return blob, False
+
+    def decode_chunk(self, blob, n_words: int, is_raw: bool) -> np.ndarray:
+        if is_raw:
+            arr = np.frombuffer(bytes(blob), dtype=self.pipeline.word_dtype)
+            if arr.size != n_words:
+                raise ValueError(
+                    f"raw chunk holds {arr.size} words, expected {n_words}"
+                )
+            return arr.copy()
+        return self.pipeline.decode_chunk(blob, n_words)
+
+    # -- framing ---------------------------------------------------------------
+
+    @staticmethod
+    def build_size_table(sizes: list[int], raw_flags: list[bool]) -> np.ndarray:
+        """Pack per-chunk byte sizes + raw flags into the u32 size table."""
+        table = np.asarray(sizes, dtype=np.uint32)
+        if np.any(table & RAW_FLAG):
+            raise ValueError("chunk blob exceeds 2 GiB size-table limit")
+        flags = np.asarray(raw_flags, dtype=bool)
+        return table | np.where(flags, RAW_FLAG, np.uint32(0))
+
+    @staticmethod
+    def parse_size_table(table: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (sizes, raw_flags, start_offsets) -- the decoder's prefix sum."""
+        table = np.ascontiguousarray(table, dtype=np.uint32)
+        sizes = (table & _SIZE_MASK).astype(np.int64)
+        raw_flags = (table & RAW_FLAG) != 0
+        starts = np.zeros(sizes.size, dtype=np.int64)
+        if sizes.size > 1:
+            np.cumsum(sizes[:-1], out=starts[1:])
+        return sizes, raw_flags, starts

@@ -1,0 +1,243 @@
+"""The PFPL compressor: public compress/decompress API.
+
+This ties together the three building blocks from Figure 1:
+
+1. a lossy quantizer (ABS / REL / NOA) with a guaranteed error bound,
+2. the fused 3-stage lossless pipeline applied per 16 kB chunk,
+3. chunk framing with a size table and raw-chunk fallback.
+
+Execution is delegated to a *backend* (see :mod:`repro.device`), which
+decides how chunks are scheduled -- serially, across CPU threads, or on
+the simulated GPU.  Every backend produces bit-for-bit identical output;
+the default inline backend simply runs chunks in a loop.
+
+Typical use::
+
+    from repro import compress, decompress
+    blob = compress(data, mode="abs", error_bound=1e-3)
+    recon = decompress(blob)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .chunking import ChunkCodec, ChunkPlan
+from .floatbits import layout_for
+from .header import Header
+from .lossless.pipeline import LosslessPipeline, PipelineConfig
+from .quantizers import NoaQuantizer, Quantizer, make_quantizer
+
+__all__ = ["PFPLCompressor", "compress", "decompress", "CompressionResult", "InlineBackend"]
+
+
+class InlineBackend:
+    """Minimal executor: runs chunk kernels in a simple loop.
+
+    Device backends (:mod:`repro.device`) provide the same two methods
+    with parallel / simulated-GPU scheduling behind them.
+    """
+
+    name = "inline"
+
+    def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
+        return LosslessPipeline(word_dtype, config)
+
+    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
+        starts = np.zeros(len(sizes), dtype=np.int64)
+        if len(sizes) > 1:
+            np.cumsum(np.asarray(sizes, dtype=np.int64)[:-1], out=starts[1:])
+        return starts
+
+
+@dataclass
+class CompressionResult:
+    """Compressed stream plus encoder-side bookkeeping."""
+
+    data: bytes
+    original_bytes: int
+    lossless_values: int
+    total_values: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def ratio(self) -> float:
+        return self.original_bytes / max(1, self.compressed_bytes)
+
+    @property
+    def lossless_fraction(self) -> float:
+        return self.lossless_values / self.total_values if self.total_values else 0.0
+
+
+class PFPLCompressor:
+    """Configured PFPL instance for one (mode, bound, dtype) combination.
+
+    Parameters
+    ----------
+    mode:
+        ``"abs"``, ``"rel"`` or ``"noa"``.
+    error_bound:
+        The point-wise error bound ``eps``.
+    dtype:
+        ``np.float32`` or ``np.float64``.
+    backend:
+        Optional execution backend; default runs chunks inline.
+    config:
+        :class:`PipelineConfig` stage toggles (for ablations).
+    """
+
+    def __init__(
+        self,
+        mode: str = "abs",
+        error_bound: float = 1e-3,
+        dtype=np.float32,
+        backend=None,
+        config: PipelineConfig | None = None,
+        chunk_bytes: int | None = None,
+    ):
+        self.mode = mode
+        self.error_bound = float(error_bound)
+        self.layout = layout_for(dtype)
+        self.backend = backend or InlineBackend()
+        self.config = config or PipelineConfig()
+        self.pipeline = self.backend.make_pipeline(self.layout.uint_dtype, self.config)
+        from .chunking import CHUNK_BYTES
+
+        self.codec = ChunkCodec(self.pipeline, chunk_bytes or CHUNK_BYTES)
+        # Validate the bound eagerly (cheap, catches bad eps before data).
+        make_quantizer(mode, self.error_bound, dtype=self.layout.float_dtype)
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> CompressionResult:
+        """Compress ``data`` and return the stream + statistics."""
+        flat = np.ascontiguousarray(data, dtype=self.layout.float_dtype).reshape(-1)
+        quantizer = make_quantizer(
+            self.mode, self.error_bound, dtype=self.layout.float_dtype
+        )
+        words = quantizer.encode(flat)
+
+        plan = self.codec.plan(words.size)
+        padded = self.codec.pad_words(words, plan)
+        chunks = [
+            padded[slice(*plan.chunk_bounds(i))] for i in range(plan.n_chunks)
+        ]
+        results = self.backend.map_chunks(self.codec.encode_chunk, chunks)
+        blobs = [blob for blob, _raw in results]
+        raw_flags = [raw for _blob, raw in results]
+
+        value_range = 0.0
+        if isinstance(quantizer, NoaQuantizer):
+            value_range = quantizer.value_range or 0.0
+
+        header = Header(
+            mode=self.mode,
+            dtype=self.layout.float_dtype,
+            error_bound=self.error_bound,
+            value_range=value_range,
+            count=flat.size,
+            words_per_chunk=plan.words_per_chunk,
+            n_chunks=plan.n_chunks,
+            use_delta=self.config.use_delta,
+            use_bitshuffle=self.config.use_bitshuffle,
+            use_zero_elim=self.config.use_zero_elim,
+            bitmap_levels=self.config.bitmap_levels,
+        )
+        table = ChunkCodec.build_size_table(
+            [len(b) for b in blobs], raw_flags
+        )
+        stream = b"".join([header.pack(), table.astype("<u4").tobytes(), *blobs])
+        return CompressionResult(
+            data=stream,
+            original_bytes=flat.nbytes,
+            lossless_values=quantizer.stats.lossless,
+            total_values=quantizer.stats.total,
+        )
+
+    # -- decompression -----------------------------------------------------
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Decompress a PFPL stream produced by any backend."""
+        header = Header.unpack(stream)
+        return decompress(stream, backend=self.backend)
+
+
+def compress(
+    data: np.ndarray,
+    mode: str = "abs",
+    error_bound: float = 1e-3,
+    backend=None,
+    config: PipelineConfig | None = None,
+) -> bytes:
+    """One-shot convenience wrapper; returns just the compressed bytes."""
+    arr = np.asarray(data)
+    comp = PFPLCompressor(
+        mode=mode, error_bound=error_bound, dtype=arr.dtype,
+        backend=backend, config=config,
+    )
+    return comp.compress(arr).data
+
+
+def decompress(stream: bytes, backend=None) -> np.ndarray:
+    """Decompress a PFPL stream into a 1-D array of the original dtype.
+
+    The stream is self-describing: mode, bound, dtype, NOA range and the
+    pipeline configuration all come from the header, so any PFPL stream
+    decompresses on any device -- the paper's portability property.
+    """
+    backend = backend or InlineBackend()
+    header = Header.unpack(stream)
+
+    config = PipelineConfig(
+        use_delta=header.use_delta,
+        use_bitshuffle=header.use_bitshuffle,
+        use_zero_elim=header.use_zero_elim,
+        bitmap_levels=header.bitmap_levels,
+    )
+    layout = layout_for(header.dtype)
+    pipeline = backend.make_pipeline(layout.uint_dtype, config)
+    # Honor the stream's chunk geometry (the paper's default is 16 kB;
+    # the chunk-size ablation writes other sizes).
+    codec = ChunkCodec(pipeline, header.words_per_chunk * layout.uint_dtype.itemsize)
+    plan = codec.plan(header.count)
+    if plan.n_chunks != header.n_chunks or plan.words_per_chunk != header.words_per_chunk:
+        raise ValueError("corrupt PFPL header: chunk plan mismatch")
+
+    table = header.read_size_table(stream)
+    sizes, raw_flags, _ = ChunkCodec.parse_size_table(table)
+    starts = backend.prefix_sum(sizes) + header.payload_offset
+    expected_end = int(starts[-1] + sizes[-1]) if header.n_chunks else header.payload_offset
+    if len(stream) < expected_end:
+        raise ValueError("PFPL stream truncated inside the chunk payload")
+
+    view = memoryview(stream)
+
+    def decode_one(index: int) -> np.ndarray:
+        lo = int(starts[index])
+        hi = lo + int(sizes[index])
+        return codec.decode_chunk(
+            view[lo:hi], plan.chunk_word_count(index), bool(raw_flags[index])
+        )
+
+    chunks = backend.map_chunks(decode_one, list(range(plan.n_chunks)))
+    if chunks:
+        words = np.concatenate(chunks)[: header.count]
+    else:
+        words = np.empty(0, dtype=layout.uint_dtype)
+
+    kwargs = {}
+    if header.mode == "noa":
+        kwargs["value_range"] = header.value_range
+    quantizer = make_quantizer(
+        header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
+    )
+    return quantizer.decode(words)

@@ -1,0 +1,180 @@
+"""IEEE-754 bit-layout constants and helpers for float32 and float64.
+
+PFPL stores quantization bin numbers *inside* otherwise-unused regions of
+the IEEE-754 encoding space (the denormal range for ABS/NOA, the negative
+NaN range for REL).  Everything in this module is therefore expressed in
+terms of the raw bit layout:
+
+========  ====  ========  ========
+format    sign  exponent  mantissa
+========  ====  ========  ========
+float32      1         8        23
+float64      1        11        52
+========  ====  ========  ========
+
+All helpers are vectorized and operate on NumPy arrays of the matching
+unsigned-integer dtype (``uint32`` for float32, ``uint64`` for float64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FloatLayout",
+    "FLOAT32",
+    "FLOAT64",
+    "layout_for",
+]
+
+
+@dataclass(frozen=True)
+class FloatLayout:
+    """Bit-level description of an IEEE-754 binary floating-point format."""
+
+    name: str
+    float_dtype: np.dtype
+    uint_dtype: np.dtype
+    int_dtype: np.dtype
+    bits: int
+    mantissa_bits: int
+    exponent_bits: int
+
+    @property
+    def sign_mask(self) -> int:
+        return 1 << (self.bits - 1)
+
+    @property
+    def mantissa_mask(self) -> int:
+        return (1 << self.mantissa_bits) - 1
+
+    @property
+    def exponent_mask(self) -> int:
+        return ((1 << self.exponent_bits) - 1) << self.mantissa_bits
+
+    @property
+    def abs_mask(self) -> int:
+        """Mask selecting everything except the sign bit."""
+        return self.sign_mask - 1
+
+    @property
+    def exponent_bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def smallest_normal(self) -> float:
+        """Smallest positive normal value of the format (2^(1-bias))."""
+        return float(np.finfo(self.float_dtype).tiny)
+
+    @property
+    def max_bin_magnitude(self) -> int:
+        """Largest |bin| storable in the denormal range (ABS/NOA codes).
+
+        The denormal range offers ``mantissa_bits`` magnitude bits plus the
+        sign bit -- the paper's "8-million-value-wide" range for float32.
+        """
+        return self.mantissa_mask
+
+    @property
+    def negabinary_mask(self) -> int:
+        """The 0b1010... constant used for two's-complement <-> negabinary."""
+        mask = 0
+        for i in range(1, self.bits, 2):
+            mask |= 1 << i
+        return mask
+
+    @property
+    def invert_mask(self) -> int:
+        """Sign+exponent mask flipped on every word emitted by the REL coder."""
+        return self.sign_mask | self.exponent_mask
+
+    # -- bit-pattern classification (vectorized over uint arrays) ---------
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        values = np.ascontiguousarray(values, dtype=self.float_dtype)
+        return values.view(self.uint_dtype)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.ascontiguousarray(bits, dtype=self.uint_dtype)
+        return bits.view(self.float_dtype)
+
+    def exponent_field(self, bits: np.ndarray) -> np.ndarray:
+        return (bits & self.uint(self.exponent_mask)) >> self.mantissa_bits
+
+    def is_nan_bits(self, bits: np.ndarray) -> np.ndarray:
+        return (bits & self.uint(self.abs_mask)) > self.uint(self.exponent_mask)
+
+    def is_inf_bits(self, bits: np.ndarray) -> np.ndarray:
+        return (bits & self.uint(self.abs_mask)) == self.uint(self.exponent_mask)
+
+    def is_zero_bits(self, bits: np.ndarray) -> np.ndarray:
+        return (bits & self.uint(self.abs_mask)) == self.uint(0)
+
+    def is_denormal_range(self, bits: np.ndarray) -> np.ndarray:
+        """True where the exponent field is zero (denormals and zeros)."""
+        return (bits & self.uint(self.exponent_mask)) == self.uint(0)
+
+    def is_negative_nan(self, bits: np.ndarray) -> np.ndarray:
+        sign = (bits & self.uint(self.sign_mask)) != self.uint(0)
+        return sign & self.is_nan_bits(bits)
+
+    def uint(self, value: int) -> np.integer:
+        """Scalar of this layout's unsigned dtype (avoids up-casting)."""
+        return self.uint_dtype.type(value)
+
+    # -- magnitude-sign integer codes (ABS/NOA bin words) ------------------
+
+    def magsign_encode(self, bins: np.ndarray) -> np.ndarray:
+        """Signed bin numbers -> magnitude-sign words in the denormal range.
+
+        ``|bin|`` must already be <= :attr:`max_bin_magnitude`.
+        """
+        neg = bins < 0
+        mag = np.abs(bins).astype(self.uint_dtype)
+        word = mag | np.where(neg, self.uint(self.sign_mask), self.uint(0))
+        return word.astype(self.uint_dtype)
+
+    def magsign_decode(self, words: np.ndarray) -> np.ndarray:
+        """Magnitude-sign denormal-range words -> signed bin numbers."""
+        mag = (words & self.uint(self.mantissa_mask)).astype(self.int_dtype)
+        neg = (words & self.uint(self.sign_mask)) != self.uint(0)
+        return np.where(neg, -mag, mag)
+
+
+FLOAT32 = FloatLayout(
+    name="float32",
+    float_dtype=np.dtype(np.float32),
+    uint_dtype=np.dtype(np.uint32),
+    int_dtype=np.dtype(np.int64),
+    bits=32,
+    mantissa_bits=23,
+    exponent_bits=8,
+)
+
+FLOAT64 = FloatLayout(
+    name="float64",
+    float_dtype=np.dtype(np.float64),
+    uint_dtype=np.dtype(np.uint64),
+    int_dtype=np.dtype(np.int64),
+    bits=64,
+    mantissa_bits=52,
+    exponent_bits=11,
+)
+
+_LAYOUTS = {
+    np.dtype(np.float32): FLOAT32,
+    np.dtype(np.float64): FLOAT64,
+}
+
+
+def layout_for(dtype) -> FloatLayout:
+    """Return the :class:`FloatLayout` for ``dtype`` (float32 or float64)."""
+    dt = np.dtype(dtype)
+    try:
+        return _LAYOUTS[dt]
+    except KeyError:
+        raise TypeError(
+            f"PFPL supports float32 and float64 data, got {dt}"
+        ) from None

@@ -1,0 +1,125 @@
+"""PFPL container format: header layout and (de)serialization.
+
+Layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"PFPL"
+    4       2     format version (currently 1)
+    6       1     error-bound mode   (0=abs, 1=rel, 2=noa)
+    7       1     data dtype         (0=float32, 1=float64)
+    8       8     error bound        (float64 bits)
+    16      8     NOA value range    (float64 bits; 0 otherwise)
+    24      8     value count        (u64)
+    32      4     words per chunk    (u32)
+    36      4     chunk count        (u32)
+    40      1     pipeline stage flags (bit0 delta, bit1 shuffle, bit2 zero-elim)
+    41      1     bitmap levels
+    42      2     reserved (0)
+    44      4*n   chunk size table   (u32 each; bit 31 = raw chunk)
+    ...           concatenated chunk payloads
+
+The header stores everything the decoder needs so that decompression is
+embarrassingly parallel -- including the NOA range, so the decoder never
+re-reduces the data (Section III-E).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Header", "MAGIC", "FORMAT_VERSION", "HEADER_BYTES"]
+
+MAGIC = b"PFPL"
+FORMAT_VERSION = 1
+HEADER_BYTES = 44
+
+_MODES = ("abs", "rel", "noa")
+_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_STRUCT = struct.Struct("<4sHBBddQIIBBH")
+assert _STRUCT.size == HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded PFPL container header."""
+
+    mode: str
+    dtype: np.dtype
+    error_bound: float
+    value_range: float
+    count: int
+    words_per_chunk: int
+    n_chunks: int
+    use_delta: bool
+    use_bitshuffle: bool
+    use_zero_elim: bool
+    bitmap_levels: int
+
+    def pack(self) -> bytes:
+        flags = (
+            (1 if self.use_delta else 0)
+            | (2 if self.use_bitshuffle else 0)
+            | (4 if self.use_zero_elim else 0)
+        )
+        return _STRUCT.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            _MODES.index(self.mode),
+            _DTYPES.index(np.dtype(self.dtype)),
+            float(self.error_bound),
+            float(self.value_range),
+            self.count,
+            self.words_per_chunk,
+            self.n_chunks,
+            flags,
+            self.bitmap_levels,
+            0,
+        )
+
+    @classmethod
+    def unpack(cls, buf: bytes) -> "Header":
+        if len(buf) < HEADER_BYTES:
+            raise ValueError(
+                f"buffer too short for a PFPL header ({len(buf)} < {HEADER_BYTES})"
+            )
+        (magic, version, mode_i, dtype_i, eps, vrange, count,
+         wpc, n_chunks, flags, levels, _reserved) = _STRUCT.unpack_from(buf)
+        if magic != MAGIC:
+            raise ValueError(f"not a PFPL stream (magic {magic!r})")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported PFPL format version {version}")
+        if mode_i >= len(_MODES):
+            raise ValueError(f"corrupt header: unknown mode id {mode_i}")
+        if dtype_i >= len(_DTYPES):
+            raise ValueError(f"corrupt header: unknown dtype id {dtype_i}")
+        return cls(
+            mode=_MODES[mode_i],
+            dtype=_DTYPES[dtype_i],
+            error_bound=eps,
+            value_range=vrange,
+            count=count,
+            words_per_chunk=wpc,
+            n_chunks=n_chunks,
+            use_delta=bool(flags & 1),
+            use_bitshuffle=bool(flags & 2),
+            use_zero_elim=bool(flags & 4),
+            bitmap_levels=levels,
+        )
+
+    @property
+    def size_table_offset(self) -> int:
+        return HEADER_BYTES
+
+    @property
+    def payload_offset(self) -> int:
+        return HEADER_BYTES + 4 * self.n_chunks
+
+    def read_size_table(self, buf: bytes) -> np.ndarray:
+        end = self.payload_offset
+        if len(buf) < end:
+            raise ValueError("PFPL stream truncated inside the chunk size table")
+        return np.frombuffer(buf, dtype="<u4", count=self.n_chunks, offset=HEADER_BYTES)

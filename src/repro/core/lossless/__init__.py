@@ -1,0 +1,36 @@
+"""PFPL's lossless compression pipeline (Step 2 of Figure 1)."""
+
+from .bitshuffle import bitshuffle, bitunshuffle
+from .delta import delta_decode, delta_encode
+from .negabinary import from_negabinary, negabinary_mask, to_negabinary
+from .pipeline import LosslessPipeline, PipelineConfig
+from .zerobyte import (
+    DEFAULT_LEVELS,
+    bitmap_sizes,
+    compress_bytes,
+    decompress_bytes,
+    repeat_eliminate,
+    repeat_restore,
+    zero_eliminate,
+    zero_restore,
+)
+
+__all__ = [
+    "bitshuffle",
+    "bitunshuffle",
+    "delta_encode",
+    "delta_decode",
+    "to_negabinary",
+    "from_negabinary",
+    "negabinary_mask",
+    "LosslessPipeline",
+    "PipelineConfig",
+    "zero_eliminate",
+    "zero_restore",
+    "repeat_eliminate",
+    "repeat_restore",
+    "compress_bytes",
+    "decompress_bytes",
+    "bitmap_sizes",
+    "DEFAULT_LEVELS",
+]

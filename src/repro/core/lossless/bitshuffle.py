@@ -1,0 +1,78 @@
+"""Stage L2: bit shuffle (bit-plane transposition) within a chunk.
+
+The shuffle emits the most-significant bit of every word, then the
+second-most-significant bit of every word, and so on (Figure 4).  After
+delta+negabinary, consecutive residuals share '0' bits in the same
+positions, so transposition turns them into *long runs* of zero bits --
+i.e. long runs of zero *bytes*, which stage L3 deletes.
+
+On the GPU the paper implements this at warp granularity with
+``log2(wordsize)`` register-shuffle steps; the CPU uses the same
+data layout.  Both are modeled here by a single vectorized transpose
+whose output layout is identical to the warp version, so all backends
+produce the same bytes.
+
+The word count must be a multiple of 8 so each bit-plane packs into
+whole bytes (the chunker pads the tail chunk to guarantee this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bitshuffle", "bitunshuffle"]
+
+
+def _check(words: np.ndarray) -> tuple[np.ndarray, int]:
+    words = np.ascontiguousarray(words)
+    if words.dtype == np.dtype(np.uint32):
+        width = 32
+    elif words.dtype == np.dtype(np.uint64):
+        width = 64
+    else:
+        raise TypeError(f"bit shuffle expects uint32/uint64 words, got {words.dtype}")
+    if words.size % 8:
+        raise ValueError(f"bit shuffle needs a multiple of 8 words, got {words.size}")
+    return words, width
+
+
+def bitshuffle(words: np.ndarray) -> np.ndarray:
+    """Transpose an n-word chunk into ``width`` bit-planes (MSB first).
+
+    Returns a uint8 array of the same total byte size: plane ``p`` holds
+    bit ``width-1-p`` of every word, packed 8 bits per byte in word order.
+    """
+    words, width = _check(words)
+    n = words.size
+    if n == 0:
+        return np.empty(0, dtype=np.uint8)
+    # Big-endian byte view => unpackbits yields MSB-first bits per word.
+    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
+    bits = np.unpackbits(be.view(np.uint8)).reshape(n, width)
+    return np.packbits(bits.T)
+
+
+def bitunshuffle(planes: np.ndarray, n_words: int, dtype) -> np.ndarray:
+    """Inverse of :func:`bitshuffle`.
+
+    Parameters
+    ----------
+    planes:
+        The uint8 output of :func:`bitshuffle`.
+    n_words:
+        Number of words in the original chunk (multiple of 8).
+    dtype:
+        ``np.uint32`` or ``np.uint64``.
+    """
+    dt = np.dtype(dtype)
+    width = dt.itemsize * 8
+    planes = np.ascontiguousarray(planes, dtype=np.uint8)
+    if n_words == 0:
+        return np.empty(0, dtype=dt)
+    if planes.size * 8 != n_words * width:
+        raise ValueError(
+            f"plane buffer holds {planes.size * 8} bits, expected {n_words * width}"
+        )
+    bits = np.unpackbits(planes).reshape(width, n_words)
+    packed = np.packbits(bits.T)
+    return packed.view(dt.newbyteorder(">")).astype(dt)

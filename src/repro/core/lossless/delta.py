@@ -1,0 +1,43 @@
+"""Stage L1: delta modulation with negabinary residuals.
+
+Each word is replaced by its wrapping difference from the previous word
+(the first word is kept as-is), then the residuals are recoded into
+negabinary so small residuals of either sign have leading '0' bits
+(Figure 3).  Because quantized bin numbers of smooth scientific data are
+close to each other, residuals cluster tightly around zero.
+
+The forward direction is embarrassingly parallel (each output depends on
+two inputs); the inverse is a prefix sum, which is what makes GPU
+decompression slightly slower than compression in the paper (Section
+V-C).  The device backends route the inverse through their prefix-sum
+primitives; this module provides the reference semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .negabinary import from_negabinary, to_negabinary
+
+__all__ = ["delta_encode", "delta_decode"]
+
+
+def delta_encode(words: np.ndarray) -> np.ndarray:
+    """words -> negabinary(first-difference sequence)."""
+    words = np.asarray(words)
+    if words.dtype not in (np.dtype(np.uint32), np.dtype(np.uint64)):
+        raise TypeError(f"delta stage expects uint32/uint64 words, got {words.dtype}")
+    diff = np.empty_like(words)
+    if words.size:
+        diff[0] = words[0]
+        with np.errstate(over="ignore"):
+            np.subtract(words[1:], words[:-1], out=diff[1:])
+    return to_negabinary(diff)
+
+
+def delta_decode(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`delta_encode` (wrapping prefix sum)."""
+    words = np.asarray(words)
+    diff = from_negabinary(words)
+    with np.errstate(over="ignore"):
+        return np.cumsum(diff, dtype=words.dtype)

@@ -1,0 +1,52 @@
+"""Negabinary (base -2) word recoding.
+
+Two's-complement residuals near zero split into two distant bit
+patterns: small positives (leading 0s) and small negatives (leading 1s).
+Negabinary representation fixes this: *both* small positive and small
+negative values have many leading '0' bits, so after delta coding the
+residual stream is dominated by zero bits, which the bit-shuffle and
+zero-elimination stages downstream exploit (Figure 3 of the paper).
+
+The classic branch-free conversion for a w-bit word with the alternating
+mask ``M = 0b...1010``:
+
+    to_negabinary(x)   = (x + M) ^ M
+    from_negabinary(n) = (n ^ M) - M
+
+(all arithmetic mod 2^w), which is a self-inverse pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_negabinary", "from_negabinary", "negabinary_mask"]
+
+_MASKS = {
+    np.dtype(np.uint32): np.uint32(0xAAAAAAAA),
+    np.dtype(np.uint64): np.uint64(0xAAAAAAAAAAAAAAAA),
+}
+
+
+def negabinary_mask(dtype) -> np.integer:
+    """The alternating-bit constant for ``dtype`` (uint32/uint64)."""
+    try:
+        return _MASKS[np.dtype(dtype)]
+    except KeyError:
+        raise TypeError(f"negabinary recoding needs uint32/uint64 words, got {dtype}") from None
+
+
+def to_negabinary(words: np.ndarray) -> np.ndarray:
+    """Recode two's-complement words into negabinary (element-wise)."""
+    words = np.asarray(words)
+    mask = negabinary_mask(words.dtype)
+    with np.errstate(over="ignore"):
+        return (words + mask) ^ mask
+
+
+def from_negabinary(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_negabinary`."""
+    words = np.asarray(words)
+    mask = negabinary_mask(words.dtype)
+    with np.errstate(over="ignore"):
+        return (words ^ mask) - mask

@@ -1,0 +1,155 @@
+"""Portable, IEEE-754-only implementations of ``log2`` and ``exp2``.
+
+The REL quantizer needs ``log()`` and ``pow()``.  Library implementations
+of these differ between CPUs and GPUs, which would break PFPL's bit-for-bit
+cross-device compatibility, so the paper re-implements both using *only*
+IEEE-compliant add/sub/mul/div plus integer bit manipulation (Section
+III-C).  This module reproduces that design: the functions below use no
+transcendental library calls, no FMA, and a fixed, device-independent
+evaluation order, so any backend executing them produces identical bits.
+
+The approximations are deliberately allowed to be slightly inexact: the
+quantizer immediately re-checks every reconstructed value against the
+error bound and falls back to lossless encoding when the approximation
+error pushes a value out of bounds (Section III-B).
+
+All computations run in float64 regardless of the data precision; the
+results are deterministic because every operation is an IEEE-754 basic
+operation with a defined rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log2_portable", "exp2_portable", "LN2", "SQRT2"]
+
+# ln(2) and sqrt(2) to float64 precision; written as literals so no libm
+# call is involved in producing them.
+LN2 = 0.6931471805599453
+_INV_LN2 = 1.4426950408889634  # 1/ln(2)
+SQRT2 = 1.4142135623730951
+
+_EXP_MASK64 = np.uint64(0x7FF0000000000000)
+_MANT_MASK64 = np.uint64(0x000FFFFFFFFFFFFF)
+_ONE_BITS64 = np.uint64(0x3FF0000000000000)  # bits of 1.0
+
+# atanh-series coefficients for ln(m), m in [sqrt(1/2), sqrt(2)):
+#   s = (m-1)/(m+1);  ln(m) = 2s * (1 + s^2/3 + s^4/5 + ... )
+# With |s| <= 0.1716 the truncation error of the degree-8 polynomial in
+# s^2 is below 1e-16 relative -- well inside what the bound re-check
+# tolerates.
+_LOG_COEFFS = tuple(2.0 / (2 * k + 1) for k in range(9))
+
+# Taylor coefficients 1/k! for exp(t), |t| <= ln(2)/2 ~ 0.3466.  Degree 13
+# keeps the truncation error below 1e-18.
+_EXP_COEFFS = []
+_fact = 1.0
+for _k in range(14):
+    _EXP_COEFFS.append(1.0 / _fact)
+    _fact *= float(_k + 1)
+_EXP_COEFFS = tuple(_EXP_COEFFS)
+
+
+def log2_portable(x: np.ndarray) -> np.ndarray:
+    """Base-2 logarithm of positive finite values, IEEE-basic-ops only.
+
+    Parameters
+    ----------
+    x:
+        Array of positive float64 values (callers pass ``|v|`` of nonzero
+        finite data).  Denormal inputs are handled by pre-scaling.
+
+    Returns
+    -------
+    float64 array of ``log2(x)`` accurate to ~1 ulp over the normal range.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+
+    # Normalize denormals: multiply by 2^64 and subtract 64 from the result.
+    tiny = x < 2.2250738585072014e-308  # smallest positive normal
+    with np.errstate(over="ignore"):
+        # the scaled value is only used on the tiny lanes; huge lanes may
+        # overflow in the discarded branch
+        x_work = np.where(tiny, x * 18446744073709551616.0, x)
+    e_adjust = np.where(tiny, -64.0, 0.0)
+
+    bits = x_work.view(np.uint64)
+    exp_field = ((bits & _EXP_MASK64) >> np.uint64(52)).astype(np.int64)
+    e = (exp_field - 1023).astype(np.float64)
+    m = ((bits & _MANT_MASK64) | _ONE_BITS64).view(np.float64)
+
+    # Reduce the mantissa from [1, 2) to [sqrt(1/2), sqrt(2)) so the
+    # series argument stays small; fold the halving into the exponent.
+    high = m >= SQRT2
+    m = np.where(high, m * 0.5, m)
+    e = np.where(high, e + 1.0, e)
+
+    s = (m - 1.0) / (m + 1.0)
+    s2 = s * s
+    poly = np.full_like(s, _LOG_COEFFS[-1])
+    for c in _LOG_COEFFS[-2::-1]:
+        poly = poly * s2 + c
+    ln_m = s * poly
+    np.multiply(ln_m, _INV_LN2, out=out)
+    out += e
+    out += e_adjust
+    return out
+
+
+def exp2_portable(y: np.ndarray) -> np.ndarray:
+    """Base-2 exponential, IEEE-basic-ops only.
+
+    Splits ``y = n + f`` with ``n = rint(y)`` and ``|f| <= 0.5``, evaluates
+    ``2^f = exp(f*ln2)`` by a fixed-degree Taylor polynomial, and applies
+    ``2^n`` through exponent-field bit manipulation (two factors when the
+    result lands in the denormal range).  Overflow produces ``inf`` and
+    deep underflow produces ``0.0``; the REL quantizer treats both as
+    unquantizable and stores the affected values losslessly.
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    n = np.rint(y)
+    f = y - n
+    t = f * LN2
+
+    poly = np.full_like(t, _EXP_COEFFS[-1])
+    for c in _EXP_COEFFS[-2::-1]:
+        poly = poly * t + c
+
+    # Clamp n so that intermediate scale factors are constructible; values
+    # beyond the clamp saturate to inf/0 through the final multiplies.
+    n_int = n.astype(np.int64)
+    n_int = np.clip(n_int, -2098, 2098)
+
+    # Split n into two halves so each factor's exponent stays in the
+    # normal range even when the final result is denormal or huge.
+    n_hi = n_int >> 1
+    n_lo = n_int - n_hi
+    scale_hi = _pow2_int(n_hi)
+    scale_lo = _pow2_int(n_lo)
+    with np.errstate(over="ignore"):
+        # overflow to inf is the defined saturation for huge exponents
+        return poly * scale_hi * scale_lo
+
+
+def _pow2_int(n: np.ndarray) -> np.ndarray:
+    """Exact powers of two for integer exponents in [-1074, 1024)."""
+    n = np.asarray(n, dtype=np.int64)
+    result = np.empty(n.shape, dtype=np.float64)
+
+    normal = (n >= -1022) & (n <= 1023)
+    bits = ((n + 1023).astype(np.uint64) << np.uint64(52))
+    result[...] = np.where(normal, bits.view(np.float64), 0.0)
+
+    # Denormal powers: 2^n = 2^-1022 * 2^(n+1022) via mantissa shift.
+    deno = (n < -1022) & (n >= -1074)
+    if np.any(deno):
+        shift = (np.where(deno, n, -1074) + 1074).astype(np.uint64)
+        dbits = np.uint64(1) << shift
+        result = np.where(deno, dbits.view(np.float64), result)
+
+    huge = n > 1023
+    if np.any(huge):
+        result = np.where(huge, np.float64(np.inf), result)
+    return result

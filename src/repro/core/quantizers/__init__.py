@@ -1,0 +1,48 @@
+"""PFPL's three error-bounded lossy quantizers (ABS, REL, NOA)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .absq import AbsQuantizer
+from .base import Quantizer, QuantizerStats
+from .noaq import NoaQuantizer
+from .relq import RelQuantizer
+
+__all__ = [
+    "Quantizer",
+    "QuantizerStats",
+    "AbsQuantizer",
+    "RelQuantizer",
+    "NoaQuantizer",
+    "make_quantizer",
+    "MODES",
+]
+
+MODES = {
+    "abs": AbsQuantizer,
+    "rel": RelQuantizer,
+    "noa": NoaQuantizer,
+}
+
+
+def make_quantizer(mode: str, error_bound: float, dtype=np.float32, **kwargs) -> Quantizer:
+    """Factory: build the quantizer for an error-bound ``mode``.
+
+    Parameters
+    ----------
+    mode:
+        One of ``"abs"``, ``"rel"``, ``"noa"``.
+    error_bound:
+        The point-wise bound ``eps``.
+    dtype:
+        ``np.float32`` or ``np.float64``.
+    kwargs:
+        Mode-specific extras (e.g. ``value_range=`` to rebuild a NOA
+        decoder from a stored header).
+    """
+    try:
+        cls = MODES[mode]
+    except KeyError:
+        raise ValueError(f"unknown error-bound mode {mode!r}; expected one of {sorted(MODES)}") from None
+    return cls(error_bound, dtype=dtype, **kwargs)

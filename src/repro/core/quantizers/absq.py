@@ -1,0 +1,117 @@
+"""Point-wise absolute-error (ABS) quantizer with a guaranteed bound.
+
+Encoding (Section III-A/III-B of the paper):
+
+1. ``bin = rint(v * 0.5/eps)`` computed in the data's own precision --
+   all values within ``+-eps`` of a bin center map to that bin and are
+   reconstructed to the center ``bin * 2*eps``.
+2. The encoder *immediately decodes* each bin and keeps it only when the
+   reconstruction provably satisfies ``|v - v'| <= eps``; otherwise the
+   value's raw IEEE-754 bits are emitted unchanged.
+3. Accepted bins are stored inline, in magnitude-sign format, inside the
+   *denormal* region of the encoding space (exponent field == 0).  This
+   region is free because ABS requires ``eps >= smallest normal``, so
+   every denormal input quantizes to bin 0.  Any word with a nonzero
+   exponent field is, by construction, a losslessly stored value, which
+   is how the decoder tells the two kinds of word apart without any
+   side-channel outlier list.
+
+Special values: infinities and NaNs always take the lossless path (their
+exponent field is all ones, never zero).  The bound check uses extended
+precision (float64 for float32 data, 80-bit long double for float64
+data) so a rounded difference can never hide a true violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Quantizer, as_float_array
+
+__all__ = ["AbsQuantizer"]
+
+# Extended precision used for the verify step, per input dtype.
+_VERIFY_DTYPE = {
+    np.dtype(np.float32): np.float64,
+    np.dtype(np.float64): np.longdouble,
+}
+
+
+class AbsQuantizer(Quantizer):
+    """ABS quantizer: ``|v - v'| <= eps`` for every value, guaranteed."""
+
+    mode = "abs"
+
+    def __init__(self, error_bound: float, dtype=np.float32):
+        super().__init__(error_bound, dtype)
+        lay = self.layout
+        if error_bound < lay.smallest_normal:
+            raise ValueError(
+                f"ABS/NOA error bound must be >= the smallest normal "
+                f"{lay.float_dtype} value ({lay.smallest_normal:g}); "
+                f"got {error_bound:g}"
+            )
+        fdt = lay.float_dtype.type
+        # Cast the user's bound into the data precision *rounding down*:
+        # a straight cast can round up (e.g. float32(0.1) > 0.1), which
+        # would make the encoder verify against a looser bound than the
+        # user asked for -- precisely the finite-precision trap the paper
+        # is about.
+        eps = fdt(error_bound)
+        if float(eps) > error_bound:
+            eps = np.nextafter(eps, fdt(0.0))
+        if not (eps > 0):
+            raise ValueError(
+                f"error bound {error_bound:g} underflows {lay.name}"
+            )
+        self._eps = eps
+        self._scale = fdt(0.5) / self._eps
+        self._two_eps = self._eps + self._eps
+        if not np.isfinite(self._scale) or not np.isfinite(self._two_eps):
+            raise ValueError(f"error bound {error_bound:g} not usable in {lay.name}")
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        lay = self.layout
+        v = as_float_array(values).astype(lay.float_dtype, copy=False)
+        bits = lay.to_bits(v)
+
+        # Quantize in the data precision (device arithmetic).  Overflow to
+        # inf is deliberate: such values simply fail the fits/verify check.
+        with np.errstate(over="ignore", invalid="ignore"):
+            t = v * self._scale
+            b_f = np.rint(t)
+
+        # Bins must fit the denormal range's magnitude-sign code.  The
+        # comparison also rejects NaN (False) and +-inf (too large).
+        with np.errstate(invalid="ignore"):
+            fits = np.abs(b_f) <= lay.float_dtype.type(lay.max_bin_magnitude)
+
+        b = np.where(fits, b_f, 0.0).astype(lay.int_dtype)
+        recon = b.astype(lay.float_dtype) * self._two_eps
+
+        # Verify in extended precision: the *true* difference between the
+        # original and the value the decoder will produce.
+        vdt = _VERIFY_DTYPE[lay.float_dtype]
+        diff = v.astype(vdt) - recon.astype(vdt)
+        with np.errstate(invalid="ignore"):
+            ok = fits & (np.abs(diff) <= vdt(self._eps))
+
+        words = np.where(ok, lay.magsign_encode(b), bits)
+        self._record(v.size, int(v.size - np.count_nonzero(ok)))
+        return words.astype(lay.uint_dtype)
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        lay = self.layout
+        w = np.ascontiguousarray(words, dtype=lay.uint_dtype)
+        is_bin = lay.is_denormal_range(w)
+        b = lay.magsign_decode(w)
+        # lossless lanes carry arbitrary mantissa bits; their (ignored)
+        # products may overflow harmlessly
+        with np.errstate(over="ignore"):
+            recon = b.astype(lay.float_dtype) * self._two_eps
+        out_bits = np.where(is_bin, lay.to_bits(recon), w)
+        return lay.from_bits(out_bits.astype(lay.uint_dtype))

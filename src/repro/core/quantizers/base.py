@@ -1,0 +1,104 @@
+"""Shared plumbing for the PFPL lossy quantizers.
+
+A quantizer maps an array of float32/float64 values to an equally sized
+array of machine words (``uint32``/``uint64``).  Each word is *either* an
+encoded bin number *or* the unmodified IEEE-754 bits of the original
+value (the lossless fallback that guarantees the error bound, Section
+III-B of the paper).  The inverse maps words back to floats.
+
+Quantizers are pure value transformations: they never change the number
+of elements, which is what makes them embarrassingly parallel and lets
+the lossless pipeline treat their output as an opaque word stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..floatbits import FloatLayout, layout_for
+
+__all__ = ["Quantizer", "QuantizerStats", "as_float_array"]
+
+
+def as_float_array(data: np.ndarray) -> np.ndarray:
+    """Validate and return a contiguous 1-D float32/float64 view of ``data``."""
+    arr = np.asarray(data)
+    if arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise TypeError(
+            f"PFPL operates on float32/float64 data, got dtype {arr.dtype}"
+        )
+    return np.ascontiguousarray(arr).reshape(-1)
+
+
+@dataclass
+class QuantizerStats:
+    """Bookkeeping the encoder can optionally report.
+
+    Attributes
+    ----------
+    total:
+        Number of values processed.
+    lossless:
+        Number of values stored verbatim because quantization would have
+        violated the error bound (or the bin did not fit its range).
+    """
+
+    total: int = 0
+    lossless: int = 0
+
+    @property
+    def lossless_fraction(self) -> float:
+        return self.lossless / self.total if self.total else 0.0
+
+
+class Quantizer(ABC):
+    """Base class for the ABS / REL / NOA quantizers.
+
+    Parameters
+    ----------
+    error_bound:
+        The user-supplied point-wise error bound ``eps`` (> 0).
+    dtype:
+        ``np.float32`` or ``np.float64`` -- the data precision; all
+        quantizer arithmetic runs in this precision so that the encoder
+        mirrors what a fixed-precision device implementation computes.
+    """
+
+    #: short identifier stored in the file header ("abs", "rel", "noa")
+    mode: str = ""
+
+    def __init__(self, error_bound: float, dtype=np.float32):
+        if not (error_bound > 0) or not np.isfinite(error_bound):
+            raise ValueError(f"error bound must be positive and finite, got {error_bound}")
+        self.layout: FloatLayout = layout_for(dtype)
+        self.error_bound = float(error_bound)
+        self.stats = QuantizerStats()
+
+    # -- interface ---------------------------------------------------------
+
+    @abstractmethod
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map float values to quantized words (same element count)."""
+
+    @abstractmethod
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Map quantized words back to float values."""
+
+    def header_params(self) -> dict:
+        """Extra parameters the decoder needs (stored in the file header)."""
+        return {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _record(self, total: int, lossless: int) -> None:
+        self.stats.total += int(total)
+        self.stats.lossless += int(lossless)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(error_bound={self.error_bound!r}, "
+            f"dtype={self.layout.float_dtype})"
+        )

@@ -1,0 +1,89 @@
+"""Normalized-absolute-error (NOA) quantizer.
+
+NOA is a special case of ABS (Section III-A): the effective absolute
+bound is ``eps * (max - min)`` where max/min come from a parallel
+reduction over the input.  The resulting range is recorded in the
+compressed header so decompression is embarrassingly parallel -- the
+decoder never has to re-derive it.
+
+NaNs are ignored by the reduction (the SDRBench inputs contain none);
+an all-NaN or constant input degenerates to the smallest usable ABS
+bound, which simply stores everything losslessly or as bin 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .absq import AbsQuantizer
+from .base import Quantizer, as_float_array
+
+__all__ = ["NoaQuantizer"]
+
+
+class NoaQuantizer(Quantizer):
+    """NOA quantizer: ``|v - v'| <= eps * (max - min)``, guaranteed."""
+
+    mode = "noa"
+
+    def __init__(self, error_bound: float, dtype=np.float32, value_range: float | None = None):
+        super().__init__(error_bound, dtype)
+        self._abs: AbsQuantizer | None = None
+        if value_range is not None:
+            self._bind_range(value_range)
+
+    @property
+    def value_range(self) -> float | None:
+        """max - min of the data, once known (after encode or from header)."""
+        return self._range if self._abs is not None else None
+
+    @property
+    def effective_abs_bound(self) -> float | None:
+        return self._abs.error_bound if self._abs is not None else None
+
+    def _bind_range(self, value_range: float) -> None:
+        self._range = float(value_range)
+        fdt = self.layout.float_dtype.type
+        # Effective bound computed in the data precision, then clamped
+        # *down* so it never exceeds the exact eps * range the user is
+        # entitled to (the cast/product can round up).
+        eff = fdt(self.error_bound) * fdt(self._range)
+        exact = np.longdouble(self.error_bound) * np.longdouble(self._range)
+        while np.isfinite(eff) and eff > 0 and np.longdouble(eff) > exact:
+            eff = np.nextafter(eff, fdt(0.0))
+        eff = float(eff)
+        if not np.isfinite(eff) or eff < self.layout.smallest_normal:
+            # Degenerate (constant/empty/all-NaN) input or underflow: fall
+            # back to the smallest usable ABS bound, which is strictly
+            # tighter than requested and therefore still bound-safe.
+            eff = self.layout.smallest_normal
+        self._abs = AbsQuantizer(eff, dtype=self.layout.float_dtype)
+
+    def header_params(self) -> dict:
+        if self._abs is None:
+            raise RuntimeError("NOA range unknown: encode() not called yet")
+        return {"value_range": self._range}
+
+    # -- interface ----------------------------------------------------------
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
+        if self._abs is None:
+            if v.size:
+                vmax = float(np.fmax.reduce(v))
+                vmin = float(np.fmin.reduce(v))
+                rng = vmax - vmin if np.isfinite(vmax) and np.isfinite(vmin) else 0.0
+            else:
+                rng = 0.0
+            self._bind_range(rng)
+        words = self._abs.encode(v)
+        self.stats = self._abs.stats
+        return words
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        if self._abs is None:
+            raise RuntimeError(
+                "NOA decoder needs the value range; construct with "
+                "value_range= from the compressed header"
+            )
+        return self._abs.decode(words)

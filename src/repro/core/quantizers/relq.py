@@ -1,0 +1,189 @@
+"""Point-wise relative-error (REL) quantizer with a guaranteed bound.
+
+REL quantization happens in logarithmic space (Section III-A):
+
+    bin = rint( log2(|v|) / (2 * log2(1 + eps)) )
+    |v'| = 2 ^ (bin * 2 * log2(1 + eps)),   sign(v') = sign(v)
+
+so every reconstructed value satisfies
+``|v|/(1+eps) <= |v'| <= |v|*(1+eps)`` with matching sign.  The log/exp
+evaluations use the *portable* approximations from
+:mod:`repro.core.portable_math` (IEEE basic operations only) so CPU and
+GPU backends agree bit-for-bit; approximation slack is absorbed by the
+same verify-or-store-losslessly mechanism as ABS.
+
+Bin storage (Section III-B): the denormal trick used by ABS does not
+work for REL (values near zero need *more* relative precision, not
+less), so bins are stored in the **negative NaN** region instead:
+
+* every input negative NaN is first made positive (freeing the region),
+* an accepted bin becomes a negative-NaN word whose mantissa packs the
+  value's sign bit and the zig-zag coded bin index,
+* everything else (zeros, infinities, positive NaNs, denormals or
+  values whose reconstruction fails the check) is stored losslessly,
+* finally the sign+exponent bits of *all* emitted words are inverted so
+  the frequent bin words carry leading '0' instead of leading '1' bits,
+  which the downstream lossless stages exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..portable_math import exp2_portable, log2_portable
+from .base import Quantizer, as_float_array
+
+__all__ = ["RelQuantizer"]
+
+
+class RelQuantizer(Quantizer):
+    """REL quantizer: relative error ``<= eps`` for every value, guaranteed.
+
+    ``math_impl`` selects the log/exp implementation: ``"portable"``
+    (default -- the IEEE-basic-ops approximations that make CPU and GPU
+    agree bit-for-bit) or ``"libm"`` (the platform's ``log2``/``exp2``,
+    the non-portable variant the paper compares against when quantifying
+    the cost of compatibility, Section III-C).  Both are safe: the
+    verify-and-fallback step guards either implementation.
+    """
+
+    mode = "rel"
+
+    def __init__(self, error_bound: float, dtype=np.float32, math_impl: str = "portable"):
+        super().__init__(error_bound, dtype)
+        if math_impl not in ("portable", "libm"):
+            raise ValueError(f"math_impl must be portable/libm, got {math_impl!r}")
+        self.math_impl = math_impl
+        if math_impl == "portable":
+            self._log2 = log2_portable
+            self._exp2 = exp2_portable
+        else:
+            self._log2 = np.log2
+            self._exp2 = np.exp2
+        # Log-space bin width: 2*log2(1+eps), computed with the selected
+        # log so that encoder and decoder agree exactly.
+        self._log_step = float(
+            2.0 * self._log2(np.asarray([1.0 + self.error_bound]))[0]
+        )
+        if self._log_step <= 0.0:
+            raise ValueError(
+                f"REL error bound {error_bound:g} is too small to quantize "
+                f"(1+eps rounds to 1 in float64)"
+            )
+        # Mantissa payload: ((zigzag(bin)+1) << 1) | sign  must be a valid
+        # nonzero NaN mantissa, so zigzag(bin)+1 <= mantissa_mask >> 1.
+        self._max_zigzag = (self.layout.mantissa_mask >> 1) - 1
+
+    def header_params(self) -> dict:
+        return {"log_step": self._log_step}
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        lay = self.layout
+        v = as_float_array(values).astype(lay.float_dtype, copy=False)
+        bits = lay.to_bits(v)
+
+        sign = ((bits & lay.uint(lay.sign_mask)) != lay.uint(0))
+        is_nan = lay.is_nan_bits(bits)
+        is_inf = lay.is_inf_bits(bits)
+        is_zero = lay.is_zero_bits(bits)
+
+        # Negative NaNs are made positive to free the bin region; they are
+        # the only inputs PFPL does not reproduce bit-exactly (documented
+        # behaviour -- the *value* is still NaN).
+        lossless_bits = np.where(
+            is_nan, bits & lay.uint(lay.abs_mask), bits
+        ).astype(lay.uint_dtype)
+
+        quantizable = ~(is_nan | is_inf | is_zero)
+
+        absv = np.abs(v).astype(np.float64)
+        # log2 needs strictly positive input; park excluded lanes at 1.0.
+        absv_safe = np.where(quantizable, absv, 1.0)
+        bin_f = np.rint(self._log2(absv_safe) / self._log_step)
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            recon_mag = self._exp2(bin_f * self._log_step)
+            # the cast may overflow to inf for out-of-range bins; those
+            # lanes fail the finiteness check and go lossless
+            recon = recon_mag.astype(lay.float_dtype)
+
+        bin_i = bin_f.astype(np.int64)
+        zz = _zigzag(bin_i)
+        fits = zz <= np.uint64(self._max_zigzag)
+
+        # Verify against the value the decoder will produce (recon, i.e.
+        # the float32/float64-rounded magnitude) in 80-bit precision.
+        ok = quantizable & fits & _within_rel_bound(
+            absv, recon, self.error_bound
+        )
+
+        payload = (((zz + np.uint64(1)) << np.uint64(1))
+                   | sign.astype(np.uint64)).astype(lay.uint_dtype)
+        bin_words = (
+            lay.uint(lay.sign_mask) | lay.uint(lay.exponent_mask) | payload
+        )
+
+        words = np.where(ok, bin_words, lossless_bits).astype(lay.uint_dtype)
+        self._record(v.size, int(v.size - np.count_nonzero(ok)))
+        # Invert sign+exponent bits of everything emitted.
+        return words ^ lay.uint(lay.invert_mask)
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        lay = self.layout
+        w = np.ascontiguousarray(words, dtype=lay.uint_dtype)
+        w = w ^ lay.uint(lay.invert_mask)
+
+        is_bin = lay.is_negative_nan(w)
+        payload = w & lay.uint(lay.mantissa_mask)
+        sign = (payload & lay.uint(1)) != lay.uint(0)
+        zz = (payload.astype(np.uint64) >> np.uint64(1)) - np.uint64(1)
+        # Park non-bin lanes at zigzag 0 to keep the math benign.
+        zz = np.where(is_bin, zz, np.uint64(0))
+        bin_i = _unzigzag(zz)
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            recon_mag = self._exp2(
+                bin_i.astype(np.float64) * self._log_step
+            ).astype(lay.float_dtype)
+        recon_bits = lay.to_bits(recon_mag) | np.where(
+            sign, lay.uint(lay.sign_mask), lay.uint(0)
+        ).astype(lay.uint_dtype)
+
+        out_bits = np.where(is_bin, recon_bits, w).astype(lay.uint_dtype)
+        return lay.from_bits(out_bits)
+
+
+def _zigzag(x: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned: 0,-1,1,-2,2... -> 0,1,2,3,4..."""
+    return ((x << 1) ^ (x >> 63)).astype(np.uint64)
+
+
+def _unzigzag(z: np.ndarray) -> np.ndarray:
+    z = z.astype(np.uint64)
+    return ((z >> np.uint64(1)).astype(np.int64)
+            ^ -(z & np.uint64(1)).astype(np.int64))
+
+
+def _within_rel_bound(
+    abs_original: np.ndarray, recon: np.ndarray, eps: float
+) -> np.ndarray:
+    """Check ``|v|/(1+eps) <= |v'| <= |v|*(1+eps)`` in extended precision.
+
+    ``recon`` carries the decoder-side magnitude already rounded to the
+    data dtype; the comparison itself runs in 80-bit long double so a
+    rounded quotient/product cannot mask a true violation, and requires
+    the reconstruction to be finite and nonzero (sign preservation is
+    structural: the coder re-applies the original sign bit).
+    """
+    a = abs_original.astype(np.longdouble)
+    r = np.abs(recon).astype(np.longdouble)
+    one_plus = np.longdouble(1.0) + np.longdouble(eps)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        lo_ok = a / one_plus <= r
+        hi_ok = r <= a * one_plus
+    finite = np.isfinite(recon) & (r > 0)
+    return lo_ok & hi_ok & finite

@@ -1,0 +1,31 @@
+"""Synthetic SDRBench-like datasets (Table II substitution)."""
+
+from .sdrbench import (
+    SUITES,
+    Suite,
+    double_suites,
+    load_suite,
+    single_suites,
+    suite_names,
+)
+from .synthesis import (
+    brownian_walk,
+    gaussian_mixture_series,
+    particle_data,
+    spectral_field,
+    wavefunction_field,
+)
+
+__all__ = [
+    "SUITES",
+    "Suite",
+    "load_suite",
+    "suite_names",
+    "single_suites",
+    "double_suites",
+    "spectral_field",
+    "particle_data",
+    "wavefunction_field",
+    "brownian_walk",
+    "gaussian_mixture_series",
+]

@@ -1,0 +1,152 @@
+"""SDRBench-like suite registry (Table II of the paper).
+
+Each suite mirrors its SDRBench counterpart's dtype, dimensionality and
+statistical character, scaled down so the full benchmark grid runs in
+minutes (see DESIGN.md).  ``Suite.full_spec`` records the paper's
+original file counts/dimensions for the Table II reproduction.
+
+Usage::
+
+    from repro.datasets import load_suite, SUITES
+    fields = load_suite("NYX")          # list of (name, ndarray)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .synthesis import (
+    brownian_walk,
+    gaussian_mixture_series,
+    particle_data,
+    spectral_field,
+    wavefunction_field,
+)
+
+__all__ = ["Suite", "SUITES", "load_suite", "suite_names", "single_suites", "double_suites"]
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One input suite: generator + Table II metadata."""
+
+    name: str
+    description: str
+    dtype: np.dtype
+    #: paper metadata (Table II): file count, dims string, size MB
+    full_files: int
+    full_dims: str
+    full_size_mb: str
+    #: True when the fields are 3-D grids (SPERR/FZ-GPU need 3-D input)
+    is_3d: bool
+    #: generator: (field_index) -> ndarray
+    make: Callable[[int], np.ndarray]
+    #: number of (scaled-down) files generated per suite
+    n_files: int = 3
+
+
+def _cesm(i: int) -> np.ndarray:
+    # Climate: very smooth horizontal structure, 26 vertical levels.
+    return spectral_field((13, 90, 180), beta=5.5 + 0.3 * (i % 3), seed=100 + i,
+                          dtype=np.float32, amplitude=50.0, offset=250.0)
+
+
+def _exaalt(i: int) -> np.ndarray:
+    # Molecular dynamics copper: 2D (attribute x atom) coordinate tables.
+    kind = "position" if i % 2 == 0 else "velocity"
+    return particle_data(220_000, kind=kind, seed=200 + i, dtype=np.float32)
+
+
+def _hurricane(i: int) -> np.ndarray:
+    return spectral_field((25, 125, 125), beta=4.5 + 0.4 * (i % 2), seed=300 + i,
+                          dtype=np.float32, amplitude=30.0)
+
+
+def _hacc(i: int) -> np.ndarray:
+    kind = "position" if i < 3 else "velocity"
+    return particle_data(300_000, kind=kind, seed=400 + i, dtype=np.float32)
+
+
+def _nyx(i: int) -> np.ndarray:
+    # Cosmology boxes: log-normal-ish density => exponentiate a smooth field.
+    f = spectral_field((64, 64, 64), beta=4.0, seed=500 + i, dtype=np.float64)
+    out = np.exp(f * (1.5 if i % 2 else 0.8)) * 10.0 ** (i % 3)
+    return out.astype(np.float32)
+
+
+def _scale(i: int) -> np.ndarray:
+    return spectral_field((25, 100, 100), beta=5.0, seed=600 + i,
+                          dtype=np.float32, amplitude=10.0, offset=0.0)
+
+
+def _qmcpack(i: int) -> np.ndarray:
+    return wavefunction_field((60, 69, 69), seed=700 + i, dtype=np.float32)
+
+
+def _nwchem(i: int) -> np.ndarray:
+    return gaussian_mixture_series(400_000, seed=800 + i, dtype=np.float64)
+
+
+def _miranda(i: int) -> np.ndarray:
+    return spectral_field((32, 96, 96), beta=6.0, seed=900 + i,
+                          dtype=np.float64, amplitude=1.0, offset=3.0)
+
+
+def _brown(i: int) -> np.ndarray:
+    return brownian_walk(300_000, seed=1000 + i, dtype=np.float64)
+
+
+SUITES: dict[str, Suite] = {
+    s.name: s
+    for s in [
+        Suite("CESM-ATM", "Climate", np.dtype(np.float32), 33, "26 x 1800 x 3600", "674", True, _cesm),
+        Suite("EXAALT", "Molecular Dyn.", np.dtype(np.float32), 6, "Various 2D", "68 to 358", False, _exaalt),
+        Suite("Hurricane", "Weather Sim.", np.dtype(np.float32), 13, "100 x 500 x 500", "100", True, _hurricane),
+        Suite("HACC", "Cosmology", np.dtype(np.float32), 6, "280,953,867", "1124", False, _hacc),
+        Suite("NYX", "Cosmology", np.dtype(np.float32), 6, "512 x 512 x 512", "537", True, _nyx),
+        Suite("SCALE", "Climate", np.dtype(np.float32), 12, "98 x 1200 x 1200", "564", True, _scale),
+        Suite("QMCPACK", "Quantum MC", np.dtype(np.float32), 2, "33,120 x 69 x 69", "631", True, _qmcpack, n_files=2),
+        Suite("NWChem", "Molecular Dyn.", np.dtype(np.float64), 1, "102,953,248", "824", False, _nwchem, n_files=1),
+        Suite("Miranda", "Hydrodynamics", np.dtype(np.float64), 7, "256 x 384 x 384", "302", True, _miranda),
+        Suite("Brown", "Synthetic", np.dtype(np.float64), 3, "33,554,433", "268", False, _brown),
+    ]
+}
+
+_CACHE: dict[tuple[str, int], np.ndarray] = {}
+
+
+def load_suite(name: str, n_files: int | None = None) -> list[tuple[str, np.ndarray]]:
+    """Generate (deterministically, cached) the fields of one suite."""
+    suite = SUITES[name]
+    count = n_files if n_files is not None else suite.n_files
+    fields = []
+    for i in range(count):
+        key = (name, i)
+        if key not in _CACHE:
+            _CACHE[key] = suite.make(i)
+        fields.append((f"{name.lower()}_{i}", _CACHE[key]))
+    return fields
+
+
+def suite_names() -> list[str]:
+    return list(SUITES)
+
+
+def single_suites(require_3d: bool = False) -> list[str]:
+    """Single-precision suites; optionally only the 3-D ones.
+
+    The paper's ABS/NOA sections exclude EXAALT and HACC "because they
+    are not 3D" (Sections V-B, V-D); ``require_3d=True`` reproduces that
+    selection.
+    """
+    return [
+        n for n, s in SUITES.items()
+        if s.dtype == np.dtype(np.float32) and (s.is_3d or not require_3d)
+    ]
+
+
+def double_suites() -> list[str]:
+    return [n for n, s in SUITES.items() if s.dtype == np.dtype(np.float64)]

@@ -1,0 +1,139 @@
+"""Synthetic scientific-field generators.
+
+The paper evaluates on SDRBench [30, 37] -- real simulation outputs that
+are "quite smooth, centered around zero, and contain no denormals, NaNs,
+or infinities" (Section III-D).  These generators reproduce those
+statistical properties per domain so the compressors see the same kind
+of structure (see DESIGN.md's substitution table):
+
+* :func:`spectral_field` -- Gaussian random fields with a power-law
+  spectrum ``P(k) ~ k^-beta`` (climate / hydro / cosmology grids);
+  larger ``beta`` means smoother data;
+* :func:`particle_data` -- N-body style per-particle coordinates
+  (spatially sorted positions + thermal velocities), as in HACC/EXAALT;
+* :func:`wavefunction_field` -- localized oscillatory orbitals, as in
+  QMCPACK;
+* :func:`brownian_walk` -- integrated white noise (the "Brown samples"
+  suite is literally Brownian noise);
+* :func:`gaussian_mixture_series` -- long 1-D state vectors with
+  heterogeneous scales (NWChem-like).
+
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spectral_field",
+    "particle_data",
+    "wavefunction_field",
+    "brownian_walk",
+    "gaussian_mixture_series",
+]
+
+
+def spectral_field(
+    shape: tuple[int, ...],
+    beta: float = 3.0,
+    seed: int = 0,
+    dtype=np.float32,
+    amplitude: float = 1.0,
+    offset: float = 0.0,
+) -> np.ndarray:
+    """Smooth random field with isotropic power-law spectrum.
+
+    ``beta`` controls smoothness (climate fields ~3-4, turbulence ~5/3).
+    The field is synthesized in Fourier space with unit-variance complex
+    noise shaped by ``k^(-beta/2)`` and transformed back.
+    """
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*(np.fft.fftfreq(n) * n for n in shape), indexing="ij")
+    k2 = np.zeros(shape, dtype=np.float64)
+    for g in grids:
+        k2 += g * g
+    k2[(0,) * len(shape)] = 1.0  # silence the DC mode
+    filt = k2 ** (-beta / 4.0)
+    filt[(0,) * len(shape)] = 0.0
+
+    noise = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    field = np.fft.ifftn(noise * filt).real
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return (offset + amplitude * field).astype(dtype)
+
+
+def particle_data(
+    n: int,
+    kind: str = "position",
+    seed: int = 0,
+    dtype=np.float32,
+    box: float = 256.0,
+) -> np.ndarray:
+    """HACC-style per-particle arrays.
+
+    ``position``: particles clustered along a space-filling order, so
+    consecutive values are close (the locality HACC files exhibit);
+    ``velocity``: bulk flow plus thermal noise -- much harder to
+    compress, as in the real suite.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "position":
+        # Sorted base positions + small displacement: nearby particles
+        # stay nearby in file order.
+        base = np.sort(rng.uniform(0.0, box, n))
+        disp = rng.normal(0.0, box / max(n, 1) * 8.0, n)
+        return (base + disp).astype(dtype)
+    if kind == "velocity":
+        bulk = np.cumsum(rng.normal(0.0, 0.02, n))  # large-scale flow
+        thermal = rng.normal(0.0, 50.0, n)
+        return (bulk * 20.0 + thermal).astype(dtype)
+    raise ValueError(f"unknown particle array kind {kind!r}")
+
+
+def wavefunction_field(
+    shape: tuple[int, ...], seed: int = 0, dtype=np.float32, n_orbitals: int = 6
+) -> np.ndarray:
+    """QMCPACK-like orbitals: localized Gaussians times oscillations."""
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *(np.linspace(-1.0, 1.0, n) for n in shape), indexing="ij"
+    )
+    out = np.zeros(shape, dtype=np.float64)
+    for _ in range(n_orbitals):
+        center = rng.uniform(-0.6, 0.6, len(shape))
+        width = rng.uniform(0.1, 0.4)
+        freq = rng.uniform(2.0, 12.0, len(shape))
+        phase = rng.uniform(0, 2 * np.pi)
+        r2 = np.zeros(shape, dtype=np.float64)
+        wave = np.full(shape, phase, dtype=np.float64)
+        for c, g, f in zip(center, coords, freq):
+            r2 += (g - c) ** 2
+            wave += f * g
+        out += np.exp(-r2 / (2 * width**2)) * np.cos(wave)
+    return out.astype(dtype)
+
+
+def brownian_walk(
+    n: int, seed: int = 0, dtype=np.float64, step_std: float = 1.0
+) -> np.ndarray:
+    """Brownian noise: cumulative sum of Gaussian steps (Brown samples)."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(0.0, step_std, n)).astype(dtype)
+
+
+def gaussian_mixture_series(
+    n: int, seed: int = 0, dtype=np.float64, n_segments: int = 32
+) -> np.ndarray:
+    """NWChem-like state vector: smooth segments at heterogeneous scales."""
+    rng = np.random.default_rng(seed)
+    bounds = np.linspace(0, n, n_segments + 1).astype(np.int64)
+    out = np.empty(n, dtype=np.float64)
+    for s in range(n_segments):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        scale = 10.0 ** rng.uniform(-6, 2)
+        seg = np.cumsum(rng.normal(0.0, 0.05, hi - lo)) * scale
+        out[lo:hi] = seg + rng.normal(0.0, scale * 1e-3, hi - lo)
+    return out.astype(dtype)

@@ -1,0 +1,74 @@
+"""Device substrate: backends, specs, schedulers, and the timing model."""
+
+from .backend import (
+    BACKENDS,
+    Backend,
+    GpuSimBackend,
+    SerialBackend,
+    ThreadedBackend,
+    get_backend,
+)
+from .profile import PipelineProfile, StageProfile, profile_chunk
+from .prefix_sum import (
+    blelloch_scan,
+    carry_array_scan,
+    decoupled_lookback_scan,
+    exclusive_scan_reference,
+)
+from .scheduler import ScheduleResult, dynamic_schedule, static_schedule
+from .spec import (
+    A100,
+    ALL_DEVICES,
+    ALL_GPUS,
+    RTX_2070_SUPER,
+    RTX_3080_TI,
+    RTX_4090,
+    SYSTEM1,
+    SYSTEM2,
+    THREADRIPPER_2950X,
+    TITAN_XP,
+    XEON_6226R,
+    DeviceSpec,
+    SystemSpec,
+)
+from .timing import COST_MODELS, CostModel, dram_utilization, modeled_throughput
+from .warp import butterfly_transpose, warp_bitshuffle, warp_bitunshuffle
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "GpuSimBackend",
+    "get_backend",
+    "BACKENDS",
+    "DeviceSpec",
+    "SystemSpec",
+    "SYSTEM1",
+    "SYSTEM2",
+    "THREADRIPPER_2950X",
+    "XEON_6226R",
+    "RTX_4090",
+    "A100",
+    "TITAN_XP",
+    "RTX_2070_SUPER",
+    "RTX_3080_TI",
+    "ALL_DEVICES",
+    "ALL_GPUS",
+    "CostModel",
+    "COST_MODELS",
+    "modeled_throughput",
+    "dram_utilization",
+    "PipelineProfile",
+    "StageProfile",
+    "profile_chunk",
+    "blelloch_scan",
+    "carry_array_scan",
+    "decoupled_lookback_scan",
+    "exclusive_scan_reference",
+    "ScheduleResult",
+    "dynamic_schedule",
+    "static_schedule",
+    "butterfly_transpose",
+    "warp_bitshuffle",
+    "warp_bitunshuffle",
+]

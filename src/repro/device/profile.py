@@ -1,0 +1,136 @@
+"""Per-stage profiling: where do the bytes and operations go?
+
+Backs the Section V-F profiling discussion: PFPL "reads the input from
+main memory only once, performs most of the work while the data resides
+in shared memory, then writes the output to main memory once", spending
+the bulk of its cycles on integer work in the middle stages.  This
+module runs a chunk through the pipeline stage by stage, recording each
+stage's input/output bytes and an operation estimate, then derives the
+DRAM-traffic story the paper tells (fused vs. unfused execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.lossless.bitshuffle import bitshuffle
+from ..core.lossless.delta import delta_encode
+from ..core.lossless.zerobyte import compress_bytes
+from ..core.quantizers import make_quantizer
+
+__all__ = ["StageProfile", "PipelineProfile", "profile_chunk"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One stage's traffic and work estimate."""
+
+    name: str
+    bytes_in: int
+    bytes_out: int
+    #: estimated simple (integer/float) operations executed
+    ops: int
+
+    @property
+    def ops_per_byte(self) -> float:
+        return self.ops / max(1, self.bytes_in)
+
+
+@dataclass
+class PipelineProfile:
+    """Whole-pipeline profile for one chunk."""
+
+    stages: list[StageProfile] = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.stages)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.stages[0].bytes_in if self.stages else 0
+
+    @property
+    def output_bytes(self) -> int:
+        return self.stages[-1].bytes_out if self.stages else 0
+
+    def dram_traffic(self, fused: bool = True) -> int:
+        """Main-memory bytes moved.
+
+        Fused (PFPL): read the input once + write the final output once;
+        everything between lives in shared memory / L1 (Section III-E).
+        Unfused: every stage round-trips through DRAM.
+        """
+        if fused:
+            return self.input_bytes + self.output_bytes
+        total = 0
+        for s in self.stages:
+            total += s.bytes_in + s.bytes_out
+        return total
+
+    @property
+    def compute_intensity(self) -> float:
+        """ops per DRAM byte under fusion -- high => compute bound."""
+        return self.total_ops / max(1, self.dram_traffic(fused=True))
+
+    def render(self) -> str:
+        lines = [f"  {'stage':<14} {'in bytes':>9} {'out bytes':>10} "
+                 f"{'ops':>10} {'ops/B':>7}"]
+        for s in self.stages:
+            lines.append(
+                f"  {s.name:<14} {s.bytes_in:>9,} {s.bytes_out:>10,} "
+                f"{s.ops:>10,} {s.ops_per_byte:>7.1f}"
+            )
+        lines.append(
+            f"  DRAM traffic: fused {self.dram_traffic(True):,} B vs "
+            f"unfused {self.dram_traffic(False):,} B "
+            f"({self.dram_traffic(False) / max(1, self.dram_traffic(True)):.1f}x)"
+        )
+        return "\n".join(lines)
+
+
+def profile_chunk(
+    values: np.ndarray, mode: str = "abs", error_bound: float = 1e-3
+) -> PipelineProfile:
+    """Profile one chunk of float data through quantize + L1 + L2 + L3.
+
+    Operation estimates count the arithmetic a scalar implementation
+    would execute (the paper's kernels are these loops, vectorized):
+    quantizer ~6 ops/value (mul, round, convert, mul, sub, compare),
+    delta+negabinary ~3 ops/word, bit shuffle ~log2(w) ops/word,
+    zero elimination ~2 ops/byte + bitmap iterations.
+    """
+    values = np.ascontiguousarray(values).reshape(-1)
+    quantizer = make_quantizer(mode, error_bound, dtype=values.dtype)
+    n = values.size
+    word_bytes = values.dtype.itemsize
+    width = word_bytes * 8
+
+    profile = PipelineProfile()
+
+    words = quantizer.encode(values)
+    profile.stages.append(StageProfile(
+        f"quantize[{mode}]", n * word_bytes, n * word_bytes,
+        ops=6 * n if mode != "rel" else 40 * n,  # REL pays for log2/exp2
+    ))
+
+    delta = delta_encode(words)
+    profile.stages.append(StageProfile(
+        "delta+negabin", n * word_bytes, n * word_bytes, ops=3 * n,
+    ))
+
+    pad = (-n) % 8
+    padded = np.concatenate([delta, np.zeros(pad, dtype=delta.dtype)]) if pad else delta
+    planes = bitshuffle(padded)
+    profile.stages.append(StageProfile(
+        "bitshuffle", padded.size * word_bytes, planes.size,
+        ops=int(np.log2(width)) * padded.size,
+    ))
+
+    blob = compress_bytes(planes)
+    profile.stages.append(StageProfile(
+        "zero-elim", planes.size, len(blob), ops=2 * planes.size + planes.size // 2,
+    ))
+    return profile

@@ -1,0 +1,86 @@
+"""Dynamic chunk scheduling (Section III-E).
+
+"Since not all chunks are equally compressible, we dynamically assign
+the chunks to the threads or thread blocks to improve the load balance."
+
+This module simulates that: workers pull the next chunk off a shared
+counter the moment they finish their current one.  It returns both the
+assignment (used by the threaded backend for work-ordering) and the
+simulated makespan (used by the timing model to quantify the benefit of
+dynamic over static assignment -- an ablation the paper motivates).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ScheduleResult", "dynamic_schedule", "static_schedule"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling ``n`` chunks over ``w`` workers."""
+
+    assignment: np.ndarray        #: worker index per chunk
+    start_times: np.ndarray       #: simulated start time per chunk
+    worker_finish: np.ndarray     #: per-worker total busy time
+    order: list[int] = field(default_factory=list)  #: execution order
+
+    @property
+    def makespan(self) -> float:
+        return float(self.worker_finish.max()) if self.worker_finish.size else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean worker time (1.0 = perfectly balanced)."""
+        if not self.worker_finish.size:
+            return 1.0
+        mean = float(self.worker_finish.mean())
+        return self.makespan / mean if mean > 0 else 1.0
+
+
+def dynamic_schedule(costs: np.ndarray, n_workers: int) -> ScheduleResult:
+    """Greedy pull-based scheduling: idle worker takes the next chunk.
+
+    Chunks are consumed in index order (the shared atomic counter), so
+    the result is deterministic given the costs.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = costs.size
+    n_workers = max(1, n_workers)
+    assignment = np.zeros(n, dtype=np.int64)
+    start_times = np.zeros(n, dtype=np.float64)
+    finish = np.zeros(n_workers, dtype=np.float64)
+    order: list[int] = []
+
+    # (available_time, worker) heap: the earliest-free worker claims next.
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    for i in range(n):
+        t, w = heapq.heappop(heap)
+        assignment[i] = w
+        start_times[i] = t
+        t2 = t + float(costs[i])
+        finish[w] = t2
+        heapq.heappush(heap, (t2, w))
+        order.append(i)
+    return ScheduleResult(assignment, start_times, finish, order)
+
+
+def static_schedule(costs: np.ndarray, n_workers: int) -> ScheduleResult:
+    """Blocked static assignment (the baseline dynamic scheduling beats)."""
+    costs = np.asarray(costs, dtype=np.float64)
+    n = costs.size
+    n_workers = max(1, n_workers)
+    per = (n + n_workers - 1) // n_workers if n else 0
+    assignment = np.minimum(np.arange(n) // max(1, per), n_workers - 1)
+    finish = np.zeros(n_workers, dtype=np.float64)
+    start_times = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        w = int(assignment[i])
+        start_times[i] = finish[w]
+        finish[w] += float(costs[i])
+    return ScheduleResult(assignment, start_times, finish, list(range(n)))

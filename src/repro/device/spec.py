@@ -1,0 +1,128 @@
+"""Hardware specifications of the paper's evaluation devices.
+
+Table I describes the two systems; Section V-F adds three more GPU
+generations.  These specs feed the analytic throughput model in
+:mod:`repro.device.timing`: the paper observes that PFPL's performance
+"correlates primarily with the amount of compute provided by the GPU"
+(it is *not* memory bound -- only ~15% DRAM utilization on the A100),
+so the model is compute-centric with a memory-bandwidth roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "SystemSpec",
+    "THREADRIPPER_2950X",
+    "XEON_6226R",
+    "RTX_4090",
+    "A100",
+    "TITAN_XP",
+    "RTX_2070_SUPER",
+    "RTX_3080_TI",
+    "SYSTEM1",
+    "SYSTEM2",
+    "ALL_DEVICES",
+    "ALL_GPUS",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One CPU or GPU, reduced to what the throughput model needs."""
+
+    name: str
+    kind: str                 #: "cpu" or "gpu"
+    clock_ghz: float          #: sustained clock (boost for GPUs, base for CPUs)
+    parallel_units: int       #: CPU cores or GPU SMs
+    #: *integer-throughput* lanes per unit.  PFPL is integer-dominated
+    #: (Section V-F), and on Ampere/Ada the marketing "CUDA cores per SM"
+    #: double-count FP32 pipes: only 64 INT32 lanes exist per SM.
+    lanes_per_unit: int
+    mem_bandwidth_gbs: float  #: peak main-memory bandwidth
+    max_threads_per_block: int = 0  #: GPU occupancy limit (Section V-F)
+    #: per-lane efficiency on integer-heavy kernels (Pascal shares one
+    #: pipe between FP and INT, so its nominal lanes overstate integer
+    #: throughput)
+    arch_efficiency: float = 1.0
+    #: marketing CUDA cores per SM (display only; Table I reproduction)
+    cuda_cores_per_sm: int = 0
+
+    @property
+    def compute_glops(self) -> float:
+        """Aggregate simple-op throughput in G ops/s (units*lanes*clock)."""
+        return (self.parallel_units * self.lanes_per_unit * self.clock_ghz
+                * self.arch_efficiency)
+
+    @property
+    def occupancy(self) -> float:
+        """Occupancy derate for GPUs with small thread-block limits.
+
+        The paper notes the RTX 2070 Super's 1024-thread block limit cuts
+        its resident-block count enough to drop it to TITAN Xp levels.
+        """
+        if self.kind != "gpu" or self.max_threads_per_block >= 1536:
+            return 1.0
+        return 0.82
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A Table-I system: one CPU paired with one GPU."""
+
+    name: str
+    cpu: DeviceSpec
+    gpu: DeviceSpec
+
+
+# -- CPUs (Table I) ----------------------------------------------------------
+
+THREADRIPPER_2950X = DeviceSpec(
+    name="Threadripper 2950X", kind="cpu", clock_ghz=3.5,
+    parallel_units=16, lanes_per_unit=8, mem_bandwidth_gbs=85.0,
+)
+
+XEON_6226R = DeviceSpec(
+    name="Xeon Gold 6226R (2S)", kind="cpu", clock_ghz=2.9,
+    parallel_units=32, lanes_per_unit=8, mem_bandwidth_gbs=140.0,
+)
+
+# -- GPUs (Table I + Section V-F) --------------------------------------------
+
+RTX_4090 = DeviceSpec(
+    name="RTX 4090", kind="gpu", clock_ghz=2.5,
+    parallel_units=128, lanes_per_unit=64, mem_bandwidth_gbs=1008.0,
+    max_threads_per_block=1536, cuda_cores_per_sm=128,
+)
+
+A100 = DeviceSpec(
+    name="A100", kind="gpu", clock_ghz=1.4,
+    parallel_units=108, lanes_per_unit=64, mem_bandwidth_gbs=1555.0,
+    max_threads_per_block=2048, cuda_cores_per_sm=64,
+)
+
+TITAN_XP = DeviceSpec(
+    name="TITAN Xp", kind="gpu", clock_ghz=1.58,
+    parallel_units=30, lanes_per_unit=128, mem_bandwidth_gbs=547.0,
+    max_threads_per_block=2048, arch_efficiency=0.6, cuda_cores_per_sm=128,
+)
+
+RTX_2070_SUPER = DeviceSpec(
+    name="RTX 2070 Super", kind="gpu", clock_ghz=1.77,
+    parallel_units=40, lanes_per_unit=64, mem_bandwidth_gbs=448.0,
+    max_threads_per_block=1024, cuda_cores_per_sm=64,
+)
+
+RTX_3080_TI = DeviceSpec(
+    name="RTX 3080 Ti", kind="gpu", clock_ghz=1.67,
+    parallel_units=80, lanes_per_unit=64, mem_bandwidth_gbs=912.0,
+    max_threads_per_block=1536, cuda_cores_per_sm=128,
+)
+
+SYSTEM1 = SystemSpec("System 1", cpu=THREADRIPPER_2950X, gpu=RTX_4090)
+SYSTEM2 = SystemSpec("System 2", cpu=XEON_6226R, gpu=A100)
+
+ALL_GPUS = (RTX_4090, A100, TITAN_XP, RTX_2070_SUPER, RTX_3080_TI)
+ALL_DEVICES = (THREADRIPPER_2950X, XEON_6226R) + ALL_GPUS

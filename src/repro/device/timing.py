@@ -1,0 +1,220 @@
+"""Analytic throughput model for every compressor/device pair.
+
+Pure Python cannot reach the paper's 423 GB/s, so absolute throughputs
+in the reproduced figures come from a roofline-style cost model (see
+DESIGN.md, substitution table):
+
+    throughput = min( compute_units * clock / cycles_per_byte,
+                      mem_bandwidth * streaming_efficiency )
+
+with per-compressor ``cycles_per_byte`` constants *calibrated from the
+paper's own reported numbers and ratios* (each constant's provenance is
+noted next to it).  The paper's profiling observations anchor the model:
+PFPL is compute-bound ("we only utilize 15% of the available DRAM
+throughput while using the majority of the available compute power",
+Section V-F), which is why the GPU ranking follows compute, not
+bandwidth, across the five GPUs of Section V-F.
+
+Wall-clock measurements of the Python implementations (benchmarks/) are
+reported separately; the *shape* claims (who wins, crossovers) are
+asserted against both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import DeviceSpec
+
+__all__ = ["CostModel", "modeled_throughput", "COST_MODELS", "dram_utilization"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-compressor cost constants (cycles per uncompressed byte).
+
+    ``None`` marks an unsupported device class (Table III's CPU/GPU
+    columns).  ``*_d`` are decompression constants.  ``bound_decade``
+    multiplies cost per decade of error-bound tightening below 1e-1
+    (tighter bounds quantize into more, bigger residual bits and slow
+    most coders down -- "the throughput of the various compressors
+    decreases with smaller error bounds", Section V-B).
+    ``double_factor`` scales cost on float64 data.
+    """
+
+    name: str
+    cpu_cpb_c: float | None = None
+    cpu_cpb_d: float | None = None
+    gpu_cpb_c: float | None = None
+    gpu_cpb_d: float | None = None
+    bound_decade_c: float = 1.0
+    bound_decade_d: float = 1.0
+    double_factor_c: float = 1.0
+    double_factor_d: float = 1.0
+    parallel_efficiency: float = 0.85
+    serial_only_cpu: bool = False
+    mem_stream_efficiency: float = 0.75
+
+
+def modeled_throughput(
+    model: CostModel,
+    device: DeviceSpec,
+    direction: str = "compress",
+    error_bound: float = 1e-3,
+    dtype_bytes: int = 4,
+    parallel: bool = True,
+) -> float | None:
+    """Modeled throughput in GB/s of *uncompressed* data, or None.
+
+    Returns ``None`` when the compressor does not support the device
+    class (or parallel CPU execution was requested for a serial-only
+    code) -- mirroring the support matrix of Table III.
+    """
+    if direction not in ("compress", "decompress"):
+        raise ValueError(f"direction must be compress/decompress, got {direction!r}")
+    comp = direction == "compress"
+
+    if device.kind == "cpu":
+        cpb = model.cpu_cpb_c if comp else model.cpu_cpb_d
+    else:
+        cpb = model.gpu_cpb_c if comp else model.gpu_cpb_d
+    if cpb is None:
+        return None
+    if device.kind == "cpu" and parallel and model.serial_only_cpu:
+        return None
+
+    # Error-bound sensitivity: decades below the coarsest tested bound.
+    import math
+
+    decades = max(0.0, math.log10(1e-1 / error_bound))
+    cpb = cpb * (model.bound_decade_c if comp else model.bound_decade_d) ** decades
+    if dtype_bytes == 8:
+        cpb = cpb * (model.double_factor_c if comp else model.double_factor_d)
+
+    if device.kind == "cpu":
+        units = device.parallel_units if parallel else 1
+        eff = model.parallel_efficiency if parallel and units > 1 else 1.0
+        glops = units * device.lanes_per_unit * device.clock_ghz * eff
+    else:
+        glops = device.compute_glops * device.occupancy
+
+    compute_gbs = glops / cpb
+    mem_gbs = device.mem_bandwidth_gbs * model.mem_stream_efficiency
+    return min(compute_gbs, mem_gbs)
+
+
+def dram_utilization(
+    model: CostModel, device: DeviceSpec, direction: str = "compress",
+    error_bound: float = 1e-3, dtype_bytes: int = 4,
+) -> float | None:
+    """Fraction of peak DRAM bandwidth a fused single-pass kernel uses.
+
+    PFPL reads the input once and writes the (smaller) output once, so
+    its DRAM traffic is ~1.2x the input size; utilization is that traffic
+    rate over peak bandwidth.  Reproduces the Section V-F profiling
+    observation (~15% on the A100, a little higher on the RTX 4090).
+    """
+    tp = modeled_throughput(model, device, direction, error_bound, dtype_bytes)
+    if tp is None:
+        return None
+    traffic_per_byte = 1.2  # read input once + write compressed output
+    return tp * traffic_per_byte / device.mem_bandwidth_gbs
+
+
+# ---------------------------------------------------------------------------
+# Calibrated constants.  Reference integer-lane-op rates: RTX 4090 = 20480
+# Glops (128 SMs x 64 INT lanes x 2.5 GHz), A100 = 9676 Glops,
+# Threadripper 2950X = 448 Glops (16 cores x 8 SIMD lanes x 3.5 GHz).
+# ---------------------------------------------------------------------------
+
+COST_MODELS = {
+    # PFPL: 423 GB/s GPU compression @1e-3 (Sec. V-B) with the RTX 4090's
+    # 20480 G int-lane-ops/s => ~48.5 cycles/byte; 446 @1e-1 => ~1.8%/decade;
+    # decompression 327-344 GB/s => ~61.
+    # CPU OMP 5 GB/s on the 2950X => 448*0.85/5 ~ 76; CPU decompression is
+    # faster than compression on the CPU (Sec. V-C) => ~64.
+    "PFPL": CostModel(
+        name="PFPL",
+        cpu_cpb_c=76.0, cpu_cpb_d=64.0,
+        gpu_cpb_c=48.5, gpu_cpb_d=61.0,
+        bound_decade_c=1.018, bound_decade_d=1.015,
+        double_factor_c=1.1, double_factor_d=1.15,
+        parallel_efficiency=0.85,
+    ),
+    # SZ2: serial CPU only; PFPL_OMP compresses 41.4x faster (Sec. V-C)
+    # => 5/41.4 ~ 0.12 GB/s on 16 cores-worth... SZ2 is serial: 0.12 GB/s
+    # => 28*... anchored at 0.12 GB/s serial => 448/16/0.12 ~ 233 cpb*lane
+    # folded into cpu_cpb_c for a single core with SIMD idle (lanes
+    # counted anyway): 28*8 = 233.  Strong bound sensitivity (Huffman
+    # tree deepens).
+    "SZ2": CostModel(
+        name="SZ2",
+        cpu_cpb_c=233.0, cpu_cpb_d=190.0,
+        bound_decade_c=1.12, bound_decade_d=1.10,
+        double_factor_c=1.2, double_factor_d=1.2,
+        serial_only_cpu=True,
+    ),
+    # SZ3 serial: best ratios, "limited throughput"; a bit slower than SZ2.
+    "SZ3": CostModel(
+        name="SZ3",
+        cpu_cpb_c=280.0, cpu_cpb_d=210.0,
+        bound_decade_c=1.12, bound_decade_d=1.10,
+        double_factor_c=1.2, double_factor_d=1.2,
+        serial_only_cpu=True,
+    ),
+    # SZ3 OpenMP: PFPL_OMP is 7.1x faster on ABS (Sec. V-B) and 4.4x on
+    # NOA (Sec. V-D) => ~0.7-1.1 GB/s; decompression ~5x slower than
+    # PFPL_OMP (Sec. V-D).
+    "SZ3_OMP": CostModel(
+        name="SZ3_OMP",
+        cpu_cpb_c=540.0, cpu_cpb_d=320.0,
+        bound_decade_c=1.08, bound_decade_d=1.07,
+        double_factor_c=1.2, double_factor_d=1.2,
+        parallel_efficiency=0.75,
+    ),
+    # ZFP: serial results only (parallel decompression unsupported); its
+    # compression throughput reaches PFPL_Serial at the coarsest REL
+    # bound (Sec. V-C): PFPL serial ~ 448/16/76*8... anchored ~0.37 GB/s.
+    "ZFP": CostModel(
+        name="ZFP",
+        cpu_cpb_c=76.0, cpu_cpb_d=70.0,
+        bound_decade_c=1.06, bound_decade_d=1.05,
+        double_factor_c=1.3, double_factor_d=1.3,
+        serial_only_cpu=True,
+    ),
+    # MGARD-X: CPU/GPU compatible but 37x slower compression and 63x
+    # slower decompression than PFPL on the GPU (Takeaway 1).
+    "MGARD-X": CostModel(
+        name="MGARD-X",
+        cpu_cpb_c=2400.0, cpu_cpb_d=3400.0,
+        gpu_cpb_c=48.5 * 37.0, gpu_cpb_d=61.0 * 63.0,
+        bound_decade_c=1.05, bound_decade_d=1.05,
+        double_factor_c=1.4, double_factor_d=1.6,
+        parallel_efficiency=0.7,
+    ),
+    # SPERR: wavelet + SPECK + ZSTD; slowest CPU code in the comparison.
+    "SPERR": CostModel(
+        name="SPERR",
+        cpu_cpb_c=900.0, cpu_cpb_d=800.0,
+        bound_decade_c=1.10, bound_decade_d=1.08,
+        double_factor_c=1.3, double_factor_d=1.3,
+        parallel_efficiency=0.6,
+    ),
+    # FZ-GPU: GPU only, float only; fast but below cuSZp decompression.
+    "FZ-GPU": CostModel(
+        name="FZ-GPU",
+        gpu_cpb_c=135.0, gpu_cpb_d=105.0,
+        bound_decade_c=1.04, bound_decade_d=1.03,
+    ),
+    # cuSZp: GPU only; compresses slower than PFPL_CUDA and decompresses
+    # slower on singles, but its lightweight fixed-length decoder has no
+    # double-precision penalty (PFPL's is 1.15x) so it overtakes PFPL on
+    # the coarser double-precision bounds (Sec. V-B / V-D); its stronger
+    # bound sensitivity hands the tightest bound back to PFPL.
+    "cuSZp": CostModel(
+        name="cuSZp",
+        gpu_cpb_c=80.0, gpu_cpb_d=65.0,
+        bound_decade_c=1.05, bound_decade_d=1.05,
+        double_factor_c=1.05, double_factor_d=1.0,
+    ),
+}

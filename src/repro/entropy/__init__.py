@@ -1,0 +1,25 @@
+"""Entropy-coding substrate used by the baseline compressors."""
+
+from .bitio import BitReader, pack_bits, unpack_fixed
+from .fixedlen import fixedlen_decode, fixedlen_encode
+from .huffman import canonical_codes, code_lengths, huffman_decode, huffman_encode
+from .lz77 import lz77_compress, lz77_decompress
+from .rle import rle_decode, rle_encode, zero_rle_decode, zero_rle_encode
+
+__all__ = [
+    "BitReader",
+    "pack_bits",
+    "unpack_fixed",
+    "huffman_encode",
+    "huffman_decode",
+    "code_lengths",
+    "canonical_codes",
+    "lz77_compress",
+    "lz77_decompress",
+    "rle_encode",
+    "rle_decode",
+    "zero_rle_encode",
+    "zero_rle_decode",
+    "fixedlen_encode",
+    "fixedlen_decode",
+]

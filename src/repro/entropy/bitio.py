@@ -1,0 +1,102 @@
+"""Vectorized bit-stream packing/unpacking.
+
+The baseline compressors (SZ-family Huffman stages, cuSZp/FZ-GPU
+fixed-length coders, ZFP bit-plane coder) all need to emit sequences of
+variable- or fixed-width bit fields.  Packing one field at a time in
+Python would dominate every benchmark, so this module packs whole
+*arrays* of (value, width) pairs in a few NumPy passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_fixed", "BitReader"]
+
+
+def pack_bits(values: np.ndarray, widths: np.ndarray) -> tuple[bytes, int]:
+    """Pack ``values[i]``'s low ``widths[i]`` bits, MSB-first, head-to-tail.
+
+    Returns ``(buffer, total_bits)``.  Widths of zero are allowed (the
+    value contributes nothing).  Widths must be <= 32.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    widths = np.ascontiguousarray(widths, dtype=np.int64)
+    if values.shape != widths.shape:
+        raise ValueError("values and widths must have the same shape")
+    if widths.size and int(widths.max()) > 32:
+        raise ValueError("pack_bits supports widths up to 32 bits")
+    if widths.size and int(widths.min()) < 0:
+        raise ValueError("negative bit width")
+
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return b"", 0
+    starts = np.zeros(widths.size, dtype=np.int64)
+    np.cumsum(widths[:-1], out=starts[1:])
+
+    bits = np.zeros((total_bits + 7) // 8 * 8, dtype=np.uint8)
+    max_w = int(widths.max())
+    # One vectorized pass per bit position within a field (<= 32 passes).
+    for b in range(max_w):
+        sel = widths > b
+        if not np.any(sel):
+            break
+        v = values[sel]
+        w = widths[sel]
+        bit = (v >> (w - 1 - b).astype(np.uint64)) & np.uint64(1)
+        bits[starts[sel] + b] = bit.astype(np.uint8)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_fixed(buf: bytes, width: int, count: int, bit_offset: int = 0) -> np.ndarray:
+    """Unpack ``count`` fields of identical ``width`` bits (vectorized)."""
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    if width < 0 or width > 32:
+        raise ValueError("unpack_fixed supports widths 1..32")
+    data = np.frombuffer(buf, dtype=np.uint8)
+    need = bit_offset + width * count
+    if data.size * 8 < need:
+        raise ValueError(f"bit buffer too short: {data.size * 8} < {need}")
+    bits = np.unpackbits(data, count=need)[bit_offset:]
+    bits = bits.reshape(count, width).astype(np.uint64)
+    out = np.zeros(count, dtype=np.uint64)
+    for b in range(width):
+        out = (out << np.uint64(1)) | bits[:, b]
+    return out
+
+
+class BitReader:
+    """Sequential MSB-first bit reader (used by slow-path decoders)."""
+
+    def __init__(self, buf: bytes, bit_offset: int = 0):
+        self._bytes = np.frombuffer(buf, dtype=np.uint8)
+        self.pos = bit_offset
+
+    @property
+    def remaining(self) -> int:
+        return self._bytes.size * 8 - self.pos
+
+    def peek(self, n: int) -> int:
+        """Read up to ``n <= 32`` bits without advancing (zero-padded)."""
+        out = 0
+        pos = self.pos
+        end = self._bytes.size * 8
+        for _ in range(n):
+            if pos < end:
+                byte = int(self._bytes[pos >> 3])
+                bit = (byte >> (7 - (pos & 7))) & 1
+            else:
+                bit = 0
+            out = (out << 1) | bit
+            pos += 1
+        return out
+
+    def take(self, n: int) -> int:
+        value = self.peek(n)
+        self.pos += n
+        return value
+
+    def skip(self, n: int) -> None:
+        self.pos += n

@@ -1,0 +1,162 @@
+"""Byte-oriented LZ77 (the "ZSTD-like" final stage of the SZ baselines).
+
+SZ2/SZ3 pipe their Huffman output through GZIP/ZSTD; this is a
+self-contained stand-in: greedy hash-based match search with
+NumPy-assisted candidate generation, token format
+
+    literal:  (0, byte)
+    match:    (1, distance, length)
+
+serialized as a literal byte-run / match stream.  Match candidates come
+from a vectorized "previous position with the same 4-byte hash"
+computation so the Python-level loop only walks emitted *tokens*, not
+bytes.  Ratios and speed are modest -- which is faithful: these general
+back-ends gain little on entropy-coded input and are exactly why the
+paper calls the SZ coders slow (Section I).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["lz77_compress", "lz77_decompress"]
+
+_MIN_MATCH = 4
+_MAX_MATCH = 255 + _MIN_MATCH
+_HDR = struct.Struct("<QQ")  # original size, token count
+
+
+def _prev_same_hash(data: np.ndarray) -> np.ndarray:
+    """prev[i] = largest j < i whose 4-byte hash equals i's (else -1)."""
+    n = data.size
+    if n < _MIN_MATCH:
+        return np.full(n, -1, dtype=np.int64)
+    d = data.astype(np.uint32)
+    h = (
+        d[: n - 3] * np.uint32(2654435761)
+        ^ (d[1: n - 2] * np.uint32(40503))
+        ^ (d[2: n - 1] * np.uint32(2246822519))
+        ^ (d[3:] * np.uint32(3266489917))
+    )
+    order = np.argsort(h, kind="stable")
+    sorted_h = h[order]
+    prev_sorted = np.full(h.size, -1, dtype=np.int64)
+    same = np.zeros(h.size, dtype=bool)
+    same[1:] = sorted_h[1:] == sorted_h[:-1]
+    prev_sorted[same] = order[np.flatnonzero(same) - 1]
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[order] = prev_sorted
+    return prev
+
+
+def _match_lengths(data: np.ndarray, prev: np.ndarray) -> np.ndarray:
+    """Match length between each position and its candidate (vectorized).
+
+    Grows by doubling probes up to ``_MAX_MATCH``; exact enough for a
+    greedy parse (a hash collision just yields length < _MIN_MATCH,
+    which the parser treats as "no match").
+    """
+    n = data.size
+    lengths = np.zeros(n, dtype=np.int64)
+    cand = prev >= 0
+    idx = np.flatnonzero(cand)
+    if idx.size == 0:
+        return lengths
+    src = prev[idx]
+    # Probe byte-by-byte in vectorized rounds; positions drop out on
+    # mismatch.  Bounded by _MAX_MATCH rounds, but the active set shrinks
+    # geometrically on typical data.
+    active = idx
+    asrc = src
+    k = 0
+    while active.size and k < _MAX_MATCH:
+        inbounds = active + k < n
+        if not inbounds.all():
+            active = active[inbounds]
+            asrc = asrc[inbounds]
+            if not active.size:
+                break
+        eq = data[active + k] == data[asrc + k]
+        lengths[active[eq]] = k + 1
+        active = active[eq]
+        asrc = asrc[eq]
+        k += 1
+    return lengths
+
+
+def lz77_compress(data: bytes) -> bytes:
+    """Greedy LZ77 parse of ``data``; self-describing blob."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    n = arr.size
+    prev = _prev_same_hash(arr)
+    mlen = _match_lengths(arr, prev)
+
+    literals = bytearray()
+    tokens = []  # (n_literals_since_last_match, distance, length)
+    # Jump directly between match candidates so the Python loop walks
+    # tokens, not bytes (high-entropy input is mostly literals).
+    candidates = np.flatnonzero(mlen >= _MIN_MATCH)
+    i = 0
+    lit_start = 0
+    while True:
+        ci = int(np.searchsorted(candidates, i))
+        if ci >= candidates.size:
+            break
+        i = int(candidates[ci])
+        length = int(min(mlen[i], _MAX_MATCH))
+        dist = int(i - prev[i])
+        tokens.append((i - lit_start, dist, length))
+        literals.extend(arr[lit_start:i].tobytes())
+        i += length
+        lit_start = i
+    # trailing literals
+    tail = n - lit_start
+    literals.extend(arr[lit_start:n].tobytes())
+
+    tok = np.zeros((len(tokens), 3), dtype=np.uint32)
+    if tokens:
+        tok[:] = tokens
+    header = _HDR.pack(n, len(tokens))
+    return b"".join(
+        [header, struct.pack("<Q", tail), tok.astype("<u4").tobytes(), bytes(literals)]
+    )
+
+
+def lz77_decompress(blob: bytes) -> bytes:
+    n, n_tokens = _HDR.unpack_from(blob)
+    pos = _HDR.size
+    (tail,) = struct.unpack_from("<Q", blob, pos)
+    pos += 8
+    tok = np.frombuffer(blob, dtype="<u4", count=3 * n_tokens, offset=pos)
+    tok = tok.reshape(n_tokens, 3).astype(np.int64)
+    pos += 12 * n_tokens
+    literals = np.frombuffer(blob, dtype=np.uint8, offset=pos)
+
+    out = np.zeros(n, dtype=np.uint8)
+    oi = 0
+    li = 0
+    for t in range(n_tokens):
+        nlit, dist, length = int(tok[t, 0]), int(tok[t, 1]), int(tok[t, 2])
+        if nlit:
+            out[oi:oi + nlit] = literals[li:li + nlit]
+            oi += nlit
+            li += nlit
+        src = oi - dist
+        if src < 0:
+            raise ValueError("corrupt LZ77 stream: distance before start")
+        if dist >= length:
+            out[oi:oi + length] = out[src:src + length]
+        else:
+            # overlapping copy must proceed byte-serially (RLE-style)
+            for k in range(length):
+                out[oi + k] = out[src + k]
+        oi += length
+    if tail:
+        out[oi:oi + tail] = literals[li:li + tail]
+        oi += tail
+        li += tail
+    if oi != n:
+        raise ValueError(f"corrupt LZ77 stream: reproduced {oi} of {n} bytes")
+    return out.tobytes()

@@ -1,0 +1,143 @@
+"""Run-length coding utilities.
+
+Two flavors used by the baselines:
+
+* :func:`rle_encode` / :func:`rle_decode` -- generic (value, run) pairs,
+  used by the SPERR-like coder for significance maps;
+* :func:`zero_rle_encode` / :func:`zero_rle_decode` -- zero-run coding
+  over symbol streams (quantization codes are dominated by the "hit"
+  bin on smooth data), used as the cheap pre-pass before Huffman.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["rle_encode", "rle_decode", "zero_rle_encode", "zero_rle_decode"]
+
+_HDR = struct.Struct("<QI")
+
+
+def _run_starts(values: np.ndarray) -> np.ndarray:
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    change = np.empty(values.size, dtype=bool)
+    change[0] = True
+    np.not_equal(values[1:], values[:-1], out=change[1:])
+    return np.flatnonzero(change)
+
+
+def rle_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (run_values, run_lengths) -- a pure transform, no framing."""
+    values = np.ascontiguousarray(values)
+    starts = _run_starts(values)
+    if starts.size == 0:
+        return values[:0], np.zeros(0, dtype=np.int64)
+    lengths = np.empty(starts.size, dtype=np.int64)
+    lengths[:-1] = np.diff(starts)
+    lengths[-1] = values.size - starts[-1]
+    return values[starts], lengths
+
+
+def rle_decode(run_values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
+    return np.repeat(run_values, run_lengths)
+
+
+def _ranges(lengths: np.ndarray) -> np.ndarray:
+    """concat(arange(n) for n in lengths), vectorized."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(starts, lengths)
+    return out
+
+
+def zero_rle_encode(symbols: np.ndarray, zero_symbol: int) -> np.ndarray:
+    """Replace runs of ``zero_symbol`` with (marker, digits, marker).
+
+    Output alphabet: original symbols shifted up by 256, symbol 0 as the
+    run delimiter, and run lengths as base-255 digits in 1..255.  This
+    is the stage that lets the SZ-family coders go *below* Huffman's
+    1-bit-per-symbol floor on smooth data (their ZSTD stage plays this
+    role in the original implementations).  Fully vectorized.
+    """
+    symbols = np.ascontiguousarray(symbols).astype(np.int64, copy=False)
+    if symbols.size and symbols.min() < 0:
+        raise ValueError("zero-RLE symbols must be non-negative")
+    vals, lens = rle_encode(symbols)
+    if vals.size == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    zrun = (vals == zero_symbol) & (lens >= 2)
+    # base-255 digit count per zero run (supports lengths < 255^4)
+    ndig = (1 + (lens >= 255) + (lens >= 255**2) + (lens >= 255**3)).astype(np.int64)
+    out_lens = np.where(zrun, 2 + ndig, lens)
+    offsets = np.zeros(vals.size, dtype=np.int64)
+    np.cumsum(out_lens[:-1], out=offsets[1:])
+    out = np.zeros(int(out_lens.sum()), dtype=np.int64)
+
+    lit = np.flatnonzero(~zrun)
+    if lit.size:
+        pos = np.repeat(offsets[lit], lens[lit]) + _ranges(lens[lit])
+        out[pos] = np.repeat(vals[lit] + 256, lens[lit])
+
+    zi = np.flatnonzero(zrun)
+    if zi.size:
+        out[offsets[zi]] = 0
+        max_d = int(ndig[zi].max())
+        for k in range(max_d):
+            m = ndig[zi] > k
+            out[offsets[zi][m] + 1 + k] = (lens[zi][m] // (255**k)) % 255 + 1
+        out[offsets[zi] + 1 + ndig[zi]] = 0
+    return out
+
+
+def zero_rle_decode(stream: np.ndarray, zero_symbol: int) -> np.ndarray:
+    """Inverse of :func:`zero_rle_encode`, also vectorized."""
+    stream = np.ascontiguousarray(stream).astype(np.int64, copy=False)
+    n = stream.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    zpos = np.flatnonzero(stream == 0)
+    if zpos.size % 2:
+        raise ValueError("corrupt zero-RLE stream: unterminated run")
+    starts = zpos[0::2]
+    ends = zpos[1::2]
+    if np.any(ends <= starts):
+        raise ValueError("corrupt zero-RLE stream: empty run body")
+
+    # run lengths from the base-255 digits between each marker pair
+    ndig = ends - starts - 1
+    if ndig.size and int(ndig.max()) > 4:
+        raise ValueError("corrupt zero-RLE stream: run length overflow")
+    run_lens = np.zeros(starts.size, dtype=np.int64)
+    for k in range(int(ndig.max()) if ndig.size else 0):
+        m = ndig > k
+        run_lens[m] += (stream[starts[m] + 1 + k] - 1) * (255**k)
+
+    # literal gaps around the runs
+    gap_starts = np.concatenate(([0], ends + 1))
+    gap_ends = np.concatenate((starts, [n]))
+    gap_lens = gap_ends - gap_starts
+
+    # output offsets: gap i starts after all previous gaps and runs
+    out_gap_off = np.zeros(gap_lens.size, dtype=np.int64)
+    np.cumsum(gap_lens[:-1] + run_lens, out=out_gap_off[1:])
+    total = int(gap_lens.sum() + run_lens.sum())
+
+    out = np.full(total, zero_symbol, dtype=np.int64)
+    lit = np.flatnonzero(gap_lens)
+    if lit.size:
+        pos_out = np.repeat(out_gap_off[lit], gap_lens[lit]) + _ranges(gap_lens[lit])
+        pos_in = np.repeat(gap_starts[lit], gap_lens[lit]) + _ranges(gap_lens[lit])
+        vals = stream[pos_in]
+        if np.any(vals < 256):
+            raise ValueError("corrupt zero-RLE stream: digit outside a run")
+        out[pos_out] = vals - 256
+    return out

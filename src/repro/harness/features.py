@@ -1,0 +1,58 @@
+"""Table III: the compressor feature matrix."""
+
+from __future__ import annotations
+
+from ..baselines import ALL_COMPRESSORS, GUARANTEED, UNGUARANTEED, UNSUPPORTED
+
+__all__ = ["feature_matrix", "render_table3", "TABLE3_EXPECTED"]
+
+_SYMBOL = {"guaranteed": "yes", "unguaranteed": "circle", "unsupported": "no"}
+
+#: Table III from the paper, transcribed for the reproduction check.
+TABLE3_EXPECTED = {
+    #              ABS       REL       NOA      Float Double CPU   GPU
+    "ZFP":      ("circle", "yes",    "no",     True, True,  True, False),
+    "SZ2":      ("yes",    "circle", "yes",    True, True,  True, False),
+    "SZ3":      ("yes",    "no",     "yes",    True, True,  True, False),
+    "MGARD-X":  ("circle", "no",     "circle", True, True,  True, True),
+    "SPERR":    ("circle", "no",     "no",     True, True,  True, False),
+    "FZ-GPU":   ("no",     "no",     "circle", True, False, False, True),
+    "cuSZp":    ("circle", "no",     "yes",    True, True,  False, True),
+    "PFPL":     ("yes",    "yes",    "yes",    True, True,  True, True),
+}
+
+
+def feature_matrix() -> dict[str, tuple]:
+    """The same tuple layout as :data:`TABLE3_EXPECTED`, from the code."""
+    out = {}
+    for name, cls in ALL_COMPRESSORS.items():
+        if name == "SZ3_OMP":
+            continue  # Table III lists SZ3 once
+        f = cls.features
+        out[name] = (
+            _SYMBOL[f.abs.label],
+            _SYMBOL[f.rel.label],
+            _SYMBOL[f.noa.label],
+            f.supports_float,
+            f.supports_double,
+            f.cpu,
+            f.gpu,
+        )
+    return out
+
+
+def render_table3() -> str:
+    """ASCII rendition of Table III."""
+    sym = {"yes": "v", "circle": "o", "no": "x"}
+    lines = [
+        "TABLE III: tested compressors and supported features",
+        f"{'Compressor':<10} {'ABS':>4} {'REL':>4} {'NOA':>4} {'Float':>6} {'Double':>7} {'CPU':>4} {'GPU':>4}",
+    ]
+    for name, row in feature_matrix().items():
+        a, r, n, fl, db, cpu, gpu = row
+        lines.append(
+            f"{name:<10} {sym[a]:>4} {sym[r]:>4} {sym[n]:>4} "
+            f"{'v' if fl else 'x':>6} {'v' if db else 'x':>7} "
+            f"{'v' if cpu else 'x':>4} {'v' if gpu else 'x':>4}"
+        )
+    return "\n".join(lines)

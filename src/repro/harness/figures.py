@@ -1,0 +1,202 @@
+"""Per-figure data generation (Figures 6-16 of the paper).
+
+Each ``fig*`` entry reproduces one scatter plot: measured compression
+ratios (from actually running the re-implemented compressors over the
+synthetic SDRBench suites) against modeled device throughputs (from the
+calibrated cost model), with Pareto fronts computed per error bound
+exactly as Section IV describes.
+
+Which compressors and suites appear in which figure follows the paper's
+own exclusions:
+
+* ABS figures (6, 7): no FZ-GPU (no ABS support), no SZ2 (Section IV
+  compares SZ2 only in the REL section), EXAALT/HACC excluded (not 3-D),
+  SPERR absent from the double-precision plots;
+* REL figures (8-11): only PFPL, SZ2, ZFP support REL; all suites;
+* NOA figures (12-15): no ZFP/SPERR (no NOA), EXAALT/HACC excluded,
+  FZ-GPU single-precision only;
+* PSNR figures (16a-c): same compressor sets as the matching section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import double_suites, single_suites
+from ..device.spec import SYSTEM1, SYSTEM2, SystemSpec
+from ..device.timing import COST_MODELS, modeled_throughput
+from .pareto import ParetoPoint, pareto_front
+from .runner import PAPER_BOUNDS, AggregateRow, aggregate, run_grid
+
+__all__ = ["Variant", "FigureSpec", "FigureData", "FIGURES", "figure_data", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One plotted compressor version (e.g. PFPL_OMP, SZ3_Serial)."""
+
+    label: str      #: point label in the plot
+    impl: str       #: ALL_COMPRESSORS key used for the measured ratio
+    model: str      #: COST_MODELS key used for the modeled throughput
+    device: str     #: "cpu" or "gpu"
+    parallel: bool = True
+
+
+# The version-selection rules of Section IV, expressed as variant lists.
+_PFPL_VARIANTS = (
+    Variant("PFPL_Serial", "PFPL", "PFPL", "cpu", parallel=False),
+    Variant("PFPL_OMP", "PFPL", "PFPL", "cpu", parallel=True),
+    Variant("PFPL_CUDA", "PFPL", "PFPL", "gpu"),
+)
+_SZ3_VARIANTS = (
+    Variant("SZ3_Serial", "SZ3", "SZ3", "cpu", parallel=False),
+    Variant("SZ3_OMP", "SZ3_OMP", "SZ3_OMP", "cpu", parallel=True),
+)
+_V = {
+    "ZFP": (Variant("ZFP", "ZFP", "ZFP", "cpu", parallel=False),),
+    "SZ2": (Variant("SZ2", "SZ2", "SZ2", "cpu", parallel=False),),
+    "SPERR": (Variant("SPERR", "SPERR", "SPERR", "cpu", parallel=True),),
+    "MGARD-X": (Variant("MGARD-X_CUDA", "MGARD-X", "MGARD-X", "gpu"),),
+    "FZ-GPU": (Variant("FZ-GPU", "FZ-GPU", "FZ-GPU", "gpu"),),
+    "cuSZp": (Variant("cuSZp_CUDA", "cuSZp", "cuSZp", "gpu"),),
+}
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """What one paper figure plots."""
+
+    figure_id: str
+    caption: str
+    mode: str                   #: abs / rel / noa
+    precision: str              #: "single" or "double"
+    system: SystemSpec
+    direction: str              #: compress / decompress / psnr
+    suites: tuple[str, ...]
+    variants: tuple[Variant, ...]
+
+
+@dataclass
+class FigureData:
+    """Regenerated figure: scatter points + Pareto front + footnotes."""
+
+    spec: FigureSpec
+    points: list[ParetoPoint]
+    front: list[ParetoPoint]
+    rows: dict = field(default_factory=dict)   #: (impl, bound) -> AggregateRow
+    notes: list[str] = field(default_factory=list)
+
+
+def _abs_noa_single_suites() -> tuple[str, ...]:
+    return tuple(single_suites(require_3d=True))
+
+
+def _make_specs() -> dict[str, FigureSpec]:
+    singles_3d = _abs_noa_single_suites()
+    singles_all = tuple(single_suites())
+    doubles = tuple(double_suites())
+
+    abs_single = _PFPL_VARIANTS + _SZ3_VARIANTS + _V["ZFP"] + _V["SPERR"] + _V["MGARD-X"] + _V["cuSZp"]
+    abs_double = _PFPL_VARIANTS + _SZ3_VARIANTS + _V["ZFP"] + _V["MGARD-X"] + _V["cuSZp"]
+    rel_all = _PFPL_VARIANTS + _V["SZ2"] + _V["ZFP"]
+    noa_single = _PFPL_VARIANTS + _SZ3_VARIANTS + _V["MGARD-X"] + _V["FZ-GPU"] + _V["cuSZp"]
+    noa_double = _PFPL_VARIANTS + _SZ3_VARIANTS + _V["MGARD-X"] + _V["cuSZp"]
+
+    specs = [
+        FigureSpec("fig6a", "ABS compression, single, System 1", "abs", "single", SYSTEM1, "compress", singles_3d, abs_single),
+        FigureSpec("fig6b", "ABS compression, double, System 1", "abs", "double", SYSTEM1, "compress", doubles, abs_double),
+        FigureSpec("fig6c", "ABS compression, single, System 2", "abs", "single", SYSTEM2, "compress", singles_3d, abs_single),
+        FigureSpec("fig7a", "ABS decompression, single, System 1", "abs", "single", SYSTEM1, "decompress", singles_3d, abs_single),
+        FigureSpec("fig7b", "ABS decompression, double, System 1", "abs", "double", SYSTEM1, "decompress", doubles, abs_double),
+        FigureSpec("fig7c", "ABS decompression, single, System 2", "abs", "single", SYSTEM2, "decompress", singles_3d, abs_single),
+        FigureSpec("fig8", "REL compression, single, System 1", "rel", "single", SYSTEM1, "compress", singles_all, rel_all),
+        FigureSpec("fig9", "REL compression, double, System 1", "rel", "double", SYSTEM1, "compress", doubles, rel_all),
+        FigureSpec("fig10", "REL decompression, single, System 1", "rel", "single", SYSTEM1, "decompress", singles_all, rel_all),
+        FigureSpec("fig11", "REL decompression, double, System 1", "rel", "double", SYSTEM1, "decompress", doubles, rel_all),
+        FigureSpec("fig12", "NOA compression, single, System 1", "noa", "single", SYSTEM1, "compress", singles_3d, noa_single),
+        FigureSpec("fig13", "NOA compression, double, System 1", "noa", "double", SYSTEM1, "compress", doubles, noa_double),
+        FigureSpec("fig14", "NOA decompression, single, System 1", "noa", "single", SYSTEM1, "decompress", singles_3d, noa_single),
+        FigureSpec("fig15", "NOA decompression, double, System 1", "noa", "double", SYSTEM1, "decompress", doubles, noa_double),
+        FigureSpec("fig16a", "Ratio vs PSNR, ABS, single", "abs", "single", SYSTEM1, "psnr", singles_3d, abs_single),
+        FigureSpec("fig16b", "Ratio vs PSNR, REL, single", "rel", "single", SYSTEM1, "psnr", singles_all, rel_all),
+        FigureSpec("fig16c", "Ratio vs PSNR, NOA, single", "noa", "single", SYSTEM1, "psnr", singles_3d, noa_single),
+    ]
+    return {s.figure_id: s for s in specs}
+
+
+FIGURES: dict[str, FigureSpec] = _make_specs()
+
+# Measured-cell cache: the same (mode, suites, impls) grid backs several
+# figures (6a/6c/7a/7c/16a all share one), so run it once.
+_GRID_CACHE: dict[tuple, dict[tuple[str, float], AggregateRow]] = {}
+
+
+def clear_cache() -> None:
+    _GRID_CACHE.clear()
+
+
+def _rows_for(spec: FigureSpec, bounds, n_files) -> dict[tuple[str, float], AggregateRow]:
+    impls = tuple(sorted({v.impl for v in spec.variants}))
+    key = (spec.mode, spec.suites, impls, tuple(bounds), n_files)
+    if key not in _GRID_CACHE:
+        cells = run_grid(
+            spec.mode, list(spec.suites), compressors=list(impls),
+            bounds=tuple(bounds), n_files=n_files,
+        )
+        _GRID_CACHE[key] = aggregate(cells)
+    return _GRID_CACHE[key]
+
+
+def figure_data(
+    figure_id: str,
+    bounds: tuple[float, ...] = PAPER_BOUNDS,
+    n_files: int | None = None,
+) -> FigureData:
+    """Regenerate one figure's data series.
+
+    ``n_files`` trims each suite (useful for quick checks); the bench
+    suite uses the full default sizes.
+    """
+    spec = FIGURES[figure_id]
+    rows = _rows_for(spec, bounds, n_files)
+    dtype_bytes = 4 if spec.precision == "single" else 8
+
+    points: list[ParetoPoint] = []
+    notes: list[str] = []
+    # Fig 16 plots one point per *compressor*: skip the redundant device
+    # variants (all PFPL versions share a ratio; SZ3 serial is shown).
+    psnr_skip = {"PFPL_Serial", "PFPL_OMP", "SZ3_OMP"}
+    for variant in spec.variants:
+        if spec.direction == "psnr" and variant.label in psnr_skip:
+            continue
+        device = spec.system.cpu if variant.device == "cpu" else spec.system.gpu
+        model = COST_MODELS[variant.model]
+        for bound in bounds:
+            row = rows.get((variant.impl, bound))
+            if row is None:
+                notes.append(f"{variant.label} @ {bound:g}: no supported files")
+                continue
+            if spec.direction == "psnr":
+                label = variant.impl  # collapse device variants
+                metric = row.psnr_db
+            else:
+                label = variant.label
+                metric = modeled_throughput(
+                    model, device, spec.direction, bound, dtype_bytes,
+                    parallel=variant.parallel,
+                )
+                if metric is None:
+                    continue
+            points.append(ParetoPoint(label, bound, row.ratio, metric))
+            if row.worst_violation_factor and row.worst_violation_factor > 1.0:
+                sev = "major" if row.worst_violation_factor >= 1.5 else "minor"
+                notes.append(
+                    f"{label} @ {bound:g}: {sev} bound violation "
+                    f"(x{row.worst_violation_factor:.2f})"
+                )
+            for s in row.skipped:
+                notes.append(f"{label} @ {bound:g}: skipped {s}")
+
+    front = pareto_front(points)
+    return FigureData(spec=spec, points=points, front=front, rows=dict(rows),
+                      notes=sorted(set(notes)))

@@ -1,0 +1,50 @@
+"""Pareto fronts over (compression ratio, throughput) points.
+
+Section IV: "For a compressor to be on the Pareto front, it must
+outperform every other compressor in at least one dimension for the
+given error bound" -- i.e. a point is on the front iff no other point
+(at the same bound) weakly dominates it in both higher-is-better
+dimensions while strictly dominating in one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParetoPoint", "pareto_front", "is_dominated"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One scatter point: a compressor version at one error bound."""
+
+    label: str
+    bound: float
+    ratio: float
+    throughput: float
+
+
+def is_dominated(p: ParetoPoint, others: list[ParetoPoint]) -> bool:
+    """True if some other point is >= in both dimensions and > in one."""
+    for q in others:
+        if q is p or q.label == p.label:
+            continue
+        ge = q.ratio >= p.ratio and q.throughput >= p.throughput
+        gt = q.ratio > p.ratio or q.throughput > p.throughput
+        if ge and gt:
+            return True
+    return False
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by descending throughput.
+
+    Points are compared within their own error bound only (the paper
+    draws one front per bound).
+    """
+    front = []
+    for p in points:
+        same_bound = [q for q in points if q.bound == p.bound]
+        if not is_dominated(p, same_bound):
+            front.append(p)
+    return sorted(front, key=lambda p: (-p.throughput, p.ratio))

@@ -1,0 +1,62 @@
+"""Text rendering of regenerated tables and figures."""
+
+from __future__ import annotations
+
+from ..datasets import SUITES
+from ..device.spec import ALL_GPUS, SYSTEM1, SYSTEM2
+from .figures import FigureData
+
+__all__ = ["render_figure", "render_table1", "render_table2"]
+
+
+def render_figure(data: FigureData) -> str:
+    """One figure as an aligned text table (points + Pareto membership)."""
+    spec = data.spec
+    metric_name = "PSNR dB" if spec.direction == "psnr" else "GB/s"
+    lines = [
+        f"{spec.figure_id}: {spec.caption}",
+        f"  mode={spec.mode} precision={spec.precision} "
+        f"direction={spec.direction} suites={','.join(spec.suites)}",
+        f"  {'variant':<14} {'bound':>7} {'ratio':>9} {metric_name:>10} {'pareto':>7}",
+    ]
+    front_keys = {(p.label, p.bound) for p in data.front}
+    for p in sorted(data.points, key=lambda p: (p.bound, -p.throughput)):
+        lines.append(
+            f"  {p.label:<14} {p.bound:>7g} {p.ratio:>9.2f} "
+            f"{p.throughput:>10.2f} {'*' if (p.label, p.bound) in front_keys else '':>7}"
+        )
+    for note in data.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table I: the systems used for the experiments."""
+    lines = ["TABLE I: systems used for experiments"]
+    for sysname, system in (("System 1", SYSTEM1), ("System 2", SYSTEM2)):
+        cpu, gpu = system.cpu, system.gpu
+        cores = gpu.cuda_cores_per_sm or gpu.lanes_per_unit
+        lines.append(
+            f"  {sysname}: CPU={cpu.name} ({cpu.parallel_units} cores @ "
+            f"{cpu.clock_ghz} GHz), GPU={gpu.name} ({gpu.parallel_units} SMs x "
+            f"{cores} CUDA cores @ {gpu.clock_ghz} GHz, "
+            f"{gpu.mem_bandwidth_gbs:.0f} GB/s)"
+        )
+    lines.append("  Section V-F GPUs: " + ", ".join(g.name for g in ALL_GPUS))
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: the input suites (paper spec -> scaled reproduction)."""
+    lines = [
+        "TABLE II: input suites (paper spec -> synthetic reproduction)",
+        f"  {'Name':<12} {'Description':<15} {'Fmt':<7} {'paper files':>11} "
+        f"{'paper dims':<18} {'repro files':>11}",
+    ]
+    for s in SUITES.values():
+        fmt = "Single" if s.dtype.itemsize == 4 else "Double"
+        lines.append(
+            f"  {s.name:<12} {s.description:<15} {fmt:<7} {s.full_files:>11} "
+            f"{s.full_dims:<18} {s.n_files:>11}"
+        )
+    return "\n".join(lines)

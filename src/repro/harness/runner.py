@@ -1,0 +1,150 @@
+"""Experiment runner: compressors x suites x bounds -> measured cells.
+
+One *cell* = one compressor applied to one file at one (mode, bound):
+measured compression ratio, PSNR, and a bound-violation report.  The
+aggregation follows Section IV: geometric mean over each suite's files,
+then the geometric mean across suites.
+
+Ratios/quality come from actually running the (re-implemented)
+compressors; device throughputs come from the calibrated cost model
+(:mod:`repro.device.timing`) -- see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import ALL_COMPRESSORS, UnsupportedInput
+from ..core.verify import check_bound
+from ..datasets import SUITES, load_suite
+from ..metrics import geomean, psnr
+
+__all__ = ["CellResult", "AggregateRow", "run_cell", "run_grid", "aggregate", "PAPER_BOUNDS"]
+
+#: the four error bounds of every figure (circle, triangle, square, pentagon)
+PAPER_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one (compressor, file, mode, bound) run."""
+
+    compressor: str
+    suite: str
+    file: str
+    mode: str
+    bound: float
+    ratio: float | None          #: None when unsupported / crashed
+    psnr_db: float | None
+    max_violation_factor: float | None
+    violations: int | None
+    note: str = ""               #: reason when ratio is None
+    encode_seconds: float | None = None
+    decode_seconds: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.ratio is not None
+
+
+def run_cell(
+    compressor_name: str,
+    suite: str,
+    file_name: str,
+    data: np.ndarray,
+    mode: str,
+    bound: float,
+) -> CellResult:
+    """Run one compressor on one field; never raises for support gaps."""
+    comp = ALL_COMPRESSORS[compressor_name]()
+    if not comp.supports(mode, data.dtype):
+        return CellResult(compressor_name, suite, file_name, mode, bound,
+                          None, None, None, None, note="mode/dtype unsupported")
+    try:
+        t0 = time.perf_counter()
+        blob = comp.compress(data, mode, bound)
+        t1 = time.perf_counter()
+        recon = comp.decompress(blob)
+        t2 = time.perf_counter()
+    except UnsupportedInput as exc:
+        return CellResult(compressor_name, suite, file_name, mode, bound,
+                          None, None, None, None, note=str(exc))
+    report = check_bound(mode, data, recon, bound)
+    return CellResult(
+        compressor_name, suite, file_name, mode, bound,
+        ratio=data.nbytes / max(1, len(blob)),
+        psnr_db=psnr(data, recon),
+        max_violation_factor=report.violation_factor,
+        violations=report.violations,
+        encode_seconds=t1 - t0,
+        decode_seconds=t2 - t1,
+    )
+
+
+def run_grid(
+    mode: str,
+    suites: list[str],
+    compressors: list[str] | None = None,
+    bounds: tuple[float, ...] = PAPER_BOUNDS,
+    n_files: int | None = None,
+) -> list[CellResult]:
+    """Run the full cell grid (the workhorse behind every figure)."""
+    compressors = compressors or list(ALL_COMPRESSORS)
+    cells: list[CellResult] = []
+    for suite in suites:
+        for fname, data in load_suite(suite, n_files=n_files):
+            for comp in compressors:
+                for bound in bounds:
+                    cells.append(run_cell(comp, suite, fname, data, mode, bound))
+    return cells
+
+
+@dataclass
+class AggregateRow:
+    """Geo-mean-of-suite-geo-means summary for one (compressor, bound)."""
+
+    compressor: str
+    bound: float
+    ratio: float
+    psnr_db: float
+    n_files: int
+    worst_violation_factor: float
+    total_violations: int
+    skipped: list[str] = field(default_factory=list)
+
+
+def aggregate(cells: list[CellResult]) -> dict[tuple[str, float], AggregateRow]:
+    """Collapse cells to paper-style rows, keyed by (compressor, bound)."""
+    groups: dict[tuple[str, float], list[CellResult]] = defaultdict(list)
+    for c in cells:
+        groups[(c.compressor, c.bound)].append(c)
+
+    rows: dict[tuple[str, float], AggregateRow] = {}
+    for key, group in groups.items():
+        ok = [c for c in group if c.ok]
+        if not ok:
+            continue
+        per_suite_ratio: dict[str, list[float]] = defaultdict(list)
+        per_suite_psnr: dict[str, list[float]] = defaultdict(list)
+        for c in ok:
+            per_suite_ratio[c.suite].append(c.ratio)
+            if c.psnr_db is not None and np.isfinite(c.psnr_db):
+                per_suite_psnr[c.suite].append(c.psnr_db)
+        ratio = geomean(geomean(v) for v in per_suite_ratio.values())
+        psnr_mean = float(np.mean([np.mean(v) for v in per_suite_psnr.values()])) \
+            if per_suite_psnr else float("nan")
+        rows[key] = AggregateRow(
+            compressor=key[0],
+            bound=key[1],
+            ratio=ratio,
+            psnr_db=psnr_mean,
+            n_files=len(ok),
+            worst_violation_factor=max(c.max_violation_factor or 0.0 for c in ok),
+            total_violations=sum(c.violations or 0 for c in ok),
+            skipped=[f"{c.suite}/{c.file}: {c.note}" for c in group if not c.ok],
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""The paper's Takeaways 1-3, as checkable predicates over figure data.
+
+Each Takeaway box in Section V makes specific comparative claims.  This
+module turns them into functions over regenerated :class:`FigureData`
+so the benchmark suite can assert the reproduction supports the paper's
+conclusions (and report exactly which sub-claim holds or fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .figures import FigureData
+
+__all__ = ["ClaimResult", "takeaway1", "takeaway2", "takeaway3"]
+
+
+@dataclass
+class ClaimResult:
+    """One Takeaway's sub-claim outcomes."""
+
+    name: str
+    claims: dict[str, bool] = field(default_factory=dict)
+    details: dict[str, str] = field(default_factory=dict)
+
+    def check(self, key: str, ok: bool, detail: str) -> None:
+        self.claims[key] = bool(ok)
+        self.details[key] = detail
+
+    @property
+    def ok(self) -> bool:
+        return all(self.claims.values())
+
+    def render(self) -> str:
+        lines = [f"{self.name}:"]
+        for key, ok in self.claims.items():
+            mark = "PASS" if ok else "FAIL"
+            lines.append(f"  [{mark}] {key}: {self.details[key]}")
+        return "\n".join(lines)
+
+
+def _by_label(data: FigureData):
+    out: dict[str, dict[float, object]] = {}
+    for p in data.points:
+        out.setdefault(p.label, {})[p.bound] = p
+    return out
+
+
+def takeaway1(fig6a: FigureData, fig7a: FigureData) -> ClaimResult:
+    """ABS: 'PFPL provides the currently best solution' when both ratio
+    and throughput matter; PFPL_OMP fastest CPU code; PFPL_CUDA faster
+    and better-compressing than the GPU codes; MGARD-X 37x/63x slower
+    and 6-13x less compression."""
+    res = ClaimResult("Takeaway 1 (ABS)")
+    comp = _by_label(fig6a)
+    dec = _by_label(fig7a)
+    bounds = sorted({p.bound for p in fig6a.points})
+
+    on_front = any(p.label.startswith("PFPL") for p in fig6a.front)
+    res.check("pfpl_on_pareto_front", on_front,
+              f"front members: {sorted({p.label for p in fig6a.front})}")
+
+    cpu_labels = ("PFPL_Serial", "PFPL_OMP", "SZ3_Serial", "SZ3_OMP", "ZFP", "SPERR")
+    fastest_cpu_ok = all(
+        max((p for p in fig6a.points if p.bound == b and p.label in cpu_labels),
+            key=lambda p: p.throughput).label == "PFPL_OMP"
+        for b in bounds
+    )
+    res.check("pfpl_omp_fastest_cpu", fastest_cpu_ok, "at every bound")
+
+    gpu_ok = True
+    for b in bounds:
+        for gpu in ("MGARD-X_CUDA", "cuSZp_CUDA"):
+            if b in comp.get(gpu, {}):
+                gpu_ok &= comp["PFPL_CUDA"][b].ratio > comp[gpu][b].ratio
+    res.check("pfpl_outcompresses_gpu_codes", gpu_ok, "ratio > every GPU code")
+
+    if 1e-3 in comp.get("MGARD-X_CUDA", {}):
+        cs = comp["PFPL_CUDA"][1e-3].throughput / comp["MGARD-X_CUDA"][1e-3].throughput
+        ds = dec["PFPL_CUDA"][1e-3].throughput / dec["MGARD-X_CUDA"][1e-3].throughput
+        res.check("mgard_slowdowns", 25 <= cs <= 50 and 40 <= ds <= 85,
+                  f"compress {cs:.0f}x (paper 37x), decompress {ds:.0f}x (paper 63x)")
+    return res
+
+
+def takeaway2(fig8: FigureData, fig10: FigureData) -> ClaimResult:
+    """REL: PFPL greatly outfast SZ2 and guarantees the bound; SZ2
+    compresses more (at coarse bounds) but violates; ZFP ~ PFPL_Serial
+    compression throughput at the top bound, much lower ratios; PFPL is
+    the only parallel/GPU REL implementation."""
+    res = ClaimResult("Takeaway 2 (REL)")
+    comp = _by_label(fig8)
+    bounds = sorted({p.bound for p in fig8.points})
+
+    speed_ok = all(
+        comp["PFPL_CUDA"][b].throughput / comp["SZ2"][b].throughput > 100
+        for b in bounds
+    )
+    res.check("pfpl_cuda_orders_of_magnitude_faster", speed_ok, ">100x SZ2")
+
+    res.check(
+        "sz2_higher_ratio_at_coarse_bound",
+        comp["SZ2"][max(bounds)].ratio > comp["PFPL_CUDA"][max(bounds)].ratio,
+        f"SZ2 {comp['SZ2'][max(bounds)].ratio:.1f} vs "
+        f"PFPL {comp['PFPL_CUDA'][max(bounds)].ratio:.1f} (paper: 1.7x)",
+    )
+
+    sz2_violates = any("SZ2" in n and "violation" in n for n in fig8.notes)
+    pfpl_clean = not any(n.startswith("PFPL") and "violation" in n for n in fig8.notes)
+    res.check("sz2_violates_pfpl_does_not", sz2_violates and pfpl_clean,
+              "SZ2 REL violations observed; PFPL none")
+
+    zfp_ratio_ok = all(
+        comp["ZFP"][b].ratio < min(comp["SZ2"][b].ratio, comp["PFPL_CUDA"][b].ratio)
+        for b in bounds
+    )
+    res.check("zfp_lowest_ratio", zfp_ratio_ok, "truncation-based REL")
+
+    zfp_vs_serial = comp["ZFP"][max(bounds)].throughput / \
+        comp["PFPL_Serial"][max(bounds)].throughput
+    res.check("zfp_reaches_pfpl_serial_speed_at_top_bound",
+              0.4 <= zfp_vs_serial <= 2.5, f"ratio of speeds {zfp_vs_serial:.2f}")
+    return res
+
+
+def takeaway3(fig12: FigureData, fig14: FigureData) -> ClaimResult:
+    """NOA: PFPL preferred when both metrics matter; SZ3 best if only
+    ratio matters; PFPL much faster + better-compressing than MGARD-X."""
+    res = ClaimResult("Takeaway 3 (NOA)")
+    comp = _by_label(fig12)
+    bounds = sorted({p.bound for p in fig12.points})
+
+    sz3_best = all(
+        max((p for p in fig12.points if p.bound == b), key=lambda p: p.ratio)
+        .label.startswith("SZ3")
+        for b in bounds
+    )
+    res.check("sz3_best_ratio", sz3_best, "if only ratio matters, pick SZ3")
+
+    pfpl_best_non_sz = all(
+        max((p for p in fig12.points if p.bound == b
+             and not p.label.startswith("SZ3")), key=lambda p: p.ratio)
+        .label.startswith("PFPL")
+        for b in bounds
+    )
+    res.check("pfpl_best_ratio_otherwise", pfpl_best_non_sz,
+              "best non-SZ3 compressor at every bound")
+
+    mgard_ok = True
+    detail = []
+    for b in bounds:
+        if b in comp.get("MGARD-X_CUDA", {}):
+            r = comp["PFPL_CUDA"][b].ratio / comp["MGARD-X_CUDA"][b].ratio
+            t = comp["PFPL_CUDA"][b].throughput / comp["MGARD-X_CUDA"][b].throughput
+            mgard_ok &= r > 1 and t > 10
+            detail.append(f"@{b:g}: {r:.1f}x ratio, {t:.0f}x speed")
+    res.check("dominates_mgard", mgard_ok, "; ".join(detail))
+
+    on_front = any(p.label.startswith("PFPL") for p in fig12.front)
+    res.check("pfpl_on_pareto_front", on_front,
+              f"front: {sorted({p.label for p in fig12.front})}")
+    return res

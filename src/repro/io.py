@@ -1,0 +1,184 @@
+"""Streaming file API: incremental compression / windowed reads.
+
+Simulations emit data in waves (time steps, MPI ranks); buffering a
+whole array before compressing wastes memory.  :class:`PFPLWriter`
+accepts arbitrary-sized appends, compresses full 16 kB chunks as they
+fill, and writes the finished container on ``close()`` (the header
+needs the final value count, so the file is assembled at the end --
+chunk *payloads* stream through bounded memory).
+
+ABS and REL streams can be built incrementally because their quantizers
+are value-local.  NOA needs the global min/max before any value can be
+quantized (Section III-A), so the writer requires an explicit
+``value_range`` for NOA.
+
+:class:`PFPLReader` wraps the random-access decoder for file objects.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO
+
+import numpy as np
+
+from .core.chunking import CHUNK_BYTES, ChunkCodec
+from .core.compressor import InlineBackend
+from .core.floatbits import layout_for
+from .core.header import Header
+from .core.lossless.pipeline import PipelineConfig
+from .core.quantizers import NoaQuantizer, make_quantizer
+from .core.random_access import chunk_count, decompress_chunk, decompress_range
+
+__all__ = ["PFPLWriter", "PFPLReader"]
+
+
+class PFPLWriter:
+    """Incrementally build a PFPL stream.
+
+    Example::
+
+        with PFPLWriter(fh, mode="abs", error_bound=1e-3) as w:
+            for step in simulation:
+                w.append(step.field)
+    """
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        mode: str = "abs",
+        error_bound: float = 1e-3,
+        dtype=np.float32,
+        value_range: float | None = None,
+        backend=None,
+        config: PipelineConfig | None = None,
+    ):
+        self._sink = sink
+        self.mode = mode
+        self.error_bound = float(error_bound)
+        self.layout = layout_for(dtype)
+        self.config = config or PipelineConfig()
+        backend = backend or InlineBackend()
+        pipeline = backend.make_pipeline(self.layout.uint_dtype, self.config)
+        self._codec = ChunkCodec(pipeline, CHUNK_BYTES)
+        self._wpc = CHUNK_BYTES // self.layout.uint_dtype.itemsize
+
+        kwargs = {}
+        if mode == "noa":
+            if value_range is None:
+                raise ValueError(
+                    "NOA needs the global value range up front; pass "
+                    "value_range= (or compress in one shot instead)"
+                )
+            kwargs["value_range"] = value_range
+        self._quantizer = make_quantizer(
+            mode, self.error_bound, dtype=self.layout.float_dtype, **kwargs
+        )
+        self._pending = np.empty(0, dtype=self.layout.uint_dtype)
+        self._blobs: list[bytes] = []
+        self._raw_flags: list[bool] = []
+        self._count = 0
+        self._closed = False
+
+    # -- building ------------------------------------------------------------
+
+    def append(self, values: np.ndarray) -> None:
+        """Quantize and stage more values (any shape, any amount)."""
+        if self._closed:
+            raise ValueError("writer already closed")
+        flat = np.ascontiguousarray(values, dtype=self.layout.float_dtype).reshape(-1)
+        if not flat.size:
+            return
+        self._count += flat.size
+        words = self._quantizer.encode(flat)
+        self._pending = np.concatenate([self._pending, words])
+        while self._pending.size >= self._wpc:
+            chunk, self._pending = (
+                self._pending[: self._wpc],
+                self._pending[self._wpc:],
+            )
+            blob, raw = self._codec.encode_chunk(chunk)
+            self._blobs.append(blob)
+            self._raw_flags.append(raw)
+
+    def close(self) -> None:
+        """Flush the tail chunk and write the container."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pending.size:
+            padded_len = ((self._pending.size + 7) // 8) * 8
+            tail = np.zeros(padded_len, dtype=self.layout.uint_dtype)
+            tail[: self._pending.size] = self._pending
+            blob, raw = self._codec.encode_chunk(tail)
+            self._blobs.append(blob)
+            self._raw_flags.append(raw)
+
+        value_range = 0.0
+        if isinstance(self._quantizer, NoaQuantizer):
+            value_range = self._quantizer.value_range or 0.0
+        header = Header(
+            mode=self.mode,
+            dtype=self.layout.float_dtype,
+            error_bound=self.error_bound,
+            value_range=value_range,
+            count=self._count,
+            words_per_chunk=self._wpc,
+            n_chunks=len(self._blobs),
+            use_delta=self.config.use_delta,
+            use_bitshuffle=self.config.use_bitshuffle,
+            use_zero_elim=self.config.use_zero_elim,
+            bitmap_levels=self.config.bitmap_levels,
+        )
+        table = ChunkCodec.build_size_table(
+            [len(b) for b in self._blobs], self._raw_flags
+        )
+        self._sink.write(header.pack())
+        self._sink.write(table.astype("<u4").tobytes())
+        for blob in self._blobs:
+            self._sink.write(blob)
+
+    def __enter__(self) -> "PFPLWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+class PFPLReader:
+    """Windowed reads over a PFPL stream without full decompression."""
+
+    def __init__(self, source: BinaryIO | bytes, backend=None):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._stream = bytes(source)
+        else:
+            self._stream = source.read()
+        self._backend = backend
+        self.header = Header.unpack(self._stream)
+
+    def __len__(self) -> int:
+        return self.header.count
+
+    @property
+    def n_chunks(self) -> int:
+        return chunk_count(self._stream)
+
+    def read(self, start: int = 0, count: int | None = None) -> np.ndarray:
+        if count is None:
+            count = self.header.count - start
+        return decompress_range(self._stream, start, count, backend=self._backend)
+
+    def read_chunk(self, index: int) -> np.ndarray:
+        return decompress_chunk(self._stream, index, backend=self._backend)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self.header.count)
+            if step != 1:
+                raise ValueError("PFPLReader slicing supports step 1 only")
+            return self.read(start, stop - start)
+        if isinstance(key, int):
+            idx = key if key >= 0 else self.header.count + key
+            return self.read(idx, 1)[0]
+        raise TypeError(f"invalid index {key!r}")

@@ -1,0 +1,28 @@
+"""Miniature LC framework: the pipeline-synthesis substrate of Section III-D."""
+
+from .components import (
+    COMPONENTS,
+    MUTATORS,
+    REDUCERS,
+    SHIFTERS,
+    SHUFFLERS,
+    Block,
+    Component,
+)
+from .pipeline import PFPL_PIPELINE, LCPipeline
+from .search import SearchResult, enumerate_pipelines, search_pipelines
+
+__all__ = [
+    "Block",
+    "Component",
+    "COMPONENTS",
+    "MUTATORS",
+    "SHIFTERS",
+    "SHUFFLERS",
+    "REDUCERS",
+    "LCPipeline",
+    "PFPL_PIPELINE",
+    "SearchResult",
+    "enumerate_pipelines",
+    "search_pipelines",
+]

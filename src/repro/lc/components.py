@@ -1,0 +1,395 @@
+"""LC component library: invertible data transformations.
+
+The paper designed PFPL's lossless stages "with the LC framework [3],
+which can automatically synthesize parallelized data compressors for
+CPUs and GPUs.  In particular, we used LC to generate many algorithms
+and then optimized the best." (Section III-D).  This package is a
+faithful miniature of that methodology: a library of composable,
+invertible *components*, a pipeline abstraction, and a search that
+scores candidate pipelines on sample data (:mod:`repro.lc.search`).
+
+Every component maps a :class:`Block` (typed view of a chunk's bytes)
+to another Block and is exactly invertible.  Components mirror LC's
+families:
+
+* **mutators** (word-level, position-independent): negabinary, zigzag,
+  bit rotation, byte-plane ordering changes;
+* **shifters** (neighborhood): delta variants (lag-1, lag-2, xor-delta);
+* **shufflers** (data reordering): bit shuffle, byte shuffle;
+* **reducers** (the only size-changing stage): zero-byte elimination,
+  zero-nibble elimination, raw passthrough.
+
+A pipeline is valid when its stage kinds are compatible (reducers are
+terminal); :func:`repro.lc.search.search_pipelines` enumerates and
+scores them -- the PFPL pipeline (delta -> negabinary -> bitshuffle ->
+zero-elim) is what that search finds on smooth scientific data, which
+`benchmarks/test_lc_synthesis.py` verifies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lossless.bitshuffle import bitshuffle, bitunshuffle
+from ..core.lossless.negabinary import from_negabinary, to_negabinary
+from ..core.lossless.zerobyte import compress_bytes, decompress_bytes
+
+__all__ = [
+    "Block",
+    "Component",
+    "COMPONENTS",
+    "component",
+    "MUTATORS",
+    "SHIFTERS",
+    "SHUFFLERS",
+    "REDUCERS",
+]
+
+
+@dataclass
+class Block:
+    """A chunk in flight through an LC pipeline.
+
+    ``words`` is the typed view (uint32/uint64) while a pipeline is in
+    its word-oriented stages; ``payload`` is the final byte string once
+    a reducer has run.  ``n_words`` always refers to the original chunk.
+    """
+
+    words: np.ndarray | None
+    payload: bytes | None
+    n_words: int
+    word_dtype: np.dtype
+
+    @classmethod
+    def from_words(cls, words: np.ndarray) -> "Block":
+        words = np.ascontiguousarray(words)
+        return cls(words=words, payload=None, n_words=words.size,
+                   word_dtype=words.dtype)
+
+    @property
+    def reduced(self) -> bool:
+        return self.payload is not None
+
+    def size_bytes(self) -> int:
+        if self.payload is not None:
+            return len(self.payload)
+        return int(self.words.nbytes)
+
+
+class Component(ABC):
+    """One invertible pipeline stage."""
+
+    name: str = ""
+    kind: str = ""  # mutator / shifter / shuffler / reducer
+
+    @abstractmethod
+    def forward(self, block: Block) -> Block:
+        ...
+
+    @abstractmethod
+    def inverse(self, block: Block) -> Block:
+        ...
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+COMPONENTS: dict[str, Component] = {}
+
+
+def component(cls):
+    """Register a component class under its ``name``."""
+    inst = cls()
+    COMPONENTS[inst.name] = inst
+    return cls
+
+
+def _require_words(block: Block, who: str) -> np.ndarray:
+    if block.words is None:
+        raise ValueError(f"{who} cannot run after a reducer")
+    return block.words
+
+
+# -- mutators -----------------------------------------------------------------
+
+
+@component
+class NegabinaryMutator(Component):
+    """Two's complement -> base(-2); small +/- values get leading zeros."""
+
+    name = "negabinary"
+    kind = "mutator"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        return Block(to_negabinary(w), None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        return Block(from_negabinary(w), None, block.n_words, block.word_dtype)
+
+
+@component
+class ZigzagMutator(Component):
+    """Interleave signs: 0,-1,1,-2 -> 0,1,2,3 (the LC alternative to
+    negabinary; loses to it in the search, which is the point)."""
+
+    name = "zigzag"
+    kind = "mutator"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        bits = np.uint64(w.dtype.itemsize * 8 - 1)
+        s = w.view(np.int64 if w.dtype == np.uint64 else np.int32)
+        with np.errstate(over="ignore"):
+            z = ((s << 1) ^ (s >> s.dtype.type(int(bits)))).view(w.dtype)
+        return Block(z, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        one = w.dtype.type(1)
+        with np.errstate(over="ignore"):
+            half = (w >> one).view(
+                np.int64 if w.dtype == np.uint64 else np.int32
+            )
+            low = (w & one).view(
+                np.int64 if w.dtype == np.uint64 else np.int32
+            )
+            s = half ^ -low
+        return Block(s.view(w.dtype), None, block.n_words, block.word_dtype)
+
+
+@component
+class RotateMutator(Component):
+    """Rotate each word left by 1 bit (an LC mutator that rarely helps)."""
+
+    name = "rotate1"
+    kind = "mutator"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        bits = w.dtype.type(w.dtype.itemsize * 8 - 1)
+        out = (w << w.dtype.type(1)) | (w >> bits)
+        return Block(out, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        bits = w.dtype.type(w.dtype.itemsize * 8 - 1)
+        out = (w >> w.dtype.type(1)) | (w << bits)
+        return Block(out, None, block.n_words, block.word_dtype)
+
+
+# -- shifters -----------------------------------------------------------------
+
+
+class _DeltaBase(Component):
+    kind = "shifter"
+    lag = 1
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        out = w.copy()
+        if w.size > self.lag:
+            with np.errstate(over="ignore"):
+                out[self.lag:] = w[self.lag:] - w[:-self.lag]
+        return Block(out, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        out = w.copy()
+        with np.errstate(over="ignore"):
+            for base in range(min(self.lag, out.size)):
+                out[base::self.lag] = np.cumsum(
+                    out[base::self.lag], dtype=out.dtype
+                )
+        return Block(out, None, block.n_words, block.word_dtype)
+
+
+@component
+class Delta1Shifter(_DeltaBase):
+    """Lag-1 difference (PFPL's choice)."""
+
+    name = "delta1"
+    lag = 1
+
+
+@component
+class Delta2Shifter(_DeltaBase):
+    """Lag-2 difference (helps interleaved x/y data; LC candidate)."""
+
+    name = "delta2"
+    lag = 2
+
+
+@component
+class XorDeltaShifter(Component):
+    """XOR with the previous word (LC's bitwise-difference candidate)."""
+
+    name = "xordelta"
+    kind = "shifter"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        out = w.copy()
+        if w.size > 1:
+            out[1:] = w[1:] ^ w[:-1]
+        return Block(out, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        out = w.copy()
+        # cumulative xor via log-step doubling (copy avoids the in-place
+        # overlap hazard)
+        shift = 1
+        while shift < out.size:
+            out[shift:] ^= out[:-shift].copy()
+            shift *= 2
+        return Block(out, None, block.n_words, block.word_dtype)
+
+
+# -- shufflers ----------------------------------------------------------------
+
+
+@component
+class BitShuffleShuffler(Component):
+    """Bit-plane transposition (PFPL's stage L2)."""
+
+    name = "bitshuffle"
+    kind = "shuffler"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        planes = bitshuffle(w)
+        return Block(planes.view(np.uint8).copy().view(block.word_dtype)
+                     if planes.size % block.word_dtype.itemsize == 0
+                     else planes, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        planes = w.view(np.uint8)
+        words = bitunshuffle(planes, block.n_words, block.word_dtype)
+        return Block(words, None, block.n_words, block.word_dtype)
+
+
+@component
+class ByteShuffleShuffler(Component):
+    """Byte-plane transposition (blosc-style; coarser than bit shuffle)."""
+
+    name = "byteshuffle"
+    kind = "shuffler"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        nb = block.word_dtype.itemsize
+        by = w.view(np.uint8).reshape(w.size, nb)
+        out = np.ascontiguousarray(by.T).reshape(-1).view(block.word_dtype)
+        return Block(out, None, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        nb = block.word_dtype.itemsize
+        by = w.view(np.uint8).reshape(nb, block.n_words)
+        out = np.ascontiguousarray(by.T).reshape(-1).view(block.word_dtype)
+        return Block(out, None, block.n_words, block.word_dtype)
+
+
+# -- reducers -----------------------------------------------------------------
+
+
+@component
+class ZeroByteReducer(Component):
+    """PFPL's stage L3: iterative zero-byte elimination."""
+
+    name = "zerobyte"
+    kind = "reducer"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        payload = compress_bytes(w.view(np.uint8))
+        return Block(None, payload, block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        if block.payload is None:
+            raise ValueError("zerobyte inverse needs a reduced block")
+        n_bytes = block.n_words * block.word_dtype.itemsize
+        data = decompress_bytes(block.payload, n_bytes)
+        return Block(np.ascontiguousarray(data).view(block.word_dtype).copy(),
+                     None, block.n_words, block.word_dtype)
+
+
+@component
+class ZeroNibbleReducer(Component):
+    """Nibble-granularity zero elimination (finer bitmap, more overhead)."""
+
+    name = "zeronibble"
+    kind = "reducer"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        by = w.view(np.uint8)
+        hi = by >> 4
+        lo = by & 0x0F
+        nibbles = np.empty(by.size * 2, dtype=np.uint8)
+        nibbles[0::2] = hi
+        nibbles[1::2] = lo
+        keep = nibbles != 0
+        bitmap = np.packbits(keep)
+        kept = nibbles[keep]
+        # pack the surviving nibbles two per byte
+        if kept.size % 2:
+            kept = np.concatenate([kept, np.zeros(1, dtype=np.uint8)])
+        packed = (kept[0::2] << 4) | kept[1::2]
+        import struct
+
+        head = struct.pack("<I", int(keep.sum()))
+        return Block(None, head + bitmap.tobytes() + packed.tobytes(),
+                     block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        import struct
+
+        if block.payload is None:
+            raise ValueError("zeronibble inverse needs a reduced block")
+        n_bytes = block.n_words * block.word_dtype.itemsize
+        n_nibbles = n_bytes * 2
+        (n_kept,) = struct.unpack_from("<I", block.payload)
+        bm_len = (n_nibbles + 7) // 8
+        bitmap = np.frombuffer(block.payload, np.uint8, bm_len, 4)
+        packed = np.frombuffer(block.payload, np.uint8, offset=4 + bm_len)
+        kept = np.empty(packed.size * 2, dtype=np.uint8)
+        kept[0::2] = packed >> 4
+        kept[1::2] = packed & 0x0F
+        kept = kept[:n_kept]
+        keep = np.unpackbits(bitmap, count=n_nibbles).astype(bool)
+        nibbles = np.zeros(n_nibbles, dtype=np.uint8)
+        nibbles[keep] = kept
+        by = (nibbles[0::2] << 4) | nibbles[1::2]
+        return Block(np.ascontiguousarray(by).view(block.word_dtype).copy(),
+                     None, block.n_words, block.word_dtype)
+
+
+@component
+class RawReducer(Component):
+    """Identity terminal stage (the 'no compression' baseline)."""
+
+    name = "raw"
+    kind = "reducer"
+
+    def forward(self, block: Block) -> Block:
+        w = _require_words(block, self.name)
+        return Block(None, w.tobytes(), block.n_words, block.word_dtype)
+
+    def inverse(self, block: Block) -> Block:
+        if block.payload is None:
+            raise ValueError("raw inverse needs a reduced block")
+        w = np.frombuffer(block.payload, dtype=block.word_dtype).copy()
+        return Block(w, None, block.n_words, block.word_dtype)
+
+
+MUTATORS = [n for n, c in COMPONENTS.items() if c.kind == "mutator"]
+SHIFTERS = [n for n, c in COMPONENTS.items() if c.kind == "shifter"]
+SHUFFLERS = [n for n, c in COMPONENTS.items() if c.kind == "shuffler"]
+REDUCERS = [n for n, c in COMPONENTS.items() if c.kind == "reducer"]

@@ -1,0 +1,75 @@
+"""LC pipelines: ordered component chains with validity rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .components import COMPONENTS, Block, Component
+
+__all__ = ["LCPipeline", "PFPL_PIPELINE"]
+
+#: the pipeline the paper's search converged on (Section III-D)
+PFPL_PIPELINE = ("delta1", "negabinary", "bitshuffle", "zerobyte")
+
+
+@dataclass(frozen=True)
+class LCPipeline:
+    """An ordered chain of component names.
+
+    Validity rules (mirroring LC's stage grammar):
+
+    * at most one stage of each kind;
+    * a reducer, if present, must be last;
+    * word counts must be multiples of 8 for shuffle stages (the chunker
+      guarantees this, as in PFPL).
+    """
+
+    stages: tuple[str, ...]
+
+    def __post_init__(self):
+        kinds = []
+        for name in self.stages:
+            if name not in COMPONENTS:
+                raise ValueError(f"unknown LC component {name!r}")
+            kinds.append(COMPONENTS[name].kind)
+        for k in set(kinds):
+            if kinds.count(k) > 1:
+                raise ValueError(f"pipeline uses two {k} stages: {self.stages}")
+        if "reducer" in kinds and kinds.index("reducer") != len(kinds) - 1:
+            raise ValueError(f"reducer must be the final stage: {self.stages}")
+
+    @property
+    def components(self) -> list[Component]:
+        return [COMPONENTS[name] for name in self.stages]
+
+    def describe(self) -> str:
+        return " -> ".join(self.stages) if self.stages else "identity"
+
+    # -- execution -----------------------------------------------------------
+
+    def encode(self, words: np.ndarray) -> bytes:
+        """Run the chain forward; returns the stage output as bytes."""
+        block = Block.from_words(words)
+        for comp in self.components:
+            block = comp.forward(block)
+        if block.payload is not None:
+            return block.payload
+        return block.words.tobytes()
+
+    def decode(self, payload: bytes, n_words: int, word_dtype) -> np.ndarray:
+        """Run the chain backward from serialized bytes."""
+        dt = np.dtype(word_dtype)
+        comps = self.components
+        if comps and comps[-1].kind == "reducer":
+            block = Block(None, payload, n_words, dt)
+        else:
+            block = Block(np.frombuffer(payload, dtype=dt).copy(), None,
+                          n_words, dt)
+        for comp in reversed(comps):
+            block = comp.inverse(block)
+        return block.words
+
+    def compressed_size(self, words: np.ndarray) -> int:
+        return len(self.encode(words))

@@ -1,0 +1,21 @@
+"""Metrics: error-bound checks, PSNR, ratio aggregation."""
+
+from ..core.verify import BoundReport, check_abs, check_bound, check_noa, check_rel
+from .dssim import dssim, ssim_field
+from .psnr import mse, nrmse, psnr
+from .summarize import geomean, geomean_of_suite_geomeans
+
+__all__ = [
+    "BoundReport",
+    "check_bound",
+    "check_abs",
+    "check_rel",
+    "check_noa",
+    "psnr",
+    "dssim",
+    "ssim_field",
+    "mse",
+    "nrmse",
+    "geomean",
+    "geomean_of_suite_geomeans",
+]

@@ -1,0 +1,143 @@
+"""Quantization-artifact analysis of lossy reconstructions.
+
+Domain scientists "already distrust lossy compression" (Section I, citing
+[4]); beyond max-error and PSNR they inspect *how* the error behaves.
+This module characterizes the error field of a reconstruction:
+
+* :func:`error_histogram` -- distribution of point-wise errors.  A
+  healthy uniform quantizer produces errors ~Uniform(-eps, eps); spikes
+  at the bound or bimodality betray drifting/broken codecs.
+* :func:`error_autocorrelation` -- serial correlation of the error.
+  White error is benign noise; correlated error means the compressor
+  imprinted *structure* (banding, blocking) on the data.
+* :func:`uniformity_pvalue` -- Kolmogorov-Smirnov test of the error
+  against the ideal uniform distribution.
+* :func:`summarize_errors` -- one report object with everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "ErrorReport",
+    "error_histogram",
+    "error_autocorrelation",
+    "uniformity_pvalue",
+    "summarize_errors",
+]
+
+
+def _error_field(original: np.ndarray, recon: np.ndarray) -> np.ndarray:
+    o = np.asarray(original, dtype=np.float64).reshape(-1)
+    r = np.asarray(recon, dtype=np.float64).reshape(-1)
+    if o.shape != r.shape:
+        raise ValueError(f"shape mismatch: {o.shape} vs {r.shape}")
+    fin = np.isfinite(o) & np.isfinite(r)
+    return (o - r)[fin]
+
+
+def error_histogram(
+    original: np.ndarray, recon: np.ndarray, bound: float, bins: int = 41
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of errors over [-bound, bound] (counts, bin edges).
+
+    Out-of-range errors (bound violations) land in the edge bins so they
+    remain visible.
+    """
+    err = np.clip(_error_field(original, recon), -bound, bound)
+    return np.histogram(err, bins=bins, range=(-bound, bound))
+
+
+def error_autocorrelation(
+    original: np.ndarray, recon: np.ndarray, max_lag: int = 16
+) -> np.ndarray:
+    """Normalized autocorrelation of the flattened error at lags 0..max_lag."""
+    err = _error_field(original, recon)
+    err = err - err.mean()
+    denom = float(np.dot(err, err))
+    if denom == 0.0:
+        return np.zeros(max_lag + 1)
+    out = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        if lag >= err.size:
+            out[lag] = 0.0
+        else:
+            out[lag] = float(np.dot(err[: err.size - lag], err[lag:])) / denom
+    return out
+
+
+def uniformity_pvalue(
+    original: np.ndarray, recon: np.ndarray, bound: float
+) -> float:
+    """KS-test p-value of the error against Uniform(-bound, bound).
+
+    High p => consistent with ideal uniform quantization error; near-zero
+    p => the error distribution is structured (e.g. drift, saturation).
+    Values stored losslessly contribute exact zeros, so the test runs on
+    the nonzero errors only.
+    """
+    err = _error_field(original, recon)
+    err = err[err != 0]
+    if err.size < 8:
+        return 1.0
+    return float(
+        stats.kstest(err, stats.uniform(loc=-bound, scale=2 * bound).cdf).pvalue
+    )
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Summary of an error field's behaviour."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    rms_error: float
+    bias: float                 #: mean signed error (drift indicator)
+    lag1_autocorrelation: float
+    uniformity_p: float
+    bound: float
+
+    @property
+    def bound_utilization(self) -> float:
+        """max error / bound -- how much of the budget was used."""
+        return self.max_abs_error / self.bound if self.bound else np.inf
+
+    @property
+    def looks_like_ideal_quantization(self) -> bool:
+        """Uniform-ish, unbiased, mostly uncorrelated error."""
+        return (
+            self.bound_utilization <= 1.0
+            and abs(self.bias) < 0.1 * self.bound
+            and abs(self.lag1_autocorrelation) < 0.5
+        )
+
+    def render(self) -> str:
+        return (
+            f"max|e|={self.max_abs_error:.3e} ({self.bound_utilization * 100:.1f}% "
+            f"of bound)  rms={self.rms_error:.3e}  bias={self.bias:+.2e}  "
+            f"lag1-corr={self.lag1_autocorrelation:+.3f}  "
+            f"uniformity-p={self.uniformity_p:.3f}"
+        )
+
+
+def summarize_errors(
+    original: np.ndarray, recon: np.ndarray, bound: float
+) -> ErrorReport:
+    """Build the full :class:`ErrorReport` for one reconstruction."""
+    err = _error_field(original, recon)
+    if err.size == 0:
+        return ErrorReport(0.0, 0.0, 0.0, 0.0, 0.0, 1.0, float(bound))
+    ac = error_autocorrelation(original, recon, max_lag=1)
+    return ErrorReport(
+        max_abs_error=float(np.abs(err).max()),
+        mean_abs_error=float(np.abs(err).mean()),
+        rms_error=float(np.sqrt(np.mean(err * err))),
+        bias=float(err.mean()),
+        lag1_autocorrelation=float(ac[1]) if ac.size > 1 else 0.0,
+        uniformity_p=uniformity_pvalue(original, recon, bound),
+        bound=float(bound),
+    )

@@ -1,0 +1,51 @@
+"""Reconstruction-quality metrics (Figure 16).
+
+PSNR for scientific data uses the value *range* as the peak:
+
+    PSNR = 20*log10(max - min) - 10*log10(MSE)
+
+Higher is better; the paper plots PSNR against compression ratio for
+every compressor and error-bound type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["psnr", "mse", "nrmse"]
+
+
+def mse(original: np.ndarray, recon: np.ndarray) -> float:
+    """Mean squared error over finite values."""
+    o = np.asarray(original, dtype=np.float64).reshape(-1)
+    r = np.asarray(recon, dtype=np.float64).reshape(-1)
+    if o.shape != r.shape:
+        raise ValueError(f"shape mismatch: {o.shape} vs {r.shape}")
+    fin = np.isfinite(o) & np.isfinite(r)
+    if not fin.any():
+        return 0.0
+    d = o[fin] - r[fin]
+    return float(np.mean(d * d))
+
+
+def psnr(original: np.ndarray, recon: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (inf for exact reconstruction)."""
+    o = np.asarray(original, dtype=np.float64).reshape(-1)
+    fin = o[np.isfinite(o)]
+    rng = float(fin.max() - fin.min()) if fin.size else 0.0
+    err = mse(original, recon)
+    if err == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return 0.0
+    return 20.0 * np.log10(rng) - 10.0 * np.log10(err)
+
+
+def nrmse(original: np.ndarray, recon: np.ndarray) -> float:
+    """Range-normalized RMSE (the quantity PSNR is a log view of)."""
+    o = np.asarray(original, dtype=np.float64).reshape(-1)
+    fin = o[np.isfinite(o)]
+    rng = float(fin.max() - fin.min()) if fin.size else 0.0
+    if rng == 0.0:
+        return 0.0
+    return float(np.sqrt(mse(original, recon)) / rng)

@@ -1,0 +1,30 @@
+"""Aggregation rules matching the paper's methodology (Section IV).
+
+"The plots report the geometric mean of the geometric mean of each
+suite so as not to overemphasize suites with more files."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["geomean", "geomean_of_suite_geomeans"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (empty -> nan)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def geomean_of_suite_geomeans(per_suite_values: Mapping[str, Iterable[float]]) -> float:
+    """Geo-mean over suites of each suite's per-file geo-mean."""
+    suite_means = [geomean(v) for v in per_suite_values.values()]
+    suite_means = [m for m in suite_means if not np.isnan(m)]
+    return geomean(suite_means) if suite_means else float("nan")

@@ -1,0 +1,69 @@
+"""Table III: the code's feature matrix must match the paper's table."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_COMPRESSORS, make_compressor
+from repro.baselines.base import pack_sections, unpack_sections
+from repro.harness.features import TABLE3_EXPECTED, feature_matrix, render_table3
+
+
+def test_matrix_matches_paper():
+    assert feature_matrix() == TABLE3_EXPECTED
+
+
+def test_pfpl_is_the_only_full_row():
+    """The paper's claim: only PFPL supports every listed feature."""
+    for name, row in TABLE3_EXPECTED.items():
+        abs_s, rel_s, noa_s, fl, db, cpu, gpu = row
+        full = (
+            abs_s == rel_s == noa_s == "yes"
+            and fl and db and cpu and gpu
+        )
+        assert full == (name == "PFPL"), name
+
+
+def test_sz2_is_only_other_all_bounds():
+    supports_all = [
+        name for name, (a, r, n, *_rest) in TABLE3_EXPECTED.items()
+        if a != "no" and r != "no" and n != "no"
+    ]
+    assert sorted(supports_all) == ["PFPL", "SZ2"]
+
+
+def test_mgard_only_other_cpu_gpu():
+    both = [name for name, row in TABLE3_EXPECTED.items() if row[5] and row[6]]
+    assert sorted(both) == ["MGARD-X", "PFPL"]
+
+
+def test_render_contains_all_rows():
+    text = render_table3()
+    for name in TABLE3_EXPECTED:
+        assert name in text
+
+
+def test_supports_agrees_with_features():
+    for name in ALL_COMPRESSORS:
+        c = make_compressor(name)
+        for mode in ("abs", "rel", "noa"):
+            for dt in (np.float32, np.float64):
+                expected = bool(c.features.mode_support(mode)) and (
+                    c.features.supports_float if dt == np.float32
+                    else c.features.supports_double
+                )
+                assert c.supports(mode, dt) == expected
+
+
+def test_make_compressor_unknown():
+    with pytest.raises(ValueError):
+        make_compressor("LZMA")
+
+
+class TestContainer:
+    def test_sections_roundtrip(self):
+        secs = [b"", b"abc", b"\x00" * 100]
+        assert unpack_sections(pack_sections(*secs)) == secs
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            unpack_sections(pack_sections(b"x") + b"junk")

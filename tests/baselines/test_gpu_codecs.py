@@ -1,0 +1,112 @@
+"""cuSZp and FZ-GPU: round trips, violation modes, crash reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import UnsupportedInput
+from repro.baselines.cuszp import CuSZp
+from repro.baselines.fzgpu import FZGPU
+from repro.core.verify import check_bound
+from repro.metrics import psnr
+
+
+class TestCuSZp:
+    def test_abs_roundtrip_with_major_violations(self, field3d_f32):
+        """Fig. 6 note: major ABS violations for all tested bounds."""
+        c = CuSZp()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-3))
+        rep = check_bound("abs", field3d_f32, rec, 1e-3)
+        assert not rep.ok
+        assert rep.severity == "major"
+        assert rep.violation_factor < 20  # drift is chain-bounded
+
+    def test_abs_quality_still_usable(self, field3d_f32):
+        c = CuSZp()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-3))
+        assert psnr(field3d_f32, rec) > 45
+
+    def test_noa_float32_guaranteed(self, field3d_f32):
+        """Table III: cuSZp NOA is a check mark (on floats)."""
+        c = CuSZp()
+        rec = c.decompress(c.compress(field3d_f32, "noa", 1e-3))
+        assert check_bound("noa", field3d_f32, rec, 1e-3).ok
+
+    def test_noa_float64_violates(self, field3d_f64):
+        """Section V-D: major violations on all double inputs."""
+        c = CuSZp()
+        rec = c.decompress(c.compress(field3d_f64, "noa", 1e-3))
+        rep = check_bound("noa", field3d_f64, rec, 1e-3)
+        assert not rep.ok and rep.severity == "major"
+
+    def test_no_rel(self):
+        assert not CuSZp().supports("rel", np.float32)
+
+    def test_zero_blocks_compress_away(self):
+        v = np.zeros(100_000, dtype=np.float32)
+        c = CuSZp()
+        blob = c.compress(v, "abs", 1e-3)
+        assert len(blob) < v.nbytes / 50
+
+    def test_nonfinite_preserved(self, rng):
+        v = rng.normal(0, 1, 500).astype(np.float32)
+        v[5] = np.nan
+        v[6] = -np.inf
+        c = CuSZp()
+        rec = c.decompress(c.compress(v, "abs", 1e-2))
+        assert np.isnan(rec[5]) and rec[6] == -np.inf
+
+    def test_shape_restored(self, field3d_f32):
+        c = CuSZp()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-2))
+        assert rec.shape == field3d_f32.shape
+
+
+class TestFZGPU:
+    def test_noa_roundtrip(self, field3d_f32):
+        c = FZGPU()
+        rec = c.decompress(c.compress(field3d_f32, "noa", 1e-2))
+        rep = check_bound("noa", field3d_f32, rec, 1e-2)
+        # minor violations at most (no verify pass, float32 dequant)
+        assert rep.violation_factor < 1.5
+
+    def test_float_only(self):
+        c = FZGPU()
+        assert c.supports("noa", np.float32)
+        assert not c.supports("noa", np.float64)
+
+    def test_noa_only(self):
+        c = FZGPU()
+        assert not c.supports("abs", np.float32)
+        assert not c.supports("rel", np.float32)
+
+    def test_requires_3d(self, rng):
+        c = FZGPU()
+        with pytest.raises(UnsupportedInput, match="3-D"):
+            c.compress(rng.normal(0, 1, 100).astype(np.float32), "noa", 1e-2)
+
+    @staticmethod
+    def _checkerboard(shape=(16, 16, 16), amp=1e4):
+        # worst case for Lorenzo: full-range oscillation along every axis
+        # amplifies residuals 8x, overflowing the 16-bit code path
+        parity = np.indices(shape).sum(axis=0) % 2
+        return np.where(parity == 1, amp, -amp).astype(np.float32)
+
+    def test_crashes_on_tight_bounds_for_rough_input(self):
+        """Section V-D: 'crashes for the 1E-3 and 1E-4 bounds on some of
+        the single-precision inputs' -- the int16 residual overflow."""
+        c = FZGPU()
+        with pytest.raises(UnsupportedInput, match="crash"):
+            c.compress(self._checkerboard(), "noa", 1e-4)
+
+    def test_coarse_bound_does_not_crash_same_input(self):
+        c = FZGPU()
+        data = self._checkerboard()
+        rec = c.decompress(c.compress(data, "noa", 1e-1))
+        assert rec.shape == data.shape
+
+    def test_low_ratio_vs_pfpl(self, field3d_f32):
+        from repro.baselines import PFPL
+
+        fz = len(FZGPU().compress(field3d_f32, "noa", 1e-2))
+        pf = len(PFPL().compress(field3d_f32, "noa", 1e-2))
+        assert fz > pf  # paper: FZ-GPU ratio below PFPL

@@ -1,0 +1,110 @@
+"""Shared SZ machinery: dual quantization, Lorenzo, interpolation lifting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lifting import (
+    lift_forward_float,
+    lift_forward_int,
+    lift_inverse_float,
+    lift_inverse_int,
+)
+from repro.baselines.predictors import (
+    dequantize,
+    dual_quantize,
+    lorenzo_decode,
+    lorenzo_encode,
+    unzigzag,
+    zigzag,
+)
+
+SHAPES = [(1,), (2,), (37,), (16, 21), (5, 1, 7), (13, 20, 24)]
+
+
+class TestDualQuantize:
+    def test_bound(self):
+        r = np.random.default_rng(1)
+        v = r.normal(0, 100, 10_000)
+        bins, outlier = dual_quantize(v, 1e-3)
+        recon = dequantize(bins, 1e-3, np.float64)
+        assert np.abs(v[~outlier] - recon[~outlier]).max() <= 1e-3 + 1e-15
+
+    def test_nonfinite_are_outliers(self):
+        bins, outlier = dual_quantize(np.array([1.0, np.nan, np.inf]), 1e-2)
+        assert list(outlier) == [False, True, True]
+        assert bins[1] == bins[2] == 0
+
+    def test_huge_bins_are_outliers(self):
+        bins, outlier = dual_quantize(np.array([1e30]), 1e-3, max_bin=1000)
+        assert outlier[0]
+
+
+class TestLorenzo:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_roundtrip(self, shape):
+        r = np.random.default_rng(sum(shape))
+        q = r.integers(-100_000, 100_000, int(np.prod(shape)))
+        res = lorenzo_encode(q, shape)
+        assert np.array_equal(lorenzo_decode(res, shape), q)
+
+    def test_axes_subset_roundtrip(self):
+        r = np.random.default_rng(9)
+        shape = (6, 8, 10)
+        q = r.integers(-1000, 1000, 480)
+        for axes in [(0,), (1, 2), (2,), (0, 2)]:
+            res = lorenzo_encode(q, shape, axes)
+            assert np.array_equal(lorenzo_decode(res, shape, axes), q)
+
+    def test_constant_field_residuals_are_zero(self):
+        q = np.full(60, 7, dtype=np.int64)
+        res = lorenzo_encode(q, (3, 4, 5))
+        assert res[0] == 7
+        assert (res.reshape(3, 4, 5)[1:, 1:, 1:] == 0).all()
+
+    def test_linear_ramp_second_difference_vanishes(self):
+        q = np.arange(100, dtype=np.int64)
+        res = lorenzo_encode(q, (100,))
+        assert (res[1:] == 1).all()
+
+
+class TestLifting:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_int_roundtrip(self, shape):
+        r = np.random.default_rng(sum(shape) + 1)
+        q = r.integers(-100_000, 100_000, int(np.prod(shape)))
+        c = lift_forward_int(q, shape)
+        assert np.array_equal(lift_inverse_int(c, shape), q)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_float_roundtrip(self, shape):
+        r = np.random.default_rng(sum(shape) + 2)
+        v = r.normal(0, 5, int(np.prod(shape)))
+        c = lift_forward_float(v, shape)
+        assert np.allclose(lift_inverse_float(c, shape), v, atol=1e-10)
+
+    def test_smooth_data_concentrates_energy(self):
+        x = np.sin(np.linspace(0, 4 * np.pi, 1024))
+        q = np.rint(x * 10_000).astype(np.int64)
+        c = lift_forward_int(q, (1024,))
+        # detail coefficients (odd positions at the finest level) are tiny;
+        # the very last one only has a left neighbor, so exclude it
+        assert np.abs(c[1::2][:-1]).max() < np.abs(q).max() / 100
+
+    def test_preserves_totals(self):
+        """Forward/inverse are permutation-free in-place transforms."""
+        q = np.arange(64, dtype=np.int64)
+        c = lift_forward_int(q, (64,))
+        assert c.shape == q.shape
+
+
+class TestZigzag:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-(1 << 62), 1 << 62), max_size=100))
+    def test_roundtrip(self, values):
+        x = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(unzigzag(zigzag(x)), x)
+
+    def test_ordering(self):
+        assert list(zigzag(np.array([0, -1, 1, -2, 2]))) == [0, 1, 2, 3, 4]

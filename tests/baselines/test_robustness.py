@@ -1,0 +1,85 @@
+"""Failure injection: corrupt/truncated streams must fail loudly.
+
+A production codec must never silently return wrong data from a broken
+stream -- every baseline gets the same treatment as PFPL's container.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_COMPRESSORS, UnsupportedInput
+
+NAMES = sorted(ALL_COMPRESSORS)
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    from repro.datasets import spectral_field
+
+    return spectral_field((8, 12, 16), beta=5.0, seed=2, dtype=np.float32,
+                          amplitude=4.0)
+
+
+def _first_supported_mode(comp, dtype):
+    for mode in ("abs", "noa", "rel"):
+        if comp.supports(mode, dtype):
+            return mode
+    return None
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_truncated_stream_raises(name, small_field):
+    comp = ALL_COMPRESSORS[name]()
+    mode = _first_supported_mode(comp, small_field.dtype)
+    blob = comp.compress(small_field, mode, 1e-2)
+    for cut in (len(blob) // 2, len(blob) - 3):
+        with pytest.raises((ValueError, struct_error_types := Exception)):
+            out = comp.decompress(blob[:cut])
+            # if no exception, the output must at least not silently match
+            assert not np.array_equal(out, small_field)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_garbage_stream_raises(name):
+    comp = ALL_COMPRESSORS[name]()
+    with pytest.raises(Exception):
+        comp.decompress(b"\x13\x37" * 64)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_roundtrip_is_deterministic(name, small_field):
+    comp_a = ALL_COMPRESSORS[name]()
+    comp_b = ALL_COMPRESSORS[name]()
+    mode = _first_supported_mode(comp_a, small_field.dtype)
+    assert comp_a.compress(small_field, mode, 1e-2) == \
+        comp_b.compress(small_field, mode, 1e-2)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_empty_ish_input(name):
+    comp = ALL_COMPRESSORS[name]()
+    data = np.zeros((4, 4, 4), dtype=np.float32)
+    mode = _first_supported_mode(comp, data.dtype)
+    try:
+        rec = comp.decompress(comp.compress(data, mode, 1e-2))
+    except UnsupportedInput:
+        return
+    assert rec.shape == data.shape
+    assert np.allclose(rec, 0.0, atol=1e-1)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_constant_input(name):
+    comp = ALL_COMPRESSORS[name]()
+    data = np.full((16, 32, 32), 2.5, dtype=np.float32)
+    mode = _first_supported_mode(comp, data.dtype)
+    try:
+        blob = comp.compress(data, mode, 1e-2)
+    except UnsupportedInput:
+        return
+    rec = comp.decompress(blob)
+    assert np.abs(rec - 2.5).max() < 0.5
+    # constant data must compress once framing is amortized (ZFP's
+    # plane coder and cuSZp's fixed-length blocks set the low bar --
+    # their low-ratio character in the paper)
+    assert data.nbytes / len(blob) > 2

@@ -1,0 +1,101 @@
+"""SZ2 / SZ3 / SZ3_OMP behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sz import SZ2, SZ3, SZ3OMP
+from repro.core.verify import check_bound
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("cls", [SZ2, SZ3, SZ3OMP])
+    @pytest.mark.parametrize("mode", ["abs", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_guaranteed_modes(self, cls, mode, dtype, field3d_f32):
+        data = field3d_f32.astype(dtype)
+        c = cls()
+        blob = c.compress(data, mode, 1e-3)
+        rec = c.decompress(blob)
+        assert rec.shape == data.shape and rec.dtype == data.dtype
+        rep = check_bound(mode, data, rec, 1e-3)
+        assert rep.ok, f"{cls.__name__} {mode} violated: x{rep.violation_factor}"
+
+    @pytest.mark.parametrize("cls", [SZ2, SZ3, SZ3OMP])
+    def test_1d_and_2d_inputs(self, cls, rng):
+        c = cls()
+        for shape in [(5000,), (50, 100)]:
+            data = np.cumsum(rng.normal(0, 0.1, int(np.prod(shape)))).reshape(shape).astype(np.float32)
+            rec = c.decompress(c.compress(data, "abs", 1e-2))
+            assert check_bound("abs", data, rec, 1e-2).ok
+
+    def test_nonfinite_values_survive(self, rng):
+        v = rng.normal(0, 1, 1000).astype(np.float32)
+        v[10] = np.nan
+        v[20] = np.inf
+        v[30] = -np.inf
+        c = SZ3()
+        rec = c.decompress(c.compress(v, "abs", 1e-2))
+        assert np.isnan(rec[10]) and rec[20] == np.inf and rec[30] == -np.inf
+
+
+class TestSZ2Rel:
+    def test_rel_mostly_bounded(self, rng):
+        v = np.exp(rng.uniform(-3, 3, 20_000)).astype(np.float32)
+        c = SZ2()
+        rec = c.decompress(c.compress(v, "rel", 1e-2))
+        rel = np.abs(v.astype(np.float64) - rec.astype(np.float64)) / np.abs(v)
+        # the bulk honors the bound...
+        assert np.quantile(rel, 0.99) <= 1e-2 * 1.01
+
+    def test_rel_flushes_near_zero_values(self, rng):
+        """The 'large violations on CESM' mechanism: tiny values -> 0."""
+        v = rng.normal(0, 10, 10_000).astype(np.float32)
+        v[::100] = 1e-12  # far below max|v| * flush threshold
+        c = SZ2()
+        rec = c.decompress(c.compress(v, "rel", 1e-3))
+        rep = check_bound("rel", v, rec, 1e-3)
+        assert not rep.ok
+        assert rep.severity == "major"
+
+    def test_sz3_has_no_rel(self):
+        assert not SZ3().supports("rel", np.float32)
+        assert SZ2().supports("rel", np.float32)
+
+
+class TestRatioOrdering:
+    """The compression-ratio relations Section V relies on."""
+
+    def test_sz3_at_least_sz2(self, field3d_f32):
+        for eps in (1e-1, 1e-3):
+            r2 = field3d_f32.nbytes / len(SZ2().compress(field3d_f32, "abs", eps))
+            r3 = field3d_f32.nbytes / len(SZ3().compress(field3d_f32, "abs", eps))
+            assert r3 >= r2 * 0.98  # dynamic selection includes SZ2's predictor
+
+    def test_omp_compresses_less_than_serial(self, field3d_f32):
+        serial = len(SZ3().compress(field3d_f32, "abs", 1e-2))
+        omp = len(SZ3OMP().compress(field3d_f32, "abs", 1e-2))
+        assert omp >= serial
+
+    def test_omp_and_serial_interchangeable(self, field3d_f32):
+        """Section IV: both versions decompress each other's files."""
+        blob_serial = SZ3().compress(field3d_f32, "abs", 1e-2)
+        blob_omp = SZ3OMP().compress(field3d_f32, "abs", 1e-2)
+        assert blob_serial != blob_omp  # different files...
+        rec = SZ3OMP().decompress(blob_serial)  # ...but interchangeable
+        assert check_bound("abs", field3d_f32, rec, 1e-2).ok
+        rec = SZ3().decompress(blob_omp)
+        assert check_bound("abs", field3d_f32, rec, 1e-2).ok
+
+    def test_ratio_decreases_with_tighter_bound(self, field3d_f32):
+        sizes = [len(SZ3().compress(field3d_f32, "abs", eps))
+                 for eps in (1e-1, 1e-2, 1e-3, 1e-4)]
+        assert sizes == sorted(sizes)
+
+
+class TestOutlierList:
+    def test_outliers_stored_separately_and_exactly(self, rng):
+        v = np.cumsum(rng.normal(0, 0.01, 5000)).astype(np.float32)
+        v[100] = 3e38  # bin overflows the quantizer range
+        c = SZ3()
+        rec = c.decompress(c.compress(v, "abs", 1e-3))
+        assert rec[100] == v[100]

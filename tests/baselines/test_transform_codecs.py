@@ -1,0 +1,124 @@
+"""ZFP / MGARD-X / SPERR: round trips and documented violation modes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mgard import MGARDX
+from repro.baselines.sperr import SPERR
+from repro.baselines.zfp import ZFP
+from repro.baselines.base import UnsupportedInput
+from repro.core.verify import check_bound
+from repro.metrics import psnr
+
+
+class TestZFP:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip_dims(self, ndim, dtype, rng):
+        shape = {1: (1000,), 2: (30, 40), 3: (10, 12, 14)}[ndim]
+        data = np.cumsum(rng.normal(0, 0.1, int(np.prod(shape)))).reshape(shape).astype(dtype)
+        c = ZFP()
+        rec = c.decompress(c.compress(data, "abs", 1e-3))
+        assert rec.shape == shape and rec.dtype == data.dtype
+        # ABS mode: bounded within the documented violation envelope
+        err = np.abs(data.astype(np.float64) - rec.astype(np.float64)).max()
+        assert err <= 1e-3 * 4
+
+    def test_non_4_aligned_shapes(self, rng):
+        data = rng.normal(0, 1, (5, 7, 9)).astype(np.float32)
+        c = ZFP()
+        rec = c.decompress(c.compress(data, "abs", 1e-2))
+        assert rec.shape == (5, 7, 9)
+
+    def test_abs_over_preserves_mostly(self, field3d_f32):
+        """'ZFP often over-preserves' (Section V-B): typical error << bound."""
+        c = ZFP()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-2))
+        err = np.abs(field3d_f32 - rec)
+        assert np.median(err) < 1e-2 / 3
+
+    def test_rel_mode_roundtrip(self, field3d_f32):
+        c = ZFP()
+        rec = c.decompress(c.compress(field3d_f32, "rel", 1e-3))
+        big = np.abs(field3d_f32) > 0.1
+        rel = np.abs(field3d_f32[big] - rec[big]) / np.abs(field3d_f32[big])
+        assert np.median(rel) < 1e-3
+
+    def test_no_noa(self):
+        assert not ZFP().supports("noa", np.float32)
+
+    def test_nonfinite_preserved(self, rng):
+        v = rng.normal(0, 1, 64).astype(np.float32)
+        v[7] = np.inf
+        v[13] = np.nan
+        c = ZFP()
+        rec = c.decompress(c.compress(v, "abs", 1e-2))
+        assert rec[7] == np.inf and np.isnan(rec[13])
+
+    def test_smooth_data_compresses(self, field3d_f32):
+        c = ZFP()
+        blob = c.compress(field3d_f32, "abs", 1e-2)
+        assert field3d_f32.nbytes / len(blob) > 1.5
+
+
+class TestMGARD:
+    @pytest.mark.parametrize("mode", ["abs", "noa"])
+    def test_float32_holds_bound(self, mode, field3d_f32):
+        c = MGARDX()
+        rec = c.decompress(c.compress(field3d_f32, mode, 1e-2))
+        rep = check_bound(mode, field3d_f32, rec, 1e-2)
+        assert rep.ok, f"float32 path should hold (x{rep.violation_factor})"
+
+    @pytest.mark.parametrize("mode", ["abs", "noa"])
+    def test_float64_violates_major(self, mode, field3d_f64):
+        """Section V-B/V-D: major violations on double-precision inputs."""
+        c = MGARDX()
+        rec = c.decompress(c.compress(field3d_f64, mode, 1e-3))
+        rep = check_bound(mode, field3d_f64, rec, 1e-3)
+        assert not rep.ok
+        assert rep.severity == "major"
+
+    def test_double_psnr_still_reasonable(self, field3d_f64):
+        c = MGARDX()
+        rec = c.decompress(c.compress(field3d_f64, "abs", 1e-3))
+        assert psnr(field3d_f64, rec) > 40
+
+    def test_1d_input(self, rng):
+        v = np.cumsum(rng.normal(0, 0.1, 3000)).astype(np.float32)
+        c = MGARDX()
+        rec = c.decompress(c.compress(v, "abs", 1e-2))
+        assert check_bound("abs", v, rec, 1e-2).ok
+
+    def test_no_rel(self):
+        assert not MGARDX().supports("rel", np.float32)
+
+
+class TestSPERR:
+    def test_roundtrip_and_minor_violations_only(self, field3d_f32):
+        c = SPERR()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-2))
+        rep = check_bound("abs", field3d_f32, rec, 1e-2)
+        # Fig. 6 note: SPERR has minor (< 1.5x) violations at most
+        assert rep.violation_factor <= 1.5
+
+    def test_requires_3d(self, rng):
+        c = SPERR()
+        with pytest.raises(UnsupportedInput, match="3-D"):
+            c.compress(rng.normal(0, 1, 100).astype(np.float32), "abs", 1e-2)
+
+    def test_abs_only(self):
+        c = SPERR()
+        assert c.supports("abs", np.float32)
+        assert not c.supports("rel", np.float32)
+        assert not c.supports("noa", np.float32)
+
+    def test_correction_pass_caps_worst_error(self, field3d_f64):
+        c = SPERR()
+        rec = c.decompress(c.compress(field3d_f64, "abs", 1e-3))
+        err = np.abs(field3d_f64 - rec).max()
+        assert err <= 1e-3 * 1.5
+
+    def test_quality_competitive(self, field3d_f32):
+        c = SPERR()
+        rec = c.decompress(c.compress(field3d_f32, "abs", 1e-2))
+        assert psnr(field3d_f32, rec) > 55

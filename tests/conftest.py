@@ -1,0 +1,72 @@
+"""Shared fixtures: reproducible data generators for every test module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def smooth_f32(rng) -> np.ndarray:
+    """Smooth 1-D float32 signal (random walk) -- compresses well."""
+    return np.cumsum(rng.normal(0, 0.01, 60_000)).astype(np.float32)
+
+
+@pytest.fixture
+def smooth_f64(rng) -> np.ndarray:
+    return np.cumsum(rng.normal(0, 0.01, 30_000)).astype(np.float64)
+
+
+@pytest.fixture
+def rough_f32(rng) -> np.ndarray:
+    """White noise at large amplitude -- mostly incompressible."""
+    return rng.normal(0, 1e6, 30_000).astype(np.float32)
+
+
+@pytest.fixture
+def field3d_f32(rng) -> np.ndarray:
+    """Small smooth 3-D field for the block/wavelet baselines."""
+    from repro.datasets import spectral_field
+
+    return spectral_field((16, 20, 24), beta=5.0, seed=7, dtype=np.float32,
+                          amplitude=5.0, offset=1.0)
+
+
+@pytest.fixture
+def field3d_f64(rng) -> np.ndarray:
+    from repro.datasets import spectral_field
+
+    return spectral_field((12, 16, 20), beta=5.5, seed=8, dtype=np.float64,
+                          amplitude=2.0, offset=-3.0)
+
+
+def make_special_values(dtype, n: int = 4096, seed: int = 3) -> np.ndarray:
+    """Array salted with every IEEE-754 special-value class."""
+    r = np.random.default_rng(seed)
+    v = r.normal(0, 100, n).astype(dtype)
+    v[::97] = np.inf
+    v[1::97] = -np.inf
+    v[::89] = np.nan
+    v[::83] = 0.0
+    v[1::83] = -0.0
+    tiny = np.finfo(dtype).tiny
+    v[::79] = tiny / 8          # positive denormal
+    v[1::79] = -tiny / 16       # negative denormal
+    v[::73] = np.finfo(dtype).max
+    v[1::73] = np.finfo(dtype).min
+    return v
+
+
+@pytest.fixture
+def special_f32() -> np.ndarray:
+    return make_special_values(np.float32)
+
+
+@pytest.fixture
+def special_f64() -> np.ndarray:
+    return make_special_values(np.float64)

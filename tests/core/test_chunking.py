@@ -1,0 +1,98 @@
+"""Chunk planning, padding, raw fallback, and the size table."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import CHUNK_BYTES, RAW_FLAG, ChunkCodec, plan_chunks
+from repro.core.lossless.pipeline import LosslessPipeline
+
+
+class TestPlan:
+    def test_full_chunks_f32(self):
+        plan = plan_chunks(4096 * 3, 4)
+        assert plan.words_per_chunk == 4096
+        assert plan.n_chunks == 3
+        assert plan.padded_tail_words == 4096
+
+    def test_tail_padding_to_multiple_of_8(self):
+        plan = plan_chunks(4096 + 5, 4)
+        assert plan.n_chunks == 2
+        assert plan.padded_tail_words == 8
+        assert plan.chunk_word_count(1) == 8
+
+    def test_f64_words_per_chunk(self):
+        assert plan_chunks(100, 8).words_per_chunk == 2048
+
+    def test_empty(self):
+        plan = plan_chunks(0, 4)
+        assert plan.n_chunks == 0
+
+    def test_bounds(self):
+        plan = plan_chunks(10000, 4)
+        assert plan.chunk_bounds(0) == (0, 4096)
+        assert plan.chunk_bounds(2) == (8192, 8192 + plan.padded_tail_words)
+        with pytest.raises(IndexError):
+            plan.chunk_word_count(3)
+
+    def test_rejects_unaligned_chunk_bytes(self):
+        with pytest.raises(ValueError):
+            plan_chunks(100, 4, chunk_bytes=100)
+
+
+class TestCodec:
+    def _codec(self):
+        return ChunkCodec(LosslessPipeline(np.uint32))
+
+    def test_pad_words(self):
+        codec = self._codec()
+        words = np.arange(10, dtype=np.uint32)
+        plan = codec.plan(10)
+        padded = codec.pad_words(words, plan)
+        assert padded.size == 16
+        assert np.array_equal(padded[:10], words)
+        assert (padded[10:] == 0).all()
+
+    def test_compressible_chunk(self):
+        codec = self._codec()
+        words = np.zeros(4096, dtype=np.uint32)
+        blob, raw = codec.encode_chunk(words)
+        assert not raw
+        assert len(blob) < 64
+        assert np.array_equal(codec.decode_chunk(blob, 4096, raw), words)
+
+    def test_incompressible_chunk_falls_back_to_raw(self):
+        codec = self._codec()
+        r = np.random.default_rng(1)
+        words = r.integers(0, 1 << 32, 4096).astype(np.uint32)
+        blob, raw = codec.encode_chunk(words)
+        assert raw
+        assert len(blob) == CHUNK_BYTES  # exactly the raw bytes, capping expansion
+        assert np.array_equal(codec.decode_chunk(blob, 4096, raw), words)
+
+    def test_raw_chunk_length_validated(self):
+        codec = self._codec()
+        with pytest.raises(ValueError):
+            codec.decode_chunk(b"\x00" * 16, 8, True)
+
+
+class TestSizeTable:
+    def test_roundtrip_with_flags(self):
+        table = ChunkCodec.build_size_table([10, 20, 30], [False, True, False])
+        sizes, raw, starts = ChunkCodec.parse_size_table(table)
+        assert list(sizes) == [10, 20, 30]
+        assert list(raw) == [False, True, False]
+        assert list(starts) == [0, 10, 30]
+
+    def test_flag_bit_is_high_bit(self):
+        table = ChunkCodec.build_size_table([5], [True])
+        assert table[0] == (5 | int(RAW_FLAG))
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError, match="2 GiB"):
+            ChunkCodec.build_size_table([1 << 31], [False])
+
+    def test_empty(self):
+        sizes, raw, starts = ChunkCodec.parse_size_table(
+            np.zeros(0, dtype=np.uint32)
+        )
+        assert sizes.size == raw.size == starts.size == 0

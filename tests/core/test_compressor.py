@@ -1,0 +1,113 @@
+"""End-to-end PFPL compress/decompress across modes, dtypes and inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core import PFPLCompressor, PipelineConfig, compress, decompress
+from repro.core.verify import check_bound
+from tests.conftest import make_special_values
+
+BOUNDS = [1e-1, 1e-3]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("eps", BOUNDS)
+    def test_bound_guaranteed(self, mode, dtype, eps, rng):
+        v = np.cumsum(rng.normal(0, 0.02, 50_000)).astype(dtype)
+        blob = compress(v, mode=mode, error_bound=eps)
+        out = decompress(blob)
+        assert out.dtype == v.dtype
+        rep = check_bound(mode, v, out, eps)
+        assert rep.ok, f"{rep.violations} violations, max factor {rep.violation_factor}"
+
+    @pytest.mark.parametrize("mode", ["abs", "rel"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_special_values(self, mode, dtype):
+        v = make_special_values(dtype)
+        blob = compress(v, mode=mode, error_bound=1e-2)
+        out = decompress(blob)
+        assert np.array_equal(np.isnan(v), np.isnan(out))
+        inf = np.isinf(v)
+        assert np.array_equal(v[inf], out[inf])
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 4095, 4096, 4097, 20000])
+    def test_sizes(self, n, rng):
+        v = rng.normal(0, 1, n).astype(np.float32)
+        out = decompress(compress(v, "abs", 1e-3))
+        assert out.size == n
+        if n:
+            assert np.abs(v.astype(np.float64) - out.astype(np.float64)).max() <= 1e-3
+
+    def test_multidimensional_input_flattens(self, rng):
+        v = rng.normal(0, 1, (10, 20, 30)).astype(np.float32)
+        out = decompress(compress(v, "abs", 1e-2))
+        assert out.shape == (6000,)
+        assert np.abs(v.reshape(-1) - out).max() <= 1e-2
+
+    def test_incompressible_worst_case_bounded(self, rough_f32):
+        blob = compress(rough_f32, "abs", 1e-3)
+        # raw-chunk fallback caps expansion at header + size table overhead
+        assert len(blob) <= rough_f32.nbytes * 1.01 + 256
+
+    def test_smooth_data_compresses_well(self, smooth_f32):
+        blob = compress(smooth_f32, "abs", 1e-3)
+        assert smooth_f32.nbytes / len(blob) > 3
+
+
+class TestStreamIsSelfDescribing:
+    def test_noa_decodes_without_caller_context(self, rng):
+        v = (rng.random(10_000) * 42).astype(np.float32)
+        blob = compress(v, "noa", 1e-3)
+        out = decompress(blob)  # no mode/bound/range passed
+        rng_v = float(v.max() - v.min())
+        assert np.abs(v - out).max() <= 1e-3 * rng_v
+
+    def test_ablated_config_decodes_from_header(self, smooth_f32):
+        cfg = PipelineConfig(use_bitshuffle=False, bitmap_levels=2)
+        blob = compress(smooth_f32, "abs", 1e-3, config=cfg)
+        out = decompress(blob)
+        assert np.abs(smooth_f32 - out).max() <= 1e-3
+
+
+class TestCompressorObject:
+    def test_result_statistics(self, smooth_f32):
+        comp = PFPLCompressor("abs", 1e-3, dtype=np.float32)
+        res = comp.compress(smooth_f32)
+        assert res.original_bytes == smooth_f32.nbytes
+        assert res.compressed_bytes == len(res.data)
+        assert res.ratio > 1
+        assert 0 <= res.lossless_fraction < 0.2
+        assert res.total_values == smooth_f32.size
+
+    def test_decompress_method(self, smooth_f32):
+        comp = PFPLCompressor("abs", 1e-3, dtype=np.float32)
+        res = comp.compress(smooth_f32)
+        out = comp.decompress(res.data)
+        assert np.abs(smooth_f32 - out).max() <= 1e-3
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            PFPLCompressor("abs", 1e-3, dtype=np.int32)
+
+    def test_rejects_bad_bound_eagerly(self):
+        with pytest.raises(ValueError):
+            PFPLCompressor("abs", -1.0, dtype=np.float32)
+
+
+class TestCorruptStreams:
+    def test_truncated_payload(self, smooth_f32):
+        blob = compress(smooth_f32, "abs", 1e-3)
+        with pytest.raises(ValueError, match="truncated"):
+            decompress(blob[: len(blob) - 10])
+
+    def test_not_pfpl(self):
+        with pytest.raises(ValueError):
+            decompress(b"garbage-garbage-garbage-garbage-garbage-garbage")
+
+    def test_header_chunk_plan_mismatch(self, smooth_f32):
+        blob = bytearray(compress(smooth_f32, "abs", 1e-3))
+        blob[36] ^= 0xFF  # corrupt the chunk count
+        with pytest.raises(ValueError):
+            decompress(bytes(blob))

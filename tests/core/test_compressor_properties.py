@@ -1,0 +1,63 @@
+"""Property-based end-to-end tests of the full PFPL stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import compress, decompress
+from repro.core.verify import check_bound
+
+_any_f32 = hnp.arrays(
+    np.float32,
+    st.integers(0, 2000),
+    elements=st.floats(width=32, allow_nan=True, allow_infinity=True,
+                       allow_subnormal=True),
+)
+_finite_f64 = hnp.arrays(
+    np.float64,
+    st.integers(0, 1500),
+    elements=st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e200, max_value=1e200),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=_any_f32, eps=st.sampled_from([1e-1, 1e-3, 10.0]))
+def test_abs_end_to_end_f32(v, eps):
+    out = decompress(compress(v, "abs", eps))
+    assert out.size == v.size
+    fin = np.isfinite(v)
+    if fin.any():
+        err = np.abs(v[fin].astype(np.longdouble) - out[fin].astype(np.longdouble))
+        assert err.max() <= np.longdouble(eps)
+    assert np.array_equal(np.isnan(v), np.isnan(out))
+
+
+@settings(max_examples=40, deadline=None)
+@given(v=_finite_f64, eps=st.sampled_from([1e-2, 1e-4]))
+def test_rel_end_to_end_f64(v, eps):
+    out = decompress(compress(v, "rel", eps))
+    rep = check_bound("rel", v, out, eps)
+    assert rep.ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(v=_any_f32)
+def test_noa_end_to_end_f32(v):
+    out = decompress(compress(v, "noa", 1e-3))
+    assert out.size == v.size
+    assert np.array_equal(np.isnan(v), np.isnan(out))
+    fin = np.isfinite(v)
+    if fin.any():
+        rng = float(v[fin].max() - v[fin].min())
+        bound = max(1e-3 * rng, float(np.finfo(np.float32).tiny))
+        err = np.abs(v[fin].astype(np.longdouble) - out[fin].astype(np.longdouble))
+        assert err.max() <= np.longdouble(bound) * (1 + 1e-15)
+
+
+@settings(max_examples=30, deadline=None)
+@given(v=_any_f32, eps=st.sampled_from([1e-2, 1e-3]))
+def test_stream_determinism(v, eps):
+    """Same input -> byte-identical stream (required for cross-device)."""
+    assert compress(v, "abs", eps) == compress(v.copy(), "abs", eps)

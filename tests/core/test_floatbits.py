@@ -1,0 +1,97 @@
+"""Bit-layout helpers: masks, classification, magnitude-sign codes."""
+
+import numpy as np
+import pytest
+
+from repro.core.floatbits import FLOAT32, FLOAT64, layout_for
+
+
+class TestLayoutConstants:
+    def test_float32_masks(self):
+        assert FLOAT32.sign_mask == 0x80000000
+        assert FLOAT32.exponent_mask == 0x7F800000
+        assert FLOAT32.mantissa_mask == 0x007FFFFF
+        assert FLOAT32.abs_mask == 0x7FFFFFFF
+        assert FLOAT32.invert_mask == 0xFF800000
+
+    def test_float64_masks(self):
+        assert FLOAT64.sign_mask == 1 << 63
+        assert FLOAT64.exponent_mask == 0x7FF0000000000000
+        assert FLOAT64.mantissa_mask == 0x000FFFFFFFFFFFFF
+        assert FLOAT64.invert_mask == 0xFFF0000000000000
+
+    def test_negabinary_masks(self):
+        assert FLOAT32.negabinary_mask == 0xAAAAAAAA
+        assert FLOAT64.negabinary_mask == 0xAAAAAAAAAAAAAAAA
+
+    def test_bias_and_tiny(self):
+        assert FLOAT32.exponent_bias == 127
+        assert FLOAT64.exponent_bias == 1023
+        assert FLOAT32.smallest_normal == np.finfo(np.float32).tiny
+        assert FLOAT64.smallest_normal == np.finfo(np.float64).tiny
+
+    def test_max_bin_magnitude_is_the_8m_wide_denormal_range(self):
+        # "the 8-million-value-wide denormal range" (Section III-B)
+        assert FLOAT32.max_bin_magnitude == 2**23 - 1
+        assert FLOAT64.max_bin_magnitude == 2**52 - 1
+
+
+class TestLayoutFor:
+    def test_lookup(self):
+        assert layout_for(np.float32) is FLOAT32
+        assert layout_for(np.dtype(np.float64)) is FLOAT64
+
+    @pytest.mark.parametrize("bad", [np.int32, np.float16, np.uint64, "S4"])
+    def test_rejects_non_float(self, bad):
+        with pytest.raises(TypeError):
+            layout_for(bad)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("lay", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+    def test_special_value_classes(self, lay):
+        fdt = lay.float_dtype.type
+        vals = np.array(
+            [0.0, -0.0, 1.0, -1.0, np.inf, -np.inf, np.nan,
+             np.finfo(lay.float_dtype).tiny / 2],
+            dtype=lay.float_dtype,
+        )
+        bits = lay.to_bits(vals)
+        assert list(lay.is_zero_bits(bits)) == [1, 1, 0, 0, 0, 0, 0, 0]
+        assert list(lay.is_inf_bits(bits)) == [0, 0, 0, 0, 1, 1, 0, 0]
+        assert list(lay.is_nan_bits(bits)) == [0, 0, 0, 0, 0, 0, 1, 0]
+        # zeros + denormals live in the denormal (exponent==0) range
+        assert list(lay.is_denormal_range(bits)) == [1, 1, 0, 0, 0, 0, 0, 1]
+
+    def test_negative_nan_detection(self):
+        neg_nan = np.array([0xFFC00001], dtype=np.uint32)
+        pos_nan = np.array([0x7FC00001], dtype=np.uint32)
+        neg_inf = np.array([0xFF800000], dtype=np.uint32)
+        assert FLOAT32.is_negative_nan(neg_nan)[0]
+        assert not FLOAT32.is_negative_nan(pos_nan)[0]
+        assert not FLOAT32.is_negative_nan(neg_inf)[0]
+
+    @pytest.mark.parametrize("lay", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+    def test_bits_roundtrip_preserves_nan_payload(self, lay):
+        if lay is FLOAT32:
+            raw = np.array([0x7FC12345, 0xFFC12345], dtype=np.uint32)
+        else:
+            raw = np.array([0x7FF8000000012345, 0xFFF8000000012345], dtype=np.uint64)
+        assert np.array_equal(lay.to_bits(lay.from_bits(raw)), raw)
+
+
+class TestMagSign:
+    @pytest.mark.parametrize("lay", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+    def test_roundtrip(self, lay):
+        r = np.random.default_rng(1)
+        bins = r.integers(-lay.max_bin_magnitude, lay.max_bin_magnitude, 10_000)
+        words = lay.magsign_encode(bins)
+        assert np.array_equal(lay.magsign_decode(words), bins)
+
+    def test_words_stay_in_denormal_range(self):
+        bins = np.array([0, 1, -1, FLOAT32.max_bin_magnitude, -FLOAT32.max_bin_magnitude])
+        words = FLOAT32.magsign_encode(bins)
+        assert FLOAT32.is_denormal_range(words).all()
+
+    def test_zero_encodes_to_zero_word(self):
+        assert FLOAT32.magsign_encode(np.array([0]))[0] == 0

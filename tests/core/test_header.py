@@ -1,0 +1,87 @@
+"""Container header serialization and corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.header import FORMAT_VERSION, HEADER_BYTES, MAGIC, Header
+
+
+def _header(**kw):
+    base = dict(
+        mode="abs", dtype=np.float32, error_bound=1e-3, value_range=0.0,
+        count=1000, words_per_chunk=4096, n_chunks=1,
+        use_delta=True, use_bitshuffle=True, use_zero_elim=True,
+        bitmap_levels=4,
+    )
+    base.update(kw)
+    return Header(**base)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_all_modes_dtypes(self, mode, dtype):
+        h = _header(mode=mode, dtype=np.dtype(dtype), value_range=12.5)
+        h2 = Header.unpack(h.pack())
+        assert h2 == h
+
+    def test_packed_size(self):
+        assert len(_header().pack()) == HEADER_BYTES
+
+    def test_flags_roundtrip(self):
+        h = _header(use_delta=False, use_zero_elim=False, bitmap_levels=2)
+        h2 = Header.unpack(h.pack())
+        assert not h2.use_delta and h2.use_bitshuffle and not h2.use_zero_elim
+        assert h2.bitmap_levels == 2
+
+    def test_error_bound_bits_exact(self):
+        h = _header(error_bound=0.1)  # not exactly representable
+        assert Header.unpack(h.pack()).error_bound == h.error_bound
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        buf = bytearray(_header().pack())
+        buf[:4] = b"NOPE"
+        with pytest.raises(ValueError, match="magic"):
+            Header.unpack(bytes(buf))
+
+    def test_bad_version(self):
+        buf = bytearray(_header().pack())
+        buf[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            Header.unpack(bytes(buf))
+
+    def test_bad_mode(self):
+        buf = bytearray(_header().pack())
+        buf[6] = 7
+        with pytest.raises(ValueError, match="mode"):
+            Header.unpack(bytes(buf))
+
+    def test_bad_dtype(self):
+        buf = bytearray(_header().pack())
+        buf[7] = 9
+        with pytest.raises(ValueError, match="dtype"):
+            Header.unpack(bytes(buf))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="too short"):
+            Header.unpack(b"PF")
+
+
+class TestSizeTable:
+    def test_offsets(self):
+        h = _header(n_chunks=3)
+        assert h.size_table_offset == HEADER_BYTES
+        assert h.payload_offset == HEADER_BYTES + 12
+
+    def test_read_size_table(self):
+        h = _header(n_chunks=2)
+        table = np.array([100, 200], dtype="<u4")
+        buf = h.pack() + table.tobytes()
+        assert np.array_equal(h.read_size_table(buf), table)
+
+    def test_truncated_table(self):
+        h = _header(n_chunks=2)
+        with pytest.raises(ValueError, match="truncated"):
+            h.read_size_table(h.pack() + b"\x00\x00")

@@ -1,0 +1,43 @@
+"""The default inline backend used when no device backend is supplied."""
+
+import numpy as np
+
+from repro.core.compressor import CompressionResult, InlineBackend
+from repro.core.lossless.pipeline import LosslessPipeline, PipelineConfig
+
+
+class TestInlineBackend:
+    def test_map_preserves_order(self):
+        b = InlineBackend()
+        assert b.map_chunks(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_prefix_sum(self):
+        b = InlineBackend()
+        out = b.prefix_sum(np.array([3, 4, 5]))
+        assert list(out) == [0, 3, 7]
+
+    def test_prefix_sum_empty_and_single(self):
+        b = InlineBackend()
+        assert list(b.prefix_sum(np.array([], dtype=np.int64))) == []
+        assert list(b.prefix_sum(np.array([7]))) == [0]
+
+    def test_make_pipeline(self):
+        b = InlineBackend()
+        p = b.make_pipeline(np.uint32, PipelineConfig(use_delta=False))
+        assert isinstance(p, LosslessPipeline)
+        assert not p.config.use_delta
+
+
+class TestCompressionResult:
+    def test_derived_metrics(self):
+        r = CompressionResult(data=b"x" * 100, original_bytes=1000,
+                              lossless_values=5, total_values=250)
+        assert r.compressed_bytes == 100
+        assert r.ratio == 10.0
+        assert r.lossless_fraction == 0.02
+
+    def test_empty_result(self):
+        r = CompressionResult(data=b"", original_bytes=0,
+                              lossless_values=0, total_values=0)
+        assert r.lossless_fraction == 0.0
+        assert r.ratio == 0.0

@@ -1,0 +1,184 @@
+"""Stage-level tests: delta+negabinary, bit shuffle, zero elimination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.lossless.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.lossless.delta import delta_decode, delta_encode
+from repro.core.lossless.negabinary import (
+    from_negabinary,
+    negabinary_mask,
+    to_negabinary,
+)
+from repro.core.lossless.zerobyte import (
+    bitmap_sizes,
+    compress_bytes,
+    decompress_bytes,
+    repeat_eliminate,
+    repeat_restore,
+    zero_eliminate,
+    zero_restore,
+)
+
+
+class TestNegabinary:
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    def test_roundtrip_random(self, dtype):
+        r = np.random.default_rng(5)
+        w = r.integers(0, 1 << 32, 10_000).astype(dtype)
+        assert np.array_equal(from_negabinary(to_negabinary(w)), w)
+
+    def test_known_values(self):
+        # Figure 3: 0 -> 0, 1 -> 1, -1 -> 11b, 2 -> 110b
+        d = np.array([0, 1, 0xFFFFFFFF, 2], dtype=np.uint32)  # -1 wraps
+        assert list(to_negabinary(d)) == [0, 1, 3, 6]
+
+    def test_small_magnitudes_have_leading_zeros(self):
+        # the property the later stages exploit
+        d = np.arange(-8, 9, dtype=np.int64).astype(np.uint32)
+        n = to_negabinary(d)
+        assert (n <= 0xFF).all()
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            to_negabinary(np.zeros(4, dtype=np.int32))
+        with pytest.raises(TypeError):
+            negabinary_mask(np.uint16)
+
+
+class TestDelta:
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    def test_roundtrip(self, dtype):
+        r = np.random.default_rng(6)
+        w = r.integers(0, 1 << 32, 5_000).astype(dtype)
+        assert np.array_equal(delta_decode(delta_encode(w)), w)
+
+    def test_close_bins_give_small_words(self):
+        # the smooth-data property (Figure 3)
+        w = np.array([100, 101, 101, 100, 102], dtype=np.uint32)
+        enc = delta_encode(w)
+        assert (enc[1:] <= 0xFF).all()
+
+    def test_empty_and_single(self):
+        for n in (0, 1):
+            w = np.arange(n, dtype=np.uint32)
+            assert np.array_equal(delta_decode(delta_encode(w)), w)
+
+    def test_wrapping_at_word_boundaries(self):
+        w = np.array([0xFFFFFFFF, 0, 0xFFFFFFFF], dtype=np.uint32)
+        assert np.array_equal(delta_decode(delta_encode(w)), w)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            delta_encode(np.zeros(8, dtype=np.float32))
+
+
+class TestBitShuffle:
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    @pytest.mark.parametrize("n", [8, 16, 64, 4096])
+    def test_roundtrip(self, dtype, n):
+        r = np.random.default_rng(7)
+        w = r.integers(0, 1 << 32, n).astype(dtype)
+        planes = bitshuffle(w)
+        assert planes.nbytes == w.nbytes
+        assert np.array_equal(bitunshuffle(planes, n, dtype), w)
+
+    def test_msb_plane_comes_first(self):
+        w = np.array([1 << 31] + [0] * 7, dtype=np.uint32)
+        planes = bitshuffle(w)
+        assert planes[0] == 0x80  # the single set MSB lands in byte 0, bit 7
+        assert (planes[1:] == 0).all()
+
+    def test_zero_words_yield_zero_planes(self):
+        planes = bitshuffle(np.zeros(64, dtype=np.uint32))
+        assert (planes == 0).all()
+
+    def test_requires_multiple_of_8(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            bitshuffle(np.zeros(7, dtype=np.uint32))
+
+    def test_unshuffle_validates_sizes(self):
+        with pytest.raises(ValueError):
+            bitunshuffle(np.zeros(10, dtype=np.uint8), 8, np.uint32)
+
+    def test_empty(self):
+        assert bitshuffle(np.zeros(0, dtype=np.uint32)).size == 0
+        assert bitunshuffle(np.zeros(0, dtype=np.uint8), 0, np.uint32).size == 0
+
+
+class TestZeroElimination:
+    def test_zero_eliminate_roundtrip(self):
+        r = np.random.default_rng(8)
+        data = r.integers(0, 256, 4096).astype(np.uint8)
+        data[r.random(4096) < 0.7] = 0
+        bitmap, kept = zero_eliminate(data)
+        assert np.array_equal(zero_restore(bitmap, kept, data.size), data)
+        assert kept.size == int((data != 0).sum())
+
+    def test_repeat_eliminate_roundtrip(self):
+        data = np.array([0, 0, 5, 5, 5, 7, 0, 0], dtype=np.uint8)
+        bitmap, kept = repeat_eliminate(data)
+        # leading zeros repeat the implicit 0x00 predecessor
+        assert list(kept) == [5, 7, 0]
+        assert np.array_equal(repeat_restore(bitmap, kept, data.size), data)
+
+    def test_all_zero_collapses(self):
+        blob = compress_bytes(np.zeros(16384, dtype=np.uint8))
+        assert len(blob) <= 8  # only the final bitmap survives
+        assert np.array_equal(
+            decompress_bytes(blob, 16384), np.zeros(16384, dtype=np.uint8)
+        )
+
+    def test_bitmap_sizes_16kb(self):
+        # 16 kB chunk: 2048 -> 256 -> 32 -> 4 -> 1 (Figure 5 + 4 iterations)
+        assert bitmap_sizes(16384, 4) == [2048, 256, 32, 4, 1]
+
+    @pytest.mark.parametrize("n", [8, 100, 4096, 16384])
+    @pytest.mark.parametrize("levels", [0, 1, 4])
+    def test_full_roundtrip(self, n, levels):
+        r = np.random.default_rng(9)
+        data = r.integers(0, 4, n).astype(np.uint8)  # lots of repeats/zeros
+        blob = compress_bytes(data, levels=levels)
+        assert np.array_equal(decompress_bytes(blob, n, levels=levels), data)
+
+    def test_incompressible_expands_bounded(self):
+        r = np.random.default_rng(10)
+        data = r.integers(1, 256, 16384).astype(np.uint8)  # no zero bytes
+        blob = compress_bytes(data)
+        # all data kept + bitmaps: expansion <= sum of bitmap levels
+        assert len(blob) <= 16384 + sum(bitmap_sizes(16384))
+
+    def test_trailing_garbage_detected(self):
+        blob = compress_bytes(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ValueError, match="trailing"):
+            decompress_bytes(blob + b"x", 64)
+
+    def test_mismatched_bitmap_detected(self):
+        with pytest.raises(ValueError):
+            zero_restore(np.array([0xFF], dtype=np.uint8),
+                         np.array([1, 2], dtype=np.uint8), 8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    hnp.arrays(np.uint8, st.integers(0, 512),
+               elements=st.integers(0, 255))
+)
+def test_zero_elim_property(data):
+    blob = compress_bytes(data)
+    assert np.array_equal(decompress_bytes(blob, data.size), data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    hnp.arrays(np.uint32, st.integers(0, 64).map(lambda n: n * 8),
+               elements=st.integers(0, 2**32 - 1))
+)
+def test_shuffle_delta_property(words):
+    assert np.array_equal(delta_decode(delta_encode(words)), words)
+    if words.size:
+        planes = bitshuffle(words)
+        assert np.array_equal(bitunshuffle(planes, words.size, np.uint32), words)

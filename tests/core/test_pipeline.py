@@ -1,0 +1,82 @@
+"""Fused lossless pipeline + stage-ablation configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.lossless.pipeline import LosslessPipeline, PipelineConfig
+
+
+def _chunk(dtype=np.uint32, n=4096, smooth=True, seed=0):
+    r = np.random.default_rng(seed)
+    if smooth:
+        bins = np.cumsum(r.integers(-3, 4, n)).astype(np.int64)
+        return (bins & 0x7FFFFF).astype(dtype)
+    return r.integers(0, 1 << 32, n).astype(dtype)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    @pytest.mark.parametrize("n", [8, 512, 4096])
+    def test_roundtrip(self, dtype, n):
+        p = LosslessPipeline(dtype)
+        words = _chunk(dtype, n)
+        blob = p.encode_chunk(words)
+        assert np.array_equal(p.decode_chunk(blob, n), words)
+
+    def test_smooth_data_compresses(self):
+        p = LosslessPipeline(np.uint32)
+        words = _chunk(n=4096, smooth=True)
+        assert len(p.encode_chunk(words)) < words.nbytes / 2
+
+    def test_random_data_bounded_expansion(self):
+        p = LosslessPipeline(np.uint32)
+        words = _chunk(n=4096, smooth=False)
+        blob = p.encode_chunk(words)
+        assert len(blob) <= words.nbytes * 1.25
+
+    def test_rejects_bad_word_dtype(self):
+        with pytest.raises(TypeError):
+            LosslessPipeline(np.uint16)
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            PipelineConfig(use_delta=False),
+            PipelineConfig(use_bitshuffle=False),
+            PipelineConfig(use_zero_elim=False),
+            PipelineConfig(use_delta=False, use_bitshuffle=False),
+            PipelineConfig(use_delta=False, use_bitshuffle=False, use_zero_elim=False),
+            PipelineConfig(bitmap_levels=0),
+            PipelineConfig(bitmap_levels=2),
+        ],
+        ids=lambda c: c.describe(),
+    )
+    def test_ablated_configs_roundtrip(self, cfg):
+        p = LosslessPipeline(np.uint32, cfg)
+        words = _chunk(n=2048)
+        blob = p.encode_chunk(words)
+        assert np.array_equal(p.decode_chunk(blob, 2048), words)
+
+    def test_every_stage_contributes(self):
+        """Section III-D: removing any one stage hurts the ratio."""
+        words = _chunk(n=4096, smooth=True, seed=42)
+        full = len(LosslessPipeline(np.uint32).encode_chunk(words))
+        for cfg in (
+            PipelineConfig(use_delta=False),
+            PipelineConfig(use_bitshuffle=False),
+            PipelineConfig(use_zero_elim=False),
+        ):
+            ablated = len(LosslessPipeline(np.uint32, cfg).encode_chunk(words))
+            assert ablated > full, cfg.describe()
+
+    def test_identity_config(self):
+        cfg = PipelineConfig(False, False, False)
+        assert cfg.describe() == "identity"
+        p = LosslessPipeline(np.uint32, cfg)
+        words = _chunk(n=64)
+        assert p.encode_chunk(words) == words.tobytes()
+
+    def test_decode_validates_length(self):
+        p = LosslessPipeline(np.uint32, PipelineConfig(use_zero_elim=False))
+        with pytest.raises(ValueError):
+            p.decode_chunk(b"\x00" * 10, 8)

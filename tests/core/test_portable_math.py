@@ -1,0 +1,76 @@
+"""Portable log2/exp2: accuracy, determinism, and edge behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.portable_math import exp2_portable, log2_portable
+
+
+class TestLog2:
+    def test_exact_powers_of_two(self):
+        e = np.arange(-1022, 1024, dtype=np.float64)
+        x = np.ldexp(1.0, e.astype(np.int64))
+        out = log2_portable(x)
+        assert np.allclose(out, e, atol=1e-12)
+
+    def test_accuracy_across_normal_range(self):
+        r = np.random.default_rng(2)
+        x = np.exp(r.uniform(np.log(1e-300), np.log(1e300), 100_000))
+        ref = np.log2(x)
+        err = np.abs(log2_portable(x) - ref)
+        assert err.max() < 1e-12
+
+    def test_denormal_inputs(self):
+        x = np.array([5e-324, 1e-310, 2.2e-308])
+        assert np.allclose(log2_portable(x), np.log2(x), atol=1e-9)
+
+    def test_sqrt2_boundary_continuity(self):
+        # the mantissa-range reduction must not jump at m = sqrt(2)
+        x = np.nextafter(np.sqrt(2.0), np.array([0.0, 4.0])).astype(np.float64)
+        out = log2_portable(x)
+        assert abs(out[1] - out[0]) < 1e-12
+
+    def test_deterministic(self):
+        x = np.random.default_rng(3).uniform(0.1, 10, 1000)
+        assert np.array_equal(log2_portable(x), log2_portable(x.copy()))
+
+
+class TestExp2:
+    def test_exact_integer_exponents(self):
+        y = np.arange(-1022, 1023, dtype=np.float64)
+        assert np.array_equal(exp2_portable(y), np.exp2(y))
+
+    def test_accuracy(self):
+        r = np.random.default_rng(4)
+        y = r.uniform(-1000, 1000, 100_000)
+        ref = np.exp2(y)
+        rel = np.abs(exp2_portable(y) / ref - 1.0)
+        assert rel.max() < 1e-13
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(exp2_portable(np.array([1100.0]))[0])
+
+    def test_deep_underflow_to_zero(self):
+        assert exp2_portable(np.array([-1200.0]))[0] == 0.0
+
+    def test_denormal_results(self):
+        y = np.array([-1030.0, -1060.5, -1070.0])
+        ref = np.exp2(y)
+        out = exp2_portable(y)
+        assert np.allclose(out, ref, rtol=1e-10)
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    def test_exp2_log2_inverse(self, x):
+        out = exp2_portable(log2_portable(np.array([x])))[0]
+        assert out == pytest.approx(x, rel=1e-12)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.floats(min_value=-900, max_value=900))
+    def test_log2_exp2_inverse(self, y):
+        out = log2_portable(exp2_portable(np.array([y])))[0]
+        assert out == pytest.approx(y, abs=1e-10)

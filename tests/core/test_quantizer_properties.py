@@ -1,0 +1,112 @@
+"""Property-based tests: the error-bound guarantee is unconditional.
+
+These are the paper's core claims (Section III-B) hammered by
+hypothesis with adversarial floats, including denormals, infinities,
+NaNs and extreme magnitudes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quantizers import AbsQuantizer, NoaQuantizer, RelQuantizer
+
+_f32_arrays = hnp.arrays(
+    np.float32,
+    st.integers(0, 300),
+    elements=st.floats(width=32, allow_nan=True, allow_infinity=True,
+                       allow_subnormal=True),
+)
+_f64_arrays = hnp.arrays(
+    np.float64,
+    st.integers(0, 300),
+    elements=st.floats(allow_nan=True, allow_infinity=True, allow_subnormal=True),
+)
+_bounds = st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4, 1e-6, 1.0, 100.0])
+
+
+def _check_abs(v, out, eps):
+    fin = np.isfinite(v)
+    err = np.abs(v[fin].astype(np.longdouble) - out[fin].astype(np.longdouble))
+    if err.size:
+        assert err.max() <= np.longdouble(eps)
+    assert np.array_equal(np.isnan(v), np.isnan(out))
+    inf = np.isinf(v)
+    assert np.array_equal(v[inf], out[inf])
+
+
+@settings(max_examples=150, deadline=None)
+@given(v=_f32_arrays, eps=_bounds)
+def test_abs_guarantee_f32(v, eps):
+    q = AbsQuantizer(eps, dtype=np.float32)
+    _check_abs(v, q.decode(q.encode(v)), eps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=_f64_arrays, eps=_bounds)
+def test_abs_guarantee_f64(v, eps):
+    q = AbsQuantizer(eps, dtype=np.float64)
+    _check_abs(v, q.decode(q.encode(v)), eps)
+
+
+@settings(max_examples=150, deadline=None)
+@given(v=_f32_arrays, eps=st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4]))
+def test_rel_guarantee_f32(v, eps):
+    q = RelQuantizer(eps, dtype=np.float32)
+    out = q.decode(q.encode(v))
+    fin = np.isfinite(v)
+    nz = fin & (v != 0)
+    a = np.abs(v[nz].astype(np.longdouble))
+    b = np.abs(out[nz].astype(np.longdouble))
+    one_plus = np.longdouble(1) + np.longdouble(eps)
+    assert (b >= a / one_plus).all()
+    assert (b <= a * one_plus).all()
+    assert np.array_equal(np.signbit(v[nz]), np.signbit(out[nz]))
+    # zeros reconstruct exactly (including the sign of zero)
+    z = fin & (v == 0)
+    assert np.array_equal(v[z].view(np.uint32), out[z].view(np.uint32))
+    # NaNs stay NaNs; infinities are exact
+    assert np.array_equal(np.isnan(v), np.isnan(out))
+    assert np.array_equal(v[np.isinf(v)], out[np.isinf(v)])
+
+
+@settings(max_examples=75, deadline=None)
+@given(v=_f64_arrays, eps=st.sampled_from([1e-2, 1e-4]))
+def test_rel_guarantee_f64(v, eps):
+    q = RelQuantizer(eps, dtype=np.float64)
+    out = q.decode(q.encode(v))
+    nz = np.isfinite(v) & (v != 0)
+    a = np.abs(v[nz].astype(np.longdouble))
+    b = np.abs(out[nz].astype(np.longdouble))
+    one_plus = np.longdouble(1) + np.longdouble(eps)
+    assert (b >= a / one_plus).all()
+    assert (b <= a * one_plus).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=_f32_arrays, eps=st.sampled_from([1e-1, 1e-3]))
+def test_noa_guarantee_f32(v, eps):
+    enc = NoaQuantizer(eps, dtype=np.float32)
+    words = enc.encode(v)
+    dec = NoaQuantizer(eps, dtype=np.float32, value_range=enc.value_range or 0.0)
+    out = dec.decode(words)
+    fin = np.isfinite(v)
+    if not fin.any():
+        return
+    bound = max(eps * (enc.value_range or 0.0), np.finfo(np.float32).tiny)
+    err = np.abs(v[fin].astype(np.longdouble) - out[fin].astype(np.longdouble))
+    assert err.max() <= np.longdouble(bound)
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=_f32_arrays, eps=_bounds)
+def test_encode_is_length_preserving_and_decode_total(v, eps):
+    """Quantizers are 1:1 word transforms -- no side channel."""
+    q = AbsQuantizer(eps, dtype=np.float32)
+    words = q.encode(v)
+    assert words.shape == v.shape
+    assert words.dtype == np.uint32
+    out = q.decode(words)
+    assert out.shape == v.shape
+    assert out.dtype == np.float32

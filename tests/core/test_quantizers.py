@@ -1,0 +1,197 @@
+"""ABS / REL / NOA quantizers: round trips, guarantees, special values."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantizers import (
+    AbsQuantizer,
+    NoaQuantizer,
+    RelQuantizer,
+    make_quantizer,
+)
+from tests.conftest import make_special_values
+
+DTYPES = [np.float32, np.float64]
+
+
+def _roundtrip(q, data, decoder=None):
+    words = q.encode(data)
+    dec = decoder or q
+    return dec.decode(words)
+
+
+class TestFactory:
+    def test_modes(self):
+        assert isinstance(make_quantizer("abs", 1e-3), AbsQuantizer)
+        assert isinstance(make_quantizer("rel", 1e-3), RelQuantizer)
+        assert isinstance(make_quantizer("noa", 1e-3), NoaQuantizer)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown error-bound mode"):
+            make_quantizer("nope", 1e-3)
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-3, np.inf, np.nan])
+    def test_invalid_bounds(self, bad):
+        with pytest.raises(ValueError):
+            make_quantizer("abs", bad)
+
+
+class TestAbs:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("eps", [1e-1, 1e-2, 1e-3, 1e-4])
+    def test_bound_holds(self, dtype, eps):
+        r = np.random.default_rng(11)
+        v = r.normal(0, 50, 50_000).astype(dtype)
+        q = AbsQuantizer(eps, dtype=dtype)
+        out = _roundtrip(q, v)
+        err = np.abs(v.astype(np.longdouble) - out.astype(np.longdouble))
+        assert err.max() <= np.longdouble(eps)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_specials_roundtrip(self, dtype):
+        v = make_special_values(dtype)
+        q = AbsQuantizer(1e-3, dtype=dtype)
+        out = _roundtrip(q, v)
+        assert np.array_equal(np.isnan(v), np.isnan(out))
+        inf = np.isinf(v)
+        assert np.array_equal(v[inf], out[inf])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_denormals_quantize_to_zero(self, dtype):
+        tiny = np.finfo(dtype).tiny
+        v = np.array([tiny / 2, -tiny / 4, tiny / 1024], dtype=dtype)
+        q = AbsQuantizer(1e-3, dtype=dtype)
+        out = _roundtrip(q, v)
+        assert (out == 0).all()
+        assert q.stats.lossless == 0  # denormals never need the fallback
+
+    def test_eps_below_smallest_normal_rejected(self):
+        with pytest.raises(ValueError, match="smallest normal"):
+            AbsQuantizer(1e-40, dtype=np.float32)
+        # ...but is fine for float64
+        AbsQuantizer(1e-40, dtype=np.float64)
+
+    def test_huge_values_stored_losslessly(self):
+        v = np.array([1e30, -1e30, np.finfo(np.float32).max], dtype=np.float32)
+        q = AbsQuantizer(1e-3, dtype=np.float32)
+        out = _roundtrip(q, v)
+        assert np.array_equal(out, v)  # bit-exact lossless fallback
+        assert q.stats.lossless == 3
+
+    def test_bin_words_live_in_denormal_range(self):
+        q = AbsQuantizer(1e-2, dtype=np.float32)
+        words = q.encode(np.array([0.5, -0.5, 0.0], dtype=np.float32))
+        assert q.layout.is_denormal_range(words).all()
+
+    def test_stats_fraction(self):
+        q = AbsQuantizer(1e-3, dtype=np.float32)
+        q.encode(np.array([1.0, 1e30], dtype=np.float32))
+        assert q.stats.total == 2
+        assert q.stats.lossless == 1
+        assert q.stats.lossless_fraction == 0.5
+
+    def test_empty_input(self):
+        q = AbsQuantizer(1e-3, dtype=np.float32)
+        assert q.decode(q.encode(np.array([], dtype=np.float32))).size == 0
+
+
+class TestRel:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("eps", [1e-1, 1e-2, 1e-3, 1e-4])
+    def test_bound_holds(self, dtype, eps):
+        r = np.random.default_rng(12)
+        mag = np.exp(r.uniform(-30, 30, 50_000))
+        v = (mag * np.where(r.random(50_000) < 0.5, -1, 1)).astype(dtype)
+        q = RelQuantizer(eps, dtype=dtype)
+        out = _roundtrip(q, v)
+        a = np.abs(v.astype(np.longdouble))
+        b = np.abs(out.astype(np.longdouble))
+        one_plus = np.longdouble(1) + np.longdouble(eps)
+        assert (b >= a / one_plus).all()
+        assert (b <= a * one_plus).all()
+        assert np.array_equal(np.signbit(v), np.signbit(out))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_zero_reconstructs_exactly(self, dtype):
+        v = np.array([0.0, -0.0], dtype=dtype)
+        q = RelQuantizer(1e-3, dtype=dtype)
+        out = _roundtrip(q, v)
+        assert np.array_equal(q.layout.to_bits(out), q.layout.to_bits(v))
+
+    def test_negative_nan_becomes_positive(self):
+        # the one documented non-bit-exact case (Section III-B)
+        neg_nan = np.array([0xFFC00001], dtype=np.uint32).view(np.float32)
+        q = RelQuantizer(1e-3, dtype=np.float32)
+        out = _roundtrip(q, neg_nan)
+        assert np.isnan(out[0])
+        assert not np.signbit(out[0])
+
+    def test_positive_nan_payload_preserved(self):
+        nan = np.array([0x7FC12345], dtype=np.uint32).view(np.float32)
+        q = RelQuantizer(1e-3, dtype=np.float32)
+        out = _roundtrip(q, nan)
+        assert out.view(np.uint32)[0] == 0x7FC12345
+
+    def test_infinities_lossless(self):
+        v = np.array([np.inf, -np.inf], dtype=np.float32)
+        q = RelQuantizer(1e-3, dtype=np.float32)
+        assert np.array_equal(_roundtrip(q, v), v)
+
+    def test_denormals_bounded(self):
+        tiny = np.finfo(np.float32).tiny
+        v = np.array([tiny / 2, -tiny / 8, tiny / 1024], dtype=np.float32)
+        q = RelQuantizer(1e-2, dtype=np.float32)
+        out = _roundtrip(q, v)
+        a, b = np.abs(v.astype(np.float64)), np.abs(out.astype(np.float64))
+        assert (b >= a / 1.01).all() and (b <= a * 1.01).all()
+
+    def test_emitted_bins_have_inverted_leading_bits(self):
+        # after the XOR, frequent bin words must have leading zeros
+        v = np.linspace(1.0, 2.0, 64, dtype=np.float32)
+        q = RelQuantizer(1e-2, dtype=np.float32)
+        words = q.encode(v)
+        assert (words >> np.uint32(23) == 0).any()
+
+    def test_too_small_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RelQuantizer(1e-18, dtype=np.float32)
+
+
+class TestNoa:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4])
+    def test_bound_holds(self, dtype, eps):
+        r = np.random.default_rng(13)
+        v = (np.cumsum(r.normal(0, 1, 40_000)) * 3).astype(dtype)
+        q = NoaQuantizer(eps, dtype=dtype)
+        out = _roundtrip(q, v)
+        bound = eps * q.value_range
+        err = np.abs(v.astype(np.longdouble) - out.astype(np.longdouble))
+        assert err.max() <= np.longdouble(bound)
+
+    def test_range_recorded_for_decoder(self):
+        v = np.array([1.0, 5.0, 3.0], dtype=np.float32)
+        q = NoaQuantizer(1e-2, dtype=np.float32)
+        words = q.encode(v)
+        assert q.value_range == pytest.approx(4.0)
+        assert q.header_params() == {"value_range": q.value_range}
+        dec = NoaQuantizer(1e-2, dtype=np.float32, value_range=q.value_range)
+        out = dec.decode(words)
+        assert np.abs(out - v).max() <= 1e-2 * 4.0
+
+    def test_decode_without_range_raises(self):
+        q = NoaQuantizer(1e-2, dtype=np.float32)
+        with pytest.raises(RuntimeError, match="range"):
+            q.decode(np.zeros(4, dtype=np.uint32))
+
+    def test_constant_input_degenerates_safely(self):
+        v = np.full(100, 7.5, dtype=np.float32)
+        q = NoaQuantizer(1e-2, dtype=np.float32)
+        out = _roundtrip(q, v)
+        assert np.array_equal(out, v)  # eps fallback stores everything exactly
+
+    def test_range_ignores_nans(self):
+        v = np.array([1.0, np.nan, 3.0], dtype=np.float32)
+        q = NoaQuantizer(1e-2, dtype=np.float32)
+        q.encode(v)
+        assert q.value_range == pytest.approx(2.0)

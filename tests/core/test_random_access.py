@@ -1,0 +1,77 @@
+"""Random-access partial decompression (extension feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.core.random_access import chunk_count, decompress_chunk, decompress_range
+from repro.device import get_backend
+
+
+@pytest.fixture(scope="module")
+def stream_and_data():
+    r = np.random.default_rng(99)
+    data = np.cumsum(r.normal(0, 0.05, 50_000)).astype(np.float32)
+    return compress(data, "abs", 1e-3), data
+
+
+class TestDecompressRange:
+    @pytest.mark.parametrize("start,count", [
+        (0, 100), (4095, 2), (4096, 4096), (10_000, 12_345),
+        (49_990, 10), (0, 50_000),
+    ])
+    def test_matches_full_decode(self, stream_and_data, start, count):
+        stream, data = stream_and_data
+        full = decompress(stream)
+        window = decompress_range(stream, start, count)
+        assert np.array_equal(window, full[start:start + count])
+
+    def test_empty_range(self, stream_and_data):
+        stream, _ = stream_and_data
+        assert decompress_range(stream, 1000, 0).size == 0
+
+    def test_out_of_range(self, stream_and_data):
+        stream, _ = stream_and_data
+        with pytest.raises(IndexError):
+            decompress_range(stream, 49_999, 2)
+        with pytest.raises(IndexError):
+            decompress_range(stream, -1, 5)
+
+    def test_works_with_every_backend(self, stream_and_data):
+        stream, data = stream_and_data
+        outs = [
+            decompress_range(stream, 8000, 1000, backend=get_backend(n))
+            for n in ("serial", "omp", "cuda")
+        ]
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[0], outs[2])
+
+    @pytest.mark.parametrize("mode", ["rel", "noa"])
+    def test_other_modes(self, mode):
+        r = np.random.default_rng(7)
+        data = (np.cumsum(r.normal(0, 0.1, 20_000)) + 50).astype(np.float32)
+        stream = compress(data, mode, 1e-3)
+        full = decompress(stream)
+        assert np.array_equal(decompress_range(stream, 5000, 3000), full[5000:8000])
+
+
+class TestDecompressChunk:
+    def test_chunk_count(self, stream_and_data):
+        stream, data = stream_and_data
+        assert chunk_count(stream) == (data.size + 4095) // 4096
+
+    def test_chunks_tile_the_stream(self, stream_and_data):
+        stream, data = stream_and_data
+        full = decompress(stream)
+        pieces = [decompress_chunk(stream, i) for i in range(chunk_count(stream))]
+        assert np.array_equal(np.concatenate(pieces), full)
+
+    def test_last_chunk_trimmed(self, stream_and_data):
+        stream, data = stream_and_data
+        last = decompress_chunk(stream, chunk_count(stream) - 1)
+        assert last.size == data.size % 4096 or last.size == 4096
+
+    def test_index_validation(self, stream_and_data):
+        stream, _ = stream_and_data
+        with pytest.raises(IndexError):
+            decompress_chunk(stream, 10_000)

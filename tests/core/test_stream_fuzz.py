@@ -1,0 +1,53 @@
+"""Bitstream fuzzing: corruption must never be silently swallowed as
+the original data, and must never hang or crash the process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compress, decompress
+
+
+@pytest.fixture(scope="module")
+def stream_and_data():
+    r = np.random.default_rng(1234)
+    data = np.cumsum(r.normal(0, 0.05, 20_000)).astype(np.float32)
+    return compress(data, "abs", 1e-3), data
+
+
+@settings(max_examples=120, deadline=None)
+@given(pos=st.integers(0, 10_000_000), bit=st.integers(0, 7))
+def test_single_bitflip_never_reproduces_original(stream_and_data, pos, bit):
+    stream, data = stream_and_data
+    pos %= len(stream)
+    corrupted = bytearray(stream)
+    corrupted[pos] ^= 1 << bit
+    try:
+        out = decompress(bytes(corrupted))
+    except (ValueError, OverflowError, MemoryError):
+        return  # loud failure is the preferred outcome
+    # A flip inside a lossless value or bin payload decodes to *different*
+    # data; the only acceptable silent outcome is a detectable change.
+    if out.size == data.size:
+        same = np.array_equal(out.view(np.uint32), data.view(np.uint32))
+        # flipping the reserved header byte is the one no-op possibility
+        assert not same or pos in (42, 43), f"silent corruption at byte {pos}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(cut=st.integers(1, 10_000_000))
+def test_truncation_always_detected(stream_and_data, cut):
+    stream, _ = stream_and_data
+    cut %= len(stream)
+    if cut == 0:
+        cut = 1
+    with pytest.raises(ValueError):
+        decompress(stream[:cut])
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.binary(min_size=0, max_size=200))
+def test_random_junk_rejected(junk):
+    with pytest.raises(ValueError):
+        decompress(junk)

@@ -1,0 +1,84 @@
+"""Synthetic field generators: determinism and statistical character."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthesis import (
+    brownian_walk,
+    gaussian_mixture_series,
+    particle_data,
+    spectral_field,
+    wavefunction_field,
+)
+
+
+class TestSpectralField:
+    def test_deterministic(self):
+        a = spectral_field((8, 8, 8), seed=1)
+        b = spectral_field((8, 8, 8), seed=1)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = spectral_field((8, 8, 8), seed=1)
+        b = spectral_field((8, 8, 8), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_shape_and_dtype(self):
+        f = spectral_field((4, 6, 8), dtype=np.float64)
+        assert f.shape == (4, 6, 8)
+        assert f.dtype == np.float64
+
+    def test_amplitude_and_offset(self):
+        f = spectral_field((32, 32), amplitude=10.0, offset=100.0, seed=3)
+        assert abs(float(f.mean()) - 100.0) < 5.0
+        assert 5.0 < float(f.std()) < 15.0
+
+    def test_higher_beta_is_smoother(self):
+        rough = spectral_field((64, 64), beta=2.0, seed=4).astype(np.float64)
+        smooth = spectral_field((64, 64), beta=6.0, seed=4).astype(np.float64)
+
+        def roughness(f):
+            return float(np.abs(np.diff(f, axis=0)).mean()) / float(f.std())
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_no_specials(self):
+        f = spectral_field((16, 16, 16), seed=5)
+        assert np.isfinite(f).all()
+
+    def test_1d_and_2d(self):
+        assert spectral_field((100,), seed=6).shape == (100,)
+        assert spectral_field((10, 20), seed=6).shape == (10, 20)
+
+
+class TestParticleData:
+    def test_positions_locally_ordered(self):
+        p = particle_data(10_000, kind="position", seed=1)
+        # consecutive particles are near each other (HACC-like locality)
+        assert float(np.abs(np.diff(p)).mean()) < 1.0
+
+    def test_velocity_noisier_than_position(self):
+        p = particle_data(10_000, kind="position", seed=2)
+        v = particle_data(10_000, kind="velocity", seed=2)
+        assert np.abs(np.diff(v)).mean() > np.abs(np.diff(p)).mean()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            particle_data(10, kind="spin")
+
+
+class TestOtherGenerators:
+    def test_wavefunction_localized(self):
+        w = wavefunction_field((20, 20, 20), seed=1)
+        assert np.isfinite(w).all()
+        assert w.dtype == np.float32
+
+    def test_brownian_is_double_and_unbounded(self):
+        b = brownian_walk(50_000, seed=1)
+        assert b.dtype == np.float64
+        assert abs(b[-1]) > 10  # walks drift
+
+    def test_mixture_has_heterogeneous_scales(self):
+        g = gaussian_mixture_series(32_000, seed=1, n_segments=8)
+        seg_stds = [g[i * 4000:(i + 1) * 4000].std() for i in range(8)]
+        assert max(seg_stds) / (min(seg_stds) + 1e-30) > 100

@@ -1,0 +1,89 @@
+"""Backend bit-for-bit compatibility -- the paper's headline property.
+
+"PFPL ... guarantees bit-for-bit identical deterministic compressed and
+decompressed output on both types of devices" (Section I).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.device import GpuSimBackend, SerialBackend, ThreadedBackend, get_backend
+from tests.conftest import make_special_values
+
+BACKENDS = ["serial", "omp", "cuda"]
+
+
+def _data(dtype, n=60_000, seed=0):
+    r = np.random.default_rng(seed)
+    return np.cumsum(r.normal(0, 0.05, n)).astype(dtype)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_compressed_streams_identical(self, mode, dtype):
+        v = _data(dtype)
+        streams = {
+            name: compress(v, mode, 1e-3, backend=get_backend(name))
+            for name in BACKENDS
+        }
+        assert streams["serial"] == streams["omp"] == streams["cuda"]
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_special_values_identical(self, dtype):
+        v = make_special_values(dtype)
+        streams = [compress(v, "abs", 1e-2, backend=get_backend(n)) for n in BACKENDS]
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_incompressible_identical(self, rough_f32):
+        streams = [
+            compress(rough_f32, "abs", 1e-3, backend=get_backend(n))
+            for n in BACKENDS
+        ]
+        assert streams[0] == streams[1] == streams[2]
+
+
+class TestCrossDecode:
+    """Compress on one device, decompress on another (Section I's use case)."""
+
+    @pytest.mark.parametrize("enc", BACKENDS)
+    @pytest.mark.parametrize("dec", BACKENDS)
+    def test_every_pair(self, enc, dec):
+        v = _data(np.float32, n=20_000)
+        blob = compress(v, "abs", 1e-3, backend=get_backend(enc))
+        out = decompress(blob, backend=get_backend(dec))
+        assert np.abs(v.astype(np.float64) - out.astype(np.float64)).max() <= 1e-3
+
+    def test_decompressed_bits_identical_across_backends(self):
+        v = _data(np.float32, n=20_000, seed=5)
+        blob = compress(v, "rel", 1e-2)
+        outs = [decompress(blob, backend=get_backend(n)) for n in BACKENDS]
+        assert np.array_equal(outs[0].view(np.uint32), outs[1].view(np.uint32))
+        assert np.array_equal(outs[0].view(np.uint32), outs[2].view(np.uint32))
+
+
+class TestBackendConstruction:
+    def test_get_backend_names(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("omp"), ThreadedBackend)
+        assert isinstance(get_backend("cuda"), GpuSimBackend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_thread_count_configurable(self):
+        b = ThreadedBackend(n_threads=3)
+        assert b.n_threads == 3
+
+    def test_gpu_wave_scales_with_sms(self):
+        from repro.device.spec import A100, RTX_4090
+
+        assert GpuSimBackend(RTX_4090).wave == 16
+        assert GpuSimBackend(A100).wave == 13
+
+    def test_threaded_map_preserves_order(self):
+        b = ThreadedBackend(n_threads=4)
+        out = b.map_chunks(lambda x: x * 2, list(range(50)))
+        assert out == [x * 2 for x in range(50)]

@@ -1,0 +1,66 @@
+"""Carry-array, decoupled look-back, and Blelloch scans vs. reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.prefix_sum import (
+    blelloch_scan,
+    carry_array_scan,
+    decoupled_lookback_scan,
+    exclusive_scan_reference,
+)
+
+SCANS = [carry_array_scan, decoupled_lookback_scan, blelloch_scan]
+
+
+@pytest.mark.parametrize("scan", SCANS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 8, 9, 64, 1000])
+def test_matches_reference(scan, n):
+    r = np.random.default_rng(n)
+    v = r.integers(0, 10_000, n)
+    assert np.array_equal(scan(v), exclusive_scan_reference(v))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 7, 64])
+def test_carry_array_worker_counts(workers):
+    v = np.arange(100)
+    assert np.array_equal(
+        carry_array_scan(v, n_workers=workers), exclusive_scan_reference(v)
+    )
+
+
+@pytest.mark.parametrize("window", [1, 2, 3, 16])
+def test_lookback_windows(window):
+    v = np.arange(50) * 3
+    assert np.array_equal(
+        decoupled_lookback_scan(v, window=window), exclusive_scan_reference(v)
+    )
+
+
+def test_blelloch_preserves_wrapping_uint32():
+    v = np.array([0xFFFFFFFF, 2, 0xFFFFFFFE], dtype=np.uint32)
+    out = blelloch_scan(v)
+    assert out.dtype == np.uint32
+    expect = np.zeros(3, dtype=np.uint32)
+    with np.errstate(over="ignore"):
+        expect[1] = v[0]
+        expect[2] = v[0] + v[1]
+    assert np.array_equal(out, expect)
+
+
+def test_blelloch_preserves_wrapping_uint64():
+    v = np.full(4, np.uint64(1) << np.uint64(63), dtype=np.uint64)
+    out = blelloch_scan(v)
+    assert out.dtype == np.uint64
+    assert list(out) == [0, 1 << 63, 0, 1 << 63]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(0, 1_000_000), max_size=200))
+def test_scans_agree_property(values):
+    v = np.asarray(values, dtype=np.int64)
+    ref = exclusive_scan_reference(v)
+    for scan in SCANS:
+        assert np.array_equal(scan(v), ref)

@@ -1,0 +1,50 @@
+"""Per-stage profiling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.device.profile import PipelineProfile, StageProfile, profile_chunk
+
+
+@pytest.fixture
+def chunk(rng):
+    return np.cumsum(rng.normal(0, 0.01, 4096)).astype(np.float32)
+
+
+class TestProfile:
+    def test_four_stages(self, chunk):
+        p = profile_chunk(chunk)
+        assert [s.name for s in p.stages] == [
+            "quantize[abs]", "delta+negabin", "bitshuffle", "zero-elim"
+        ]
+
+    def test_traffic_accounting(self, chunk):
+        p = profile_chunk(chunk)
+        assert p.input_bytes == chunk.nbytes
+        assert p.output_bytes < chunk.nbytes  # smooth chunk compresses
+        # fused traffic is exactly read-once + write-once
+        assert p.dram_traffic(fused=True) == p.input_bytes + p.output_bytes
+        assert p.dram_traffic(fused=False) > 3 * p.dram_traffic(fused=True)
+
+    def test_compute_intensity_supports_not_memory_bound(self, chunk):
+        """Section V-F: PFPL is compute bound, ~15% DRAM utilization."""
+        p = profile_chunk(chunk)
+        assert p.compute_intensity > 5  # many ops per DRAM byte
+
+    def test_rel_quantizer_costs_more(self, chunk):
+        abs_p = profile_chunk(chunk, "abs", 1e-3)
+        rel_p = profile_chunk(chunk, "rel", 1e-3)
+        assert rel_p.stages[0].ops > abs_p.stages[0].ops
+
+    def test_render(self, chunk):
+        text = profile_chunk(chunk).render()
+        assert "bitshuffle" in text and "DRAM traffic" in text
+
+    def test_stage_ops_per_byte(self):
+        s = StageProfile("x", 100, 50, 400)
+        assert s.ops_per_byte == 4.0
+
+    def test_empty_profile(self):
+        p = PipelineProfile()
+        assert p.total_ops == 0
+        assert p.dram_traffic() == 0

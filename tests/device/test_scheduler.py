@@ -1,0 +1,64 @@
+"""Dynamic vs. static chunk scheduling (Section III-E load balance)."""
+
+import numpy as np
+import pytest
+
+from repro.device.scheduler import dynamic_schedule, static_schedule
+
+
+class TestDynamic:
+    def test_uniform_costs_balance_perfectly(self):
+        res = dynamic_schedule(np.ones(64), 8)
+        assert res.makespan == pytest.approx(8.0)
+        assert res.imbalance == pytest.approx(1.0)
+
+    def test_all_chunks_assigned_once(self):
+        costs = np.random.default_rng(1).uniform(0.1, 3.0, 100)
+        res = dynamic_schedule(costs, 7)
+        assert res.assignment.size == 100
+        assert set(res.order) == set(range(100))
+        # per-worker busy time adds up to the total work
+        assert res.worker_finish.sum() == pytest.approx(costs.sum())
+
+    def test_deterministic(self):
+        costs = np.random.default_rng(2).uniform(0.1, 3.0, 50)
+        a = dynamic_schedule(costs, 4)
+        b = dynamic_schedule(costs, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_single_worker_serializes(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        res = dynamic_schedule(costs, 1)
+        assert res.makespan == pytest.approx(6.0)
+        assert list(res.start_times) == [0.0, 1.0, 3.0]
+
+    def test_empty(self):
+        res = dynamic_schedule(np.zeros(0), 4)
+        assert res.makespan == 0.0
+
+
+class TestDynamicBeatsStatic:
+    def test_skewed_costs(self):
+        """The reason the paper schedules dynamically: uneven chunks."""
+        r = np.random.default_rng(3)
+        costs = r.uniform(0.1, 1.0, 256)
+        costs[: 32] *= 20  # a run of expensive chunks at the front
+        dyn = dynamic_schedule(costs, 16)
+        stat = static_schedule(costs, 16)
+        assert dyn.makespan < stat.makespan
+
+    def test_uniform_costs_tie(self):
+        costs = np.ones(64)
+        dyn = dynamic_schedule(costs, 8)
+        stat = static_schedule(costs, 8)
+        assert dyn.makespan == pytest.approx(stat.makespan)
+
+
+class TestStatic:
+    def test_blocked_assignment(self):
+        res = static_schedule(np.ones(8), 4)
+        assert list(res.assignment) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_more_workers_than_chunks(self):
+        res = static_schedule(np.ones(3), 10)
+        assert res.makespan == pytest.approx(1.0)

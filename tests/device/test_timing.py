@@ -1,0 +1,139 @@
+"""Throughput model: calibration anchors and paper-stated relations."""
+
+import pytest
+
+from repro.device.spec import (
+    A100,
+    ALL_GPUS,
+    RTX_2070_SUPER,
+    RTX_4090,
+    SYSTEM1,
+    SYSTEM2,
+    THREADRIPPER_2950X,
+    TITAN_XP,
+)
+from repro.device.timing import COST_MODELS, dram_utilization, modeled_throughput
+
+
+def _tp(name, device, direction="compress", bound=1e-3, dtype_bytes=4, parallel=True):
+    return modeled_throughput(COST_MODELS[name], device, direction, bound,
+                              dtype_bytes, parallel)
+
+
+class TestPFPLAnchors:
+    """Absolute numbers quoted in the paper (Sections I, V-B)."""
+
+    def test_gpu_compression_423_gbs(self):
+        assert _tp("PFPL", RTX_4090, "compress", 1e-3) == pytest.approx(423, rel=0.05)
+
+    def test_gpu_compression_446_at_coarsest(self):
+        assert _tp("PFPL", RTX_4090, "compress", 1e-1) == pytest.approx(446, rel=0.06)
+
+    def test_gpu_decompression_327_to_344(self):
+        tp = _tp("PFPL", RTX_4090, "decompress", 1e-3)
+        assert 300 <= tp <= 360
+
+    def test_cpu_omp_5_gbs(self):
+        assert _tp("PFPL", THREADRIPPER_2950X, "compress", 1e-3) == pytest.approx(5, rel=0.1)
+
+    def test_dram_utilization_about_15_percent_on_a100(self):
+        u = dram_utilization(COST_MODELS["PFPL"], A100, "compress", 1e-3)
+        assert 0.05 <= u <= 0.25
+
+    def test_4090_dram_utilization_higher_than_a100(self):
+        m = COST_MODELS["PFPL"]
+        assert dram_utilization(m, RTX_4090) > dram_utilization(m, A100)
+
+
+class TestPaperRelations:
+    def test_pfpl_omp_7x_faster_than_sz3_omp(self):
+        pfpl = _tp("PFPL", THREADRIPPER_2950X)
+        sz3 = _tp("SZ3_OMP", THREADRIPPER_2950X)
+        assert 4 <= pfpl / sz3 <= 10  # paper: 7.1x (ABS), 4.4x (NOA)
+
+    def test_pfpl_omp_about_41x_faster_than_sz2(self):
+        pfpl = _tp("PFPL", THREADRIPPER_2950X)
+        sz2 = _tp("SZ2", THREADRIPPER_2950X, parallel=False)
+        assert 25 <= pfpl / sz2 <= 60
+
+    def test_mgard_37x_slower_compression(self):
+        pfpl = _tp("PFPL", RTX_4090)
+        mgard = _tp("MGARD-X", RTX_4090)
+        assert pfpl / mgard == pytest.approx(37, rel=0.1)
+
+    def test_mgard_63x_slower_decompression(self):
+        pfpl = _tp("PFPL", RTX_4090, "decompress")
+        mgard = _tp("MGARD-X", RTX_4090, "decompress")
+        assert pfpl / mgard == pytest.approx(63, rel=0.1)
+
+    def test_cuszp_decompresses_faster_than_it_compresses(self):
+        assert _tp("cuSZp", RTX_4090, "decompress") > _tp("cuSZp", RTX_4090, "compress")
+
+    def test_pfpl_compresses_faster_than_it_decompresses_on_gpu(self):
+        assert _tp("PFPL", RTX_4090, "compress") > _tp("PFPL", RTX_4090, "decompress")
+
+    def test_pfpl_cpu_decompresses_faster_than_it_compresses(self):
+        cpu = THREADRIPPER_2950X
+        assert _tp("PFPL", cpu, "decompress") > _tp("PFPL", cpu, "compress")
+
+    def test_cuszp_outdecompresses_pfpl_on_doubles(self):
+        # Section V-B: cuSZp decompresses faster on double data
+        cu = _tp("cuSZp", RTX_4090, "decompress", 1e-1, dtype_bytes=8)
+        pf = _tp("PFPL", RTX_4090, "decompress", 1e-1, dtype_bytes=8)
+        assert cu > pf
+
+    def test_pfpl_cuda_fastest_gpu_compressor(self):
+        pfpl = _tp("PFPL", RTX_4090)
+        for other in ("MGARD-X", "FZ-GPU", "cuSZp"):
+            assert pfpl > _tp(other, RTX_4090)
+
+
+class TestSectionVF:
+    """Other GPU generations: compute, not bandwidth, predicts speed."""
+
+    def test_ranking_follows_compute(self):
+        tps = {g.name: _tp("PFPL", g) for g in ALL_GPUS}
+        assert tps["RTX 4090"] > tps["A100"]
+        assert tps["A100"] > tps["RTX 3080 Ti"] or tps["RTX 3080 Ti"] > tps["TITAN Xp"]
+
+    def test_2070_super_occupancy_penalty(self):
+        # the 1024-thread block limit drops it to TITAN Xp levels
+        assert RTX_2070_SUPER.occupancy < 1.0
+        assert TITAN_XP.occupancy == 1.0
+        t2070 = _tp("PFPL", RTX_2070_SUPER)
+        txp = _tp("PFPL", TITAN_XP)
+        assert t2070 == pytest.approx(txp, rel=0.35)
+
+
+class TestSupportGaps:
+    def test_cpu_only_codes_return_none_on_gpu(self):
+        for name in ("ZFP", "SZ2", "SZ3", "SZ3_OMP", "SPERR"):
+            assert _tp(name, RTX_4090) is None
+
+    def test_gpu_only_codes_return_none_on_cpu(self):
+        for name in ("FZ-GPU", "cuSZp"):
+            assert _tp(name, THREADRIPPER_2950X) is None
+
+    def test_serial_only_codes_have_no_parallel_cpu(self):
+        assert _tp("SZ2", THREADRIPPER_2950X, parallel=True) is None
+        assert _tp("SZ2", THREADRIPPER_2950X, parallel=False) is not None
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            _tp("PFPL", RTX_4090, "sideways")
+
+
+class TestSystems:
+    def test_system2_cpu_faster_gpu_slower(self):
+        # Section V-B: "System 2 has a more powerful CPU and a less
+        # powerful GPU"
+        assert _tp("PFPL", SYSTEM2.cpu) > _tp("PFPL", SYSTEM1.cpu)
+        assert _tp("PFPL", SYSTEM2.gpu) < _tp("PFPL", SYSTEM1.gpu)
+
+    def test_bound_tightening_slows_everything(self):
+        for name in COST_MODELS:
+            dev = RTX_4090 if COST_MODELS[name].gpu_cpb_c else THREADRIPPER_2950X
+            par = not COST_MODELS[name].serial_only_cpu
+            hi = _tp(name, dev, bound=1e-1, parallel=par)
+            lo = _tp(name, dev, bound=1e-4, parallel=par)
+            assert hi >= lo

@@ -1,0 +1,75 @@
+"""Warp-granularity butterfly bit shuffle == reference bit shuffle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.lossless.bitshuffle import bitshuffle
+from repro.device.warp import butterfly_transpose, warp_bitshuffle, warp_bitunshuffle
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("dtype,w", [(np.uint32, 32), (np.uint64, 64)])
+    def test_is_a_transpose(self, dtype, w):
+        r = np.random.default_rng(1)
+        x = r.integers(0, 1 << 32, (3, w)).astype(dtype)
+        y = butterfly_transpose(x)
+        # element (i, j) of the bit matrix must equal (j, i) of the output
+        for g in range(3):
+            for i in range(0, w, 7):
+                for j in range(0, w, 9):
+                    bit_in = (int(x[g, i]) >> (w - 1 - j)) & 1
+                    bit_out = (int(y[g, j]) >> (w - 1 - i)) & 1
+                    assert bit_in == bit_out
+
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    def test_involution(self, dtype):
+        w = 32 if dtype == np.uint32 else 64
+        r = np.random.default_rng(2)
+        x = r.integers(0, 1 << 32, (5, w)).astype(dtype)
+        assert np.array_equal(butterfly_transpose(butterfly_transpose(x)), x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            butterfly_transpose(np.zeros((2, 16), dtype=np.uint32))
+        with pytest.raises(TypeError):
+            butterfly_transpose(np.zeros((2, 32), dtype=np.int32))
+
+
+class TestWarpShuffle:
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    @pytest.mark.parametrize("n", [8, 16, 24, 32, 40, 64, 72, 2048, 4096])
+    def test_bit_identical_to_reference(self, dtype, n):
+        """The cross-device compatibility claim at kernel granularity."""
+        r = np.random.default_rng(n)
+        words = r.integers(0, 1 << 32, n).astype(dtype)
+        assert np.array_equal(warp_bitshuffle(words), bitshuffle(words))
+
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    @pytest.mark.parametrize("n", [8, 24, 4096])
+    def test_inverse(self, dtype, n):
+        r = np.random.default_rng(n + 1)
+        words = r.integers(0, 1 << 32, n).astype(dtype)
+        planes = warp_bitshuffle(words)
+        assert np.array_equal(warp_bitunshuffle(planes, n, dtype), words)
+
+    def test_empty(self):
+        assert warp_bitshuffle(np.zeros(0, dtype=np.uint32)).size == 0
+        assert warp_bitunshuffle(np.zeros(0, dtype=np.uint8), 0, np.uint32).size == 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            warp_bitshuffle(np.zeros(5, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            warp_bitunshuffle(np.zeros(3, dtype=np.uint8), 8, np.uint32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(np.uint32, st.integers(1, 40).map(lambda n: n * 8),
+               elements=st.integers(0, 2**32 - 1))
+)
+def test_warp_equals_reference_property(words):
+    assert np.array_equal(warp_bitshuffle(words), bitshuffle(words))

@@ -1,0 +1,91 @@
+"""Bit packing/unpacking primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.bitio import BitReader, pack_bits, unpack_fixed
+
+
+class TestPackBits:
+    def test_simple(self):
+        buf, nbits = pack_bits(np.array([0b101, 0b1]), np.array([3, 1]))
+        assert nbits == 4
+        assert buf == bytes([0b10110000])
+
+    def test_zero_width_fields(self):
+        buf, nbits = pack_bits(np.array([7, 5, 7]), np.array([3, 0, 3]))
+        assert nbits == 6
+        assert buf == bytes([0b11111100])
+
+    def test_empty(self):
+        buf, nbits = pack_bits(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert buf == b"" and nbits == 0
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1]), np.array([33]))
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1]), np.array([-1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1, 2]), np.array([3]))
+
+
+class TestUnpackFixed:
+    @pytest.mark.parametrize("width", [1, 3, 8, 13, 32])
+    def test_roundtrip(self, width):
+        r = np.random.default_rng(width)
+        vals = r.integers(0, 1 << width, 500).astype(np.uint64)
+        buf, _ = pack_bits(vals, np.full(500, width, dtype=np.int64))
+        assert np.array_equal(unpack_fixed(buf, width, 500), vals)
+
+    def test_bit_offset(self):
+        vals = np.array([0b110, 0b010], dtype=np.uint64)
+        buf, _ = pack_bits(vals, np.array([3, 3]))
+        assert list(unpack_fixed(buf, 3, 1, bit_offset=3)) == [0b010]
+
+    def test_width_zero(self):
+        assert np.array_equal(unpack_fixed(b"", 0, 5), np.zeros(5, dtype=np.uint64))
+
+    def test_buffer_too_short(self):
+        with pytest.raises(ValueError, match="too short"):
+            unpack_fixed(b"\x00", 8, 10)
+
+
+class TestBitReader:
+    def test_sequential_reads(self):
+        reader = BitReader(bytes([0b10110100, 0b11000000]))
+        assert reader.take(3) == 0b101
+        assert reader.take(5) == 0b10100
+        assert reader.take(2) == 0b11
+
+    def test_peek_does_not_advance(self):
+        reader = BitReader(bytes([0xF0]))
+        assert reader.peek(4) == 0xF
+        assert reader.peek(4) == 0xF
+        assert reader.pos == 0
+
+    def test_reads_past_end_are_zero_padded(self):
+        reader = BitReader(bytes([0x80]))
+        assert reader.take(16) == 0x8000
+
+    def test_remaining(self):
+        reader = BitReader(bytes(4), bit_offset=5)
+        assert reader.remaining == 27
+        reader.skip(7)
+        assert reader.remaining == 20
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)), max_size=200))
+def test_variable_width_roundtrip_property(pairs):
+    vals = np.array([v & ((1 << w) - 1) for v, w in pairs], dtype=np.uint64)
+    widths = np.array([w for _, w in pairs], dtype=np.int64)
+    buf, total = pack_bits(vals, widths)
+    reader = BitReader(buf)
+    for v, w in zip(vals, widths):
+        assert reader.take(int(w)) == int(v)
+    assert reader.pos == total

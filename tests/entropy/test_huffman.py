@@ -1,0 +1,120 @@
+"""Canonical length-limited Huffman with block-parallel decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.huffman import (
+    MAX_CODE_LEN,
+    canonical_codes,
+    code_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+class TestCodeLengths:
+    def test_balanced(self):
+        lengths = code_lengths(np.array([1, 1, 1, 1]))
+        assert list(lengths) == [2, 2, 2, 2]
+
+    def test_skewed(self):
+        lengths = code_lengths(np.array([100, 1, 1]))
+        assert lengths[0] == 1
+        assert lengths[1] == lengths[2] == 2
+
+    def test_zero_freq_gets_no_code(self):
+        lengths = code_lengths(np.array([5, 0, 5]))
+        assert lengths[1] == 0
+
+    def test_single_symbol(self):
+        assert list(code_lengths(np.array([42]))) == [1]
+
+    def test_length_limit_enforced(self):
+        # fibonacci-like frequencies force deep optimal trees
+        freqs = np.ones(40, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = code_lengths(freqs)
+        assert lengths.max() <= MAX_CODE_LEN
+
+    def test_kraft_inequality(self):
+        r = np.random.default_rng(1)
+        freqs = r.integers(0, 1000, 300)
+        lengths = code_lengths(freqs)
+        used = lengths[lengths > 0].astype(np.int64)
+        assert (0.5 ** used).sum() <= 1.0 + 1e-12
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lengths = code_lengths(np.array([50, 20, 20, 5, 5]))
+        codes = canonical_codes(lengths)
+        entries = [
+            (int(codes[i]), int(lengths[i]))
+            for i in range(5) if lengths[i] > 0
+        ]
+        for c1, l1 in entries:
+            for c2, l2 in entries:
+                if (c1, l1) == (c2, l2):
+                    continue
+                if l1 <= l2:
+                    assert (c2 >> (l2 - l1)) != c1, "prefix collision"
+
+    def test_canonical_ordering(self):
+        lengths = np.array([2, 1, 2], dtype=np.uint8)
+        codes = canonical_codes(lengths)
+        assert codes[1] == 0b0        # shortest first
+        assert codes[0] == 0b10       # then by symbol order
+        assert codes[2] == 0b11
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n,hi", [(0, 5), (1, 5), (100, 2), (4096, 50),
+                                      (4097, 50), (50_000, 2000)])
+    def test_sizes(self, n, hi):
+        r = np.random.default_rng(n + hi)
+        s = np.minimum(r.integers(0, hi, n), r.integers(0, hi, n))
+        assert np.array_equal(huffman_decode(huffman_encode(s)), s)
+
+    def test_single_symbol_alphabet(self):
+        s = np.zeros(10_000, dtype=np.int64)
+        blob = huffman_encode(s)
+        assert len(blob) < 2000  # ~1 bit per symbol + framing
+        assert np.array_equal(huffman_decode(blob), s)
+
+    def test_skewed_beats_8_bits(self):
+        r = np.random.default_rng(7)
+        s = (r.pareto(1.2, 60_000)).astype(np.int64)
+        s = np.minimum(s, 255)
+        blob = huffman_encode(s, alphabet_size=256)
+        assert len(blob) < s.size  # < 8 bits/symbol
+
+    def test_declared_alphabet_validated(self):
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([5]), alphabet_size=3)
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([-1]))
+
+    def test_corrupt_stream_detected(self):
+        s = np.arange(100) % 7
+        blob = bytearray(huffman_encode(s))
+        blob[-1] ^= 0xFF
+        try:
+            out = huffman_decode(bytes(blob))
+            # corruption near the tail may decode; if it does, it must differ
+            assert not np.array_equal(out, s)
+        except ValueError:
+            pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(0, 500), max_size=3000))
+def test_roundtrip_property(symbols):
+    s = np.asarray(symbols, dtype=np.int64)
+    assert np.array_equal(huffman_decode(huffman_encode(s)), s)

@@ -1,0 +1,128 @@
+"""LZ77, RLE, and block fixed-length coders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.fixedlen import fixedlen_decode, fixedlen_encode
+from repro.entropy.lz77 import lz77_compress, lz77_decompress
+from repro.entropy.rle import (
+    rle_decode,
+    rle_encode,
+    zero_rle_decode,
+    zero_rle_encode,
+)
+
+
+class TestLZ77:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"abcabcabcabcabcabc" * 10,
+            b"\x00" * 10_000,
+            bytes(range(256)) * 4,
+        ],
+        ids=["empty", "one", "short", "periodic", "zeros", "cycle"],
+    )
+    def test_roundtrip(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_random_bytes_roundtrip(self):
+        data = np.random.default_rng(1).integers(0, 256, 40_000).astype(np.uint8).tobytes()
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = b"the quick brown fox " * 500
+        assert len(lz77_compress(data)) < len(data) / 3
+
+    def test_overlapping_match_rle_style(self):
+        data = b"x" + b"y" * 1000
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_high_entropy_bounded_expansion(self):
+        data = np.random.default_rng(2).integers(0, 256, 10_000).astype(np.uint8).tobytes()
+        assert len(lz77_compress(data)) < len(data) * 1.2
+
+
+class TestRLE:
+    def test_basic(self):
+        v, l = rle_encode(np.array([1, 1, 2, 3, 3, 3]))
+        assert list(v) == [1, 2, 3]
+        assert list(l) == [2, 1, 3]
+        assert np.array_equal(rle_decode(v, l), [1, 1, 2, 3, 3, 3])
+
+    def test_empty(self):
+        v, l = rle_encode(np.zeros(0, dtype=np.int64))
+        assert v.size == 0
+        assert rle_decode(v, l).size == 0
+
+    def test_no_runs(self):
+        x = np.arange(100)
+        v, l = rle_encode(x)
+        assert v.size == 100
+        assert np.array_equal(rle_decode(v, l), x)
+
+
+class TestZeroRLE:
+    @pytest.mark.parametrize("zero", [0, 3, 500])
+    def test_roundtrip(self, zero):
+        r = np.random.default_rng(zero)
+        s = r.integers(0, 6, 5000)
+        s[r.random(5000) < 0.6] = zero
+        enc = zero_rle_encode(s, zero)
+        assert np.array_equal(zero_rle_decode(enc, zero), s)
+
+    def test_long_runs_shrink(self):
+        s = np.zeros(100_000, dtype=np.int64)
+        enc = zero_rle_encode(s, 0)
+        assert enc.size < 10
+
+    def test_single_zero_is_literal(self):
+        s = np.array([1, 0, 1])
+        enc = zero_rle_encode(s, 0)
+        assert np.array_equal(zero_rle_decode(enc, 0), s)
+
+    def test_corrupt_run_detected(self):
+        with pytest.raises(ValueError):
+            zero_rle_decode(np.array([0, 5]), 0)  # unterminated run
+
+
+class TestFixedLen:
+    @pytest.mark.parametrize("n", [0, 1, 255, 256, 1000, 10_000])
+    def test_roundtrip(self, n):
+        r = np.random.default_rng(n)
+        x = r.integers(-(1 << 20), 1 << 20, n)
+        assert np.array_equal(fixedlen_decode(fixedlen_encode(x)), x)
+
+    def test_zero_blocks_cost_one_byte(self):
+        x = np.zeros(256 * 10, dtype=np.int64)
+        blob = fixedlen_encode(x)
+        assert len(blob) <= 12 + 10  # header + one width byte per block
+
+    def test_mixed_magnitude_blocks(self):
+        x = np.zeros(512, dtype=np.int64)
+        x[256:] = 1_000_000  # second block needs ~21 bits, first is free
+        blob = fixedlen_encode(x)
+        assert len(blob) < 512 * 8 / 2
+        assert np.array_equal(fixedlen_decode(blob), x)
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            fixedlen_encode(np.array([1 << 40]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=2000))
+def test_lz77_property(data):
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-(1 << 30), 1 << 30), max_size=600))
+def test_fixedlen_property(values):
+    x = np.asarray(values, dtype=np.int64)
+    assert np.array_equal(fixedlen_decode(fixedlen_encode(x)), x)

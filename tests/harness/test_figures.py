@@ -1,0 +1,103 @@
+"""Figure registry + one cheap regeneration with shape assertions."""
+
+import pytest
+
+from repro.harness.figures import FIGURES, clear_cache, figure_data
+from repro.harness.report import render_figure, render_table1, render_table2
+
+
+class TestRegistry:
+    def test_every_paper_figure_present(self):
+        expected = {
+            "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c",
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16a", "fig16b", "fig16c",
+        }
+        assert set(FIGURES) == expected
+
+    def test_rel_figures_have_only_pfpl_sz2_zfp(self):
+        for fid in ("fig8", "fig9", "fig10", "fig11"):
+            impls = {v.impl for v in FIGURES[fid].variants}
+            assert impls == {"PFPL", "SZ2", "ZFP"}
+
+    def test_abs_figures_exclude_fzgpu_and_sz2(self):
+        impls = {v.impl for v in FIGURES["fig6a"].variants}
+        assert "FZ-GPU" not in impls and "SZ2" not in impls
+
+    def test_noa_figures_exclude_zfp_and_sperr(self):
+        impls = {v.impl for v in FIGURES["fig12"].variants}
+        assert "ZFP" not in impls and "SPERR" not in impls
+
+    def test_double_figures_use_double_suites(self):
+        assert set(FIGURES["fig6b"].suites) == {"NWChem", "Miranda", "Brown"}
+
+    def test_abs_single_excludes_non_3d_suites(self):
+        assert "EXAALT" not in FIGURES["fig6a"].suites
+        assert "HACC" not in FIGURES["fig6a"].suites
+
+    def test_rel_single_uses_all_suites(self):
+        assert "EXAALT" in FIGURES["fig8"].suites
+        assert "HACC" in FIGURES["fig8"].suites
+
+    def test_system2_figures(self):
+        assert FIGURES["fig6c"].system.name == "System 2"
+
+    def test_pfpl_always_has_three_variants(self):
+        for spec in FIGURES.values():
+            labels = {v.label for v in spec.variants if v.impl == "PFPL"}
+            assert labels == {"PFPL_Serial", "PFPL_OMP", "PFPL_CUDA"}
+
+
+@pytest.fixture(scope="module")
+def fig12_small():
+    clear_cache()
+    return figure_data("fig12", bounds=(1e-2,), n_files=1)
+
+
+class TestRegeneration:
+    def test_points_produced(self, fig12_small):
+        labels = {p.label for p in fig12_small.points}
+        assert "PFPL_CUDA" in labels and "SZ3_Serial" in labels
+
+    def test_pfpl_variants_share_ratio(self, fig12_small):
+        """Bit-identical streams => identical ratios for all PFPL versions."""
+        ratios = {p.ratio for p in fig12_small.points if p.label.startswith("PFPL")}
+        assert len(ratios) == 1
+
+    def test_pfpl_cuda_on_pareto_front(self, fig12_small):
+        front = {p.label for p in fig12_small.front}
+        assert "PFPL_CUDA" in front
+
+    def test_pfpl_beats_gpu_codes_in_ratio(self, fig12_small):
+        pts = {p.label: p for p in fig12_small.points}
+        for gpu in ("cuSZp_CUDA", "FZ-GPU", "MGARD-X_CUDA"):
+            if gpu in pts:
+                assert pts["PFPL_CUDA"].ratio > pts[gpu].ratio
+
+    def test_sz3_serial_best_ratio(self, fig12_small):
+        pts = {p.label: p for p in fig12_small.points}
+        best = max(p.ratio for p in fig12_small.points)
+        assert pts["SZ3_Serial"].ratio == pytest.approx(best, rel=0.05)
+
+    def test_cache_reused(self):
+        import time
+
+        t0 = time.perf_counter()
+        figure_data("fig12", bounds=(1e-2,), n_files=1)
+        assert time.perf_counter() - t0 < 1.0  # cached grid
+
+    def test_render(self, fig12_small):
+        text = render_figure(fig12_small)
+        assert "fig12" in text and "PFPL_CUDA" in text and "pareto" in text
+
+
+class TestTables:
+    def test_table1_lists_both_systems_and_extra_gpus(self):
+        text = render_table1()
+        assert "Threadripper 2950X" in text and "A100" in text
+        assert "TITAN Xp" in text
+
+    def test_table2_lists_all_suites(self):
+        text = render_table2()
+        for name in ("CESM-ATM", "Brown", "QMCPACK"):
+            assert name in text

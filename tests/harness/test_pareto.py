@@ -1,0 +1,65 @@
+"""Pareto-front semantics (Section IV)."""
+
+from repro.harness.pareto import ParetoPoint, is_dominated, pareto_front
+
+
+def _p(label, bound, ratio, tp):
+    return ParetoPoint(label, bound, ratio, tp)
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        a = _p("a", 1e-3, 10, 100)
+        b = _p("b", 1e-3, 5, 50)
+        assert is_dominated(b, [a, b])
+        assert not is_dominated(a, [a, b])
+
+    def test_tradeoff_points_coexist(self):
+        fast = _p("fast", 1e-3, 5, 100)
+        dense = _p("dense", 1e-3, 50, 1)
+        pts = [fast, dense]
+        assert not is_dominated(fast, pts)
+        assert not is_dominated(dense, pts)
+
+    def test_equal_points_do_not_dominate(self):
+        a = _p("a", 1e-3, 10, 10)
+        b = _p("b", 1e-3, 10, 10)
+        assert not is_dominated(a, [a, b])
+
+    def test_tie_in_one_dim_with_win_in_other(self):
+        a = _p("a", 1e-3, 10, 100)
+        b = _p("b", 1e-3, 10, 50)
+        assert is_dominated(b, [a, b])
+
+
+class TestFront:
+    def test_front_contents(self):
+        pts = [
+            _p("gpu", 1e-3, 10, 400),
+            _p("cpu-best-ratio", 1e-3, 60, 0.3),
+            _p("mid", 1e-3, 9, 50),       # dominated by gpu
+            _p("cpu-par", 1e-3, 20, 5),
+        ]
+        labels = {p.label for p in pareto_front(pts)}
+        assert labels == {"gpu", "cpu-best-ratio", "cpu-par"}
+
+    def test_per_bound_fronts(self):
+        """Fronts are drawn per error bound."""
+        pts = [
+            _p("a", 1e-1, 100, 100),
+            _p("b", 1e-3, 10, 10),  # worse than a, but different bound
+        ]
+        assert len(pareto_front(pts)) == 2
+
+    def test_sorted_by_throughput(self):
+        pts = [_p("slow", 1e-3, 100, 1), _p("fast", 1e-3, 1, 100)]
+        front = pareto_front(pts)
+        assert [p.label for p in front] == ["fast", "slow"]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_same_label_multiple_bounds_not_self_dominated(self):
+        pts = [_p("x", 1e-1, 10, 10), _p("x", 1e-1, 20, 20)]
+        # same compressor: points never dominate their own label
+        assert len(pareto_front(pts)) == 2

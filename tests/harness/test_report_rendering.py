@@ -1,0 +1,56 @@
+"""Report rendering paths not covered by the figure tests."""
+
+import pytest
+
+from repro.harness.figures import FigureData, FigureSpec
+from repro.harness.pareto import ParetoPoint
+from repro.harness.report import render_figure
+from repro.device.spec import SYSTEM1
+
+
+def _spec(direction="compress"):
+    return FigureSpec(
+        figure_id="figX", caption="synthetic", mode="abs",
+        precision="single", system=SYSTEM1, direction=direction,
+        suites=("SCALE",), variants=(),
+    )
+
+
+def test_render_psnr_direction_uses_db_column():
+    data = FigureData(
+        spec=_spec("psnr"),
+        points=[ParetoPoint("PFPL", 1e-2, 10.0, 85.0)],
+        front=[],
+    )
+    text = render_figure(data)
+    assert "PSNR dB" in text
+    assert "85.00" in text
+
+
+def test_render_marks_front_members():
+    p1 = ParetoPoint("A", 1e-2, 10.0, 100.0)
+    p2 = ParetoPoint("B", 1e-2, 5.0, 50.0)
+    data = FigureData(spec=_spec(), points=[p1, p2], front=[p1])
+    lines = render_figure(data).splitlines()
+    a_line = next(l for l in lines if " A " in l)
+    b_line = next(l for l in lines if " B " in l)
+    assert a_line.rstrip().endswith("*")
+    assert not b_line.rstrip().endswith("*")
+
+
+def test_render_includes_notes():
+    data = FigureData(spec=_spec(), points=[], front=[],
+                      notes=["cuSZp @ 0.01: major bound violation (x6.0)"])
+    assert "note: cuSZp" in render_figure(data)
+
+
+def test_points_sorted_by_bound_then_throughput():
+    pts = [
+        ParetoPoint("slow", 1e-2, 1.0, 1.0),
+        ParetoPoint("fast", 1e-2, 1.0, 9.0),
+        ParetoPoint("coarse", 1e-1, 1.0, 5.0),
+    ]
+    data = FigureData(spec=_spec(), points=pts, front=[])
+    text = render_figure(data)
+    # tighter bounds render first; within a bound, faster first
+    assert text.index("fast") < text.index("slow") < text.index("coarse")

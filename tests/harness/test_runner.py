@@ -1,0 +1,96 @@
+"""Grid runner and paper-style aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import (
+    PAPER_BOUNDS,
+    aggregate,
+    run_cell,
+    run_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    from repro.datasets import spectral_field
+
+    return spectral_field((10, 12, 14), beta=5.0, seed=1, dtype=np.float32,
+                          amplitude=5.0)
+
+
+class TestRunCell:
+    def test_successful_cell(self, small_field):
+        cell = run_cell("PFPL", "S", "f0", small_field, "abs", 1e-2)
+        assert cell.ok
+        assert cell.ratio > 1
+        assert cell.psnr_db > 40
+        assert cell.max_violation_factor <= 1.0
+        assert cell.encode_seconds > 0
+
+    def test_unsupported_mode(self, small_field):
+        cell = run_cell("SZ3", "S", "f0", small_field, "rel", 1e-2)
+        assert not cell.ok
+        assert "unsupported" in cell.note
+
+    def test_unsupported_dtype(self, small_field):
+        cell = run_cell("FZ-GPU", "S", "f0", small_field.astype(np.float64),
+                        "noa", 1e-2)
+        assert not cell.ok
+
+    def test_crash_becomes_note(self):
+        parity = np.indices((12, 12, 12)).sum(axis=0) % 2
+        board = np.where(parity == 1, 1e4, -1e4).astype(np.float32)
+        cell = run_cell("FZ-GPU", "S", "f0", board, "noa", 1e-4)
+        assert not cell.ok
+        assert "crash" in cell.note
+
+    def test_violating_codec_reports_factor(self, small_field):
+        cell = run_cell("cuSZp", "S", "f0", small_field, "abs", 1e-3)
+        assert cell.ok
+        assert cell.max_violation_factor > 1.0
+
+
+class TestGridAndAggregate:
+    def test_grid_runs_and_aggregates(self):
+        cells = run_grid("abs", ["SCALE"], compressors=["PFPL", "SZ3"],
+                         bounds=(1e-2,), n_files=1)
+        assert len(cells) == 2
+        rows = aggregate(cells)
+        assert ("PFPL", 1e-2) in rows and ("SZ3", 1e-2) in rows
+        r = rows[("SZ3", 1e-2)]
+        assert r.ratio > rows[("PFPL", 1e-2)].ratio  # the paper's ordering
+        assert r.n_files == 1
+
+    def test_geomean_of_suite_geomeans(self):
+        from repro.harness.runner import CellResult
+
+        cells = [
+            CellResult("X", "s1", "a", "abs", 1e-2, 4.0, 50.0, 1.0, 0),
+            CellResult("X", "s1", "b", "abs", 1e-2, 16.0, 50.0, 1.0, 0),
+            CellResult("X", "s2", "c", "abs", 1e-2, 100.0, 50.0, 1.0, 0),
+        ]
+        rows = aggregate(cells)
+        # s1 geomean = 8, s2 = 100 -> overall sqrt(800)
+        assert rows[("X", 1e-2)].ratio == pytest.approx((8 * 100) ** 0.5)
+
+    def test_skipped_cells_noted(self):
+        from repro.harness.runner import CellResult
+
+        cells = [
+            CellResult("X", "s", "a", "abs", 1e-2, 4.0, 50.0, 1.0, 0),
+            CellResult("X", "s", "b", "abs", 1e-2, None, None, None, None,
+                       note="crash"),
+        ]
+        rows = aggregate(cells)
+        assert rows[("X", 1e-2)].skipped == ["s/b: crash"]
+
+    def test_all_skipped_drops_row(self):
+        from repro.harness.runner import CellResult
+
+        cells = [CellResult("X", "s", "a", "abs", 1e-2, None, None, None,
+                            None, note="nope")]
+        assert aggregate(cells) == {}
+
+    def test_paper_bounds(self):
+        assert PAPER_BOUNDS == (1e-1, 1e-2, 1e-3, 1e-4)

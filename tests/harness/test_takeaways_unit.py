@@ -1,0 +1,93 @@
+"""Takeaway predicates: unit-level behaviour on synthetic figure data."""
+
+import pytest
+
+from repro.device.spec import SYSTEM1
+from repro.harness.figures import FigureData, FigureSpec
+from repro.harness.pareto import ParetoPoint
+from repro.harness.takeaways import ClaimResult, takeaway1, takeaway3
+
+
+def _spec(fid="figX"):
+    return FigureSpec(
+        figure_id=fid, caption="synthetic", mode="abs", precision="single",
+        system=SYSTEM1, direction="compress", suites=("SCALE",), variants=(),
+    )
+
+
+def _data(points, front=None, notes=()):
+    return FigureData(spec=_spec(), points=points, front=front or [],
+                      notes=list(notes))
+
+
+def _grid(ratios_speeds):
+    """points from {label: (ratio, speed)} at one bound."""
+    return [ParetoPoint(lbl, 1e-3, r, s) for lbl, (r, s) in ratios_speeds.items()]
+
+
+class TestClaimResult:
+    def test_all_pass(self):
+        res = ClaimResult("T")
+        res.check("a", True, "fine")
+        assert res.ok
+        assert "[PASS] a" in res.render()
+
+    def test_any_fail(self):
+        res = ClaimResult("T")
+        res.check("a", True, "fine")
+        res.check("b", False, "broken")
+        assert not res.ok
+        assert "[FAIL] b" in res.render()
+
+
+class TestTakeaway1:
+    def _happy(self):
+        pts = _grid({
+            "PFPL_CUDA": (10, 400), "PFPL_OMP": (10, 5), "PFPL_Serial": (10, 0.4),
+            "SZ3_Serial": (30, 0.1), "SZ3_OMP": (25, 0.7),
+            "MGARD-X_CUDA": (5, 400 / 37), "cuSZp_CUDA": (6, 250),
+            "ZFP": (3, 0.3), "SPERR": (8, 0.2),
+        })
+        dec = _grid({
+            "PFPL_CUDA": (10, 330), "MGARD-X_CUDA": (5, 330 / 63),
+        })
+        front = [p for p in pts if p.label in ("PFPL_CUDA", "SZ3_Serial")]
+        return _data(pts, front), _data(dec)
+
+    def test_happy_path(self):
+        comp, dec = self._happy()
+        assert takeaway1(comp, dec).ok
+
+    def test_detects_slow_pfpl_omp(self):
+        comp, dec = self._happy()
+        bad = [p if p.label != "SZ3_OMP" else ParetoPoint("SZ3_OMP", 1e-3, 25, 50)
+               for p in comp.points]
+        res = takeaway1(_data(bad, comp.front), dec)
+        assert not res.claims["pfpl_omp_fastest_cpu"]
+
+    def test_detects_gpu_ratio_loss(self):
+        comp, dec = self._happy()
+        bad = [p if p.label != "cuSZp_CUDA" else ParetoPoint("cuSZp_CUDA", 1e-3, 50, 250)
+               for p in comp.points]
+        res = takeaway1(_data(bad, comp.front), dec)
+        assert not res.claims["pfpl_outcompresses_gpu_codes"]
+
+
+class TestTakeaway3:
+    def test_happy_path(self):
+        pts = _grid({
+            "PFPL_CUDA": (15, 400), "SZ3_Serial": (20, 0.1), "SZ3_OMP": (19, 0.6),
+            "MGARD-X_CUDA": (9, 11), "cuSZp_CUDA": (7, 240), "FZ-GPU": (2, 140),
+        })
+        front = [p for p in pts if p.label in ("PFPL_CUDA", "SZ3_Serial")]
+        data = _data(pts, front)
+        assert takeaway3(data, data).ok
+
+    def test_detects_sz3_losing_ratio(self):
+        pts = _grid({
+            "PFPL_CUDA": (25, 400), "SZ3_Serial": (20, 0.1),
+            "MGARD-X_CUDA": (9, 11),
+        })
+        data = _data(pts, [pts[0]])
+        res = takeaway3(data, data)
+        assert not res.claims["sz3_best_ratio"]

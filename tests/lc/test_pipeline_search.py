@@ -1,0 +1,106 @@
+"""LC pipeline grammar + synthesis search."""
+
+import numpy as np
+import pytest
+
+from repro.lc import (
+    PFPL_PIPELINE,
+    LCPipeline,
+    enumerate_pipelines,
+    search_pipelines,
+)
+
+
+def _sample(seed=0, smooth=True, n=2048):
+    r = np.random.default_rng(seed)
+    if smooth:
+        bins = np.cumsum(r.integers(-2, 3, n))
+        return (bins & 0xFFFF).astype(np.uint32)
+    return r.integers(0, 1 << 32, n).astype(np.uint32)
+
+
+class TestPipelineGrammar:
+    def test_valid_chain(self):
+        p = LCPipeline(PFPL_PIPELINE)
+        assert p.describe() == "delta1 -> negabinary -> bitshuffle -> zerobyte"
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError, match="unknown"):
+            LCPipeline(("zstd",))
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError, match="two shifter"):
+            LCPipeline(("delta1", "delta2"))
+
+    def test_reducer_must_be_last(self):
+        with pytest.raises(ValueError, match="final"):
+            LCPipeline(("zerobyte", "delta1"))
+
+    def test_empty_pipeline_is_identity(self):
+        p = LCPipeline(())
+        w = _sample()
+        assert p.decode(p.encode(w), w.size, np.uint32) is not None
+        assert np.array_equal(p.decode(p.encode(w), w.size, np.uint32), w)
+
+
+class TestPipelineExecution:
+    @pytest.mark.parametrize("stages", [
+        PFPL_PIPELINE,
+        ("delta2", "zigzag", "byteshuffle", "zeronibble"),
+        ("xordelta", "raw"),
+        ("bitshuffle",),
+        ("negabinary",),
+    ])
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    def test_roundtrip(self, stages, dtype):
+        p = LCPipeline(stages)
+        w = _sample().astype(dtype)
+        payload = p.encode(w)
+        assert np.array_equal(p.decode(payload, w.size, dtype), w)
+
+    def test_pfpl_pipeline_matches_core_implementation(self):
+        """The LC formulation and core/lossless must emit identical bytes."""
+        from repro.core.lossless.pipeline import LosslessPipeline
+
+        w = _sample(seed=3)
+        assert LCPipeline(PFPL_PIPELINE).encode(w) == \
+            LosslessPipeline(np.uint32).encode_chunk(w)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        pipes = enumerate_pipelines()
+        # (3+1 shifters) x (3+1 mutators) x (2+1 shufflers) x 3 reducers
+        assert len(pipes) == 4 * 4 * 3 * 3
+
+    def test_all_end_in_reducer(self):
+        from repro.lc.components import COMPONENTS
+
+        for p in enumerate_pipelines():
+            assert COMPONENTS[p.stages[-1]].kind == "reducer"
+
+
+class TestSearch:
+    def test_finds_pfpl_on_smooth_data(self):
+        samples = [_sample(seed=s) for s in range(3)]
+        results = search_pipelines(samples)
+        assert results[0].pipeline.stages == PFPL_PIPELINE
+
+    def test_results_sorted_by_size(self):
+        results = search_pipelines([_sample()])
+        sizes = [r.compressed_bytes for r in results]
+        assert sizes == sorted(sizes)
+
+    def test_raw_fallback_is_last_resort_on_noise(self):
+        results = search_pipelines([_sample(smooth=False)])
+        best = results[0]
+        # nothing compresses noise: the winner is within 7% of raw
+        assert best.ratio < 1.07
+
+    def test_every_candidate_verified(self):
+        results = search_pipelines([_sample(seed=9)], verify=True)
+        assert all(r.compressed_bytes > 0 for r in results)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            search_pipelines([])

@@ -1,0 +1,65 @@
+"""DSSIM structural-similarity metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.dssim import dssim, ssim_field
+
+
+@pytest.fixture
+def field(rng):
+    from repro.datasets import spectral_field
+
+    return spectral_field((24, 32), beta=4.0, seed=3, dtype=np.float64,
+                          amplitude=10.0)
+
+
+class TestDSSIM:
+    def test_identical_is_one(self, field):
+        assert dssim(field, field) == pytest.approx(1.0)
+
+    def test_constant_fields(self):
+        a = np.full((16, 16), 3.0)
+        assert dssim(a, a) == 1.0
+
+    def test_small_noise_stays_high(self, field, rng):
+        noisy = field + rng.normal(0, 1e-4, field.shape)
+        assert dssim(field, noisy) > 0.999
+
+    def test_structure_damage_detected(self, field, rng):
+        shuffled = rng.permutation(field.reshape(-1)).reshape(field.shape)
+        assert dssim(field, shuffled) < 0.5
+
+    def test_monotone_in_bound(self, field):
+        from repro.core import compress, decompress
+
+        scores = []
+        for eps in (1e-1, 1e-2, 1e-3):
+            rec = decompress(compress(field, "abs", eps)).reshape(field.shape)
+            scores.append(dssim(field, rec))
+        assert scores == sorted(scores)
+        assert scores[-1] > 0.9999
+
+    def test_catches_smearing(self, rng):
+        """Smoothing keeps values in range but destroys local structure;
+        a bound-guaranteed compressor at a tight bound does not."""
+        from scipy.ndimage import uniform_filter
+        from repro.core import compress, decompress
+
+        base = rng.normal(0, 1, (64, 64))
+        smeared = uniform_filter(base, size=5)
+        assert dssim(base, smeared) < 0.5
+
+        rec = decompress(compress(base.astype(np.float64), "abs", 1e-4))
+        assert dssim(base, rec.reshape(base.shape)) > 0.999
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dssim(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_map_shape(self, field):
+        assert ssim_field(field, field).shape == field.shape
+
+    def test_3d_fields(self, rng):
+        a = rng.normal(0, 1, (8, 10, 12))
+        assert dssim(a, a) == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Error-artifact analysis: PFPL behaves like an ideal quantizer; the
+drift-violating codecs do not."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.error_analysis import (
+    ErrorReport,
+    error_autocorrelation,
+    error_histogram,
+    summarize_errors,
+    uniformity_pvalue,
+)
+
+
+@pytest.fixture(scope="module")
+def field():
+    from repro.datasets import spectral_field
+
+    return spectral_field((20, 30, 40), beta=5.0, seed=4, dtype=np.float32,
+                          amplitude=8.0)
+
+
+@pytest.fixture(scope="module")
+def pfpl_pair(field):
+    from repro.core import compress, decompress
+
+    eps = 1e-3 * float(field.max() - field.min())
+    rec = decompress(compress(field, "abs", eps)).reshape(field.shape)
+    return field, rec, eps
+
+
+class TestHistogram:
+    def test_counts_sum_to_finite_values(self, pfpl_pair):
+        field, rec, eps = pfpl_pair
+        counts, edges = error_histogram(field, rec, eps)
+        assert counts.sum() == field.size
+        assert edges[0] == -eps and edges[-1] == eps
+
+    def test_uniform_spread_for_pfpl(self, pfpl_pair):
+        field, rec, eps = pfpl_pair
+        counts, _ = error_histogram(field, rec, eps, bins=11)
+        # no bin should be empty and none should hugely dominate
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() < 3
+
+
+class TestAutocorrelation:
+    def test_lag0_is_one(self, pfpl_pair):
+        field, rec, _ = pfpl_pair
+        ac = error_autocorrelation(field, rec)
+        assert ac[0] == pytest.approx(1.0)
+
+    def test_pfpl_error_is_nearly_white(self, pfpl_pair):
+        field, rec, _ = pfpl_pair
+        ac = error_autocorrelation(field, rec)
+        assert np.abs(ac[1:]).max() < 0.3
+
+    def test_chained_quantizer_error_is_correlated(self, field):
+        """cuSZp's difference-chain drift imprints serial correlation."""
+        from repro.baselines import CuSZp
+
+        c = CuSZp()
+        eps = 1e-3 * float(field.max() - field.min())
+        rec = c.decompress(c.compress(field, "abs", eps))
+        ac_chain = error_autocorrelation(field, rec)
+        ac_pfpl = error_autocorrelation(
+            field,
+            __import__("repro.core", fromlist=["decompress"]).decompress(
+                __import__("repro.core", fromlist=["compress"]).compress(
+                    field, "abs", eps
+                )
+            ).reshape(field.shape),
+        )
+        assert ac_chain[1] > ac_pfpl[1] + 0.2
+
+    def test_zero_error(self, field):
+        ac = error_autocorrelation(field, field)
+        assert (ac == 0).all()
+
+
+class TestUniformity:
+    def test_true_uniform_passes(self, rng):
+        orig = rng.normal(0, 10, 50_000)
+        recon = orig - rng.uniform(-1e-3, 1e-3, 50_000)
+        assert uniformity_pvalue(orig, recon, 1e-3) > 0.01
+
+    def test_saturated_error_fails(self, rng):
+        orig = rng.normal(0, 10, 50_000)
+        recon = orig - 1e-3  # error pinned at the bound
+        assert uniformity_pvalue(orig, recon, 1e-3) < 1e-6
+
+    def test_all_exact_is_trivially_fine(self, rng):
+        orig = rng.normal(0, 10, 100)
+        assert uniformity_pvalue(orig, orig, 1e-3) == 1.0
+
+
+class TestReport:
+    def test_pfpl_looks_ideal(self, pfpl_pair):
+        field, rec, eps = pfpl_pair
+        report = summarize_errors(field, rec, eps)
+        assert report.looks_like_ideal_quantization
+        assert report.bound_utilization <= 1.0
+        assert "max|e|" in report.render()
+
+    def test_drifting_codec_flagged(self, field):
+        from repro.baselines import CuSZp
+
+        c = CuSZp()
+        eps = 1e-3 * float(field.max() - field.min())
+        rec = c.decompress(c.compress(field, "abs", eps))
+        report = summarize_errors(field, rec, eps)
+        assert not report.looks_like_ideal_quantization
+        assert report.bound_utilization > 1.0
+
+    def test_empty(self):
+        report = summarize_errors(np.array([np.nan]), np.array([np.nan]), 1e-3)
+        assert report.max_abs_error == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            summarize_errors(np.zeros(3), np.zeros(4), 1e-3)

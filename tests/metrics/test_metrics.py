@@ -1,0 +1,77 @@
+"""PSNR / MSE / geo-mean aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import geomean, geomean_of_suite_geomeans, mse, nrmse, psnr
+
+
+class TestMSE:
+    def test_zero_for_exact(self):
+        v = np.arange(10.0)
+        assert mse(v, v) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(4.0)
+
+    def test_ignores_nonfinite(self):
+        v = np.array([np.nan, 1.0, np.inf])
+        r = np.array([0.0, 1.5, 0.0])
+        assert mse(v, r) == pytest.approx(0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(2))
+
+
+class TestPSNR:
+    def test_infinite_for_exact(self):
+        v = np.arange(100.0)
+        assert psnr(v, v) == float("inf")
+
+    def test_known_value(self):
+        v = np.array([0.0, 1.0])  # range 1
+        r = v + 0.1               # rmse 0.1
+        assert psnr(v, r) == pytest.approx(20.0, abs=0.1)
+
+    def test_tighter_bound_higher_psnr(self):
+        from repro.core import compress, decompress
+
+        r = np.random.default_rng(1)
+        v = np.cumsum(r.normal(0, 0.1, 20_000)).astype(np.float32)
+        p = [psnr(v, decompress(compress(v, "abs", eps)))
+             for eps in (1e-1, 1e-2, 1e-3)]
+        assert p[0] < p[1] < p[2]
+
+    def test_nrmse_matches_psnr(self):
+        v = np.array([0.0, 10.0, 5.0])
+        r = v + 0.5
+        assert psnr(v, r) == pytest.approx(-20 * np.log10(nrmse(v, r)))
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_dampens_outliers_vs_arithmetic(self):
+        vals = [2, 2, 2, 1000]
+        assert geomean(vals) < np.mean(vals) / 5
+
+    def test_suite_weighting(self):
+        """Section IV: a suite with many files must not dominate."""
+        per_suite = {
+            "big": [10.0] * 50,   # 50 files
+            "small": [1000.0],    # 1 file
+        }
+        overall = geomean_of_suite_geomeans(per_suite)
+        assert overall == pytest.approx(geomean([10.0, 1000.0]))
+
+    def test_suite_with_no_files_ignored(self):
+        assert geomean_of_suite_geomeans({"a": [4.0], "b": []}) == pytest.approx(4.0)

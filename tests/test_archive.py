@@ -1,0 +1,81 @@
+"""Multi-member archive container."""
+
+import numpy as np
+import pytest
+
+from repro.archive import PFPLArchive
+
+
+@pytest.fixture
+def fields(rng):
+    return {
+        "temperature": (rng.normal(280, 5, (10, 20, 30)).astype(np.float32), "abs", 1e-2),
+        "pressure": (np.exp(rng.normal(0, 1, (10, 20, 30))).astype(np.float32), "rel", 1e-3),
+        "density": (rng.random(5000).astype(np.float64), "noa", 1e-3),
+    }
+
+
+class TestArchive:
+    def test_roundtrip_all_members(self, fields):
+        arch = PFPLArchive()
+        for name, (data, mode, eps) in fields.items():
+            arch.add(name, data, mode=mode, error_bound=eps)
+        reader = PFPLArchive.unpack(arch.pack())
+
+        assert set(reader.names) == set(fields)
+        for name, (data, mode, eps) in fields.items():
+            out = reader.get(name)
+            assert out.shape == data.shape
+            assert out.dtype == data.dtype
+
+    def test_bounds_hold_per_member(self, fields):
+        from repro.core.verify import check_bound
+
+        arch = PFPLArchive()
+        for name, (data, mode, eps) in fields.items():
+            arch.add(name, data, mode=mode, error_bound=eps)
+        reader = PFPLArchive.unpack(arch.pack())
+        for name, (data, mode, eps) in fields.items():
+            assert check_bound(mode, data, reader.get(name), eps).ok, name
+
+    def test_chainable_and_len(self, rng):
+        a = rng.random(100).astype(np.float32)
+        arch = PFPLArchive().add("x", a).add("y", a)
+        reader = PFPLArchive.unpack(arch.pack())
+        assert len(reader) == 2
+        assert "x" in reader and "z" not in reader
+
+    def test_duplicate_name_rejected(self, rng):
+        a = rng.random(10).astype(np.float32)
+        arch = PFPLArchive().add("x", a)
+        with pytest.raises(ValueError, match="duplicate"):
+            arch.add("x", a)
+
+    def test_empty_archive(self):
+        reader = PFPLArchive.unpack(PFPLArchive().pack())
+        assert len(reader) == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            PFPLArchive.unpack(b"NOTANARC" + b"\x00" * 16)
+
+    def test_add_stream_passthrough(self, rng):
+        from repro.core import compress
+
+        data = rng.random(500).astype(np.float32)
+        stream = compress(data, "abs", 1e-3)
+        arch = PFPLArchive()
+        arch.add_stream("pre", stream, (500,))
+        reader = PFPLArchive.unpack(arch.pack())
+        assert np.abs(reader.get("pre") - data).max() <= 1e-3
+
+    def test_member_streams_are_standalone(self, fields):
+        """Each member is a plain PFPL stream usable on its own."""
+        from repro.core import decompress
+
+        arch = PFPLArchive()
+        name, (data, mode, eps) = next(iter(fields.items()))
+        arch.add(name, data, mode=mode, error_bound=eps)
+        reader = PFPLArchive.unpack(arch.pack())
+        flat = decompress(reader.member_stream(name))
+        assert flat.size == data.size

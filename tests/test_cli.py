@@ -1,0 +1,103 @@
+"""The ``pfpl`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def raw_file(tmp_path, rng):
+    data = np.cumsum(rng.normal(0, 0.05, 50_000)).astype(np.float32)
+    path = tmp_path / "field.f32"
+    data.tofile(path)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, tmp_path, raw_file, capsys):
+        path, data = raw_file
+        comp = tmp_path / "field.pfpl"
+        out = tmp_path / "field.out.f32"
+
+        assert main(["compress", str(path), str(comp),
+                     "--mode", "abs", "--bound", "1e-3"]) == 0
+        captured = capsys.readouterr().out
+        assert "ratio" in captured
+
+        assert main(["decompress", str(comp), str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float32)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3
+
+    def test_double_precision(self, tmp_path, rng):
+        data = rng.normal(0, 1, 10_000)
+        src = tmp_path / "d.d64"
+        data.tofile(src)
+        comp = tmp_path / "d.pfpl"
+        assert main(["compress", str(src), str(comp), "--dtype", "f64",
+                     "--mode", "rel", "--bound", "1e-2"]) == 0
+        out = tmp_path / "d.out"
+        assert main(["decompress", str(comp), str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float64)
+        assert recon.size == data.size
+
+    def test_backend_choice(self, tmp_path, raw_file):
+        path, _ = raw_file
+        blobs = []
+        for backend in ("serial", "omp", "cuda"):
+            comp = tmp_path / f"{backend}.pfpl"
+            assert main(["compress", str(path), str(comp),
+                         "--backend", backend]) == 0
+            blobs.append(comp.read_bytes())
+        assert blobs[0] == blobs[1] == blobs[2]
+
+
+class TestInfo:
+    def test_info_output(self, tmp_path, raw_file, capsys):
+        path, _ = raw_file
+        comp = tmp_path / "x.pfpl"
+        main(["compress", str(path), str(comp), "--mode", "noa"])
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "mode=noa" in out
+        assert "value range" in out
+        assert "delta+negabinary -> bitshuffle -> zero-elim" in out
+
+
+class TestVerify:
+    def test_verify_pass(self, tmp_path, raw_file, capsys):
+        path, data = raw_file
+        comp = tmp_path / "v.pfpl"
+        out = tmp_path / "v.out"
+        main(["compress", str(path), str(comp), "--bound", "1e-3"])
+        main(["decompress", str(comp), str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(path), str(out), "--bound", "1e-3"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_verify_fail(self, tmp_path, raw_file, capsys):
+        path, data = raw_file
+        bad = tmp_path / "bad.f32"
+        (data + np.float32(0.01)).tofile(bad)
+        assert main(["verify", str(path), str(bad), "--bound", "1e-3"]) == 1
+
+    def test_size_mismatch(self, tmp_path, raw_file):
+        path, data = raw_file
+        short = tmp_path / "short.f32"
+        data[:10].tofile(short)
+        assert main(["verify", str(path), str(short)]) == 2
+
+
+class TestTables:
+    @pytest.mark.parametrize("n,needle", [(1, "Threadripper"), (2, "CESM-ATM"),
+                                          (3, "PFPL")])
+    def test_tables(self, n, needle, capsys):
+        assert main(["table", str(n)]) == 0
+        assert needle in capsys.readouterr().out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "fig12", "--files", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "PFPL_CUDA" in out

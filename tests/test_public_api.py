@@ -1,0 +1,60 @@
+"""The package root exposes a stable public surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+EXPECTED_ROOT = [
+    "compress", "decompress", "PFPLCompressor", "CompressionResult",
+    "PipelineConfig", "Header", "make_quantizer",
+    "AbsQuantizer", "RelQuantizer", "NoaQuantizer",
+    "check_bound", "BoundReport",
+    "SerialBackend", "ThreadedBackend", "GpuSimBackend", "get_backend",
+    "decompress_range", "decompress_chunk",
+    "PFPLWriter", "PFPLReader", "PFPLArchive",
+]
+
+
+def test_all_expected_names_exported():
+    for name in EXPECTED_ROOT:
+        assert hasattr(repro, name), name
+        assert name in repro.__all__, name
+
+
+def test_all_entries_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version():
+    major, minor, patch = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_docstring_quickstart_is_runnable(tmp_path):
+    """The module docstring's example must actually work."""
+    data = np.linspace(0, 1, 10_000, dtype=np.float32)
+    path = tmp_path / "field.f32"
+    data.tofile(path)
+
+    loaded = np.fromfile(path, dtype=np.float32)
+    blob = repro.compress(loaded, mode="abs", error_bound=1e-3)
+    recon = repro.decompress(blob)
+    assert np.abs(loaded - recon).max() <= 1e-3
+
+
+def test_subpackages_importable():
+    import repro.baselines
+    import repro.datasets
+    import repro.device
+    import repro.entropy
+    import repro.harness
+    import repro.lc
+    import repro.metrics
+
+    assert len(repro.baselines.ALL_COMPRESSORS) == 9  # 8 codecs + SZ3_OMP row
+    assert len(repro.datasets.SUITES) == 10
+    assert len(repro.harness.FIGURES) == 17
+    assert len(repro.lc.COMPONENTS) == 11
