@@ -18,6 +18,8 @@ Quick start::
 from .core import (
     AbsQuantizer,
     BoundReport,
+    ChunkKernel,
+    ChunkStats,
     CompressionResult,
     Header,
     LosslessPipeline,
@@ -45,6 +47,8 @@ __all__ = [
     "CompressionResult",
     "PipelineConfig",
     "LosslessPipeline",
+    "ChunkKernel",
+    "ChunkStats",
     "Header",
     "Quantizer",
     "AbsQuantizer",

@@ -33,7 +33,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .core.compressor import PFPLCompressor, decompress
+from .core.compressor import PFPLCompressor
+from .core.random_access import StreamDecoder
 
 __all__ = ["PFPLArchive", "ArchiveMember"]
 
@@ -156,11 +157,30 @@ class PFPLArchiveReader:
         lo = self._payload_base + m.offset
         return self._blob[lo:lo + m.length]
 
-    def get(self, name: str) -> np.ndarray:
-        """Decompress one member to its original shape."""
+    def member_view(self, name: str) -> memoryview:
+        """Zero-copy view of one member's PFPL stream."""
         m = self.members[name]
-        flat = decompress(self.member_stream(name), backend=self._backend)
+        lo = self._payload_base + m.offset
+        return memoryview(self._blob)[lo:lo + m.length]
+
+    def open(self, name: str) -> StreamDecoder:
+        """Chunk-granular decoder over one member (no copies, no full decode)."""
+        return StreamDecoder(self.member_view(name), backend=self._backend)
+
+    def get(self, name: str) -> np.ndarray:
+        """Decompress one member to its original shape.
+
+        Runs the fused per-chunk kernels straight into one preallocated
+        flat array -- the member's stream bytes are only ever *viewed*,
+        never copied.
+        """
+        m = self.members[name]
+        flat = self.open(name).decode_all()
         return flat.reshape(m.shape)
+
+    def iter_chunks(self, name: str):
+        """Stream one member's values chunk by chunk (bounded memory)."""
+        return self.open(name).iter_chunks()
 
     def __contains__(self, name: str) -> bool:
         return name in self.members

@@ -21,36 +21,63 @@ import sys
 
 import numpy as np
 
-from .core import PFPLCompressor, Header, decompress as pfpl_decompress
+from .core import Header
 from .device import get_backend
+from .io import PFPLReader, PFPLWriter
 
 _DTYPES = {"f32": np.float32, "f64": np.float64}
+
+#: Values read per block when streaming a raw file through the writer
+#: (4 Mi values = 16 MB of float32): bounds memory regardless of file size.
+_BLOCK_VALUES = 4 << 20
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     dtype = _DTYPES[args.dtype]
-    data = np.fromfile(args.input, dtype=dtype)
     backend = get_backend(args.backend)
-    comp = PFPLCompressor(
-        mode=args.mode, error_bound=args.bound, dtype=dtype, backend=backend
-    )
-    result = comp.compress(data)
-    with open(args.output, "wb") as fh:
-        fh.write(result.data)
+    value_range = None
+    if args.mode == "noa":
+        # NOA needs the global range before the first chunk can be
+        # quantized: one extra streaming pass of min/max reduction.
+        vmin, vmax = np.inf, -np.inf
+        with open(args.input, "rb") as src:
+            while True:
+                block = np.fromfile(src, dtype=dtype, count=_BLOCK_VALUES)
+                if not block.size:
+                    break
+                vmin = min(vmin, float(np.fmin.reduce(block)))
+                vmax = max(vmax, float(np.fmax.reduce(block)))
+        value_range = (vmax - vmin) if np.isfinite(vmax - vmin) else 0.0
+
+    with open(args.input, "rb") as src, open(args.output, "wb") as dst:
+        with PFPLWriter(
+            dst, mode=args.mode, error_bound=args.bound, dtype=dtype,
+            value_range=value_range, backend=backend,
+        ) as writer:
+            while True:
+                block = np.fromfile(src, dtype=dtype, count=_BLOCK_VALUES)
+                if not block.size:
+                    break
+                writer.append(block)
+        original = writer.values_appended * np.dtype(dtype).itemsize
+        compressed = dst.tell()
+    ratio = original / max(1, compressed)
     print(
-        f"{args.input}: {result.original_bytes} -> {result.compressed_bytes} bytes "
-        f"(ratio {result.ratio:.2f}, {result.lossless_fraction * 100:.2f}% stored losslessly)"
+        f"{args.input}: {original} -> {compressed} bytes "
+        f"(ratio {ratio:.2f}, {writer.stats.lossless / max(1, writer.stats.total) * 100:.2f}% "
+        f"stored losslessly)"
     )
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    with open(args.input, "rb") as fh:
-        stream = fh.read()
     backend = get_backend(args.backend)
-    data = pfpl_decompress(stream, backend=backend)
-    data.tofile(args.output)
-    print(f"{args.input}: reconstructed {data.size} x {data.dtype} values")
+    with open(args.input, "rb") as src, open(args.output, "wb") as dst:
+        reader = PFPLReader(src, backend=backend)
+        for chunk in reader.iter_chunks():
+            chunk.tofile(dst)
+        header = reader.header
+    print(f"{args.input}: reconstructed {header.count} x {np.dtype(header.dtype)} values")
     return 0
 
 

@@ -8,6 +8,7 @@ from .compressor import (
     decompress,
 )
 from .header import Header
+from .kernel import ChunkKernel, ChunkStats
 from .lossless.pipeline import LosslessPipeline, PipelineConfig
 from .quantizers import (
     AbsQuantizer,
@@ -25,6 +26,8 @@ __all__ = [
     "compress",
     "decompress",
     "Header",
+    "ChunkKernel",
+    "ChunkStats",
     "LosslessPipeline",
     "PipelineConfig",
     "Quantizer",

@@ -55,6 +55,24 @@ class ChunkPlan:
         start = index * self.words_per_chunk
         return start, start + self.chunk_word_count(index)
 
+    def chunk_value_bounds(self, index: int) -> tuple[int, int]:
+        """(start, stop) offsets of chunk ``index``'s *real* values.
+
+        Unlike :meth:`chunk_bounds` this never extends past ``n_words``:
+        it is the slice of the original float array the fused kernel
+        quantizes (the tail chunk's shuffle padding is synthesized inside
+        the kernel, not read from the input).
+        """
+        start, stop = self.chunk_bounds(index)
+        return start, min(stop, self.n_words)
+
+    @property
+    def padded_total_words(self) -> int:
+        """Length of the zero-padded word stream covering every chunk."""
+        if not self.n_chunks:
+            return 0
+        return (self.n_chunks - 1) * self.words_per_chunk + self.padded_tail_words
+
 
 def plan_chunks(n_words: int, word_itemsize: int, chunk_bytes: int = CHUNK_BYTES) -> ChunkPlan:
     """Compute the chunk decomposition for ``n_words`` words."""
@@ -88,9 +106,7 @@ class ChunkCodec:
 
     def pad_words(self, words: np.ndarray, plan: ChunkPlan) -> np.ndarray:
         """Zero-pad the word stream so the tail chunk is shuffle-aligned."""
-        total = 0
-        if plan.n_chunks:
-            total = (plan.n_chunks - 1) * plan.words_per_chunk + plan.padded_tail_words
+        total = plan.padded_total_words
         if words.size == total:
             return words
         padded = np.zeros(total, dtype=self.pipeline.word_dtype)
@@ -113,7 +129,12 @@ class ChunkCodec:
 
     def decode_chunk(self, blob, n_words: int, is_raw: bool) -> np.ndarray:
         if is_raw:
-            arr = np.frombuffer(bytes(blob), dtype=self.pipeline.word_dtype)
+            if isinstance(blob, np.ndarray):
+                arr = np.ascontiguousarray(blob).view(self.pipeline.word_dtype).reshape(-1)
+            else:
+                # Wrap the chunk's buffer in place; one copy below detaches
+                # the result from the source stream (aligning it as well).
+                arr = np.frombuffer(blob, dtype=self.pipeline.word_dtype)
             if arr.size != n_words:
                 raise ValueError(
                     f"raw chunk holds {arr.size} words, expected {n_words}"

@@ -6,10 +6,19 @@ This ties together the three building blocks from Figure 1:
 2. the fused 3-stage lossless pipeline applied per 16 kB chunk,
 3. chunk framing with a size table and raw-chunk fallback.
 
+Since the fused-kernel refactor the unit of scheduled work is a
+:class:`~repro.core.kernel.ChunkKernel`: each chunk runs the *whole*
+codec (quantize + lossless) over its own 16 kB slice of the input, and
+decompression writes every chunk straight into its slice of the output
+array.  No whole-array word stream ever exists on either side, so peak
+memory stays near one output-array's worth plus the compressed bytes.
+
 Execution is delegated to a *backend* (see :mod:`repro.device`), which
-decides how chunks are scheduled -- serially, across CPU threads, or on
-the simulated GPU.  Every backend produces bit-for-bit identical output;
-the default inline backend simply runs chunks in a loop.
+decides how kernels are scheduled -- serially, across CPU threads, or on
+the simulated GPU -- and assembles the chunk blobs into a preallocated
+buffer through its prefix-sum primitive.  Every backend produces
+bit-for-bit identical output; the default inline backend simply runs
+kernels in a loop.
 
 Typical use::
 
@@ -21,15 +30,16 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from .chunking import ChunkCodec, ChunkPlan
+from .chunking import CHUNK_BYTES, ChunkCodec
 from .floatbits import layout_for
 from .header import Header
+from .kernel import ChunkKernel, ChunkStats
 from .lossless.pipeline import LosslessPipeline, PipelineConfig
-from .quantizers import NoaQuantizer, Quantizer, make_quantizer
+from .quantizers import Quantizer, make_quantizer
 
 __all__ = ["PFPLCompressor", "compress", "decompress", "CompressionResult", "InlineBackend"]
 
@@ -37,8 +47,8 @@ __all__ = ["PFPLCompressor", "compress", "decompress", "CompressionResult", "Inl
 class InlineBackend:
     """Minimal executor: runs chunk kernels in a simple loop.
 
-    Device backends (:mod:`repro.device`) provide the same two methods
-    with parallel / simulated-GPU scheduling behind them.
+    Device backends (:mod:`repro.device`) provide the same methods with
+    parallel / simulated-GPU scheduling behind them.
     """
 
     name = "inline"
@@ -46,7 +56,13 @@ class InlineBackend:
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return LosslessPipeline(word_dtype, config)
 
-    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+    def make_kernel(
+        self, quantizer: Quantizer, config: PipelineConfig, chunk_bytes: int
+    ) -> ChunkKernel:
+        pipeline = self.make_pipeline(quantizer.layout.uint_dtype, config)
+        return ChunkKernel(quantizer, pipeline, chunk_bytes)
+
+    def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         return [fn(item) for item in items]
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
@@ -54,6 +70,22 @@ class InlineBackend:
         if len(sizes) > 1:
             np.cumsum(np.asarray(sizes, dtype=np.int64)[:-1], out=starts[1:])
         return starts
+
+    def assemble(self, prefix: bytes, blobs: Sequence[bytes]) -> bytes:
+        """Place prefix + blobs in one preallocated buffer via prefix sum."""
+        sizes = np.asarray([len(b) for b in blobs], dtype=np.int64)
+        starts = self.prefix_sum(sizes) + len(prefix)
+        total = int(starts[-1] + sizes[-1]) if len(blobs) else len(prefix)
+        buf = bytearray(total)
+        buf[: len(prefix)] = prefix
+        view = memoryview(buf)
+
+        def scatter(index: int) -> None:
+            lo = int(starts[index])
+            view[lo:lo + int(sizes[index])] = blobs[index]
+
+        self.map_chunks(scatter, list(range(len(blobs))), costs=sizes)
+        return bytes(buf)
 
 
 @dataclass
@@ -64,6 +96,7 @@ class CompressionResult:
     original_bytes: int
     lossless_values: int
     total_values: int
+    raw_chunks: int = 0
 
     @property
     def compressed_bytes(self) -> int:
@@ -76,6 +109,27 @@ class CompressionResult:
     @property
     def lossless_fraction(self) -> float:
         return self.lossless_values / self.total_values if self.total_values else 0.0
+
+
+def _kernel_for_header(header: Header, backend) -> ChunkKernel:
+    """Rebuild the decode-side fused kernel a stream's header describes."""
+    config = PipelineConfig(
+        use_delta=header.use_delta,
+        use_bitshuffle=header.use_bitshuffle,
+        use_zero_elim=header.use_zero_elim,
+        bitmap_levels=header.bitmap_levels,
+    )
+    layout = layout_for(header.dtype)
+    kwargs = {}
+    if header.mode == "noa":
+        kwargs["value_range"] = header.value_range
+    quantizer = make_quantizer(
+        header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
+    )
+    # Honor the stream's chunk geometry (the paper's default is 16 kB;
+    # the chunk-size ablation writes other sizes).
+    chunk_bytes = header.words_per_chunk * layout.uint_dtype.itemsize
+    return backend.make_kernel(quantizer, config, chunk_bytes)
 
 
 class PFPLCompressor:
@@ -109,10 +163,7 @@ class PFPLCompressor:
         self.layout = layout_for(dtype)
         self.backend = backend or InlineBackend()
         self.config = config or PipelineConfig()
-        self.pipeline = self.backend.make_pipeline(self.layout.uint_dtype, self.config)
-        from .chunking import CHUNK_BYTES
-
-        self.codec = ChunkCodec(self.pipeline, chunk_bytes or CHUNK_BYTES)
+        self.chunk_bytes = chunk_bytes or CHUNK_BYTES
         # Validate the bound eagerly (cheap, catches bad eps before data).
         make_quantizer(mode, self.error_bound, dtype=self.layout.float_dtype)
 
@@ -124,26 +175,25 @@ class PFPLCompressor:
         quantizer = make_quantizer(
             self.mode, self.error_bound, dtype=self.layout.float_dtype
         )
-        words = quantizer.encode(flat)
+        # Global pre-pass (NOA's min/max reduction; no-op for ABS/REL):
+        # after this every chunk kernel is pure and order-independent.
+        params = quantizer.prepare(flat)
+        kernel = self.backend.make_kernel(quantizer, self.config, self.chunk_bytes)
+        plan = kernel.plan(flat.size)
 
-        plan = self.codec.plan(words.size)
-        padded = self.codec.pad_words(words, plan)
-        chunks = [
-            padded[slice(*plan.chunk_bounds(i))] for i in range(plan.n_chunks)
+        slices = [
+            flat[slice(*plan.chunk_value_bounds(i))] for i in range(plan.n_chunks)
         ]
-        results = self.backend.map_chunks(self.codec.encode_chunk, chunks)
-        blobs = [blob for blob, _raw in results]
-        raw_flags = [raw for _blob, raw in results]
-
-        value_range = 0.0
-        if isinstance(quantizer, NoaQuantizer):
-            value_range = quantizer.value_range or 0.0
+        results = self.backend.map_chunks(kernel.encode_chunk, slices)
+        blobs = [blob for blob, _raw, _st in results]
+        raw_flags = [raw for _blob, raw, _st in results]
+        stats = sum((st for _b, _r, st in results), ChunkStats())
 
         header = Header(
             mode=self.mode,
             dtype=self.layout.float_dtype,
             error_bound=self.error_bound,
-            value_range=value_range,
+            value_range=float(params.get("value_range", 0.0)),
             count=flat.size,
             words_per_chunk=plan.words_per_chunk,
             n_chunks=plan.n_chunks,
@@ -155,19 +205,45 @@ class PFPLCompressor:
         table = ChunkCodec.build_size_table(
             [len(b) for b in blobs], raw_flags
         )
-        stream = b"".join([header.pack(), table.astype("<u4").tobytes(), *blobs])
+        prefix = header.pack() + table.astype("<u4").tobytes()
+        stream = self.backend.assemble(prefix, blobs)
         return CompressionResult(
             data=stream,
             original_bytes=flat.nbytes,
-            lossless_values=quantizer.stats.lossless,
-            total_values=quantizer.stats.total,
+            lossless_values=stats.lossless,
+            total_values=stats.total,
+            raw_chunks=stats.raw_chunks,
         )
 
     # -- decompression -----------------------------------------------------
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Decompress a PFPL stream produced by any backend."""
+        """Decompress a PFPL stream, validating it against this instance.
+
+        The stream must have been produced with this compressor's mode,
+        dtype and error bound; a mismatch raises :class:`ValueError`
+        instead of silently decoding with different parameters.  Use the
+        module-level :func:`decompress` for arbitrary self-describing
+        streams.
+        """
         header = Header.unpack(stream)
+        problems = []
+        if header.mode != self.mode:
+            problems.append(f"mode {header.mode!r} != configured {self.mode!r}")
+        if np.dtype(header.dtype) != self.layout.float_dtype:
+            problems.append(
+                f"dtype {np.dtype(header.dtype)} != configured {self.layout.float_dtype}"
+            )
+        if header.error_bound != self.error_bound:
+            problems.append(
+                f"error bound {header.error_bound:g} != configured {self.error_bound:g}"
+            )
+        if problems:
+            raise ValueError(
+                "stream does not match this PFPLCompressor ("
+                + "; ".join(problems)
+                + "); use repro.core.decompress() for self-describing decode"
+            )
         return decompress(stream, backend=self.backend)
 
 
@@ -187,28 +263,23 @@ def compress(
     return comp.compress(arr).data
 
 
-def decompress(stream: bytes, backend=None) -> np.ndarray:
+def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np.ndarray:
     """Decompress a PFPL stream into a 1-D array of the original dtype.
 
     The stream is self-describing: mode, bound, dtype, NOA range and the
     pipeline configuration all come from the header, so any PFPL stream
     decompresses on any device -- the paper's portability property.
+
+    Each chunk's fused kernel writes its floats directly into that
+    chunk's slice of the output array (pass ``out`` to reuse a caller
+    buffer); no per-chunk arrays are concatenated, so peak memory is the
+    output array plus chunk-sized temporaries.
     """
     backend = backend or InlineBackend()
     header = Header.unpack(stream)
 
-    config = PipelineConfig(
-        use_delta=header.use_delta,
-        use_bitshuffle=header.use_bitshuffle,
-        use_zero_elim=header.use_zero_elim,
-        bitmap_levels=header.bitmap_levels,
-    )
-    layout = layout_for(header.dtype)
-    pipeline = backend.make_pipeline(layout.uint_dtype, config)
-    # Honor the stream's chunk geometry (the paper's default is 16 kB;
-    # the chunk-size ablation writes other sizes).
-    codec = ChunkCodec(pipeline, header.words_per_chunk * layout.uint_dtype.itemsize)
-    plan = codec.plan(header.count)
+    kernel = _kernel_for_header(header, backend)
+    plan = kernel.plan(header.count)
     if plan.n_chunks != header.n_chunks or plan.words_per_chunk != header.words_per_chunk:
         raise ValueError("corrupt PFPL header: chunk plan mismatch")
 
@@ -219,25 +290,23 @@ def decompress(stream: bytes, backend=None) -> np.ndarray:
     if len(stream) < expected_end:
         raise ValueError("PFPL stream truncated inside the chunk payload")
 
-    view = memoryview(stream)
-
-    def decode_one(index: int) -> np.ndarray:
-        lo = int(starts[index])
-        hi = lo + int(sizes[index])
-        return codec.decode_chunk(
-            view[lo:hi], plan.chunk_word_count(index), bool(raw_flags[index])
+    if out is None:
+        out = np.empty(header.count, dtype=kernel.layout.float_dtype)
+    elif out.shape != (header.count,) or out.dtype != kernel.layout.float_dtype:
+        raise ValueError(
+            f"output buffer must be ({header.count},) {kernel.layout.float_dtype}, "
+            f"got {out.shape} {out.dtype}"
         )
 
-    chunks = backend.map_chunks(decode_one, list(range(plan.n_chunks)))
-    if chunks:
-        words = np.concatenate(chunks)[: header.count]
-    else:
-        words = np.empty(0, dtype=layout.uint_dtype)
+    view = memoryview(stream)
 
-    kwargs = {}
-    if header.mode == "noa":
-        kwargs["value_range"] = header.value_range
-    quantizer = make_quantizer(
-        header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
-    )
-    return quantizer.decode(words)
+    def decode_one(index: int) -> None:
+        lo = int(starts[index])
+        hi = lo + int(sizes[index])
+        vlo, vhi = plan.chunk_value_bounds(index)
+        kernel.decode_chunk(
+            view[lo:hi], vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi]
+        )
+
+    backend.map_chunks(decode_one, list(range(plan.n_chunks)), costs=sizes)
+    return out

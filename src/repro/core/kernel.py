@@ -1,0 +1,138 @@
+"""The fused per-chunk codec kernel (quantize + lossless in one pass).
+
+This is the unit of work the paper schedules on a CPU thread or a GPU
+thread block (Section III-E): *one* kernel invocation takes a 16 kB
+slice of the original float array all the way to its compressed blob --
+quantization, delta + negabinary, bit shuffle and zero-byte elimination
+fused over data that stays chunk-resident -- and the inverse kernel
+takes a blob straight back into its slice of the output array.
+
+Compared with the earlier whole-array staging (quantize everything, then
+chunk the words; decode every chunk, then concatenate, then dequantize)
+this is what makes the backends full-codec executors: no intermediate
+word stream for the entire input ever exists, memory stays bounded by
+the chunk size, and streaming / random access fall out naturally.
+
+Global per-mode state is resolved *before* the kernel runs:
+
+* NOA's value range comes from :meth:`Quantizer.prepare` (a min/max
+  reduction pre-pass) and rides in the stream header;
+* REL's negative-NaN normalization is element-local, so it fuses into
+  the per-chunk quantization unchanged.
+
+Both properties keep per-chunk output bit-identical to the whole-array
+formulation (golden-stream tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .chunking import CHUNK_BYTES, ChunkCodec, ChunkPlan
+from .lossless.pipeline import LosslessPipeline
+from .quantizers import Quantizer
+
+__all__ = ["ChunkKernel", "ChunkStats"]
+
+
+@dataclass
+class ChunkStats:
+    """Per-kernel bookkeeping, summed by the caller across chunks.
+
+    Kernels return fresh instances instead of mutating shared counters,
+    which keeps them safe under concurrent backend workers and makes the
+    totals deterministic regardless of scheduling order.
+    """
+
+    total: int = 0       #: values processed
+    lossless: int = 0    #: values stored verbatim (bound fallback)
+    raw_chunks: int = 0  #: chunks emitted raw (incompressible fallback)
+
+    def __add__(self, other: "ChunkStats") -> "ChunkStats":
+        return ChunkStats(
+            self.total + other.total,
+            self.lossless + other.lossless,
+            self.raw_chunks + other.raw_chunks,
+        )
+
+
+def _padded_words(n_values: int) -> int:
+    """Word count after shuffle-alignment padding (multiple of 8)."""
+    return ((n_values + 7) // 8) * 8
+
+
+class ChunkKernel:
+    """Fused quantize + lossless codec over one chunk of float data.
+
+    Owns a :class:`Quantizer` (already :meth:`~Quantizer.prepare`-d for
+    modes with global state) and a :class:`LosslessPipeline`; the codec
+    framing (raw fallback, size-table semantics) is shared with
+    :class:`ChunkCodec` so kernel output frames exactly like the classic
+    word-stream path.
+    """
+
+    def __init__(
+        self,
+        quantizer: Quantizer,
+        pipeline: LosslessPipeline,
+        chunk_bytes: int = CHUNK_BYTES,
+    ):
+        if np.dtype(pipeline.word_dtype) != quantizer.layout.uint_dtype:
+            raise TypeError(
+                f"pipeline words ({pipeline.word_dtype}) do not match the "
+                f"quantizer layout ({quantizer.layout.uint_dtype})"
+            )
+        self.quantizer = quantizer
+        self.layout = quantizer.layout
+        self.codec = ChunkCodec(pipeline, chunk_bytes)
+        self.chunk_bytes = chunk_bytes
+        self.words_per_chunk = chunk_bytes // self.layout.uint_dtype.itemsize
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, n_values: int) -> ChunkPlan:
+        """Chunk decomposition for ``n_values`` floats (1 word per value)."""
+        return self.codec.plan(n_values)
+
+    # -- the fused kernels ---------------------------------------------------
+
+    def encode_chunk(self, float_slice: np.ndarray) -> tuple[bytes, bool, ChunkStats]:
+        """Quantize + compress one chunk's float slice.
+
+        Returns ``(blob, is_raw, stats)``.  The tail chunk's slice may be
+        shorter than a full chunk; its shuffle padding (zero *words*, the
+        same bytes the classic path padded with) is synthesized here so
+        the blob is bit-identical to the whole-array formulation.
+        """
+        n = int(float_slice.size)
+        n_words = _padded_words(n)
+        if n_words == n:
+            words = np.empty(n_words, dtype=self.layout.uint_dtype)
+        else:
+            words = np.zeros(n_words, dtype=self.layout.uint_dtype)
+        n_lossless = self.quantizer.encode_into(float_slice, words[:n])
+        blob, raw = self.codec.encode_chunk(words)
+        return blob, raw, ChunkStats(total=n, lossless=n_lossless, raw_chunks=int(raw))
+
+    def decode_chunk(
+        self,
+        blob,
+        n_values: int,
+        is_raw: bool,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decompress + dequantize one chunk directly into ``out``.
+
+        ``n_values`` is the chunk's *real* value count (the tail chunk
+        may be shorter); the stored word count including shuffle padding
+        is derived from it.  When ``out`` (a slice of the caller's output
+        array) is given, the floats land there with no extra copy.
+        """
+        n_words = _padded_words(n_values)
+        words = self.codec.decode_chunk(blob, n_words, is_raw)
+        if out is None:
+            out = np.empty(n_values, dtype=self.layout.float_dtype)
+        self.quantizer.decode_into(words[:n_values], out)
+        return out

@@ -86,7 +86,12 @@ class LosslessPipeline:
         if cfg.use_zero_elim:
             stream = decompress_bytes(blob, n_bytes, levels=cfg.bitmap_levels)
         else:
-            stream = np.frombuffer(bytes(blob) if not isinstance(blob, np.ndarray) else blob.tobytes(), dtype=np.uint8)
+            # Read the chunk's buffer in place (memoryview/bytes/array);
+            # duplicating it here doubled decode memory per chunk.
+            if isinstance(blob, np.ndarray):
+                stream = np.ascontiguousarray(blob).view(np.uint8).reshape(-1)
+            else:
+                stream = np.frombuffer(blob, dtype=np.uint8)
             if stream.size != n_bytes:
                 raise ValueError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
         if cfg.use_bitshuffle:

@@ -132,7 +132,9 @@ def decompress_bytes(blob, n: int, levels: int = DEFAULT_LEVELS) -> np.ndarray:
     if isinstance(blob, np.ndarray):
         buf = np.ascontiguousarray(blob, dtype=np.uint8)
     else:
-        buf = np.frombuffer(bytes(blob), dtype=np.uint8)
+        # bytes / bytearray / memoryview all expose the buffer protocol:
+        # wrap in place, never duplicate the chunk.
+        buf = np.frombuffer(blob, dtype=np.uint8)
     sizes = bitmap_sizes(n, levels)
     pos = 0
 

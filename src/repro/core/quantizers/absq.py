@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Quantizer, as_float_array
+from .base import Quantizer
 
 __all__ = ["AbsQuantizer"]
 
@@ -72,9 +72,8 @@ class AbsQuantizer(Quantizer):
 
     # -- encode ------------------------------------------------------------
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _encode_words(self, v: np.ndarray) -> tuple[np.ndarray, int]:
         lay = self.layout
-        v = as_float_array(values).astype(lay.float_dtype, copy=False)
         bits = lay.to_bits(v)
 
         # Quantize in the data precision (device arithmetic).  Overflow to
@@ -99,14 +98,12 @@ class AbsQuantizer(Quantizer):
             ok = fits & (np.abs(diff) <= vdt(self._eps))
 
         words = np.where(ok, lay.magsign_encode(b), bits)
-        self._record(v.size, int(v.size - np.count_nonzero(ok)))
-        return words.astype(lay.uint_dtype)
+        return words.astype(lay.uint_dtype), int(v.size - np.count_nonzero(ok))
 
     # -- decode ------------------------------------------------------------
 
-    def decode(self, words: np.ndarray) -> np.ndarray:
+    def _decode_words(self, w: np.ndarray) -> np.ndarray:
         lay = self.layout
-        w = np.ascontiguousarray(words, dtype=lay.uint_dtype)
         is_bin = lay.is_denormal_range(w)
         b = lay.magsign_decode(w)
         # lossless lanes carry arbitrary mantissa bits; their (ignored)

@@ -57,6 +57,14 @@ class QuantizerStats:
 class Quantizer(ABC):
     """Base class for the ABS / REL / NOA quantizers.
 
+    The codec-facing surface is *chunk-local*: :meth:`encode_into` and
+    :meth:`decode_into` transform one chunk's values in isolation and are
+    safe to call concurrently from backend workers (they never touch the
+    shared :attr:`stats`).  Anything global a mode needs -- NOA's value
+    range -- is resolved by the explicit :meth:`prepare` pre-pass and
+    carried in the stream header, so per-chunk results are bit-identical
+    to whole-array quantization.
+
     Parameters
     ----------
     error_bound:
@@ -80,16 +88,72 @@ class Quantizer(ABC):
     # -- interface ---------------------------------------------------------
 
     @abstractmethod
-    def encode(self, values: np.ndarray) -> np.ndarray:
-        """Map float values to quantized words (same element count)."""
+    def _encode_words(self, values: np.ndarray) -> tuple[np.ndarray, int]:
+        """Pure quantization: (words, n_lossless) for already-validated
+        contiguous values of the layout's float dtype.  Must not mutate
+        any shared state -- this is what backend workers run in parallel.
+        """
 
     @abstractmethod
-    def decode(self, words: np.ndarray) -> np.ndarray:
-        """Map quantized words back to float values."""
+    def _decode_words(self, words: np.ndarray) -> np.ndarray:
+        """Pure inverse of :meth:`_encode_words` (no shared state)."""
+
+    def prepare(self, values: np.ndarray) -> dict:
+        """Global pre-pass run once before any chunk is quantized.
+
+        ABS and REL are value-local, so the default is a no-op.  NOA
+        overrides this to reduce min/max over the whole input and bind
+        the effective bound; whatever it returns is merged into
+        :meth:`header_params` so the decoder never re-derives it.
+        """
+        return {}
 
     def header_params(self) -> dict:
         """Extra parameters the decoder needs (stored in the file header)."""
         return {}
+
+    # -- whole-array API (stats-recording convenience) ---------------------
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map float values to quantized words (same element count)."""
+        v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
+        words, n_lossless = self._encode_words(v)
+        self._record(v.size, n_lossless)
+        return words
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Map quantized words back to float values."""
+        w = np.ascontiguousarray(words, dtype=self.layout.uint_dtype)
+        return self._decode_words(w)
+
+    # -- chunk-local API (what the fused ChunkKernel calls) -----------------
+
+    def encode_into(self, values: np.ndarray, out: np.ndarray) -> int:
+        """Quantize one chunk's values into a preallocated word slice.
+
+        Writes ``values.size`` words into ``out`` and returns the number
+        of values that took the lossless path.  Does not touch
+        :attr:`stats`; callers aggregate the returned counts, which keeps
+        this safe under concurrent backend workers.
+        """
+        v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
+        if out.shape != (v.size,):
+            raise ValueError(
+                f"output slice holds {out.shape} words, expected ({v.size},)"
+            )
+        words, n_lossless = self._encode_words(v)
+        out[...] = words
+        return n_lossless
+
+    def decode_into(self, words: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Decode one chunk's words directly into its output slice."""
+        w = np.ascontiguousarray(words, dtype=self.layout.uint_dtype)
+        if out.shape != (w.size,):
+            raise ValueError(
+                f"output slice holds {out.shape} values, expected ({w.size},)"
+            )
+        out[...] = self._decode_words(w)
+        return out
 
     # -- helpers -----------------------------------------------------------
 

@@ -66,9 +66,16 @@ class NoaQuantizer(Quantizer):
 
     # -- interface ----------------------------------------------------------
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
-        v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
+    def prepare(self, values: np.ndarray) -> dict:
+        """The NOA global pre-pass: reduce min/max, bind the effective bound.
+
+        This is the *only* global state any PFPL mode needs; it runs once
+        before chunking so every per-chunk encode is pure.  The returned
+        range is carried in the stream header (Section III-A), keeping
+        decompression embarrassingly parallel.
+        """
         if self._abs is None:
+            v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
             if v.size:
                 vmax = float(np.fmax.reduce(v))
                 vmin = float(np.fmin.reduce(v))
@@ -76,14 +83,24 @@ class NoaQuantizer(Quantizer):
             else:
                 rng = 0.0
             self._bind_range(rng)
-        words = self._abs.encode(v)
-        self.stats = self._abs.stats
-        return words
+        return {"value_range": self._range}
 
-    def decode(self, words: np.ndarray) -> np.ndarray:
+    def _encode_words(self, v: np.ndarray) -> tuple[np.ndarray, int]:
+        if self._abs is None:
+            raise RuntimeError(
+                "NOA range unknown: call prepare() (or pass value_range=) "
+                "before chunk-local encoding"
+            )
+        return self._abs._encode_words(v)
+
+    def _decode_words(self, words: np.ndarray) -> np.ndarray:
         if self._abs is None:
             raise RuntimeError(
                 "NOA decoder needs the value range; construct with "
                 "value_range= from the compressed header"
             )
-        return self._abs.decode(words)
+        return self._abs._decode_words(words)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        self.prepare(values)
+        return super().encode(values)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..portable_math import exp2_portable, log2_portable
-from .base import Quantizer, as_float_array
+from .base import Quantizer
 
 __all__ = ["RelQuantizer"]
 
@@ -79,9 +79,8 @@ class RelQuantizer(Quantizer):
 
     # -- encode ------------------------------------------------------------
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _encode_words(self, v: np.ndarray) -> tuple[np.ndarray, int]:
         lay = self.layout
-        v = as_float_array(values).astype(lay.float_dtype, copy=False)
         bits = lay.to_bits(v)
 
         sign = ((bits & lay.uint(lay.sign_mask)) != lay.uint(0))
@@ -126,15 +125,13 @@ class RelQuantizer(Quantizer):
         )
 
         words = np.where(ok, bin_words, lossless_bits).astype(lay.uint_dtype)
-        self._record(v.size, int(v.size - np.count_nonzero(ok)))
         # Invert sign+exponent bits of everything emitted.
-        return words ^ lay.uint(lay.invert_mask)
+        return words ^ lay.uint(lay.invert_mask), int(v.size - np.count_nonzero(ok))
 
     # -- decode ------------------------------------------------------------
 
-    def decode(self, words: np.ndarray) -> np.ndarray:
+    def _decode_words(self, w: np.ndarray) -> np.ndarray:
         lay = self.layout
-        w = np.ascontiguousarray(words, dtype=lay.uint_dtype)
         w = w ^ lay.uint(lay.invert_mask)
 
         is_bin = lay.is_negative_nan(w)

@@ -9,39 +9,163 @@ be reconstructed by decoding only the chunks that overlap it.
     from repro.core.random_access import decompress_range
     window = decompress_range(stream, start=1_000_000, count=4096)
 
-Cost is proportional to the chunks touched, not the file size.
+:class:`StreamDecoder` is the engine behind this module *and* the
+file-level :class:`repro.io.PFPLReader`: it parses the header and size
+table once, then serves each chunk by fetching **only that chunk's
+bytes** from its source (a memoryview slice for in-memory streams, a
+``seek`` + bounded ``read`` for files) and running the fused
+:class:`~repro.core.kernel.ChunkKernel` on them.  Cost is proportional
+to the chunks touched, not the file size.
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from .chunking import ChunkCodec
-from .compressor import InlineBackend
-from .floatbits import layout_for
-from .header import Header
-from .lossless.pipeline import PipelineConfig
-from .quantizers import make_quantizer
+from .compressor import InlineBackend, _kernel_for_header
+from .header import HEADER_BYTES, Header
 
-__all__ = ["decompress_range", "chunk_count", "decompress_chunk"]
+__all__ = ["StreamDecoder", "decompress_range", "chunk_count", "decompress_chunk"]
 
 
-def _setup(stream: bytes, backend=None):
-    backend = backend or InlineBackend()
-    header = Header.unpack(stream)
-    config = PipelineConfig(
-        use_delta=header.use_delta,
-        use_bitshuffle=header.use_bitshuffle,
-        use_zero_elim=header.use_zero_elim,
-        bitmap_levels=header.bitmap_levels,
-    )
-    layout = layout_for(header.dtype)
-    pipeline = backend.make_pipeline(layout.uint_dtype, config)
-    codec = ChunkCodec(pipeline, header.words_per_chunk * layout.uint_dtype.itemsize)
-    plan = codec.plan(header.count)
-    table = header.read_size_table(stream)
-    sizes, raw_flags, starts = ChunkCodec.parse_size_table(table)
-    return header, layout, codec, plan, sizes, raw_flags, starts + header.payload_offset
+class _BytesSource:
+    """Zero-copy fetch over an in-memory stream."""
+
+    def __init__(self, buf):
+        self._view = memoryview(buf)
+
+    def fetch(self, offset: int, size: int):
+        end = offset + size
+        if end > self._view.nbytes:
+            raise ValueError("PFPL stream truncated")
+        return self._view[offset:end]
+
+
+class _FileSource:
+    """Bounded seek+read fetch over a seekable binary file."""
+
+    def __init__(self, fh):
+        self._fh = fh
+        self._base = fh.tell()
+
+    def fetch(self, offset: int, size: int) -> bytes:
+        self._fh.seek(self._base + offset)
+        data = self._fh.read(size)
+        if len(data) != size:
+            raise ValueError("PFPL stream truncated")
+        return data
+
+
+class StreamDecoder:
+    """Chunk-granular decoder over a PFPL stream source.
+
+    Parses the header + size table once (one bounded read each), builds
+    the fused decode kernel, and thereafter touches only the bytes of
+    the chunks asked for.
+
+    Parameters
+    ----------
+    source:
+        ``bytes`` / ``bytearray`` / ``memoryview``, or a seekable binary
+        file positioned at the start of the stream.
+    backend:
+        Optional execution backend for multi-chunk calls.
+    """
+
+    def __init__(self, source, backend=None):
+        self._backend = backend or InlineBackend()
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._source = _BytesSource(source)
+        elif hasattr(source, "seekable") and source.seekable():
+            self._source = _FileSource(source)
+        elif hasattr(source, "read"):
+            # Non-seekable stream: one unavoidable full read.
+            self._source = _BytesSource(source.read())
+        else:
+            raise TypeError(f"cannot read a PFPL stream from {type(source).__name__}")
+
+        self.header = Header.unpack(bytes(self._source.fetch(0, HEADER_BYTES)))
+        table = np.frombuffer(
+            self._source.fetch(HEADER_BYTES, 4 * self.header.n_chunks), dtype="<u4"
+        )
+        self._sizes, self._raw_flags, _ = ChunkCodec.parse_size_table(table)
+        self._starts = self._backend.prefix_sum(self._sizes) + self.header.payload_offset
+        self._kernel = _kernel_for_header(self.header, self._backend)
+        self._plan = self._kernel.plan(self.header.count)
+        if (self._plan.n_chunks != self.header.n_chunks
+                or self._plan.words_per_chunk != self.header.words_per_chunk):
+            raise ValueError("corrupt PFPL header: chunk plan mismatch")
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.header.count
+
+    @property
+    def n_chunks(self) -> int:
+        return self._plan.n_chunks
+
+    def chunk_values(self, index: int) -> int:
+        """Real (unpadded) value count of chunk ``index``."""
+        lo, hi = self._plan.chunk_value_bounds(index)
+        return hi - lo
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode_chunk(self, index: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Decode one chunk, fetching only that chunk's bytes."""
+        if index < 0 or index >= self._plan.n_chunks:
+            raise IndexError(f"chunk {index} out of range [0, {self._plan.n_chunks})")
+        blob = self._source.fetch(int(self._starts[index]), int(self._sizes[index]))
+        return self._kernel.decode_chunk(
+            blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
+        )
+
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        """Yield every chunk's values in order, one chunk resident at a time."""
+        for index in range(self._plan.n_chunks):
+            yield self.decode_chunk(index)
+
+    def decode_range(self, start: int, count: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Reconstruct ``count`` values beginning at index ``start``.
+
+        Decodes only the overlapping chunks; interior chunks land
+        directly in their slice of ``out``, the two boundary chunks go
+        through one chunk-sized scratch buffer.
+        """
+        if start < 0 or count < 0 or start + count > self.header.count:
+            raise IndexError(
+                f"range [{start}, {start + count}) outside 0..{self.header.count}"
+            )
+        dtype = self._kernel.layout.float_dtype
+        if out is None:
+            out = np.empty(count, dtype=dtype)
+        elif out.shape != (count,) or out.dtype != dtype:
+            raise ValueError(f"output buffer must be ({count},) {dtype}")
+        if count == 0:
+            return out
+
+        wpc = self._plan.words_per_chunk
+        first = start // wpc
+        last = (start + count - 1) // wpc
+        for index in range(first, last + 1):
+            vlo, vhi = self._plan.chunk_value_bounds(index)
+            olo = max(vlo, start) - start
+            ohi = min(vhi, start + count) - start
+            if ohi - olo == vhi - vlo:
+                self.decode_chunk(index, out=out[olo:ohi])
+            else:
+                chunk = self.decode_chunk(index)
+                out[olo:ohi] = chunk[max(vlo, start) - vlo:min(vhi, start + count) - vlo]
+        return out
+
+    def decode_all(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Decode the whole stream through per-chunk kernels."""
+        return self.decode_range(0, self.header.count, out=out)
 
 
 def chunk_count(stream: bytes) -> int:
@@ -51,24 +175,7 @@ def chunk_count(stream: bytes) -> int:
 
 def decompress_chunk(stream: bytes, index: int, backend=None) -> np.ndarray:
     """Decode a single chunk's values (the last chunk may be shorter)."""
-    header, layout, codec, plan, sizes, raw_flags, offs = _setup(stream, backend)
-    if index < 0 or index >= plan.n_chunks:
-        raise IndexError(f"chunk {index} out of range [0, {plan.n_chunks})")
-    lo = int(offs[index])
-    hi = lo + int(sizes[index])
-    words = codec.decode_chunk(
-        memoryview(stream)[lo:hi], plan.chunk_word_count(index), bool(raw_flags[index])
-    )
-    # trim tail padding on the last chunk
-    start_word = index * plan.words_per_chunk
-    real = min(header.count - start_word, words.size)
-    words = words[:real]
-
-    kwargs = {"value_range": header.value_range} if header.mode == "noa" else {}
-    quantizer = make_quantizer(
-        header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
-    )
-    return quantizer.decode(words)
+    return StreamDecoder(stream, backend).decode_chunk(index)
 
 
 def decompress_range(
@@ -79,18 +186,4 @@ def decompress_range(
     Decodes only the overlapping chunks; everything else is skipped via
     the size table.
     """
-    header = Header.unpack(stream)
-    if start < 0 or count < 0 or start + count > header.count:
-        raise IndexError(
-            f"range [{start}, {start + count}) outside 0..{header.count}"
-        )
-    if count == 0:
-        return np.empty(0, dtype=header.dtype)
-
-    wpc = header.words_per_chunk
-    first = start // wpc
-    last = (start + count - 1) // wpc
-    pieces = [decompress_chunk(stream, i, backend) for i in range(first, last + 1)]
-    values = np.concatenate(pieces)
-    offset = start - first * wpc
-    return values[offset:offset + count]
+    return StreamDecoder(stream, backend).decode_range(start, count)

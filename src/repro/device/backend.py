@@ -21,13 +21,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.kernel import ChunkKernel
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
+from ..core.quantizers import Quantizer
 from .gpu_sim import GpuLosslessPipeline
 from .prefix_sum import (
     carry_array_scan,
     decoupled_lookback_scan,
     exclusive_scan_reference,
 )
+from .scheduler import submission_order
 from .spec import RTX_4090, THREADRIPPER_2950X, DeviceSpec
 
 __all__ = [
@@ -41,7 +44,14 @@ __all__ = [
 
 
 class Backend:
-    """Common interface; see module docstring for the three variants."""
+    """Common interface; see module docstring for the three variants.
+
+    Since the fused-kernel refactor a backend schedules *full codec*
+    kernels (quantize + lossless per chunk, :class:`ChunkKernel`), not
+    just the lossless stages, and owns stream assembly: its prefix sum
+    places every chunk in a preallocated output buffer, replacing the
+    serial ``b"".join`` bottleneck.
+    """
 
     name = "abstract"
     device: DeviceSpec | None = None
@@ -49,11 +59,49 @@ class Backend:
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return LosslessPipeline(word_dtype, config)
 
-    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+    def make_kernel(
+        self,
+        quantizer: Quantizer,
+        config: PipelineConfig,
+        chunk_bytes: int,
+    ) -> ChunkKernel:
+        """Build the fused per-chunk kernel with this backend's pipeline."""
+        pipeline = self.make_pipeline(quantizer.layout.uint_dtype, config)
+        return ChunkKernel(quantizer, pipeline, chunk_bytes)
+
+    def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
+        """Run ``fn`` over ``items``; results in item order.
+
+        ``costs`` (optional per-item cost estimates) lets a backend pick
+        its execution order for load balance -- output placement is by
+        index, so the produced bytes never depend on it.
+        """
         raise NotImplementedError
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def assemble(self, prefix: bytes, blobs: Sequence[bytes]) -> bytes:
+        """Concatenate ``prefix`` + chunk blobs into one preallocated buffer.
+
+        The backend's own prefix sum yields every blob's destination
+        offset, and the scatter copies are scheduled like any other chunk
+        work -- the device-side "write your chunk at your offset" store
+        the paper describes, replacing ``b"".join``.
+        """
+        sizes = np.asarray([len(b) for b in blobs], dtype=np.int64)
+        starts = self.prefix_sum(sizes) + len(prefix)
+        total = int(starts[-1] + sizes[-1]) if len(blobs) else len(prefix)
+        buf = bytearray(total)
+        buf[: len(prefix)] = prefix
+        view = memoryview(buf)
+
+        def scatter(index: int) -> None:
+            lo = int(starts[index])
+            view[lo:lo + int(sizes[index])] = blobs[index]
+
+        self.map_chunks(scatter, list(range(len(blobs))), costs=sizes)
+        return bytes(buf)
 
 
 class SerialBackend(Backend):
@@ -64,7 +112,7 @@ class SerialBackend(Backend):
     def __init__(self, device: DeviceSpec = THREADRIPPER_2950X):
         self.device = device
 
-    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+    def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         return [fn(item) for item in items]
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
@@ -86,11 +134,17 @@ class ThreadedBackend(Backend):
         self.device = device
         self.n_threads = n_threads or min(16, os.cpu_count() or 1)
 
-    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+    def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         if len(items) <= 1:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            return list(pool.map(fn, items))
+            if costs is None:
+                return list(pool.map(fn, items))
+            # Known costs (e.g. the decode size table): feed the shared
+            # queue longest-first; results still land by original index.
+            order = submission_order(costs)
+            futures = {int(i): pool.submit(fn, items[int(i)]) for i in order}
+            return [futures[i].result() for i in range(len(items))]
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         return carry_array_scan(np.asarray(sizes, dtype=np.int64), self.n_threads)
@@ -115,7 +169,10 @@ class GpuSimBackend(Backend):
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return GpuLosslessPipeline(word_dtype, config)
 
-    def map_chunks(self, fn: Callable, items: Sequence) -> list:
+    def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
+        # Blocks launch in id order regardless of cost estimates, as on
+        # hardware: the GPU's load balance comes from over-subscription
+        # (many more blocks than SMs), not queue reordering.
         results: list = [None] * len(items)
         for wave_start in range(0, len(items), self.wave):
             for i in range(wave_start, min(len(items), wave_start + self.wave)):

@@ -103,10 +103,11 @@ class GpuLosslessPipeline(LosslessPipeline):
         if cfg.use_zero_elim:
             stream = self._decode_zero_elim(blob, n_bytes)
         else:
-            stream = np.frombuffer(
-                bytes(blob) if not isinstance(blob, np.ndarray) else blob.tobytes(),
-                dtype=np.uint8,
-            )
+            # In-place buffer read, mirroring the CPU pipeline's no-copy path.
+            if isinstance(blob, np.ndarray):
+                stream = np.ascontiguousarray(blob).view(np.uint8).reshape(-1)
+            else:
+                stream = np.frombuffer(blob, dtype=np.uint8)
             if stream.size != n_bytes:
                 raise ValueError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
         if cfg.use_bitshuffle:
@@ -121,7 +122,7 @@ class GpuLosslessPipeline(LosslessPipeline):
         if isinstance(blob, np.ndarray):
             buf = np.ascontiguousarray(blob, dtype=np.uint8)
         else:
-            buf = np.frombuffer(bytes(blob), dtype=np.uint8)
+            buf = np.frombuffer(blob, dtype=np.uint8)
         levels = self.config.bitmap_levels
         sizes = bitmap_sizes(n, levels)
         pos = 0

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ScheduleResult", "dynamic_schedule", "static_schedule"]
+__all__ = ["ScheduleResult", "dynamic_schedule", "static_schedule", "submission_order"]
 
 
 @dataclass
@@ -68,6 +68,22 @@ def dynamic_schedule(costs: np.ndarray, n_workers: int) -> ScheduleResult:
         heapq.heappush(heap, (t2, w))
         order.append(i)
     return ScheduleResult(assignment, start_times, finish, order)
+
+
+def submission_order(costs: np.ndarray) -> np.ndarray:
+    """Work-queue submission order for known per-chunk costs (LPT rule).
+
+    The thread pool's shared queue already gives PFPL its dynamic
+    assignment; *feeding* that queue longest-job-first is the classic
+    refinement that tightens the makespan bound when chunk costs are
+    known up front (they are on decode: the size table is the cost
+    model).  Ties keep index order, so the result -- and therefore
+    execution -- is deterministic.  Output placement is by original
+    index either way, so bytes are unaffected.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    # stable sort on negated costs: descending cost, ascending index ties
+    return np.argsort(-costs, kind="stable")
 
 
 def static_schedule(costs: np.ndarray, n_workers: int) -> ScheduleResult:

@@ -2,23 +2,29 @@
 
 Simulations emit data in waves (time steps, MPI ranks); buffering a
 whole array before compressing wastes memory.  :class:`PFPLWriter`
-accepts arbitrary-sized appends, compresses full 16 kB chunks as they
-fill, and writes the finished container on ``close()`` (the header
-needs the final value count, so the file is assembled at the end --
-chunk *payloads* stream through bounded memory).
+accepts arbitrary-sized appends and runs the fused per-chunk kernel
+(quantize + lossless in one pass) the moment a 16 kB chunk fills, so
+float data never accumulates beyond one chunk.  Finished blobs spool to
+a bounded-memory scratch file (the header needs the final value count,
+so the container is assembled on ``close()``), which means the writer's
+footprint is independent of the stream length.
 
 ABS and REL streams can be built incrementally because their quantizers
 are value-local.  NOA needs the global min/max before any value can be
 quantized (Section III-A), so the writer requires an explicit
 ``value_range`` for NOA.
 
-:class:`PFPLReader` wraps the random-access decoder for file objects.
+:class:`PFPLReader` is the inverse: it parses the header and size table
+with two bounded reads and serves windows, single chunks, or an
+:meth:`~PFPLReader.iter_chunks` sweep by seeking to **only the bytes of
+the chunks touched** -- it never materializes the whole stream or the
+whole array.
 """
 
 from __future__ import annotations
 
-import io
-from typing import BinaryIO
+import tempfile
+from typing import BinaryIO, Iterator
 
 import numpy as np
 
@@ -26,15 +32,21 @@ from .core.chunking import CHUNK_BYTES, ChunkCodec
 from .core.compressor import InlineBackend
 from .core.floatbits import layout_for
 from .core.header import Header
+from .core.kernel import ChunkStats
 from .core.lossless.pipeline import PipelineConfig
-from .core.quantizers import NoaQuantizer, make_quantizer
-from .core.random_access import chunk_count, decompress_chunk, decompress_range
+from .core.quantizers import make_quantizer
+from .core.random_access import StreamDecoder
 
 __all__ = ["PFPLWriter", "PFPLReader"]
 
+#: Spool this much compressed payload in memory before rolling to disk.
+_SPOOL_MEMORY_BYTES = 16 << 20
+#: Copy granularity when draining the spool into the sink.
+_COPY_BLOCK_BYTES = 1 << 20
+
 
 class PFPLWriter:
-    """Incrementally build a PFPL stream.
+    """Incrementally build a PFPL stream in bounded memory.
 
     Example::
 
@@ -59,9 +71,6 @@ class PFPLWriter:
         self.layout = layout_for(dtype)
         self.config = config or PipelineConfig()
         backend = backend or InlineBackend()
-        pipeline = backend.make_pipeline(self.layout.uint_dtype, self.config)
-        self._codec = ChunkCodec(pipeline, CHUNK_BYTES)
-        self._wpc = CHUNK_BYTES // self.layout.uint_dtype.itemsize
 
         kwargs = {}
         if mode == "noa":
@@ -71,72 +80,111 @@ class PFPLWriter:
                     "value_range= (or compress in one shot instead)"
                 )
             kwargs["value_range"] = value_range
-        self._quantizer = make_quantizer(
+        quantizer = make_quantizer(
             mode, self.error_bound, dtype=self.layout.float_dtype, **kwargs
         )
-        self._pending = np.empty(0, dtype=self.layout.uint_dtype)
-        self._blobs: list[bytes] = []
+        self._kernel = backend.make_kernel(quantizer, self.config, CHUNK_BYTES)
+        self._wpc = self._kernel.words_per_chunk
+
+        self._pending = np.empty(0, dtype=self.layout.float_dtype)
+        self._spool = tempfile.SpooledTemporaryFile(max_size=_SPOOL_MEMORY_BYTES)
+        self._table_entries: list[int] = []
         self._raw_flags: list[bool] = []
+        self._stats = ChunkStats()
         self._count = 0
+        self._payload_bytes = 0
         self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stats(self) -> ChunkStats:
+        """Encoder statistics over the chunks flushed so far."""
+        return self._stats
+
+    @property
+    def values_appended(self) -> int:
+        return self._count
+
+    @property
+    def chunks_flushed(self) -> int:
+        return len(self._table_entries)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Compressed payload staged so far (excludes header + table)."""
+        return self._payload_bytes
 
     # -- building ------------------------------------------------------------
 
+    def _flush_chunk(self, float_slice: np.ndarray) -> None:
+        blob, raw, st = self._kernel.encode_chunk(float_slice)
+        self._spool.write(blob)
+        self._table_entries.append(len(blob))
+        self._raw_flags.append(raw)
+        self._stats += st
+        self._payload_bytes += len(blob)
+
     def append(self, values: np.ndarray) -> None:
-        """Quantize and stage more values (any shape, any amount)."""
+        """Quantize and compress more values (any shape, any amount).
+
+        Every full 16 kB chunk runs the fused kernel immediately; at
+        most one partial chunk of floats stays resident.
+        """
         if self._closed:
             raise ValueError("writer already closed")
         flat = np.ascontiguousarray(values, dtype=self.layout.float_dtype).reshape(-1)
         if not flat.size:
             return
         self._count += flat.size
-        words = self._quantizer.encode(flat)
-        self._pending = np.concatenate([self._pending, words])
-        while self._pending.size >= self._wpc:
-            chunk, self._pending = (
-                self._pending[: self._wpc],
-                self._pending[self._wpc:],
-            )
-            blob, raw = self._codec.encode_chunk(chunk)
-            self._blobs.append(blob)
-            self._raw_flags.append(raw)
+        if self._pending.size:
+            flat = np.concatenate([self._pending, flat])
+        n_full = flat.size // self._wpc
+        for i in range(n_full):
+            self._flush_chunk(flat[i * self._wpc:(i + 1) * self._wpc])
+        self._pending = flat[n_full * self._wpc:].copy()
 
     def close(self) -> None:
         """Flush the tail chunk and write the container."""
         if self._closed:
             return
         self._closed = True
-        if self._pending.size:
-            padded_len = ((self._pending.size + 7) // 8) * 8
-            tail = np.zeros(padded_len, dtype=self.layout.uint_dtype)
-            tail[: self._pending.size] = self._pending
-            blob, raw = self._codec.encode_chunk(tail)
-            self._blobs.append(blob)
-            self._raw_flags.append(raw)
+        try:
+            if self._pending.size:
+                self._flush_chunk(self._pending)
+                self._pending = np.empty(0, dtype=self.layout.float_dtype)
 
-        value_range = 0.0
-        if isinstance(self._quantizer, NoaQuantizer):
-            value_range = self._quantizer.value_range or 0.0
-        header = Header(
-            mode=self.mode,
-            dtype=self.layout.float_dtype,
-            error_bound=self.error_bound,
-            value_range=value_range,
-            count=self._count,
-            words_per_chunk=self._wpc,
-            n_chunks=len(self._blobs),
-            use_delta=self.config.use_delta,
-            use_bitshuffle=self.config.use_bitshuffle,
-            use_zero_elim=self.config.use_zero_elim,
-            bitmap_levels=self.config.bitmap_levels,
-        )
-        table = ChunkCodec.build_size_table(
-            [len(b) for b in self._blobs], self._raw_flags
-        )
-        self._sink.write(header.pack())
-        self._sink.write(table.astype("<u4").tobytes())
-        for blob in self._blobs:
-            self._sink.write(blob)
+            header = Header(
+                mode=self.mode,
+                dtype=self.layout.float_dtype,
+                error_bound=self.error_bound,
+                value_range=float(
+                    self._kernel.quantizer.header_params().get("value_range", 0.0)
+                ) if self.mode == "noa" else 0.0,
+                count=self._count,
+                words_per_chunk=self._wpc,
+                n_chunks=len(self._table_entries),
+                use_delta=self.config.use_delta,
+                use_bitshuffle=self.config.use_bitshuffle,
+                use_zero_elim=self.config.use_zero_elim,
+                bitmap_levels=self.config.bitmap_levels,
+            )
+            table = ChunkCodec.build_size_table(self._table_entries, self._raw_flags)
+            self._sink.write(header.pack())
+            self._sink.write(table.astype("<u4").tobytes())
+            self._spool.seek(0)
+            while True:
+                block = self._spool.read(_COPY_BLOCK_BYTES)
+                if not block:
+                    break
+                self._sink.write(block)
+        finally:
+            self._spool.close()
+
+    def abort(self) -> None:
+        """Discard staged data without writing anything to the sink."""
+        self._closed = True
+        self._spool.close()
 
     def __enter__(self) -> "PFPLWriter":
         return self
@@ -144,33 +192,43 @@ class PFPLWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+        else:
+            self.abort()
 
 
 class PFPLReader:
-    """Windowed reads over a PFPL stream without full decompression."""
+    """Windowed reads over a PFPL stream without full decompression.
+
+    Accepts in-memory bytes or a seekable binary file.  Only the header
+    and size table are read up front; every subsequent access fetches
+    just the bytes of the chunks it needs.
+    """
 
     def __init__(self, source: BinaryIO | bytes, backend=None):
-        if isinstance(source, (bytes, bytearray, memoryview)):
-            self._stream = bytes(source)
-        else:
-            self._stream = source.read()
-        self._backend = backend
-        self.header = Header.unpack(self._stream)
+        self._dec = StreamDecoder(source, backend)
+        self.header = self._dec.header
 
     def __len__(self) -> int:
         return self.header.count
 
     @property
     def n_chunks(self) -> int:
-        return chunk_count(self._stream)
+        return self._dec.n_chunks
 
     def read(self, start: int = 0, count: int | None = None) -> np.ndarray:
         if count is None:
             count = self.header.count - start
-        return decompress_range(self._stream, start, count, backend=self._backend)
+        return self._dec.decode_range(start, count)
 
     def read_chunk(self, index: int) -> np.ndarray:
-        return decompress_chunk(self._stream, index, backend=self._backend)
+        return self._dec.decode_chunk(index)
+
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        """Stream the array chunk by chunk; one chunk resident at a time."""
+        return self._dec.iter_chunks()
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.iter_chunks()
 
     def __getitem__(self, key):
         if isinstance(key, slice):

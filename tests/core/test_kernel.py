@@ -1,0 +1,108 @@
+"""The fused per-chunk kernel: quantize + lossless in one scheduled unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import ChunkKernel, ChunkStats
+from repro.core.lossless.pipeline import LosslessPipeline
+from repro.core.quantizers import make_quantizer
+
+
+def _kernel(mode="abs", bound=1e-3, dtype=np.float32, **kwargs):
+    quantizer = make_quantizer(mode, bound, dtype=dtype, **kwargs)
+    layout = quantizer.layout
+    return ChunkKernel(quantizer, LosslessPipeline(layout.uint_dtype))
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("mode", ["abs", "rel"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip_bound(self, rng, mode, dtype):
+        kernel = _kernel(mode, 1e-3, dtype)
+        data = np.cumsum(rng.normal(0, 0.05, kernel.words_per_chunk)).astype(dtype)
+        data = np.abs(data) + 1.0  # keep REL away from zero
+        blob, raw, stats = kernel.encode_chunk(data)
+        out = kernel.decode_chunk(blob, data.size, raw)
+        if mode == "abs":
+            err = np.abs(data.astype(np.float64) - out.astype(np.float64)).max()
+            assert err <= 1e-3
+        else:
+            ratio = np.abs(out.astype(np.float64) / data.astype(np.float64) - 1).max()
+            assert ratio <= 1e-3 * (1 + 1e-9)
+
+    def test_tail_chunk_padding(self, rng):
+        """A short tail slice pads with zero words, like the classic path."""
+        kernel = _kernel()
+        data = rng.normal(0, 1, 13).astype(np.float32)
+        blob, raw, _ = kernel.encode_chunk(data)
+        out = kernel.decode_chunk(blob, 13, raw)
+        assert out.size == 13
+        assert np.abs(data - out).max() <= 1e-3
+
+    def test_decode_into_slice(self, rng):
+        """decode_chunk writes directly into the caller's output slice."""
+        kernel = _kernel()
+        data = rng.normal(0, 1, 4096).astype(np.float32)
+        blob, raw, _ = kernel.encode_chunk(data)
+        target = np.zeros(3 * 4096, dtype=np.float32)
+        ret = kernel.decode_chunk(blob, 4096, raw, out=target[4096:8192])
+        assert ret.base is target
+        assert np.abs(data - target[4096:8192]).max() <= 1e-3
+        assert (target[:4096] == 0).all() and (target[8192:] == 0).all()
+
+    def test_raw_fallback(self, rng):
+        """Incompressible data trips the raw-chunk path and still roundtrips.
+
+        Uniform random bit patterns quantize almost entirely losslessly,
+        leaving the pipeline nothing to shrink.
+        """
+        kernel = _kernel()
+        data = rng.integers(0, 2**32, 4096, dtype=np.uint32).view(np.float32)
+        with np.errstate(invalid="ignore"):
+            blob, raw, stats = kernel.encode_chunk(data)
+            assert raw
+            assert stats.raw_chunks == 1
+            out = kernel.decode_chunk(blob, 4096, raw)
+            ok = np.isnan(data) & np.isnan(out)
+            err = np.abs(data.astype(np.float64) - out.astype(np.float64))
+        assert np.all(ok | (err <= 1e-3))
+
+
+class TestStats:
+    def test_counts(self, rng):
+        kernel = _kernel()
+        data = rng.normal(0, 1, 4096).astype(np.float32)
+        data[7] = np.nan  # NaN always takes the lossless lane
+        _, _, stats = kernel.encode_chunk(data)
+        assert stats.total == 4096
+        assert stats.lossless >= 1
+
+    def test_stats_sum(self):
+        total = ChunkStats(10, 2, 1) + ChunkStats(5, 0, 0)
+        assert (total.total, total.lossless, total.raw_chunks) == (15, 2, 1)
+
+    def test_no_shared_stats_mutation(self, rng):
+        """Kernels never touch the quantizer's shared stats counters."""
+        kernel = _kernel()
+        data = rng.normal(0, 1, 4096).astype(np.float32)
+        kernel.encode_chunk(data)
+        assert kernel.quantizer.stats.total == 0
+
+
+class TestConstruction:
+    def test_word_dtype_mismatch_rejected(self):
+        quantizer = make_quantizer("abs", 1e-3, dtype=np.float32)
+        with pytest.raises(TypeError, match="do not match"):
+            ChunkKernel(quantizer, LosslessPipeline(np.uint64))
+
+    def test_noa_requires_prepared_range(self, rng):
+        kernel = _kernel("noa", 1e-3)
+        with pytest.raises(RuntimeError, match="prepare"):
+            kernel.encode_chunk(rng.normal(0, 1, 64).astype(np.float32))
+
+    def test_noa_with_bound_range(self, rng):
+        kernel = _kernel("noa", 1e-3, value_range=10.0)
+        data = rng.uniform(0, 10, 4096).astype(np.float32)
+        blob, raw, _ = kernel.encode_chunk(data)
+        out = kernel.decode_chunk(blob, 4096, raw)
+        assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= 1e-2
