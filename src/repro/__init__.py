@@ -36,6 +36,13 @@ from .core import (
 from .archive import PFPLArchive
 from .core.random_access import decompress_chunk, decompress_range
 from .device import GpuSimBackend, SerialBackend, ThreadedBackend, get_backend
+from .errors import (
+    PFPLConfigMismatchError,
+    PFPLError,
+    PFPLFormatError,
+    PFPLIntegrityError,
+    PFPLTruncatedError,
+)
 from .io import PFPLReader, PFPLWriter
 
 __version__ = "1.0.0"
@@ -66,5 +73,10 @@ __all__ = [
     "PFPLWriter",
     "PFPLReader",
     "PFPLArchive",
+    "PFPLError",
+    "PFPLFormatError",
+    "PFPLTruncatedError",
+    "PFPLIntegrityError",
+    "PFPLConfigMismatchError",
     "__version__",
 ]

@@ -35,12 +35,17 @@ import numpy as np
 
 from .core.compressor import PFPLCompressor
 from .core.random_access import StreamDecoder
+from .errors import PFPLFormatError, PFPLTruncatedError
 
 __all__ = ["PFPLArchive", "ArchiveMember"]
 
 _MAGIC = b"PFPLARCH"
 _VERSION = 1
 _HEAD = struct.Struct("<8sHI")
+
+#: Directory parse sanity cap: no real dataset has members of more
+#: dimensions than this, and it bounds the per-member directory read.
+_MAX_NDIM = 255
 
 
 @dataclass(frozen=True)
@@ -124,28 +129,73 @@ class PFPLArchiveReader:
     def __init__(self, blob: bytes, backend=None):
         self._blob = blob
         self._backend = backend
+        if len(blob) < _HEAD.size:
+            raise PFPLTruncatedError(
+                f"buffer too short for a PFPL archive ({len(blob)} < {_HEAD.size})"
+            )
         magic, version, count = _HEAD.unpack_from(blob)
         if magic != _MAGIC:
-            raise ValueError(f"not a PFPL archive (magic {magic!r})")
+            raise PFPLFormatError(f"not a PFPL archive (magic {magic!r})")
         if version != _VERSION:
-            raise ValueError(f"unsupported archive version {version}")
+            raise PFPLFormatError(f"unsupported archive version {version}")
         pos = _HEAD.size
         members: dict[str, ArchiveMember] = {}
-        for _ in range(count):
-            (nlen,) = struct.unpack_from("<H", blob, pos)
-            pos += 2
-            name = blob[pos:pos + nlen].decode()
-            pos += nlen
-            (ndim,) = struct.unpack_from("<H", blob, pos)
-            pos += 2
-            shape = tuple(
-                int(x) for x in np.frombuffer(blob, "<i8", ndim, pos)
-            )
-            pos += 8 * ndim
-            offset, length = struct.unpack_from("<QQ", blob, pos)
-            pos += 16
+        # The directory is parsed from untrusted bytes: every field is
+        # bounds-checked against the blob before it is dereferenced, so a
+        # corrupt count/length can never index past the buffer or drive a
+        # huge allocation.
+        for i in range(count):
+            try:
+                (nlen,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                raw_name = blob[pos:pos + nlen]
+                if len(raw_name) != nlen:
+                    raise PFPLTruncatedError(
+                        f"archive directory truncated in member {i} name"
+                    )
+                name = raw_name.decode()
+                pos += nlen
+                (ndim,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                if ndim > _MAX_NDIM:
+                    raise PFPLFormatError(
+                        f"corrupt archive directory: member {name!r} claims "
+                        f"{ndim} dimensions"
+                    )
+                if pos + 8 * ndim + 16 > len(blob):
+                    raise PFPLTruncatedError(
+                        f"archive directory truncated in member {name!r}"
+                    )
+                shape = tuple(
+                    int(x) for x in np.frombuffer(blob, "<i8", ndim, pos)
+                )
+                pos += 8 * ndim
+                offset, length = struct.unpack_from("<QQ", blob, pos)
+                pos += 16
+            except struct.error as exc:
+                raise PFPLTruncatedError(
+                    f"archive directory truncated in member {i}: {exc}"
+                ) from exc
+            except UnicodeDecodeError as exc:
+                raise PFPLFormatError(
+                    f"corrupt archive directory: member {i} name is not UTF-8"
+                ) from exc
+            if any(d < 0 for d in shape):
+                raise PFPLFormatError(
+                    f"corrupt archive directory: member {name!r} has a "
+                    f"negative dimension in shape {shape}"
+                )
+            if name in members:
+                raise PFPLFormatError(
+                    f"corrupt archive directory: duplicate member {name!r}"
+                )
             members[name] = ArchiveMember(name, shape, offset, length)
         self._payload_base = pos
+        for m in members.values():
+            if self._payload_base + m.offset + m.length > len(blob):
+                raise PFPLTruncatedError(
+                    f"archive member {m.name!r} extends past the end of the blob"
+                )
         self.members = members
 
     @property

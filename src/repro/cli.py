@@ -23,6 +23,7 @@ import numpy as np
 
 from .core import Header
 from .device import get_backend
+from .errors import PFPLError
 from .io import PFPLReader, PFPLWriter
 
 _DTYPES = {"f32": np.float32, "f64": np.float64}
@@ -52,7 +53,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as src, open(args.output, "wb") as dst:
         with PFPLWriter(
             dst, mode=args.mode, error_bound=args.bound, dtype=dtype,
-            value_range=value_range, backend=backend,
+            value_range=value_range, backend=backend, checksum=args.checksum,
         ) as writer:
             while True:
                 block = np.fromfile(src, dtype=dtype, count=_BLOCK_VALUES)
@@ -91,6 +92,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"  value range : {header.value_range:g}")
     print(f"  values      : {header.count}")
     print(f"  chunks      : {header.n_chunks} x {header.words_per_chunk} words")
+    print(f"  checksums   : {'crc32 footer' if header.checksum else 'none'}")
     stages = []
     if header.use_delta:
         stages.append("delta+negabinary")
@@ -148,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bound", type=float, default=1e-3)
     p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
     p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument(
+        "--checksum", action="store_true",
+        help="emit a version-2 stream with a per-chunk CRC-32 footer",
+    )
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a PFPL stream")
@@ -182,7 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PFPLError as exc:
+        # Structured decode/validation failures (corrupt or truncated
+        # streams, config mismatches) become a clean diagnostic + exit
+        # code instead of a traceback.
+        print(f"pfpl: error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

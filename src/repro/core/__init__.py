@@ -1,5 +1,12 @@
 """PFPL core: quantizers, lossless pipeline, chunking, container format."""
 
+from ..errors import (
+    PFPLConfigMismatchError,
+    PFPLError,
+    PFPLFormatError,
+    PFPLIntegrityError,
+    PFPLTruncatedError,
+)
 from .compressor import (
     CompressionResult,
     InlineBackend,
@@ -37,4 +44,9 @@ __all__ = [
     "make_quantizer",
     "BoundReport",
     "check_bound",
+    "PFPLError",
+    "PFPLFormatError",
+    "PFPLTruncatedError",
+    "PFPLIntegrityError",
+    "PFPLConfigMismatchError",
 ]

@@ -22,9 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PFPLFormatError, PFPLIntegrityError
 from .lossless.pipeline import LosslessPipeline
 
-__all__ = ["CHUNK_BYTES", "RAW_FLAG", "ChunkCodec", "ChunkPlan", "plan_chunks"]
+__all__ = [
+    "CHUNK_BYTES",
+    "RAW_FLAG",
+    "ChunkCodec",
+    "ChunkPlan",
+    "plan_chunks",
+    "validate_size_table",
+]
 
 #: Chunk payload size used by the paper (16 kB).
 CHUNK_BYTES = 16384
@@ -136,7 +144,7 @@ class ChunkCodec:
                 # the result from the source stream (aligning it as well).
                 arr = np.frombuffer(blob, dtype=self.pipeline.word_dtype)
             if arr.size != n_words:
-                raise ValueError(
+                raise PFPLIntegrityError(
                     f"raw chunk holds {arr.size} words, expected {n_words}"
                 )
             return arr.copy()
@@ -149,7 +157,7 @@ class ChunkCodec:
         """Pack per-chunk byte sizes + raw flags into the u32 size table."""
         table = np.asarray(sizes, dtype=np.uint32)
         if np.any(table & RAW_FLAG):
-            raise ValueError("chunk blob exceeds 2 GiB size-table limit")
+            raise PFPLFormatError("chunk blob exceeds 2 GiB size-table limit")
         flags = np.asarray(raw_flags, dtype=bool)
         return table | np.where(flags, RAW_FLAG, np.uint32(0))
 
@@ -163,3 +171,61 @@ class ChunkCodec:
         if sizes.size > 1:
             np.cumsum(sizes[:-1], out=starts[1:])
         return sizes, raw_flags, starts
+
+
+def validate_size_table(
+    plan: ChunkPlan,
+    sizes: np.ndarray,
+    raw_flags: np.ndarray,
+    word_itemsize: int,
+    use_zero_elim: bool = True,
+    bitmap_levels: int | None = None,
+) -> None:
+    """Reject size-table entries no conforming encoder can produce.
+
+    A raw chunk stores its padded words verbatim, so its size must equal
+    the chunk's raw byte count exactly.  A compressed chunk exists only
+    when the pipeline *strictly* shrank it (the incompressible fallback),
+    and only zero-byte elimination can shrink -- so with that stage
+    disabled every chunk must be raw, and with it enabled a compressed
+    chunk can never be smaller than its fully-collapsed serialization
+    (the top-level bitmap alone).  Checking all of this eagerly means a
+    hostile table can neither over-read the source, hand the lossless
+    stages a blob larger than any legitimate chunk, nor claim a huge
+    decoded extent backed by implausibly few bytes.
+
+    Raises :class:`PFPLFormatError` naming the first offending chunk.
+    """
+    from .lossless.zerobyte import DEFAULT_LEVELS, bitmap_sizes
+
+    n = plan.n_chunks
+    if sizes.size != n or raw_flags.size != n:
+        raise PFPLFormatError(
+            f"size table has {sizes.size} entries for {n} chunks"
+        )
+    if not n:
+        return
+    if bitmap_levels is None:
+        bitmap_levels = DEFAULT_LEVELS
+    raw_bytes = np.full(n, plan.words_per_chunk * word_itemsize, dtype=np.int64)
+    raw_bytes[-1] = plan.padded_tail_words * word_itemsize
+    if use_zero_elim:
+        min_bytes = np.full(
+            n, bitmap_sizes(int(raw_bytes[0]), bitmap_levels)[-1], dtype=np.int64
+        )
+        min_bytes[-1] = bitmap_sizes(int(raw_bytes[-1]), bitmap_levels)[-1]
+    else:
+        # Without zero elimination the pipeline is size-preserving, so the
+        # raw fallback always wins: a compressed chunk cannot exist.
+        min_bytes = raw_bytes
+    bad = np.where(
+        raw_flags, sizes != raw_bytes, (sizes < min_bytes) | (sizes >= raw_bytes)
+    )
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        kind = "raw" if raw_flags[i] else "compressed"
+        raise PFPLFormatError(
+            f"corrupt size table: {kind} chunk {i} claims {int(sizes[i])} bytes "
+            f"(valid range for this chunk is [{int(min_bytes[i])}, "
+            f"{int(raw_bytes[i])}])"
+        )

@@ -29,12 +29,20 @@ Typical use::
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
-from .chunking import CHUNK_BYTES, ChunkCodec
+from ..errors import (
+    PFPLConfigMismatchError,
+    PFPLError,
+    PFPLFormatError,
+    PFPLIntegrityError,
+    PFPLTruncatedError,
+)
+from .chunking import CHUNK_BYTES, ChunkCodec, validate_size_table
 from .floatbits import layout_for
 from .header import Header
 from .kernel import ChunkKernel, ChunkStats
@@ -42,6 +50,32 @@ from .lossless.pipeline import LosslessPipeline, PipelineConfig
 from .quantizers import Quantizer, make_quantizer
 
 __all__ = ["PFPLCompressor", "compress", "decompress", "CompressionResult", "InlineBackend"]
+
+#: Integer input dtypes accepted by the one-shot :func:`compress` and the
+#: float dtype each is coerced to.  The rule: integers whose values a
+#: float32 mantissa always holds exactly (8/16-bit) become float32;
+#: wider integers become float64 (64-bit values beyond 2**53 round, which
+#: the coercion docstring calls out).
+_INT_COERCION = {
+    np.dtype(np.int8): np.float32,
+    np.dtype(np.uint8): np.float32,
+    np.dtype(np.int16): np.float32,
+    np.dtype(np.uint16): np.float32,
+    np.dtype(np.int32): np.float64,
+    np.dtype(np.uint32): np.float64,
+    np.dtype(np.int64): np.float64,
+    np.dtype(np.uint64): np.float64,
+}
+
+
+def _crc_footer(prefix: bytes, blobs: Sequence[bytes]) -> bytes:
+    """Build the version-2 checksum footer: CRC-32 of the header + size
+    table, then CRC-32 of each chunk payload (little-endian u32 each)."""
+    crcs = np.empty(1 + len(blobs), dtype="<u4")
+    crcs[0] = zlib.crc32(prefix)
+    for i, blob in enumerate(blobs):
+        crcs[1 + i] = zlib.crc32(blob)
+    return crcs.tobytes()
 
 
 class InlineBackend:
@@ -112,7 +146,13 @@ class CompressionResult:
 
 
 def _kernel_for_header(header: Header, backend) -> ChunkKernel:
-    """Rebuild the decode-side fused kernel a stream's header describes."""
+    """Rebuild the decode-side fused kernel a stream's header describes.
+
+    Header fields come from untrusted bytes, so a quantizer rejecting its
+    parameters (a bound the mode cannot honor, a bad NOA range) is a
+    *format* problem of the stream, not a caller bug -- re-raised as
+    :class:`PFPLFormatError`.
+    """
     config = PipelineConfig(
         use_delta=header.use_delta,
         use_bitshuffle=header.use_bitshuffle,
@@ -123,9 +163,14 @@ def _kernel_for_header(header: Header, backend) -> ChunkKernel:
     kwargs = {}
     if header.mode == "noa":
         kwargs["value_range"] = header.value_range
-    quantizer = make_quantizer(
-        header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
-    )
+    try:
+        quantizer = make_quantizer(
+            header.mode, header.error_bound, dtype=layout.float_dtype, **kwargs
+        )
+    except PFPLError:
+        raise
+    except (ValueError, TypeError, OverflowError) as exc:
+        raise PFPLFormatError(f"corrupt header: {exc}") from exc
     # Honor the stream's chunk geometry (the paper's default is 16 kB;
     # the chunk-size ablation writes other sizes).
     chunk_bytes = header.words_per_chunk * layout.uint_dtype.itemsize
@@ -147,6 +192,11 @@ class PFPLCompressor:
         Optional execution backend; default runs chunks inline.
     config:
         :class:`PipelineConfig` stage toggles (for ablations).
+    checksum:
+        When true, emit a format-version-2 stream with a CRC-32 footer
+        (one checksum for the header + size table, one per chunk) so
+        decoders detect bit-rot instead of reconstructing from it.  The
+        default keeps the version-1 byte-identical format.
     """
 
     def __init__(
@@ -157,6 +207,7 @@ class PFPLCompressor:
         backend=None,
         config: PipelineConfig | None = None,
         chunk_bytes: int | None = None,
+        checksum: bool = False,
     ):
         self.mode = mode
         self.error_bound = float(error_bound)
@@ -164,6 +215,7 @@ class PFPLCompressor:
         self.backend = backend or InlineBackend()
         self.config = config or PipelineConfig()
         self.chunk_bytes = chunk_bytes or CHUNK_BYTES
+        self.checksum = bool(checksum)
         # Validate the bound eagerly (cheap, catches bad eps before data).
         make_quantizer(mode, self.error_bound, dtype=self.layout.float_dtype)
 
@@ -201,11 +253,16 @@ class PFPLCompressor:
             use_bitshuffle=self.config.use_bitshuffle,
             use_zero_elim=self.config.use_zero_elim,
             bitmap_levels=self.config.bitmap_levels,
+            checksum=self.checksum,
         )
         table = ChunkCodec.build_size_table(
             [len(b) for b in blobs], raw_flags
         )
         prefix = header.pack() + table.astype("<u4").tobytes()
+        if self.checksum:
+            # The footer rides as one extra blob so assembly stays a single
+            # scatter into the preallocated buffer.
+            blobs = blobs + [_crc_footer(prefix, blobs)]
         stream = self.backend.assemble(prefix, blobs)
         return CompressionResult(
             data=stream,
@@ -221,10 +278,10 @@ class PFPLCompressor:
         """Decompress a PFPL stream, validating it against this instance.
 
         The stream must have been produced with this compressor's mode,
-        dtype and error bound; a mismatch raises :class:`ValueError`
-        instead of silently decoding with different parameters.  Use the
-        module-level :func:`decompress` for arbitrary self-describing
-        streams.
+        dtype and error bound; a mismatch raises
+        :class:`~repro.errors.PFPLConfigMismatchError` instead of silently
+        decoding with different parameters.  Use the module-level
+        :func:`decompress` for arbitrary self-describing streams.
         """
         header = Header.unpack(stream)
         problems = []
@@ -239,7 +296,7 @@ class PFPLCompressor:
                 f"error bound {header.error_bound:g} != configured {self.error_bound:g}"
             )
         if problems:
-            raise ValueError(
+            raise PFPLConfigMismatchError(
                 "stream does not match this PFPLCompressor ("
                 + "; ".join(problems)
                 + "); use repro.core.decompress() for self-describing decode"
@@ -253,12 +310,33 @@ def compress(
     error_bound: float = 1e-3,
     backend=None,
     config: PipelineConfig | None = None,
+    checksum: bool = False,
 ) -> bytes:
-    """One-shot convenience wrapper; returns just the compressed bytes."""
+    """One-shot convenience wrapper; returns just the compressed bytes.
+
+    Accepts float32/float64 arrays natively.  Integer arrays are coerced
+    to the matching float dtype first -- 8/16-bit integers to float32
+    (always exact), 32/64-bit integers to float64 (exact up to 2**53) --
+    and float16 is widened to float32.  Anything else (bool, complex,
+    strings, objects) raises :class:`~repro.errors.PFPLFormatError`.
+
+    Pass ``checksum=True`` to emit a version-2 stream with the CRC-32
+    footer (see :class:`PFPLCompressor`).
+    """
     arr = np.asarray(data)
+    if arr.dtype in _INT_COERCION:
+        arr = arr.astype(_INT_COERCION[arr.dtype])
+    elif arr.dtype == np.float16:
+        arr = arr.astype(np.float32)
+    elif arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise PFPLFormatError(
+            f"cannot compress dtype {arr.dtype}: PFPL supports float32/float64 "
+            "natively and coerces integer or float16 input; convert other "
+            "dtypes explicitly"
+        )
     comp = PFPLCompressor(
         mode=mode, error_bound=error_bound, dtype=arr.dtype,
-        backend=backend, config=config,
+        backend=backend, config=config, checksum=checksum,
     )
     return comp.compress(arr).data
 
@@ -276,24 +354,39 @@ def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np
     output array plus chunk-sized temporaries.
     """
     backend = backend or InlineBackend()
-    header = Header.unpack(stream)
+    header = Header.unpack(stream).validate()
 
     kernel = _kernel_for_header(header, backend)
     plan = kernel.plan(header.count)
     if plan.n_chunks != header.n_chunks or plan.words_per_chunk != header.words_per_chunk:
-        raise ValueError("corrupt PFPL header: chunk plan mismatch")
+        raise PFPLFormatError("corrupt PFPL header: chunk plan mismatch")
 
     table = header.read_size_table(stream)
     sizes, raw_flags, _ = ChunkCodec.parse_size_table(table)
+    validate_size_table(
+        plan, sizes, raw_flags, kernel.layout.uint_dtype.itemsize,
+        header.use_zero_elim, header.bitmap_levels,
+    )
     starts = backend.prefix_sum(sizes) + header.payload_offset
-    expected_end = int(starts[-1] + sizes[-1]) if header.n_chunks else header.payload_offset
-    if len(stream) < expected_end:
-        raise ValueError("PFPL stream truncated inside the chunk payload")
+    payload_end = int(starts[-1] + sizes[-1]) if header.n_chunks else header.payload_offset
+    if len(stream) < payload_end + header.footer_bytes:
+        raise PFPLTruncatedError("PFPL stream truncated inside the chunk payload")
+
+    chunk_crcs = None
+    if header.checksum:
+        crcs = np.frombuffer(
+            stream, dtype="<u4", count=1 + header.n_chunks, offset=payload_end
+        )
+        if int(crcs[0]) != zlib.crc32(stream[: header.payload_offset]):
+            raise PFPLIntegrityError(
+                "PFPL header/size-table checksum mismatch (stream corrupted)"
+            )
+        chunk_crcs = crcs[1:]
 
     if out is None:
         out = np.empty(header.count, dtype=kernel.layout.float_dtype)
     elif out.shape != (header.count,) or out.dtype != kernel.layout.float_dtype:
-        raise ValueError(
+        raise PFPLConfigMismatchError(
             f"output buffer must be ({header.count},) {kernel.layout.float_dtype}, "
             f"got {out.shape} {out.dtype}"
         )
@@ -303,10 +396,13 @@ def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np
     def decode_one(index: int) -> None:
         lo = int(starts[index])
         hi = lo + int(sizes[index])
+        blob = view[lo:hi]
+        if chunk_crcs is not None and zlib.crc32(blob) != int(chunk_crcs[index]):
+            raise PFPLIntegrityError(
+                f"chunk {index} checksum mismatch (stream corrupted)"
+            )
         vlo, vhi = plan.chunk_value_bounds(index)
-        kernel.decode_chunk(
-            view[lo:hi], vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi]
-        )
+        kernel.decode_chunk(blob, vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi])
 
     backend.map_chunks(decode_one, list(range(plan.n_chunks)), costs=sizes)
     return out

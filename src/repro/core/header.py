@@ -4,7 +4,7 @@ Layout (little-endian)::
 
     offset  size  field
     0       4     magic  b"PFPL"
-    4       2     format version (currently 1)
+    4       2     format version (1, or 2 with the checksum footer)
     6       1     error-bound mode   (0=abs, 1=rel, 2=noa)
     7       1     data dtype         (0=float32, 1=float64)
     8       8     error bound        (float64 bits)
@@ -12,15 +12,25 @@ Layout (little-endian)::
     24      8     value count        (u64)
     32      4     words per chunk    (u32)
     36      4     chunk count        (u32)
-    40      1     pipeline stage flags (bit0 delta, bit1 shuffle, bit2 zero-elim)
+    40      1     pipeline stage flags (bit0 delta, bit1 shuffle,
+                  bit2 zero-elim, bit3 checksum footer -- version 2 only)
     41      1     bitmap levels
     42      2     reserved (0)
     44      4*n   chunk size table   (u32 each; bit 31 = raw chunk)
     ...           concatenated chunk payloads
+    [...]         checksum footer (version 2 only): CRC-32 of
+                  header+size table, then CRC-32 of each chunk payload
+                  (u32 each)
 
 The header stores everything the decoder needs so that decompression is
 embarrassingly parallel -- including the NOA range, so the decoder never
 re-reduces the data (Section III-E).
+
+:meth:`Header.unpack` performs *structural* validation only (magic,
+version, enum ids, buffer length).  Decoders must additionally call
+:meth:`Header.validate` before trusting the geometry fields: it bounds
+every field so hostile bytes can never drive an unbounded allocation,
+a zero division, or negative indexing further down the decode path.
 """
 
 from __future__ import annotations
@@ -30,14 +40,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Header", "MAGIC", "FORMAT_VERSION", "HEADER_BYTES"]
+from ..errors import PFPLFormatError, PFPLTruncatedError
+
+__all__ = [
+    "Header",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "FORMAT_VERSION_CHECKSUM",
+    "HEADER_BYTES",
+    "MAX_WORDS_PER_CHUNK",
+]
 
 MAGIC = b"PFPL"
+#: Default on-disk format (no checksum footer) -- byte-identical to the
+#: original implementation.
 FORMAT_VERSION = 1
+#: Format carrying the per-chunk CRC-32 footer (flag bit 3 set).
+FORMAT_VERSION_CHECKSUM = 2
+_SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_CHECKSUM)
 HEADER_BYTES = 44
+
+#: Sanity cap on the words-per-chunk field: 2**28 words (1 GiB of
+#: float32 / 2 GiB of float64 per chunk) is far beyond any real encoder
+#: configuration and bounds per-chunk scratch allocation on hostile input.
+MAX_WORDS_PER_CHUNK = 1 << 28
+
+#: Sanity cap on bitmap-compression levels (the paper uses 4).
+_MAX_BITMAP_LEVELS = 16
 
 _MODES = ("abs", "rel", "noa")
 _DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_CHECKSUM_FLAG = 8
 
 _STRUCT = struct.Struct("<4sHBBddQIIBBH")
 assert _STRUCT.size == HEADER_BYTES
@@ -58,16 +92,18 @@ class Header:
     use_bitshuffle: bool
     use_zero_elim: bool
     bitmap_levels: int
+    checksum: bool = False
 
     def pack(self) -> bytes:
         flags = (
             (1 if self.use_delta else 0)
             | (2 if self.use_bitshuffle else 0)
             | (4 if self.use_zero_elim else 0)
+            | (_CHECKSUM_FLAG if self.checksum else 0)
         )
         return _STRUCT.pack(
             MAGIC,
-            FORMAT_VERSION,
+            FORMAT_VERSION_CHECKSUM if self.checksum else FORMAT_VERSION,
             _MODES.index(self.mode),
             _DTYPES.index(np.dtype(self.dtype)),
             float(self.error_bound),
@@ -83,19 +119,25 @@ class Header:
     @classmethod
     def unpack(cls, buf: bytes) -> "Header":
         if len(buf) < HEADER_BYTES:
-            raise ValueError(
+            raise PFPLTruncatedError(
                 f"buffer too short for a PFPL header ({len(buf)} < {HEADER_BYTES})"
             )
         (magic, version, mode_i, dtype_i, eps, vrange, count,
          wpc, n_chunks, flags, levels, _reserved) = _STRUCT.unpack_from(buf)
         if magic != MAGIC:
-            raise ValueError(f"not a PFPL stream (magic {magic!r})")
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported PFPL format version {version}")
+            raise PFPLFormatError(f"not a PFPL stream (magic {magic!r})")
+        if version not in _SUPPORTED_VERSIONS:
+            raise PFPLFormatError(f"unsupported PFPL format version {version}")
+        checksum = bool(flags & _CHECKSUM_FLAG)
+        if checksum != (version == FORMAT_VERSION_CHECKSUM):
+            raise PFPLFormatError(
+                f"corrupt header: version {version} with checksum flag "
+                f"{'set' if checksum else 'clear'}"
+            )
         if mode_i >= len(_MODES):
-            raise ValueError(f"corrupt header: unknown mode id {mode_i}")
+            raise PFPLFormatError(f"corrupt header: unknown mode id {mode_i}")
         if dtype_i >= len(_DTYPES):
-            raise ValueError(f"corrupt header: unknown dtype id {dtype_i}")
+            raise PFPLFormatError(f"corrupt header: unknown dtype id {dtype_i}")
         return cls(
             mode=_MODES[mode_i],
             dtype=_DTYPES[dtype_i],
@@ -108,7 +150,55 @@ class Header:
             use_bitshuffle=bool(flags & 2),
             use_zero_elim=bool(flags & 4),
             bitmap_levels=levels,
+            checksum=checksum,
         )
+
+    def validate(self) -> "Header":
+        """Range-check every geometry field before it drives any allocation.
+
+        Raises :class:`PFPLFormatError` on the first inconsistency; returns
+        ``self`` so decoders can chain ``Header.unpack(buf).validate()``.
+        """
+        if not np.isfinite(self.error_bound) or self.error_bound <= 0:
+            raise PFPLFormatError(
+                f"corrupt header: error bound {self.error_bound!r} "
+                "is not a positive finite number"
+            )
+        if not np.isfinite(self.value_range) or self.value_range < 0:
+            raise PFPLFormatError(
+                f"corrupt header: value range {self.value_range!r} "
+                "is not a non-negative finite number"
+            )
+        if self.mode != "noa" and self.value_range != 0.0:
+            raise PFPLFormatError(
+                f"corrupt header: nonzero value range in {self.mode!r} mode"
+            )
+        wpc = self.words_per_chunk
+        if wpc <= 0 or wpc % 8:
+            raise PFPLFormatError(
+                f"corrupt header: words per chunk {wpc} must be a positive "
+                "multiple of 8"
+            )
+        if wpc > MAX_WORDS_PER_CHUNK:
+            raise PFPLFormatError(
+                f"corrupt header: words per chunk {wpc} exceeds the "
+                f"{MAX_WORDS_PER_CHUNK} sanity limit"
+            )
+        # count and chunk count must agree exactly: n_chunks == ceil(count/wpc).
+        # This caps the decode allocation at n_chunks * wpc values, and the
+        # size table (whose extent is checked against the actual stream
+        # length) caps n_chunks itself.
+        expected_chunks = (self.count + wpc - 1) // wpc
+        if self.n_chunks != expected_chunks:
+            raise PFPLFormatError(
+                f"corrupt header: {self.count} values in chunks of {wpc} "
+                f"words needs {expected_chunks} chunks, header says {self.n_chunks}"
+            )
+        if self.bitmap_levels > _MAX_BITMAP_LEVELS:
+            raise PFPLFormatError(
+                f"corrupt header: implausible bitmap level count {self.bitmap_levels}"
+            )
+        return self
 
     @property
     def size_table_offset(self) -> int:
@@ -118,8 +208,17 @@ class Header:
     def payload_offset(self) -> int:
         return HEADER_BYTES + 4 * self.n_chunks
 
+    @property
+    def footer_bytes(self) -> int:
+        """Length of the checksum footer (0 for version-1 streams).
+
+        The footer holds one CRC-32 of the header + size table, then one
+        CRC-32 per chunk payload.
+        """
+        return 4 * (1 + self.n_chunks) if self.checksum else 0
+
     def read_size_table(self, buf: bytes) -> np.ndarray:
         end = self.payload_offset
         if len(buf) < end:
-            raise ValueError("PFPL stream truncated inside the chunk size table")
+            raise PFPLTruncatedError("PFPL stream truncated inside the chunk size table")
         return np.frombuffer(buf, dtype="<u4", count=self.n_chunks, offset=HEADER_BYTES)

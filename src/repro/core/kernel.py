@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PFPLError, PFPLIntegrityError
 from .chunking import CHUNK_BYTES, ChunkCodec, ChunkPlan
 from .lossless.pipeline import LosslessPipeline
 from .quantizers import Quantizer
@@ -129,10 +130,23 @@ class ChunkKernel:
         may be shorter); the stored word count including shuffle padding
         is derived from it.  When ``out`` (a slice of the caller's output
         array) is given, the floats land there with no extra copy.
+
+        The kernel is the decode path's exception barrier: any failure
+        inside the lossless stages or the dequantizer on hostile bytes
+        (a numpy shape/broadcast error, an index underflow) is re-raised
+        as :class:`~repro.errors.PFPLIntegrityError`, so callers only
+        ever see :class:`~repro.errors.PFPLError` subclasses.
         """
         n_words = _padded_words(n_values)
-        words = self.codec.decode_chunk(blob, n_words, is_raw)
-        if out is None:
-            out = np.empty(n_values, dtype=self.layout.float_dtype)
-        self.quantizer.decode_into(words[:n_values], out)
+        try:
+            words = self.codec.decode_chunk(blob, n_words, is_raw)
+            if out is None:
+                out = np.empty(n_values, dtype=self.layout.float_dtype)
+            self.quantizer.decode_into(words[:n_values], out)
+        except PFPLError:
+            raise
+        except (ValueError, TypeError, IndexError, KeyError, OverflowError) as exc:
+            raise PFPLIntegrityError(
+                f"chunk of {n_values} values failed to decode: {exc}"
+            ) from exc
         return out

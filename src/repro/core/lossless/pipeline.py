@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...errors import PFPLIntegrityError
 from .bitshuffle import bitshuffle, bitunshuffle
 from .delta import delta_decode, delta_encode
 from .zerobyte import DEFAULT_LEVELS, compress_bytes, decompress_bytes
@@ -93,7 +94,7 @@ class LosslessPipeline:
             else:
                 stream = np.frombuffer(blob, dtype=np.uint8)
             if stream.size != n_bytes:
-                raise ValueError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
+                raise PFPLIntegrityError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
         if cfg.use_bitshuffle:
             words = bitunshuffle(stream, n_words, self.word_dtype)
         else:

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import PFPLIntegrityError
+
 __all__ = [
     "zero_eliminate",
     "zero_restore",
@@ -78,7 +80,7 @@ def zero_restore(bitmap: np.ndarray, kept: np.ndarray, n: int) -> np.ndarray:
     keep = np.unpackbits(np.ascontiguousarray(bitmap, dtype=np.uint8), count=n).astype(bool)
     kept = np.ascontiguousarray(kept, dtype=np.uint8)
     if int(keep.sum()) != kept.size:
-        raise ValueError("zero-elimination bitmap does not match kept-byte count")
+        raise PFPLIntegrityError("zero-elimination bitmap does not match kept-byte count")
     out = np.zeros(n, dtype=np.uint8)
     out[keep] = kept
     return out
@@ -105,7 +107,7 @@ def repeat_restore(bitmap: np.ndarray, kept: np.ndarray, n: int) -> np.ndarray:
     keep = np.unpackbits(np.ascontiguousarray(bitmap, dtype=np.uint8), count=n).astype(bool)
     kept = np.ascontiguousarray(kept, dtype=np.uint8)
     if int(keep.sum()) != kept.size:
-        raise ValueError("repeat-elimination bitmap does not match kept-byte count")
+        raise PFPLIntegrityError("repeat-elimination bitmap does not match kept-byte count")
     # out[i] = latest kept byte at or before i, seeded with 0x00.
     fill = np.concatenate(([np.uint8(0)], kept))
     idx = np.cumsum(keep)
@@ -150,5 +152,5 @@ def decompress_bytes(blob, n: int, levels: int = DEFAULT_LEVELS) -> np.ndarray:
     payload = buf[pos:pos + n_kept]
     pos += n_kept
     if pos != buf.size:
-        raise ValueError(f"stage L3 blob has {buf.size - pos} unexpected trailing bytes")
+        raise PFPLIntegrityError(f"stage L3 blob has {buf.size - pos} unexpected trailing bytes")
     return zero_restore(bitmap, payload, n)

@@ -13,18 +13,35 @@ be reconstructed by decoding only the chunks that overlap it.
 file-level :class:`repro.io.PFPLReader`: it parses the header and size
 table once, then serves each chunk by fetching **only that chunk's
 bytes** from its source (a memoryview slice for in-memory streams, a
-``seek`` + bounded ``read`` for files) and running the fused
+positioned ``pread`` for files) and running the fused
 :class:`~repro.core.kernel.ChunkKernel` on them.  Cost is proportional
 to the chunks touched, not the file size.
+
+The whole stream is validated *eagerly* at construction: every header
+geometry field is range-checked, every size-table entry is bounded by
+the chunk geometry, and the declared extent must fit inside the source,
+so hostile bytes can never drive an unbounded allocation or negative
+indexing -- they raise a :class:`~repro.errors.PFPLError` subclass
+before any chunk is decoded.
 """
 
 from __future__ import annotations
 
+import io
+import os
+import threading
+import zlib
 from typing import Iterator
 
 import numpy as np
 
-from .chunking import ChunkCodec
+from ..errors import (
+    PFPLConfigMismatchError,
+    PFPLFormatError,
+    PFPLIntegrityError,
+    PFPLTruncatedError,
+)
+from .chunking import ChunkCodec, validate_size_table
 from .compressor import InlineBackend, _kernel_for_header
 from .header import HEADER_BYTES, Header
 
@@ -36,35 +53,58 @@ class _BytesSource:
 
     def __init__(self, buf):
         self._view = memoryview(buf)
+        self.length = self._view.nbytes
 
     def fetch(self, offset: int, size: int):
         end = offset + size
         if end > self._view.nbytes:
-            raise ValueError("PFPL stream truncated")
+            raise PFPLTruncatedError("PFPL stream truncated")
         return self._view[offset:end]
 
 
 class _FileSource:
-    """Bounded seek+read fetch over a seekable binary file."""
+    """Bounded positioned-read fetch over a seekable binary file.
+
+    Concurrent fetches (a threaded backend decoding chunks in parallel)
+    must not race on the file position, so reads go through ``os.pread``
+    whenever the handle is backed by a real file descriptor; wrappers
+    without one (``io.BytesIO``, mocks) fall back to a lock-guarded
+    seek + read.
+    """
 
     def __init__(self, fh):
         self._fh = fh
         self._base = fh.tell()
+        self._lock = threading.Lock()
+        self._fd = None
+        try:
+            self._fd = fh.fileno()
+        except (OSError, AttributeError, io.UnsupportedOperation):
+            pass
+        end = fh.seek(0, os.SEEK_END)
+        fh.seek(self._base)
+        self.length = end - self._base
 
     def fetch(self, offset: int, size: int) -> bytes:
-        self._fh.seek(self._base + offset)
-        data = self._fh.read(size)
+        if self._fd is not None:
+            data = os.pread(self._fd, size, self._base + offset)
+        else:
+            with self._lock:
+                self._fh.seek(self._base + offset)
+                data = self._fh.read(size)
         if len(data) != size:
-            raise ValueError("PFPL stream truncated")
+            raise PFPLTruncatedError("PFPL stream truncated")
         return data
 
 
 class StreamDecoder:
     """Chunk-granular decoder over a PFPL stream source.
 
-    Parses the header + size table once (one bounded read each), builds
-    the fused decode kernel, and thereafter touches only the bytes of
-    the chunks asked for.
+    Parses and validates the header + size table once (one bounded read
+    each), builds the fused decode kernel, and thereafter touches only
+    the bytes of the chunks asked for.  For version-2 streams the
+    header/size-table checksum is verified up front and each chunk's
+    checksum when that chunk is decoded.
 
     Parameters
     ----------
@@ -72,7 +112,10 @@ class StreamDecoder:
         ``bytes`` / ``bytearray`` / ``memoryview``, or a seekable binary
         file positioned at the start of the stream.
     backend:
-        Optional execution backend for multi-chunk calls.
+        Optional execution backend for multi-chunk calls
+        (:meth:`decode_range` / :meth:`decode_all` dispatch fully-covered
+        chunks through ``backend.map_chunks`` with the size table as the
+        cost model).
     """
 
     def __init__(self, source, backend=None):
@@ -87,17 +130,45 @@ class StreamDecoder:
         else:
             raise TypeError(f"cannot read a PFPL stream from {type(source).__name__}")
 
-        self.header = Header.unpack(bytes(self._source.fetch(0, HEADER_BYTES)))
-        table = np.frombuffer(
-            self._source.fetch(HEADER_BYTES, 4 * self.header.n_chunks), dtype="<u4"
+        self.header = Header.unpack(bytes(self._source.fetch(0, HEADER_BYTES))).validate()
+        table_bytes = bytes(
+            self._source.fetch(HEADER_BYTES, 4 * self.header.n_chunks)
         )
+        table = np.frombuffer(table_bytes, dtype="<u4")
         self._sizes, self._raw_flags, _ = ChunkCodec.parse_size_table(table)
-        self._starts = self._backend.prefix_sum(self._sizes) + self.header.payload_offset
         self._kernel = _kernel_for_header(self.header, self._backend)
         self._plan = self._kernel.plan(self.header.count)
         if (self._plan.n_chunks != self.header.n_chunks
                 or self._plan.words_per_chunk != self.header.words_per_chunk):
-            raise ValueError("corrupt PFPL header: chunk plan mismatch")
+            raise PFPLFormatError("corrupt PFPL header: chunk plan mismatch")
+        validate_size_table(
+            self._plan, self._sizes, self._raw_flags,
+            self._kernel.layout.uint_dtype.itemsize,
+            self.header.use_zero_elim, self.header.bitmap_levels,
+        )
+        self._starts = self._backend.prefix_sum(self._sizes) + self.header.payload_offset
+        payload_end = (
+            int(self._starts[-1] + self._sizes[-1])
+            if self.header.n_chunks else self.header.payload_offset
+        )
+        if payload_end + self.header.footer_bytes > self._source.length:
+            raise PFPLTruncatedError(
+                "PFPL stream truncated: header declares "
+                f"{payload_end + self.header.footer_bytes} bytes, source has "
+                f"{self._source.length}"
+            )
+        self._chunk_crcs = None
+        if self.header.checksum:
+            footer = bytes(
+                self._source.fetch(payload_end, self.header.footer_bytes)
+            )
+            crcs = np.frombuffer(footer, dtype="<u4")
+            head = bytes(self._source.fetch(0, self.header.payload_offset))
+            if int(crcs[0]) != zlib.crc32(head):
+                raise PFPLIntegrityError(
+                    "PFPL header/size-table checksum mismatch (stream corrupted)"
+                )
+            self._chunk_crcs = crcs[1:]
 
     # -- geometry ------------------------------------------------------------
 
@@ -121,6 +192,11 @@ class StreamDecoder:
         if index < 0 or index >= self._plan.n_chunks:
             raise IndexError(f"chunk {index} out of range [0, {self._plan.n_chunks})")
         blob = self._source.fetch(int(self._starts[index]), int(self._sizes[index]))
+        if (self._chunk_crcs is not None
+                and zlib.crc32(blob) != int(self._chunk_crcs[index])):
+            raise PFPLIntegrityError(
+                f"chunk {index} checksum mismatch (stream corrupted)"
+            )
         return self._kernel.decode_chunk(
             blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
         )
@@ -133,9 +209,12 @@ class StreamDecoder:
     def decode_range(self, start: int, count: int, out: np.ndarray | None = None) -> np.ndarray:
         """Reconstruct ``count`` values beginning at index ``start``.
 
-        Decodes only the overlapping chunks; interior chunks land
-        directly in their slice of ``out``, the two boundary chunks go
-        through one chunk-sized scratch buffer.
+        Decodes only the overlapping chunks, scheduled through the
+        backend's ``map_chunks`` with the size table as per-chunk costs
+        (so a threaded backend genuinely overlaps them): fully-covered
+        chunks land directly in their slice of ``out``, the at-most-two
+        partially-covered boundary chunks go through one chunk-sized
+        scratch buffer each.
         """
         if start < 0 or count < 0 or start + count > self.header.count:
             raise IndexError(
@@ -145,14 +224,17 @@ class StreamDecoder:
         if out is None:
             out = np.empty(count, dtype=dtype)
         elif out.shape != (count,) or out.dtype != dtype:
-            raise ValueError(f"output buffer must be ({count},) {dtype}")
+            raise PFPLConfigMismatchError(
+                f"output buffer must be ({count},) {dtype}"
+            )
         if count == 0:
             return out
 
         wpc = self._plan.words_per_chunk
         first = start // wpc
         last = (start + count - 1) // wpc
-        for index in range(first, last + 1):
+
+        def decode_into(index: int) -> None:
             vlo, vhi = self._plan.chunk_value_bounds(index)
             olo = max(vlo, start) - start
             ohi = min(vhi, start + count) - start
@@ -161,6 +243,9 @@ class StreamDecoder:
             else:
                 chunk = self.decode_chunk(index)
                 out[olo:ohi] = chunk[max(vlo, start) - vlo:min(vhi, start + count) - vlo]
+
+        indices = list(range(first, last + 1))
+        self._backend.map_chunks(decode_into, indices, costs=self._sizes[first:last + 1])
         return out
 
     def decode_all(self, out: np.ndarray | None = None) -> np.ndarray:

@@ -1,0 +1,59 @@
+"""Structured exception hierarchy for PFPL streams.
+
+Decoding runs on untrusted bytes: a stream may be truncated mid-table,
+bit-flipped in the header, or spliced together from two files.  Every
+failure the codec detects is raised as a :class:`PFPLError` subclass so
+callers can catch one type and distinguish *why* decode failed -- no raw
+``struct.error``, numpy broadcast error, or ``IndexError`` ever escapes
+the decode path (the fault-injection suite in ``tests/fuzz`` enforces
+this).
+
+:class:`PFPLError` derives from :class:`ValueError` so pre-existing
+callers that caught ``ValueError`` keep working unchanged.
+
+Hierarchy::
+
+    PFPLError (ValueError)
+    +-- PFPLFormatError          not a PFPL stream / malformed header fields
+    +-- PFPLTruncatedError       stream shorter than its header promises
+    +-- PFPLIntegrityError       payload inconsistent with its framing
+    |                            (bitmap/size mismatch, checksum failure)
+    +-- PFPLConfigMismatchError  valid stream, wrong caller configuration
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PFPLError",
+    "PFPLFormatError",
+    "PFPLTruncatedError",
+    "PFPLIntegrityError",
+    "PFPLConfigMismatchError",
+]
+
+
+class PFPLError(ValueError):
+    """Base class for every error raised while parsing or decoding PFPL data."""
+
+
+class PFPLFormatError(PFPLError):
+    """The bytes are not a PFPL stream, or a header/directory field is out
+    of range (bad magic, unsupported version, unknown mode or dtype id,
+    inconsistent chunk geometry, hostile size-table entries)."""
+
+
+class PFPLTruncatedError(PFPLError):
+    """The stream ends before the extent its header and size table declare."""
+
+
+class PFPLIntegrityError(PFPLError):
+    """A chunk payload does not decode consistently with its framing: a
+    bitmap popcount disagrees with the kept-byte count, a raw chunk has
+    the wrong length, trailing bytes are left over, or a checksum
+    (when the stream carries the checksum footer) does not match."""
+
+
+class PFPLConfigMismatchError(PFPLError):
+    """The stream is valid but does not match what the caller configured:
+    a :class:`~repro.core.compressor.PFPLCompressor` with different
+    mode/bound/dtype, or an ``out=`` buffer of the wrong shape or dtype."""

@@ -24,6 +24,7 @@ whole array.
 from __future__ import annotations
 
 import tempfile
+import zlib
 from typing import BinaryIO, Iterator
 
 import numpy as np
@@ -64,12 +65,14 @@ class PFPLWriter:
         value_range: float | None = None,
         backend=None,
         config: PipelineConfig | None = None,
+        checksum: bool = False,
     ):
         self._sink = sink
         self.mode = mode
         self.error_bound = float(error_bound)
         self.layout = layout_for(dtype)
         self.config = config or PipelineConfig()
+        self.checksum = bool(checksum)
         backend = backend or InlineBackend()
 
         kwargs = {}
@@ -86,10 +89,16 @@ class PFPLWriter:
         self._kernel = backend.make_kernel(quantizer, self.config, CHUNK_BYTES)
         self._wpc = self._kernel.words_per_chunk
 
-        self._pending = np.empty(0, dtype=self.layout.float_dtype)
+        # One preallocated chunk-sized staging buffer: appends copy into it
+        # and full chunks flush straight out of it, so many small appends
+        # never re-concatenate what is already staged (previously each
+        # append rebuilt the pending array -- O(n^2) over tiny appends).
+        self._pending = np.empty(self._wpc, dtype=self.layout.float_dtype)
+        self._pending_len = 0
         self._spool = tempfile.SpooledTemporaryFile(max_size=_SPOOL_MEMORY_BYTES)
         self._table_entries: list[int] = []
         self._raw_flags: list[bool] = []
+        self._chunk_crcs: list[int] = []
         self._stats = ChunkStats()
         self._count = 0
         self._payload_bytes = 0
@@ -122,6 +131,8 @@ class PFPLWriter:
         self._spool.write(blob)
         self._table_entries.append(len(blob))
         self._raw_flags.append(raw)
+        if self.checksum:
+            self._chunk_crcs.append(zlib.crc32(blob))
         self._stats += st
         self._payload_bytes += len(blob)
 
@@ -129,7 +140,9 @@ class PFPLWriter:
         """Quantize and compress more values (any shape, any amount).
 
         Every full 16 kB chunk runs the fused kernel immediately; at
-        most one partial chunk of floats stays resident.
+        most one partial chunk of floats stays resident, staged in a
+        preallocated chunk-sized buffer (appends are O(values appended),
+        independent of how finely they are split).
         """
         if self._closed:
             raise ValueError("writer already closed")
@@ -137,12 +150,24 @@ class PFPLWriter:
         if not flat.size:
             return
         self._count += flat.size
-        if self._pending.size:
-            flat = np.concatenate([self._pending, flat])
-        n_full = flat.size // self._wpc
+        pos = 0
+        if self._pending_len:
+            take = min(self._wpc - self._pending_len, flat.size)
+            self._pending[self._pending_len:self._pending_len + take] = flat[:take]
+            self._pending_len += take
+            pos = take
+            if self._pending_len == self._wpc:
+                self._flush_chunk(self._pending)
+                self._pending_len = 0
+        n_full = (flat.size - pos) // self._wpc
         for i in range(n_full):
-            self._flush_chunk(flat[i * self._wpc:(i + 1) * self._wpc])
-        self._pending = flat[n_full * self._wpc:].copy()
+            lo = pos + i * self._wpc
+            self._flush_chunk(flat[lo:lo + self._wpc])
+        pos += n_full * self._wpc
+        tail = flat.size - pos
+        if tail:
+            self._pending[:tail] = flat[pos:]
+            self._pending_len = tail
 
     def close(self) -> None:
         """Flush the tail chunk and write the container."""
@@ -150,9 +175,9 @@ class PFPLWriter:
             return
         self._closed = True
         try:
-            if self._pending.size:
-                self._flush_chunk(self._pending)
-                self._pending = np.empty(0, dtype=self.layout.float_dtype)
+            if self._pending_len:
+                self._flush_chunk(self._pending[:self._pending_len])
+                self._pending_len = 0
 
             header = Header(
                 mode=self.mode,
@@ -168,16 +193,22 @@ class PFPLWriter:
                 use_bitshuffle=self.config.use_bitshuffle,
                 use_zero_elim=self.config.use_zero_elim,
                 bitmap_levels=self.config.bitmap_levels,
+                checksum=self.checksum,
             )
             table = ChunkCodec.build_size_table(self._table_entries, self._raw_flags)
-            self._sink.write(header.pack())
-            self._sink.write(table.astype("<u4").tobytes())
+            prefix = header.pack() + table.astype("<u4").tobytes()
+            self._sink.write(prefix)
             self._spool.seek(0)
             while True:
                 block = self._spool.read(_COPY_BLOCK_BYTES)
                 if not block:
                     break
                 self._sink.write(block)
+            if self.checksum:
+                crcs = np.empty(1 + len(self._chunk_crcs), dtype="<u4")
+                crcs[0] = zlib.crc32(prefix)
+                crcs[1:] = self._chunk_crcs
+                self._sink.write(crcs.tobytes())
         finally:
             self._spool.close()
 

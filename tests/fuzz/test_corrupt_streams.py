@@ -1,0 +1,97 @@
+"""Fault-injection tests: corrupt streams must never decode out of bound.
+
+Drives the engine in ``scripts/fuzz_streams.py`` (the same one the CI
+smoke job runs standalone).  The contract under test:
+
+* every mutation of a checksum-enabled stream either raises a
+  ``PFPLError`` subclass or decodes within the stated bound -- never a
+  raw ``struct``/``numpy`` exception, never silent corruption;
+* checksum-off streams may corrupt silently (no redundancy to detect a
+  payload flip) but must still never leak a raw exception;
+* a checksum-enabled stream detects *every* payload bit flip.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+import fuzz_streams  # noqa: E402
+from fuzz_streams import (  # noqa: E402
+    CAUGHT,
+    RAW,
+    MUTATIONS,
+    apply_mutation,
+    build_goldens,
+    check_payload_bitflips,
+    classify,
+    run_sweep,
+)
+
+from repro.errors import PFPLError  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return build_goldens(seed=7)
+
+
+@pytest.fixture(scope="module")
+def crc_goldens(goldens):
+    return [g for g in goldens if g.checksum]
+
+
+@pytest.fixture(scope="module")
+def plain_goldens(goldens):
+    return [g for g in goldens if not g.checksum]
+
+
+def test_goldens_cover_all_configs(goldens):
+    names = {g.name for g in goldens}
+    assert len(names) == 12  # 3 modes x 2 dtypes x 2 checksum settings
+
+
+def test_strict_sweep_checksum_on(crc_goldens):
+    """>=500 mutants of checksum streams: 100% caught or within bound."""
+    result = run_sweep(crc_goldens, n_mutations=504, seed=11, strict=True)
+    assert result.total == 504
+    assert result.failures == []
+    assert result.tallies[RAW] == 0
+    # Corruption of a checksummed stream is essentially always caught;
+    # the sweep is vacuous if most mutants sail through as benign.
+    assert result.tallies[CAUGHT] > result.total // 2
+
+
+def test_checksum_off_never_leaks_raw_exceptions(plain_goldens):
+    result = run_sweep(plain_goldens, n_mutations=168, seed=13, strict=False)
+    assert result.tallies[RAW] == 0, result.failures
+
+
+def test_checksum_detects_every_payload_bitflip(crc_goldens):
+    for golden in crc_goldens:
+        failures = check_payload_bitflips(golden, n_flips=32, seed=17)
+        assert failures == [], failures
+
+
+def test_truncation_always_rejected(crc_goldens, plain_goldens):
+    """Cutting the stream anywhere strictly before the end must raise."""
+    for golden in (crc_goldens[0], plain_goldens[0]):
+        n = len(golden.blob)
+        for cut in range(0, n, max(1, n // 64)):
+            with pytest.raises(PFPLError):
+                fuzz_streams._decode(golden.blob[:cut], via_reader=bool(cut % 2))
+
+
+def test_every_mutation_kind_runs(crc_goldens):
+    """Each mutation kind produces a classifiable outcome (no engine bugs)."""
+    import numpy as np
+
+    rng = np.random.default_rng(23)
+    donors = [g.blob for g in crc_goldens]
+    for kind in MUTATIONS:
+        for golden in crc_goldens:
+            mutant = apply_mutation(kind, golden, rng, donors)
+            outcome, detail = classify(golden, mutant)
+            assert outcome != RAW, detail

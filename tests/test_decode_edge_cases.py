@@ -1,0 +1,157 @@
+"""Edge cases on the decode path: empty streams, bad indices, bad buffers.
+
+Companion to the fuzz harness: these are the *legitimate* boundary
+inputs (rather than hostile ones) that the hardened decoders must keep
+handling exactly.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    PFPLConfigMismatchError,
+    PFPLFormatError,
+    PFPLReader,
+    PFPLWriter,
+    compress,
+    decompress,
+)
+
+
+# -- zero-value streams ------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+def test_empty_stream_roundtrip_one_shot(mode, dtype):
+    blob = compress(np.array([], dtype=dtype), mode=mode)
+    out = decompress(blob)
+    assert out.size == 0
+    assert out.dtype == dtype
+
+
+@pytest.mark.parametrize("checksum", [False, True])
+def test_empty_stream_roundtrip_writer_reader(checksum):
+    sink = io.BytesIO()
+    with PFPLWriter(sink, mode="abs", error_bound=1e-3, checksum=checksum) as w:
+        w.append(np.array([], dtype=np.float32))
+    blob = sink.getvalue()
+    reader = PFPLReader(blob)
+    assert len(reader) == 0
+    assert reader.n_chunks == 0
+    assert reader.read().size == 0
+    assert list(reader.iter_chunks()) == []
+    # And the self-describing one-shot path agrees.
+    assert decompress(blob).size == 0
+
+
+def test_all_zero_values_roundtrip():
+    """An all-zeros field exercises the full zero-elimination pipeline."""
+    data = np.zeros(10_000, dtype=np.float32)
+    for checksum in (False, True):
+        blob = compress(data, mode="abs", error_bound=1e-3, checksum=checksum)
+        out = decompress(blob)
+        assert np.array_equal(out, data)
+    sink = io.BytesIO()
+    with PFPLWriter(sink, mode="abs", error_bound=1e-3) as w:
+        w.append(data)
+    np.testing.assert_array_equal(PFPLReader(sink.getvalue()).read(), data)
+
+
+# -- reader indexing ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def reader():
+    data = np.arange(9000, dtype=np.float32)
+    return PFPLReader(compress(data, mode="abs", error_bound=1e-4)), data
+
+
+def test_reader_negative_index(reader):
+    r, data = reader
+    assert r[-1] == pytest.approx(data[-1], abs=1e-4)
+    assert r[-9000] == pytest.approx(data[0], abs=1e-4)
+
+
+def test_reader_out_of_range_index(reader):
+    r, _ = reader
+    with pytest.raises(IndexError):
+        r.read_chunk(r.n_chunks)
+    with pytest.raises(IndexError):
+        r.read_chunk(-1)
+    with pytest.raises((IndexError, ValueError)):
+        r[9000]
+    with pytest.raises((IndexError, ValueError)):
+        r[-9001]
+
+
+def test_reader_bad_key_type(reader):
+    r, _ = reader
+    with pytest.raises(TypeError):
+        r["nope"]
+
+
+# -- output-buffer validation ------------------------------------------------
+
+
+def test_decompress_out_mismatch_raises():
+    data = np.linspace(0, 1, 5000, dtype=np.float32)
+    blob = compress(data, mode="abs", error_bound=1e-4)
+    with pytest.raises(PFPLConfigMismatchError):
+        decompress(blob, out=np.empty(4999, dtype=np.float32))
+    with pytest.raises(PFPLConfigMismatchError):
+        decompress(blob, out=np.empty(5000, dtype=np.float64))
+    # PFPLConfigMismatchError subclasses ValueError, so existing callers
+    # catching ValueError keep working.
+    with pytest.raises(ValueError):
+        decompress(blob, out=np.empty(0, dtype=np.float32))
+    out = np.empty(5000, dtype=np.float32)
+    assert decompress(blob, out=out) is out
+
+
+# -- integer / float16 coercion ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "in_dtype, out_dtype",
+    [
+        (np.int8, np.float32),
+        (np.uint16, np.float32),
+        (np.int32, np.float64),
+        (np.uint64, np.float64),
+        (np.float16, np.float32),
+    ],
+)
+def test_compress_coerces_small_ints_and_half(in_dtype, out_dtype):
+    data = np.arange(100).astype(in_dtype)
+    out = decompress(compress(data, mode="abs", error_bound=1e-3))
+    assert out.dtype == out_dtype
+    assert np.abs(out - data.astype(out_dtype)).max() <= 1e-3
+
+
+@pytest.mark.parametrize("bad", [np.bool_, np.complex64, "U4"])
+def test_compress_rejects_unsupported_dtypes(bad):
+    with pytest.raises(PFPLFormatError):
+        compress(np.zeros(8, dtype=bad))
+
+
+# -- checksum round-trip -----------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_checksum_stream_roundtrips_and_is_versioned(dtype):
+    from repro.core.header import FORMAT_VERSION_CHECKSUM, Header
+
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=7000).astype(dtype)
+    blob = compress(data, mode="abs", error_bound=1e-3, checksum=True)
+    header = Header.unpack(blob)
+    assert header.checksum
+    assert blob[4:6] == FORMAT_VERSION_CHECKSUM.to_bytes(2, "little")
+    out = decompress(blob)
+    assert np.abs(out - data).max() <= 1e-3
+    # Random access over the same stream verifies per-chunk checksums.
+    r = PFPLReader(blob)
+    np.testing.assert_array_equal(r.read(100, 500), out[100:600])
