@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Measured performance snapshot: the codec on the synthetic corpus.
+
+Compresses and decompresses a small synthetic corpus (the same field
+families the figures use) on the serial and threaded backends with
+telemetry enabled, then writes a JSON snapshot -- throughput in GB/s,
+compression ratio, outlier and raw-fallback rates, and the measured
+per-stage time/byte split -- so the ROADMAP's "fast as the hardware
+allows" goal has a concrete baseline to regress against.  Optionally
+also dumps one Chrome ``trace_event`` timeline of the threaded run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py                   # full
+    PYTHONPATH=src python scripts/bench_snapshot.py --quick           # CI smoke
+    PYTHONPATH=src python scripts/bench_snapshot.py --trace t.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.compressor import PFPLCompressor, decompress
+from repro.datasets.synthesis import (
+    brownian_walk,
+    gaussian_mixture_series,
+    spectral_field,
+)
+from repro.device.backend import SerialBackend, ThreadedBackend
+from repro.log import enable_logging, get_logger
+from repro.telemetry import Telemetry
+
+log = get_logger("bench")
+
+
+def corpus(quick: bool) -> list[tuple[str, np.ndarray]]:
+    """Deterministic fields, one per family (smaller under ``--quick``)."""
+    side = 128 if quick else 512
+    n = side * side
+    return [
+        ("spectral_f32", spectral_field((side, side), beta=3.0, seed=7).reshape(-1)),
+        ("brownian_f32", brownian_walk(n, seed=7, step_std=0.02).astype(np.float32)),
+        ("mixture_f64", gaussian_mixture_series(n, seed=7)),
+    ]
+
+
+def bench_one(
+    name: str, data: np.ndarray, backend, backend_name: str,
+    mode: str, bound: float, repeats: int,
+) -> tuple[dict, Telemetry]:
+    """One (field, backend) cell: best-of-``repeats`` timed round trip."""
+    tel = Telemetry()
+    comp = PFPLCompressor(
+        mode=mode, error_bound=bound, dtype=data.dtype,
+        backend=backend, telemetry=tel,
+    )
+    enc_s, dec_s = [], []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = comp.compress(data)
+        t1 = time.perf_counter()
+        recon = decompress(result.data, backend=backend, telemetry=tel)
+        t2 = time.perf_counter()
+        enc_s.append(t1 - t0)
+        dec_s.append(t2 - t1)
+        if recon.size != data.size:
+            raise AssertionError(f"{name}: round-trip size mismatch")
+
+    n_chunks = tel.counter("chunks_encoded_total")
+    stage_split = {
+        stage: {
+            "seconds": row["seconds"],
+            "bytes_in": int(row["bytes_in"]),
+            "bytes_out": int(row["bytes_out"]),
+        }
+        for stage, row in tel.stage_table("encode").items()
+    }
+    cell = {
+        "field": name,
+        "backend": backend_name,
+        "mode": mode,
+        "bound": bound,
+        "values": int(data.size),
+        "bytes": int(data.nbytes),
+        "ratio": result.ratio,
+        "encode_seconds": min(enc_s),
+        "decode_seconds": min(dec_s),
+        "encode_gbps": data.nbytes / min(enc_s) / 1e9,
+        "decode_gbps": data.nbytes / min(dec_s) / 1e9,
+        "outlier_rate": tel.counter("outlier_values_total") / max(1, data.size * repeats),
+        "fallback_rate": tel.counter("raw_chunks_total") / max(1, n_chunks),
+        "encode_stage_split": stage_split,
+    }
+    log.info("%s/%s: enc %.3f GB/s dec %.3f GB/s ratio %.2f",
+             name, backend_name, cell["encode_gbps"], cell["decode_gbps"],
+             cell["ratio"])
+    return cell, tel
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
+    ap.add_argument("--out", default="BENCH_PR3.json", help="snapshot JSON path")
+    ap.add_argument("--trace", default=None, metavar="FILE",
+                    help="write a Chrome trace of the first threaded run")
+    ap.add_argument("--mode", default="abs", choices=("abs", "rel", "noa"))
+    ap.add_argument("--bound", type=float, default=1e-3)
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timed repeats per cell (default 1 quick / 3 full)")
+    ap.add_argument("-v", "--verbose", action="count", default=1)
+    args = ap.parse_args(argv)
+    enable_logging(args.verbose)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    backends = [
+        ("serial", SerialBackend()),
+        ("threaded", ThreadedBackend()),
+    ]
+    cells = []
+    trace_written = False
+    for name, data in corpus(args.quick):
+        for backend_name, backend in backends:
+            cell, tel = bench_one(
+                name, data, backend, backend_name, args.mode, args.bound, repeats
+            )
+            cells.append(cell)
+            if args.trace and backend_name == "threaded" and not trace_written:
+                tel.write_chrome_trace(args.trace)
+                trace_written = True
+                log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
+
+    snapshot = {
+        "bench": "PR3 telemetry snapshot",
+        "quick": bool(args.quick),
+        "mode": args.mode,
+        "bound": args.bound,
+        "repeats": repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "cells": cells,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    log.info("wrote %d cells to %s", len(cells), args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,8 @@ from .errors import (
     PFPLTruncatedError,
 )
 from .io import PFPLReader, PFPLWriter
+from .log import enable_logging, get_logger
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 
 __version__ = "1.0.0"
 
@@ -73,6 +75,11 @@ __all__ = [
     "PFPLWriter",
     "PFPLReader",
     "PFPLArchive",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_logger",
+    "enable_logging",
     "PFPLError",
     "PFPLFormatError",
     "PFPLTruncatedError",

@@ -74,6 +74,7 @@ class PFPLArchive:
         mode: str = "abs",
         error_bound: float = 1e-3,
         backend=None,
+        telemetry=None,
     ) -> "PFPLArchive":
         """Compress and stage one named array (chainable)."""
         if name in self._streams:
@@ -82,7 +83,8 @@ class PFPLArchive:
             raise ValueError("member name too long")
         arr = np.asarray(data)
         comp = PFPLCompressor(
-            mode=mode, error_bound=error_bound, dtype=arr.dtype, backend=backend
+            mode=mode, error_bound=error_bound, dtype=arr.dtype, backend=backend,
+            telemetry=telemetry,
         )
         self._streams[name] = comp.compress(arr).data
         self._shapes[name] = arr.shape
@@ -124,11 +126,16 @@ class PFPLArchive:
 
 
 class PFPLArchiveReader:
-    """Lazy reader: members decompress on demand."""
+    """Lazy reader: members decompress on demand.
 
-    def __init__(self, blob: bytes, backend=None):
+    Pass ``telemetry`` to record per-member chunk fetch/decode spans
+    through every decoder handed out by :meth:`open` / :meth:`get`.
+    """
+
+    def __init__(self, blob: bytes, backend=None, telemetry=None):
         self._blob = blob
         self._backend = backend
+        self._telemetry = telemetry
         if len(blob) < _HEAD.size:
             raise PFPLTruncatedError(
                 f"buffer too short for a PFPL archive ({len(blob)} < {_HEAD.size})"
@@ -215,7 +222,10 @@ class PFPLArchiveReader:
 
     def open(self, name: str) -> StreamDecoder:
         """Chunk-granular decoder over one member (no copies, no full decode)."""
-        return StreamDecoder(self.member_view(name), backend=self._backend)
+        return StreamDecoder(
+            self.member_view(name), backend=self._backend,
+            telemetry=self._telemetry,
+        )
 
     def get(self, name: str) -> np.ndarray:
         """Decompress one member to its original shape.

@@ -5,13 +5,20 @@ Subcommands::
     pfpl compress   INPUT OUTPUT --mode abs --bound 1e-3 --dtype f32 [--backend omp]
     pfpl decompress INPUT OUTPUT
     pfpl info       INPUT
+    pfpl stats      INPUT --mode abs --bound 1e-3 [--format table|json|prom] [--drift]
     pfpl verify     ORIGINAL RECONSTRUCTED --mode abs --bound 1e-3
     pfpl table      {1,2,3}
     pfpl figure     FIGURE_ID [--files N]
 
 ``compress`` reads a raw binary array (like the SDRBench ``.f32``/
-``.d64`` files), ``decompress`` writes one back.  ``table``/``figure``
-regenerate the paper's tables and figures as text.
+``.d64`` files), ``decompress`` writes one back.  ``stats`` round-trips
+a raw file in memory with telemetry enabled and reports the measured
+per-stage split.  ``table``/``figure`` regenerate the paper's tables and
+figures as text.
+
+Global flags: ``-v``/``-vv`` enable INFO/DEBUG logging; ``compress``,
+``decompress`` and ``stats`` accept ``--trace FILE`` to dump a Chrome
+``trace_event`` JSON timeline (open in Perfetto or ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -25,6 +32,10 @@ from .core import Header
 from .device import get_backend
 from .errors import PFPLError
 from .io import PFPLReader, PFPLWriter
+from .log import enable_logging, get_logger
+from .telemetry import Telemetry
+
+log = get_logger("cli")
 
 _DTYPES = {"f32": np.float32, "f64": np.float64}
 
@@ -33,9 +44,21 @@ _DTYPES = {"f32": np.float32, "f64": np.float64}
 _BLOCK_VALUES = 4 << 20
 
 
+def _telemetry_for(args: argparse.Namespace) -> Telemetry | None:
+    """A live recorder when the command was asked to trace, else None."""
+    return Telemetry() if getattr(args, "trace", None) else None
+
+
+def _finish_trace(tel: Telemetry | None, args: argparse.Namespace) -> None:
+    if tel is not None:
+        tel.write_chrome_trace(args.trace)
+        log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     dtype = _DTYPES[args.dtype]
     backend = get_backend(args.backend)
+    telemetry = _telemetry_for(args)
     value_range = None
     if args.mode == "noa":
         # NOA needs the global range before the first chunk can be
@@ -54,6 +77,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         with PFPLWriter(
             dst, mode=args.mode, error_bound=args.bound, dtype=dtype,
             value_range=value_range, backend=backend, checksum=args.checksum,
+            telemetry=telemetry,
         ) as writer:
             while True:
                 block = np.fromfile(src, dtype=dtype, count=_BLOCK_VALUES)
@@ -62,7 +86,10 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                 writer.append(block)
         original = writer.values_appended * np.dtype(dtype).itemsize
         compressed = dst.tell()
+    _finish_trace(telemetry, args)
     ratio = original / max(1, compressed)
+    log.info("compressed %s with mode=%s bound=%g backend=%s",
+             args.input, args.mode, args.bound, args.backend)
     print(
         f"{args.input}: {original} -> {compressed} bytes "
         f"(ratio {ratio:.2f}, {writer.stats.lossless / max(1, writer.stats.total) * 100:.2f}% "
@@ -73,12 +100,74 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     backend = get_backend(args.backend)
+    telemetry = _telemetry_for(args)
     with open(args.input, "rb") as src, open(args.output, "wb") as dst:
-        reader = PFPLReader(src, backend=backend)
+        reader = PFPLReader(src, backend=backend, telemetry=telemetry)
         for chunk in reader.iter_chunks():
             chunk.tofile(dst)
         header = reader.header
+    _finish_trace(telemetry, args)
+    log.info("decompressed %s (%d chunks)", args.input, header.n_chunks)
     print(f"{args.input}: reconstructed {header.count} x {np.dtype(header.dtype)} values")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Round-trip a raw file in memory and report measured telemetry."""
+    from .core.compressor import PFPLCompressor
+
+    dtype = _DTYPES[args.dtype]
+    data = np.fromfile(args.input, dtype=dtype)
+    if not data.size:
+        print(f"pfpl: error: {args.input} holds no {args.dtype} values",
+              file=sys.stderr)
+        return 2
+    tel = Telemetry()
+    comp = PFPLCompressor(
+        mode=args.mode, error_bound=args.bound, dtype=dtype,
+        backend=get_backend(args.backend), telemetry=tel,
+    )
+    result = comp.compress(data)
+    comp.decompress(result.data)
+    n_chunks = int(tel.counter("chunks_encoded_total"))
+    log.info("stats round-trip: %d values, %d chunks", data.size, n_chunks)
+
+    if args.trace:
+        _finish_trace(tel, args)
+    if args.format == "json":
+        print(tel.to_json())
+    elif args.format == "prom":
+        print(tel.to_prometheus(), end="")
+    else:
+        raw = tel.counter("raw_chunks_total")
+        outliers = tel.counter("outlier_values_total")
+        print(f"{args.input}: {data.nbytes} -> {len(result.data)} bytes "
+              f"(ratio {result.ratio:.2f})")
+        print(f"  chunks      : {n_chunks} "
+              f"({int(raw)} raw fallback, "
+              f"{raw / max(1, n_chunks) * 100:.2f}%)")
+        print(f"  outliers    : {int(outliers)} / {data.size} values "
+              f"({outliers / data.size * 100:.4f}%)")
+        for cat in ("encode", "decode"):
+            table = tel.stage_table(cat)
+            if not table:
+                continue
+            print(f"  {cat} stages:")
+            print(f"    {'stage':<18} {'calls':>7} {'seconds':>9} "
+                  f"{'bytes in':>12} {'bytes out':>12}")
+            for stage, row in table.items():
+                print(f"    {stage:<18} {int(row['calls']):>7} "
+                      f"{row['seconds']:>9.4f} {int(row['bytes_in']):>12,} "
+                      f"{int(row['bytes_out']):>12,}")
+
+    if args.drift:
+        from .harness.drift import drift_check
+
+        usable = data[: data.size - (data.size % 8)]
+        report = drift_check(usable, mode=args.mode, error_bound=args.bound)
+        print(report.render())
+        if not report.bytes_ok:
+            return 1
     return 0
 
 
@@ -141,6 +230,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="pfpl", description=__doc__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable INFO logging (-vv for DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compress", help="compress a raw float file")
@@ -154,17 +247,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--checksum", action="store_true",
         help="emit a version-2 stream with a per-chunk CRC-32 footer",
     )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON timeline of the run",
+    )
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a PFPL stream")
     p.add_argument("input")
     p.add_argument("output")
     p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON timeline of the run",
+    )
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("info", help="inspect a PFPL stream header")
     p.add_argument("input")
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "stats",
+        help="round-trip a raw float file in memory and report telemetry",
+    )
+    p.add_argument("input")
+    p.add_argument("--mode", choices=("abs", "rel", "noa"), default="abs")
+    p.add_argument("--bound", type=float, default=1e-3)
+    p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument(
+        "--format", choices=("table", "json", "prom"), default="table",
+        help="report format: human table, JSON summary, or Prometheus text",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="also write the Chrome trace_event JSON timeline",
+    )
+    p.add_argument(
+        "--drift", action="store_true",
+        help="compare measured per-stage bytes against the analytic "
+             "profile_chunk model (exit 1 on divergence)",
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("verify", help="check a reconstruction against a bound")
     p.add_argument("original")
@@ -188,6 +313,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_logging(args.verbose)
     try:
         return args.func(args)
     except PFPLError as exc:

@@ -42,6 +42,7 @@ from ..errors import (
     PFPLIntegrityError,
     PFPLTruncatedError,
 )
+from ..telemetry import NULL_TELEMETRY
 from .chunking import CHUNK_BYTES, ChunkCodec, validate_size_table
 from .floatbits import layout_for
 from .header import Header
@@ -86,17 +87,24 @@ class InlineBackend:
     """
 
     name = "inline"
+    telemetry = NULL_TELEMETRY
+    last_order: list[int] | None = None
 
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return LosslessPipeline(word_dtype, config)
 
     def make_kernel(
-        self, quantizer: Quantizer, config: PipelineConfig, chunk_bytes: int
+        self,
+        quantizer: Quantizer,
+        config: PipelineConfig,
+        chunk_bytes: int,
+        telemetry=NULL_TELEMETRY,
     ) -> ChunkKernel:
         pipeline = self.make_pipeline(quantizer.layout.uint_dtype, config)
-        return ChunkKernel(quantizer, pipeline, chunk_bytes)
+        return ChunkKernel(quantizer, pipeline, chunk_bytes, telemetry=telemetry)
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
+        self.last_order = list(range(len(items)))
         return [fn(item) for item in items]
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
@@ -145,7 +153,7 @@ class CompressionResult:
         return self.lossless_values / self.total_values if self.total_values else 0.0
 
 
-def _kernel_for_header(header: Header, backend) -> ChunkKernel:
+def _kernel_for_header(header: Header, backend, telemetry=NULL_TELEMETRY) -> ChunkKernel:
     """Rebuild the decode-side fused kernel a stream's header describes.
 
     Header fields come from untrusted bytes, so a quantizer rejecting its
@@ -174,7 +182,7 @@ def _kernel_for_header(header: Header, backend) -> ChunkKernel:
     # Honor the stream's chunk geometry (the paper's default is 16 kB;
     # the chunk-size ablation writes other sizes).
     chunk_bytes = header.words_per_chunk * layout.uint_dtype.itemsize
-    return backend.make_kernel(quantizer, config, chunk_bytes)
+    return backend.make_kernel(quantizer, config, chunk_bytes, telemetry=telemetry)
 
 
 class PFPLCompressor:
@@ -197,6 +205,11 @@ class PFPLCompressor:
         (one checksum for the header + size table, one per chunk) so
         decoders detect bit-rot instead of reconstructing from it.  The
         default keeps the version-1 byte-identical format.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` recording per-chunk
+        per-stage spans and codec counters; the default null telemetry
+        costs one attribute check per instrumented site and leaves the
+        output bytes untouched.
     """
 
     def __init__(
@@ -208,6 +221,7 @@ class PFPLCompressor:
         config: PipelineConfig | None = None,
         chunk_bytes: int | None = None,
         checksum: bool = False,
+        telemetry=None,
     ):
         self.mode = mode
         self.error_bound = float(error_bound)
@@ -216,6 +230,14 @@ class PFPLCompressor:
         self.config = config or PipelineConfig()
         self.chunk_bytes = chunk_bytes or CHUNK_BYTES
         self.checksum = bool(checksum)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        if self.telemetry.enabled and not getattr(
+            self.backend, "telemetry", NULL_TELEMETRY
+        ).enabled:
+            # Let the backend attribute queue-wait / execution spans to
+            # the same recorder (a backend configured with its own
+            # telemetry keeps it).
+            self.backend.telemetry = self.telemetry
         # Validate the bound eagerly (cheap, catches bad eps before data).
         make_quantizer(mode, self.error_bound, dtype=self.layout.float_dtype)
 
@@ -223,20 +245,39 @@ class PFPLCompressor:
 
     def compress(self, data: np.ndarray) -> CompressionResult:
         """Compress ``data`` and return the stream + statistics."""
+        tel = self.telemetry
         flat = np.ascontiguousarray(data, dtype=self.layout.float_dtype).reshape(-1)
         quantizer = make_quantizer(
             self.mode, self.error_bound, dtype=self.layout.float_dtype
         )
         # Global pre-pass (NOA's min/max reduction; no-op for ABS/REL):
         # after this every chunk kernel is pure and order-independent.
-        params = quantizer.prepare(flat)
-        kernel = self.backend.make_kernel(quantizer, self.config, self.chunk_bytes)
+        if tel.enabled:
+            with tel.span("prepare", cat="codec", mode=self.mode, values=flat.size):
+                params = quantizer.prepare(flat)
+        else:
+            params = quantizer.prepare(flat)
+        kernel = self.backend.make_kernel(
+            quantizer, self.config, self.chunk_bytes, telemetry=tel
+        )
         plan = kernel.plan(flat.size)
 
         slices = [
             flat[slice(*plan.chunk_value_bounds(i))] for i in range(plan.n_chunks)
         ]
-        results = self.backend.map_chunks(kernel.encode_chunk, slices)
+        if tel.enabled:
+            def encode_one(item):
+                index, float_slice = item
+                with tel.chunk(index), tel.span(
+                    "chunk_encode", cat="chunk", values=int(float_slice.size)
+                ) as sp:
+                    blob, raw, st = kernel.encode_chunk(float_slice)
+                    sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
+                return blob, raw, st
+
+            results = self.backend.map_chunks(encode_one, list(enumerate(slices)))
+        else:
+            results = self.backend.map_chunks(kernel.encode_chunk, slices)
         blobs = [blob for blob, _raw, _st in results]
         raw_flags = [raw for _blob, raw, _st in results]
         stats = sum((st for _b, _r, st in results), ChunkStats())
@@ -263,7 +304,15 @@ class PFPLCompressor:
             # The footer rides as one extra blob so assembly stays a single
             # scatter into the preallocated buffer.
             blobs = blobs + [_crc_footer(prefix, blobs)]
-        stream = self.backend.assemble(prefix, blobs)
+        if tel.enabled:
+            with tel.span(
+                "assemble", cat="encode",
+                bytes_in=sum(len(b) for b in blobs) + len(prefix),
+            ) as sp:
+                stream = self.backend.assemble(prefix, blobs)
+                sp.set(bytes_out=len(stream))
+        else:
+            stream = self.backend.assemble(prefix, blobs)
         return CompressionResult(
             data=stream,
             original_bytes=flat.nbytes,
@@ -301,7 +350,7 @@ class PFPLCompressor:
                 + "; ".join(problems)
                 + "); use repro.core.decompress() for self-describing decode"
             )
-        return decompress(stream, backend=self.backend)
+        return decompress(stream, backend=self.backend, telemetry=self.telemetry)
 
 
 def compress(
@@ -311,6 +360,7 @@ def compress(
     backend=None,
     config: PipelineConfig | None = None,
     checksum: bool = False,
+    telemetry=None,
 ) -> bytes:
     """One-shot convenience wrapper; returns just the compressed bytes.
 
@@ -336,12 +386,17 @@ def compress(
         )
     comp = PFPLCompressor(
         mode=mode, error_bound=error_bound, dtype=arr.dtype,
-        backend=backend, config=config, checksum=checksum,
+        backend=backend, config=config, checksum=checksum, telemetry=telemetry,
     )
     return comp.compress(arr).data
 
 
-def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np.ndarray:
+def decompress(
+    stream: bytes,
+    backend=None,
+    out: np.ndarray | None = None,
+    telemetry=None,
+) -> np.ndarray:
     """Decompress a PFPL stream into a 1-D array of the original dtype.
 
     The stream is self-describing: mode, bound, dtype, NOA range and the
@@ -354,9 +409,10 @@ def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np
     output array plus chunk-sized temporaries.
     """
     backend = backend or InlineBackend()
+    tel = telemetry or NULL_TELEMETRY
     header = Header.unpack(stream).validate()
 
-    kernel = _kernel_for_header(header, backend)
+    kernel = _kernel_for_header(header, backend, telemetry=tel)
     plan = kernel.plan(header.count)
     if plan.n_chunks != header.n_chunks or plan.words_per_chunk != header.words_per_chunk:
         raise PFPLFormatError("corrupt PFPL header: chunk plan mismatch")
@@ -404,5 +460,14 @@ def decompress(stream: bytes, backend=None, out: np.ndarray | None = None) -> np
         vlo, vhi = plan.chunk_value_bounds(index)
         kernel.decode_chunk(blob, vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi])
 
-    backend.map_chunks(decode_one, list(range(plan.n_chunks)), costs=sizes)
+    if tel.enabled:
+        def decode_traced(index: int) -> None:
+            with tel.chunk(index), tel.span(
+                "chunk_decode", cat="chunk", bytes_in=int(sizes[index])
+            ):
+                decode_one(index)
+
+        backend.map_chunks(decode_traced, list(range(plan.n_chunks)), costs=sizes)
+    else:
+        backend.map_chunks(decode_one, list(range(plan.n_chunks)), costs=sizes)
     return out

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import PFPLError, PFPLIntegrityError
+from ..telemetry import NULL_TELEMETRY
 from .chunking import CHUNK_BYTES, ChunkCodec, ChunkPlan
 from .lossless.pipeline import LosslessPipeline
 from .quantizers import Quantizer
@@ -79,6 +80,7 @@ class ChunkKernel:
         quantizer: Quantizer,
         pipeline: LosslessPipeline,
         chunk_bytes: int = CHUNK_BYTES,
+        telemetry=NULL_TELEMETRY,
     ):
         if np.dtype(pipeline.word_dtype) != quantizer.layout.uint_dtype:
             raise TypeError(
@@ -90,6 +92,11 @@ class ChunkKernel:
         self.codec = ChunkCodec(pipeline, chunk_bytes)
         self.chunk_bytes = chunk_bytes
         self.words_per_chunk = chunk_bytes // self.layout.uint_dtype.itemsize
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            # The lossless stages record their own spans through the
+            # shared pipeline object (null telemetry otherwise).
+            pipeline.telemetry = telemetry
 
     # -- planning ------------------------------------------------------------
 
@@ -113,8 +120,24 @@ class ChunkKernel:
             words = np.empty(n_words, dtype=self.layout.uint_dtype)
         else:
             words = np.zeros(n_words, dtype=self.layout.uint_dtype)
-        n_lossless = self.quantizer.encode_into(float_slice, words[:n])
+        tel = self.telemetry
+        if not tel.enabled:
+            n_lossless = self.quantizer.encode_into(float_slice, words[:n])
+            blob, raw = self.codec.encode_chunk(words)
+            return blob, raw, ChunkStats(total=n, lossless=n_lossless, raw_chunks=int(raw))
+        word_bytes = n * self.layout.uint_dtype.itemsize
+        with tel.span("quantize", cat="encode",
+                      bytes_in=float_slice.nbytes, bytes_out=word_bytes) as sp:
+            n_lossless = self.quantizer.encode_into(float_slice, words[:n])
+            sp.set(outliers=n_lossless)
         blob, raw = self.codec.encode_chunk(words)
+        tel.add("chunks_encoded_total")
+        tel.add("values_encoded_total", n)
+        tel.add("outlier_values_total", n_lossless)
+        tel.add("chunk_bytes_in_total", float_slice.nbytes)
+        tel.add("chunk_bytes_out_total", len(blob))
+        if raw:
+            tel.add("raw_chunks_total")
         return blob, raw, ChunkStats(total=n, lossless=n_lossless, raw_chunks=int(raw))
 
     def decode_chunk(
@@ -138,11 +161,22 @@ class ChunkKernel:
         ever see :class:`~repro.errors.PFPLError` subclasses.
         """
         n_words = _padded_words(n_values)
+        tel = self.telemetry
         try:
             words = self.codec.decode_chunk(blob, n_words, is_raw)
             if out is None:
                 out = np.empty(n_values, dtype=self.layout.float_dtype)
-            self.quantizer.decode_into(words[:n_values], out)
+            if tel.enabled:
+                word_bytes = n_values * self.layout.uint_dtype.itemsize
+                with tel.span("dequantize", cat="decode",
+                              bytes_in=word_bytes, bytes_out=out.nbytes):
+                    self.quantizer.decode_into(words[:n_values], out)
+                tel.add("chunks_decoded_total")
+                tel.add("values_decoded_total", n_values)
+                if is_raw:
+                    tel.add("raw_chunks_decoded_total")
+            else:
+                self.quantizer.decode_into(words[:n_values], out)
         except PFPLError:
             raise
         except (ValueError, TypeError, IndexError, KeyError, OverflowError) as exc:

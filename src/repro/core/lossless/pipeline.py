@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import PFPLIntegrityError
+from ...telemetry import NULL_TELEMETRY
 from .bitshuffle import bitshuffle, bitunshuffle
 from .delta import delta_decode, delta_encode
 from .zerobyte import DEFAULT_LEVELS, compress_bytes, decompress_bytes
@@ -60,6 +61,9 @@ class LosslessPipeline:
         Stage toggles for ablations.
     """
 
+    #: Telemetry sink (null object by default: one attribute check when off).
+    telemetry = NULL_TELEMETRY
+
     def __init__(self, word_dtype=np.uint32, config: PipelineConfig | None = None):
         self.word_dtype = np.dtype(word_dtype)
         if self.word_dtype not in (np.dtype(np.uint32), np.dtype(np.uint64)):
@@ -68,6 +72,9 @@ class LosslessPipeline:
 
     def encode_chunk(self, words: np.ndarray) -> bytes:
         """Compress one chunk of words (count must be a multiple of 8)."""
+        tel = self.telemetry
+        if tel.enabled:
+            return self._encode_chunk_traced(words, tel)
         words = np.ascontiguousarray(words, dtype=self.word_dtype)
         cfg = self.config
         if cfg.use_delta:
@@ -80,8 +87,39 @@ class LosslessPipeline:
             return compress_bytes(stream, levels=cfg.bitmap_levels)
         return stream.tobytes()
 
+    def _encode_chunk_traced(self, words: np.ndarray, tel) -> bytes:
+        """The encode path with one span (timing + byte traffic) per stage.
+
+        Byte accounting follows :func:`repro.device.profile.profile_chunk`
+        so the drift check can compare measured against analytic exactly:
+        delta is word-size-preserving, bitshuffle maps words to one byte
+        plane stream of equal size, zero elimination is the only stage
+        that shrinks.
+        """
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        cfg = self.config
+        if cfg.use_delta:
+            with tel.span("delta+negabinary", cat="encode",
+                          bytes_in=words.nbytes, bytes_out=words.nbytes):
+                words = delta_encode(words)
+        if cfg.use_bitshuffle:
+            with tel.span("bitshuffle", cat="encode", bytes_in=words.nbytes) as sp:
+                stream = bitshuffle(words)
+                sp.set(bytes_out=stream.size)
+        else:
+            stream = words.view(np.uint8)
+        if cfg.use_zero_elim:
+            with tel.span("zero-elim", cat="encode", bytes_in=stream.size) as sp:
+                blob = compress_bytes(stream, levels=cfg.bitmap_levels)
+                sp.set(bytes_out=len(blob))
+            return blob
+        return stream.tobytes()
+
     def decode_chunk(self, blob, n_words: int) -> np.ndarray:
         """Decompress one chunk back into ``n_words`` words."""
+        tel = self.telemetry
+        if tel.enabled:
+            return self._decode_chunk_traced(blob, n_words, tel)
         cfg = self.config
         n_bytes = n_words * self.word_dtype.itemsize
         if cfg.use_zero_elim:
@@ -101,4 +139,34 @@ class LosslessPipeline:
             words = np.ascontiguousarray(stream).view(self.word_dtype).copy()
         if cfg.use_delta:
             words = delta_decode(words)
+        return words
+
+    def _decode_chunk_traced(self, blob, n_words: int, tel) -> np.ndarray:
+        """The decode path with one span per inverse stage."""
+        cfg = self.config
+        n_bytes = n_words * self.word_dtype.itemsize
+        if cfg.use_zero_elim:
+            blob_len = blob.nbytes if hasattr(blob, "nbytes") else len(blob)
+            with tel.span("zero-restore", cat="decode",
+                          bytes_in=blob_len, bytes_out=n_bytes):
+                stream = decompress_bytes(blob, n_bytes, levels=cfg.bitmap_levels)
+        else:
+            if isinstance(blob, np.ndarray):
+                stream = np.ascontiguousarray(blob).view(np.uint8).reshape(-1)
+            else:
+                stream = np.frombuffer(blob, dtype=np.uint8)
+            if stream.size != n_bytes:
+                raise PFPLIntegrityError(
+                    f"chunk holds {stream.size} bytes, expected {n_bytes}"
+                )
+        if cfg.use_bitshuffle:
+            with tel.span("bitunshuffle", cat="decode",
+                          bytes_in=stream.size, bytes_out=n_bytes):
+                words = bitunshuffle(stream, n_words, self.word_dtype)
+        else:
+            words = np.ascontiguousarray(stream).view(self.word_dtype).copy()
+        if cfg.use_delta:
+            with tel.span("delta-decode", cat="decode",
+                          bytes_in=words.nbytes, bytes_out=words.nbytes):
+                words = delta_decode(words)
         return words

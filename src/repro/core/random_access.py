@@ -41,6 +41,7 @@ from ..errors import (
     PFPLIntegrityError,
     PFPLTruncatedError,
 )
+from ..telemetry import NULL_TELEMETRY
 from .chunking import ChunkCodec, validate_size_table
 from .compressor import InlineBackend, _kernel_for_header
 from .header import HEADER_BYTES, Header
@@ -116,10 +117,15 @@ class StreamDecoder:
         (:meth:`decode_range` / :meth:`decode_all` dispatch fully-covered
         chunks through ``backend.map_chunks`` with the size table as the
         cost model).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`: records one ``fetch``
+        span (source bytes read) and one ``chunk_decode`` span per chunk
+        decoded, plus the per-stage spans of the fused kernel.
     """
 
-    def __init__(self, source, backend=None):
+    def __init__(self, source, backend=None, telemetry=None):
         self._backend = backend or InlineBackend()
+        self._telemetry = telemetry or NULL_TELEMETRY
         if isinstance(source, (bytes, bytearray, memoryview)):
             self._source = _BytesSource(source)
         elif hasattr(source, "seekable") and source.seekable():
@@ -136,7 +142,9 @@ class StreamDecoder:
         )
         table = np.frombuffer(table_bytes, dtype="<u4")
         self._sizes, self._raw_flags, _ = ChunkCodec.parse_size_table(table)
-        self._kernel = _kernel_for_header(self.header, self._backend)
+        self._kernel = _kernel_for_header(
+            self.header, self._backend, telemetry=self._telemetry
+        )
         self._plan = self._kernel.plan(self.header.count)
         if (self._plan.n_chunks != self.header.n_chunks
                 or self._plan.words_per_chunk != self.header.words_per_chunk):
@@ -191,6 +199,9 @@ class StreamDecoder:
         """Decode one chunk, fetching only that chunk's bytes."""
         if index < 0 or index >= self._plan.n_chunks:
             raise IndexError(f"chunk {index} out of range [0, {self._plan.n_chunks})")
+        tel = self._telemetry
+        if tel.enabled:
+            return self._decode_chunk_traced(index, out, tel)
         blob = self._source.fetch(int(self._starts[index]), int(self._sizes[index]))
         if (self._chunk_crcs is not None
                 and zlib.crc32(blob) != int(self._chunk_crcs[index])):
@@ -200,6 +211,24 @@ class StreamDecoder:
         return self._kernel.decode_chunk(
             blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
         )
+
+    def _decode_chunk_traced(self, index: int, out, tel) -> np.ndarray:
+        """Decode one chunk with fetch + decode spans (and chunk scope)."""
+        size = int(self._sizes[index])
+        with tel.chunk(index):
+            with tel.span("fetch", cat="io", bytes=size):
+                blob = self._source.fetch(int(self._starts[index]), size)
+            tel.add("fetch_bytes_total", size)
+            tel.add("fetches_total")
+            with tel.span("chunk_decode", cat="chunk", bytes_in=size):
+                if (self._chunk_crcs is not None
+                        and zlib.crc32(blob) != int(self._chunk_crcs[index])):
+                    raise PFPLIntegrityError(
+                        f"chunk {index} checksum mismatch (stream corrupted)"
+                    )
+                return self._kernel.decode_chunk(
+                    blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
+                )
 
     def iter_chunks(self) -> Iterator[np.ndarray]:
         """Yield every chunk's values in order, one chunk resident at a time."""
@@ -258,17 +287,17 @@ def chunk_count(stream: bytes) -> int:
     return Header.unpack(stream).n_chunks
 
 
-def decompress_chunk(stream: bytes, index: int, backend=None) -> np.ndarray:
+def decompress_chunk(stream: bytes, index: int, backend=None, telemetry=None) -> np.ndarray:
     """Decode a single chunk's values (the last chunk may be shorter)."""
-    return StreamDecoder(stream, backend).decode_chunk(index)
+    return StreamDecoder(stream, backend, telemetry=telemetry).decode_chunk(index)
 
 
 def decompress_range(
-    stream: bytes, start: int, count: int, backend=None
+    stream: bytes, start: int, count: int, backend=None, telemetry=None
 ) -> np.ndarray:
     """Reconstruct ``count`` values beginning at index ``start``.
 
     Decodes only the overlapping chunks; everything else is skipped via
     the size table.
     """
-    return StreamDecoder(stream, backend).decode_range(start, count)
+    return StreamDecoder(stream, backend, telemetry=telemetry).decode_range(start, count)

@@ -16,6 +16,8 @@ GpuSimBackend   PFPL CUDA             wave of "thread blocks"     decoupled look
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -24,6 +26,7 @@ import numpy as np
 from ..core.kernel import ChunkKernel
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
 from ..core.quantizers import Quantizer
+from ..telemetry import NULL_TELEMETRY
 from .gpu_sim import GpuLosslessPipeline
 from .prefix_sum import (
     carry_array_scan,
@@ -55,6 +58,15 @@ class Backend:
 
     name = "abstract"
     device: DeviceSpec | None = None
+    #: Telemetry sink for scheduling spans (queue wait, worker execution);
+    #: the null default keeps ``map_chunks`` on its uninstrumented path.
+    telemetry = NULL_TELEMETRY
+    #: Order in which the last ``map_chunks`` call actually *started*
+    #: items (item positions).  For the serial backends this is identity;
+    #: the threaded backend records what its pool really did, so the
+    #: simulated :class:`~repro.device.scheduler.ScheduleResult.order`
+    #: can be checked against reality.
+    last_order: list[int] | None = None
 
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return LosslessPipeline(word_dtype, config)
@@ -64,10 +76,11 @@ class Backend:
         quantizer: Quantizer,
         config: PipelineConfig,
         chunk_bytes: int,
+        telemetry=NULL_TELEMETRY,
     ) -> ChunkKernel:
         """Build the fused per-chunk kernel with this backend's pipeline."""
         pipeline = self.make_pipeline(quantizer.layout.uint_dtype, config)
-        return ChunkKernel(quantizer, pipeline, chunk_bytes)
+        return ChunkKernel(quantizer, pipeline, chunk_bytes, telemetry=telemetry)
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         """Run ``fn`` over ``items``; results in item order.
@@ -109,10 +122,12 @@ class SerialBackend(Backend):
 
     name = "cpu-serial"
 
-    def __init__(self, device: DeviceSpec = THREADRIPPER_2950X):
+    def __init__(self, device: DeviceSpec = THREADRIPPER_2950X, telemetry=NULL_TELEMETRY):
         self.device = device
+        self.telemetry = telemetry
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
+        self.last_order = list(range(len(items)))
         return [fn(item) for item in items]
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
@@ -130,21 +145,57 @@ class ThreadedBackend(Backend):
 
     name = "cpu-omp"
 
-    def __init__(self, n_threads: int | None = None, device: DeviceSpec = THREADRIPPER_2950X):
+    def __init__(
+        self,
+        n_threads: int | None = None,
+        device: DeviceSpec = THREADRIPPER_2950X,
+        telemetry=NULL_TELEMETRY,
+    ):
         self.device = device
         self.n_threads = n_threads or min(16, os.cpu_count() or 1)
+        self.telemetry = telemetry
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
-        if len(items) <= 1:
+        n = len(items)
+        if n <= 1:
+            self.last_order = list(range(n))
             return [fn(item) for item in items]
+        tel = self.telemetry
+        # The order items actually *began* executing across pool workers
+        # -- the ground truth the scheduler simulation is checked against.
+        order_record: list[int] = []
+        record_lock = threading.Lock()
+        t_submit = time.perf_counter()
+
+        def run(index: int, item) -> object:
+            t0 = time.perf_counter()
+            with record_lock:
+                order_record.append(index)
+            if not tel.enabled:
+                return fn(item)
+            # Pool worker names end in "_<i>": a stable dense worker id.
+            worker = threading.current_thread().name.rsplit("_", 1)[-1]
+            wait = t0 - t_submit
+            with tel.span("chunk_exec", cat="scheduler", item=index,
+                          queue_wait=wait, worker=worker):
+                result = fn(item)
+            busy = time.perf_counter() - t0
+            tel.add("worker_queue_wait_seconds_total", wait, worker=worker)
+            tel.add("worker_busy_seconds_total", busy, worker=worker)
+            tel.add("worker_items_total", 1, worker=worker)
+            return result
+
         with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
             if costs is None:
-                return list(pool.map(fn, items))
-            # Known costs (e.g. the decode size table): feed the shared
-            # queue longest-first; results still land by original index.
-            order = submission_order(costs)
-            futures = {int(i): pool.submit(fn, items[int(i)]) for i in order}
-            return [futures[i].result() for i in range(len(items))]
+                results = list(pool.map(run, range(n), items))
+            else:
+                # Known costs (e.g. the decode size table): feed the shared
+                # queue longest-first; results still land by original index.
+                order = submission_order(costs)
+                futures = {int(i): pool.submit(run, int(i), items[int(i)]) for i in order}
+                results = [futures[i].result() for i in range(n)]
+        self.last_order = order_record
+        return results
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         return carry_array_scan(np.asarray(sizes, dtype=np.int64), self.n_threads)
@@ -161,8 +212,9 @@ class GpuSimBackend(Backend):
 
     name = "gpu-cuda-sim"
 
-    def __init__(self, device: DeviceSpec = RTX_4090):
+    def __init__(self, device: DeviceSpec = RTX_4090, telemetry=NULL_TELEMETRY):
         self.device = device
+        self.telemetry = telemetry
         # Resident "blocks" per wave scales with SM count, as on hardware.
         self.wave = max(4, device.parallel_units // 8)
 
@@ -173,6 +225,7 @@ class GpuSimBackend(Backend):
         # Blocks launch in id order regardless of cost estimates, as on
         # hardware: the GPU's load balance comes from over-subscription
         # (many more blocks than SMs), not queue reordering.
+        self.last_order = list(range(len(items)))
         results: list = [None] * len(items)
         for wave_start in range(0, len(items), self.wave):
             for i in range(wave_start, min(len(items), wave_start + self.wave)):

@@ -104,6 +104,9 @@ def profile_chunk(
     """
     values = np.ascontiguousarray(values).reshape(-1)
     quantizer = make_quantizer(mode, error_bound, dtype=values.dtype)
+    # Resolve mode-global state exactly like the codec does (NOA's
+    # min/max reduction; no-op for ABS/REL) so all three modes profile.
+    quantizer.prepare(values)
     n = values.size
     word_bytes = values.dtype.itemsize
     width = word_bytes * 8

@@ -42,32 +42,45 @@ class ScheduleResult:
         return self.makespan / mean if mean > 0 else 1.0
 
 
-def dynamic_schedule(costs: np.ndarray, n_workers: int) -> ScheduleResult:
+def dynamic_schedule(
+    costs: np.ndarray, n_workers: int, order=None
+) -> ScheduleResult:
     """Greedy pull-based scheduling: idle worker takes the next chunk.
 
-    Chunks are consumed in index order (the shared atomic counter), so
-    the result is deterministic given the costs.
+    Chunks are consumed in index order by default (the shared atomic
+    counter), so the result is deterministic given the costs.  Pass
+    ``order`` (a permutation of chunk indices) to model a queue fed in a
+    different order -- e.g. :func:`submission_order`'s longest-first
+    feed, which is what :class:`~repro.device.backend.ThreadedBackend`
+    actually submits; its recorded ``last_order`` can then be compared
+    against the returned :attr:`ScheduleResult.order` directly.
     """
     costs = np.asarray(costs, dtype=np.float64)
     n = costs.size
     n_workers = max(1, n_workers)
+    if order is None:
+        queue = range(n)
+    else:
+        queue = [int(i) for i in order]
+        if sorted(queue) != list(range(n)):
+            raise ValueError("order must be a permutation of the chunk indices")
     assignment = np.zeros(n, dtype=np.int64)
     start_times = np.zeros(n, dtype=np.float64)
     finish = np.zeros(n_workers, dtype=np.float64)
-    order: list[int] = []
+    exec_order: list[int] = []
 
     # (available_time, worker) heap: the earliest-free worker claims next.
     heap = [(0.0, w) for w in range(n_workers)]
     heapq.heapify(heap)
-    for i in range(n):
+    for i in queue:
         t, w = heapq.heappop(heap)
         assignment[i] = w
         start_times[i] = t
         t2 = t + float(costs[i])
         finish[w] = t2
         heapq.heappush(heap, (t2, w))
-        order.append(i)
-    return ScheduleResult(assignment, start_times, finish, order)
+        exec_order.append(i)
+    return ScheduleResult(assignment, start_times, finish, exec_order)
 
 
 def submission_order(costs: np.ndarray) -> np.ndarray:

@@ -1,5 +1,6 @@
 """Benchmark harness: grid runner, Pareto fronts, figure regeneration."""
 
+from .drift import DriftReport, StageDrift, drift_check
 from .features import TABLE3_EXPECTED, feature_matrix, render_table3
 from .figures import FIGURES, FigureData, FigureSpec, Variant, clear_cache, figure_data
 from .pareto import ParetoPoint, is_dominated, pareto_front
@@ -15,6 +16,9 @@ from .runner import (
 )
 
 __all__ = [
+    "DriftReport",
+    "StageDrift",
+    "drift_check",
     "feature_matrix",
     "render_table3",
     "TABLE3_EXPECTED",

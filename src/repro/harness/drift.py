@@ -1,0 +1,214 @@
+"""Measured-vs-analytic drift check for the per-stage profiling story.
+
+:func:`repro.device.profile.profile_chunk` *predicts* the byte traffic
+and operation mix of each pipeline stage (the Section V-F account: one
+DRAM read, compute concentrated in the middle lossless stages).  This
+module runs the *real* codec with telemetry enabled and compares:
+
+* **byte traffic** -- the telemetry counters ``stage_bytes_in_total`` /
+  ``stage_bytes_out_total`` must agree with the analytic model
+  *exactly*, stage by stage.  Any disagreement means either the model or
+  the instrumentation mis-accounts the pipeline, so the check is a
+  regression test for both.
+* **ops vs time** -- the analytic operation estimates cannot be checked
+  exactly against wall-clock (Python overhead is not the paper's GPU),
+  so the report shows each stage's *share* of estimated ops next to its
+  *share* of measured seconds.  Large divergence localizes where the
+  Python realization departs from the paper's cost story.
+
+The comparison requires the analytic and measured pipelines to see the
+same chunk boundaries, so :func:`drift_check` profiles each chunk slice
+of the input separately with the codec's own geometry.  The input length
+must be a multiple of 8 values (otherwise the kernel's shuffle padding
+makes the tail chunk's delta-stage traffic differ from the unpadded
+analytic model by construction).
+
+NOA mode resolves its global range per :func:`profile_chunk` call, so
+only single-chunk inputs drift-check cleanly under ``mode="noa"``;
+ABS/REL are chunk-local and check at any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.chunking import CHUNK_BYTES
+from ..core.compressor import PFPLCompressor
+from ..device.profile import profile_chunk
+from ..telemetry import Telemetry
+
+__all__ = ["StageDrift", "DriftReport", "drift_check"]
+
+#: analytic stage-name prefixes -> canonical telemetry stage names
+_STAGE_ALIASES = {
+    "quantize": "quantize",
+    "delta+negabin": "delta+negabinary",
+    "bitshuffle": "bitshuffle",
+    "zero-elim": "zero-elim",
+}
+
+
+def _canonical(analytic_name: str) -> str:
+    """Map ``quantize[abs]`` / ``delta+negabin`` to the telemetry name."""
+    for prefix, canon in _STAGE_ALIASES.items():
+        if analytic_name.startswith(prefix):
+            return canon
+    return analytic_name
+
+
+@dataclass(frozen=True)
+class StageDrift:
+    """One stage's measured-vs-analytic comparison."""
+
+    stage: str
+    measured_bytes_in: int
+    measured_bytes_out: int
+    analytic_bytes_in: int
+    analytic_bytes_out: int
+    measured_seconds: float
+    analytic_ops: int
+
+    @property
+    def bytes_match(self) -> bool:
+        return (self.measured_bytes_in == self.analytic_bytes_in
+                and self.measured_bytes_out == self.analytic_bytes_out)
+
+
+@dataclass
+class DriftReport:
+    """Whole-pipeline drift report for one compression run."""
+
+    mode: str
+    error_bound: float
+    n_chunks: int
+    n_values: int
+    stages: list[StageDrift] = field(default_factory=list)
+
+    @property
+    def bytes_ok(self) -> bool:
+        """True when every stage's byte accounting matches exactly."""
+        return all(s.bytes_match for s in self.stages)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.measured_seconds for s in self.stages)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.analytic_ops for s in self.stages)
+
+    def time_share(self, stage: StageDrift) -> float:
+        return stage.measured_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def ops_share(self, stage: StageDrift) -> float:
+        return stage.analytic_ops / self.total_ops if self.total_ops else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready digest (used by ``pfpl stats --drift`` and CI)."""
+        return {
+            "mode": self.mode,
+            "error_bound": self.error_bound,
+            "n_chunks": self.n_chunks,
+            "n_values": self.n_values,
+            "bytes_ok": self.bytes_ok,
+            "stages": [
+                {
+                    "stage": s.stage,
+                    "bytes_match": s.bytes_match,
+                    "measured_bytes_in": s.measured_bytes_in,
+                    "measured_bytes_out": s.measured_bytes_out,
+                    "analytic_bytes_in": s.analytic_bytes_in,
+                    "analytic_bytes_out": s.analytic_bytes_out,
+                    "measured_seconds": s.measured_seconds,
+                    "analytic_ops": s.analytic_ops,
+                    "time_share": self.time_share(s),
+                    "ops_share": self.ops_share(s),
+                }
+                for s in self.stages
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"drift check: mode={self.mode} bound={self.error_bound:g} "
+            f"({self.n_values} values, {self.n_chunks} chunks)",
+            f"  {'stage':<18} {'bytes in':>10} {'bytes out':>10} "
+            f"{'match':>6} {'ops%':>6} {'time%':>6}",
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  {s.stage:<18} {s.measured_bytes_in:>10,} "
+                f"{s.measured_bytes_out:>10,} "
+                f"{'ok' if s.bytes_match else 'DRIFT':>6} "
+                f"{self.ops_share(s) * 100:>5.1f} {self.time_share(s) * 100:>5.1f}"
+            )
+        verdict = "exact" if self.bytes_ok else "DIVERGED"
+        lines.append(f"  byte accounting vs profile_chunk: {verdict}")
+        return "\n".join(lines)
+
+
+def drift_check(
+    values: np.ndarray,
+    mode: str = "abs",
+    error_bound: float = 1e-3,
+    chunk_bytes: int | None = None,
+) -> DriftReport:
+    """Compress ``values`` with telemetry on and diff against the model.
+
+    Returns a :class:`DriftReport` whose :attr:`~DriftReport.bytes_ok`
+    asserts the paper's byte-accounting claims against the live codec.
+    """
+    values = np.ascontiguousarray(values).reshape(-1)
+    if values.size == 0:
+        raise ValueError("drift_check needs a non-empty input")
+    if values.size % 8:
+        raise ValueError(
+            "drift_check input length must be a multiple of 8 values "
+            "(shuffle padding makes the tail chunk incomparable otherwise)"
+        )
+    chunk_bytes = chunk_bytes or CHUNK_BYTES
+
+    tel = Telemetry()
+    comp = PFPLCompressor(
+        mode=mode, error_bound=error_bound, dtype=values.dtype,
+        chunk_bytes=chunk_bytes, telemetry=tel,
+    )
+    comp.compress(values)
+    measured = tel.stage_table("encode")
+
+    # The analytic side walks the same chunk grid the codec used.
+    words_per_chunk = chunk_bytes // values.dtype.itemsize
+    analytic: dict[str, dict[str, int]] = {}
+    n_chunks = 0
+    for start in range(0, values.size, words_per_chunk):
+        n_chunks += 1
+        profile = profile_chunk(
+            values[start:start + words_per_chunk], mode=mode,
+            error_bound=error_bound,
+        )
+        for sp in profile.stages:
+            row = analytic.setdefault(
+                _canonical(sp.name), {"bytes_in": 0, "bytes_out": 0, "ops": 0}
+            )
+            row["bytes_in"] += sp.bytes_in
+            row["bytes_out"] += sp.bytes_out
+            row["ops"] += sp.ops
+
+    report = DriftReport(
+        mode=mode, error_bound=float(error_bound),
+        n_chunks=n_chunks, n_values=values.size,
+    )
+    for stage, model in analytic.items():
+        got = measured.get(stage, {})
+        report.stages.append(StageDrift(
+            stage=stage,
+            measured_bytes_in=int(got.get("bytes_in", 0)),
+            measured_bytes_out=int(got.get("bytes_out", 0)),
+            analytic_bytes_in=model["bytes_in"],
+            analytic_bytes_out=model["bytes_out"],
+            measured_seconds=float(got.get("seconds", 0.0)),
+            analytic_ops=model["ops"],
+        ))
+    return report

@@ -21,7 +21,10 @@ import numpy as np
 from ..baselines import ALL_COMPRESSORS, UnsupportedInput
 from ..core.verify import check_bound
 from ..datasets import SUITES, load_suite
+from ..log import get_logger
 from ..metrics import geomean, psnr
+
+log = get_logger("harness")
 
 __all__ = ["CellResult", "AggregateRow", "run_cell", "run_grid", "aggregate", "PAPER_BOUNDS"]
 
@@ -71,9 +74,14 @@ def run_cell(
         recon = comp.decompress(blob)
         t2 = time.perf_counter()
     except UnsupportedInput as exc:
+        log.debug("cell skipped: %s on %s/%s (%s)",
+                  compressor_name, suite, file_name, exc)
         return CellResult(compressor_name, suite, file_name, mode, bound,
                           None, None, None, None, note=str(exc))
     report = check_bound(mode, data, recon, bound)
+    log.debug("cell %s %s/%s %s@%g: ratio %.2f, %d violations",
+              compressor_name, suite, file_name, mode, bound,
+              data.nbytes / max(1, len(blob)), report.violations)
     return CellResult(
         compressor_name, suite, file_name, mode, bound,
         ratio=data.nbytes / max(1, len(blob)),
@@ -94,9 +102,12 @@ def run_grid(
 ) -> list[CellResult]:
     """Run the full cell grid (the workhorse behind every figure)."""
     compressors = compressors or list(ALL_COMPRESSORS)
+    log.info("grid: mode=%s, %d suites x %d compressors x %d bounds",
+             mode, len(suites), len(compressors), len(bounds))
     cells: list[CellResult] = []
     for suite in suites:
         for fname, data in load_suite(suite, n_files=n_files):
+            log.info("suite %s file %s: %d values", suite, fname, data.size)
             for comp in compressors:
                 for bound in bounds:
                     cells.append(run_cell(comp, suite, fname, data, mode, bound))

@@ -37,6 +37,7 @@ from .core.kernel import ChunkStats
 from .core.lossless.pipeline import PipelineConfig
 from .core.quantizers import make_quantizer
 from .core.random_access import StreamDecoder
+from .telemetry import NULL_TELEMETRY
 
 __all__ = ["PFPLWriter", "PFPLReader"]
 
@@ -66,6 +67,7 @@ class PFPLWriter:
         backend=None,
         config: PipelineConfig | None = None,
         checksum: bool = False,
+        telemetry=None,
     ):
         self._sink = sink
         self.mode = mode
@@ -73,6 +75,7 @@ class PFPLWriter:
         self.layout = layout_for(dtype)
         self.config = config or PipelineConfig()
         self.checksum = bool(checksum)
+        self.telemetry = telemetry or NULL_TELEMETRY
         backend = backend or InlineBackend()
 
         kwargs = {}
@@ -86,7 +89,9 @@ class PFPLWriter:
         quantizer = make_quantizer(
             mode, self.error_bound, dtype=self.layout.float_dtype, **kwargs
         )
-        self._kernel = backend.make_kernel(quantizer, self.config, CHUNK_BYTES)
+        self._kernel = backend.make_kernel(
+            quantizer, self.config, CHUNK_BYTES, telemetry=self.telemetry
+        )
         self._wpc = self._kernel.words_per_chunk
 
         # One preallocated chunk-sized staging buffer: appends copy into it
@@ -127,7 +132,15 @@ class PFPLWriter:
     # -- building ------------------------------------------------------------
 
     def _flush_chunk(self, float_slice: np.ndarray) -> None:
-        blob, raw, st = self._kernel.encode_chunk(float_slice)
+        tel = self.telemetry
+        if tel.enabled:
+            with tel.chunk(len(self._table_entries)), tel.span(
+                "chunk_encode", cat="chunk", values=int(float_slice.size)
+            ) as sp:
+                blob, raw, st = self._kernel.encode_chunk(float_slice)
+                sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
+        else:
+            blob, raw, st = self._kernel.encode_chunk(float_slice)
         self._spool.write(blob)
         self._table_entries.append(len(blob))
         self._raw_flags.append(raw)
@@ -197,13 +210,18 @@ class PFPLWriter:
             )
             table = ChunkCodec.build_size_table(self._table_entries, self._raw_flags)
             prefix = header.pack() + table.astype("<u4").tobytes()
-            self._sink.write(prefix)
-            self._spool.seek(0)
-            while True:
-                block = self._spool.read(_COPY_BLOCK_BYTES)
-                if not block:
-                    break
-                self._sink.write(block)
+            tel = self.telemetry
+            if tel.enabled:
+                # The writer's analogue of backend.assemble: draining the
+                # spool into the sink places every chunk at its offset.
+                with tel.span(
+                    "assemble", cat="encode",
+                    bytes_in=len(prefix) + self._payload_bytes,
+                    bytes_out=len(prefix) + self._payload_bytes,
+                ):
+                    self._drain_spool(prefix)
+            else:
+                self._drain_spool(prefix)
             if self.checksum:
                 crcs = np.empty(1 + len(self._chunk_crcs), dtype="<u4")
                 crcs[0] = zlib.crc32(prefix)
@@ -211,6 +229,15 @@ class PFPLWriter:
                 self._sink.write(crcs.tobytes())
         finally:
             self._spool.close()
+
+    def _drain_spool(self, prefix: bytes) -> None:
+        self._sink.write(prefix)
+        self._spool.seek(0)
+        while True:
+            block = self._spool.read(_COPY_BLOCK_BYTES)
+            if not block:
+                break
+            self._sink.write(block)
 
     def abort(self) -> None:
         """Discard staged data without writing anything to the sink."""
@@ -235,8 +262,8 @@ class PFPLReader:
     just the bytes of the chunks it needs.
     """
 
-    def __init__(self, source: BinaryIO | bytes, backend=None):
-        self._dec = StreamDecoder(source, backend)
+    def __init__(self, source: BinaryIO | bytes, backend=None, telemetry=None):
+        self._dec = StreamDecoder(source, backend, telemetry=telemetry)
         self.header = self._dec.header
 
     def __len__(self) -> int:

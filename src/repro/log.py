@@ -1,0 +1,55 @@
+"""Structured logging for the repro package.
+
+Library modules log through ``logging.getLogger("repro.<area>")`` and
+stay silent by default (a :class:`logging.NullHandler` on the package
+root, per library convention).  Applications -- and the ``pfpl`` CLI via
+its ``-v``/``--verbose`` flag -- opt in with :func:`enable_logging`.
+
+Example::
+
+    from repro.log import get_logger
+    log = get_logger("harness")
+    log.info("suite %s: %d files", suite, len(files))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_logging"]
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+#: Handler installed by :func:`enable_logging` (kept so repeated calls
+#: reconfigure instead of stacking duplicate handlers).
+_cli_handler: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The package logger, or a child of it (``repro.<name>``)."""
+    return _ROOT if not name else _ROOT.getChild(name)
+
+
+def enable_logging(verbosity: int = 1, stream=None) -> logging.Logger:
+    """Send package logs to ``stream`` (default stderr).
+
+    ``verbosity`` 0 leaves logging untouched, 1 enables INFO, and 2 or
+    more enables DEBUG -- the CLI maps ``-v``/``-vv`` straight onto it.
+    Calling again replaces the previous handler, so the function is
+    idempotent.
+    """
+    global _cli_handler
+    if verbosity <= 0:
+        return _ROOT
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    if _cli_handler is not None:
+        _ROOT.removeHandler(_cli_handler)
+    _cli_handler = handler
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
+    return _ROOT

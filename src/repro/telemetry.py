@@ -1,0 +1,404 @@
+"""Live telemetry for the codec: spans, counters, and trace export.
+
+The analytic models in :mod:`repro.device.timing` and
+:mod:`repro.device.profile` *predict* where PFPL spends its bytes and
+cycles (Section V-F: compute-bound, one DRAM read, the work in the
+middle lossless stages).  This module *measures* it: a
+:class:`Telemetry` object threaded through the codec records
+
+* **spans** -- wall-clock intervals with a name, category, worker thread
+  and free-form arguments: one per chunk per stage (``quantize``,
+  ``delta+negabinary``, ``bitshuffle``, ``zero-elim``, ``assemble`` on
+  encode; their inverses on decode), plus chunk-level, I/O-fetch and
+  scheduler spans;
+* **counters** -- monotonic labelled totals: bytes in/out per stage,
+  outlier (raw-word) counts, incompressible-fallback chunks, queue-wait
+  seconds per worker, values and chunks processed.
+
+Everything is thread-safe (backend workers record concurrently) and
+exportable three ways: a JSON summary (:meth:`Telemetry.to_json`),
+Prometheus text exposition (:meth:`Telemetry.to_prometheus`), and Chrome
+``trace_event`` JSON (:meth:`Telemetry.chrome_trace`) with one track per
+worker thread -- loadable in Perfetto / ``chrome://tracing``.
+
+The default telemetry everywhere is :data:`NULL_TELEMETRY`, a null
+object whose ``enabled`` attribute is ``False``: instrumented hot paths
+pay exactly one attribute check and then run the identical pre-telemetry
+code, so output bytes and timing are unchanged when telemetry is off.
+
+Example::
+
+    from repro import Telemetry, compress
+
+    tel = Telemetry()
+    blob = compress(data, mode="abs", error_bound=1e-3, telemetry=tel)
+    print(tel.to_prometheus())
+    tel.write_chrome_trace("compress.trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "SpanRecord",
+    "parse_prometheus",
+]
+
+#: Stage names the encoder records, in pipeline order (matching the
+#: paper's Figure 1 and the analytic ``profile_chunk`` stages).
+ENCODE_STAGES = (
+    "quantize",
+    "delta+negabinary",
+    "bitshuffle",
+    "zero-elim",
+    "assemble",
+)
+
+#: Decode-side stage names, in execution order.
+DECODE_STAGES = (
+    "zero-restore",
+    "bitunshuffle",
+    "delta-decode",
+    "dequantize",
+)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named wall-clock interval on one thread."""
+
+    name: str
+    cat: str
+    start: float          #: seconds since the Telemetry object's epoch
+    duration: float       #: seconds
+    tid: int              #: OS thread ident the span ran on
+    args: dict = field(default_factory=dict)
+
+
+class _Span:
+    """Context manager handed out by :meth:`Telemetry.span`.
+
+    ``set(**kwargs)`` attaches results discovered mid-span (for example
+    ``bytes_out`` once the stage has produced its blob); on exit the
+    record is committed and stage counters are updated.
+    """
+
+    __slots__ = ("_tel", "name", "cat", "args", "_t0")
+
+    def __init__(self, tel: "Telemetry", name: str, cat: str, args: dict):
+        self._tel = tel
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, **kwargs) -> "_Span":
+        self.args.update(kwargs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter()
+        self._tel._commit(self, self._t0, t1 - self._t0)
+
+
+class _NullSpan:
+    """No-op span: the null telemetry's context manager (shared singleton)."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    Hot paths check :attr:`enabled` once and skip instrumentation
+    entirely; calling the recording methods anyway is still safe.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, cat: str = "codec", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def chunk(self, index: int) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1, **labels) -> None:
+        return None
+
+
+#: The process-wide disabled-telemetry singleton (the default everywhere).
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _ChunkScope:
+    """Context manager binding a chunk index to the current thread.
+
+    Nested spans recorded while the scope is active automatically carry
+    ``chunk=<index>`` in their args, so per-stage spans are attributable
+    to a chunk without threading the index through every codec call.
+    """
+
+    __slots__ = ("_local", "_index", "_prev")
+
+    def __init__(self, local: threading.local, index: int):
+        self._local = local
+        self._index = index
+
+    def __enter__(self) -> "_ChunkScope":
+        self._prev = getattr(self._local, "chunk", None)
+        self._local.chunk = self._index
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._local.chunk = self._prev
+
+
+class Telemetry:
+    """Live span + counter recorder for one or more codec operations.
+
+    Parameters
+    ----------
+    max_spans:
+        Safety cap on retained span records (counters keep aggregating
+        past it).  Spans beyond the cap are counted in
+        ``pfpl_spans_dropped_total`` rather than silently lost.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 1_000_000):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.max_spans = int(max_spans)
+        self.reset()
+
+    # -- recording -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all recorded spans and counters (epoch restarts now)."""
+        with self._lock:
+            self.epoch = time.perf_counter()
+            self.spans: list[SpanRecord] = []
+            self._counters: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+            self._dropped = 0
+
+    def span(self, name: str, cat: str = "codec", **args) -> _Span:
+        """Open a timed span; use as a context manager."""
+        return _Span(self, name, cat, args)
+
+    def chunk(self, index: int) -> _ChunkScope:
+        """Bind ``chunk=index`` to every span this thread records inside."""
+        return _ChunkScope(self._local, index)
+
+    def add(self, name: str, value: float = 1, **labels) -> None:
+        """Increment counter ``name`` (with optional labels) by ``value``."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def _commit(self, span: _Span, t0: float, duration: float) -> None:
+        args = span.args
+        chunk = getattr(self._local, "chunk", None)
+        if chunk is not None and "chunk" not in args:
+            args = dict(args, chunk=chunk)
+        rec = SpanRecord(
+            name=span.name,
+            cat=span.cat,
+            start=t0 - self.epoch,
+            duration=duration,
+            tid=threading.get_ident(),
+            args=args,
+        )
+        stage_key = None
+        if span.cat in ("encode", "decode"):
+            stage_key = (("cat", span.cat), ("stage", span.name))
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(rec)
+            else:
+                self._dropped += 1
+            if stage_key is not None:
+                c = self._counters
+                c[("stage_seconds_total", stage_key)] = (
+                    c.get(("stage_seconds_total", stage_key), 0) + duration
+                )
+                c[("stage_calls_total", stage_key)] = (
+                    c.get(("stage_calls_total", stage_key), 0) + 1
+                )
+                for attr in ("bytes_in", "bytes_out"):
+                    if attr in args:
+                        k = (f"stage_{attr}_total", stage_key)
+                        c[k] = c.get(k, 0) + args[attr]
+
+    # -- introspection -------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            return self._counters.get(key, 0)
+
+    def counters(self) -> dict[str, float]:
+        """Flat snapshot: ``name{label="v",...}`` -> value."""
+        with self._lock:
+            items = list(self._counters.items())
+        out = {}
+        for (name, labels), value in sorted(items):
+            if labels:
+                inner = ",".join(f'{k}="{v}"' for k, v in labels)
+                out[f"{name}{{{inner}}}"] = value
+            else:
+                out[name] = value
+        return out
+
+    def stage_table(self, cat: str = "encode") -> dict[str, dict[str, float]]:
+        """Per-stage aggregate: stage -> calls/seconds/bytes_in/bytes_out."""
+        with self._lock:
+            items = list(self._counters.items())
+        table: dict[str, dict[str, float]] = {}
+        for (name, labels), value in items:
+            ld = dict(labels)
+            if ld.get("cat") != cat or "stage" not in ld:
+                continue
+            row = table.setdefault(
+                ld["stage"], {"calls": 0, "seconds": 0.0, "bytes_in": 0, "bytes_out": 0}
+            )
+            if name == "stage_calls_total":
+                row["calls"] = value
+            elif name == "stage_seconds_total":
+                row["seconds"] = value
+            elif name == "stage_bytes_in_total":
+                row["bytes_in"] = value
+            elif name == "stage_bytes_out_total":
+                row["bytes_out"] = value
+        return table
+
+    def summary(self) -> dict:
+        """JSON-ready digest: counters plus per-stage encode/decode tables."""
+        with self._lock:
+            n_spans = len(self.spans)
+            dropped = self._dropped
+        return {
+            "spans": n_spans,
+            "spans_dropped": dropped,
+            "counters": self.counters(),
+            "stages": {
+                "encode": self.stage_table("encode"),
+                "decode": self.stage_table("decode"),
+            },
+        }
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The :meth:`summary` as a JSON document."""
+        return json.dumps(self.summary(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self, prefix: str = "pfpl") -> str:
+        """Prometheus text exposition format (one family per counter name).
+
+        Counter names gain the ``<prefix>_`` namespace; labels are
+        rendered sorted, so the output is deterministic and
+        :func:`parse_prometheus` round-trips it exactly.
+        """
+        with self._lock:
+            items = list(self._counters.items())
+        by_name: dict[str, list[tuple[tuple[tuple[str, str], ...], float]]] = {}
+        for (name, labels), value in items:
+            by_name.setdefault(name, []).append((labels, value))
+        lines = []
+        for name in sorted(by_name):
+            full = f"{prefix}_{name}"
+            lines.append(f"# HELP {full} repro.telemetry counter {name}")
+            lines.append(f"# TYPE {full} counter")
+            for labels, value in sorted(by_name[name]):
+                label_str = ""
+                if labels:
+                    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+                    label_str = f"{{{inner}}}"
+                if isinstance(value, float) and not value.is_integer():
+                    lines.append(f"{full}{label_str} {value!r}")
+                else:
+                    lines.append(f"{full}{label_str} {int(value)}")
+        return "\n".join(lines) + "\n"
+
+    def chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Every span becomes a complete (``"ph": "X"``) event; worker
+        threads appear as separate tracks named ``worker-N`` in first-
+        seen order, with the recording thread of each span preserved.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        tid_map: dict[int, int] = {}
+        events = []
+        for rec in spans:
+            track = tid_map.setdefault(rec.tid, len(tid_map))
+            events.append({
+                "name": rec.name,
+                "cat": rec.cat,
+                "ph": "X",
+                "ts": rec.start * 1e6,
+                "dur": rec.duration * 1e6,
+                "pid": 1,
+                "tid": track,
+                "args": rec.args,
+            })
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": track,
+                "args": {"name": f"worker-{track}"},
+            }
+            for track in sorted(tid_map.values())
+        ]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        """Serialize :meth:`chrome_trace` to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition back into a flat counter dict.
+
+    Inverse of :meth:`Telemetry.to_prometheus` for the subset it emits
+    (used by the round-trip tests): comment lines are skipped, each
+    sample line is ``name{labels} value``.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out

@@ -62,3 +62,86 @@ class TestStatic:
     def test_more_workers_than_chunks(self):
         res = static_schedule(np.ones(3), 10)
         assert res.makespan == pytest.approx(1.0)
+
+
+class TestOrderFeed:
+    """`order=` models a queue fed out of index order (e.g. longest-first)."""
+
+    def test_default_is_index_order(self):
+        costs = np.array([3.0, 1.0, 2.0])
+        res = dynamic_schedule(costs, 1)
+        assert res.order == [0, 1, 2]
+
+    def test_explicit_order_is_followed(self):
+        from repro.device.scheduler import submission_order
+
+        costs = np.array([1.0, 5.0, 3.0, 2.0])
+        feed = submission_order(costs)
+        res = dynamic_schedule(costs, 1, order=feed)
+        assert res.order == [int(i) for i in feed]
+        # One worker runs the queue back to back regardless of feed order.
+        assert res.makespan == pytest.approx(costs.sum())
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            dynamic_schedule(np.ones(4), 2, order=[0, 1, 1, 3])
+
+    def test_reordered_feed_changes_assignment(self):
+        from repro.device.scheduler import submission_order
+
+        costs = np.array([0.1, 0.1, 0.1, 0.1, 10.0, 0.1])
+        plain = dynamic_schedule(costs, 2)
+        fed = dynamic_schedule(costs, 2, order=submission_order(costs))
+        # Longest-first dispatch starts the heavy chunk immediately.
+        assert fed.order[0] == 4
+        assert fed.makespan <= plain.makespan
+
+
+class TestSimulationVsReality:
+    """The simulated order can be checked against what the pool really did."""
+
+    def test_threaded_backend_records_execution_order(self):
+        from repro.device.backend import ThreadedBackend
+        from repro.device.scheduler import submission_order
+
+        costs = np.random.default_rng(5).uniform(0.5, 4.0, 20)
+        backend = ThreadedBackend(n_threads=1)
+        backend.map_chunks(lambda x: x, list(range(20)), costs=costs)
+        # One worker drains the queue exactly in submission order, which
+        # is also what the simulator predicts for the same feed.
+        expected = [int(i) for i in submission_order(costs)]
+        assert backend.last_order == expected
+        sim = dynamic_schedule(costs, 1, order=submission_order(costs))
+        assert backend.last_order == sim.order
+
+    def test_multithread_order_is_permutation(self):
+        from repro.device.backend import ThreadedBackend
+
+        backend = ThreadedBackend(n_threads=4)
+        backend.map_chunks(lambda x: x, list(range(40)),
+                           costs=np.ones(40))
+        assert sorted(backend.last_order) == list(range(40))
+
+    def test_serial_backends_identity_order(self):
+        from repro.core.compressor import InlineBackend
+        from repro.device.backend import GpuSimBackend, SerialBackend
+
+        for backend in (InlineBackend(), SerialBackend(), GpuSimBackend()):
+            backend.map_chunks(lambda x: x, list(range(9)))
+            assert backend.last_order == list(range(9))
+
+    def test_decode_order_matches_simulation_single_worker(self, smooth_f32):
+        from repro.core.compressor import compress, decompress
+        from repro.device.backend import ThreadedBackend
+        from repro.device.scheduler import submission_order
+
+        stream = compress(smooth_f32, mode="abs", error_bound=1e-3)
+        backend = ThreadedBackend(n_threads=1)
+        decompress(stream, backend=backend)
+        # Feed the simulator the stream's real size table (decode costs).
+        from repro.core.random_access import StreamDecoder
+
+        sizes = StreamDecoder(stream)._sizes
+        sim = dynamic_schedule(sizes.astype(np.float64), 1,
+                               order=submission_order(sizes))
+        assert backend.last_order == sim.order

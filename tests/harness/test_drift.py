@@ -1,0 +1,82 @@
+"""Measured-vs-analytic drift: telemetry must agree with profile_chunk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.drift import drift_check
+
+
+@pytest.fixture
+def deterministic_chunk() -> np.ndarray:
+    """Exactly one full 16 kB chunk of smooth float32 data."""
+    rng = np.random.default_rng(42)
+    return np.cumsum(rng.normal(0, 0.01, 4096)).astype(np.float32)
+
+
+class TestByteAccounting:
+    def test_single_chunk_exact(self, deterministic_chunk):
+        report = drift_check(deterministic_chunk, mode="abs", error_bound=1e-3)
+        assert report.n_chunks == 1
+        assert report.bytes_ok, report.render()
+        for stage in report.stages:
+            assert stage.measured_bytes_in == stage.analytic_bytes_in
+            assert stage.measured_bytes_out == stage.analytic_bytes_out
+
+    def test_stage_coverage(self, deterministic_chunk):
+        report = drift_check(deterministic_chunk)
+        assert {s.stage for s in report.stages} == {
+            "quantize", "delta+negabinary", "bitshuffle", "zero-elim",
+        }
+
+    def test_multi_chunk_abs(self, rng):
+        values = np.cumsum(rng.normal(0, 0.02, 4096 * 5)).astype(np.float32)
+        report = drift_check(values, mode="abs", error_bound=1e-3)
+        assert report.n_chunks == 5
+        assert report.bytes_ok, report.render()
+
+    def test_rel_mode(self, rng):
+        values = np.abs(np.cumsum(rng.normal(0, 0.02, 4096 * 2))).astype(
+            np.float32
+        ) + 1.0
+        report = drift_check(values, mode="rel", error_bound=1e-2)
+        assert report.bytes_ok, report.render()
+
+    def test_float64(self, rng):
+        values = np.cumsum(rng.normal(0, 0.01, 2048 * 3)).astype(np.float64)
+        report = drift_check(values, mode="abs", error_bound=1e-6)
+        assert report.bytes_ok, report.render()
+
+    def test_noa_single_chunk(self, deterministic_chunk):
+        # NOA resolves its range per profile_chunk call, so only a
+        # single-chunk input sees the same range as the codec.
+        report = drift_check(deterministic_chunk, mode="noa", error_bound=1e-3)
+        assert report.bytes_ok, report.render()
+
+
+class TestReportShape:
+    def test_shares_sum_to_one(self, deterministic_chunk):
+        report = drift_check(deterministic_chunk)
+        assert sum(report.ops_share(s) for s in report.stages) == pytest.approx(1.0)
+        assert sum(report.time_share(s) for s in report.stages) == pytest.approx(1.0)
+
+    def test_to_dict_is_json_ready(self, deterministic_chunk):
+        import json
+
+        doc = drift_check(deterministic_chunk).to_dict()
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["bytes_ok"] is True
+        assert len(parsed["stages"]) == 4
+
+    def test_render_mentions_verdict(self, deterministic_chunk):
+        text = drift_check(deterministic_chunk).render()
+        assert "exact" in text
+
+    def test_rejects_unaligned_length(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            drift_check(np.zeros(100, dtype=np.float32) + 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            drift_check(np.empty(0, dtype=np.float32))

@@ -101,3 +101,76 @@ def test_figure_command(capsys):
     assert main(["figure", "fig12", "--files", "1"]) == 0
     out = capsys.readouterr().out
     assert "PFPL_CUDA" in out
+
+
+class TestStatsAndTrace:
+    def test_compress_trace_spans_per_chunk_per_stage(self, tmp_path, raw_file):
+        import json
+
+        from repro.telemetry import ENCODE_STAGES
+
+        path, data = raw_file
+        comp = tmp_path / "t.pfpl"
+        trace = tmp_path / "trace.json"
+        assert main(["compress", str(path), str(comp),
+                     "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        n_chunks = -(-data.size // 4096)
+        for stage in ENCODE_STAGES[:-1]:  # assemble is per-stream
+            chunks = {e["args"].get("chunk") for e in spans
+                      if e["name"] == stage}
+            assert chunks >= set(range(n_chunks)), stage
+
+    def test_decompress_trace(self, tmp_path, raw_file):
+        import json
+
+        path, _ = raw_file
+        comp = tmp_path / "t.pfpl"
+        out = tmp_path / "t.out"
+        trace = tmp_path / "dtrace.json"
+        main(["compress", str(path), str(comp)])
+        assert main(["decompress", str(comp), str(out),
+                     "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"fetch", "chunk_decode", "dequantize"} <= names
+
+    def test_stats_table(self, raw_file, capsys):
+        path, _ = raw_file
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "encode stages:" in out and "decode stages:" in out
+        assert "zero-elim" in out and "outliers" in out
+
+    def test_stats_json(self, raw_file, capsys):
+        import json
+
+        path, _ = raw_file
+        assert main(["stats", str(path), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["chunks_encoded_total"] > 0
+
+    def test_stats_prometheus(self, raw_file, capsys):
+        from repro.telemetry import parse_prometheus
+
+        path, _ = raw_file
+        assert main(["stats", str(path), "--format", "prom"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert parsed["pfpl_chunks_encoded_total"] > 0
+
+    def test_stats_drift_passes(self, raw_file, capsys):
+        path, _ = raw_file
+        assert main(["stats", str(path), "--drift"]) == 0
+        assert "byte accounting vs profile_chunk: exact" in capsys.readouterr().out
+
+    def test_verbose_flag_logs(self, tmp_path, raw_file, capsys):
+        import logging
+
+        path, _ = raw_file
+        comp = tmp_path / "v.pfpl"
+        assert main(["-v", "compress", str(path), str(comp)]) == 0
+        # The handler targets stderr; INFO records must have been emitted.
+        assert "compressed" in capsys.readouterr().err
+        # Leave global logging quiet for the rest of the suite.
+        logging.getLogger("repro").setLevel(logging.WARNING)

@@ -1,0 +1,218 @@
+"""Telemetry: counter correctness, exporters, and zero-overhead-off."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import PFPLCompressor, compress, decompress
+from repro.device.backend import ThreadedBackend
+from repro.telemetry import (
+    DECODE_STAGES,
+    ENCODE_STAGES,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    parse_prometheus,
+)
+
+CHUNK_VALUES = 4096  # one full float32 chunk at the default 16 kB geometry
+
+
+@pytest.fixture
+def chunk_with_outliers(rng) -> tuple[np.ndarray, int]:
+    """One full chunk of smooth data with a known number of ABS outliers.
+
+    Values beyond the denormal bin range under eps=1e-3 (e.g. 1e30) must
+    take the lossless raw-word path, so the outlier count is exact.
+    """
+    data = np.cumsum(rng.normal(0, 0.01, CHUNK_VALUES)).astype(np.float32)
+    outlier_at = [3, 500, 1024, 2047, 4000]
+    data[outlier_at] = 1e30
+    return data, len(outlier_at)
+
+
+class TestCounters:
+    def test_known_outliers_and_stage_bytes(self, chunk_with_outliers):
+        data, n_outliers = chunk_with_outliers
+        tel = Telemetry()
+        comp = PFPLCompressor(mode="abs", error_bound=1e-3,
+                              dtype=np.float32, telemetry=tel)
+        result = comp.compress(data)
+
+        assert tel.counter("chunks_encoded_total") == 1
+        assert tel.counter("values_encoded_total") == CHUNK_VALUES
+        assert tel.counter("outlier_values_total") == n_outliers
+        assert tel.counter("raw_chunks_total") == 0
+        assert tel.counter("chunk_bytes_in_total") == data.nbytes
+
+        # Word-preserving stages carry exactly one chunk of words; only
+        # zero elimination shrinks.
+        stages = tel.stage_table("encode")
+        word_bytes = CHUNK_VALUES * 4
+        for name in ("quantize", "delta+negabinary", "bitshuffle"):
+            assert stages[name]["bytes_in"] == word_bytes
+            assert stages[name]["bytes_out"] == word_bytes
+            assert stages[name]["calls"] == 1
+        assert stages["zero-elim"]["bytes_in"] == word_bytes
+        assert stages["zero-elim"]["bytes_out"] == tel.counter("chunk_bytes_out_total")
+        assert stages["assemble"]["bytes_out"] == len(result.data)
+
+    def test_decode_counters(self, smooth_f32):
+        tel = Telemetry()
+        blob = compress(smooth_f32, mode="abs", error_bound=1e-3)
+        decompress(blob, telemetry=tel)
+        n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
+        assert tel.counter("chunks_decoded_total") == n_chunks
+        assert tel.counter("values_decoded_total") == smooth_f32.size
+        stages = tel.stage_table("decode")
+        for name in DECODE_STAGES:
+            assert stages[name]["calls"] == n_chunks
+
+    def test_raw_fallback_counted(self, rng):
+        # Uniformly random words defeat every lossless stage, so each
+        # chunk takes the raw fallback and the counter must say so.
+        bits = rng.integers(0, 2**32, 8192, dtype=np.uint64).astype(np.uint32)
+        data = bits.view(np.float32)
+        tel = Telemetry()
+        with np.errstate(invalid="ignore"):
+            PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                           telemetry=tel).compress(data)
+        assert tel.counter("chunks_encoded_total") == 2
+        assert tel.counter("raw_chunks_total") == 2
+
+    def test_worker_counters_threaded(self, smooth_f32):
+        tel = Telemetry()
+        backend = ThreadedBackend(n_threads=4, telemetry=tel)
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       backend=backend, telemetry=tel).compress(smooth_f32)
+        n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
+        items = [v for k, v in tel.counters().items()
+                 if k.startswith("worker_items_total")]
+        # The pool maps twice per compress: chunk encode + assemble scatter.
+        assert sum(items) == 2 * n_chunks
+        waits = [v for k, v in tel.counters().items()
+                 if k.startswith("worker_queue_wait_seconds_total")]
+        assert waits and all(w >= 0 for w in waits)
+
+
+class TestExporters:
+    def test_prometheus_round_trip(self, smooth_f32):
+        tel = Telemetry()
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       telemetry=tel).compress(smooth_f32)
+        text = tel.to_prometheus()
+        parsed = parse_prometheus(text)
+        expected = {f"pfpl_{k}": v for k, v in tel.counters().items()}
+        assert parsed.keys() == expected.keys()
+        for key, value in expected.items():
+            assert parsed[key] == pytest.approx(value, rel=1e-12)
+
+    def test_json_summary(self, smooth_f32):
+        tel = Telemetry()
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       telemetry=tel).compress(smooth_f32)
+        doc = json.loads(tel.to_json())
+        assert doc["spans"] > 0 and doc["spans_dropped"] == 0
+        assert set(ENCODE_STAGES) <= set(doc["stages"]["encode"])
+
+    def test_chrome_trace_schema_and_coverage(self, smooth_f32, tmp_path):
+        tel = Telemetry()
+        blob = PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                              telemetry=tel).compress(smooth_f32).data
+        decompress(blob, telemetry=tel)
+        trace = tel.chrome_trace()
+
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        for ev in trace["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+                assert isinstance(ev["name"], str) and isinstance(ev["cat"], str)
+
+        # >= one span per chunk per stage, encode and decode side.
+        n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        for stage in ENCODE_STAGES[:-1] + DECODE_STAGES:
+            covered = {e["args"].get("chunk") for e in spans if e["name"] == stage}
+            assert covered >= set(range(n_chunks)), stage
+
+        # The file form round-trips through json.load.
+        path = tmp_path / "trace.json"
+        tel.write_chrome_trace(path)
+        assert json.load(open(path)) == json.loads(json.dumps(trace))
+
+    def test_span_cap_counts_drops(self):
+        tel = Telemetry(max_spans=3)
+        for i in range(5):
+            with tel.span("s", cat="codec", i=i):
+                pass
+        assert len(tel.spans) == 3
+        assert tel.summary()["spans_dropped"] == 2
+
+
+class TestDisabled:
+    def test_null_singleton_is_inert(self):
+        assert NULL_TELEMETRY.enabled is False
+        with NULL_TELEMETRY.span("x", cat="encode", bytes_in=1) as sp:
+            sp.set(bytes_out=2)
+        with NULL_TELEMETRY.chunk(3):
+            pass
+        NULL_TELEMETRY.add("anything", 42)
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+
+    def test_output_bytes_identical_on_and_off(self, smooth_f32):
+        """Instrumentation must never change the stream (format untouched)."""
+        off = compress(smooth_f32, mode="abs", error_bound=1e-3)
+        on = compress(smooth_f32, mode="abs", error_bound=1e-3,
+                      telemetry=Telemetry())
+        assert off == on
+
+    def test_null_overhead_within_noise(self, rng):
+        """The off path must stay close to free (loose, timing-based)."""
+        data = np.cumsum(rng.normal(0, 0.01, 1 << 21)).astype(np.float32)  # 8 MB
+        comp = PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32)
+        comp.compress(data)  # warm numpy / allocator
+        times = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            comp.compress(data)
+            times.append(time.perf_counter() - t0)
+        best = min(times)
+        # One attribute check per chunk cannot cost a meaningful fraction
+        # of a multi-MB compress; 8 MB in >2 s would mean the instrumented
+        # hot path regressed by an order of magnitude.
+        assert best < 2.0, f"null-telemetry compress took {best:.2f}s for 8 MB"
+
+
+class TestRecorder:
+    def test_reset_clears_everything(self):
+        tel = Telemetry()
+        tel.add("c", 1)
+        with tel.span("s"):
+            pass
+        tel.reset()
+        assert tel.counters() == {} and tel.spans == []
+
+    def test_chunk_scope_nests(self):
+        tel = Telemetry()
+        with tel.chunk(7):
+            with tel.chunk(9):
+                with tel.span("inner"):
+                    pass
+            with tel.span("outer"):
+                pass
+        assert [s.args["chunk"] for s in tel.spans] == [9, 7]
+
+    def test_counter_labels_are_distinct(self):
+        tel = Telemetry()
+        tel.add("n", 1, worker="0")
+        tel.add("n", 2, worker="1")
+        tel.add("n", 3)
+        assert tel.counter("n", worker="0") == 1
+        assert tel.counter("n", worker="1") == 2
+        assert tel.counter("n") == 3
