@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Gate a fresh bench snapshot against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py --out bench_new.json
+    PYTHONPATH=src python scripts/bench_compare.py bench_new.json BENCH_PR3.json
+
+Exit codes: 0 all comparable cells within threshold, 1 at least one
+throughput regression, 2 nothing was comparable (wrong corpus size or
+disjoint cells) -- a misconfigured gate must fail loudly, not pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.trend import compare_snapshots
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly measured snapshot JSON")
+    ap.add_argument("baseline", help="committed baseline snapshot JSON")
+    ap.add_argument(
+        "--threshold", type=float, default=0.35,
+        help="fractional throughput drop that fails the gate (default 0.35)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as f:
+        current = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    report = compare_snapshots(current, baseline, threshold=args.threshold)
+    print(report.render())
+    if not report.cells:
+        return 2
+    return 1 if report.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from .errors import (
     PFPLFormatError,
     PFPLIntegrityError,
     PFPLTruncatedError,
+    PFPLUsageError,
 )
 from .io import PFPLReader, PFPLWriter
 from .log import enable_logging, get_logger
@@ -85,5 +86,6 @@ __all__ = [
     "PFPLTruncatedError",
     "PFPLIntegrityError",
     "PFPLConfigMismatchError",
+    "PFPLUsageError",
     "__version__",
 ]

@@ -1,0 +1,288 @@
+"""AST-walking rule engine: findings, registry, suppressions, file walk.
+
+A :class:`Rule` inspects one parsed source file and yields
+:class:`Finding` records.  Rules are scoped: each declares the
+package-relative paths it polices (``core/**``, ``io.py``, ...) so a
+determinism rule for kernel code never fires on harness scripts.  The
+engine resolves a file's package-relative path from its location under
+the ``repro`` package; callers analyzing loose fixture files pass
+``rel=`` explicitly.
+
+Inline suppression works per line, ruff-``noqa`` style::
+
+    self._log2 = np.log2  # pfpl: allow[portable-math] -- libm ablation arm
+
+The comment names the rule(s) it silences; ``allow[*]`` silences every
+rule on that line.  Suppressions are collected with :mod:`tokenize` so a
+``# pfpl: allow[...]`` inside a string literal does not suppress
+anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Source",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "iter_parents",
+]
+
+
+class Severity(str, Enum):
+    """How bad a finding is; ``error`` findings gate CI."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_ALLOW_RE = re.compile(r"pfpl:\s*allow\[([^\]]*)\]")
+
+
+def _collect_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule names allowed on that line."""
+    allowed: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _ALLOW_RE.search(tok.string)
+            if m:
+                names = frozenset(
+                    n.strip() for n in m.group(1).split(",") if n.strip()
+                )
+                allowed[tok.start[0]] = allowed.get(tok.start[0], frozenset()) | names
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files already produce a syntax-error finding; a
+        # best-effort line scan keeps suppressions working regardless.
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            m = _ALLOW_RE.search(line.split("#", 1)[1])
+            if m:
+                names = frozenset(
+                    n.strip() for n in m.group(1).split(",") if n.strip()
+                )
+                allowed[lineno] = allowed.get(lineno, frozenset()) | names
+    return allowed
+
+
+@dataclass
+class Source:
+    """One parsed file handed to every applicable rule."""
+
+    path: str
+    rel: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        names = self.suppressions.get(line)
+        return bool(names) and (rule in names or "*" in names)
+
+
+def _link_parents(tree: ast.AST) -> None:
+    """Attach ``_pfpl_parent`` so rules can walk ancestry cheaply."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._pfpl_parent = node  # type: ignore[attr-defined]
+
+
+def iter_parents(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s ancestors, innermost first."""
+    current = getattr(node, "_pfpl_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_pfpl_parent", None)
+
+
+class Rule:
+    """Base class: one discipline, checked over one file at a time."""
+
+    #: registry key, also the name used in ``pfpl: allow[...]``
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: one-line summary shown by ``pfpl analyze --list-rules``
+    description: str = ""
+    #: package-relative glob(s) the rule polices (``*`` crosses ``/``)
+    scope: tuple[str, ...] = ("**",)
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        if any(fnmatch(rel, pat) for pat in self.exclude):
+            return False
+        return any(fnmatch(rel, pat) for pat in self.scope)
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: Source, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity=self.severity,
+            path=src.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its name."""
+    rule = cls()
+    if not rule.name:
+        raise RuntimeError(f"rule {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise RuntimeError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _package_rel(path: str) -> str:
+    """Path relative to the ``repro`` package root, ``/``-separated.
+
+    Files outside any ``repro`` directory keep their name, so ad-hoc
+    inputs still analyze (with whole-package rules only, since scoped
+    rules will not match).
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[idx + 1:]
+        if tail:
+            return "/".join(tail)
+    return Path(path).name
+
+
+def analyze_source(
+    text: str,
+    path: str = "<string>",
+    rel: str | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze one source string; returns findings sorted by location."""
+    rel = rel if rel is not None else _package_rel(path)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    _link_parents(tree)
+    src = Source(
+        path=path,
+        rel=rel,
+        text=text,
+        tree=tree,
+        suppressions=_collect_suppressions(text),
+    )
+    findings: list[Finding] = []
+    for rule in (list(rules) if rules is not None else all_rules()):
+        if not rule.applies_to(rel):
+            continue
+        for f in rule.check(src):
+            if not src.is_suppressed(f.rule, f.line):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_file(
+    path: str | Path,
+    rel: str | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze one file on disk."""
+    p = Path(path)
+    text = p.read_text(encoding="utf-8")
+    return analyze_source(text, path=str(p), rel=rel, rules=rules)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze files and/or directory trees (``*.py``, sorted walk)."""
+    rules = list(rules) if rules is not None else None
+    files: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*.py")) if "__pycache__" not in f.parts
+            )
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(analyze_file(f, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,42 @@
+"""Finding reporters: aligned text table and JSON.
+
+Both render the same finding list; the table is what ``pfpl analyze``
+prints for humans, the JSON document is what CI archives.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import Finding
+
+__all__ = ["render_table", "render_json"]
+
+
+def render_table(findings: list[Finding]) -> str:
+    """Human-readable report: one aligned row per finding + a summary."""
+    if not findings:
+        return "no findings"
+    loc_w = max(len(f.location) for f in findings)
+    rule_w = max(len(f.rule) for f in findings)
+    lines = [
+        f"{f.location:<{loc_w}}  {f.severity.value:<7}  "
+        f"{f.rule:<{rule_w}}  {f.message}"
+        for f in findings
+    ]
+    by_rule = Counter(f.rule for f in findings)
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"{len(findings)} finding{'s' if len(findings) != 1 else ''} ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], indent: int | None = 2) -> str:
+    """JSON document: finding list plus per-rule counts."""
+    by_rule = Counter(f.rule for f in findings)
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "total": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)

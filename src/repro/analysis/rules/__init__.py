@@ -1,0 +1,36 @@
+"""The five codec-discipline rules.
+
+Importing this package registers every rule with the engine registry;
+each module holds one rule class plus its helpers.
+
+=====================  ==================================================
+rule                   discipline it enforces
+=====================  ==================================================
+portable-math          ``core/`` transcendentals go through
+                       :mod:`repro.core.portable_math` only
+dtype-discipline       kernel-path NumPy constructors/accumulators are
+                       dtype-explicit (no silent promotion)
+determinism            nothing nondeterministic feeds output bytes in
+                       kernel / lossless / quantizer paths
+error-discipline       failures raise the :mod:`repro.errors` hierarchy,
+                       ``struct.unpack`` is always caught
+telemetry-discipline   hot paths touch telemetry behind the
+                       ``NULL_TELEMETRY`` ``enabled`` check only
+=====================  ==================================================
+"""
+
+from __future__ import annotations
+
+from .determinism import DeterminismRule
+from .dtype_discipline import DtypeDisciplineRule
+from .error_discipline import ErrorDisciplineRule
+from .portable_math import PortableMathRule
+from .telemetry_discipline import TelemetryDisciplineRule
+
+__all__ = [
+    "PortableMathRule",
+    "DtypeDisciplineRule",
+    "DeterminismRule",
+    "ErrorDisciplineRule",
+    "TelemetryDisciplineRule",
+]

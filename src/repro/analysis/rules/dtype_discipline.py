@@ -1,0 +1,127 @@
+"""dtype-discipline: kernel-path NumPy code must be dtype-explicit.
+
+The codec's output bytes are golden-tested to be identical across
+backends and platforms.  A NumPy constructor or accumulating reduction
+without an explicit ``dtype=`` inherits a *platform-dependent* default
+(``np.arange(n)`` and boolean ``.sum()`` are C ``long`` -- 32-bit on
+Windows), and a silent float32->float64 promotion in an intermediate
+changes rounding and therefore bytes.  Inside ``core/`` and ``entropy/``
+this rule requires:
+
+* value-fabricating constructors (``np.empty``/``zeros``/``ones``/
+  ``full``/``arange``/``linspace``/``frombuffer``/``fromfile``/
+  ``fromiter``) to pass ``dtype=``,
+* accumulating reductions (``sum``/``prod``/``cumsum``/``cumprod``,
+  function or method form) to pass ``dtype=`` or ``out=`` (an ``out``
+  array pins the accumulator type just as explicitly),
+* dtype arguments to never be the Python builtin ``int``, which NumPy
+  maps to C ``long`` (the implicit-promotion pattern: ``x.astype(int)``
+  widens differently on Windows).  ``float``/``bool``/``complex`` map to
+  fixed-width NumPy types everywhere and are left alone.
+
+``*_like`` constructors are exempt -- they inherit a concrete dtype from
+their prototype array.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Source, register_rule
+
+__all__ = ["DtypeDisciplineRule"]
+
+_NP_NAMES = frozenset({"np", "numpy"})
+
+#: constructors that fabricate arrays from a shape/byte source
+_CONSTRUCTORS = frozenset({
+    "empty", "zeros", "ones", "full", "arange", "linspace",
+    "frombuffer", "fromfile", "fromiter", "fromstring",
+})
+
+#: reductions whose accumulator dtype defaults platform-dependently
+_ACCUMULATORS = frozenset({"sum", "prod", "cumsum", "cumprod"})
+
+#: Python builtins whose NumPy mapping is platform-dependent (C long)
+_LOOSE_DTYPES = frozenset({"int"})
+
+
+def _keywords(call: ast.Call) -> frozenset[str]:
+    return frozenset(kw.arg for kw in call.keywords if kw.arg is not None)
+
+
+def _is_np_attr(func: ast.AST, names: frozenset[str]) -> str | None:
+    """``np.<name>`` attribute access for one of ``names`` -> the name."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NP_NAMES
+        and func.attr in names
+    ):
+        return func.attr
+    return None
+
+
+@register_rule
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "core/ and entropy/ NumPy constructors and accumulating "
+        "reductions must pass an explicit dtype"
+    )
+    scope = ("core/**", "entropy/**")
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kwargs = _keywords(node)
+            func = node.func
+
+            ctor = _is_np_attr(func, _CONSTRUCTORS)
+            if ctor is not None and "dtype" not in kwargs:
+                # A second positional argument to these constructors is
+                # the dtype (np.empty(n, np.uint32)); accept it.
+                if len(node.args) < 2:
+                    yield self.finding(
+                        src, node,
+                        f"np.{ctor} without dtype= inherits a platform-"
+                        "dependent default; spell the dtype",
+                    )
+
+            acc = None
+            if isinstance(func, ast.Attribute) and func.attr in _ACCUMULATORS:
+                # Function form np.sum(x) and method form x.sum() both
+                # accumulate in a defaulted dtype.
+                acc = func.attr
+            if acc is not None and not ({"dtype", "out"} & kwargs):
+                yield self.finding(
+                    src, node,
+                    f"{acc}() without dtype=/out= accumulates in a "
+                    "platform-dependent default; pin the accumulator dtype",
+                )
+
+            # Implicit-promotion pattern: Python builtins as dtypes.
+            loose = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "astype"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in _LOOSE_DTYPES
+            ):
+                loose = node.args[0].id
+            for kw in node.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in _LOOSE_DTYPES
+                ):
+                    loose = kw.value.id
+            if loose is not None:
+                yield self.finding(
+                    src, node,
+                    f"builtin {loose!r} as a dtype is platform-defined; "
+                    "use an explicit np dtype (np.float64, np.int64, ...)",
+                )

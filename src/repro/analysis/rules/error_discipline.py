@@ -1,0 +1,113 @@
+"""error-discipline: failures surface as :mod:`repro.errors` types.
+
+PR 2's contract: no raw ``struct.error``, numpy broadcast error or bare
+``ValueError`` ever escapes the codec -- callers catch one
+:class:`~repro.errors.PFPLError` family and can tell *why* a decode
+failed.  This rule keeps the tree honest:
+
+* ``raise ValueError(...)`` anywhere in ``repro.*`` is flagged; raise
+  the matching hierarchy type instead (:class:`PFPLFormatError`,
+  :class:`PFPLTruncatedError`, :class:`PFPLIntegrityError`,
+  :class:`PFPLConfigMismatchError`, or :class:`PFPLUsageError` for
+  caller API misuse).  ``TypeError``/``RuntimeError`` for programming
+  errors are fine and not flagged.
+* ``struct.unpack``/``unpack_from`` -- module-level calls or calls on
+  a module-level ``struct.Struct`` constant -- must run inside a
+  ``try`` whose handlers catch ``struct.error`` (or broader), because
+  short or hostile buffers raise it on the decode path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Source, iter_parents, register_rule
+
+__all__ = ["ErrorDisciplineRule"]
+
+
+def _catches_struct_error(handler: ast.ExceptHandler) -> bool:
+    """Does one ``except`` clause cover ``struct.error``?"""
+    def covers(t: ast.AST) -> bool:
+        if isinstance(t, ast.Attribute):
+            return (
+                isinstance(t.value, ast.Name)
+                and t.value.id == "struct"
+                and t.attr == "error"
+            )
+        if isinstance(t, ast.Name):
+            return t.id in ("Exception", "BaseException")
+        return False
+
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(covers(el) for el in handler.type.elts)
+    return covers(handler.type)
+
+
+def _struct_constants(tree: ast.Module) -> frozenset[str]:
+    """Names bound (anywhere) to ``struct.Struct(...)`` instances."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Struct"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "struct"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+@register_rule
+class ErrorDisciplineRule(Rule):
+    name = "error-discipline"
+    description = (
+        "raise repro.errors types, not bare ValueError; wrap "
+        "struct.unpack in a struct.error handler"
+    )
+    scope = ("**",)
+    exclude = ("analysis/**",)
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        struct_names = _struct_constants(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Raise):
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                if isinstance(target, ast.Name) and target.id == "ValueError":
+                    yield self.finding(
+                        src, node,
+                        "bare ValueError: raise the repro.errors hierarchy "
+                        "(PFPLFormatError/PFPLIntegrityError/... or "
+                        "PFPLUsageError for API misuse)",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("unpack", "unpack_from")
+                and isinstance(node.func.value, ast.Name)
+                and (
+                    node.func.value.id == "struct"
+                    or node.func.value.id in struct_names
+                )
+            ):
+                guarded = any(
+                    isinstance(anc, ast.Try)
+                    and any(_catches_struct_error(h) for h in anc.handlers)
+                    for anc in iter_parents(node)
+                )
+                if not guarded:
+                    yield self.finding(
+                        src, node,
+                        f"{node.func.attr}() raises struct.error on short/"
+                        "hostile buffers; wrap it and re-raise a "
+                        "repro.errors type",
+                    )

@@ -1,0 +1,99 @@
+"""portable-math: core transcendentals go through ``portable_math`` only.
+
+Library ``log``/``exp``/``pow`` differ between CPUs and GPUs (and
+between libm versions), which would break PFPL's bit-for-bit
+cross-device guarantee (paper Section III-C).  Inside ``core/`` the only
+legal transcendental implementations are the IEEE-basic-ops
+approximations in :mod:`repro.core.portable_math`; this rule flags
+
+* any use of the :mod:`math` stdlib module (every function in it is a
+  libm call),
+* NumPy transcendental ufuncs (``np.log2``, ``np.exp``, ``np.power``,
+  the trig family, ...),
+* the ``**`` operator with a non-integer-literal exponent (Python
+  lowers it to libm ``pow``).
+
+``np.sqrt`` is deliberately allowed: IEEE 754 requires square root to
+be correctly rounded, so it is exact and portable, unlike the
+transcendentals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Source, register_rule
+
+__all__ = ["PortableMathRule"]
+
+#: NumPy ufuncs whose results are implementation-defined across devices.
+_NP_TRANSCENDENTALS = frozenset({
+    "log", "log2", "log10", "log1p",
+    "exp", "exp2", "expm1",
+    "power", "float_power", "pow",
+    "sin", "cos", "tan",
+    "arcsin", "arccos", "arctan", "arctan2",
+    "sinh", "cosh", "tanh",
+    "arcsinh", "arccosh", "arctanh",
+    "cbrt", "hypot", "logaddexp", "logaddexp2",
+})
+
+_NP_NAMES = frozenset({"np", "numpy"})
+
+
+def _is_int_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_int_literal(node.operand)
+    return False
+
+
+@register_rule
+class PortableMathRule(Rule):
+    name = "portable-math"
+    description = (
+        "core/ may not call libm/NumPy transcendentals; use "
+        "repro.core.portable_math"
+    )
+    scope = ("core/**",)
+    exclude = ("core/portable_math.py",)
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "math" or alias.name.startswith("math."):
+                        yield self.finding(
+                            src, node,
+                            "stdlib math is libm; use repro.core.portable_math",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "math":
+                    yield self.finding(
+                        src, node,
+                        "stdlib math is libm; use repro.core.portable_math",
+                    )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id == "math":
+                        yield self.finding(
+                            src, node,
+                            f"math.{node.attr} is a libm call; use "
+                            "repro.core.portable_math",
+                        )
+                    elif base.id in _NP_NAMES and node.attr in _NP_TRANSCENDENTALS:
+                        yield self.finding(
+                            src, node,
+                            f"np.{node.attr} is transcendental (device-"
+                            "dependent bits); use repro.core.portable_math",
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                if not _is_int_literal(node.right):
+                    yield self.finding(
+                        src, node,
+                        "'**' with a non-integer-literal exponent lowers to "
+                        "libm pow; use repro.core.portable_math",
+                    )

@@ -1,0 +1,139 @@
+"""telemetry-discipline: hot paths guard telemetry with ``.enabled``.
+
+The telemetry contract (PR 3): when telemetry is off, instrumented hot
+paths pay exactly one attribute check (``NULL_TELEMETRY.enabled`` is
+``False``) and then run the identical pre-telemetry code, so output
+bytes and timing are unchanged.  An unguarded ``tel.span(...)`` /
+``tel.add(...)`` in a per-chunk path would allocate a span object (or
+take the null fast path's method-call overhead) for every chunk of
+every stream even with telemetry disabled.
+
+This rule checks, in the per-chunk hot-path modules, that every call to
+``span``/``add``/``chunk`` on a telemetry object is dominated by an
+``enabled`` check.  Three idioms count as guarded:
+
+* lexically inside ``if <...>.enabled:``,
+* after an early-exit guard ``if not <...>.enabled: return ...``,
+* inside a ``*_traced`` helper -- the repo convention where the hot
+  path dispatches ``if tel.enabled: return self._encode_chunk_traced``
+  and the helper owns the instrumented copy of the loop.
+
+Closures defined lexically inside an ``.enabled`` branch inherit its
+guard: the function object only exists when telemetry is on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Source, iter_parents, register_rule
+
+__all__ = ["TelemetryDisciplineRule"]
+
+_TELEMETRY_METHODS = frozenset({"span", "add", "chunk"})
+_TELEMETRY_NAMES = frozenset({"tel", "telemetry"})
+
+
+def _is_telemetry_call(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _TELEMETRY_METHODS):
+        return False
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id in _TELEMETRY_NAMES
+    if isinstance(base, ast.Attribute):
+        return base.attr in _TELEMETRY_NAMES
+    return False
+
+
+def _mentions_enabled(expr: ast.AST) -> bool:
+    return any(
+        isinstance(n, ast.Attribute) and n.attr == "enabled"
+        for n in ast.walk(expr)
+    )
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _is_early_exit_guard(stmt: ast.stmt) -> bool:
+    """``if not <...>.enabled: return/raise/continue`` (no else)."""
+    return (
+        isinstance(stmt, ast.If)
+        and isinstance(stmt.test, ast.UnaryOp)
+        and isinstance(stmt.test.op, ast.Not)
+        and _mentions_enabled(stmt.test.operand)
+        and _terminates(stmt.body)
+        and not stmt.orelse
+    )
+
+
+def _is_guarded(call: ast.Call) -> bool:
+    prev: ast.AST = call
+    for anc in iter_parents(call):
+        # Lexically inside the true branch of `if <...>.enabled:`.
+        if (
+            isinstance(anc, ast.If)
+            and _mentions_enabled(anc.test)
+            and not (
+                isinstance(anc.test, ast.UnaryOp)
+                and isinstance(anc.test.op, ast.Not)
+            )
+            and isinstance(prev, ast.stmt)
+            and prev in anc.body
+        ):
+            return True
+        # After an early exit `if not <...>.enabled: return ...` in any
+        # enclosing statement list.
+        for fieldname in ("body", "orelse", "finalbody"):
+            stmts = getattr(anc, fieldname, None)
+            if isinstance(stmts, list) and isinstance(prev, ast.stmt) and prev in stmts:
+                if any(_is_early_exit_guard(s) for s in stmts[: stmts.index(prev)]):
+                    return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A `*_traced` helper is the designated instrumented copy of
+            # a hot loop; its caller owns the .enabled dispatch.
+            if anc.name.endswith("_traced"):
+                return True
+            # Otherwise keep walking: a closure whose *definition* sits
+            # inside an `.enabled` branch is itself guarded (the def
+            # only executes when telemetry is on).  An unguarded call in
+            # a top-level function still bottoms out at Module -> False.
+        prev = anc
+    return False
+
+
+@register_rule
+class TelemetryDisciplineRule(Rule):
+    name = "telemetry-discipline"
+    description = (
+        "hot-path telemetry calls must sit behind an `.enabled` check "
+        "(the NULL_TELEMETRY pattern)"
+    )
+    scope = (
+        "core/kernel.py",
+        "core/compressor.py",
+        "core/random_access.py",
+        "core/lossless/pipeline.py",
+        "device/gpu_sim.py",
+        "device/backend.py",
+        "io.py",
+    )
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_telemetry_call(node)
+                and not _is_guarded(node)
+            ):
+                yield self.finding(
+                    src, node,
+                    f"telemetry .{node.func.attr}() outside an .enabled "  # type: ignore[union-attr]
+                    "guard; hot paths must pay one attribute check when "
+                    "telemetry is off",
+                )

@@ -1,0 +1,293 @@
+"""Runtime concurrency sanitizer: instrumented locks + shared state.
+
+The static rules police what the AST can show; the races the threaded
+backend could introduce (an unguarded append to the shared order
+record, two locks taken in opposite orders) only exist at runtime.
+This module provides the instrumented primitives a component opts into
+under tests:
+
+* :class:`TrackedLock` -- a :class:`threading.Lock` wrapper that
+  maintains a global lock-*order* graph.  Whenever a thread acquires B
+  while holding A, the edge A->B is recorded; if some thread ever
+  recorded B->A, the acquisition is a **lock-order inversion** (a
+  potential deadlock even if this run did not hang) and a violation is
+  filed.
+* :meth:`ConcurrencySanitizer.shared_list` /
+  :meth:`~ConcurrencySanitizer.shared_value` -- trackers around shared
+  mutable state.  Every mutation checks that the calling thread holds
+  one of the state's guard locks; an **unguarded mutation** from any
+  thread after a second thread has touched the tracker is a violation.
+
+Violations are *recorded*, never raised mid-run (a sanitizer must not
+change scheduling); tests call :meth:`ConcurrencySanitizer.check` at
+the end, which raises :class:`SanitizerError` with the full report.
+
+Example::
+
+    san = ConcurrencySanitizer()
+    backend = ThreadedBackend(n_threads=8, sanitizer=san)
+    compress(data, backend=backend)
+    san.check()   # raises if the backend mutated shared state unguarded
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "ConcurrencySanitizer",
+    "SanitizerError",
+    "SanitizerViolation",
+    "TrackedLock",
+]
+
+
+class SanitizerError(AssertionError):
+    """Raised by :meth:`ConcurrencySanitizer.check` when violations exist."""
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One recorded concurrency-discipline violation."""
+
+    kind: str        #: ``lock-order-inversion`` | ``unguarded-mutation``
+    detail: str
+    thread: str      #: name of the thread that triggered it
+    stack: str = ""  #: abbreviated call stack at the violation site
+
+    def render(self) -> str:
+        text = f"[{self.kind}] {self.detail} (thread {self.thread})"
+        if self.stack:
+            text += "\n" + self.stack
+        return text
+
+
+def _call_site(skip: int = 3, depth: int = 4) -> str:
+    """A short formatted stack for violation reports."""
+    frames = traceback.format_stack()[:-skip][-depth:]
+    return "".join(frames).rstrip()
+
+
+class TrackedLock:
+    """A named :class:`threading.Lock` that feeds the sanitizer's graph.
+
+    Supports the context-manager protocol plus ``acquire``/``release``
+    and ``locked`` -- a drop-in for ``threading.Lock`` in guarded code.
+    """
+
+    def __init__(self, sanitizer: "ConcurrencySanitizer", name: str):
+        self._sanitizer = sanitizer
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._before_acquire(self)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._sanitizer._on_acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._sanitizer._on_release(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrackedLock({self.name!r})"
+
+
+class _SharedState:
+    """Common bookkeeping for tracked shared objects."""
+
+    def __init__(
+        self,
+        sanitizer: "ConcurrencySanitizer",
+        name: str,
+        guards: tuple[TrackedLock, ...],
+    ):
+        self._sanitizer = sanitizer
+        self._name = name
+        self._guards = guards
+        self._touched_by: set[int] = set()
+        self._meta = threading.Lock()
+
+    def _on_mutate(self) -> None:
+        ident = threading.get_ident()
+        with self._meta:
+            self._touched_by.add(ident)
+            contended = len(self._touched_by) > 1
+        holds_guard = any(
+            self._sanitizer._thread_holds(g) for g in self._guards
+        )
+        if not holds_guard and (contended or not self._guards):
+            names = ", ".join(g.name for g in self._guards) or "<none declared>"
+            self._sanitizer._record(
+                "unguarded-mutation",
+                f"shared state {self._name!r} mutated without holding a "
+                f"guard lock (declared guards: {names})",
+            )
+
+
+class TrackedList(list, _SharedState):
+    """A ``list`` whose mutations must happen under a guard lock."""
+
+    def __init__(self, sanitizer, name, guards):
+        list.__init__(self)
+        _SharedState.__init__(self, sanitizer, name, guards)
+
+    def append(self, item) -> None:
+        self._on_mutate()
+        list.append(self, item)
+
+    def extend(self, items) -> None:
+        self._on_mutate()
+        list.extend(self, items)
+
+    def insert(self, index, item) -> None:
+        self._on_mutate()
+        list.insert(self, index, item)
+
+    def pop(self, index=-1):
+        self._on_mutate()
+        return list.pop(self, index)
+
+    def clear(self) -> None:
+        self._on_mutate()
+        list.clear(self)
+
+    def __setitem__(self, index, value) -> None:
+        self._on_mutate()
+        list.__setitem__(self, index, value)
+
+
+class TrackedValue(_SharedState):
+    """A scalar cell (counter-style) whose writes must be guarded."""
+
+    def __init__(self, sanitizer, name, guards, initial=0):
+        super().__init__(sanitizer, name, guards)
+        self._value = initial
+
+    @property
+    def value(self):
+        return self._value
+
+    def set(self, value) -> None:
+        self._on_mutate()
+        self._value = value
+
+    def increment(self, amount=1):
+        self._on_mutate()
+        # Deliberately a read-modify-write: exactly the pattern that is
+        # only safe under the guard lock.
+        self._value = self._value + amount
+        return self._value
+
+
+class ConcurrencySanitizer:
+    """Collects lock-order edges and shared-state accesses for one run."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._held = threading.local()
+        #: directed edges first-lock-name -> set of later-lock-names,
+        #: with one representative stack per edge
+        self._edges: dict[str, set[str]] = {}
+        self.violations: list[SanitizerViolation] = []
+
+    # -- lock / state factories ---------------------------------------------
+
+    def lock(self, name: str) -> TrackedLock:
+        """A new instrumented lock participating in order tracking."""
+        return TrackedLock(self, name)
+
+    def shared_list(self, name: str, *guards: TrackedLock) -> TrackedList:
+        """A list whose mutations must hold one of ``guards``."""
+        return TrackedList(self, name, tuple(guards))
+
+    def shared_value(self, name: str, *guards: TrackedLock, initial=0) -> TrackedValue:
+        """A scalar cell whose writes must hold one of ``guards``."""
+        return TrackedValue(self, name, tuple(guards), initial=initial)
+
+    # -- lock bookkeeping ----------------------------------------------------
+
+    def _held_stack(self) -> list[TrackedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _thread_holds(self, lock: TrackedLock) -> bool:
+        return lock in self._held_stack()
+
+    def _before_acquire(self, lock: TrackedLock) -> None:
+        held = self._held_stack()
+        if not held:
+            return
+        with self._mu:
+            for prior in held:
+                if prior is lock:
+                    continue
+                if lock.name in self._edges and prior.name in self._edges[lock.name]:
+                    self.violations.append(SanitizerViolation(
+                        kind="lock-order-inversion",
+                        detail=(
+                            f"acquiring {lock.name!r} while holding "
+                            f"{prior.name!r}, but the opposite order "
+                            f"{lock.name!r} -> {prior.name!r} was also "
+                            "observed (potential deadlock)"
+                        ),
+                        thread=threading.current_thread().name,
+                        stack=_call_site(),
+                    ))
+                self._edges.setdefault(prior.name, set()).add(lock.name)
+
+    def _on_acquired(self, lock: TrackedLock) -> None:
+        self._held_stack().append(lock)
+
+    def _on_release(self, lock: TrackedLock) -> None:
+        held = self._held_stack()
+        if lock in held:
+            held.remove(lock)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _record(self, kind: str, detail: str) -> None:
+        violation = SanitizerViolation(
+            kind=kind,
+            detail=detail,
+            thread=threading.current_thread().name,
+            stack=_call_site(),
+        )
+        with self._mu:
+            self.violations.append(violation)
+
+    def __iter__(self) -> Iterator[SanitizerViolation]:
+        return iter(list(self.violations))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if not self.violations:
+            return "concurrency sanitizer: clean"
+        lines = [f"concurrency sanitizer: {len(self.violations)} violation(s)"]
+        lines.extend(v.render() for v in self.violations)
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any violation was recorded."""
+        if self.violations:
+            raise SanitizerError(self.report())

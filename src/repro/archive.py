@@ -35,7 +35,7 @@ import numpy as np
 
 from .core.compressor import PFPLCompressor
 from .core.random_access import StreamDecoder
-from .errors import PFPLFormatError, PFPLTruncatedError
+from .errors import PFPLFormatError, PFPLTruncatedError, PFPLUsageError
 
 __all__ = ["PFPLArchive", "ArchiveMember"]
 
@@ -78,9 +78,9 @@ class PFPLArchive:
     ) -> "PFPLArchive":
         """Compress and stage one named array (chainable)."""
         if name in self._streams:
-            raise ValueError(f"duplicate member name {name!r}")
+            raise PFPLUsageError(f"duplicate member name {name!r}")
         if len(name.encode()) > 0xFFFF:
-            raise ValueError("member name too long")
+            raise PFPLUsageError("member name too long")
         arr = np.asarray(data)
         comp = PFPLCompressor(
             mode=mode, error_bound=error_bound, dtype=arr.dtype, backend=backend,
@@ -93,7 +93,7 @@ class PFPLArchive:
     def add_stream(self, name: str, stream: bytes, shape: tuple[int, ...]) -> None:
         """Stage an already-compressed PFPL stream."""
         if name in self._streams:
-            raise ValueError(f"duplicate member name {name!r}")
+            raise PFPLUsageError(f"duplicate member name {name!r}")
         self._streams[name] = bytes(stream)
         self._shapes[name] = tuple(shape)
 
@@ -140,7 +140,8 @@ class PFPLArchiveReader:
             raise PFPLTruncatedError(
                 f"buffer too short for a PFPL archive ({len(blob)} < {_HEAD.size})"
             )
-        magic, version, count = _HEAD.unpack_from(blob)
+        # Length is pre-checked just above, so unpack_from cannot fail.
+        magic, version, count = _HEAD.unpack_from(blob)  # pfpl: allow[error-discipline]
         if magic != _MAGIC:
             raise PFPLFormatError(f"not a PFPL archive (magic {magic!r})")
         if version != _VERSION:

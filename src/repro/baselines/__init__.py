@@ -1,5 +1,6 @@
 """The 7 baseline compressors of Table III, plus PFPL behind the same API."""
 
+from ..errors import PFPLUsageError
 from .base import (
     GUARANTEED,
     UNGUARANTEED,
@@ -56,6 +57,6 @@ def make_compressor(name: str) -> BaselineCompressor:
     try:
         return ALL_COMPRESSORS[name]()
     except KeyError:
-        raise ValueError(
+        raise PFPLUsageError(
             f"unknown compressor {name!r}; expected one of {sorted(ALL_COMPRESSORS)}"
         ) from None

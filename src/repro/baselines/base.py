@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PFPLIntegrityError, PFPLTruncatedError
+
 __all__ = [
     "Support",
     "GUARANTEED",
@@ -32,6 +34,7 @@ __all__ = [
     "UnsupportedInput",
     "pack_sections",
     "unpack_sections",
+    "unpack_head",
 ]
 
 
@@ -119,17 +122,28 @@ def pack_sections(*sections: bytes) -> bytes:
 
 
 def unpack_sections(blob: bytes) -> list[bytes]:
-    (count,) = _SEC_HDR.unpack_from(blob)
-    pos = _SEC_HDR.size
-    out = []
-    for _ in range(count):
-        (ln,) = struct.unpack_from("<Q", blob, pos)
-        pos += 8
-        out.append(blob[pos:pos + ln])
-        pos += ln
+    try:
+        (count,) = _SEC_HDR.unpack_from(blob)
+        pos = _SEC_HDR.size
+        out = []
+        for _ in range(count):
+            (ln,) = struct.unpack_from("<Q", blob, pos)
+            pos += 8
+            out.append(blob[pos:pos + ln])
+            pos += ln
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"baseline container truncated: {exc}") from exc
     if pos != len(blob):
-        raise ValueError(f"container has {len(blob) - pos} trailing bytes")
+        raise PFPLIntegrityError(f"container has {len(blob) - pos} trailing bytes")
     return out
+
+
+def unpack_head(fmt: str, blob: bytes) -> tuple:
+    """``struct.unpack_from`` that surfaces short buffers as PFPL errors."""
+    try:
+        return struct.unpack_from(fmt, blob)
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"baseline stream head truncated: {exc}") from exc
 
 
 def pack_array_meta(data: np.ndarray, mode: str, error_bound: float, extra: float = 0.0) -> bytes:
@@ -143,7 +157,10 @@ def pack_array_meta(data: np.ndarray, mode: str, error_bound: float, extra: floa
 
 
 def unpack_array_meta(blob: bytes):
-    dt, mode_i, ndim, eb, extra = struct.unpack_from("<BBHdd", blob)
+    try:
+        dt, mode_i, ndim, eb, extra = struct.unpack_from("<BBHdd", blob)
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"baseline metadata truncated: {exc}") from exc
     shape = np.frombuffer(blob, dtype=np.int64, count=ndim, offset=struct.calcsize("<BBHdd"))
     dtype = np.dtype(np.float32) if dt == 0 else np.dtype(np.float64)
     mode = ("abs", "rel", "noa")[mode_i]

@@ -42,6 +42,7 @@ from .base import (
     pack_array_meta,
     pack_sections,
     unpack_array_meta,
+    unpack_head,
     unpack_sections,
 )
 
@@ -108,7 +109,7 @@ class CuSZp(BaselineCompressor):
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, head, payload, nf_idx_raw, nf_val_raw = unpack_sections(blob)
         dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)
-        eps_eff, chain = struct.unpack("<dB", head)
+        eps_eff, chain = unpack_head("<dB", head)
         step = 2.0 * eps_eff
 
         codes = fixedlen_decode(payload)

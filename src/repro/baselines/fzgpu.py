@@ -25,7 +25,6 @@ import numpy as np
 from ..core.lossless.bitshuffle import bitshuffle, bitunshuffle
 from ..core.lossless.zerobyte import compress_bytes, decompress_bytes
 from .base import (
-    GUARANTEED,
     UNGUARANTEED,
     UNSUPPORTED,
     BaselineCompressor,
@@ -34,6 +33,7 @@ from .base import (
     pack_array_meta,
     pack_sections,
     unpack_array_meta,
+    unpack_head,
     unpack_sections,
 )
 from .predictors import lorenzo_decode, lorenzo_encode
@@ -96,7 +96,7 @@ class FZGPU(BaselineCompressor):
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, head, payload, tail_raw = unpack_sections(blob)
         dtype, mode, shape, error_bound, rng = unpack_array_meta(meta)
-        step32, n_words = struct.unpack("<fQ", head)
+        step32, n_words = unpack_head("<fQ", head)
 
         if n_words:
             stream = decompress_bytes(payload, n_words * 4)

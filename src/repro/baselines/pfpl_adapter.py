@@ -19,6 +19,7 @@ from .base import (
     BaselineCompressor,
     Features,
     pack_sections,
+    unpack_head,
     unpack_sections,
 )
 
@@ -52,7 +53,7 @@ class PFPL(BaselineCompressor):
 
     def decompress(self, blob: bytes) -> np.ndarray:
         shape_raw, stream = unpack_sections(blob)
-        (ndim,) = struct.unpack_from("<H", shape_raw)
+        (ndim,) = unpack_head("<H", shape_raw)
         shape = tuple(
             int(x) for x in np.frombuffer(shape_raw, dtype=np.int64, count=ndim, offset=2)
         )

@@ -29,7 +29,6 @@ import struct
 import numpy as np
 
 from .base import (
-    GUARANTEED,
     UNGUARANTEED,
     UNSUPPORTED,
     BaselineCompressor,
@@ -38,6 +37,7 @@ from .base import (
     pack_array_meta,
     pack_sections,
     unpack_array_meta,
+    unpack_head,
     unpack_sections,
 )
 from .lifting import lift_forward_float, lift_inverse_float
@@ -123,7 +123,7 @@ class SPERR(BaselineCompressor):
         (meta, head, codes_blob, out_idx_raw, out_val_raw,
          corr_idx_raw, corr_val_raw, nf_idx_raw, nf_val_raw) = unpack_sections(blob)
         dtype, mode, shape, error_bound, _ = unpack_array_meta(meta)
-        (budget,) = struct.unpack("<d", head)
+        (budget,) = unpack_head("<d", head)
 
         bins = _decode_codes(codes_blob)
         coeffs = dequantize(bins, budget, np.float64)

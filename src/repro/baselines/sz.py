@@ -36,16 +36,17 @@ from ..entropy import (
     zero_rle_decode,
     zero_rle_encode,
 )
+from ..errors import PFPLIntegrityError
 from .base import (
     GUARANTEED,
     UNGUARANTEED,
     UNSUPPORTED,
     BaselineCompressor,
     Features,
-    UnsupportedInput,
     pack_array_meta,
     pack_sections,
     unpack_array_meta,
+    unpack_head,
     unpack_sections,
 )
 from .lifting import lift_forward_int, lift_inverse_int
@@ -112,9 +113,9 @@ def _decode_codes(blob: bytes) -> np.ndarray:
         z = symbols.astype(np.int64)
     escaped = z == _ESCAPE_CAP
     if not escaped.any() and side.size:
-        raise ValueError("corrupt SZ stream: side data without escapes")
+        raise PFPLIntegrityError("corrupt SZ stream: side data without escapes")
     if int(escaped.sum()) != side.size:
-        raise ValueError("corrupt SZ stream: escape count mismatch")
+        raise PFPLIntegrityError("corrupt SZ stream: escape count mismatch")
     out = unzigzag(z)
     out[escaped] = side
     return out
@@ -197,7 +198,7 @@ class _SZBase(BaselineCompressor):
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, eps_raw, codes_blob, outlier_blob, signs = unpack_sections(blob)
         dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)
-        eps_eff, predictor_id, chunked = struct.unpack("<dBB", eps_raw)
+        eps_eff, predictor_id, chunked = unpack_head("<dBB", eps_raw)
 
         # The chunk layout is a property of the *file*, not of the build
         # doing the decoding -- serial and OMP builds are interchangeable
@@ -261,7 +262,7 @@ class _SZBase(BaselineCompressor):
         for pid, _, dec in self._candidates(shape):
             if pid == predictor_id:
                 return dec(residuals)
-        raise ValueError(f"corrupt SZ stream: unknown predictor {predictor_id}")
+        raise PFPLIntegrityError(f"corrupt SZ stream: unknown predictor {predictor_id}")
 
     # -- SZ2's log-space REL transform (the unguaranteed path) --------------
 

@@ -39,6 +39,7 @@ from .base import (
     pack_array_meta,
     pack_sections,
     unpack_array_meta,
+    unpack_head,
     unpack_sections,
 )
 
@@ -232,7 +233,7 @@ class ZFP(BaselineCompressor):
         (meta, head, emax_raw, nplanes_raw, nb_raw, payload,
          nf_idx_raw, nf_val_raw) = unpack_sections(blob)
         dtype, mode, shape, error_bound, _ = unpack_array_meta(meta)
-        n_blocks, ncoeff = struct.unpack("<QH", head)
+        n_blocks, ncoeff = unpack_head("<QH", head)
         emax = np.frombuffer(emax_raw, dtype="<i4").astype(np.int32)
         nplanes = np.frombuffer(nplanes_raw, dtype="<i2").astype(np.int64)
         nb = tuple(int(x) for x in np.frombuffer(nb_raw, dtype="<i4"))

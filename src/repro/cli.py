@@ -9,6 +9,7 @@ Subcommands::
     pfpl verify     ORIGINAL RECONSTRUCTED --mode abs --bound 1e-3
     pfpl table      {1,2,3}
     pfpl figure     FIGURE_ID [--files N]
+    pfpl analyze    [PATHS...] [--format table|json] [--rules a,b] [--list-rules]
 
 ``compress`` reads a raw binary array (like the SDRBench ``.f32``/
 ``.d64`` files), ``decompress`` writes one back.  ``stats`` round-trips
@@ -228,6 +229,28 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import all_rules, analyze_paths, render_json, render_table
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:22s} [{rule.severity.value}] {rule.description}")
+        return 0
+    rules = None
+    if args.rules:
+        from .analysis import get_rule
+
+        try:
+            rules = [get_rule(name) for name in args.rules.split(",")]
+        except KeyError as exc:
+            print(f"pfpl: {exc.args[0]}", file=sys.stderr)
+            return 2
+    findings = analyze_paths(args.paths, rules=rules)
+    render = render_json if args.format == "json" else render_table
+    print(render(findings))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="pfpl", description=__doc__)
     parser.add_argument(
@@ -307,6 +330,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure_id")
     p.add_argument("--files", type=int, default=None, help="files per suite")
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the codec-invariant static analyzer over source trees",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    p.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="finding report format",
+    )
+    p.add_argument(
+        "--rules", default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    p.set_defaults(func=_cmd_analyze)
 
     return parser
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import PFPLFormatError, PFPLIntegrityError
+from ..errors import PFPLFormatError, PFPLIntegrityError, PFPLUsageError
 from .lossless.pipeline import LosslessPipeline
 
 __all__ = [
@@ -85,7 +85,7 @@ class ChunkPlan:
 def plan_chunks(n_words: int, word_itemsize: int, chunk_bytes: int = CHUNK_BYTES) -> ChunkPlan:
     """Compute the chunk decomposition for ``n_words`` words."""
     if chunk_bytes % (8 * word_itemsize):
-        raise ValueError(
+        raise PFPLUsageError(
             f"chunk size {chunk_bytes} must hold a multiple of 8 words"
         )
     wpc = chunk_bytes // word_itemsize

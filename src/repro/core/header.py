@@ -123,7 +123,8 @@ class Header:
                 f"buffer too short for a PFPL header ({len(buf)} < {HEADER_BYTES})"
             )
         (magic, version, mode_i, dtype_i, eps, vrange, count,
-         wpc, n_chunks, flags, levels, _reserved) = _STRUCT.unpack_from(buf)
+         wpc, n_chunks, flags, levels,
+         _reserved) = _STRUCT.unpack_from(buf)  # pfpl: allow[error-discipline] - length pre-checked
         if magic != MAGIC:
             raise PFPLFormatError(f"not a PFPL stream (magic {magic!r})")
         if version not in _SUPPORTED_VERSIONS:

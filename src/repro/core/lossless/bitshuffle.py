@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import PFPLIntegrityError, PFPLUsageError
+
 __all__ = ["bitshuffle", "bitunshuffle"]
 
 
@@ -32,7 +34,7 @@ def _check(words: np.ndarray) -> tuple[np.ndarray, int]:
     else:
         raise TypeError(f"bit shuffle expects uint32/uint64 words, got {words.dtype}")
     if words.size % 8:
-        raise ValueError(f"bit shuffle needs a multiple of 8 words, got {words.size}")
+        raise PFPLUsageError(f"bit shuffle needs a multiple of 8 words, got {words.size}")
     return words, width
 
 
@@ -70,7 +72,7 @@ def bitunshuffle(planes: np.ndarray, n_words: int, dtype) -> np.ndarray:
     if n_words == 0:
         return np.empty(0, dtype=dt)
     if planes.size * 8 != n_words * width:
-        raise ValueError(
+        raise PFPLIntegrityError(
             f"plane buffer holds {planes.size * 8} bits, expected {n_words * width}"
         )
     bits = np.unpackbits(planes).reshape(width, n_words)

@@ -65,7 +65,7 @@ def bitmap_sizes(n: int, levels: int = DEFAULT_LEVELS) -> list[int]:
 
 def _popcount_exact(bitmap: np.ndarray, n_bits: int) -> int:
     bits = np.unpackbits(np.ascontiguousarray(bitmap, dtype=np.uint8), count=n_bits)
-    return int(bits.sum())
+    return int(bits.sum(dtype=np.int64))
 
 
 def zero_eliminate(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -79,7 +79,7 @@ def zero_restore(bitmap: np.ndarray, kept: np.ndarray, n: int) -> np.ndarray:
     """Inverse of :func:`zero_eliminate` for an ``n``-byte buffer."""
     keep = np.unpackbits(np.ascontiguousarray(bitmap, dtype=np.uint8), count=n).astype(bool)
     kept = np.ascontiguousarray(kept, dtype=np.uint8)
-    if int(keep.sum()) != kept.size:
+    if int(keep.sum(dtype=np.int64)) != kept.size:
         raise PFPLIntegrityError("zero-elimination bitmap does not match kept-byte count")
     out = np.zeros(n, dtype=np.uint8)
     out[keep] = kept
@@ -106,11 +106,11 @@ def repeat_restore(bitmap: np.ndarray, kept: np.ndarray, n: int) -> np.ndarray:
     """Inverse of :func:`repeat_eliminate` (vectorized forward fill)."""
     keep = np.unpackbits(np.ascontiguousarray(bitmap, dtype=np.uint8), count=n).astype(bool)
     kept = np.ascontiguousarray(kept, dtype=np.uint8)
-    if int(keep.sum()) != kept.size:
+    if int(keep.sum(dtype=np.int64)) != kept.size:
         raise PFPLIntegrityError("repeat-elimination bitmap does not match kept-byte count")
     # out[i] = latest kept byte at or before i, seeded with 0x00.
     fill = np.concatenate(([np.uint8(0)], kept))
-    idx = np.cumsum(keep)
+    idx = np.cumsum(keep, dtype=np.int64)
     return fill[idx]
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import PFPLUsageError
+
 from .absq import AbsQuantizer
 from .base import Quantizer, QuantizerStats
 from .noaq import NoaQuantizer
@@ -44,5 +46,5 @@ def make_quantizer(mode: str, error_bound: float, dtype=np.float32, **kwargs) ->
     try:
         cls = MODES[mode]
     except KeyError:
-        raise ValueError(f"unknown error-bound mode {mode!r}; expected one of {sorted(MODES)}") from None
+        raise PFPLUsageError(f"unknown error-bound mode {mode!r}; expected one of {sorted(MODES)}") from None
     return cls(error_bound, dtype=dtype, **kwargs)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import PFPLUsageError
 from .base import Quantizer
 
 __all__ = ["AbsQuantizer"]
@@ -46,7 +47,7 @@ class AbsQuantizer(Quantizer):
         super().__init__(error_bound, dtype)
         lay = self.layout
         if error_bound < lay.smallest_normal:
-            raise ValueError(
+            raise PFPLUsageError(
                 f"ABS/NOA error bound must be >= the smallest normal "
                 f"{lay.float_dtype} value ({lay.smallest_normal:g}); "
                 f"got {error_bound:g}"
@@ -61,14 +62,14 @@ class AbsQuantizer(Quantizer):
         if float(eps) > error_bound:
             eps = np.nextafter(eps, fdt(0.0))
         if not (eps > 0):
-            raise ValueError(
+            raise PFPLUsageError(
                 f"error bound {error_bound:g} underflows {lay.name}"
             )
         self._eps = eps
         self._scale = fdt(0.5) / self._eps
         self._two_eps = self._eps + self._eps
         if not np.isfinite(self._scale) or not np.isfinite(self._two_eps):
-            raise ValueError(f"error bound {error_bound:g} not usable in {lay.name}")
+            raise PFPLUsageError(f"error bound {error_bound:g} not usable in {lay.name}")
 
     # -- encode ------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...errors import PFPLUsageError
 from ..floatbits import FloatLayout, layout_for
 
 __all__ = ["Quantizer", "QuantizerStats", "as_float_array"]
@@ -80,7 +81,7 @@ class Quantizer(ABC):
 
     def __init__(self, error_bound: float, dtype=np.float32):
         if not (error_bound > 0) or not np.isfinite(error_bound):
-            raise ValueError(f"error bound must be positive and finite, got {error_bound}")
+            raise PFPLUsageError(f"error bound must be positive and finite, got {error_bound}")
         self.layout: FloatLayout = layout_for(dtype)
         self.error_bound = float(error_bound)
         self.stats = QuantizerStats()
@@ -138,7 +139,7 @@ class Quantizer(ABC):
         """
         v = as_float_array(values).astype(self.layout.float_dtype, copy=False)
         if out.shape != (v.size,):
-            raise ValueError(
+            raise PFPLUsageError(
                 f"output slice holds {out.shape} words, expected ({v.size},)"
             )
         words, n_lossless = self._encode_words(v)
@@ -149,7 +150,7 @@ class Quantizer(ABC):
         """Decode one chunk's words directly into its output slice."""
         w = np.ascontiguousarray(words, dtype=self.layout.uint_dtype)
         if out.shape != (w.size,):
-            raise ValueError(
+            raise PFPLUsageError(
                 f"output slice holds {out.shape} values, expected ({w.size},)"
             )
         out[...] = self._decode_words(w)

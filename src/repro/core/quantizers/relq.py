@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import PFPLUsageError
 from ..portable_math import exp2_portable, log2_portable
 from .base import Quantizer
 
@@ -52,21 +53,23 @@ class RelQuantizer(Quantizer):
     def __init__(self, error_bound: float, dtype=np.float32, math_impl: str = "portable"):
         super().__init__(error_bound, dtype)
         if math_impl not in ("portable", "libm"):
-            raise ValueError(f"math_impl must be portable/libm, got {math_impl!r}")
+            raise PFPLUsageError(f"math_impl must be portable/libm, got {math_impl!r}")
         self.math_impl = math_impl
         if math_impl == "portable":
             self._log2 = log2_portable
             self._exp2 = exp2_portable
         else:
-            self._log2 = np.log2
-            self._exp2 = np.exp2
+            # The libm ablation arm exists to *measure* device-dependent
+            # transcendentals against the portable path (paper Sec. VI).
+            self._log2 = np.log2  # pfpl: allow[portable-math]
+            self._exp2 = np.exp2  # pfpl: allow[portable-math]
         # Log-space bin width: 2*log2(1+eps), computed with the selected
         # log so that encoder and decoder agree exactly.
         self._log_step = float(
             2.0 * self._log2(np.asarray([1.0 + self.error_bound]))[0]
         )
         if self._log_step <= 0.0:
-            raise ValueError(
+            raise PFPLUsageError(
                 f"REL error bound {error_bound:g} is too small to quantize "
                 f"(1+eps rounds to 1 in float64)"
             )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import PFPLUsageError
+
 import numpy as np
 
 __all__ = ["BoundReport", "check_abs", "check_rel", "check_noa", "check_bound"]
@@ -46,7 +48,7 @@ def _finite_pair(original: np.ndarray, recon: np.ndarray):
     o = np.asarray(original).reshape(-1)
     r = np.asarray(recon).reshape(-1)
     if o.shape != r.shape:
-        raise ValueError(f"shape mismatch: {o.shape} vs {r.shape}")
+        raise PFPLUsageError(f"shape mismatch: {o.shape} vs {r.shape}")
     fin = np.isfinite(o)
     return o[fin].astype(np.longdouble), r[fin].astype(np.longdouble)
 
@@ -57,7 +59,7 @@ def check_abs(original: np.ndarray, recon: np.ndarray, bound: float) -> BoundRep
     err = np.abs(o - r)
     bad = err > np.longdouble(bound)
     max_err = float(err.max()) if err.size else 0.0
-    return BoundReport("abs", float(bound), max_err, int(bad.sum()), int(o.size))
+    return BoundReport("abs", float(bound), max_err, int(bad.sum(dtype=np.int64)), int(o.size))
 
 
 def check_rel(original: np.ndarray, recon: np.ndarray, bound: float) -> BoundReport:
@@ -80,7 +82,7 @@ def check_rel(original: np.ndarray, recon: np.ndarray, bound: float) -> BoundRep
     max_err = float(rel_err.max()) if rel_err.size else 0.0
     if np.any(zero_bad):
         max_err = float("inf")
-    violations = int(np.count_nonzero(sign_bad | range_bad)) + int(zero_bad.sum())
+    violations = int(np.count_nonzero(sign_bad | range_bad)) + int(zero_bad.sum(dtype=np.int64))
     return BoundReport("rel", float(bound), max_err, violations, int(o.size))
 
 
@@ -112,4 +114,4 @@ def check_bound(
         return check_rel(original, recon, bound)
     if mode == "noa":
         return check_noa(original, recon, bound, value_range)
-    raise ValueError(f"unknown error-bound mode {mode!r}")
+    raise PFPLUsageError(f"unknown error-bound mode {mode!r}")

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import PFPLUsageError
+
 __all__ = [
     "spectral_field",
     "particle_data",
@@ -90,7 +92,7 @@ def particle_data(
         bulk = np.cumsum(rng.normal(0.0, 0.02, n))  # large-scale flow
         thermal = rng.normal(0.0, 50.0, n)
         return (bulk * 20.0 + thermal).astype(dtype)
-    raise ValueError(f"unknown particle array kind {kind!r}")
+    raise PFPLUsageError(f"unknown particle array kind {kind!r}")
 
 
 def wavefunction_field(

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.kernel import ChunkKernel
+from ..errors import PFPLUsageError
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
 from ..core.quantizers import Quantizer
 from ..telemetry import NULL_TELEMETRY
@@ -150,10 +151,15 @@ class ThreadedBackend(Backend):
         n_threads: int | None = None,
         device: DeviceSpec = THREADRIPPER_2950X,
         telemetry=NULL_TELEMETRY,
+        sanitizer=None,
     ):
         self.device = device
         self.n_threads = n_threads or min(16, os.cpu_count() or 1)
         self.telemetry = telemetry
+        #: optional repro.analysis.ConcurrencySanitizer; when set, the
+        #: pool's shared order record runs on instrumented primitives so
+        #: tests can assert the lock discipline held.
+        self.sanitizer = sanitizer
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         n = len(items)
@@ -161,10 +167,15 @@ class ThreadedBackend(Backend):
             self.last_order = list(range(n))
             return [fn(item) for item in items]
         tel = self.telemetry
+        san = self.sanitizer
         # The order items actually *began* executing across pool workers
         # -- the ground truth the scheduler simulation is checked against.
-        order_record: list[int] = []
-        record_lock = threading.Lock()
+        if san is not None:
+            record_lock = san.lock("order_record")
+            order_record = san.shared_list("order_record", record_lock)
+        else:
+            order_record = []
+            record_lock = threading.Lock()
         t_submit = time.perf_counter()
 
         def run(index: int, item) -> object:
@@ -194,7 +205,7 @@ class ThreadedBackend(Backend):
                 order = submission_order(costs)
                 futures = {int(i): pool.submit(run, int(i), items[int(i)]) for i in order}
                 results = [futures[i].result() for i in range(n)]
-        self.last_order = order_record
+        self.last_order = list(order_record)
         return results
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
@@ -250,7 +261,7 @@ def get_backend(name: str, **kwargs) -> Backend:
     try:
         cls = BACKENDS[name]
     except KeyError:
-        raise ValueError(
+        raise PFPLUsageError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         ) from None
     return cls(**kwargs)

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
+from ..core.lossless.pipeline import LosslessPipeline
+from ..errors import PFPLIntegrityError
 from ..core.lossless.negabinary import from_negabinary, to_negabinary
 from ..core.lossless.zerobyte import bitmap_sizes, repeat_restore, zero_restore
 from .prefix_sum import blelloch_scan
@@ -140,7 +141,7 @@ class GpuLosslessPipeline(LosslessPipeline):
             else:
                 stream = np.frombuffer(blob, dtype=np.uint8)
             if stream.size != n_bytes:
-                raise ValueError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
+                raise PFPLIntegrityError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
         if cfg.use_bitshuffle:
             words = warp_bitunshuffle(stream, n_words, self.word_dtype)
         else:
@@ -164,7 +165,7 @@ class GpuLosslessPipeline(LosslessPipeline):
             else:
                 stream = np.frombuffer(blob, dtype=np.uint8)
             if stream.size != n_bytes:
-                raise ValueError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
+                raise PFPLIntegrityError(f"chunk holds {stream.size} bytes, expected {n_bytes}")
         if cfg.use_bitshuffle:
             with tel.span("bitunshuffle", cat="decode",
                           bytes_in=stream.size, bytes_out=n_bytes):
@@ -201,5 +202,5 @@ class GpuLosslessPipeline(LosslessPipeline):
         payload = buf[pos:pos + n_kept]
         pos += n_kept
         if pos != buf.size:
-            raise ValueError(f"stage L3 blob has {buf.size - pos} unexpected trailing bytes")
+            raise PFPLIntegrityError(f"stage L3 blob has {buf.size - pos} unexpected trailing bytes")
         return zero_restore(bitmap, payload, n)

@@ -92,7 +92,10 @@ class PipelineProfile:
 
 
 def profile_chunk(
-    values: np.ndarray, mode: str = "abs", error_bound: float = 1e-3
+    values: np.ndarray,
+    mode: str = "abs",
+    error_bound: float = 1e-3,
+    quantizer_params: dict | None = None,
 ) -> PipelineProfile:
     """Profile one chunk of float data through quantize + L1 + L2 + L3.
 
@@ -101,12 +104,22 @@ def profile_chunk(
     quantizer ~6 ops/value (mul, round, convert, mul, sub, compare),
     delta+negabinary ~3 ops/word, bit shuffle ~log2(w) ops/word,
     zero elimination ~2 ops/byte + bitmap iterations.
+
+    ``quantizer_params`` carries pre-resolved mode-global state (a NOA
+    ``value_range`` from ``header_params()``); when given, ``prepare``
+    is skipped so a *slice* of a larger stream profiles exactly like
+    the codec encoding that slice inside the whole.
     """
     values = np.ascontiguousarray(values).reshape(-1)
-    quantizer = make_quantizer(mode, error_bound, dtype=values.dtype)
-    # Resolve mode-global state exactly like the codec does (NOA's
-    # min/max reduction; no-op for ABS/REL) so all three modes profile.
-    quantizer.prepare(values)
+    if quantizer_params is not None:
+        quantizer = make_quantizer(
+            mode, error_bound, dtype=values.dtype, **quantizer_params
+        )
+    else:
+        quantizer = make_quantizer(mode, error_bound, dtype=values.dtype)
+        # Resolve mode-global state exactly like the codec does (NOA's
+        # min/max reduction; no-op for ABS/REL) so all three modes profile.
+        quantizer.prepare(values)
     n = values.size
     word_bytes = values.dtype.itemsize
     width = word_bytes * 8

@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..errors import PFPLUsageError
+
 import numpy as np
 
 __all__ = ["ScheduleResult", "dynamic_schedule", "static_schedule", "submission_order"]
@@ -63,7 +65,7 @@ def dynamic_schedule(
     else:
         queue = [int(i) for i in order]
         if sorted(queue) != list(range(n)):
-            raise ValueError("order must be a permutation of the chunk indices")
+            raise PFPLUsageError("order must be a permutation of the chunk indices")
     assignment = np.zeros(n, dtype=np.int64)
     start_times = np.zeros(n, dtype=np.float64)
     finish = np.zeros(n_workers, dtype=np.float64)

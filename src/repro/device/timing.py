@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import PFPLUsageError
 from .spec import DeviceSpec
 
 __all__ = ["CostModel", "modeled_throughput", "COST_MODELS", "dram_utilization"]
@@ -71,7 +72,7 @@ def modeled_throughput(
     code) -- mirroring the support matrix of Table III.
     """
     if direction not in ("compress", "decompress"):
-        raise ValueError(f"direction must be compress/decompress, got {direction!r}")
+        raise PFPLUsageError(f"direction must be compress/decompress, got {direction!r}")
     comp = direction == "compress"
 
     if device.kind == "cpu":

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import PFPLIntegrityError, PFPLUsageError
+
 __all__ = ["butterfly_transpose", "warp_bitshuffle", "warp_bitunshuffle"]
 
 
@@ -50,7 +52,7 @@ def butterfly_transpose(groups: np.ndarray) -> np.ndarray:
     else:
         raise TypeError(f"butterfly transpose expects uint32/uint64, got {dt}")
     if groups.ndim != 2 or groups.shape[1] != w:
-        raise ValueError(f"expected shape (G, {w}), got {groups.shape}")
+        raise PFPLUsageError(f"expected shape (G, {w}), got {groups.shape}")
 
     x = groups.copy()
     lanes = np.arange(w)
@@ -85,7 +87,7 @@ def warp_bitshuffle(words: np.ndarray) -> np.ndarray:
     w = dt.itemsize * 8
     n = words.size
     if n % 8:
-        raise ValueError(f"bit shuffle needs a multiple of 8 words, got {n}")
+        raise PFPLUsageError(f"bit shuffle needs a multiple of 8 words, got {n}")
     if n == 0:
         return np.empty(0, dtype=np.uint8)
 
@@ -110,7 +112,7 @@ def warp_bitunshuffle(planes: np.ndarray, n_words: int, dtype) -> np.ndarray:
     if n_words == 0:
         return np.empty(0, dtype=dt)
     if planes.size * 8 != n_words * w:
-        raise ValueError(
+        raise PFPLIntegrityError(
             f"plane buffer holds {planes.size * 8} bits, expected {n_words * w}"
         )
     n_warps = (n_words + w - 1) // w

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import PFPLTruncatedError, PFPLUsageError
+
 __all__ = ["pack_bits", "unpack_fixed", "BitReader"]
 
 
@@ -23,13 +25,13 @@ def pack_bits(values: np.ndarray, widths: np.ndarray) -> tuple[bytes, int]:
     values = np.ascontiguousarray(values, dtype=np.uint64)
     widths = np.ascontiguousarray(widths, dtype=np.int64)
     if values.shape != widths.shape:
-        raise ValueError("values and widths must have the same shape")
+        raise PFPLUsageError("values and widths must have the same shape")
     if widths.size and int(widths.max()) > 32:
-        raise ValueError("pack_bits supports widths up to 32 bits")
+        raise PFPLUsageError("pack_bits supports widths up to 32 bits")
     if widths.size and int(widths.min()) < 0:
-        raise ValueError("negative bit width")
+        raise PFPLUsageError("negative bit width")
 
-    total_bits = int(widths.sum())
+    total_bits = int(widths.sum(dtype=np.int64))
     if total_bits == 0:
         return b"", 0
     starts = np.zeros(widths.size, dtype=np.int64)
@@ -54,11 +56,11 @@ def unpack_fixed(buf: bytes, width: int, count: int, bit_offset: int = 0) -> np.
     if width == 0:
         return np.zeros(count, dtype=np.uint64)
     if width < 0 or width > 32:
-        raise ValueError("unpack_fixed supports widths 1..32")
+        raise PFPLUsageError("unpack_fixed supports widths 1..32")
     data = np.frombuffer(buf, dtype=np.uint8)
     need = bit_offset + width * count
     if data.size * 8 < need:
-        raise ValueError(f"bit buffer too short: {data.size * 8} < {need}")
+        raise PFPLTruncatedError(f"bit buffer too short: {data.size * 8} < {need}")
     bits = np.unpackbits(data, count=need)[bit_offset:]
     bits = bits.reshape(count, width).astype(np.uint64)
     out = np.zeros(count, dtype=np.uint64)

@@ -13,6 +13,7 @@ import struct
 
 import numpy as np
 
+from ..errors import PFPLTruncatedError, PFPLUsageError
 from .bitio import pack_bits, unpack_fixed
 
 __all__ = ["fixedlen_encode", "fixedlen_decode"]
@@ -62,7 +63,7 @@ def fixedlen_encode(values: np.ndarray, block: int = _BLOCK) -> bytes:
             probe >>= np.uint64(1)
         widths[nz] = w + 1
         if widths.size and widths.max() > 32:
-            raise ValueError("fixed-length coder supports codes up to 32 bits")
+            raise PFPLUsageError("fixed-length coder supports codes up to 32 bits")
         per_value_width = np.repeat(widths, block)
         payload, _bits = pack_bits(z, per_value_width)
     else:
@@ -74,7 +75,10 @@ def fixedlen_encode(values: np.ndarray, block: int = _BLOCK) -> bytes:
 
 
 def fixedlen_decode(blob: bytes) -> np.ndarray:
-    n, block = _HDR.unpack_from(blob)
+    try:
+        n, block = _HDR.unpack_from(blob)
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"fixed-length header truncated: {exc}") from exc
     pos = _HDR.size
     n_blocks = (n + block - 1) // block
     widths = np.frombuffer(blob, dtype=np.uint8, count=n_blocks, offset=pos).astype(np.int64)

@@ -24,6 +24,7 @@ import struct
 
 import numpy as np
 
+from ..errors import PFPLIntegrityError, PFPLTruncatedError, PFPLUsageError
 from .bitio import pack_bits
 
 __all__ = ["huffman_encode", "huffman_decode", "code_lengths", "canonical_codes"]
@@ -90,7 +91,7 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     codes = np.zeros(lengths.size, dtype=np.uint32)
     code = 0
     prev_len = 0
-    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = np.lexsort((np.arange(lengths.size, dtype=np.int64), lengths))
     for idx in order:
         ln = int(lengths[idx])
         if ln == 0:
@@ -106,11 +107,11 @@ def huffman_encode(symbols: np.ndarray, alphabet_size: int | None = None) -> byt
     """Encode a uint array of symbols; self-describing blob."""
     symbols = np.ascontiguousarray(symbols).astype(np.int64, copy=False)
     if symbols.size and (symbols.min() < 0):
-        raise ValueError("Huffman symbols must be non-negative")
+        raise PFPLUsageError("Huffman symbols must be non-negative")
     if alphabet_size is None:
         alphabet_size = int(symbols.max()) + 1 if symbols.size else 1
     if symbols.size and int(symbols.max()) >= alphabet_size:
-        raise ValueError("symbol outside declared alphabet")
+        raise PFPLUsageError("symbol outside declared alphabet")
 
     freqs = np.bincount(symbols, minlength=alphabet_size)
     lengths = code_lengths(freqs)
@@ -133,7 +134,10 @@ def huffman_encode(symbols: np.ndarray, alphabet_size: int | None = None) -> byt
 
 def huffman_decode(blob: bytes) -> np.ndarray:
     """Decode a :func:`huffman_encode` blob (block-parallel)."""
-    alphabet_size, n_blocks, n_symbols = _HDR.unpack_from(blob)
+    try:
+        alphabet_size, n_blocks, n_symbols = _HDR.unpack_from(blob)
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"Huffman header truncated: {exc}") from exc
     pos = _HDR.size
     lengths = np.frombuffer(blob, dtype=np.uint8, count=alphabet_size, offset=pos)
     pos += alphabet_size
@@ -152,7 +156,7 @@ def huffman_decode(blob: bytes) -> np.ndarray:
     lut_len = np.zeros(1 << MAX_CODE_LEN, dtype=np.int64)
     used = lengths > 0
     if not np.any(used):
-        raise ValueError("corrupt Huffman table: no codes")
+        raise PFPLIntegrityError("corrupt Huffman table: no codes")
     syms = np.flatnonzero(used)
     lns = lengths[syms].astype(np.int64)
     starts_tbl = (codes[syms].astype(np.int64) << (MAX_CODE_LEN - lns))
@@ -194,7 +198,7 @@ def huffman_decode(blob: bytes) -> np.ndarray:
         sym = lut_sym[peek]
         ln = lut_len[peek]
         if np.any(ln == 0):
-            raise ValueError("corrupt Huffman stream: invalid code window")
+            raise PFPLIntegrityError("corrupt Huffman stream: invalid code window")
         out[idx, step] = sym
         bitpos[idx] = bp + ln
         step += 1
@@ -205,10 +209,10 @@ def huffman_decode(blob: bytes) -> np.ndarray:
 
 def _ranges(spans: np.ndarray) -> np.ndarray:
     """concat(arange(s) for s in spans), vectorized."""
-    total = int(spans.sum())
+    total = int(spans.sum(dtype=np.int64))
     if total == 0:
         return np.zeros(0, dtype=np.int64)
-    ends = np.cumsum(spans)
+    ends = np.cumsum(spans, dtype=np.int64)
     starts = ends - spans
     out = np.arange(total, dtype=np.int64)
     out -= np.repeat(starts, spans)
@@ -218,5 +222,5 @@ def _ranges(spans: np.ndarray) -> np.ndarray:
 def _gather_mask(counts: np.ndarray) -> np.ndarray:
     """Boolean mask selecting the first counts[b] slots of each block row."""
     n_blocks = counts.size
-    cols = np.arange(_BLOCK)
+    cols = np.arange(_BLOCK, dtype=np.int64)
     return (cols[None, :] < counts[:, None]).reshape(-1)

@@ -21,6 +21,8 @@ import struct
 
 import numpy as np
 
+from ..errors import PFPLIntegrityError, PFPLTruncatedError
+
 __all__ = ["lz77_compress", "lz77_decompress"]
 
 _MIN_MATCH = 4
@@ -125,10 +127,13 @@ def lz77_compress(data: bytes) -> bytes:
 
 
 def lz77_decompress(blob: bytes) -> bytes:
-    n, n_tokens = _HDR.unpack_from(blob)
-    pos = _HDR.size
-    (tail,) = struct.unpack_from("<Q", blob, pos)
-    pos += 8
+    try:
+        n, n_tokens = _HDR.unpack_from(blob)
+        pos = _HDR.size
+        (tail,) = struct.unpack_from("<Q", blob, pos)
+        pos += 8
+    except struct.error as exc:
+        raise PFPLTruncatedError(f"LZ77 header truncated: {exc}") from exc
     tok = np.frombuffer(blob, dtype="<u4", count=3 * n_tokens, offset=pos)
     tok = tok.reshape(n_tokens, 3).astype(np.int64)
     pos += 12 * n_tokens
@@ -145,7 +150,7 @@ def lz77_decompress(blob: bytes) -> bytes:
             li += nlit
         src = oi - dist
         if src < 0:
-            raise ValueError("corrupt LZ77 stream: distance before start")
+            raise PFPLIntegrityError("corrupt LZ77 stream: distance before start")
         if dist >= length:
             out[oi:oi + length] = out[src:src + length]
         else:
@@ -158,5 +163,5 @@ def lz77_decompress(blob: bytes) -> bytes:
         oi += tail
         li += tail
     if oi != n:
-        raise ValueError(f"corrupt LZ77 stream: reproduced {oi} of {n} bytes")
+        raise PFPLIntegrityError(f"corrupt LZ77 stream: reproduced {oi} of {n} bytes")
     return out.tobytes()

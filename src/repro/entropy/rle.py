@@ -15,6 +15,8 @@ import struct
 
 import numpy as np
 
+from ..errors import PFPLIntegrityError, PFPLUsageError
+
 __all__ = ["rle_encode", "rle_decode", "zero_rle_encode", "zero_rle_decode"]
 
 _HDR = struct.Struct("<QI")
@@ -48,10 +50,10 @@ def rle_decode(run_values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
 def _ranges(lengths: np.ndarray) -> np.ndarray:
     """concat(arange(n) for n in lengths), vectorized."""
     lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
+    total = int(lengths.sum(dtype=np.int64))
     if total == 0:
         return np.zeros(0, dtype=np.int64)
-    ends = np.cumsum(lengths)
+    ends = np.cumsum(lengths, dtype=np.int64)
     starts = ends - lengths
     out = np.arange(total, dtype=np.int64)
     out -= np.repeat(starts, lengths)
@@ -69,7 +71,7 @@ def zero_rle_encode(symbols: np.ndarray, zero_symbol: int) -> np.ndarray:
     """
     symbols = np.ascontiguousarray(symbols).astype(np.int64, copy=False)
     if symbols.size and symbols.min() < 0:
-        raise ValueError("zero-RLE symbols must be non-negative")
+        raise PFPLUsageError("zero-RLE symbols must be non-negative")
     vals, lens = rle_encode(symbols)
     if vals.size == 0:
         return np.zeros(0, dtype=np.int64)
@@ -80,7 +82,7 @@ def zero_rle_encode(symbols: np.ndarray, zero_symbol: int) -> np.ndarray:
     out_lens = np.where(zrun, 2 + ndig, lens)
     offsets = np.zeros(vals.size, dtype=np.int64)
     np.cumsum(out_lens[:-1], out=offsets[1:])
-    out = np.zeros(int(out_lens.sum()), dtype=np.int64)
+    out = np.zeros(int(out_lens.sum(dtype=np.int64)), dtype=np.int64)
 
     lit = np.flatnonzero(~zrun)
     if lit.size:
@@ -106,16 +108,16 @@ def zero_rle_decode(stream: np.ndarray, zero_symbol: int) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
     zpos = np.flatnonzero(stream == 0)
     if zpos.size % 2:
-        raise ValueError("corrupt zero-RLE stream: unterminated run")
+        raise PFPLIntegrityError("corrupt zero-RLE stream: unterminated run")
     starts = zpos[0::2]
     ends = zpos[1::2]
     if np.any(ends <= starts):
-        raise ValueError("corrupt zero-RLE stream: empty run body")
+        raise PFPLIntegrityError("corrupt zero-RLE stream: empty run body")
 
     # run lengths from the base-255 digits between each marker pair
     ndig = ends - starts - 1
     if ndig.size and int(ndig.max()) > 4:
-        raise ValueError("corrupt zero-RLE stream: run length overflow")
+        raise PFPLIntegrityError("corrupt zero-RLE stream: run length overflow")
     run_lens = np.zeros(starts.size, dtype=np.int64)
     for k in range(int(ndig.max()) if ndig.size else 0):
         m = ndig > k
@@ -129,7 +131,7 @@ def zero_rle_decode(stream: np.ndarray, zero_symbol: int) -> np.ndarray:
     # output offsets: gap i starts after all previous gaps and runs
     out_gap_off = np.zeros(gap_lens.size, dtype=np.int64)
     np.cumsum(gap_lens[:-1] + run_lens, out=out_gap_off[1:])
-    total = int(gap_lens.sum() + run_lens.sum())
+    total = int(gap_lens.sum(dtype=np.int64) + run_lens.sum(dtype=np.int64))
 
     out = np.full(total, zero_symbol, dtype=np.int64)
     lit = np.flatnonzero(gap_lens)
@@ -138,6 +140,6 @@ def zero_rle_decode(stream: np.ndarray, zero_symbol: int) -> np.ndarray:
         pos_in = np.repeat(gap_starts[lit], gap_lens[lit]) + _ranges(gap_lens[lit])
         vals = stream[pos_in]
         if np.any(vals < 256):
-            raise ValueError("corrupt zero-RLE stream: digit outside a run")
+            raise PFPLIntegrityError("corrupt zero-RLE stream: digit outside a run")
         out[pos_out] = vals - 256
     return out

@@ -19,6 +19,7 @@ Hierarchy::
     +-- PFPLIntegrityError       payload inconsistent with its framing
     |                            (bitmap/size mismatch, checksum failure)
     +-- PFPLConfigMismatchError  valid stream, wrong caller configuration
+    +-- PFPLUsageError           API misuse: bad argument to a repro call
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ __all__ = [
     "PFPLTruncatedError",
     "PFPLIntegrityError",
     "PFPLConfigMismatchError",
+    "PFPLUsageError",
 ]
 
 
@@ -57,3 +59,12 @@ class PFPLConfigMismatchError(PFPLError):
     """The stream is valid but does not match what the caller configured:
     a :class:`~repro.core.compressor.PFPLCompressor` with different
     mode/bound/dtype, or an ``out=`` buffer of the wrong shape or dtype."""
+
+
+class PFPLUsageError(PFPLError):
+    """The caller passed an invalid argument to a :mod:`repro` API: an
+    unknown mode/backend/codec name, a non-positive error bound, arrays
+    of mismatched shape, out-of-range configuration.  Nothing about the
+    input *bytes* is wrong -- the call itself is.  Subclassing
+    :class:`PFPLError` (hence :class:`ValueError`) keeps pre-existing
+    ``except ValueError`` callers working."""

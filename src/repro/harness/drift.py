@@ -23,9 +23,11 @@ must be a multiple of 8 values (otherwise the kernel's shuffle padding
 makes the tail chunk's delta-stage traffic differ from the unpadded
 analytic model by construction).
 
-NOA mode resolves its global range per :func:`profile_chunk` call, so
-only single-chunk inputs drift-check cleanly under ``mode="noa"``;
-ABS/REL are chunk-local and check at any size.
+NOA's error bound depends on the *global* value range, so the check
+resolves the range once over the whole input (exactly as the codec's
+``prepare`` does) and hands it to every per-chunk :func:`profile_chunk`
+call via ``quantizer_params`` -- multi-chunk NOA drift-checks exactly
+like ABS/REL.
 """
 
 from __future__ import annotations
@@ -36,7 +38,9 @@ import numpy as np
 
 from ..core.chunking import CHUNK_BYTES
 from ..core.compressor import PFPLCompressor
+from ..core.quantizers import make_quantizer
 from ..device.profile import profile_chunk
+from ..errors import PFPLUsageError
 from ..telemetry import Telemetry
 
 __all__ = ["StageDrift", "DriftReport", "drift_check"]
@@ -162,9 +166,9 @@ def drift_check(
     """
     values = np.ascontiguousarray(values).reshape(-1)
     if values.size == 0:
-        raise ValueError("drift_check needs a non-empty input")
+        raise PFPLUsageError("drift_check needs a non-empty input")
     if values.size % 8:
-        raise ValueError(
+        raise PFPLUsageError(
             "drift_check input length must be a multiple of 8 values "
             "(shuffle padding makes the tail chunk incomparable otherwise)"
         )
@@ -178,7 +182,17 @@ def drift_check(
     comp.compress(values)
     measured = tel.stage_table("encode")
 
-    # The analytic side walks the same chunk grid the codec used.
+    # The analytic side walks the same chunk grid the codec used.  NOA's
+    # quantizer state is mode-global (the value range), so it is resolved
+    # ONCE over the full input, as the codec does, then pinned for every
+    # per-chunk profile so chunk slices see the codec's exact bound.
+    # ABS/REL quantizers are chunk-local; each profile rebuilds them.
+    quantizer_params = None
+    if mode == "noa":
+        pre = make_quantizer(mode, error_bound, dtype=values.dtype)
+        pre.prepare(values)
+        quantizer_params = pre.header_params()
+
     words_per_chunk = chunk_bytes // values.dtype.itemsize
     analytic: dict[str, dict[str, int]] = {}
     n_chunks = 0
@@ -186,7 +200,7 @@ def drift_check(
         n_chunks += 1
         profile = profile_chunk(
             values[start:start + words_per_chunk], mode=mode,
-            error_bound=error_bound,
+            error_bound=error_bound, quantizer_params=quantizer_params,
         )
         for sp in profile.stages:
             row = analytic.setdefault(

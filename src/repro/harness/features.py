@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..baselines import ALL_COMPRESSORS, GUARANTEED, UNGUARANTEED, UNSUPPORTED
+from ..baselines import ALL_COMPRESSORS
 
 __all__ = ["feature_matrix", "render_table3", "TABLE3_EXPECTED"]
 

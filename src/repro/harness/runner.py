@@ -20,7 +20,7 @@ import numpy as np
 
 from ..baselines import ALL_COMPRESSORS, UnsupportedInput
 from ..core.verify import check_bound
-from ..datasets import SUITES, load_suite
+from ..datasets import load_suite
 from ..log import get_logger
 from ..metrics import geomean, psnr
 

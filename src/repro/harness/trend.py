@@ -1,0 +1,127 @@
+"""Benchmark trend gating: diff a new snapshot against a committed one.
+
+``scripts/bench_snapshot.py`` writes a JSON snapshot of (field, backend)
+throughput cells; the repo commits one per PR (``BENCH_PR3.json``).
+This module compares a freshly measured snapshot against that baseline
+and flags any cell whose encode/decode throughput fell by more than a
+threshold -- the CI gate that turns the ROADMAP's "bench trend tracking"
+item into a hard check.
+
+The threshold is deliberately loose (35% by default): shared CI runners
+jitter by tens of percent, and the gate exists to catch *algorithmic*
+regressions (a quadratic sneaking into assembly, a lost fast path), not
+noisy single-digit drift.  Cells are compared only when both snapshots
+measured the same input size; a ``--quick`` snapshot never gates
+against a full-size baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrendCell", "TrendReport", "compare_snapshots"]
+
+#: throughput metrics gated per cell
+_METRICS = ("encode_gbps", "decode_gbps")
+
+
+@dataclass(frozen=True)
+class TrendCell:
+    """One (field, backend, metric) throughput comparison."""
+
+    field: str
+    backend: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Fractional change vs baseline (-0.40 == 40% slower)."""
+        if self.baseline <= 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def regressed(self, threshold: float) -> bool:
+        return self.change < -threshold
+
+
+@dataclass
+class TrendReport:
+    """Snapshot-vs-baseline comparison across all comparable cells."""
+
+    threshold: float
+    cells: list[TrendCell] = field(default_factory=list)
+    #: (field, backend, reason) for cells that could not be compared
+    skipped: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[TrendCell]:
+        return [c for c in self.cells if c.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        """True when cells were comparable and none regressed."""
+        return bool(self.cells) and not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench trend vs baseline (gate: >{self.threshold * 100:.0f}% "
+            f"throughput drop)",
+            f"  {'cell':<28} {'metric':<12} {'base':>8} {'now':>8} {'change':>8}",
+        ]
+        for c in self.cells:
+            mark = " REGRESSED" if c.regressed(self.threshold) else ""
+            lines.append(
+                f"  {c.field + '/' + c.backend:<28} {c.metric:<12} "
+                f"{c.baseline:>8.3f} {c.current:>8.3f} "
+                f"{c.change * 100:>+7.1f}%{mark}"
+            )
+        for fld, backend, reason in self.skipped:
+            lines.append(f"  {fld}/{backend}: skipped ({reason})")
+        if not self.cells:
+            lines.append("  no comparable cells -- gate cannot run")
+        elif self.regressions:
+            lines.append(f"  {len(self.regressions)} regression(s)")
+        else:
+            lines.append("  all cells within threshold")
+        return "\n".join(lines)
+
+
+def _by_key(snapshot: dict) -> dict[tuple[str, str], dict]:
+    return {
+        (cell["field"], cell["backend"]): cell
+        for cell in snapshot.get("cells", [])
+    }
+
+
+def compare_snapshots(
+    current: dict, baseline: dict, threshold: float = 0.35
+) -> TrendReport:
+    """Compare two ``bench_snapshot`` dicts; gate on throughput drops.
+
+    Only cells present in *both* snapshots with matching input sizes
+    participate; everything else lands in :attr:`TrendReport.skipped`
+    with a reason, so a partial run can never silently pass the gate.
+    """
+    report = TrendReport(threshold=float(threshold))
+    base_cells = _by_key(baseline)
+    for key, cell in _by_key(current).items():
+        fld, backend = key
+        base = base_cells.get(key)
+        if base is None:
+            report.skipped.append((fld, backend, "not in baseline"))
+            continue
+        if base.get("values") != cell.get("values"):
+            report.skipped.append((
+                fld, backend,
+                f"size mismatch (baseline {base.get('values')} vs "
+                f"current {cell.get('values')} values)",
+            ))
+            continue
+        for metric in _METRICS:
+            report.cells.append(TrendCell(
+                field=fld, backend=backend, metric=metric,
+                baseline=float(base[metric]), current=float(cell[metric]),
+            ))
+    return report

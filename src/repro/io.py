@@ -37,6 +37,7 @@ from .core.kernel import ChunkStats
 from .core.lossless.pipeline import PipelineConfig
 from .core.quantizers import make_quantizer
 from .core.random_access import StreamDecoder
+from .errors import PFPLUsageError
 from .telemetry import NULL_TELEMETRY
 
 __all__ = ["PFPLWriter", "PFPLReader"]
@@ -81,7 +82,7 @@ class PFPLWriter:
         kwargs = {}
         if mode == "noa":
             if value_range is None:
-                raise ValueError(
+                raise PFPLUsageError(
                     "NOA needs the global value range up front; pass "
                     "value_range= (or compress in one shot instead)"
                 )
@@ -158,7 +159,7 @@ class PFPLWriter:
         independent of how finely they are split).
         """
         if self._closed:
-            raise ValueError("writer already closed")
+            raise PFPLUsageError("writer already closed")
         flat = np.ascontiguousarray(values, dtype=self.layout.float_dtype).reshape(-1)
         if not flat.size:
             return
@@ -292,7 +293,7 @@ class PFPLReader:
         if isinstance(key, slice):
             start, stop, step = key.indices(self.header.count)
             if step != 1:
-                raise ValueError("PFPLReader slicing supports step 1 only")
+                raise PFPLUsageError("PFPLReader slicing supports step 1 only")
             return self.read(start, stop - start)
         if isinstance(key, int):
             idx = key if key >= 0 else self.header.count + key

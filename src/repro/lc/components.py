@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.lossless.bitshuffle import bitshuffle, bitunshuffle
+from ..errors import PFPLTruncatedError, PFPLUsageError
 from ..core.lossless.negabinary import from_negabinary, to_negabinary
 from ..core.lossless.zerobyte import compress_bytes, decompress_bytes
 
@@ -109,7 +110,7 @@ def component(cls):
 
 def _require_words(block: Block, who: str) -> np.ndarray:
     if block.words is None:
-        raise ValueError(f"{who} cannot run after a reducer")
+        raise PFPLUsageError(f"{who} cannot run after a reducer")
     return block.words
 
 
@@ -313,7 +314,7 @@ class ZeroByteReducer(Component):
 
     def inverse(self, block: Block) -> Block:
         if block.payload is None:
-            raise ValueError("zerobyte inverse needs a reduced block")
+            raise PFPLUsageError("zerobyte inverse needs a reduced block")
         n_bytes = block.n_words * block.word_dtype.itemsize
         data = decompress_bytes(block.payload, n_bytes)
         return Block(np.ascontiguousarray(data).view(block.word_dtype).copy(),
@@ -352,10 +353,13 @@ class ZeroNibbleReducer(Component):
         import struct
 
         if block.payload is None:
-            raise ValueError("zeronibble inverse needs a reduced block")
+            raise PFPLUsageError("zeronibble inverse needs a reduced block")
         n_bytes = block.n_words * block.word_dtype.itemsize
         n_nibbles = n_bytes * 2
-        (n_kept,) = struct.unpack_from("<I", block.payload)
+        try:
+            (n_kept,) = struct.unpack_from("<I", block.payload)
+        except struct.error as exc:
+            raise PFPLTruncatedError(f"zeronibble payload truncated: {exc}") from exc
         bm_len = (n_nibbles + 7) // 8
         bitmap = np.frombuffer(block.payload, np.uint8, bm_len, 4)
         packed = np.frombuffer(block.payload, np.uint8, offset=4 + bm_len)
@@ -384,7 +388,7 @@ class RawReducer(Component):
 
     def inverse(self, block: Block) -> Block:
         if block.payload is None:
-            raise ValueError("raw inverse needs a reduced block")
+            raise PFPLUsageError("raw inverse needs a reduced block")
         w = np.frombuffer(block.payload, dtype=block.word_dtype).copy()
         return Block(w, None, block.n_words, block.word_dtype)
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PFPLUsageError
 from .components import COMPONENTS, Block, Component
 
 __all__ = ["LCPipeline", "PFPL_PIPELINE"]
@@ -32,13 +33,13 @@ class LCPipeline:
         kinds = []
         for name in self.stages:
             if name not in COMPONENTS:
-                raise ValueError(f"unknown LC component {name!r}")
+                raise PFPLUsageError(f"unknown LC component {name!r}")
             kinds.append(COMPONENTS[name].kind)
         for k in set(kinds):
             if kinds.count(k) > 1:
-                raise ValueError(f"pipeline uses two {k} stages: {self.stages}")
+                raise PFPLUsageError(f"pipeline uses two {k} stages: {self.stages}")
         if "reducer" in kinds and kinds.index("reducer") != len(kinds) - 1:
-            raise ValueError(f"reducer must be the final stage: {self.stages}")
+            raise PFPLUsageError(f"reducer must be the final stage: {self.stages}")
 
     @property
     def components(self) -> list[Component]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PFPLUsageError
 from .components import MUTATORS, REDUCERS, SHIFTERS, SHUFFLERS
 from .pipeline import LCPipeline
 
@@ -67,7 +68,7 @@ def search_pipelines(
     correctness gate.
     """
     if not samples:
-        raise ValueError("search needs at least one sample chunk")
+        raise PFPLUsageError("search needs at least one sample chunk")
     results = []
     total_in = sum(s.nbytes for s in samples)
     for pipe in enumerate_pipelines(max_stages=max_stages):

@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.ndimage import uniform_filter
 
+from ..errors import PFPLUsageError
+
 __all__ = ["dssim", "ssim_field"]
 
 
@@ -44,7 +46,7 @@ def ssim_field(
     a = np.asarray(original, dtype=np.float64)
     b = np.asarray(recon, dtype=np.float64)
     if a.shape != b.shape:
-        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+        raise PFPLUsageError(f"shape mismatch: {a.shape} vs {b.shape}")
     fin = np.isfinite(a) & np.isfinite(b)
     if not fin.all():
         a = np.where(fin, a, 0.0)

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from ..errors import PFPLUsageError
+
 __all__ = [
     "ErrorReport",
     "error_histogram",
@@ -35,7 +37,7 @@ def _error_field(original: np.ndarray, recon: np.ndarray) -> np.ndarray:
     o = np.asarray(original, dtype=np.float64).reshape(-1)
     r = np.asarray(recon, dtype=np.float64).reshape(-1)
     if o.shape != r.shape:
-        raise ValueError(f"shape mismatch: {o.shape} vs {r.shape}")
+        raise PFPLUsageError(f"shape mismatch: {o.shape} vs {r.shape}")
     fin = np.isfinite(o) & np.isfinite(r)
     return (o - r)[fin]
 

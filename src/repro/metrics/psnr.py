@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import PFPLUsageError
+
 __all__ = ["psnr", "mse", "nrmse"]
 
 
@@ -20,7 +22,7 @@ def mse(original: np.ndarray, recon: np.ndarray) -> float:
     o = np.asarray(original, dtype=np.float64).reshape(-1)
     r = np.asarray(recon, dtype=np.float64).reshape(-1)
     if o.shape != r.shape:
-        raise ValueError(f"shape mismatch: {o.shape} vs {r.shape}")
+        raise PFPLUsageError(f"shape mismatch: {o.shape} vs {r.shape}")
     fin = np.isfinite(o) & np.isfinite(r)
     if not fin.any():
         return 0.0

@@ -10,6 +10,8 @@ from collections.abc import Iterable, Mapping
 
 import numpy as np
 
+from ..errors import PFPLUsageError
+
 __all__ = ["geomean", "geomean_of_suite_geomeans"]
 
 
@@ -19,7 +21,7 @@ def geomean(values: Iterable[float]) -> float:
     if arr.size == 0:
         return float("nan")
     if np.any(arr <= 0):
-        raise ValueError("geometric mean requires positive values")
+        raise PFPLUsageError("geometric mean requires positive values")
     return float(np.exp(np.mean(np.log(arr))))
 
 

@@ -1,0 +1,30 @@
+"""Seeded determinism violations (analyzed as core/kernel.py)."""
+
+import random
+
+import numpy as np
+
+
+def entropy_sources(values):
+    seed = random.random()
+    noise = np.random.normal(0.0, 1.0, values.size)
+    return seed, noise
+
+
+def salted_hash(key):
+    return hash(key)
+
+
+def set_iteration(symbols):
+    ordered = list({int(s) for s in symbols})
+    for s in {1, 2, 3}:
+        ordered.append(s)
+    return [x for x in set(symbols)]
+
+
+def membership_is_fine(symbol):
+    return symbol in {1, 2, 3}
+
+
+def sorted_set_is_fine(symbols):
+    return sorted({int(s) for s in symbols})

@@ -1,0 +1,27 @@
+"""Seeded dtype-discipline violations (analyzed as core/lossless/bad.py)."""
+
+import numpy as np
+
+
+def defaulted_constructor(n):
+    return np.arange(n)
+
+
+def defaulted_accumulator(mask):
+    return mask.sum()
+
+
+def builtin_int_dtype(values):
+    return values.astype(int)
+
+
+def explicit_is_fine(n, mask):
+    a = np.arange(n, dtype=np.int64)
+    b = np.zeros(n, np.uint32)
+    c = mask.sum(dtype=np.int64)
+    d = np.cumsum(mask, dtype=np.int64)
+    return a, b, c, d
+
+
+def like_constructors_are_fine(proto):
+    return np.zeros_like(proto)

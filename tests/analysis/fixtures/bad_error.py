@@ -1,0 +1,30 @@
+"""Seeded error-discipline violations (analyzed as io.py)."""
+
+import struct
+
+_HDR = struct.Struct("<QI")
+
+
+def bare_value_error(mode):
+    if mode not in ("abs", "rel"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+
+def unguarded_unpack(blob):
+    return _HDR.unpack_from(blob)
+
+
+def unguarded_module_unpack(blob):
+    return struct.unpack("<d", blob)
+
+
+def guarded_unpack_is_fine(blob):
+    try:
+        return _HDR.unpack_from(blob)
+    except struct.error:
+        return None
+
+
+def class_unpack_is_fine(header_cls, blob):
+    # .unpack on a non-Struct object (e.g. Header.unpack) is not struct's.
+    return header_cls.unpack(blob)

@@ -1,0 +1,25 @@
+"""Seeded portable-math violations (analyzed as core/quantizers/bad.py)."""
+
+import math
+
+import numpy as np
+
+
+def libm_log(values):
+    return math.log2(values[0])
+
+
+def numpy_transcendental(values):
+    return np.exp2(values)
+
+
+def float_power(values, exponent):
+    return values ** 0.5
+
+
+def suppressed_call(values):
+    return np.log2(values)  # pfpl: allow[portable-math]
+
+
+def integer_power_is_fine(values):
+    return values ** 2

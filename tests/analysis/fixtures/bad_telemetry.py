@@ -1,0 +1,30 @@
+"""Seeded telemetry-discipline violations (analyzed as core/kernel.py)."""
+
+
+def unguarded_span(tel, chunk):
+    with tel.span("encode_chunk", cat="encode"):
+        return chunk * 2
+
+
+def unguarded_counter(tel, n):
+    tel.add("chunks_encoded_total", n)
+
+
+def guarded_branch_is_fine(tel, chunk):
+    if tel.enabled:
+        with tel.span("encode_chunk", cat="encode"):
+            return chunk * 2
+    return chunk * 2
+
+
+def early_exit_is_fine(tel, chunk):
+    if not tel.enabled:
+        return chunk * 2
+    with tel.span("encode_chunk", cat="encode"):
+        return chunk * 2
+
+
+def _encode_chunk_traced(self, words, tel):
+    # *_traced helpers are the designated instrumented copies.
+    with tel.span("quantize", cat="encode"):
+        return words

@@ -1,0 +1,58 @@
+"""``pfpl analyze``: exit codes, formats, rule selection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).parents[2]
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["analyze", str(SRC)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        # Fixture files live outside a repro package, so their default
+        # package-relative name is the bare filename; whole-tree rules
+        # like error-discipline still fire on bad_error.py.
+        assert main(["analyze", str(FIXTURES / "bad_error.py")]) == 1
+        out = capsys.readouterr().out
+        assert "error-discipline" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["analyze", "--rules", "no-such-rule", str(SRC)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "portable-math", "dtype-discipline", "determinism",
+            "error-discipline", "telemetry-discipline",
+        ):
+            assert name in out
+
+    def test_json_format(self, capsys):
+        assert main([
+            "analyze", "--format", "json", str(FIXTURES / "bad_error.py"),
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] >= 1
+        assert "error-discipline" in doc["by_rule"]
+
+    def test_rule_subset(self, capsys):
+        # Restricting to a rule that does not apply to this file yields
+        # no findings and a zero exit.
+        assert main([
+            "analyze", "--rules", "telemetry-discipline",
+            str(FIXTURES / "bad_error.py"),
+        ]) == 0
+        assert "no findings" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Engine mechanics: registry, scoping, suppressions, reporters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Severity,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    render_json,
+    render_table,
+)
+
+EXPECTED_RULES = {
+    "portable-math",
+    "dtype-discipline",
+    "determinism",
+    "error-discipline",
+    "telemetry-discipline",
+}
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert {r.name for r in all_rules()} >= EXPECTED_RULES
+
+    def test_get_rule(self):
+        rule = get_rule("portable-math")
+        assert rule.name == "portable-math"
+        assert rule.severity is Severity.ERROR
+
+    def test_get_rule_unknown(self):
+        try:
+            get_rule("no-such-rule")
+        except KeyError as exc:
+            assert "no-such-rule" in str(exc)
+        else:
+            raise AssertionError("expected KeyError")
+
+
+class TestScoping:
+    def test_rule_applies_inside_scope(self):
+        src = "import math\n"
+        findings = analyze_source(src, rel="core/kernel.py")
+        assert any(f.rule == "portable-math" for f in findings)
+
+    def test_rule_silent_outside_scope(self):
+        src = "import math\n"
+        findings = analyze_source(src, rel="harness/report.py")
+        assert not any(f.rule == "portable-math" for f in findings)
+
+    def test_portable_math_home_is_exempt(self):
+        src = "import math\nx = math.log2(2.0)\n"
+        findings = analyze_source(src, rel="core/portable_math.py")
+        assert not any(f.rule == "portable-math" for f in findings)
+
+
+class TestSuppressions:
+    def test_inline_allow_suppresses_one_rule(self):
+        src = "import numpy as np\ny = np.log2(x)  # pfpl: allow[portable-math]\n"
+        findings = analyze_source(src, rel="core/kernel.py")
+        assert not any(f.rule == "portable-math" for f in findings)
+
+    def test_allow_star_suppresses_all(self):
+        src = "raise ValueError('x')  # pfpl: allow[*]\n"
+        findings = analyze_source(src, rel="io.py")
+        assert findings == []
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        src = "import numpy as np\ny = np.log2(x)  # pfpl: allow[determinism]\n"
+        findings = analyze_source(src, rel="core/kernel.py")
+        assert any(f.rule == "portable-math" for f in findings)
+
+
+class TestSyntaxErrors:
+    def test_unparsable_source_is_a_finding(self):
+        findings = analyze_source("def broken(:\n", rel="core/kernel.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "syntax-error"
+
+
+class TestReporters:
+    def _findings(self):
+        return analyze_source("import math\n", rel="core/kernel.py")
+
+    def test_table_lists_location_and_rule(self):
+        text = render_table(self._findings())
+        assert "portable-math" in text
+        assert ":1:" in text
+
+    def test_table_empty(self):
+        assert "no findings" in render_table([])
+
+    def test_json_round_trips(self):
+        doc = json.loads(render_json(self._findings()))
+        assert doc["total"] == len(doc["findings"]) >= 1
+        assert doc["by_rule"].get("portable-math", 0) >= 1
+        first = doc["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(first)
+
+
+class TestTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        # The merge gate: the shipped tree passes its own analyzer.
+        pkg = Path(__file__).parents[2] / "src" / "repro"
+        findings = analyze_paths([pkg])
+        assert findings == [], render_table(findings)

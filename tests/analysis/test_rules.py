@@ -1,0 +1,104 @@
+"""Each rule catches its seeded-violation fixture (and only that)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run(fixture: str, rel: str):
+    return analyze_file(FIXTURES / fixture, rel=rel)
+
+
+class TestPortableMath:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return run("bad_portable_math.py", rel="core/quantizers/bad.py")
+
+    def test_catches_seeded_violations(self, findings):
+        mine = [f for f in findings if f.rule == "portable-math"]
+        lines = {f.line for f in mine}
+        # math import, math.log2, np.exp2, float **; the allow[...] line
+        # and the integer power must NOT appear.
+        assert len(mine) == 4, mine
+        assert all(line < 21 for line in lines), mine
+
+    def test_messages_point_at_portable_math(self, findings):
+        assert any("portable_math" in f.message for f in findings)
+
+
+class TestDtypeDiscipline:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return run("bad_dtype.py", rel="core/lossless/bad.py")
+
+    def test_catches_seeded_violations(self, findings):
+        mine = [f for f in findings if f.rule == "dtype-discipline"]
+        assert len(mine) == 3, mine
+        texts = " ".join(f.message for f in mine)
+        assert "np.arange" in texts
+        assert "sum()" in texts
+        assert "'int'" in texts
+
+    def test_explicit_dtypes_pass(self, findings):
+        mine = [f for f in findings if f.rule == "dtype-discipline"]
+        # Everything in the explicit_is_fine / *_like functions is clean.
+        assert all(f.line < 17 for f in mine), mine
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return run("bad_determinism.py", rel="core/kernel.py")
+
+    def test_catches_seeded_violations(self, findings):
+        mine = [f for f in findings if f.rule == "determinism"]
+        texts = " ".join(f.message for f in mine)
+        assert "'random'" in texts          # import random
+        assert "np.random" in texts
+        assert "hash()" in texts
+        assert "set" in texts               # set iteration
+        assert len(mine) >= 6, mine
+
+    def test_membership_and_sorted_pass(self, findings):
+        mine = [f for f in findings if f.rule == "determinism"]
+        assert all(f.line < 25 for f in mine), mine
+
+
+class TestErrorDiscipline:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return run("bad_error.py", rel="io.py")
+
+    def test_catches_seeded_violations(self, findings):
+        mine = [f for f in findings if f.rule == "error-discipline"]
+        assert len(mine) == 3, mine
+        texts = " ".join(f.message for f in mine)
+        assert "ValueError" in texts
+        assert "struct.error" in texts
+
+    def test_guarded_and_class_unpack_pass(self, findings):
+        mine = [f for f in findings if f.rule == "error-discipline"]
+        # guarded_unpack_is_fine / class_unpack_is_fine start at line 21.
+        assert all(f.line < 21 for f in mine), mine
+
+
+class TestTelemetryDiscipline:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return run("bad_telemetry.py", rel="core/kernel.py")
+
+    def test_catches_seeded_violations(self, findings):
+        mine = [f for f in findings if f.rule == "telemetry-discipline"]
+        assert len(mine) == 2, mine
+        assert {f.line for f in mine} == {5, 10}
+
+    def test_guarded_idioms_pass(self, findings):
+        mine = [f for f in findings if f.rule == "telemetry-discipline"]
+        # guarded branch, early exit, and *_traced helper are all clean.
+        assert all(f.line < 13 for f in mine), mine

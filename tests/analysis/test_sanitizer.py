@@ -1,0 +1,170 @@
+"""Runtime concurrency sanitizer: lock order, guarded state, backend opt-in."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis import ConcurrencySanitizer, SanitizerError
+from repro.core.compressor import PFPLCompressor, decompress
+from repro.device.backend import ThreadedBackend
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self):
+        san = ConcurrencySanitizer()
+        a, b = san.lock("a"), san.lock("b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        san.check()
+        assert san.clean
+
+    def test_inversion_is_flagged(self):
+        san = ConcurrencySanitizer()
+        a, b = san.lock("a"), san.lock("b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # opposite order: potential deadlock
+                pass
+        assert not san.clean
+        with pytest.raises(SanitizerError, match="lock-order-inversion"):
+            san.check()
+
+    def test_reentrant_same_lock_not_an_inversion(self):
+        san = ConcurrencySanitizer()
+        a, b = san.lock("a"), san.lock("b")
+        with a:
+            with b:
+                pass
+        with a:
+            with b:
+                pass
+        san.check()
+
+
+class TestSharedState:
+    def test_guarded_list_is_clean(self):
+        san = ConcurrencySanitizer()
+        guard = san.lock("guard")
+        shared = san.shared_list("record", guard)
+
+        def worker(i):
+            with guard:
+                shared.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(shared) == list(range(8))
+        san.check()
+
+    def test_unguarded_list_mutation_is_flagged(self):
+        san = ConcurrencySanitizer()
+        guard = san.lock("guard")
+        shared = san.shared_list("record", guard)
+
+        def worker(i):
+            shared.append(i)  # no guard held
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not san.clean
+        with pytest.raises(SanitizerError, match="unguarded-mutation"):
+            san.check()
+
+    def test_unguarded_shared_counter_is_flagged(self):
+        # The fixture ISSUE.md asks for: a deliberately unguarded shared
+        # counter that the sanitizer must flag.
+        san = ConcurrencySanitizer()
+        guard = san.lock("counter_guard")
+        counter = san.shared_value("hits", guard, initial=0)
+
+        def worker():
+            for _ in range(100):
+                counter.increment()  # racy read-modify-write
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert any(v.kind == "unguarded-mutation" for v in san)
+        with pytest.raises(SanitizerError, match="'hits'"):
+            san.check()
+
+    def test_guarded_counter_is_clean(self):
+        san = ConcurrencySanitizer()
+        guard = san.lock("counter_guard")
+        counter = san.shared_value("hits", guard, initial=0)
+
+        def worker():
+            for _ in range(100):
+                with guard:
+                    counter.increment()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 400
+        san.check()
+
+    def test_undeclared_guards_flag_even_single_thread(self):
+        san = ConcurrencySanitizer()
+        shared = san.shared_list("orphan")  # no guards declared at all
+        shared.append(1)
+        assert not san.clean
+
+
+class TestThreadedBackendOptIn:
+    def test_stress_eight_workers_clean(self):
+        # Many small chunks through an 8-worker pool: the backend's shared
+        # order record must only ever be touched under its guard lock.
+        san = ConcurrencySanitizer()
+        backend = ThreadedBackend(n_threads=8, sanitizer=san)
+        rng = np.random.default_rng(7)
+        values = np.cumsum(rng.normal(0, 0.05, 64 * 1024)).astype(np.float32)
+        comp = PFPLCompressor(
+            mode="abs", error_bound=1e-3, dtype=np.float32,
+            backend=backend, chunk_bytes=4096,
+        )
+        blob = comp.compress(values).data
+        out = decompress(blob, backend=backend)
+        assert np.abs(values.astype(np.float64) - out.astype(np.float64)).max() <= 1e-3
+        san.check()  # raises if any unguarded mutation or inversion occurred
+
+    def test_stress_bytes_match_uninstrumented(self):
+        # Instrumentation must not change the produced stream.
+        rng = np.random.default_rng(7)
+        values = np.cumsum(rng.normal(0, 0.05, 16 * 1024)).astype(np.float32)
+        plain = PFPLCompressor(
+            mode="abs", error_bound=1e-3, dtype=np.float32,
+            backend=ThreadedBackend(n_threads=8), chunk_bytes=4096,
+        ).compress(values).data
+        san = ConcurrencySanitizer()
+        traced = PFPLCompressor(
+            mode="abs", error_bound=1e-3, dtype=np.float32,
+            backend=ThreadedBackend(n_threads=8, sanitizer=san), chunk_bytes=4096,
+        ).compress(values).data
+        assert plain == traced
+        san.check()
+
+    def test_backend_order_record_is_complete(self):
+        san = ConcurrencySanitizer()
+        backend = ThreadedBackend(n_threads=8, sanitizer=san)
+        out = backend.map_chunks(lambda x: x * 2, list(range(40)))
+        assert out == [x * 2 for x in range(40)]
+        assert sorted(backend.last_order) == list(range(40))
+        san.check()

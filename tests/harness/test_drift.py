@@ -49,9 +49,17 @@ class TestByteAccounting:
         assert report.bytes_ok, report.render()
 
     def test_noa_single_chunk(self, deterministic_chunk):
-        # NOA resolves its range per profile_chunk call, so only a
-        # single-chunk input sees the same range as the codec.
         report = drift_check(deterministic_chunk, mode="noa", error_bound=1e-3)
+        assert report.bytes_ok, report.render()
+
+    def test_noa_multi_chunk(self, rng):
+        # The value range is resolved once over the whole input and
+        # pinned for every per-chunk profile, so a multi-chunk NOA run
+        # byte-checks exactly even though each slice's local min/max
+        # differs from the global range.
+        values = np.cumsum(rng.normal(0, 0.05, 4096 * 4)).astype(np.float32)
+        report = drift_check(values, mode="noa", error_bound=1e-3)
+        assert report.n_chunks == 4
         assert report.bytes_ok, report.render()
 
 

@@ -1,0 +1,99 @@
+"""Bench trend gating: snapshot-vs-baseline throughput comparison."""
+
+from __future__ import annotations
+
+from repro.harness import TrendCell, TrendReport, compare_snapshots
+
+
+def snap(cells):
+    return {"cells": cells}
+
+
+def cell(field="spectral_f32", backend="serial", values=262144,
+         encode=1.0, decode=2.0):
+    return {
+        "field": field, "backend": backend, "values": values,
+        "encode_gbps": encode, "decode_gbps": decode,
+    }
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        base = snap([cell(), cell(backend="omp")])
+        report = compare_snapshots(base, base)
+        assert report.ok
+        assert len(report.cells) == 4  # 2 cells x encode/decode
+        assert report.regressions == []
+
+    def test_regression_detected(self):
+        base = snap([cell(encode=1.0, decode=2.0)])
+        cur = snap([cell(encode=0.5, decode=2.0)])  # encode -50%
+        report = compare_snapshots(cur, base, threshold=0.35)
+        assert not report.ok
+        assert len(report.regressions) == 1
+        reg = report.regressions[0]
+        assert reg.metric == "encode_gbps"
+        assert reg.change == -0.5
+
+    def test_within_threshold_passes(self):
+        base = snap([cell(encode=1.0, decode=2.0)])
+        cur = snap([cell(encode=0.8, decode=1.7)])  # -20%, -15%
+        assert compare_snapshots(cur, base, threshold=0.35).ok
+
+    def test_speedup_is_not_a_regression(self):
+        base = snap([cell(encode=1.0)])
+        cur = snap([cell(encode=3.0)])
+        assert compare_snapshots(cur, base).ok
+
+    def test_size_mismatch_skipped_with_reason(self):
+        base = snap([cell(values=262144)])
+        cur = snap([cell(values=4096)])  # a --quick run
+        report = compare_snapshots(cur, base)
+        assert report.cells == []
+        assert not report.ok  # no comparable cells: the gate cannot pass
+        (fld, backend, reason) = report.skipped[0]
+        assert (fld, backend) == ("spectral_f32", "serial")
+        assert "size mismatch" in reason
+
+    def test_cell_missing_from_baseline_skipped(self):
+        base = snap([cell(backend="serial")])
+        cur = snap([cell(backend="serial"), cell(backend="cuda")])
+        report = compare_snapshots(cur, base)
+        assert report.ok  # the comparable cell passes
+        assert ("spectral_f32", "cuda", "not in baseline") in report.skipped
+
+    def test_empty_snapshots_do_not_pass(self):
+        assert not compare_snapshots(snap([]), snap([])).ok
+
+
+class TestCellMath:
+    def test_change_fraction(self):
+        c = TrendCell("f", "b", "encode_gbps", baseline=2.0, current=1.0)
+        assert c.change == -0.5
+        assert c.regressed(0.35)
+        assert not c.regressed(0.6)
+
+    def test_zero_baseline_never_regresses(self):
+        c = TrendCell("f", "b", "encode_gbps", baseline=0.0, current=0.0)
+        assert c.change == 0.0
+        assert not c.regressed(0.35)
+
+
+class TestRender:
+    def test_render_mentions_regressed_cell(self):
+        base = snap([cell(encode=1.0)])
+        cur = snap([cell(encode=0.1)])
+        report = compare_snapshots(cur, base)
+        text = report.render()
+        assert "REGRESSED" in text
+        assert "spectral_f32/serial" in text
+        assert "1 regression(s)" in text
+
+    def test_render_clean(self):
+        base = snap([cell()])
+        text = compare_snapshots(base, base).render()
+        assert "all cells within threshold" in text
+
+    def test_render_no_cells(self):
+        text = TrendReport(threshold=0.35).render()
+        assert "no comparable cells" in text
