@@ -1,0 +1,36 @@
+# Developer entry points. Every target degrades gracefully when an
+# optional tool (ruff, mypy) is not installed, so `make lint` is useful
+# both in CI (everything present) and in a bare-numpy container.
+
+PYTHON    ?= python
+PYTHONPATH := src
+
+.PHONY: test property lint analyze drift-gate all
+
+all: lint test
+
+test:  ## tier-1 suite (the gate every PR must keep green)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+property:  ## property-based round-trip suite only
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/property -q
+
+lint:  ## ruff + mypy (if installed) + codec-invariant analysis (strict)
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff"; ruff check src scripts; \
+	else \
+		echo "== ruff not installed, skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "== mypy"; mypy src/repro; \
+	else \
+		echo "== mypy not installed, skipping"; \
+	fi
+	@echo "== pfpl analyze --strict"
+	@PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli analyze --strict
+
+analyze:  ## codec-invariant static analysis, warnings included
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli analyze --strict
+
+drift-gate:  ## measured-vs-analytic byte accounting across modes/dtypes
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/drift_gate.py

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI gate: measured byte traffic must match the analytic model exactly.
+
+Runs ``repro.harness.drift.drift_check`` — encode *and* decode side —
+over every error-bound mode and both dtypes, on deterministic
+multi-chunk inputs. Any stage whose measured bytes diverge from
+``profile_chunk``'s prediction fails the build: it means the analytic
+model and the live codec no longer describe the same pipeline.
+
+Exit codes: 0 all exact, 1 drift detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "src")
+
+from repro.harness.drift import drift_check, schedule_drift_check  # noqa: E402
+
+MODES = ("abs", "rel", "noa")
+DTYPES = (np.float32, np.float64)
+
+
+def _make_values(dtype: np.dtype, n_chunks: int) -> np.ndarray:
+    """Smooth, strictly positive data (REL-safe) spanning n_chunks."""
+    per_chunk = 16384 // np.dtype(dtype).itemsize
+    rng = np.random.default_rng(0x0DD5)
+    walk = np.cumsum(rng.normal(0, 0.02, per_chunk * n_chunks))
+    return (np.abs(walk) + 1.0).astype(dtype)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the drift matrix; print one verdict line per cell."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chunks", type=int, default=3,
+                        help="chunks per cell (default 3)")
+    args = parser.parse_args(argv)
+
+    failed = 0
+    for dtype in DTYPES:
+        values = _make_values(dtype, args.chunks)
+        for mode in MODES:
+            report = drift_check(values, mode=mode, error_bound=1e-3)
+            sides = list(report.stages) + list(report.decode_stages)
+            ok = report.bytes_ok and all(s.bytes_match for s in sides)
+            verdict = "exact" if ok else "DRIFT"
+            print(f"{mode:>4} {np.dtype(dtype).name:>8} "
+                  f"({report.n_chunks} chunks): {verdict}")
+            if not ok:
+                failed += 1
+                print(report.render())
+
+    # Scheduler sanity: measured pool busy-time vs the simulated
+    # makespan. Generous tolerance — this catches broken accounting,
+    # not scheduling noise.
+    sched = schedule_drift_check(_make_values(np.float32, 8),
+                                 n_threads=4, tolerance=50.0)
+    print(f"schedule: measured {sched.measured_makespan:.4f}s vs "
+          f"simulated {sched.simulated_makespan:.4f}s "
+          f"({'ok' if sched.ok else 'DRIFT'})")
+    if not sched.ok:
+        failed += 1
+
+    if failed:
+        print(f"\n{failed} drift cell(s) diverged", file=sys.stderr)
+        return 1
+    print("\nall cells exact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

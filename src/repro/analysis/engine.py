@@ -191,6 +191,7 @@ def all_rules() -> list[Rule]:
 
 
 def get_rule(name: str) -> Rule:
+    """Look up a registered rule by name (KeyError lists the names)."""
     try:
         return _REGISTRY[name]
     except KeyError:

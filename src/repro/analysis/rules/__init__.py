@@ -1,4 +1,4 @@
-"""The five codec-discipline rules.
+"""The six codec-discipline rules.
 
 Importing this package registers every rule with the engine registry;
 each module holds one rule class plus its helpers.
@@ -16,12 +16,15 @@ error-discipline       failures raise the :mod:`repro.errors` hierarchy,
                        ``struct.unpack`` is always caught
 telemetry-discipline   hot paths touch telemetry behind the
                        ``NULL_TELEMETRY`` ``enabled`` check only
+docstring-discipline   modules and public top-level defs carry
+                       docstrings (warning; gates under ``--strict``)
 =====================  ==================================================
 """
 
 from __future__ import annotations
 
 from .determinism import DeterminismRule
+from .docstring_discipline import DocstringDisciplineRule
 from .dtype_discipline import DtypeDisciplineRule
 from .error_discipline import ErrorDisciplineRule
 from .portable_math import PortableMathRule
@@ -33,4 +36,5 @@ __all__ = [
     "DeterminismRule",
     "ErrorDisciplineRule",
     "TelemetryDisciplineRule",
+    "DocstringDisciplineRule",
 ]

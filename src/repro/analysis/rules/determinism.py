@@ -38,6 +38,7 @@ def _is_set_expr(node: ast.AST) -> bool:
 
 @register_rule
 class DeterminismRule(Rule):
+    """No nondeterminism (time, RNG, sets, ids) feeds output bytes."""
     name = "determinism"
     description = (
         "kernel/lossless/quantizer paths may not use entropy sources or "

@@ -1,0 +1,61 @@
+"""docstring-discipline: public API surfaces carry docstrings.
+
+The repo's modules double as the paper reproduction's documentation:
+every module explains which section it implements, and the public
+entry points say what they compute.  This rule keeps that discipline
+from eroding as the package grows: a module, or a public top-level
+function or class, without a docstring is a *warning* finding.
+
+Warnings do not gate ``pfpl analyze`` by default -- a missing
+docstring is debt, not a broken invariant -- but CI runs with
+``--strict`` where they do, so the tree stays clean.
+
+What counts as public: a top-level ``def``/``class`` whose name does
+not start with ``_``.  Methods are exempt (small protocol methods and
+overrides would dominate the findings); a class docstring is expected
+to cover its surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Severity, Source, register_rule
+
+__all__ = ["DocstringDisciplineRule"]
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+@register_rule
+class DocstringDisciplineRule(Rule):
+    """Modules and public top-level defs must carry docstrings."""
+    name = "docstring-discipline"
+    severity = Severity.WARNING
+    description = (
+        "modules and public top-level functions/classes must carry "
+        "docstrings (warning; gates under --strict)"
+    )
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        tree = src.tree
+        if tree.body and not _has_docstring(tree):
+            yield self.finding(
+                src, tree.body[0],
+                "module has no docstring; say which part of the paper or "
+                "pipeline it implements",
+            )
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not _has_docstring(node):
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(
+                    src, node,
+                    f"public {kind} {node.name!r} has no docstring",
+                )

@@ -65,6 +65,7 @@ def _is_np_attr(func: ast.AST, names: frozenset[str]) -> str | None:
 
 @register_rule
 class DtypeDisciplineRule(Rule):
+    """Kernel-path NumPy constructors/accumulators are dtype-explicit."""
     name = "dtype-discipline"
     description = (
         "core/ and entropy/ NumPy constructors and accumulating "

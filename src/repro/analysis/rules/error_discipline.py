@@ -68,6 +68,7 @@ def _struct_constants(tree: ast.Module) -> frozenset[str]:
 
 @register_rule
 class ErrorDisciplineRule(Rule):
+    """Failures raise the PFPL error hierarchy; ``unpack`` is caught."""
     name = "error-discipline"
     description = (
         "raise repro.errors types, not bare ValueError; wrap "

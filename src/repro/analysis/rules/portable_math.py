@@ -52,6 +52,7 @@ def _is_int_literal(node: ast.AST) -> bool:
 
 @register_rule
 class PortableMathRule(Rule):
+    """``core/`` transcendentals go through ``portable_math`` only."""
     name = "portable-math"
     description = (
         "core/ may not call libm/NumPy transcendentals; use "

@@ -109,6 +109,7 @@ def _is_guarded(call: ast.Call) -> bool:
 
 @register_rule
 class TelemetryDisciplineRule(Rule):
+    """Hot-path telemetry calls sit behind an ``.enabled`` guard."""
     name = "telemetry-discipline"
     description = (
         "hot-path telemetry calls must sit behind an `.enabled` check "

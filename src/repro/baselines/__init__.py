@@ -53,9 +53,15 @@ ALL_COMPRESSORS = {
 }
 
 
-def make_compressor(name: str) -> BaselineCompressor:
+def make_compressor(name: str, telemetry=None) -> BaselineCompressor:
+    """Build a compressor by Table III name, optionally sharing a sink.
+
+    ``telemetry`` is threaded into the adapter so its ``traced_codec``
+    spans (and, for PFPL, the codec's own per-stage spans) land in the
+    caller's :class:`repro.telemetry.Telemetry`.
+    """
     try:
-        return ALL_COMPRESSORS[name]()
+        return ALL_COMPRESSORS[name](telemetry=telemetry)
     except KeyError:
         raise PFPLUsageError(
             f"unknown compressor {name!r}; expected one of {sorted(ALL_COMPRESSORS)}"

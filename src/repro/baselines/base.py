@@ -16,13 +16,15 @@ is how the harness reproduces the paper's per-figure exclusions.
 
 from __future__ import annotations
 
+import functools
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import PFPLIntegrityError, PFPLTruncatedError
+from ..errors import PFPLIntegrityError, PFPLTruncatedError, PFPLUsageError
+from ..telemetry import NULL_TELEMETRY
 
 __all__ = [
     "Support",
@@ -32,6 +34,7 @@ __all__ = [
     "Features",
     "BaselineCompressor",
     "UnsupportedInput",
+    "traced_codec",
     "pack_sections",
     "unpack_sections",
     "unpack_head",
@@ -76,11 +79,57 @@ class UnsupportedInput(Exception):
     """Raised when a baseline cannot handle an input or configuration."""
 
 
+def traced_codec(direction: str):
+    """Trace a baseline's ``compress``/``decompress`` through telemetry.
+
+    Applied to each adapter's codec entry points so the grid harness can
+    attribute wall-clock time and byte traffic per compressor cell: the
+    call runs inside a ``cat="baseline"`` span labeled with the codec
+    name, and ``baseline_bytes_{in,out}_total`` counters record the
+    traffic.  With telemetry off the wrapper costs one attribute check
+    and dispatches straight to the undecorated method.
+    """
+    if direction not in ("compress", "decompress"):
+        raise PFPLUsageError(
+            f"direction must be 'compress' or 'decompress', got {direction!r}"
+        )
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tel = self.telemetry
+            if not tel.enabled:
+                return fn(self, *args, **kwargs)
+            with tel.span(f"baseline_{direction}", cat="baseline", codec=self.name):
+                result = fn(self, *args, **kwargs)
+            if direction == "compress":
+                bytes_in = int(np.asarray(args[0]).nbytes)
+                bytes_out = len(result)
+            else:
+                bytes_in = len(args[0])
+                bytes_out = int(result.nbytes)
+            tel.add("baseline_bytes_in_total", bytes_in,
+                    codec=self.name, direction=direction)
+            tel.add("baseline_bytes_out_total", bytes_out,
+                    codec=self.name, direction=direction)
+            return result
+
+        return wrapper
+
+    return deco
+
+
 class BaselineCompressor(ABC):
     """Common interface for the 7 baseline re-implementations."""
 
     name: str = ""
     features: Features
+    #: Telemetry sink used by :func:`traced_codec`; the null default keeps
+    #: every adapter on the uninstrumented path.
+    telemetry = NULL_TELEMETRY
+
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def supports(self, mode: str, dtype) -> bool:
         if not self.features.mode_support(mode):
@@ -122,6 +171,7 @@ def pack_sections(*sections: bytes) -> bytes:
 
 
 def unpack_sections(blob: bytes) -> list[bytes]:
+    """Inverse of :func:`pack_sections`; rejects trailing garbage."""
     try:
         (count,) = _SEC_HDR.unpack_from(blob)
         pos = _SEC_HDR.size
@@ -157,6 +207,7 @@ def pack_array_meta(data: np.ndarray, mode: str, error_bound: float, extra: floa
 
 
 def unpack_array_meta(blob: bytes):
+    """Inverse of :func:`pack_array_meta`: (dtype, mode, shape, eb, extra)."""
     try:
         dt, mode_i, ndim, eb, extra = struct.unpack_from("<BBHdd", blob)
     except struct.error as exc:

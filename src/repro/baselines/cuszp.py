@@ -41,6 +41,7 @@ from .base import (
     Features,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -53,12 +54,14 @@ _CHAIN = 8    # difference-chain restart interval (bounds the drift)
 
 
 class CuSZp(BaselineCompressor):
+    """cuSZp re-implementation: fused Lorenzo + fixed-length blocks."""
     name = "cuSZp"
     features = Features(
         abs=UNGUARANTEED, rel=UNSUPPORTED, noa=GUARANTEED,
         supports_float=True, supports_double=True, cpu=False, gpu=True,
     )
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -106,6 +109,7 @@ class CuSZp(BaselineCompressor):
         head = struct.pack("<dB", eps_eff, 1 if chain else 0)
         return pack_sections(meta, head, payload, nf_idx.tobytes(), nf_val.tobytes())
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, head, payload, nf_idx_raw, nf_val_raw = unpack_sections(blob)
         dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)

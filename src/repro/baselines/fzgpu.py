@@ -32,6 +32,7 @@ from .base import (
     UnsupportedInput,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -42,6 +43,7 @@ __all__ = ["FZGPU"]
 
 
 class FZGPU(BaselineCompressor):
+    """FZ-GPU re-implementation: Lorenzo + bitshuffle + zero-elim."""
     name = "FZ-GPU"
     features = Features(
         abs=UNSUPPORTED, rel=UNSUPPORTED, noa=UNGUARANTEED,
@@ -53,6 +55,7 @@ class FZGPU(BaselineCompressor):
         if data.ndim != 3:
             raise UnsupportedInput("FZ-GPU supports only 3-D inputs")
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -93,6 +96,7 @@ class FZGPU(BaselineCompressor):
         head = struct.pack("<fQ", float(step32), words.size)
         return pack_sections(meta, head, payload, tail.tobytes())
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, head, payload, tail_raw = unpack_sections(blob)
         dtype, mode, shape, error_bound, rng = unpack_array_meta(meta)

@@ -109,6 +109,7 @@ def lift_forward_int(bins: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def lift_inverse_int(coeffs: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Exact inverse of :func:`lift_forward_int`."""
     arr = np.array(coeffs, dtype=np.int64).reshape(shape)
     for axis in range(arr.ndim - 1, -1, -1):
         _apply_axis_int(arr, axis, inverse=True)
@@ -124,6 +125,7 @@ def lift_forward_float(values: np.ndarray, shape: tuple[int, ...]) -> np.ndarray
 
 
 def lift_inverse_float(coeffs: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`lift_forward_float` (float64 arithmetic)."""
     arr = np.array(coeffs, dtype=np.float64).reshape(shape)
     for axis in range(arr.ndim - 1, -1, -1):
         _apply_axis_float(arr, axis, inverse=True)

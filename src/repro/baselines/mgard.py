@@ -33,6 +33,7 @@ from .base import (
     Features,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -56,12 +57,14 @@ def _depth(shape: tuple[int, ...]) -> int:
 
 
 class MGARDX(BaselineCompressor):
+    """MGARD-X re-implementation: multigrid lifting + quantized codes."""
     name = "MGARD-X"
     features = Features(
         abs=UNGUARANTEED, rel=UNSUPPORTED, noa=UNGUARANTEED,
         supports_float=True, supports_double=True, cpu=True, gpu=True,
     )
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -107,6 +110,7 @@ class MGARDX(BaselineCompressor):
             nf_idx.tobytes(), nf_val.tobytes(),
         )
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         (meta, head, codes_blob, out_idx_raw, out_val_raw,
          nf_idx_raw, nf_val_raw) = unpack_sections(blob)

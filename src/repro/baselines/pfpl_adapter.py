@@ -19,6 +19,7 @@ from .base import (
     BaselineCompressor,
     Features,
     pack_sections,
+    traced_codec,
     unpack_head,
     unpack_sections,
 )
@@ -35,15 +36,19 @@ class PFPL(BaselineCompressor):
         supports_float=True, supports_double=True, cpu=True, gpu=True,
     )
 
-    def __init__(self, backend=None):
+    def __init__(self, backend=None, telemetry=None):
+        super().__init__(telemetry=telemetry)
         self.backend = backend
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
+        # Unlike the other adapters, PFPL's own codec is instrumented, so
+        # the shared sink also sees the per-stage encode spans/counters.
         comp = PFPLCompressor(
             mode=mode, error_bound=error_bound, dtype=data.dtype,
-            backend=self.backend,
+            backend=self.backend, telemetry=self.telemetry,
         )
         result = comp.compress(data)
         shape = np.asarray(data.shape, dtype=np.int64)
@@ -51,11 +56,12 @@ class PFPL(BaselineCompressor):
             struct.pack("<H", shape.size) + shape.tobytes(), result.data
         )
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         shape_raw, stream = unpack_sections(blob)
         (ndim,) = unpack_head("<H", shape_raw)
         shape = tuple(
             int(x) for x in np.frombuffer(shape_raw, dtype=np.int64, count=ndim, offset=2)
         )
-        flat = pfpl_decompress(stream, backend=self.backend)
+        flat = pfpl_decompress(stream, backend=self.backend, telemetry=self.telemetry)
         return flat.reshape(shape)

@@ -54,6 +54,7 @@ def dual_quantize(
 
 
 def dequantize(bins: np.ndarray, error_bound: float, dtype) -> np.ndarray:
+    """Map quantization bins back to bin-center values."""
     step = 2.0 * float(error_bound)
     return (bins.astype(np.float64) * step).astype(dtype)
 
@@ -105,6 +106,7 @@ def zigzag(x: np.ndarray) -> np.ndarray:
 
 
 def unzigzag(z: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`: non-negative codes back to signed."""
     z = np.asarray(z, dtype=np.int64)
     # logical (not arithmetic) right shift so extreme codes invert exactly
     half = (z.view(np.uint64) >> np.uint64(1)).astype(np.int64)

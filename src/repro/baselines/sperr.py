@@ -36,6 +36,7 @@ from .base import (
     UnsupportedInput,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -63,6 +64,7 @@ _CORRECTION_THRESHOLD = 1.05
 
 
 class SPERR(BaselineCompressor):
+    """SPERR re-implementation: wavelet lifting + outlier correction."""
     name = "SPERR"
     features = Features(
         abs=UNGUARANTEED, rel=UNSUPPORTED, noa=UNSUPPORTED,
@@ -74,6 +76,7 @@ class SPERR(BaselineCompressor):
         if data.ndim != 3:
             raise UnsupportedInput("SPERR-3D requires 3-D input")
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -119,6 +122,7 @@ class SPERR(BaselineCompressor):
             nf_idx.tobytes(), nf_val.tobytes(),
         )
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         (meta, head, codes_blob, out_idx_raw, out_val_raw,
          corr_idx_raw, corr_val_raw, nf_idx_raw, nf_val_raw) = unpack_sections(blob)

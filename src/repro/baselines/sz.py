@@ -45,6 +45,7 @@ from .base import (
     Features,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -144,6 +145,7 @@ class _SZBase(BaselineCompressor):
     #: independent chunks with per-chunk Huffman tables (OMP variant)
     chunked = False
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -195,6 +197,7 @@ class _SZBase(BaselineCompressor):
             _pack_outliers(flat64, outlier), signs,
         )
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         meta, eps_raw, codes_blob, outlier_blob, signs = unpack_sections(blob)
         dtype, mode, shape, error_bound, extra = unpack_array_meta(meta)

@@ -38,6 +38,7 @@ from .base import (
     Features,
     pack_array_meta,
     pack_sections,
+    traced_codec,
     unpack_array_meta,
     unpack_head,
     unpack_sections,
@@ -146,6 +147,7 @@ class ZFP(BaselineCompressor):
         supports_float=True, supports_double=True, cpu=True, gpu=False,
     )
 
+    @traced_codec("compress")
     def compress(self, data: np.ndarray, mode: str, error_bound: float) -> bytes:
         data = np.asarray(data)
         self.check_input(data, mode)
@@ -229,6 +231,7 @@ class ZFP(BaselineCompressor):
             nonfinite_val.tobytes(),
         )
 
+    @traced_codec("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
         (meta, head, emax_raw, nplanes_raw, nb_raw, payload,
          nf_idx_raw, nf_val_raw) = unpack_sections(blob)

@@ -34,7 +34,7 @@ from .device import get_backend
 from .errors import PFPLError
 from .io import PFPLReader, PFPLWriter
 from .log import enable_logging, get_logger
-from .telemetry import Telemetry
+from .telemetry import NULL_TELEMETRY, Telemetry
 
 log = get_logger("cli")
 
@@ -58,8 +58,8 @@ def _finish_trace(tel: Telemetry | None, args: argparse.Namespace) -> None:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     dtype = _DTYPES[args.dtype]
-    backend = get_backend(args.backend)
     telemetry = _telemetry_for(args)
+    backend = get_backend(args.backend, telemetry=telemetry or NULL_TELEMETRY)
     value_range = None
     if args.mode == "noa":
         # NOA needs the global range before the first chunk can be
@@ -100,8 +100,10 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    backend = get_backend(args.backend)
     telemetry = _telemetry_for(args)
+    # Hand the recorder to the backend too, so worker / virtual-SM
+    # tracks land in the same trace as the codec spans.
+    backend = get_backend(args.backend, telemetry=telemetry or NULL_TELEMETRY)
     with open(args.input, "rb") as src, open(args.output, "wb") as dst:
         reader = PFPLReader(src, backend=backend, telemetry=telemetry)
         for chunk in reader.iter_chunks():
@@ -160,6 +162,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(f"    {stage:<18} {int(row['calls']):>7} "
                       f"{row['seconds']:>9.4f} {int(row['bytes_in']):>12,} "
                       f"{int(row['bytes_out']):>12,}")
+        latency = tel.span_latency_summary()
+        if latency:
+            print("  span latency (log2 buckets):")
+            print(f"    {'span':<24} {'count':>7} {'p50':>11} {'p99':>11}")
+            for row in latency:
+                print(f"    {row['cat'] + '/' + row['span']:<24} "
+                      f"{row['count']:>7} {row['p50']:>11.3g} "
+                      f"{row['p99']:>11.3g}")
 
     if args.drift:
         from .harness.drift import drift_check
@@ -245,13 +255,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(f"pfpl: {exc.args[0]}", file=sys.stderr)
             return 2
+    from .analysis import Severity
+
     findings = analyze_paths(args.paths, rules=rules)
     render = render_json if args.format == "json" else render_table
     print(render(findings))
-    return 1 if findings else 0
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    warnings = [f for f in findings if f.severity is Severity.WARNING]
+    # Errors always gate; warnings gate only under --strict (CI runs
+    # strict, local runs see them without failing).
+    if errors:
+        return 1
+    if warnings and args.strict:
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``pfpl`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(prog="pfpl", description=__doc__)
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -351,12 +372,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="treat warning-severity findings as gating (exit 1); "
+             "errors always gate",
+    )
     p.set_defaults(func=_cmd_analyze)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_logging(args.verbose)

@@ -42,12 +42,16 @@ class NoaQuantizer(Quantizer):
         return self._abs.error_bound if self._abs is not None else None
 
     def _bind_range(self, value_range: float) -> None:
-        self._range = float(value_range)
+        # A non-finite range (overflowed reduction, hostile header) is
+        # treated as degenerate: the smallest-normal fallback below
+        # stores everything (near-)losslessly, which is bound-safe.
+        self._range = float(value_range) if np.isfinite(value_range) else 0.0
         fdt = self.layout.float_dtype.type
         # Effective bound computed in the data precision, then clamped
         # *down* so it never exceeds the exact eps * range the user is
         # entitled to (the cast/product can round up).
-        eff = fdt(self.error_bound) * fdt(self._range)
+        with np.errstate(over="ignore"):  # inf falls through to the fallback
+            eff = fdt(self.error_bound) * fdt(self._range)
         exact = np.longdouble(self.error_bound) * np.longdouble(self._range)
         while np.isfinite(eff) and eff > 0 and np.longdouble(eff) > exact:
             eff = np.nextafter(eff, fdt(0.0))
@@ -79,7 +83,13 @@ class NoaQuantizer(Quantizer):
             if v.size:
                 vmax = float(np.fmax.reduce(v))
                 vmin = float(np.fmin.reduce(v))
-                rng = vmax - vmin if np.isfinite(vmax) and np.isfinite(vmin) else 0.0
+                # Guard the *difference*, not just the operands: two
+                # finite extremes (finfo.max, finfo.min) can still
+                # overflow to inf, which would poison the stream header
+                # (value_range must validate as finite on decode).
+                rng = vmax - vmin
+                if not np.isfinite(rng):
+                    rng = 0.0
             else:
                 rng = 0.0
             self._bind_range(rng)

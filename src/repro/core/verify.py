@@ -93,7 +93,8 @@ def check_noa(
     o = np.asarray(original).reshape(-1)
     fin = o[np.isfinite(o)]
     if value_range is None:
-        value_range = float(fin.max() - fin.min()) if fin.size else 0.0
+        with np.errstate(over="ignore"):  # extreme ranges check as inf bound
+            value_range = float(fin.max() - fin.min()) if fin.size else 0.0
     abs_bound = float(bound) * float(value_range)
     rep = check_abs(original, recon, max(abs_bound, np.finfo(np.float64).tiny))
     max_err_norm = rep.max_error / value_range if value_range else 0.0

@@ -132,6 +132,7 @@ def load_suite(name: str, n_files: int | None = None) -> list[tuple[str, np.ndar
 
 
 def suite_names() -> list[str]:
+    """Names of every modeled SDRBench suite."""
     return list(SUITES)
 
 
@@ -149,4 +150,5 @@ def single_suites(require_3d: bool = False) -> list[str]:
 
 
 def double_suites() -> list[str]:
+    """Suites whose fields are float64 (the Figure 8 subset)."""
     return [n for n, s in SUITES.items() if s.dtype == np.dtype(np.float64)]

@@ -209,7 +209,10 @@ class ThreadedBackend(Backend):
         return results
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
-        return carry_array_scan(np.asarray(sizes, dtype=np.int64), self.n_threads)
+        return carry_array_scan(
+            np.asarray(sizes, dtype=np.int64), self.n_threads,
+            sanitizer=self.sanitizer,
+        )
 
 
 class GpuSimBackend(Backend):
@@ -219,13 +222,29 @@ class GpuSimBackend(Backend):
     within a chunk the GPU-structured kernels (warp shuffle, block
     scans) run; chunk offsets use decoupled look-back.  Output bytes are
     identical to the CPU backends.
+
+    With telemetry enabled, each block execution is also recorded as a
+    *modeled* span on a virtual per-SM track (``sm-0`` ..
+    ``sm-<wave-1>``): every block in a wave starts at the wave's base
+    time on its own SM with its measured kernel duration, so the Chrome
+    trace renders the simulated wave occupancy next to the measured
+    wall-clock timeline (the host still executes blocks serially).
     """
 
     name = "gpu-cuda-sim"
 
-    def __init__(self, device: DeviceSpec = RTX_4090, telemetry=NULL_TELEMETRY):
+    def __init__(
+        self,
+        device: DeviceSpec = RTX_4090,
+        telemetry=NULL_TELEMETRY,
+        sanitizer=None,
+    ):
         self.device = device
         self.telemetry = telemetry
+        #: optional repro.analysis.ConcurrencySanitizer; when set, the
+        #: decoupled look-back scan publishes its status window through
+        #: instrumented shared state.
+        self.sanitizer = sanitizer
         # Resident "blocks" per wave scales with SM count, as on hardware.
         self.wave = max(4, device.parallel_units // 8)
 
@@ -238,14 +257,37 @@ class GpuSimBackend(Backend):
         # (many more blocks than SMs), not queue reordering.
         self.last_order = list(range(len(items)))
         results: list = [None] * len(items)
-        for wave_start in range(0, len(items), self.wave):
+        tel = self.telemetry
+        if not tel.enabled:
+            for wave_start in range(0, len(items), self.wave):
+                for i in range(wave_start, min(len(items), wave_start + self.wave)):
+                    results[i] = fn(items[i])
+            return results
+        for wave_id, wave_start in enumerate(range(0, len(items), self.wave)):
+            # All blocks of a wave are *modeled* as launching together at
+            # the wave base time, one per virtual SM; each block's
+            # modeled duration is its measured kernel time.  Waves
+            # serialize on the host, so real elapsed time always covers
+            # the modeled wave and the virtual tracks never overlap.
+            wave_base = tel.now()
             for i in range(wave_start, min(len(items), wave_start + self.wave)):
+                sm = i - wave_start
+                t0 = tel.now()
                 results[i] = fn(items[i])
+                duration = tel.now() - t0
+                tel.record_span(
+                    "block_exec", cat="sim", start=wave_base,
+                    duration=duration, track=f"sm-{sm}",
+                    item=i, wave=wave_id,
+                )
+                tel.add("sim_sm_busy_seconds_total", duration, sm=str(sm))
+            tel.add("sim_waves_total")
         return results
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         return decoupled_lookback_scan(
-            np.asarray(sizes, dtype=np.int64), window=self.wave
+            np.asarray(sizes, dtype=np.int64), window=self.wave,
+            sanitizer=self.sanitizer,
         )
 
 

@@ -44,7 +44,9 @@ def exclusive_scan_reference(values: np.ndarray) -> np.ndarray:
     return out
 
 
-def carry_array_scan(values: np.ndarray, n_workers: int = 8) -> np.ndarray:
+def carry_array_scan(
+    values: np.ndarray, n_workers: int = 8, sanitizer=None
+) -> np.ndarray:
     """CPU-style scan through a shared carry array.
 
     Workers claim consecutive slots; worker ``i`` waits for slot ``i-1``
@@ -52,14 +54,34 @@ def carry_array_scan(values: np.ndarray, n_workers: int = 8) -> np.ndarray:
     The simulation executes workers round-robin with bounded progress per
     turn, so the spin-wait structure is genuinely exercised (a worker
     whose predecessor has not yet published must yield).
+
+    ``sanitizer`` (a :class:`repro.analysis.ConcurrencySanitizer`)
+    routes the shared publish flags through an instrumented
+    ``shared_value`` guarded by a ``carry_publish`` lock: every slot
+    publication increments the watermark under the lock, so tests can
+    assert the scan's mutation discipline instead of assuming it.  The
+    result is unchanged either way.
     """
     values = np.asarray(values, dtype=np.int64)
     n = values.size
     if n == 0:
         return np.zeros(0, dtype=np.int64)
 
+    publish_lock = publish_count = None
+    if sanitizer is not None:
+        publish_lock = sanitizer.lock("carry_publish")
+        publish_count = sanitizer.shared_value("carry_published_slots", publish_lock)
+
     carry = np.full(n, -1, dtype=np.int64)   # -1 = not yet published
     published = np.zeros(n, dtype=bool)
+
+    def publish(i: int, total: int) -> None:
+        carry[i] = total
+        published[i] = True
+        if publish_count is not None:
+            with publish_lock:
+                publish_count.increment()
+
     # Round-robin schedule across workers; each owns a strided set of slots.
     pending = [list(range(w, n, max(1, n_workers)))[::-1] for w in range(max(1, n_workers))]
     made_progress = True
@@ -69,11 +91,9 @@ def carry_array_scan(values: np.ndarray, n_workers: int = 8) -> np.ndarray:
             while queue:
                 i = queue[-1]
                 if i == 0:
-                    carry[0] = values[0]
-                    published[0] = True
+                    publish(0, int(values[0]))
                 elif published[i - 1]:
-                    carry[i] = carry[i - 1] + values[i]
-                    published[i] = True
+                    publish(i, int(carry[i - 1] + values[i]))
                 else:
                     break  # spin: predecessor not ready, yield this worker
                 queue.pop()
@@ -86,7 +106,9 @@ def carry_array_scan(values: np.ndarray, n_workers: int = 8) -> np.ndarray:
     return out
 
 
-def decoupled_lookback_scan(values: np.ndarray, window: int = 4) -> np.ndarray:
+def decoupled_lookback_scan(
+    values: np.ndarray, window: int = 4, sanitizer=None
+) -> np.ndarray:
     """Merrill-Garland single-pass scan with decoupled look-back.
 
     Blocks publish (status, aggregate, prefix) records.  A block first
@@ -95,11 +117,27 @@ def decoupled_lookback_scan(values: np.ndarray, window: int = 4) -> np.ndarray:
     record terminates the walk.  The simulation launches blocks in waves
     of ``window`` to model limited residency, so look-backs really do
     encounter both record types.
+
+    ``sanitizer`` (a :class:`repro.analysis.ConcurrencySanitizer`)
+    mirrors every status transition into an instrumented ``shared_list``
+    guarded by a ``lookback_status`` lock -- the window of published
+    records a look-back walks over -- so tests can assert the publish
+    discipline.  The result is unchanged either way.
     """
     values = np.asarray(values, dtype=np.int64)
     n = values.size
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+
+    status_lock = status_window = None
+    if sanitizer is not None:
+        status_lock = sanitizer.lock("lookback_status")
+        status_window = sanitizer.shared_list("lookback_window", status_lock)
+
+    def record(block: int, new_status: int) -> None:
+        if status_window is not None:
+            with status_lock:
+                status_window.append((block, new_status))
 
     status = np.full(n, _STATUS_INVALID, dtype=np.int8)
     aggregate = np.zeros(n, dtype=np.int64)
@@ -112,6 +150,7 @@ def decoupled_lookback_scan(values: np.ndarray, window: int = 4) -> np.ndarray:
         for b in wave:
             aggregate[b] = values[b]
             status[b] = _STATUS_AGGREGATE
+            record(b, _STATUS_AGGREGATE)
         # Phase 2: look-back (predecessors are guaranteed published
         # because earlier waves completed -- the residency constraint the
         # real algorithm relies on).
@@ -132,6 +171,7 @@ def decoupled_lookback_scan(values: np.ndarray, window: int = 4) -> np.ndarray:
             out[b] = exclusive
             inclusive[b] = exclusive + values[b]
             status[b] = _STATUS_PREFIX
+            record(b, _STATUS_PREFIX)
     return out
 
 

@@ -7,6 +7,15 @@ the bulk of its cycles on integer work in the middle stages.  This
 module runs a chunk through the pipeline stage by stage, recording each
 stage's input/output bytes and an operation estimate, then derives the
 DRAM-traffic story the paper tells (fused vs. unfused execution).
+
+Both codec directions are modeled.  ``direction="encode"`` (the
+default) profiles quantize -> delta+negabinary -> bitshuffle ->
+zero-elim.  ``direction="decode"`` profiles the inverse stages in
+decode order -- zero-restore -> bitunshuffle -> delta-decode ->
+dequantize -- with the byte traffic the real decode kernel records,
+including the raw-fallback asymmetry: an incompressible chunk skips the
+three lossless inverse stages entirely (the decoder copies the raw
+words), so only ``dequantize`` appears for it.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from ..core.lossless.bitshuffle import bitshuffle
 from ..core.lossless.delta import delta_encode
 from ..core.lossless.zerobyte import compress_bytes
 from ..core.quantizers import make_quantizer
+from ..errors import PFPLUsageError
 
 __all__ = ["StageProfile", "PipelineProfile", "profile_chunk"]
 
@@ -96,6 +106,7 @@ def profile_chunk(
     mode: str = "abs",
     error_bound: float = 1e-3,
     quantizer_params: dict | None = None,
+    direction: str = "encode",
 ) -> PipelineProfile:
     """Profile one chunk of float data through quantize + L1 + L2 + L3.
 
@@ -109,7 +120,19 @@ def profile_chunk(
     ``value_range`` from ``header_params()``); when given, ``prepare``
     is skipped so a *slice* of a larger stream profiles exactly like
     the codec encoding that slice inside the whole.
+
+    ``direction="decode"`` models the inverse pipeline instead: the
+    forward stages run once to learn the chunk's compressed geometry,
+    then the profile lists ``zero-restore`` -> ``bitunshuffle`` ->
+    ``delta-decode`` -> ``dequantize[<mode>]`` with the byte traffic the
+    decode kernel's telemetry records.  A chunk the encoder would emit
+    raw (blob >= the padded words) decodes without the lossless inverse
+    stages, so its decode profile holds ``dequantize`` alone.
     """
+    if direction not in ("encode", "decode"):
+        raise PFPLUsageError(
+            f"direction must be 'encode' or 'decode', got {direction!r}"
+        )
     values = np.ascontiguousarray(values).reshape(-1)
     if quantizer_params is not None:
         quantizer = make_quantizer(
@@ -126,27 +149,52 @@ def profile_chunk(
 
     profile = PipelineProfile()
 
+    # The forward stages always run: encode profiles report them
+    # directly, decode profiles need the chunk's compressed geometry
+    # (blob size, raw-fallback decision) to model the inverse traffic.
     words = quantizer.encode(values)
-    profile.stages.append(StageProfile(
-        f"quantize[{mode}]", n * word_bytes, n * word_bytes,
-        ops=6 * n if mode != "rel" else 40 * n,  # REL pays for log2/exp2
-    ))
-
     delta = delta_encode(words)
-    profile.stages.append(StageProfile(
-        "delta+negabin", n * word_bytes, n * word_bytes, ops=3 * n,
-    ))
-
     pad = (-n) % 8
     padded = np.concatenate([delta, np.zeros(pad, dtype=delta.dtype)]) if pad else delta
     planes = bitshuffle(padded)
-    profile.stages.append(StageProfile(
-        "bitshuffle", padded.size * word_bytes, planes.size,
-        ops=int(np.log2(width)) * padded.size,
-    ))
-
     blob = compress_bytes(planes)
+    quantize_ops = 6 * n if mode != "rel" else 40 * n  # REL pays for log2/exp2
+
+    if direction == "encode":
+        profile.stages.append(StageProfile(
+            f"quantize[{mode}]", n * word_bytes, n * word_bytes, ops=quantize_ops,
+        ))
+        profile.stages.append(StageProfile(
+            "delta+negabin", n * word_bytes, n * word_bytes, ops=3 * n,
+        ))
+        profile.stages.append(StageProfile(
+            "bitshuffle", padded.size * word_bytes, planes.size,
+            ops=int(np.log2(width)) * padded.size,
+        ))
+        profile.stages.append(StageProfile(
+            "zero-elim", planes.size, len(blob), ops=2 * planes.size + planes.size // 2,
+        ))
+        return profile
+
+    # Decode direction: mirror ChunkCodec's framing.  The encoder falls
+    # back to the raw padded words whenever the pipeline failed to
+    # shrink them, and the decoder then bypasses the lossless inverse
+    # stages entirely (ChunkCodec.decode_chunk's is_raw branch).
+    padded_bytes = padded.size * word_bytes
+    is_raw = len(blob) >= padded_bytes
+    if not is_raw:
+        profile.stages.append(StageProfile(
+            "zero-restore", len(blob), padded_bytes,
+            ops=2 * planes.size + planes.size // 2,
+        ))
+        profile.stages.append(StageProfile(
+            "bitunshuffle", padded_bytes, padded_bytes,
+            ops=int(np.log2(width)) * padded.size,
+        ))
+        profile.stages.append(StageProfile(
+            "delta-decode", padded_bytes, padded_bytes, ops=3 * n,
+        ))
     profile.stages.append(StageProfile(
-        "zero-elim", planes.size, len(blob), ops=2 * planes.size + planes.size // 2,
+        f"dequantize[{mode}]", n * word_bytes, n * word_bytes, ops=quantize_ops,
     ))
     return profile

@@ -75,6 +75,7 @@ def fixedlen_encode(values: np.ndarray, block: int = _BLOCK) -> bytes:
 
 
 def fixedlen_decode(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`fixedlen_encode`."""
     try:
         n, block = _HDR.unpack_from(blob)
     except struct.error as exc:

@@ -127,6 +127,7 @@ def lz77_compress(data: bytes) -> bytes:
 
 
 def lz77_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lz77_compress`."""
     try:
         n, n_tokens = _HDR.unpack_from(blob)
         pos = _HDR.size

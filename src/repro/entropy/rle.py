@@ -44,6 +44,7 @@ def rle_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def rle_decode(run_values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rle_encode`: expand runs back to the sequence."""
     return np.repeat(run_values, run_lengths)
 
 

@@ -132,6 +132,7 @@ _GRID_CACHE: dict[tuple, dict[tuple[str, float], AggregateRow]] = {}
 
 
 def clear_cache() -> None:
+    """Drop memoized grid results (tests use this for isolation)."""
     _GRID_CACHE.clear()
 
 

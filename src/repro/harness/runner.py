@@ -61,9 +61,16 @@ def run_cell(
     data: np.ndarray,
     mode: str,
     bound: float,
+    telemetry=None,
 ) -> CellResult:
-    """Run one compressor on one field; never raises for support gaps."""
-    comp = ALL_COMPRESSORS[compressor_name]()
+    """Run one compressor on one field; never raises for support gaps.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is threaded
+    into the compressor adapter, so each cell contributes labeled
+    ``baseline_compress``/``baseline_decompress`` spans and byte
+    counters -- per-cell, per-stage time attribution for the grid.
+    """
+    comp = ALL_COMPRESSORS[compressor_name](telemetry=telemetry)
     if not comp.supports(mode, data.dtype):
         return CellResult(compressor_name, suite, file_name, mode, bound,
                           None, None, None, None, note="mode/dtype unsupported")
@@ -99,8 +106,14 @@ def run_grid(
     compressors: list[str] | None = None,
     bounds: tuple[float, ...] = PAPER_BOUNDS,
     n_files: int | None = None,
+    telemetry=None,
 ) -> list[CellResult]:
-    """Run the full cell grid (the workhorse behind every figure)."""
+    """Run the full cell grid (the workhorse behind every figure).
+
+    With ``telemetry`` set, every cell's codec work is traced into the
+    shared sink (see :func:`run_cell`), so one grid run yields the full
+    time/byte attribution across compressors without re-running.
+    """
     compressors = compressors or list(ALL_COMPRESSORS)
     log.info("grid: mode=%s, %d suites x %d compressors x %d bounds",
              mode, len(suites), len(compressors), len(bounds))
@@ -110,7 +123,8 @@ def run_grid(
             log.info("suite %s file %s: %d values", suite, fname, data.size)
             for comp in compressors:
                 for bound in bounds:
-                    cells.append(run_cell(comp, suite, fname, data, mode, bound))
+                    cells.append(run_cell(comp, suite, fname, data, mode, bound,
+                                          telemetry=telemetry))
     return cells
 
 

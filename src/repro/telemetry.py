@@ -15,11 +15,21 @@ middle lossless stages).  This module *measures* it: a
   outlier (raw-word) counts, incompressible-fallback chunks, queue-wait
   seconds per worker, values and chunks processed.
 
+* **histograms** -- every committed span also feeds a fixed
+  log2-spaced ``span_duration_seconds`` histogram keyed by category and
+  span name, so the Prometheus export carries latency distributions
+  (``_bucket``/``_sum``/``_count`` series) and p50/p99 summaries are
+  available without retaining the raw spans.
+
 Everything is thread-safe (backend workers record concurrently) and
 exportable three ways: a JSON summary (:meth:`Telemetry.to_json`),
 Prometheus text exposition (:meth:`Telemetry.to_prometheus`), and Chrome
 ``trace_event`` JSON (:meth:`Telemetry.chrome_trace`) with one track per
-worker thread -- loadable in Perfetto / ``chrome://tracing``.
+worker thread -- loadable in Perfetto / ``chrome://tracing``.  Spans
+recorded with an explicit ``track`` argument (the GPU simulator's
+virtual per-SM timelines, fed through :meth:`Telemetry.record_span`)
+render as their own named tracks under a separate ``gpu-sim`` process,
+so modeled wave occupancy sits next to measured wall-clock.
 
 The default telemetry everywhere is :data:`NULL_TELEMETRY`, a null
 object whose ``enabled`` attribute is ``False``: instrumented hot paths
@@ -41,6 +51,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -49,6 +60,7 @@ __all__ = [
     "NULL_TELEMETRY",
     "SpanRecord",
     "parse_prometheus",
+    "HISTOGRAM_BOUNDS",
 ]
 
 #: Stage names the encoder records, in pipeline order (matching the
@@ -68,6 +80,11 @@ DECODE_STAGES = (
     "delta-decode",
     "dequantize",
 )
+
+#: Fixed log2-spaced span-duration histogram bucket upper bounds, in
+#: seconds (~1 us .. 16 s).  Fixed bounds keep every export mergeable
+#: across runs and processes, which is the Prometheus histogram model.
+HISTOGRAM_BOUNDS = tuple(2.0 ** e for e in range(-20, 5))
 
 
 @dataclass
@@ -149,6 +166,18 @@ class NullTelemetry:
     def add(self, name: str, value: float = 1, **labels) -> None:
         return None
 
+    def histogram(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def record_span(
+        self, name: str, cat: str, start: float, duration: float,
+        track: str | None = None, **args,
+    ) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
 
 #: The process-wide disabled-telemetry singleton (the default everywhere).
 NULL_TELEMETRY = NullTelemetry()
@@ -204,7 +233,15 @@ class Telemetry:
             self.epoch = time.perf_counter()
             self.spans: list[SpanRecord] = []
             self._counters: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+            #: histogram key -> [per-bucket counts..., overflow], sum, count
+            self._hists: dict[
+                tuple[str, tuple[tuple[str, str], ...]], list
+            ] = {}
             self._dropped = 0
+
+    def now(self) -> float:
+        """Seconds since this recorder's epoch (the span timebase)."""
+        return time.perf_counter() - self.epoch
 
     def span(self, name: str, cat: str = "codec", **args) -> _Span:
         """Open a timed span; use as a context manager."""
@@ -219,6 +256,56 @@ class Telemetry:
         key = (name, tuple(sorted(labels.items())))
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + value
+
+    def histogram(self, name: str, value: float, **labels) -> None:
+        """Observe ``value`` in the fixed-bucket histogram ``name``."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._observe_locked(key, value)
+
+    def _observe_locked(
+        self, key: tuple[str, tuple[tuple[str, str], ...]], value: float
+    ) -> None:
+        hist = self._hists.get(key)
+        if hist is None:
+            # buckets[i] counts observations in (bounds[i-1], bounds[i]];
+            # the final slot is the +Inf overflow bucket.
+            hist = self._hists[key] = [[0] * (len(HISTOGRAM_BOUNDS) + 1), 0.0, 0]
+        buckets, _, _ = hist
+        idx = bisect_right(HISTOGRAM_BOUNDS, value)
+        buckets[idx] += 1
+        hist[1] += value
+        hist[2] += 1
+
+    def record_span(
+        self, name: str, cat: str, start: float, duration: float,
+        track: str | None = None, **args,
+    ) -> None:
+        """Record a span with explicit (possibly virtual) timing.
+
+        Unlike :meth:`span`, the caller supplies ``start`` (seconds
+        since this recorder's epoch -- see :meth:`now`) and
+        ``duration``: this is how simulators report *modeled* intervals
+        that never ran on a wall clock.  ``track`` names a virtual
+        timeline (e.g. ``"sm-3"``); tracked spans get their own named
+        row in :meth:`chrome_trace` instead of the recording thread's.
+        """
+        if track is not None:
+            args = dict(args, track=track)
+        rec = SpanRecord(
+            name=name, cat=cat, start=float(start), duration=float(duration),
+            tid=threading.get_ident(), args=args,
+        )
+        hist_key = (
+            "span_duration_seconds",
+            (("cat", cat), ("span", name)),
+        )
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(rec)
+            else:
+                self._dropped += 1
+            self._observe_locked(hist_key, float(duration))
 
     def _commit(self, span: _Span, t0: float, duration: float) -> None:
         args = span.args
@@ -236,11 +323,16 @@ class Telemetry:
         stage_key = None
         if span.cat in ("encode", "decode"):
             stage_key = (("cat", span.cat), ("stage", span.name))
+        hist_key = (
+            "span_duration_seconds",
+            (("cat", span.cat), ("span", span.name)),
+        )
         with self._lock:
             if len(self.spans) < self.max_spans:
                 self.spans.append(rec)
             else:
                 self._dropped += 1
+            self._observe_locked(hist_key, duration)
             if stage_key is not None:
                 c = self._counters
                 c[("stage_seconds_total", stage_key)] = (
@@ -297,6 +389,80 @@ class Telemetry:
                 row["bytes_out"] = value
         return table
 
+    def histograms(self) -> dict[str, dict]:
+        """Flat histogram snapshot: ``name{labels}`` -> buckets/sum/count.
+
+        ``buckets`` pairs each finite upper bound (plus ``inf``) with its
+        *cumulative* count, the Prometheus ``le`` convention.
+        """
+        with self._lock:
+            items = [
+                (name, labels, list(h[0]), h[1], h[2])
+                for (name, labels), h in self._hists.items()
+            ]
+        out: dict[str, dict] = {}
+        bounds = list(HISTOGRAM_BOUNDS) + [float("inf")]
+        for name, labels, buckets, total, count in sorted(
+            items, key=lambda i: (i[0], i[1])
+        ):
+            if labels:
+                inner = ",".join(f'{k}="{v}"' for k, v in labels)
+                flat = f"{name}{{{inner}}}"
+            else:
+                flat = name
+            cumulative = []
+            running = 0
+            for le, c in zip(bounds, buckets):
+                running += c
+                cumulative.append((le, running))
+            out[flat] = {"buckets": cumulative, "sum": total, "count": count}
+        return out
+
+    def span_quantile(self, q: float, cat: str, span: str) -> float:
+        """Estimated ``q``-quantile of one span family's duration.
+
+        Returns the upper bound of the bucket where the cumulative count
+        crosses ``q`` (the standard fixed-bucket estimate; exact to one
+        log2 bucket), 0.0 when the family was never observed, and
+        ``inf`` when the quantile lands in the overflow bucket.
+        """
+        key = ("span_duration_seconds", (("cat", cat), ("span", span)))
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None or not hist[2]:
+                return 0.0
+            buckets, _, count = list(hist[0]), hist[1], hist[2]
+        target = q * count
+        running = 0
+        for le, c in zip(HISTOGRAM_BOUNDS, buckets):
+            running += c
+            if running >= target:
+                return le
+        return float("inf")
+
+    def span_latency_summary(self) -> list[dict]:
+        """Per-span-family latency digest: count, total, p50, p99.
+
+        One row per (cat, span) family, sorted, ready for ``pfpl stats``.
+        """
+        with self._lock:
+            families = [
+                dict(labels) | {"count": h[2], "sum": h[1]}
+                for (name, labels), h in self._hists.items()
+                if name == "span_duration_seconds"
+            ]
+        rows = []
+        for fam in sorted(families, key=lambda f: (f["cat"], f["span"])):
+            rows.append({
+                "cat": fam["cat"],
+                "span": fam["span"],
+                "count": fam["count"],
+                "sum": fam["sum"],
+                "p50": self.span_quantile(0.5, fam["cat"], fam["span"]),
+                "p99": self.span_quantile(0.99, fam["cat"], fam["span"]),
+            })
+        return rows
+
     def summary(self) -> dict:
         """JSON-ready digest: counters plus per-stage encode/decode tables."""
         with self._lock:
@@ -310,6 +476,7 @@ class Telemetry:
                 "encode": self.stage_table("encode"),
                 "decode": self.stage_table("decode"),
             },
+            "span_latency": self.span_latency_summary(),
         }
 
     # -- exporters -----------------------------------------------------------
@@ -323,14 +490,26 @@ class Telemetry:
 
         Counter names gain the ``<prefix>_`` namespace; labels are
         rendered sorted, so the output is deterministic and
-        :func:`parse_prometheus` round-trips it exactly.
+        :func:`parse_prometheus` round-trips it exactly.  Histogram
+        families follow the counters with the standard cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
         """
         with self._lock:
             items = list(self._counters.items())
+            hists = [
+                (name, labels, list(h[0]), h[1], h[2])
+                for (name, labels), h in self._hists.items()
+            ]
         by_name: dict[str, list[tuple[tuple[tuple[str, str], ...], float]]] = {}
         for (name, labels), value in items:
             by_name.setdefault(name, []).append((labels, value))
         lines = []
+
+        def fmt(value: float) -> str:
+            if isinstance(value, float) and not value.is_integer():
+                return repr(value)
+            return str(int(value))
+
         for name in sorted(by_name):
             full = f"{prefix}_{name}"
             lines.append(f"# HELP {full} repro.telemetry counter {name}")
@@ -340,32 +519,62 @@ class Telemetry:
                 if labels:
                     inner = ",".join(f'{k}="{v}"' for k, v in labels)
                     label_str = f"{{{inner}}}"
-                if isinstance(value, float) and not value.is_integer():
-                    lines.append(f"{full}{label_str} {value!r}")
-                else:
-                    lines.append(f"{full}{label_str} {int(value)}")
+                lines.append(f"{full}{label_str} {fmt(value)}")
+
+        hist_names = sorted({name for name, *_ in hists})
+        for name in hist_names:
+            full = f"{prefix}_{name}"
+            lines.append(f"# HELP {full} repro.telemetry histogram {name}")
+            lines.append(f"# TYPE {full} histogram")
+            for _, labels, buckets, total, count in sorted(
+                (h for h in hists if h[0] == name), key=lambda h: h[1]
+            ):
+                inner = ",".join(f'{k}="{v}"' for k, v in labels)
+                running = 0
+                for le, c in zip(HISTOGRAM_BOUNDS, buckets):
+                    running += c
+                    le_labels = f'{inner},le="{le!r}"' if inner else f'le="{le!r}"'
+                    lines.append(f"{full}_bucket{{{le_labels}}} {running}")
+                running += buckets[-1]
+                inf_labels = f'{inner},le="+Inf"' if inner else 'le="+Inf"'
+                lines.append(f"{full}_bucket{{{inf_labels}}} {running}")
+                label_str = f"{{{inner}}}" if inner else ""
+                lines.append(f"{full}_sum{label_str} {fmt(float(total))}")
+                lines.append(f"{full}_count{label_str} {count}")
         return "\n".join(lines) + "\n"
 
     def chrome_trace(self) -> dict:
         """Chrome ``trace_event`` JSON object (Perfetto-loadable).
 
-        Every span becomes a complete (``"ph": "X"``) event; worker
-        threads appear as separate tracks named ``worker-N`` in first-
-        seen order, with the recording thread of each span preserved.
+        Every span becomes a complete (``"ph": "X"``) event.  Measured
+        spans land on one track per recording worker thread (named
+        ``worker-N`` in first-seen order) under pid 1.  Spans carrying a
+        ``track`` argument -- virtual timelines such as the GPU
+        simulator's per-SM rows from :meth:`record_span` -- land under a
+        separate pid 2 process named ``gpu-sim (modeled)``, one named
+        track per distinct ``track`` string, so modeled occupancy
+        renders next to measured wall-clock.
         """
         with self._lock:
             spans = list(self.spans)
         tid_map: dict[int, int] = {}
+        track_map: dict[str, int] = {}
         events = []
         for rec in spans:
-            track = tid_map.setdefault(rec.tid, len(tid_map))
+            virtual = rec.args.get("track")
+            if isinstance(virtual, str):
+                pid = 2
+                track = track_map.setdefault(virtual, len(track_map))
+            else:
+                pid = 1
+                track = tid_map.setdefault(rec.tid, len(tid_map))
             events.append({
                 "name": rec.name,
                 "cat": rec.cat,
                 "ph": "X",
                 "ts": rec.start * 1e6,
                 "dur": rec.duration * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": track,
                 "args": rec.args,
             })
@@ -379,6 +588,24 @@ class Telemetry:
             }
             for track in sorted(tid_map.values())
         ]
+        if track_map:
+            meta.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "args": {"name": "gpu-sim (modeled)"},
+            })
+            meta.extend(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 2,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+                for name, tid in sorted(track_map.items(), key=lambda kv: kv[1])
+            )
         return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path) -> None:

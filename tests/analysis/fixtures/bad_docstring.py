@@ -1,0 +1,14 @@
+import math
+
+
+def entropy(p):
+    return -sum(x * math.log2(x) for x in p if x)
+
+
+class Histogram:
+    def __init__(self):
+        self.counts = {}
+
+
+def _private_helper(x):
+    return x + 1

@@ -29,6 +29,28 @@ class TestExitCodes:
         assert main(["analyze", "--rules", "no-such-rule", str(SRC)]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
+    def test_warnings_do_not_gate_by_default(self, capsys):
+        # bad_docstring.py only violates the warning-severity docstring
+        # rule: findings are printed but the exit stays zero.
+        assert main(["analyze", str(FIXTURES / "bad_docstring.py")]) == 0
+        out = capsys.readouterr().out
+        assert "docstring-discipline" in out
+
+    def test_warnings_gate_under_strict(self, capsys):
+        assert main([
+            "analyze", "--strict", str(FIXTURES / "bad_docstring.py"),
+        ]) == 1
+        assert "docstring-discipline" in capsys.readouterr().out
+
+    def test_errors_gate_without_strict(self, capsys):
+        # Error-severity findings gate regardless of --strict.
+        assert main(["analyze", str(FIXTURES / "bad_error.py")]) == 1
+        capsys.readouterr()
+
+    def test_strict_clean_tree_exits_zero(self, capsys):
+        assert main(["analyze", "--strict", str(SRC)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
 
 class TestOptions:
     def test_list_rules(self, capsys):

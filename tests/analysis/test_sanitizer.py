@@ -9,7 +9,12 @@ import pytest
 
 from repro.analysis import ConcurrencySanitizer, SanitizerError
 from repro.core.compressor import PFPLCompressor, decompress
-from repro.device.backend import ThreadedBackend
+from repro.device.backend import GpuSimBackend, ThreadedBackend
+from repro.device.prefix_sum import (
+    carry_array_scan,
+    decoupled_lookback_scan,
+    exclusive_scan_reference,
+)
 
 
 class TestLockOrder:
@@ -126,6 +131,66 @@ class TestSharedState:
         shared = san.shared_list("orphan")  # no guards declared at all
         shared.append(1)
         assert not san.clean
+
+
+class TestScanSanitizerWiring:
+    """The prefix-sum primitives route shared state through the sanitizer."""
+
+    def test_carry_scan_clean_and_correct(self):
+        san = ConcurrencySanitizer()
+        sizes = np.arange(1, 100, dtype=np.int64)
+        out = carry_array_scan(sizes, n_workers=8, sanitizer=san)
+        assert np.array_equal(out, exclusive_scan_reference(sizes))
+        san.check()  # correct impl: every publish under the carry lock
+
+    def test_lookback_scan_clean_and_correct(self):
+        san = ConcurrencySanitizer()
+        sizes = np.arange(1, 100, dtype=np.int64)
+        out = decoupled_lookback_scan(sizes, window=4, sanitizer=san)
+        assert np.array_equal(out, exclusive_scan_reference(sizes))
+        san.check()
+
+    def test_scan_results_identical_with_and_without_sanitizer(self):
+        sizes = np.random.default_rng(11).integers(0, 1 << 14, 257)
+        assert np.array_equal(
+            carry_array_scan(sizes, 8),
+            carry_array_scan(sizes, 8, sanitizer=ConcurrencySanitizer()),
+        )
+        assert np.array_equal(
+            decoupled_lookback_scan(sizes, window=16),
+            decoupled_lookback_scan(sizes, window=16,
+                                    sanitizer=ConcurrencySanitizer()),
+        )
+
+    def test_backend_prefix_sums_route_the_sanitizer(self):
+        sizes = np.arange(64, dtype=np.int64)
+        for backend in (ThreadedBackend(n_threads=4, sanitizer=ConcurrencySanitizer()),
+                        GpuSimBackend(sanitizer=ConcurrencySanitizer())):
+            out = backend.prefix_sum(sizes)
+            assert np.array_equal(out, exclusive_scan_reference(sizes))
+            backend.sanitizer.check()
+
+    def test_seeded_unguarded_publish_fires(self):
+        # A broken scan that publishes its carry watermark WITHOUT the
+        # guard lock, from two threads: the sanitizer must flag it (the
+        # sanitizer only treats multi-thread unguarded access as racy
+        # when guards were declared, so the stress uses two workers).
+        san = ConcurrencySanitizer()
+        lock = san.lock("carry_publish")
+        watermark = san.shared_value("carry_published_slots", lock)
+
+        def broken_scan_worker():
+            for _ in range(200):
+                watermark.increment()  # publish without taking the lock
+
+        threads = [threading.Thread(target=broken_scan_worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not san.clean
+        with pytest.raises(SanitizerError, match="unguarded-mutation"):
+            san.check()
 
 
 class TestThreadedBackendOptIn:

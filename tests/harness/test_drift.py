@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.harness.drift import drift_check
+from repro.errors import PFPLUsageError
+from repro.harness.drift import drift_check, schedule_drift_check
 
 
 @pytest.fixture
@@ -61,6 +62,95 @@ class TestByteAccounting:
         report = drift_check(values, mode="noa", error_bound=1e-3)
         assert report.n_chunks == 4
         assert report.bytes_ok, report.render()
+
+
+class TestDecodeByteAccounting:
+    """The inverse-stage analytic model vs measured decompression bytes."""
+
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    def test_decode_exact_all_modes_and_dtypes(self, mode, dtype):
+        rng = np.random.default_rng(9)
+        base = np.cumsum(rng.normal(0, 0.02, 16384 // np.dtype(dtype).itemsize * 3))
+        values = (np.abs(base) + 1.0).astype(dtype)  # REL needs nonzero
+        report = drift_check(values, mode=mode, error_bound=1e-3)
+        assert report.decode_stages, "decode side missing from report"
+        assert report.bytes_ok, report.render()
+        for stage in report.decode_stages:
+            assert stage.measured_bytes_in == stage.analytic_bytes_in, stage.stage
+            assert stage.measured_bytes_out == stage.analytic_bytes_out, stage.stage
+
+    def test_decode_stage_coverage(self, deterministic_chunk):
+        report = drift_check(deterministic_chunk)
+        assert {s.stage for s in report.decode_stages} == {
+            "zero-restore", "bitunshuffle", "delta-decode", "dequantize",
+        }
+
+    def test_decode_shares_sum_to_one(self, deterministic_chunk):
+        report = drift_check(deterministic_chunk)
+        assert sum(report.ops_share(s) for s in report.decode_stages) \
+            == pytest.approx(1.0)
+        assert sum(report.time_share(s) for s in report.decode_stages) \
+            == pytest.approx(1.0)
+
+    def test_raw_fallback_decodes_without_lossless_stages(self):
+        # Incompressible noise forces raw chunks: the decoder skips the
+        # lossless inverse stages, and the analytic model must agree.
+        rng = np.random.default_rng(3)
+        noise = rng.uniform(-1e9, 1e9, 4096 * 2).astype(np.float32)
+        report = drift_check(noise, mode="abs", error_bound=1e-12)
+        assert report.bytes_ok, report.render()
+
+    def test_render_has_decode_section(self, deterministic_chunk):
+        text = drift_check(deterministic_chunk).render()
+        assert "[decode]" in text and "zero-restore" in text
+
+
+class TestScheduleDrift:
+    """Measured pool busy-time vs the dynamic_schedule simulation."""
+
+    def test_structural_invariants(self):
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.normal(0, 0.02, 4096 * 16)).astype(np.float32)
+        report = schedule_drift_check(values, mode="abs", error_bound=1e-3,
+                                      n_threads=4)
+        assert report.n_items == 16
+        assert report.n_workers >= 1
+        # The simulated makespan can never beat perfect packing of the
+        # measured durations, and can never exceed their serial sum.
+        assert report.simulated_makespan <= report.measured_total + 1e-9
+        assert report.simulated_makespan * report.n_workers \
+            >= report.measured_total - 1e-9
+        assert report.simulated_imbalance >= 1.0
+
+    def test_generous_tolerance_passes(self):
+        rng = np.random.default_rng(6)
+        values = np.cumsum(rng.normal(0, 0.02, 4096 * 12)).astype(np.float32)
+        report = schedule_drift_check(values, n_threads=4, tolerance=50.0)
+        assert report.ok
+        assert report.makespan_gap < 50.0
+
+    def test_to_dict_and_render(self):
+        rng = np.random.default_rng(7)
+        values = np.cumsum(rng.normal(0, 0.02, 4096 * 8)).astype(np.float32)
+        report = schedule_drift_check(values, n_threads=2, tolerance=10.0)
+        import json
+
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["n_items"] == 8
+        assert "measured_makespan" in doc and "simulated_makespan" in doc
+        text = report.render()
+        assert "makespan" in text
+
+    def test_rejects_single_chunk(self, deterministic_chunk):
+        # One chunk short-circuits the pool (no chunk_exec spans), so
+        # there is no schedule to compare against.
+        with pytest.raises(PFPLUsageError, match="chunk"):
+            schedule_drift_check(deterministic_chunk)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PFPLUsageError):
+            schedule_drift_check(np.empty(0, dtype=np.float32))
 
 
 class TestReportShape:

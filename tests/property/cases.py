@@ -1,0 +1,120 @@
+"""Seeded random-case generator for the property-based round-trip suite.
+
+No property-testing dependency: the "generator" is a deterministic case
+matrix (dtype x mode x kind x chunk-boundary size, with error bounds
+cycled by index) plus a seeded NumPy value synthesizer per case.  The
+same case list is produced on every run and every machine, so CI
+failures name a reproducible case id.
+
+Value kinds:
+
+* ``smooth``  -- random-walk signal, the compressible common case;
+* ``special`` -- salted with every IEEE-754 special class (NaN, +/-Inf,
+  +/-0, denormals, finfo max/min) at fixed strides;
+* ``edges``   -- values sitting exactly on quantization bin edges and
+  bin centers for the case's error bound, the worst case for
+  round-half ties.
+
+Sizes straddle every boundary the chunked codec cares about: 1 value,
+below/at/above the bitshuffle lane width (8), below/at/above one chunk,
+and a multi-chunk stream with a ragged tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import CHUNK_BYTES
+
+MODES = ("abs", "rel", "noa")
+DTYPES = (np.float32, np.float64)
+KINDS = ("smooth", "special", "edges")
+BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+
+_BASE_SEED = 0x5EED
+
+
+@dataclass(frozen=True)
+class Case:
+    """One generated round-trip scenario (hashable, printable)."""
+
+    case_id: str
+    dtype: str          #: "f32" | "f64" (np dtypes aren't repr-stable ids)
+    mode: str
+    bound: float
+    size: int
+    kind: str
+    seed: int
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.dtype == "f32" else np.float64)
+
+
+def values_per_chunk(dtype) -> int:
+    """Values in one codec chunk (words == values for both dtypes)."""
+    return CHUNK_BYTES // np.dtype(dtype).itemsize
+
+
+def boundary_sizes(dtype) -> tuple[int, ...]:
+    wpc = values_per_chunk(dtype)
+    return (1, 7, 8, wpc - 1, wpc, wpc + 1, 2 * wpc + 13)
+
+
+def make_values(case: Case) -> np.ndarray:
+    """Synthesize the case's input array (deterministic per case)."""
+    dtype = case.np_dtype
+    rng = np.random.default_rng(case.seed)
+    n = case.size
+    if case.kind == "smooth":
+        return np.cumsum(rng.normal(0.0, 0.01, n)).astype(dtype)
+    if case.kind == "edges":
+        # Exact bin edges/centers for the ABS quantizer's step 2*eps:
+        # even multiples of eps are centers, odd multiples are edges
+        # (round-half ties).  Also exercised under REL/NOA, where they
+        # are simply adversarially non-random values.
+        k = rng.integers(-999, 1000, n)
+        v = (k.astype(np.float64) * case.bound).astype(dtype)
+        v[::5] = ((k[::5].astype(np.float64) + 0.5) * 2.0 * case.bound).astype(dtype)
+        return v
+    if case.kind != "special":
+        raise ValueError(f"unknown kind {case.kind!r}")
+    v = rng.normal(0.0, 100.0, n).astype(dtype)
+    tiny = np.finfo(dtype).tiny
+    v[::97] = np.inf
+    v[1::97] = -np.inf
+    v[::89] = np.nan
+    v[::83] = 0.0
+    v[1::83] = -0.0
+    v[::79] = tiny / 8           # positive denormal
+    v[1::79] = -tiny / 16        # negative denormal
+    v[::73] = np.finfo(dtype).max
+    v[1::73] = np.finfo(dtype).min
+    return v
+
+
+def build_cases() -> list[Case]:
+    """The full deterministic case matrix (>= 100 cases)."""
+    cases: list[Case] = []
+    index = 0
+    for dt_name, dtype in (("f32", np.float32), ("f64", np.float64)):
+        for mode in MODES:
+            for kind in KINDS:
+                for size in boundary_sizes(dtype):
+                    bound = BOUNDS[index % len(BOUNDS)]
+                    cases.append(Case(
+                        case_id=f"{dt_name}-{mode}-{kind}-n{size}-eb{bound:g}",
+                        dtype=dt_name,
+                        mode=mode,
+                        bound=bound,
+                        size=size,
+                        kind=kind,
+                        seed=_BASE_SEED + index,
+                    ))
+                    index += 1
+    return cases
+
+
+ALL_CASES = build_cases()

@@ -1,0 +1,147 @@
+"""Property-based round-trip suite: the codec's contract, case by case.
+
+Every generated case (see :mod:`tests.property.cases`) asserts the
+paper's guarantees end to end:
+
+* the pointwise error bound holds for the case's mode,
+* non-finite values survive (bit-exact for ABS/NOA; REL normalizes the
+  NaN payload sign, so NaN-ness rather than bit pattern is asserted),
+* the three backends emit byte-identical streams (PFPL's CPU/GPU
+  compatibility claim) on a representative sub-matrix,
+* the lossless stage stack is a bijection on words,
+* the decode-side analytic model matches measured decode byte traffic
+  (one drift case per mode), and
+* enabling telemetry never changes the bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress, decompress
+from repro.core.lossless.pipeline import LosslessPipeline
+from repro.core.verify import check_bound
+from repro.device.backend import GpuSimBackend, SerialBackend, ThreadedBackend
+from repro.device.gpu_sim import GpuLosslessPipeline
+from repro.harness.drift import drift_check
+from repro.telemetry import Telemetry
+
+from .cases import ALL_CASES, Case, make_values, values_per_chunk
+
+
+def test_case_matrix_is_large_and_stable():
+    # The suite's backbone: at least 100 deterministic cases, unique ids.
+    assert len(ALL_CASES) >= 100
+    assert len({c.case_id for c in ALL_CASES}) == len(ALL_CASES)
+    # Both dtypes, all modes, all kinds, and the chunk boundary itself
+    # are represented.
+    assert {c.dtype for c in ALL_CASES} == {"f32", "f64"}
+    assert {c.mode for c in ALL_CASES} == {"abs", "rel", "noa"}
+    sizes_f32 = {c.size for c in ALL_CASES if c.dtype == "f32"}
+    assert values_per_chunk(np.float32) in sizes_f32
+
+
+def _assert_nonfinite_lanes(case: Case, data: np.ndarray, recon: np.ndarray):
+    bad = ~np.isfinite(data)
+    if not bad.any():
+        return
+    if case.mode == "rel":
+        # REL normalizes NaN sign bits; assert NaN-ness and exact
+        # infinities instead of bit patterns.
+        assert np.array_equal(np.isnan(data), np.isnan(recon))
+        inf = np.isinf(data)
+        assert np.array_equal(data[inf], recon[inf])
+    else:
+        # ABS/NOA store non-finite values losslessly, bit for bit.
+        uint = {4: np.uint32, 8: np.uint64}[data.dtype.itemsize]
+        assert np.array_equal(data[bad].view(uint), recon[bad].view(uint))
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.case_id)
+def test_roundtrip_respects_bound(case: Case):
+    data = make_values(case)
+    blob = compress(data, mode=case.mode, error_bound=case.bound)
+    recon = decompress(blob)
+    assert recon.dtype == data.dtype and recon.shape == data.shape
+    report = check_bound(case.mode, data, recon, case.bound)
+    assert report.ok, (
+        f"{case.case_id}: {report.violations} violations, "
+        f"factor {report.violation_factor:.3g}"
+    )
+    _assert_nonfinite_lanes(case, data, recon)
+
+
+# Cross-backend byte identity on a representative sub-matrix: every
+# (dtype, mode) pair, the hairiest kinds, chunk-straddling sizes.
+_IDENTITY_CASES = [
+    c for c in ALL_CASES
+    if c.kind in ("smooth", "special")
+    and c.size in (values_per_chunk(c.np_dtype) + 1,
+                   2 * values_per_chunk(c.np_dtype) + 13)
+]
+
+
+@pytest.mark.parametrize("case", _IDENTITY_CASES, ids=lambda c: c.case_id)
+def test_backends_byte_identical(case: Case):
+    data = make_values(case)
+    blobs = {
+        name: compress(data, mode=case.mode, error_bound=case.bound,
+                       backend=backend)
+        for name, backend in (
+            ("serial", SerialBackend()),
+            ("omp", ThreadedBackend(n_threads=4)),
+            ("cuda", GpuSimBackend()),
+        )
+    }
+    assert blobs["serial"] == blobs["omp"] == blobs["cuda"], case.case_id
+    recon = decompress(blobs["cuda"], backend=GpuSimBackend())
+    assert check_bound(case.mode, data, recon, case.bound).ok
+
+
+@pytest.mark.parametrize("pipeline_cls", [LosslessPipeline, GpuLosslessPipeline],
+                         ids=["cpu", "gpu-sim"])
+@pytest.mark.parametrize("word_dtype", [np.uint32, np.uint64], ids=["u32", "u64"])
+@pytest.mark.parametrize("n,seed", [(1, 0), (7, 1), (8, 2), (4096, 3), (4097, 4)])
+def test_lossless_stages_are_bijective(pipeline_cls, word_dtype, n, seed):
+    # The lossless stack must be an identity on words regardless of
+    # content: mixed low-entropy runs (zero-elim's favorite) and
+    # full-entropy noise (raw-fallback territory).  The pipeline's
+    # contract is multiple-of-8 word counts (bitshuffle lanes); ragged
+    # sizes are padded exactly like the kernel pads them.
+    rng = np.random.default_rng(1000 + seed)
+    info = np.iinfo(word_dtype)
+    words = rng.integers(0, info.max, n, dtype=word_dtype)
+    words[: n // 2] = rng.integers(0, 255, n // 2, dtype=word_dtype)
+    pad = (-n) % 8
+    padded = np.concatenate([words, np.zeros(pad, dtype=word_dtype)]) if pad else words
+    pipe = pipeline_cls(word_dtype)
+    blob = pipe.encode_chunk(padded)
+    out = pipe.decode_chunk(blob, padded.size)
+    assert out.dtype == np.dtype(word_dtype)
+    assert np.array_equal(out, padded)
+    assert np.array_equal(out[:n], words)
+
+
+@pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+def test_decode_drift_is_exact(mode, dtype):
+    # The decode-side analytic model must match measured decode byte
+    # traffic exactly (sizes divisible by 8 so no shuffle padding).
+    rng = np.random.default_rng(42)
+    n = 2 * values_per_chunk(dtype)
+    data = np.cumsum(rng.normal(0, 0.01, n)).astype(dtype)
+    report = drift_check(data, mode=mode, error_bound=1e-3)
+    assert report.decode_stages, "decode drift rows missing"
+    assert all(s.bytes_match for s in report.decode_stages)
+    assert report.bytes_ok
+
+
+@pytest.mark.parametrize("case", _IDENTITY_CASES[:4], ids=lambda c: c.case_id)
+def test_telemetry_does_not_change_bytes(case: Case):
+    data = make_values(case)
+    quiet = compress(data, mode=case.mode, error_bound=case.bound)
+    tel = Telemetry()
+    traced = compress(data, mode=case.mode, error_bound=case.bound, telemetry=tel)
+    assert quiet == traced
+    assert tel.spans, "telemetry was on but recorded nothing"

@@ -107,9 +107,13 @@ class TestExporters:
         text = tel.to_prometheus()
         parsed = parse_prometheus(text)
         expected = {f"pfpl_{k}": v for k, v in tel.counters().items()}
-        assert parsed.keys() == expected.keys()
+        # Counters round-trip exactly; the exposition also carries
+        # histogram families (_bucket/_sum/_count), so subset not equality.
+        assert expected.keys() <= parsed.keys()
         for key, value in expected.items():
             assert parsed[key] == pytest.approx(value, rel=1e-12)
+        hist_lines = [k for k in parsed if "span_duration_seconds_bucket" in k]
+        assert hist_lines and any('le="+Inf"' in k for k in hist_lines)
 
     def test_json_summary(self, smooth_f32):
         tel = Telemetry()
@@ -153,6 +157,156 @@ class TestExporters:
                 pass
         assert len(tel.spans) == 3
         assert tel.summary()["spans_dropped"] == 2
+
+
+class TestHistograms:
+    """Fixed log-spaced duration buckets, quantiles, and their exposition."""
+
+    def test_bounds_are_fixed_and_log_spaced(self):
+        from repro.telemetry import HISTOGRAM_BOUNDS
+
+        assert HISTOGRAM_BOUNDS[0] < 2e-6          # ~ microsecond floor
+        assert HISTOGRAM_BOUNDS[-1] >= 8.0         # multi-second ceiling
+        ratios = {HISTOGRAM_BOUNDS[i + 1] / HISTOGRAM_BOUNDS[i]
+                  for i in range(len(HISTOGRAM_BOUNDS) - 1)}
+        assert ratios == {2.0}
+
+    def test_observation_and_overflow(self):
+        tel = Telemetry()
+        tel.histogram("lat", 5e-7)    # below the first bound
+        tel.histogram("lat", 0.75)    # mid-range
+        tel.histogram("lat", 1e9)     # beyond the last bound -> +Inf slot
+        hist = tel.histograms()["lat"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5e-7 + 0.75 + 1e9)
+        les = [le for le, _ in hist["buckets"]]
+        cums = [c for _, c in hist["buckets"]]
+        assert les[-1] == float("inf") and cums[-1] == 3
+        assert cums == sorted(cums), "bucket counts must be cumulative"
+
+    def test_span_durations_observed_automatically(self, smooth_f32):
+        tel = Telemetry()
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       telemetry=tel).compress(smooth_f32)
+        key = 'span_duration_seconds{cat="encode",span="quantize"}'
+        hist = tel.histograms()[key]
+        n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
+        assert hist["count"] == n_chunks
+
+    def test_quantiles_bracket_known_durations(self):
+        tel = Telemetry()
+        for _ in range(100):
+            tel.record_span("k", cat="t", start=0.0, duration=0.003)
+        p50 = tel.span_quantile(0.5, "t", "k")
+        p99 = tel.span_quantile(0.99, "t", "k")
+        # Quantiles resolve to a bucket upper bound: within one power of
+        # two above the true duration.
+        assert 0.003 <= p50 <= 0.006
+        assert p50 == p99  # all observations identical
+
+    def test_quantile_of_unobserved_span_is_zero(self):
+        assert Telemetry().span_quantile(0.5, "t", "nope") == 0.0
+
+    def test_latency_summary_rows(self, smooth_f32):
+        tel = Telemetry()
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       telemetry=tel).compress(smooth_f32)
+        rows = tel.span_latency_summary()
+        assert rows == sorted(rows, key=lambda r: (r["cat"], r["span"]))
+        by_span = {(r["cat"], r["span"]): r for r in rows}
+        quant = by_span[("encode", "quantize")]
+        assert quant["count"] == -(-smooth_f32.size // CHUNK_VALUES)
+        assert 0 < quant["p50"] <= quant["p99"]
+
+    def test_prometheus_histogram_exposition(self, smooth_f32):
+        tel = Telemetry()
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       telemetry=tel).compress(smooth_f32)
+        text = tel.to_prometheus()
+        parsed = parse_prometheus(text)
+        prefix = 'pfpl_span_duration_seconds'
+        buckets = [(k, v) for k, v in parsed.items()
+                   if k.startswith(prefix + "_bucket")
+                   and 'span="quantize"' in k]
+        assert buckets, "no histogram families exported"
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts), "le buckets must be cumulative"
+        inf_key = [k for k, _ in buckets if 'le="+Inf"' in k]
+        assert inf_key, "+Inf bucket missing"
+        count_key = [k for k in parsed
+                     if k.startswith(prefix + "_count") and 'span="quantize"' in k]
+        assert parsed[count_key[0]] == parsed[inf_key[0]]
+
+    def test_null_telemetry_histogram_api_is_inert(self):
+        assert NULL_TELEMETRY.histogram("x", 1.0) is None
+        assert NULL_TELEMETRY.record_span("x", cat="c", start=0.0,
+                                          duration=1.0) is None
+        assert NULL_TELEMETRY.now() == 0.0
+
+
+class TestSimTracks:
+    """GpuSimBackend's modeled per-SM tracks in the Chrome trace."""
+
+    @pytest.fixture
+    def sim_trace(self):
+        from repro.device.backend import GpuSimBackend
+
+        tel = Telemetry()
+        rng = np.random.default_rng(21)
+        data = np.cumsum(rng.normal(0, 0.01, CHUNK_VALUES * 40)).astype(np.float32)
+        backend = GpuSimBackend(telemetry=tel)
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32,
+                       backend=backend, telemetry=tel).compress(data)
+        return tel, backend, tel.chrome_trace()
+
+    def test_one_thread_per_virtual_sm(self, sim_trace):
+        tel, backend, trace = sim_trace
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == 2}
+        assert names == {f"sm-{i}" for i in range(backend.wave)}
+        procs = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"
+                 and e["pid"] == 2}
+        assert procs == {"gpu-sim (modeled)"}
+
+    def test_modeled_spans_live_on_pid_2(self, sim_trace):
+        tel, backend, trace = sim_trace
+        sim = [e for e in trace["traceEvents"]
+               if e["ph"] == "X" and e["pid"] == 2]
+        assert sim and all(e["name"] == "block_exec" for e in sim)
+        # Measured spans stay on pid 1: the two timelines sit side by side.
+        measured = [e for e in trace["traceEvents"]
+                    if e["ph"] == "X" and e["pid"] == 1]
+        assert measured
+
+    def test_tracks_never_overlap_within_an_sm(self, sim_trace):
+        tel, backend, trace = sim_trace
+        by_tid: dict[int, list] = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] == "X" and e["pid"] == 2:
+                by_tid.setdefault(e["tid"], []).append(e)
+        assert len(by_tid) > 1
+        for events in by_tid.values():
+            events.sort(key=lambda e: e["ts"])
+            for prev, nxt in zip(events, events[1:]):
+                assert prev["ts"] + prev["dur"] <= nxt["ts"], \
+                    "modeled spans on one SM overlap"
+
+    def test_wave_and_sm_counters(self, sim_trace):
+        tel, backend, trace = sim_trace
+        counters = tel.counters()
+        # 40 chunks, wave=16 -> 3 waves for encode + 3 for the assemble
+        # scatter pass (compress maps twice).
+        assert counters["sim_waves_total"] == 6
+        busy = {k: v for k, v in counters.items()
+                if k.startswith("sim_sm_busy_seconds_total")}
+        assert len(busy) == backend.wave
+        assert all(v > 0 for v in busy.values())
+
+    def test_trace_is_json_serializable(self, sim_trace):
+        _tel, _backend, trace = sim_trace
+        json.loads(json.dumps(trace))
 
 
 class TestDisabled:
