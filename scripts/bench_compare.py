@@ -7,8 +7,16 @@ Usage::
     PYTHONPATH=src python scripts/bench_compare.py bench_new.json BENCH_PR3.json
 
 Exit codes: 0 all comparable cells within threshold, 1 at least one
-throughput regression, 2 nothing was comparable (wrong corpus size or
-disjoint cells) -- a misconfigured gate must fail loudly, not pass.
+throughput regression (or a failed ``--assert-batch-speedup``), 2
+nothing was comparable (wrong corpus size or disjoint cells) -- a
+misconfigured gate must fail loudly, not pass.
+
+``--assert-batch-speedup FIELD`` additionally requires, *within the
+current snapshot*, that the batched serial encode beats the per-chunk
+serial encode on that field by at least ``--min-speedup`` (default: just
+faster).  This is the chunk-major refactor's own regression gate: losing
+the batch fast path would not show up against an old single-path
+baseline, but it shows up here.
 """
 
 from __future__ import annotations
@@ -20,6 +28,42 @@ import sys
 from repro.harness.trend import compare_snapshots
 
 
+def check_batch_speedup(
+    snapshot: dict, fields: list[str], backend: str, min_speedup: float
+) -> list[str]:
+    """Verify batched-vs-per-chunk encode speedups inside one snapshot.
+
+    Returns human-readable failure strings (empty when all pass); a
+    missing variant cell is a failure, not a skip.
+    """
+    cells = {
+        (c["field"], c["backend"], c.get("variant", "")): c
+        for c in snapshot.get("cells", [])
+    }
+    failures = []
+    for fld in fields:
+        batched = cells.get((fld, backend, "batched"))
+        per_chunk = cells.get((fld, backend, "per-chunk"))
+        if batched is None or per_chunk is None:
+            failures.append(
+                f"{fld}/{backend}: missing batched/per-chunk variant cells"
+            )
+            continue
+        ratio = batched["encode_gbps"] / max(per_chunk["encode_gbps"], 1e-12)
+        verdict = "ok" if ratio >= min_speedup else "FAIL"
+        print(
+            f"batch speedup {fld}/{backend}: {batched['encode_gbps']:.3f} vs "
+            f"{per_chunk['encode_gbps']:.3f} GB/s encode = {ratio:.2f}x "
+            f"(need >= {min_speedup:g}x) {verdict}"
+        )
+        if ratio < min_speedup:
+            failures.append(
+                f"{fld}/{backend}: batched encode only {ratio:.2f}x the "
+                f"per-chunk path (need >= {min_speedup:g}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly measured snapshot JSON")
@@ -27,6 +71,19 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--threshold", type=float, default=0.35,
         help="fractional throughput drop that fails the gate (default 0.35)",
+    )
+    ap.add_argument(
+        "--assert-batch-speedup", action="append", default=[], metavar="FIELD",
+        help="require batched > per-chunk serial encode on FIELD "
+             "(repeatable; checked within the current snapshot)",
+    )
+    ap.add_argument(
+        "--speedup-backend", default="serial",
+        help="backend the batch-speedup assertion reads (default serial)",
+    )
+    ap.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="minimum batched/per-chunk encode ratio (default 1.0)",
     )
     args = ap.parse_args(argv)
 
@@ -37,9 +94,17 @@ def main(argv: list[str] | None = None) -> int:
 
     report = compare_snapshots(current, baseline, threshold=args.threshold)
     print(report.render())
+
+    speedup_failures = check_batch_speedup(
+        current, args.assert_batch_speedup, args.speedup_backend,
+        args.min_speedup,
+    )
+    for line in speedup_failures:
+        print(f"batch-speedup FAILURE: {line}")
+
     if not report.cells:
         return 2
-    return 1 if report.regressions else 0
+    return 1 if (report.regressions or speedup_failures) else 0
 
 
 if __name__ == "__main__":

@@ -9,6 +9,11 @@ per-stage time/byte split -- so the ROADMAP's "fast as the hardware
 allows" goal has a concrete baseline to regress against.  Optionally
 also dumps one Chrome ``trace_event`` timeline of the threaded run.
 
+Since the chunk-major refactor each (field, backend) pair is measured
+twice -- ``variant="batched"`` (the default dispatch) and
+``variant="per-chunk"`` (the legacy path, forced) -- so the snapshot
+both records the speedup and keeps the old path honest.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py                   # full
@@ -53,13 +58,14 @@ def corpus(quick: bool) -> list[tuple[str, np.ndarray]]:
 
 def bench_one(
     name: str, data: np.ndarray, backend, backend_name: str,
-    mode: str, bound: float, repeats: int,
+    mode: str, bound: float, repeats: int, use_batch: bool = True,
 ) -> tuple[dict, Telemetry]:
-    """One (field, backend) cell: best-of-``repeats`` timed round trip."""
+    """One (field, backend, variant) cell: best-of-``repeats`` round trip."""
+    variant = "batched" if use_batch else "per-chunk"
     tel = Telemetry()
     comp = PFPLCompressor(
         mode=mode, error_bound=bound, dtype=data.dtype,
-        backend=backend, telemetry=tel,
+        backend=backend, telemetry=tel, use_batch=use_batch,
     )
     enc_s, dec_s = [], []
     result = None
@@ -67,7 +73,9 @@ def bench_one(
         t0 = time.perf_counter()
         result = comp.compress(data)
         t1 = time.perf_counter()
-        recon = decompress(result.data, backend=backend, telemetry=tel)
+        recon = decompress(
+            result.data, backend=backend, telemetry=tel, use_batch=use_batch
+        )
         t2 = time.perf_counter()
         enc_s.append(t1 - t0)
         dec_s.append(t2 - t1)
@@ -86,6 +94,7 @@ def bench_one(
     cell = {
         "field": name,
         "backend": backend_name,
+        "variant": variant,
         "mode": mode,
         "bound": bound,
         "values": int(data.size),
@@ -99,16 +108,16 @@ def bench_one(
         "fallback_rate": tel.counter("raw_chunks_total") / max(1, n_chunks),
         "encode_stage_split": stage_split,
     }
-    log.info("%s/%s: enc %.3f GB/s dec %.3f GB/s ratio %.2f",
-             name, backend_name, cell["encode_gbps"], cell["decode_gbps"],
-             cell["ratio"])
+    log.info("%s/%s/%s: enc %.3f GB/s dec %.3f GB/s ratio %.2f",
+             name, backend_name, variant, cell["encode_gbps"],
+             cell["decode_gbps"], cell["ratio"])
     return cell, tel
 
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
-    ap.add_argument("--out", default="BENCH_PR3.json", help="snapshot JSON path")
+    ap.add_argument("--out", default="BENCH_PR6.json", help="snapshot JSON path")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="write a Chrome trace of the first threaded run")
     ap.add_argument("--mode", default="abs", choices=("abs", "rel", "noa"))
@@ -128,17 +137,20 @@ def main(argv: list[str] | None = None) -> int:
     trace_written = False
     for name, data in corpus(args.quick):
         for backend_name, backend in backends:
-            cell, tel = bench_one(
-                name, data, backend, backend_name, args.mode, args.bound, repeats
-            )
-            cells.append(cell)
-            if args.trace and backend_name == "threaded" and not trace_written:
-                tel.write_chrome_trace(args.trace)
-                trace_written = True
-                log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
+            for use_batch in (True, False):
+                cell, tel = bench_one(
+                    name, data, backend, backend_name, args.mode, args.bound,
+                    repeats, use_batch=use_batch,
+                )
+                cells.append(cell)
+                if (args.trace and backend_name == "threaded" and use_batch
+                        and not trace_written):
+                    tel.write_chrome_trace(args.trace)
+                    trace_written = True
+                    log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
 
     snapshot = {
-        "bench": "PR3 telemetry snapshot",
+        "bench": "PR6 chunk-major batch snapshot",
         "quick": bool(args.quick),
         "mode": args.mode,
         "bound": args.bound,

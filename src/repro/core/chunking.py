@@ -31,6 +31,7 @@ __all__ = [
     "ChunkCodec",
     "ChunkPlan",
     "plan_chunks",
+    "plan_shards",
     "validate_size_table",
 ]
 
@@ -97,6 +98,59 @@ def plan_chunks(n_words: int, word_itemsize: int, chunk_bytes: int = CHUNK_BYTES
     return ChunkPlan(n_words, wpc, n_chunks, padded_tail)
 
 
+def plan_shards(
+    n_rows: int,
+    max_rows: int,
+    n_shards: int | None = None,
+    costs: np.ndarray | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``n_rows`` batch rows into contiguous ``(lo, hi)`` shards.
+
+    Used by ``Backend.map_batch`` to bound each batched kernel call's
+    working set (``max_rows``) and, for parallel backends, to hand every
+    worker its own sub-batch.  When per-row ``costs`` are given the cut
+    points balance cumulative cost instead of row count (the same
+    longest-first intent as ``submission_order``, but contiguity is
+    required here so each shard is one matrix slice).  Deterministic:
+    depends only on the arguments, never on scheduling.
+    """
+    if n_rows <= 0:
+        return []
+    if max_rows <= 0:
+        raise PFPLUsageError(f"shard row cap must be positive, got {max_rows}")
+    min_shards = (n_rows + max_rows - 1) // max_rows
+    k = max(min_shards, n_shards or 1)
+    k = min(k, n_rows)
+    if costs is None:
+        bounds = np.linspace(0, n_rows, k + 1).astype(np.int64)
+    else:
+        weight = np.asarray(costs, dtype=np.float64)
+        if weight.size != n_rows:
+            raise PFPLUsageError(
+                f"{weight.size} costs for {n_rows} rows"
+            )
+        cum = np.cumsum(np.maximum(weight, 0.0), dtype=np.float64)
+        targets = cum[-1] * np.arange(1, k, dtype=np.float64) / k
+        cuts = np.searchsorted(cum, targets, side="left")
+        bounds = np.concatenate(
+            [np.asarray([0], dtype=np.int64), cuts.astype(np.int64),
+             np.asarray([n_rows], dtype=np.int64)]
+        )
+        bounds = np.maximum.accumulate(bounds)
+    shards: list[tuple[int, int]] = []
+    lo = 0
+    for hi in bounds[1:]:
+        hi = int(hi)
+        # Re-split any shard the cost balancing left over the row cap.
+        while hi - lo > max_rows:
+            shards.append((lo, lo + max_rows))
+            lo += max_rows
+        if hi > lo:
+            shards.append((lo, hi))
+            lo = hi
+    return shards
+
+
 class ChunkCodec:
     """Pure per-chunk encode/decode used by every backend.
 
@@ -149,6 +203,40 @@ class ChunkCodec:
                 )
             return arr.copy()
         return self.pipeline.decode_chunk(blob, n_words)
+
+    # -- chunk-major batch kernels --------------------------------------------
+
+    def encode_batch(self, words: np.ndarray) -> tuple[list[bytes], np.ndarray]:
+        """Compress a ``(n_chunks, n_words)`` block of full-size chunks.
+
+        Returns ``(blobs, raw_flags)`` with the per-row incompressible
+        fallback decided vectorized: any row whose pipeline blob failed
+        to shrink below the raw byte count is replaced by its raw words,
+        exactly as :meth:`encode_chunk` decides per chunk.
+        """
+        blobs = self.pipeline.encode_batch(words)
+        raw_size = words.shape[1] * self.word_itemsize
+        sizes = np.fromiter(
+            (len(b) for b in blobs), dtype=np.int64, count=len(blobs)
+        )
+        raw_flags = sizes >= raw_size
+        for i in np.flatnonzero(raw_flags):
+            blobs[int(i)] = words[int(i)].tobytes()
+        return blobs, raw_flags
+
+    def decode_batch(
+        self,
+        stream: np.ndarray,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        n_words: int,
+    ) -> np.ndarray:
+        """Decompress equal-geometry *non-raw* chunks out of the payload.
+
+        Raw chunks (and the ragged tail) stay on :meth:`decode_chunk`;
+        the caller partitions the size table accordingly.
+        """
+        return self.pipeline.decode_batch(stream, starts, sizes, n_words)
 
     # -- framing ---------------------------------------------------------------
 

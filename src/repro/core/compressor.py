@@ -43,7 +43,7 @@ from ..errors import (
     PFPLTruncatedError,
 )
 from ..telemetry import NULL_TELEMETRY
-from .chunking import CHUNK_BYTES, ChunkCodec, validate_size_table
+from .chunking import CHUNK_BYTES, ChunkCodec, plan_shards, validate_size_table
 from .floatbits import layout_for
 from .header import Header
 from .kernel import ChunkKernel, ChunkStats
@@ -89,6 +89,11 @@ class InlineBackend:
     name = "inline"
     telemetry = NULL_TELEMETRY
     last_order: list[int] | None = None
+    #: Chunk-major batch dispatch (see ``repro.device.backend.Backend``):
+    #: the inline executor takes the batched kernels too -- same bytes,
+    #: one vectorized call per shard instead of one per chunk.
+    batch_capable = True
+    batch_rows = 64
 
     def make_pipeline(self, word_dtype, config: PipelineConfig) -> LosslessPipeline:
         return LosslessPipeline(word_dtype, config)
@@ -106,6 +111,11 @@ class InlineBackend:
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         self.last_order = list(range(len(items)))
         return [fn(item) for item in items]
+
+    def map_batch(self, fn: Callable, n_rows: int, costs=None) -> list:
+        """Run ``fn(lo, hi)`` over contiguous row shards of a batch."""
+        shards = plan_shards(n_rows, self.batch_rows, costs=costs)
+        return self.map_chunks(lambda r: fn(*r), shards)
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         starts = np.zeros(len(sizes), dtype=np.int64)
@@ -210,6 +220,11 @@ class PFPLCompressor:
         per-stage spans and codec counters; the default null telemetry
         costs one attribute check per instrumented site and leaves the
         output bytes untouched.
+    use_batch:
+        Chunk-major dispatch control.  ``None`` (default) defers to the
+        backend's ``batch_capable`` flag; ``True``/``False`` force the
+        batched / per-chunk kernels.  The bytes are identical either way
+        (golden-tested) -- this only selects the execution shape.
     """
 
     def __init__(
@@ -222,6 +237,7 @@ class PFPLCompressor:
         chunk_bytes: int | None = None,
         checksum: bool = False,
         telemetry=None,
+        use_batch: bool | None = None,
     ):
         self.mode = mode
         self.error_bound = float(error_bound)
@@ -230,6 +246,7 @@ class PFPLCompressor:
         self.config = config or PipelineConfig()
         self.chunk_bytes = chunk_bytes or CHUNK_BYTES
         self.checksum = bool(checksum)
+        self.use_batch = use_batch
         self.telemetry = telemetry or NULL_TELEMETRY
         if self.telemetry.enabled and not getattr(
             self.backend, "telemetry", NULL_TELEMETRY
@@ -240,6 +257,12 @@ class PFPLCompressor:
             self.backend.telemetry = self.telemetry
         # Validate the bound eagerly (cheap, catches bad eps before data).
         make_quantizer(mode, self.error_bound, dtype=self.layout.float_dtype)
+
+    def _batch_enabled(self) -> bool:
+        """Resolve the batch/per-chunk dispatch rule for this backend."""
+        if self.use_batch is not None:
+            return self.use_batch
+        return bool(getattr(self.backend, "batch_capable", False))
 
     # -- compression -------------------------------------------------------
 
@@ -262,25 +285,68 @@ class PFPLCompressor:
         )
         plan = kernel.plan(flat.size)
 
-        slices = [
-            flat[slice(*plan.chunk_value_bounds(i))] for i in range(plan.n_chunks)
-        ]
-        if tel.enabled:
-            def encode_one(item):
-                index, float_slice = item
-                with tel.chunk(index), tel.span(
-                    "chunk_encode", cat="chunk", values=int(float_slice.size)
-                ) as sp:
-                    blob, raw, st = kernel.encode_chunk(float_slice)
-                    sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
-                return blob, raw, st
+        # Chunk-major dispatch rule: every full-size chunk flows through
+        # the batched kernels as rows of one (n_chunks, words_per_chunk)
+        # matrix; the ragged tail (if any) stays on the per-chunk kernel.
+        n_full = plan.n_chunks
+        if plan.n_chunks and plan.n_words != plan.n_chunks * plan.words_per_chunk:
+            n_full -= 1
 
-            results = self.backend.map_chunks(encode_one, list(enumerate(slices)))
+        def encode_one(item):
+            index, float_slice = item
+            if not tel.enabled:
+                return kernel.encode_chunk(float_slice)
+            with tel.chunk(index), tel.span(
+                "chunk_encode", cat="chunk", values=int(float_slice.size)
+            ) as sp:
+                blob, raw, st = kernel.encode_chunk(float_slice)
+                sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
+            return blob, raw, st
+
+        if self._batch_enabled() and n_full:
+            block = flat[: n_full * plan.words_per_chunk].reshape(
+                n_full, plan.words_per_chunk
+            )
+
+            def encode_rows(lo: int, hi: int):
+                if not tel.enabled:
+                    return kernel.encode_batch(block[lo:hi])
+                with tel.span(
+                    "batch_encode", cat="chunk", first_chunk=lo, chunks=hi - lo,
+                    values=(hi - lo) * plan.words_per_chunk,
+                ) as sp:
+                    shard_blobs, shard_raws, st = kernel.encode_batch(block[lo:hi])
+                    sp.set(
+                        bytes_out=sum(len(b) for b in shard_blobs),
+                        chunk_bytes_out=[len(b) for b in shard_blobs],
+                        outliers=st.lossless, raw_chunks=st.raw_chunks,
+                    )
+                return shard_blobs, shard_raws, st
+
+            results = self.backend.map_batch(encode_rows, n_full)
+            blobs = [b for shard_blobs, _r, _st in results for b in shard_blobs]
+            raw_flags = [
+                bool(r) for _b, shard_raws, _st in results for r in shard_raws
+            ]
+            stats = sum((st for _b, _r, st in results), ChunkStats())
+            for index in range(n_full, plan.n_chunks):
+                blob, raw, st = encode_one(
+                    (index, flat[slice(*plan.chunk_value_bounds(index))])
+                )
+                blobs.append(blob)
+                raw_flags.append(bool(raw))
+                stats = stats + st
         else:
-            results = self.backend.map_chunks(kernel.encode_chunk, slices)
-        blobs = [blob for blob, _raw, _st in results]
-        raw_flags = [raw for _blob, raw, _st in results]
-        stats = sum((st for _b, _r, st in results), ChunkStats())
+            slices = [
+                flat[slice(*plan.chunk_value_bounds(i))] for i in range(plan.n_chunks)
+            ]
+            if tel.enabled:
+                results = self.backend.map_chunks(encode_one, list(enumerate(slices)))
+            else:
+                results = self.backend.map_chunks(kernel.encode_chunk, slices)
+            blobs = [blob for blob, _raw, _st in results]
+            raw_flags = [raw for _blob, raw, _st in results]
+            stats = sum((st for _b, _r, st in results), ChunkStats())
 
         header = Header(
             mode=self.mode,
@@ -350,7 +416,10 @@ class PFPLCompressor:
                 + "; ".join(problems)
                 + "); use repro.core.decompress() for self-describing decode"
             )
-        return decompress(stream, backend=self.backend, telemetry=self.telemetry)
+        return decompress(
+            stream, backend=self.backend, telemetry=self.telemetry,
+            use_batch=self.use_batch,
+        )
 
 
 def compress(
@@ -396,6 +465,7 @@ def decompress(
     backend=None,
     out: np.ndarray | None = None,
     telemetry=None,
+    use_batch: bool | None = None,
 ) -> np.ndarray:
     """Decompress a PFPL stream into a 1-D array of the original dtype.
 
@@ -407,6 +477,12 @@ def decompress(
     chunk's slice of the output array (pass ``out`` to reuse a caller
     buffer); no per-chunk arrays are concatenated, so peak memory is the
     output array plus chunk-sized temporaries.
+
+    ``use_batch`` selects the execution shape exactly as in
+    :class:`PFPLCompressor`: ``None`` defers to the backend's
+    ``batch_capable`` flag.  On the batched path every non-raw full-size
+    chunk decodes as a row of one chunk-major matrix; raw chunks and the
+    ragged tail always take the per-chunk kernel.
     """
     backend = backend or InlineBackend()
     tel = telemetry or NULL_TELEMETRY
@@ -460,6 +536,54 @@ def decompress(
         vlo, vhi = plan.chunk_value_bounds(index)
         kernel.decode_chunk(blob, vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi])
 
+    if use_batch is None:
+        use_batch = bool(getattr(backend, "batch_capable", False))
+    n_full = plan.n_chunks
+    if plan.n_chunks and plan.n_words != plan.n_chunks * plan.words_per_chunk:
+        n_full -= 1
+
+    if use_batch and n_full:
+        # Batched rows: non-raw full-size chunks.  Raw chunks and the
+        # ragged tail keep the per-chunk kernel below.
+        rows = np.flatnonzero(~raw_flags[:n_full])
+        if rows.size:
+            payload = np.frombuffer(stream, dtype=np.uint8)
+            wpc = plan.words_per_chunk
+            out_block = out[: n_full * wpc].reshape(n_full, wpc)
+
+            def decode_rows(lo: int, hi: int) -> None:
+                sel = rows[lo:hi]
+                if chunk_crcs is not None:
+                    for index in sel:
+                        blo = int(starts[index])
+                        bhi = blo + int(sizes[index])
+                        if zlib.crc32(view[blo:bhi]) != int(chunk_crcs[index]):
+                            raise PFPLIntegrityError(
+                                f"chunk {int(index)} checksum mismatch "
+                                "(stream corrupted)"
+                            )
+                out_block[sel] = kernel.decode_batch(
+                    payload, starts[sel], sizes[sel], wpc
+                )
+
+            def decode_rows_traced(lo: int, hi: int) -> None:
+                with tel.span(
+                    "batch_decode", cat="chunk", chunks=hi - lo,
+                    bytes_in=int(sizes[rows[lo:hi]].sum(dtype=np.int64)),
+                ):
+                    decode_rows(lo, hi)
+
+            backend.map_batch(
+                decode_rows_traced if tel.enabled else decode_rows,
+                int(rows.size), costs=sizes[rows],
+            )
+        rest = [
+            i for i in range(plan.n_chunks) if i >= n_full or raw_flags[i]
+        ]
+    else:
+        rest = list(range(plan.n_chunks))
+
+    rest_costs = sizes[np.asarray(rest, dtype=np.int64)] if rest else sizes[:0]
     if tel.enabled:
         def decode_traced(index: int) -> None:
             with tel.chunk(index), tel.span(
@@ -467,7 +591,7 @@ def decompress(
             ):
                 decode_one(index)
 
-        backend.map_chunks(decode_traced, list(range(plan.n_chunks)), costs=sizes)
+        backend.map_chunks(decode_traced, rest, costs=rest_costs)
     else:
-        backend.map_chunks(decode_one, list(range(plan.n_chunks)), costs=sizes)
+        backend.map_chunks(decode_one, rest, costs=rest_costs)
     return out

@@ -35,6 +35,7 @@ from ..telemetry import NULL_TELEMETRY
 from .chunking import CHUNK_BYTES, ChunkCodec, ChunkPlan
 from .lossless.pipeline import LosslessPipeline
 from .quantizers import Quantizer
+from .scratch import scratch
 
 __all__ = ["ChunkKernel", "ChunkStats"]
 
@@ -116,10 +117,11 @@ class ChunkKernel:
         """
         n = int(float_slice.size)
         n_words = _padded_words(n)
-        if n_words == n:
-            words = np.empty(n_words, dtype=self.layout.uint_dtype)
-        else:
-            words = np.zeros(n_words, dtype=self.layout.uint_dtype)
+        words = np.empty(n_words, dtype=self.layout.uint_dtype)
+        if n_words != n:
+            # Only the shuffle-alignment padding needs zeroing; the first
+            # n words are about to be overwritten by the quantizer.
+            words[n:] = 0
         tel = self.telemetry
         if not tel.enabled:
             n_lossless = self.quantizer.encode_into(float_slice, words[:n])
@@ -182,5 +184,87 @@ class ChunkKernel:
         except (ValueError, TypeError, IndexError, KeyError, OverflowError) as exc:
             raise PFPLIntegrityError(
                 f"chunk of {n_values} values failed to decode: {exc}"
+            ) from exc
+        return out
+
+    # -- chunk-major batch kernels -------------------------------------------
+
+    def encode_batch(
+        self, float_block: np.ndarray
+    ) -> tuple[list[bytes], np.ndarray, ChunkStats]:
+        """Quantize + compress a ``(n_chunks, words_per_chunk)`` block.
+
+        The chunk-major fast path: every stage runs once over the whole
+        block instead of once per chunk, and the per-row raw fallback is
+        decided vectorized.  Returns ``(blobs, raw_flags, stats)``,
+        bit-identical to mapping :meth:`encode_chunk` over the rows.
+        Only full-size chunks qualify (no shuffle padding to synthesize);
+        the ragged tail stays on the per-chunk kernel.
+        """
+        n_chunks, n = float_block.shape
+        # Scratch-backed: the word block dies inside codec.encode_batch
+        # (raw rows are copied out with tobytes) before any reuse.
+        words = scratch("kernel.words", (n_chunks, n), self.layout.uint_dtype)
+        tel = self.telemetry
+        if not tel.enabled:
+            n_lossless = self.quantizer.encode_batch_into(float_block, words)
+            blobs, raw_flags = self.codec.encode_batch(words)
+            return blobs, raw_flags, ChunkStats(
+                total=n_chunks * n, lossless=n_lossless,
+                raw_chunks=int(np.count_nonzero(raw_flags)),
+            )
+        with tel.span("quantize", cat="encode", chunks=n_chunks,
+                      bytes_in=float_block.nbytes, bytes_out=words.nbytes) as sp:
+            n_lossless = self.quantizer.encode_batch_into(float_block, words)
+            sp.set(outliers=n_lossless)
+        blobs, raw_flags = self.codec.encode_batch(words)
+        n_raw = int(np.count_nonzero(raw_flags))
+        tel.add("chunks_encoded_total", n_chunks)
+        tel.add("values_encoded_total", n_chunks * n)
+        tel.add("outlier_values_total", n_lossless)
+        tel.add("chunk_bytes_in_total", float_block.nbytes)
+        tel.add("chunk_bytes_out_total", sum(len(b) for b in blobs))
+        if n_raw:
+            tel.add("raw_chunks_total", n_raw)
+        return blobs, raw_flags, ChunkStats(
+            total=n_chunks * n, lossless=n_lossless, raw_chunks=n_raw,
+        )
+
+    def decode_batch(
+        self,
+        stream: np.ndarray,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        n_words: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decompress + dequantize non-raw full-size chunks in one pass.
+
+        ``stream`` is the whole payload as a uint8 array;
+        ``starts``/``sizes`` locate each chunk's blob.  Returns (or fills)
+        the ``(n_chunks, n_words)`` float block.  Raw chunks and the
+        ragged tail stay on :meth:`decode_chunk` -- the caller partitions
+        the size table.  Same exception barrier as the per-chunk kernel:
+        hostile bytes surface as :class:`~repro.errors.PFPLIntegrityError`.
+        """
+        n_chunks = len(starts)
+        tel = self.telemetry
+        try:
+            words = self.codec.decode_batch(stream, starts, sizes, n_words)
+            if out is None:
+                out = np.empty((n_chunks, n_words), dtype=self.layout.float_dtype)
+            if tel.enabled:
+                with tel.span("dequantize", cat="decode", chunks=n_chunks,
+                              bytes_in=words.nbytes, bytes_out=out.nbytes):
+                    self.quantizer.decode_batch_into(words, out)
+                tel.add("chunks_decoded_total", n_chunks)
+                tel.add("values_decoded_total", n_chunks * n_words)
+            else:
+                self.quantizer.decode_batch_into(words, out)
+        except PFPLError:
+            raise
+        except (ValueError, TypeError, IndexError, KeyError, OverflowError) as exc:
+            raise PFPLIntegrityError(
+                f"batch of {n_chunks} chunks failed to decode: {exc}"
             ) from exc
         return out

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from .negabinary import from_negabinary, to_negabinary
+from .negabinary import from_negabinary, negabinary_mask, to_negabinary
 
-__all__ = ["delta_encode", "delta_decode"]
+__all__ = ["delta_encode", "delta_decode", "delta_encode_batch", "delta_decode_batch"]
 
 
 def delta_encode(words: np.ndarray) -> np.ndarray:
@@ -41,3 +41,43 @@ def delta_decode(words: np.ndarray) -> np.ndarray:
     diff = from_negabinary(words)
     with np.errstate(over="ignore"):
         return np.cumsum(diff, dtype=words.dtype)
+
+
+def delta_encode_batch(words: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Row-wise :func:`delta_encode` over a ``(n_chunks, n_words)`` matrix.
+
+    Each row's difference chain starts at its own first word, so the
+    output rows are bit-identical to encoding each chunk separately.
+    ``out`` (same shape/dtype, not aliasing ``words``) receives the
+    result in place -- the batch pipeline passes a reused scratch block
+    so the stage is allocation-free.
+    """
+    words = np.asarray(words)
+    if words.dtype not in (np.dtype(np.uint32), np.dtype(np.uint64)):
+        raise TypeError(f"delta stage expects uint32/uint64 words, got {words.dtype}")
+    if out is None:
+        diff = np.empty_like(words)
+    else:
+        if out.shape != words.shape or out.dtype != words.dtype:
+            raise TypeError(
+                f"delta out buffer is {out.dtype}{out.shape}, "
+                f"expected {words.dtype}{words.shape}"
+            )
+        diff = out
+    if words.size:
+        diff[:, 0] = words[:, 0]
+        mask = negabinary_mask(words.dtype)
+        with np.errstate(over="ignore"):
+            np.subtract(words[:, 1:], words[:, :-1], out=diff[:, 1:])
+            # to_negabinary, fused in place: (x + M) ^ M
+            np.add(diff, mask, out=diff)
+            np.bitwise_xor(diff, mask, out=diff)
+    return diff
+
+
+def delta_decode_batch(words: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`delta_decode` (wrapping prefix sum per chunk)."""
+    words = np.asarray(words)
+    diff = from_negabinary(words)
+    with np.errstate(over="ignore"):
+        return np.cumsum(diff, axis=1, dtype=words.dtype)

@@ -21,8 +21,10 @@ import numpy as np
 
 from ...errors import PFPLIntegrityError
 from ...telemetry import NULL_TELEMETRY
-from .bitshuffle import bitshuffle, bitunshuffle
-from .delta import delta_decode, delta_encode
+from ..scratch import scratch
+from .batch import compress_bytes_batch, decompress_bytes_batch
+from .bitshuffle import bitshuffle, bitshuffle_batch, bitunshuffle, bitunshuffle_batch
+from .delta import delta_decode, delta_decode_batch, delta_encode, delta_encode_batch
 from .zerobyte import DEFAULT_LEVELS, compress_bytes, decompress_bytes
 
 __all__ = ["LosslessPipeline", "PipelineConfig"]
@@ -170,3 +172,146 @@ class LosslessPipeline:
                           bytes_in=words.nbytes, bytes_out=words.nbytes):
                 words = delta_decode(words)
         return words
+
+    def encode_batch(self, words: np.ndarray) -> list[bytes]:
+        """Compress a ``(n_chunks, n_words)`` block of equal-size chunks.
+
+        Every stage runs once over the whole matrix (chunk-major layout)
+        and the result is the list of per-chunk blobs, bit-identical to
+        mapping :meth:`encode_chunk` over the rows.  Row width must be a
+        multiple of 8 (the full-chunk geometry always is).
+        """
+        tel = self.telemetry
+        if tel.enabled:
+            return self._encode_batch_traced(words, tel)
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        cfg = self.config
+        if cfg.use_delta:
+            # Stage intermediates live in reused per-thread scratch: the
+            # blobs copy out of them before the next batch reuses the
+            # memory, so nothing scratch-backed escapes this call.
+            words = delta_encode_batch(
+                words, out=scratch("pipeline.delta", words.shape, self.word_dtype)
+            )
+        if cfg.use_bitshuffle:
+            stream = bitshuffle_batch(words, out=self._plane_scratch(words))
+        else:
+            stream = np.ascontiguousarray(words).view(np.uint8)
+        if cfg.use_zero_elim:
+            return compress_bytes_batch(stream, levels=cfg.bitmap_levels)
+        return [row.tobytes() for row in stream]
+
+    def _encode_batch_traced(self, words: np.ndarray, tel) -> list[bytes]:
+        """Batched encode with one span per stage over the whole block.
+
+        Spans carry the same stage names as the per-chunk path plus a
+        ``chunks`` count; byte totals equal the sum of the per-chunk
+        spans, so the drift check's stage-byte counters stay exact.  The
+        zero-elim span attributes output bytes per chunk
+        (``chunk_bytes_out``).
+        """
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        cfg = self.config
+        n_chunks = words.shape[0]
+        if cfg.use_delta:
+            with tel.span("delta+negabinary", cat="encode", chunks=n_chunks,
+                          bytes_in=words.nbytes, bytes_out=words.nbytes):
+                words = delta_encode_batch(
+                    words,
+                    out=scratch("pipeline.delta", words.shape, self.word_dtype),
+                )
+        if cfg.use_bitshuffle:
+            with tel.span("bitshuffle", cat="encode", chunks=n_chunks,
+                          bytes_in=words.nbytes) as sp:
+                stream = bitshuffle_batch(words, out=self._plane_scratch(words))
+                sp.set(bytes_out=stream.size)
+        else:
+            stream = np.ascontiguousarray(words).view(np.uint8)
+        if cfg.use_zero_elim:
+            with tel.span("zero-elim", cat="encode", chunks=n_chunks,
+                          bytes_in=stream.size) as sp:
+                blobs = compress_bytes_batch(stream, levels=cfg.bitmap_levels)
+                sizes = [len(b) for b in blobs]
+                sp.set(bytes_out=sum(sizes), chunk_bytes_out=sizes)
+            return blobs
+        return [row.tobytes() for row in stream]
+
+    def decode_batch(
+        self,
+        stream: np.ndarray,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        n_words: int,
+    ) -> np.ndarray:
+        """Decompress equal-geometry chunks straight out of the payload.
+
+        ``stream`` is the whole payload as uint8; ``starts``/``sizes``
+        locate each (non-raw, full-size) chunk's blob.  Returns the
+        ``(n_chunks, n_words)`` word matrix, bit-identical to mapping
+        :meth:`decode_chunk` over the blobs.
+        """
+        tel = self.telemetry
+        if tel.enabled:
+            return self._decode_batch_traced(stream, starts, sizes, n_words, tel)
+        cfg = self.config
+        n_bytes = n_words * self.word_dtype.itemsize
+        if cfg.use_zero_elim:
+            planes = decompress_bytes_batch(
+                stream, starts, sizes, n_bytes, levels=cfg.bitmap_levels
+            )
+        else:
+            planes = self._gather_uncompressed(stream, starts, sizes, n_bytes)
+        if cfg.use_bitshuffle:
+            words = bitunshuffle_batch(planes, self.word_dtype)
+        else:
+            words = np.ascontiguousarray(planes).view(self.word_dtype).copy()
+        if cfg.use_delta:
+            words = delta_decode_batch(words)
+        return words
+
+    def _decode_batch_traced(self, stream, starts, sizes, n_words: int, tel) -> np.ndarray:
+        """Batched decode with one span per inverse stage over the block."""
+        cfg = self.config
+        n_chunks = len(starts)
+        n_bytes = n_words * self.word_dtype.itemsize
+        if cfg.use_zero_elim:
+            blob_bytes = int(np.asarray(sizes, dtype=np.int64).sum(dtype=np.int64))
+            with tel.span("zero-restore", cat="decode", chunks=n_chunks,
+                          bytes_in=blob_bytes, bytes_out=n_chunks * n_bytes):
+                planes = decompress_bytes_batch(
+                    stream, starts, sizes, n_bytes, levels=cfg.bitmap_levels
+                )
+        else:
+            planes = self._gather_uncompressed(stream, starts, sizes, n_bytes)
+        if cfg.use_bitshuffle:
+            with tel.span("bitunshuffle", cat="decode", chunks=n_chunks,
+                          bytes_in=planes.size, bytes_out=n_chunks * n_bytes):
+                words = bitunshuffle_batch(planes, self.word_dtype)
+        else:
+            words = np.ascontiguousarray(planes).view(self.word_dtype).copy()
+        if cfg.use_delta:
+            with tel.span("delta-decode", cat="decode", chunks=n_chunks,
+                          bytes_in=words.nbytes, bytes_out=words.nbytes):
+                words = delta_decode_batch(words)
+        return words
+
+    def _plane_scratch(self, words: np.ndarray) -> np.ndarray:
+        """Reused uint8 buffer sized for ``words``' bit-plane stream."""
+        n_chunks, n = words.shape
+        return scratch(
+            "pipeline.planes", (n_chunks, n * self.word_dtype.itemsize), np.uint8
+        )
+
+    @staticmethod
+    def _gather_uncompressed(stream, starts, sizes, n_bytes: int) -> np.ndarray:
+        """Slice fixed-size uncompressed chunk bodies out of the payload."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if not np.all(sizes == n_bytes):
+            bad = int(np.argmax(sizes != n_bytes))
+            raise PFPLIntegrityError(
+                f"chunk holds {int(sizes[bad])} bytes, expected {n_bytes}"
+            )
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size and int(starts.max()) + n_bytes > stream.size:
+            raise PFPLIntegrityError("chunk body reads past the stream")
+        return stream[starts[:, None] + np.arange(n_bytes, dtype=np.int64)]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import PFPLUsageError
+from ..scratch import scratch
 from .base import Quantizer
 
 __all__ = ["AbsQuantizer"]
@@ -74,32 +75,72 @@ class AbsQuantizer(Quantizer):
     # -- encode ------------------------------------------------------------
 
     def _encode_words(self, v: np.ndarray) -> tuple[np.ndarray, int]:
+        out = np.empty(v.size, dtype=self.layout.uint_dtype)
+        n_lossless = self._encode_words_into(v, out)
+        return out, n_lossless
+
+    def _encode_words_into(self, v: np.ndarray, out: np.ndarray) -> int:
         lay = self.layout
+        fdt = lay.float_dtype.type
         bits = lay.to_bits(v)
+        n = v.size
 
-        # Quantize in the data precision (device arithmetic).  Overflow to
-        # inf is deliberate: such values simply fail the fits/verify check.
+        # Everything below runs in reused scratch with explicit `out=`
+        # buffers: the encoder is the hottest pass of the whole codec and
+        # fresh multi-MB temporaries (page faults included) used to cost
+        # more than the arithmetic.  The arithmetic itself is unchanged
+        # -- every branch below is bit-for-bit the reference encoding.
+        b_f = scratch("absq.bins", n, lay.float_dtype)
+        mag = scratch("absq.mag", n, lay.float_dtype)
+        fits = scratch("absq.fits", n, np.bool_)
+        tmpb = scratch("absq.tmpb", n, np.bool_)
+        word = scratch("absq.word", n, lay.uint_dtype)
+
         with np.errstate(over="ignore", invalid="ignore"):
-            t = v * self._scale
-            b_f = np.rint(t)
+            # Quantize in the data precision (device arithmetic).
+            # Overflow to inf is deliberate: such values simply fail the
+            # fits/verify check.
+            np.multiply(v, self._scale, out=b_f)
+            np.rint(b_f, out=b_f)
 
-        # Bins must fit the denormal range's magnitude-sign code.  The
-        # comparison also rejects NaN (False) and +-inf (too large).
-        with np.errstate(invalid="ignore"):
-            fits = np.abs(b_f) <= lay.float_dtype.type(lay.max_bin_magnitude)
+            # Bins must fit the denormal range's magnitude-sign code.
+            # The comparison also rejects NaN (False) and +-inf (too
+            # large).
+            np.abs(b_f, out=mag)
+            np.less_equal(mag, fdt(lay.max_bin_magnitude), out=fits)
 
-        b = np.where(fits, b_f, 0.0).astype(lay.int_dtype)
-        recon = b.astype(lay.float_dtype) * self._two_eps
+            # Magnitude-sign code straight from the float bin: |b_f| is
+            # integral and fits the mantissa wherever `fits` holds, so
+            # the uint cast is exact there (elsewhere the word is never
+            # selected).  rint's -0.0 compares false to 0, matching the
+            # integer bin path's sign handling.
+            np.copyto(word, mag, casting="unsafe")
+            np.less(b_f, fdt(0), out=tmpb)
+            np.bitwise_or(
+                word, lay.uint(lay.sign_mask), out=word, where=tmpb
+            )
 
-        # Verify in extended precision: the *true* difference between the
-        # original and the value the decoder will produce.
-        vdt = _VERIFY_DTYPE[lay.float_dtype]
-        diff = v.astype(vdt) - recon.astype(vdt)
-        with np.errstate(invalid="ignore"):
-            ok = fits & (np.abs(diff) <= vdt(self._eps))
+            # Decoder's reconstruction: rejected bins read as bin 0,
+            # exactly like the reference `where(fits, b_f, 0)` path.
+            np.logical_not(fits, out=tmpb)
+            np.copyto(b_f, fdt(0), where=tmpb)
+            np.multiply(b_f, self._two_eps, out=b_f)
 
-        words = np.where(ok, lay.magsign_encode(b), bits)
-        return words.astype(lay.uint_dtype), int(v.size - np.count_nonzero(ok))
+            # Verify in extended precision: the *true* difference between
+            # the original and the value the decoder will produce.
+            vdt = _VERIFY_DTYPE[lay.float_dtype]
+            diff = scratch("absq.diff", n, vdt)
+            np.subtract(v, b_f, out=diff, dtype=np.dtype(vdt))
+            np.abs(diff, out=diff)
+            np.less_equal(diff, vdt(self._eps), out=tmpb)
+            np.logical_and(fits, tmpb, out=fits)  # fits is now `ok`
+
+        # Final per-value selection straight into the caller's buffer:
+        # lossless IEEE bits everywhere, overwritten by the bin word
+        # where the bound held (same result as `where(ok, word, bits)`).
+        np.copyto(out, bits)
+        np.copyto(out, word, where=fits)
+        return int(n - np.count_nonzero(fits))
 
     # -- decode ------------------------------------------------------------
 

@@ -156,6 +156,56 @@ class Quantizer(ABC):
         out[...] = self._decode_words(w)
         return out
 
+    # -- chunk-major batch API (what ChunkKernel.encode_batch calls) --------
+
+    def encode_batch_into(self, values: np.ndarray, out: np.ndarray) -> int:
+        """Quantize a ``(n_chunks, n)`` chunk-major block into ``out``.
+
+        Quantizers are elementwise (any global state is pre-resolved by
+        :meth:`prepare`), so one flattened :meth:`_encode_words` call
+        over the whole block produces exactly the words the per-chunk
+        :meth:`encode_into` would, row by row.  Returns the total
+        lossless count; :attr:`stats` is untouched, as in the chunk-local
+        API.
+        """
+        v = np.asarray(values)
+        if v.dtype != self.layout.float_dtype:
+            raise TypeError(
+                f"batch expects {self.layout.float_dtype} values, got {v.dtype}"
+            )
+        v = np.ascontiguousarray(v)
+        if out.shape != v.shape:
+            raise PFPLUsageError(
+                f"output block is {out.shape}, expected {v.shape}"
+            )
+        if out.flags.c_contiguous:
+            return self._encode_words_into(v.reshape(-1), out.reshape(-1))
+        words, n_lossless = self._encode_words(v.reshape(-1))
+        out[...] = words.reshape(out.shape)
+        return n_lossless
+
+    def decode_batch_into(self, words: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Decode a ``(n_chunks, n)`` word block directly into ``out``."""
+        w = np.ascontiguousarray(words, dtype=self.layout.uint_dtype)
+        if out.shape != w.shape:
+            raise PFPLUsageError(
+                f"output block is {out.shape}, expected {w.shape}"
+            )
+        out[...] = self._decode_words(w.reshape(-1)).reshape(out.shape)
+        return out
+
+    def _encode_words_into(self, v: np.ndarray, out: np.ndarray) -> int:
+        """Encode flat values, writing the words into ``out``.
+
+        Returns the lossless count.  The default wraps
+        :meth:`_encode_words`; the hot quantizers override it to write
+        their final word selection straight into the caller's buffer
+        (one less whole-block temporary on the batch path).
+        """
+        words, n_lossless = self._encode_words(v)
+        out[...] = words
+        return n_lossless
+
     # -- helpers -----------------------------------------------------------
 
     def _record(self, total: int, lossless: int) -> None:

@@ -23,6 +23,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.chunking import plan_shards
 from ..core.kernel import ChunkKernel
 from ..errors import PFPLUsageError
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
@@ -59,6 +60,13 @@ class Backend:
 
     name = "abstract"
     device: DeviceSpec | None = None
+    #: Whether the compressor may route full-size chunks through the
+    #: chunk-major batch kernels on this backend.  The GPU simulation
+    #: opts out to keep its block-granular wave model faithful.
+    batch_capable = True
+    #: Row cap per batched kernel call: bounds the working set (each row
+    #: is one chunk, and the stages hold a few matrix temporaries).
+    batch_rows = 64
     #: Telemetry sink for scheduling spans (queue wait, worker execution);
     #: the null default keeps ``map_chunks`` on its uninstrumented path.
     telemetry = NULL_TELEMETRY
@@ -91,6 +99,29 @@ class Backend:
         index, so the produced bytes never depend on it.
         """
         raise NotImplementedError
+
+    def batch_shards(self, n_rows: int, costs=None) -> list[tuple[int, int]]:
+        """Contiguous ``(lo, hi)`` row ranges one batched call each covers."""
+        return plan_shards(n_rows, self.batch_rows, costs=costs)
+
+    def map_batch(self, fn: Callable, n_rows: int, costs=None) -> list:
+        """Run ``fn(lo, hi)`` over contiguous row shards; results in order.
+
+        The batch-kernel analogue of :meth:`map_chunks`: ``fn`` processes
+        rows ``[lo, hi)`` of a chunk-major block in one call.  Shards are
+        scheduled through :meth:`map_chunks`, so each backend's existing
+        execution model (serial loop, thread pool) and scheduler spans
+        apply unchanged; output order is shard order, which is row order.
+        """
+        shards = self.batch_shards(n_rows, costs=costs)
+        shard_costs = None
+        if costs is not None and shards:
+            weight = np.asarray(costs, dtype=np.int64)
+            shard_costs = np.asarray(
+                [int(weight[lo:hi].sum(dtype=np.int64)) for lo, hi in shards],
+                dtype=np.int64,
+            )
+        return self.map_chunks(lambda r: fn(*r), shards, costs=shard_costs)
 
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -208,6 +239,14 @@ class ThreadedBackend(Backend):
         self.last_order = list(order_record)
         return results
 
+    def batch_shards(self, n_rows: int, costs=None) -> list[tuple[int, int]]:
+        """Shard into per-worker sub-batches: enough shards to feed every
+        pool thread, but never so many that a shard drops below ~16 rows
+        (tiny sub-batches would reintroduce the per-chunk dispatch cost
+        the batch path exists to remove)."""
+        n_shards = max(1, min(self.n_threads, n_rows // 16))
+        return plan_shards(n_rows, self.batch_rows, n_shards=n_shards, costs=costs)
+
     def prefix_sum(self, sizes: np.ndarray) -> np.ndarray:
         return carry_array_scan(
             np.asarray(sizes, dtype=np.int64), self.n_threads,
@@ -232,6 +271,10 @@ class GpuSimBackend(Backend):
     """
 
     name = "gpu-cuda-sim"
+    #: The simulation schedules chunks as thread *blocks* in waves; a
+    #: host-side batched kernel has no block analogue, so the GPU model
+    #: keeps the per-chunk path (bytes are identical either way).
+    batch_capable = False
 
     def __init__(
         self,

@@ -369,10 +369,11 @@ def schedule_drift_check(
     """Decode on a real thread pool and reconcile it with the simulator.
 
     Compresses ``values`` quietly, then decompresses on a
-    :class:`~repro.device.backend.ThreadedBackend` with telemetry on:
-    decompression issues exactly one ``map_chunks`` call (size-table
-    costs attached), so its ``chunk_exec`` spans are the per-item ground
-    truth.  Those measured durations are replayed through
+    :class:`~repro.device.backend.ThreadedBackend` with telemetry on
+    and the chunk-major batch path disabled -- the object under test is
+    the *per-chunk* scheduler, so decompression must issue exactly one
+    ``map_chunks`` call (size-table costs attached), whose
+    ``chunk_exec`` spans are the per-item ground truth.  Those measured durations are replayed through
     :func:`~repro.device.scheduler.dynamic_schedule` with the pool's
     actual start order, and the simulated makespan/imbalance are
     compared against the measured per-worker busy seconds.
@@ -390,7 +391,7 @@ def schedule_drift_check(
     backend = ThreadedBackend(n_threads=n_threads, telemetry=tel)
     decoder = PFPLCompressor(
         mode=mode, error_bound=error_bound, dtype=values.dtype,
-        backend=backend, telemetry=tel,
+        backend=backend, telemetry=tel, use_batch=False,
     )
     decoder.decompress(stream)
 

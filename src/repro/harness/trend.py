@@ -27,13 +27,22 @@ _METRICS = ("encode_gbps", "decode_gbps")
 
 @dataclass(frozen=True)
 class TrendCell:
-    """One (field, backend, metric) throughput comparison."""
+    """One (field, backend, variant, metric) throughput comparison."""
 
     field: str
     backend: str
     metric: str
     baseline: float
     current: float
+    #: dispatch variant ("batched" / "per-chunk"); "" for snapshots
+    #: older than the chunk-major refactor, which had a single path.
+    variant: str = ""
+
+    @property
+    def label(self) -> str:
+        """Cell name for rendering: field/backend[/variant]."""
+        tail = f"/{self.variant}" if self.variant else ""
+        return f"{self.field}/{self.backend}{tail}"
 
     @property
     def change(self) -> float:
@@ -73,7 +82,7 @@ class TrendReport:
         for c in self.cells:
             mark = " REGRESSED" if c.regressed(self.threshold) else ""
             lines.append(
-                f"  {c.field + '/' + c.backend:<28} {c.metric:<12} "
+                f"  {c.label:<28} {c.metric:<12} "
                 f"{c.baseline:>8.3f} {c.current:>8.3f} "
                 f"{c.change * 100:>+7.1f}%{mark}"
             )
@@ -88,11 +97,39 @@ class TrendReport:
         return "\n".join(lines)
 
 
-def _by_key(snapshot: dict) -> dict[tuple[str, str], dict]:
+#: The variant a pre-refactor snapshot cell (no "variant" key) measured:
+#: its single per-chunk path is what the batched path replaced, so a
+#: "batched" cell gates against it when no exact variant match exists.
+_DEFAULT_VARIANT = "batched"
+
+
+def _by_key(snapshot: dict) -> dict[tuple[str, str, str], dict]:
     return {
-        (cell["field"], cell["backend"]): cell
+        (cell["field"], cell["backend"], cell.get("variant", "")): cell
         for cell in snapshot.get("cells", [])
     }
+
+
+def _match_baseline(
+    base_cells: dict[tuple[str, str, str], dict], fld: str, backend: str, variant: str
+) -> dict | None:
+    """Find the baseline cell a current cell gates against.
+
+    Exact (field, backend, variant) first; then the cross-generation
+    fallbacks that keep a variant-aware snapshot (``BENCH_PR6``-style)
+    comparable with a single-path one (``BENCH_PR3``-style) instead of
+    skipping every cell as unmatched: a "batched" cell falls back to the
+    baseline's un-suffixed cell, and an un-suffixed cell falls back to
+    the baseline's "batched" cell (the default dispatch path either way).
+    """
+    base = base_cells.get((fld, backend, variant))
+    if base is not None:
+        return base
+    if variant == _DEFAULT_VARIANT:
+        return base_cells.get((fld, backend, ""))
+    if variant == "":
+        return base_cells.get((fld, backend, _DEFAULT_VARIANT))
+    return None
 
 
 def compare_snapshots(
@@ -103,18 +140,21 @@ def compare_snapshots(
     Only cells present in *both* snapshots with matching input sizes
     participate; everything else lands in :attr:`TrendReport.skipped`
     with a reason, so a partial run can never silently pass the gate.
+    Variant-aware snapshots gate against pre-variant baselines through
+    the default-path fallback (see :func:`_match_baseline`).
     """
     report = TrendReport(threshold=float(threshold))
     base_cells = _by_key(baseline)
     for key, cell in _by_key(current).items():
-        fld, backend = key
-        base = base_cells.get(key)
+        fld, backend, variant = key
+        label_backend = backend if not variant else f"{backend}/{variant}"
+        base = _match_baseline(base_cells, fld, backend, variant)
         if base is None:
-            report.skipped.append((fld, backend, "not in baseline"))
+            report.skipped.append((fld, label_backend, "not in baseline"))
             continue
         if base.get("values") != cell.get("values"):
             report.skipped.append((
-                fld, backend,
+                fld, label_backend,
                 f"size mismatch (baseline {base.get('values')} vs "
                 f"current {cell.get('values')} values)",
             ))
@@ -123,5 +163,6 @@ def compare_snapshots(
             report.cells.append(TrendCell(
                 field=fld, backend=backend, metric=metric,
                 baseline=float(base[metric]), current=float(cell[metric]),
+                variant=variant,
             ))
     return report

@@ -69,6 +69,7 @@ class PFPLWriter:
         config: PipelineConfig | None = None,
         checksum: bool = False,
         telemetry=None,
+        use_batch: bool | None = None,
     ):
         self._sink = sink
         self.mode = mode
@@ -78,6 +79,12 @@ class PFPLWriter:
         self.checksum = bool(checksum)
         self.telemetry = telemetry or NULL_TELEMETRY
         backend = backend or InlineBackend()
+        self._backend = backend
+        # Same dispatch rule as PFPLCompressor: chunk-major batching when
+        # the backend is batch-capable (or forced), per-chunk otherwise.
+        if use_batch is None:
+            use_batch = bool(getattr(backend, "batch_capable", False))
+        self._use_batch = use_batch
 
         kwargs = {}
         if mode == "noa":
@@ -150,6 +157,37 @@ class PFPLWriter:
         self._stats += st
         self._payload_bytes += len(blob)
 
+    def _flush_batch(self, block: np.ndarray) -> None:
+        """Flush a ``(n_chunks, words_per_chunk)`` block of full chunks
+        through the backend's chunk-major batch kernels."""
+        tel = self.telemetry
+        first = len(self._table_entries)
+
+        def encode_rows(lo: int, hi: int):
+            if not tel.enabled:
+                return self._kernel.encode_batch(block[lo:hi])
+            with tel.span(
+                "batch_encode", cat="chunk", first_chunk=first + lo,
+                chunks=hi - lo, values=(hi - lo) * self._wpc,
+            ) as sp:
+                blobs, raws, st = self._kernel.encode_batch(block[lo:hi])
+                sp.set(
+                    bytes_out=sum(len(b) for b in blobs),
+                    chunk_bytes_out=[len(b) for b in blobs],
+                    outliers=st.lossless, raw_chunks=st.raw_chunks,
+                )
+            return blobs, raws, st
+
+        for blobs, raws, st in self._backend.map_batch(encode_rows, block.shape[0]):
+            for blob, raw in zip(blobs, raws):
+                self._spool.write(blob)
+                self._table_entries.append(len(blob))
+                self._raw_flags.append(bool(raw))
+                if self.checksum:
+                    self._chunk_crcs.append(zlib.crc32(blob))
+                self._payload_bytes += len(blob)
+            self._stats += st
+
     def append(self, values: np.ndarray) -> None:
         """Quantize and compress more values (any shape, any amount).
 
@@ -174,9 +212,13 @@ class PFPLWriter:
                 self._flush_chunk(self._pending)
                 self._pending_len = 0
         n_full = (flat.size - pos) // self._wpc
-        for i in range(n_full):
-            lo = pos + i * self._wpc
-            self._flush_chunk(flat[lo:lo + self._wpc])
+        if n_full and self._use_batch:
+            block = flat[pos:pos + n_full * self._wpc].reshape(n_full, self._wpc)
+            self._flush_batch(block)
+        else:
+            for i in range(n_full):
+                lo = pos + i * self._wpc
+                self._flush_chunk(flat[lo:lo + self._wpc])
         pos += n_full * self._wpc
         tail = flat.size - pos
         if tail:

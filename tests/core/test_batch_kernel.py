@@ -1,0 +1,111 @@
+"""ChunkKernel.encode_batch / decode_batch vs the per-chunk kernel.
+
+The batch kernels are pure throughput refactors: for any block of
+full-size chunks they must emit exactly the blobs, raw flags and stats
+that mapping :meth:`ChunkKernel.encode_chunk` over the rows would, and
+decode exactly the words back.  The rows mix compressible signal with
+full-entropy noise so the vectorized raw-fallback decision is exercised
+in both directions within one batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import ChunkKernel
+from repro.core.lossless.pipeline import LosslessPipeline
+from repro.core.quantizers import make_quantizer
+from repro.errors import PFPLIntegrityError
+
+
+def _kernel(mode="abs", bound=1e-3, dtype=np.float32, prepare=None):
+    quantizer = make_quantizer(mode, bound, dtype=np.dtype(dtype), )
+    if prepare is not None:
+        quantizer.prepare(prepare)
+    layout = quantizer.layout
+    return ChunkKernel(quantizer, LosslessPipeline(layout.uint_dtype))
+
+
+def _mixed_block(rng, kernel, n_chunks, dtype):
+    """Full-size chunk rows: smooth (compressible) and noise (raw)."""
+    wpc = kernel.words_per_chunk
+    block = np.cumsum(
+        rng.normal(0, 0.02, (n_chunks, wpc)), axis=1
+    ).astype(dtype) + 2.0
+    uint = {4: np.uint32, 8: np.uint64}[np.dtype(dtype).itemsize]
+    noise = rng.integers(0, np.iinfo(uint).max, wpc, dtype=uint).view(dtype)
+    block[1] = noise  # this row should trip the raw fallback
+    return block
+
+
+class TestEncodeBatch:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matches_per_chunk(self, rng, mode, dtype):
+        probe = _kernel(dtype=dtype)
+        block = _mixed_block(rng, probe, 4, dtype)
+        kernel = _kernel(mode, 1e-3, dtype, prepare=block.reshape(-1))
+        blobs, raw_flags, stats = kernel.encode_batch(block)
+        ref_stats = None
+        for i in range(block.shape[0]):
+            blob, raw, st = kernel.encode_chunk(block[i])
+            assert blobs[i] == blob, f"row {i} blob differs"
+            assert bool(raw_flags[i]) == raw, f"row {i} raw flag differs"
+            ref_stats = st if ref_stats is None else ref_stats + st
+        assert stats.total == ref_stats.total
+        assert stats.lossless == ref_stats.lossless
+        assert stats.raw_chunks == ref_stats.raw_chunks
+
+    def test_raw_decision_is_per_row(self, rng):
+        kernel = _kernel()
+        block = _mixed_block(rng, kernel, 4, np.float32)
+        _, raw_flags, stats = kernel.encode_batch(block)
+        assert bool(raw_flags[1])            # the noise row falls back raw
+        assert not raw_flags[[0, 2, 3]].any()  # the smooth rows compress
+        assert stats.raw_chunks == 1
+
+
+class TestDecodeBatch:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matches_per_chunk(self, rng, dtype):
+        kernel = _kernel("abs", 1e-3, dtype)
+        wpc = kernel.words_per_chunk
+        block = np.cumsum(rng.normal(0, 0.02, (5, wpc)), axis=1).astype(dtype)
+        blobs, raw_flags, _ = kernel.encode_batch(block)
+        assert not raw_flags.any()
+        stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        sizes = np.array([len(b) for b in blobs], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        got = kernel.decode_batch(stream, starts, sizes, wpc)
+        for i in range(5):
+            ref = kernel.decode_chunk(blobs[i], wpc, False)
+            assert np.array_equal(
+                got[i].view(kernel.layout.uint_dtype),
+                ref.view(kernel.layout.uint_dtype),
+            ), f"row {i}"
+
+    def test_decode_into_out_block(self, rng):
+        kernel = _kernel()
+        wpc = kernel.words_per_chunk
+        block = np.cumsum(rng.normal(0, 0.02, (3, wpc)), axis=1).astype(np.float32)
+        blobs, _, _ = kernel.encode_batch(block)
+        stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        sizes = np.array([len(b) for b in blobs], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        target = np.empty((3, wpc), dtype=np.float32)
+        ret = kernel.decode_batch(stream, starts, sizes, wpc, out=target)
+        assert ret is target
+        assert np.abs(target - block).max() <= 1e-3
+
+    def test_hostile_bytes_surface_as_integrity_error(self, rng):
+        kernel = _kernel()
+        wpc = kernel.words_per_chunk
+        block = np.cumsum(rng.normal(0, 0.02, (2, wpc)), axis=1).astype(np.float32)
+        blobs, _, _ = kernel.encode_batch(block)
+        stream = np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
+        sizes = np.array([len(b) for b in blobs], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        sizes[1] -= 3  # truncate the second blob's claimed span
+        with pytest.raises(PFPLIntegrityError):
+            kernel.decode_batch(stream, starts, sizes, wpc)

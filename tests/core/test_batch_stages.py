@@ -1,0 +1,281 @@
+"""Chunk-major batch stages: bit-identity against the per-chunk codec.
+
+Every batched stage (2-D quantizers, delta+negabinary, bitshuffle,
+zero-byte elimination) must produce *exactly* the bytes of mapping its
+per-chunk counterpart over the rows -- the stream format does not know
+which formulation encoded it.  These goldens pin that equivalence on
+adversarial content: sign-crossing residuals (which defeat the
+leading-zero-plane skip), all-zero blocks (which maximize it), wrapping
+deltas, and full-entropy noise.
+
+The scratch-arena discipline is covered too: stage results must never
+alias the reusable per-thread scratch buffers, so calling a stage again
+cannot corrupt an earlier return value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lossless.batch import (
+    compress_bytes_batch,
+    decompress_bytes_batch,
+    ragged_gather,
+    repeat_eliminate_batch,
+    repeat_restore_batch,
+    row_offsets,
+    zero_eliminate_batch,
+)
+from repro.core.lossless.bitshuffle import (
+    bitshuffle,
+    bitshuffle_batch,
+    bitunshuffle_batch,
+)
+from repro.core.lossless.delta import (
+    delta_decode_batch,
+    delta_encode,
+    delta_encode_batch,
+)
+from repro.core.lossless.zerobyte import (
+    compress_bytes,
+    repeat_eliminate,
+    zero_eliminate,
+)
+from repro.core.quantizers import make_quantizer
+from repro.core.scratch import scratch
+from repro.errors import PFPLIntegrityError, PFPLUsageError
+
+WORD_DTYPES = [np.uint32, np.uint64]
+
+
+def _word_matrix(rng, n_chunks, n_words, dtype):
+    """Rows mixing smooth residual-like runs with full-entropy noise."""
+    info = np.iinfo(dtype)
+    mat = rng.integers(0, 255, (n_chunks, n_words), dtype=dtype)
+    mat[::2] = rng.integers(0, info.max, (max(1, (n_chunks + 1) // 2), n_words),
+                            dtype=dtype)[: len(mat[::2])]
+    mat[0, :] = 0  # an all-zero chunk rides along
+    return mat
+
+
+class TestDeltaBatch:
+    @pytest.mark.parametrize("dtype", WORD_DTYPES)
+    def test_matches_per_chunk(self, rng, dtype):
+        mat = _word_matrix(rng, 5, 64, dtype)
+        got = delta_encode_batch(mat)
+        for i in range(mat.shape[0]):
+            assert np.array_equal(got[i], delta_encode(mat[i])), f"row {i}"
+
+    @pytest.mark.parametrize("dtype", WORD_DTYPES)
+    def test_roundtrip(self, rng, dtype):
+        mat = _word_matrix(rng, 4, 48, dtype)
+        assert np.array_equal(delta_decode_batch(delta_encode_batch(mat)), mat)
+
+    def test_out_buffer_is_used_and_validated(self, rng):
+        mat = _word_matrix(rng, 3, 16, np.uint32)
+        out = np.empty_like(mat)
+        got = delta_encode_batch(mat, out=out)
+        assert got is out
+        assert np.array_equal(out, delta_encode_batch(mat))
+        with pytest.raises(TypeError):
+            delta_encode_batch(mat, out=np.empty((3, 8), dtype=np.uint32))
+
+    def test_wrapping_difference(self):
+        # Max-distance neighbours must wrap exactly like the 1-D stage.
+        mat = np.array([[0, 0xFFFFFFFF, 0, 1]], dtype=np.uint32)
+        assert np.array_equal(delta_encode_batch(mat)[0], delta_encode(mat[0]))
+
+
+class TestBitshuffleBatch:
+    @pytest.mark.parametrize("dtype", WORD_DTYPES)
+    @pytest.mark.parametrize("n_chunks", [1, 3, 8])
+    def test_matches_per_chunk(self, rng, dtype, n_chunks):
+        mat = _word_matrix(rng, n_chunks, 64, dtype)
+        got = bitshuffle_batch(mat)
+        for i in range(n_chunks):
+            assert np.array_equal(got[i], bitshuffle(mat[i])), f"row {i}"
+
+    @pytest.mark.parametrize("dtype", WORD_DTYPES)
+    def test_small_words_trigger_plane_skip(self, rng, dtype):
+        # All words tiny => leading byte planes all zero => the skip
+        # path runs; output must still match the per-chunk transpose.
+        mat = rng.integers(0, 200, (4, 32), dtype=dtype)
+        got = bitshuffle_batch(mat)
+        for i in range(4):
+            assert np.array_equal(got[i], bitshuffle(mat[i]))
+
+    @pytest.mark.parametrize("dtype", WORD_DTYPES)
+    def test_roundtrip(self, rng, dtype):
+        mat = _word_matrix(rng, 5, 40, dtype)
+        planes = bitshuffle_batch(mat)
+        assert np.array_equal(bitunshuffle_batch(planes, dtype), mat)
+
+    def test_out_buffer_validated(self, rng):
+        mat = _word_matrix(rng, 2, 16, np.uint32)
+        with pytest.raises(PFPLUsageError):
+            bitshuffle_batch(mat, out=np.empty((2, 8), dtype=np.uint8))
+        with pytest.raises(PFPLUsageError):
+            bitshuffle_batch(np.zeros((2, 7), dtype=np.uint32))
+
+    def test_unshuffle_rejects_bad_geometry(self):
+        with pytest.raises(PFPLIntegrityError):
+            bitunshuffle_batch(np.zeros((2, 13), dtype=np.uint8), np.uint32)
+        # 16 bytes = 4 u32 words: not a multiple of the 8-word lane.
+        with pytest.raises(PFPLIntegrityError):
+            bitunshuffle_batch(np.zeros((2, 16), dtype=np.uint8), np.uint32)
+
+
+class TestZeroElimBatch:
+    def test_zero_eliminate_matches_per_chunk(self, rng):
+        data = rng.integers(0, 4, (6, 96), dtype=np.uint8) * \
+            rng.integers(0, 255, (6, 96), dtype=np.uint8)
+        bitmap, kept, counts = zero_eliminate_batch(data)
+        offs = row_offsets(counts)
+        for i in range(6):
+            bm, kp = zero_eliminate(data[i])
+            assert np.array_equal(bitmap[i], bm)
+            assert np.array_equal(kept[offs[i]:offs[i] + counts[i]], kp)
+
+    def test_repeat_eliminate_matches_per_chunk(self, rng):
+        data = np.repeat(rng.integers(0, 255, (4, 24), dtype=np.uint8), 4, axis=1)
+        bitmap, kept, counts = repeat_eliminate_batch(data)
+        offs = row_offsets(counts)
+        for i in range(4):
+            bm, kp = repeat_eliminate(data[i])
+            assert np.array_equal(bitmap[i], bm)
+            assert np.array_equal(kept[offs[i]:offs[i] + counts[i]], kp)
+
+    def test_repeat_rows_never_see_neighbours(self):
+        # Row 1 starts with row 0's last byte: the per-row 0x00 seed
+        # must keep it, not elide it as a cross-row repeat.
+        data = np.array([[7, 7, 7, 7], [7, 7, 9, 9]], dtype=np.uint8)
+        bitmap, kept, counts = repeat_eliminate_batch(data)
+        bm1, kp1 = repeat_eliminate(data[1])
+        assert np.array_equal(bitmap[1], bm1)
+        assert np.array_equal(kept[int(counts[0]):], kp1)
+
+    def test_repeat_restore_batch_inverts(self, rng):
+        data = np.repeat(rng.integers(0, 9, (5, 16), dtype=np.uint8), 3, axis=1)
+        _, kept, counts = repeat_eliminate_batch(data)
+        prev = np.zeros_like(data)
+        prev[:, 1:] = data[:, :-1]
+        restored = repeat_restore_batch(data != prev, kept, counts)
+        assert np.array_equal(restored, data)
+
+    def test_compress_bytes_batch_matches_per_chunk(self, rng):
+        data = rng.integers(0, 3, (7, 128), dtype=np.uint8) * \
+            rng.integers(0, 255, (7, 128), dtype=np.uint8)
+        blobs = compress_bytes_batch(data)
+        assert blobs == [compress_bytes(data[i]) for i in range(7)]
+
+    def test_decompress_bytes_batch_roundtrip(self, rng):
+        data = rng.integers(0, 2, (5, 64), dtype=np.uint8) * 200
+        blobs = compress_bytes_batch(data)
+        stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        sizes = np.array([len(b) for b in blobs], dtype=np.int64)
+        starts = row_offsets(sizes)
+        out = decompress_bytes_batch(stream, starts, sizes, 64)
+        assert np.array_equal(out, data)
+
+    def test_decompress_bytes_batch_rejects_size_mismatch(self, rng):
+        data = rng.integers(0, 2, (3, 64), dtype=np.uint8) * 9
+        blobs = compress_bytes_batch(data)
+        stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        sizes = np.array([len(b) for b in blobs], dtype=np.int64)
+        starts = row_offsets(sizes)
+        sizes = sizes + np.array([0, 1, 0])  # lie about one chunk's span
+        with pytest.raises(PFPLIntegrityError):
+            decompress_bytes_batch(stream, starts, sizes, 64)
+
+    def test_ragged_gather_rejects_overrun(self):
+        src = np.arange(10, dtype=np.uint8)
+        with pytest.raises(IndexError):
+            ragged_gather(src, np.array([8]), np.array([5]))
+
+
+class TestQuantizerBatch:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_encode_batch_matches_per_chunk(self, rng, mode, dtype):
+        data = np.cumsum(rng.normal(0, 0.05, (6, 256)), axis=1).astype(dtype)
+        data += 2.0  # keep REL away from zero
+        data[3, ::7] = rng.integers(0, 2**32, 37, dtype=np.uint32).view(
+            np.float32
+        ).astype(dtype)[:37]  # outlier lanes exercise the raw fallback
+        q = make_quantizer(mode, 1e-3, dtype=np.dtype(dtype))
+        q.prepare(data.reshape(-1))
+        udt = q.layout.uint_dtype
+        batch = np.empty(data.shape, dtype=udt)
+        n_batch = q.encode_batch_into(data, batch)
+        n_rows = 0
+        for i in range(data.shape[0]):
+            row = np.empty(data.shape[1], dtype=udt)
+            n_rows += q.encode_into(data[i], row)
+            assert np.array_equal(batch[i], row), f"row {i}"
+        assert n_batch == n_rows
+
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    def test_decode_batch_matches_per_chunk(self, rng, mode):
+        data = np.cumsum(rng.normal(0, 0.05, (4, 128)), axis=1).astype(np.float32) + 2.0
+        q = make_quantizer(mode, 1e-3, dtype=np.dtype(np.float32))
+        q.prepare(data.reshape(-1))
+        words = np.empty(data.shape, dtype=q.layout.uint_dtype)
+        q.encode_batch_into(data, words)
+        batch_out = np.empty(data.shape, dtype=np.float32)
+        q.decode_batch_into(words, batch_out)
+        for i in range(data.shape[0]):
+            row_out = np.empty(data.shape[1], dtype=np.float32)
+            q.decode_into(words[i], row_out)
+            assert np.array_equal(batch_out[i], row_out), f"row {i}"
+
+    def test_noncontiguous_out_still_bit_identical(self, rng):
+        # The fast flat path needs a contiguous out; a strided view must
+        # fall back to the row loop with identical bytes.
+        data = np.cumsum(rng.normal(0, 0.05, (4, 64)), axis=1).astype(np.float32)
+        q = make_quantizer("abs", 1e-3, dtype=np.dtype(np.float32))
+        q.prepare(data.reshape(-1))
+        flat = np.empty(data.shape, dtype=np.uint32)
+        q.encode_batch_into(data, flat)
+        backing = np.empty((4, 128), dtype=np.uint32)
+        strided = backing[:, ::2]
+        q.encode_batch_into(data, strided)
+        assert np.array_equal(strided, flat)
+
+
+class TestScratchDiscipline:
+    def test_same_key_reuses_memory(self):
+        a = scratch("test.slot", 64, np.uint8)
+        b = scratch("test.slot", 64, np.uint8)
+        assert a.base is b.base
+
+    def test_arena_grows_and_shrinks_views(self):
+        small = scratch("test.grow", 16, np.uint8)
+        big = scratch("test.grow", 1024, np.uint8)
+        assert big.size == 1024
+        again = scratch("test.grow", 16, np.uint8)
+        assert again.size == 16 and again.base is big.base
+        assert small.size == 16
+
+    def test_shapes_and_dtypes_view_one_arena(self):
+        m = scratch("test.view", (4, 8), np.uint64)
+        assert m.shape == (4, 8) and m.dtype == np.uint64
+
+    def test_stage_results_never_alias_scratch(self, rng):
+        # Calling a stage twice must not corrupt the first call's
+        # return values (returns are fresh arrays, scratch is internal).
+        d1 = rng.integers(0, 3, (3, 64), dtype=np.uint8) * 100
+        d2 = rng.integers(0, 3, (3, 64), dtype=np.uint8) * 50
+        bm1, kept1, cnt1 = zero_eliminate_batch(d1)
+        bm1c, kept1c, cnt1c = bm1.copy(), kept1.copy(), cnt1.copy()
+        zero_eliminate_batch(d2)
+        assert np.array_equal(bm1, bm1c)
+        assert np.array_equal(kept1, kept1c)
+        assert np.array_equal(cnt1, cnt1c)
+
+        mat1 = _word_matrix(rng, 3, 32, np.uint32)
+        mat2 = _word_matrix(rng, 3, 32, np.uint32)
+        p1 = bitshuffle_batch(mat1)
+        p1c = p1.copy()
+        bitshuffle_batch(mat2)
+        assert np.array_equal(p1, p1c)

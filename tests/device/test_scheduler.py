@@ -137,7 +137,10 @@ class TestSimulationVsReality:
 
         stream = compress(smooth_f32, mode="abs", error_bound=1e-3)
         backend = ThreadedBackend(n_threads=1)
-        decompress(stream, backend=backend)
+        # The per-chunk scheduler is the object under test; pin the
+        # per-chunk path (batched decode issues map_batch shards, not
+        # one map_chunks call per chunk).
+        decompress(stream, backend=backend, use_batch=False)
         # Feed the simulator the stream's real size table (decode costs).
         from repro.core.random_access import StreamDecoder
 

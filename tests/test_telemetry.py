@@ -68,9 +68,15 @@ class TestCounters:
         n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
         assert tel.counter("chunks_decoded_total") == n_chunks
         assert tel.counter("values_decoded_total") == smooth_f32.size
+        # Chunk-major dispatch: the full-size chunks decode as one batch
+        # shard (they fit the default 64-row cap), the ragged tail as one
+        # per-chunk call -- so each stage runs exactly twice while the
+        # chunk counters above still account for every chunk.
+        n_full = smooth_f32.size // CHUNK_VALUES
+        assert 0 < n_full <= 64 and smooth_f32.size % CHUNK_VALUES
         stages = tel.stage_table("decode")
         for name in DECODE_STAGES:
-            assert stages[name]["calls"] == n_chunks
+            assert stages[name]["calls"] == 2
 
     def test_raw_fallback_counted(self, rng):
         # Uniformly random words defeat every lossless stage, so each
@@ -92,8 +98,11 @@ class TestCounters:
         n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
         items = [v for k, v in tel.counters().items()
                  if k.startswith("worker_items_total")]
-        # The pool maps twice per compress: chunk encode + assemble scatter.
-        assert sum(items) == 2 * n_chunks
+        # The full-size chunks encode as one batch shard (14 rows stay
+        # below the 16-row-per-shard split threshold) and the tail as
+        # one per-chunk call; both are single-item maps the pool runs
+        # inline.  Only the assemble scatter fans out across workers.
+        assert sum(items) == n_chunks
         waits = [v for k, v in tel.counters().items()
                  if k.startswith("worker_queue_wait_seconds_total")]
         assert waits and all(w >= 0 for w in waits)
@@ -138,12 +147,17 @@ class TestExporters:
                 assert ev["ts"] >= 0 and ev["dur"] >= 0
                 assert isinstance(ev["name"], str) and isinstance(ev["cat"], str)
 
-        # >= one span per chunk per stage, encode and decode side.
+        # Every chunk accounted per stage, encode and decode side: the
+        # full-size chunks ride batch-stage spans (a `chunks` count),
+        # the ragged tail keeps its per-chunk span (a `chunk` id).
         n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
         spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
         for stage in ENCODE_STAGES[:-1] + DECODE_STAGES:
-            covered = {e["args"].get("chunk") for e in spans if e["name"] == stage}
-            assert covered >= set(range(n_chunks)), stage
+            batched = sum(e["args"].get("chunks") or 0 for e in spans
+                          if e["name"] == stage)
+            singles = {e["args"].get("chunk") for e in spans
+                       if e["name"] == stage} - {None}
+            assert batched + len(singles) == n_chunks, stage
 
         # The file form round-trips through json.load.
         path = tmp_path / "trace.json"
@@ -190,8 +204,9 @@ class TestHistograms:
                        telemetry=tel).compress(smooth_f32)
         key = 'span_duration_seconds{cat="encode",span="quantize"}'
         hist = tel.histograms()[key]
-        n_chunks = -(-smooth_f32.size // CHUNK_VALUES)
-        assert hist["count"] == n_chunks
+        # Chunk-major dispatch: one batched quantize span for the
+        # full-size chunks plus one for the ragged tail.
+        assert hist["count"] == 2
 
     def test_quantiles_bracket_known_durations(self):
         tel = Telemetry()
@@ -215,7 +230,8 @@ class TestHistograms:
         assert rows == sorted(rows, key=lambda r: (r["cat"], r["span"]))
         by_span = {(r["cat"], r["span"]): r for r in rows}
         quant = by_span[("encode", "quantize")]
-        assert quant["count"] == -(-smooth_f32.size // CHUNK_VALUES)
+        # One batched span (all full-size chunks) + one tail span.
+        assert quant["count"] == 2
         assert 0 < quant["p50"] <= quant["p99"]
 
     def test_prometheus_histogram_exposition(self, smooth_f32):
