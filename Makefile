@@ -5,7 +5,7 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: test property lint analyze drift-gate all
+.PHONY: test property lint analyze drift-gate service-smoke all
 
 all: lint test
 
@@ -34,3 +34,6 @@ analyze:  ## codec-invariant static analysis, warnings included
 
 drift-gate:  ## measured-vs-analytic byte accounting across modes/dtypes
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/drift_gate.py
+
+service-smoke:  ## boot pfpl serve, drive concurrent streams, scrape, drain
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/service_smoke.py

@@ -17,6 +17,13 @@ serial encode on that field by at least ``--min-speedup`` (default: just
 faster).  This is the chunk-major refactor's own regression gate: losing
 the batch fast path would not show up against an old single-path
 baseline, but it shows up here.
+
+``--assert-procpool-speedup FIELD`` is the process-pool analogue: the
+procpool batched encode must beat the *threaded* batched encode on that
+field.  The assertion reads the snapshot's recorded host CPU count and
+skips loudly on single-core hosts -- a process pool cannot beat a thread
+pool without a second core, and silently gating there would only measure
+fork overhead.
 """
 
 from __future__ import annotations
@@ -64,6 +71,49 @@ def check_batch_speedup(
     return failures
 
 
+def check_procpool_speedup(
+    snapshot: dict, fields: list[str], min_speedup: float
+) -> list[str]:
+    """Require procpool batched encode > threaded batched encode.
+
+    Returns failure strings (empty when all pass or when the snapshot
+    host has fewer than 2 CPUs -- announced, never silent).
+    """
+    if not fields:
+        return []
+    cpus = snapshot.get("host", {}).get("cpus") or 0
+    if cpus < 2:
+        print(
+            f"procpool-speedup SKIPPED: snapshot host has {cpus} CPU(s); "
+            "a process pool needs >= 2 cores to beat the thread pool"
+        )
+        return []
+    cells = {
+        (c["field"], c["backend"], c.get("variant", "")): c
+        for c in snapshot.get("cells", [])
+    }
+    failures = []
+    for fld in fields:
+        pool = cells.get((fld, "procpool", "batched"))
+        threaded = cells.get((fld, "threaded", "batched"))
+        if pool is None or threaded is None:
+            failures.append(f"{fld}: missing procpool/threaded batched cells")
+            continue
+        ratio = pool["encode_gbps"] / max(threaded["encode_gbps"], 1e-12)
+        verdict = "ok" if ratio >= min_speedup else "FAIL"
+        print(
+            f"procpool speedup {fld}: {pool['encode_gbps']:.3f} vs "
+            f"{threaded['encode_gbps']:.3f} GB/s encode = {ratio:.2f}x "
+            f"(need >= {min_speedup:g}x) {verdict}"
+        )
+        if ratio < min_speedup:
+            failures.append(
+                f"{fld}: procpool encode only {ratio:.2f}x the threaded "
+                f"path (need >= {min_speedup:g}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly measured snapshot JSON")
@@ -85,6 +135,13 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=1.0,
         help="minimum batched/per-chunk encode ratio (default 1.0)",
     )
+    ap.add_argument(
+        "--assert-procpool-speedup", action="append", default=[],
+        metavar="FIELD",
+        help="require procpool > threaded batched encode on FIELD "
+             "(repeatable; skipped loudly when the snapshot host has "
+             "fewer than 2 CPUs)",
+    )
     args = ap.parse_args(argv)
 
     with open(args.current, encoding="utf-8") as f:
@@ -101,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     for line in speedup_failures:
         print(f"batch-speedup FAILURE: {line}")
+    procpool_failures = check_procpool_speedup(
+        current, args.assert_procpool_speedup, args.min_speedup,
+    )
+    for line in procpool_failures:
+        print(f"procpool-speedup FAILURE: {line}")
+    speedup_failures += procpool_failures
 
     if not report.cells:
         return 2

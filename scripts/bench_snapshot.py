@@ -12,7 +12,14 @@ also dumps one Chrome ``trace_event`` timeline of the threaded run.
 Since the chunk-major refactor each (field, backend) pair is measured
 twice -- ``variant="batched"`` (the default dispatch) and
 ``variant="per-chunk"`` (the legacy path, forced) -- so the snapshot
-both records the speedup and keeps the old path honest.
+both records the speedup and keeps the old path honest.  The process
+pool (``procpool``) measures the batched variant only: its per-chunk
+path runs inline in the parent and would just re-measure serial.
+
+Two service cells ride along: ``pfpl serve``'s concurrent-streams
+throughput (8 simultaneous compress / decompress requests against an
+in-process service on the procpool backend) with the request-latency
+p50/p99 the Prometheus scrape would report.
 
 Usage::
 
@@ -24,6 +31,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
@@ -38,8 +46,13 @@ from repro.datasets.synthesis import (
     gaussian_mixture_series,
     spectral_field,
 )
-from repro.device.backend import SerialBackend, ThreadedBackend
+from repro.device.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadedBackend,
+)
 from repro.log import enable_logging, get_logger
+from repro.service import PFPLService, ServiceConfig
 from repro.telemetry import Telemetry
 
 log = get_logger("bench")
@@ -114,10 +127,84 @@ def bench_one(
     return cell, tel
 
 
+async def _drive_service(service: PFPLService, bodies: list[bytes], op: str,
+                         params: str) -> float:
+    """Fire all ``bodies`` at the service concurrently; returns seconds."""
+    host, port = await service.start()
+
+    async def one(body: bytes, tenant: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        head = (
+            f"POST /v1/{op}?{params}&tenant=bench{tenant} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\nContent-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        status = await reader.readline()
+        if b"200" not in status:
+            raise AssertionError(f"service {op} failed: {status!r}")
+        await reader.read()  # drain headers + body (Connection: close)
+        writer.close()
+        await writer.wait_closed()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[one(b, i) for i, b in enumerate(bodies)])
+    elapsed = time.perf_counter() - t0
+    await service.shutdown()
+    return elapsed
+
+
+def bench_service(quick: bool, n_streams: int = 8) -> list[dict]:
+    """Concurrent-streams service cells: 8x compress, then 8x decompress.
+
+    Measures aggregate wall-clock throughput of ``n_streams``
+    simultaneous requests against an in-process ``PFPLService`` on the
+    procpool backend -- the "many small streams" serving shape, not the
+    single-array kernel shape the other cells measure.
+    """
+    side = 128 if quick else 512
+    rng_fields = [
+        spectral_field((side, side), beta=3.0, seed=100 + i).reshape(-1)
+        for i in range(n_streams)
+    ]
+    raw = [f.tobytes() for f in rng_fields]
+    compressed = [
+        PFPLCompressor(mode="abs", error_bound=1e-3, dtype=np.float32)
+        .compress(f).data
+        for f in rng_fields
+    ]
+    cells = []
+    for op, bodies, params in (
+        ("compress", raw, "mode=abs&bound=1e-3&dtype=f4"),
+        ("decompress", compressed, ""),
+    ):
+        service = PFPLService(ServiceConfig(port=0, backend="procpool"))
+        elapsed = asyncio.run(_drive_service(service, bodies, op, params))
+        total = sum(len(b) for b in bodies)
+        tel = service.telemetry
+        cells.append({
+            "field": "service_streams",
+            "backend": "procpool",
+            "variant": f"serve-{op}-{n_streams}x",
+            "mode": "abs",
+            "bound": 1e-3,
+            "streams": n_streams,
+            "bytes": total,
+            "encode_seconds": elapsed,
+            "encode_gbps": total / elapsed / 1e9,
+            "latency_p50_s": tel.span_quantile(0.5, "service", op),
+            "latency_p99_s": tel.span_quantile(0.99, "service", op),
+        })
+        log.info("service/%s: %d streams, %.3f GB/s aggregate, p99 %.3fs",
+                 op, n_streams, cells[-1]["encode_gbps"],
+                 cells[-1]["latency_p99_s"])
+    return cells
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
-    ap.add_argument("--out", default="BENCH_PR6.json", help="snapshot JSON path")
+    ap.add_argument("--out", default="BENCH_PR7.json", help="snapshot JSON path")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="write a Chrome trace of the first threaded run")
     ap.add_argument("--mode", default="abs", choices=("abs", "rel", "noa"))
@@ -132,12 +219,17 @@ def main(argv: list[str] | None = None) -> int:
     backends = [
         ("serial", SerialBackend()),
         ("threaded", ThreadedBackend()),
+        ("procpool", ProcessPoolBackend()),
     ]
     cells = []
     trace_written = False
     for name, data in corpus(args.quick):
         for backend_name, backend in backends:
-            for use_batch in (True, False):
+            # The procpool's per-chunk path runs inline in the parent
+            # (it would just re-measure serial), so only its batched
+            # variant is a real cell.
+            variants = (True,) if backend_name == "procpool" else (True, False)
+            for use_batch in variants:
                 cell, tel = bench_one(
                     name, data, backend, backend_name, args.mode, args.bound,
                     repeats, use_batch=use_batch,
@@ -148,9 +240,12 @@ def main(argv: list[str] | None = None) -> int:
                     tel.write_chrome_trace(args.trace)
                     trace_written = True
                     log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
+    for _, backend in backends:
+        backend.close()
+    cells.extend(bench_service(args.quick))
 
     snapshot = {
-        "bench": "PR6 chunk-major batch snapshot",
+        "bench": "PR7 procpool + service snapshot",
         "quick": bool(args.quick),
         "mode": args.mode,
         "bound": args.bound,

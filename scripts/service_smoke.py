@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI smoke test for ``pfpl serve``: boot, concurrent load, scrape, drain.
+
+Starts the real CLI entry point as a subprocess, drives ``--streams``
+simultaneous compress and decompress requests against it (asserting
+every compressed body is byte-identical to the in-process serial
+reference), scrapes ``/metrics`` for the per-tenant counters and the
+``span_duration_seconds`` latency histogram, then sends ``SIGTERM`` and
+asserts the graceful-drain lines and a zero exit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py --backend serial --streams 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.compressor import compress, decompress
+from repro.telemetry import parse_prometheus
+
+BOOT_TIMEOUT_S = 60
+REQUEST_TIMEOUT_S = 120
+
+
+def start_server(backend: str, workers: int) -> tuple[subprocess.Popen, int]:
+    """Launch ``pfpl serve`` on an ephemeral port; returns (proc, port)."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--backend", backend, "--workers", str(workers),
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONUNBUFFERED": "1"},
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError(f"server died on boot (rc={proc.returncode})")
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[-1])
+            return proc, port
+    proc.kill()
+    raise AssertionError(f"server produced no readiness line in {BOOT_TIMEOUT_S}s")
+
+
+def request(port: int, method: str, target: str, body: bytes = b""):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=REQUEST_TIMEOUT_S)
+    try:
+        conn.request(method, target, body=body)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def drive_streams(port: int, n_streams: int) -> None:
+    """N concurrent compress + decompress streams, byte-checked."""
+    arrays = [
+        np.cumsum(np.random.default_rng(s).normal(0, 0.05, 20_000))
+        .astype(np.float32)
+        for s in range(n_streams)
+    ]
+    references = [compress(a, "abs", 1e-3) for a in arrays]
+
+    def one_compress(i: int):
+        return request(
+            port, "POST",
+            f"/v1/compress?mode=abs&bound=1e-3&dtype=f4&tenant=smoke{i}",
+            arrays[i].tobytes(),
+        )
+
+    def one_decompress(i: int):
+        return request(port, "POST", "/v1/decompress", references[i])
+
+    with ThreadPoolExecutor(max_workers=n_streams) as pool:
+        compressed = list(pool.map(one_compress, range(n_streams)))
+        decompressed = list(pool.map(one_decompress, range(n_streams)))
+
+    for i, (status, body) in enumerate(compressed):
+        assert status == 200, f"compress stream {i}: HTTP {status}"
+        assert body == references[i], f"compress stream {i} diverged from serial"
+    for i, (status, body) in enumerate(decompressed):
+        assert status == 200, f"decompress stream {i}: HTTP {status}"
+        expect = decompress(references[i])
+        got = np.frombuffer(body, dtype=np.float32)
+        assert np.array_equal(got, expect), f"decompress stream {i} diverged"
+    print(f"smoke: {n_streams} concurrent streams byte-identical to serial")
+
+
+def check_metrics(port: int, n_streams: int) -> None:
+    status, scrape = request(port, "GET", "/metrics")
+    assert status == 200, f"/metrics: HTTP {status}"
+    parsed = parse_prometheus(scrape.decode())
+    for i in range(n_streams):
+        key = (f'pfpl_service_requests_total'
+               f'{{op="compress",status="200",tenant="smoke{i}"}}')
+        assert parsed.get(key) == 1, f"missing per-tenant counter: {key}"
+    latency = [k for k in parsed
+               if k.startswith("pfpl_span_duration_seconds_bucket")
+               and 'cat="service"' in k]
+    assert latency, "service latency histogram missing from /metrics"
+    print(f"smoke: /metrics exposes {n_streams} tenant counters "
+          f"+ {len(latency)} latency buckets")
+
+
+def shutdown(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError("server did not exit within 60s of SIGTERM")
+    assert proc.returncode == 0, f"server exited rc={proc.returncode}:\n{out}"
+    assert "draining" in out, f"no drain line in shutdown output:\n{out}"
+    assert "stopped" in out, f"no stopped line in shutdown output:\n{out}"
+    print("smoke: SIGTERM drained and exited cleanly")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--backend", default="procpool",
+                    choices=("serial", "omp", "cuda", "procpool"))
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--streams", type=int, default=8)
+    args = ap.parse_args(argv)
+
+    proc, port = start_server(args.backend, args.workers)
+    try:
+        drive_streams(port, args.streams)
+        check_metrics(port, args.streams)
+    except BaseException:
+        proc.kill()
+        raise
+    shutdown(proc)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

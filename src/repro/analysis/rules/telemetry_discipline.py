@@ -122,6 +122,8 @@ class TelemetryDisciplineRule(Rule):
         "core/lossless/pipeline.py",
         "device/gpu_sim.py",
         "device/backend.py",
+        "device/procpool.py",
+        "service/**",
         "io.py",
     )
 

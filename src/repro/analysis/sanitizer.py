@@ -120,11 +120,17 @@ class _SharedState:
         self._sanitizer = sanitizer
         self._name = name
         self._guards = guards
-        self._touched_by: set[int] = set()
+        self._touched_by: set[str] = set()
         self._meta = threading.Lock()
 
     def _on_mutate(self) -> None:
-        ident = threading.get_ident()
+        # Key by thread *name*, not get_ident(): the OS reuses idents
+        # once a thread exits, so a short-lived writer followed by a
+        # second writer on the recycled ident would look single-threaded
+        # and the unguarded mutation would go undetected.  Auto-assigned
+        # thread names come from a monotonic counter and are never
+        # recycled within a process.
+        ident = threading.current_thread().name
         with self._meta:
             self._touched_by.add(ident)
             contended = len(self._touched_by) > 1

@@ -10,6 +10,7 @@ Subcommands::
     pfpl table      {1,2,3}
     pfpl figure     FIGURE_ID [--files N]
     pfpl analyze    [PATHS...] [--format table|json] [--rules a,b] [--list-rules]
+    pfpl serve      [--host H] [--port P] [--backend procpool] [--workers N]
 
 ``compress`` reads a raw binary array (like the SDRBench ``.f32``/
 ``.d64`` files), ``decompress`` writes one back.  ``stats`` round-trips
@@ -271,6 +272,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived compression service until SIGINT/SIGTERM.
+
+    Prints one readiness line (``pfpl serve listening on HOST:PORT``)
+    once the socket is bound, then serves until a signal arrives;
+    shutdown drains in-flight requests before the backend pool closes.
+    """
+    import asyncio
+    import signal
+
+    from .service import PFPLService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, backend=args.backend,
+        n_workers=args.workers, queue_depth=args.queue_depth,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _run() -> int:
+        service = PFPLService(config)
+        host, port = await service.start()
+        print(f"pfpl serve listening on {host}:{port}", flush=True)
+        log.info("serving backend=%s queue_depth=%d", config.backend,
+                 config.queue_depth)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("pfpl serve draining", flush=True)
+        await service.shutdown()
+        print("pfpl serve stopped", flush=True)
+        return 0
+
+    return asyncio.run(_run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``pfpl`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(prog="pfpl", description=__doc__)
@@ -286,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("abs", "rel", "noa"), default="abs")
     p.add_argument("--bound", type=float, default=1e-3)
     p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
-    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda", "procpool"), default="omp")
     p.add_argument(
         "--checksum", action="store_true",
         help="emit a version-2 stream with a per-chunk CRC-32 footer",
@@ -300,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decompress", help="decompress a PFPL stream")
     p.add_argument("input")
     p.add_argument("output")
-    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda", "procpool"), default="omp")
     p.add_argument(
         "--trace", metavar="FILE", default=None,
         help="write a Chrome trace_event JSON timeline of the run",
@@ -319,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("abs", "rel", "noa"), default="abs")
     p.add_argument("--bound", type=float, default=1e-3)
     p.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
-    p.add_argument("--backend", choices=("serial", "omp", "cuda"), default="omp")
+    p.add_argument("--backend", choices=("serial", "omp", "cuda", "procpool"), default="omp")
     p.add_argument(
         "--format", choices=("table", "json", "prom"), default="table",
         help="report format: human table, JSON summary, or Prometheus text",
@@ -378,6 +416,31 @@ def build_parser() -> argparse.ArgumentParser:
              "errors always gate",
     )
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived compress/decompress HTTP service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument(
+        "--backend", choices=("serial", "omp", "cuda", "procpool"),
+        default="procpool",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="backend pool size (processes for procpool, threads for omp)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="max admitted-but-unfinished requests before 503",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

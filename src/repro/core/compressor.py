@@ -303,7 +303,38 @@ class PFPLCompressor:
                 sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
             return blob, raw, st
 
-        if self._batch_enabled() and n_full:
+        if self._batch_enabled() and n_full and getattr(
+            self.backend, "offload_capable", False
+        ):
+            # Whole-array offload (process pools): closures cannot cross a
+            # process boundary, so the backend takes the block plus the
+            # picklable kernel spec and returns shard results merged.
+            block = flat[: n_full * plan.words_per_chunk].reshape(
+                n_full, plan.words_per_chunk
+            )
+            if tel.enabled:
+                with tel.span(
+                    "offload_encode", cat="scheduler", chunks=n_full,
+                    values=n_full * plan.words_per_chunk,
+                ) as sp:
+                    blobs, raw_flags, stats = self.backend.encode_array(
+                        quantizer, self.config, self.chunk_bytes, block
+                    )
+                    sp.set(bytes_out=sum(len(b) for b in blobs))
+            else:
+                blobs, raw_flags, stats = self.backend.encode_array(
+                    quantizer, self.config, self.chunk_bytes, block
+                )
+            blobs = list(blobs)
+            raw_flags = [bool(r) for r in raw_flags]
+            for index in range(n_full, plan.n_chunks):
+                blob, raw, st = encode_one(
+                    (index, flat[slice(*plan.chunk_value_bounds(index))])
+                )
+                blobs.append(blob)
+                raw_flags.append(bool(raw))
+                stats = stats + st
+        elif self._batch_enabled() and n_full:
             block = flat[: n_full * plan.words_per_chunk].reshape(
                 n_full, plan.words_per_chunk
             )
@@ -546,7 +577,32 @@ def decompress(
         # Batched rows: non-raw full-size chunks.  Raw chunks and the
         # ragged tail keep the per-chunk kernel below.
         rows = np.flatnonzero(~raw_flags[:n_full])
-        if rows.size:
+        if rows.size and getattr(backend, "offload_capable", False):
+            # Whole-array offload: the backend ships row shards to worker
+            # processes and scatters decoded rows into the output matrix.
+            wpc = plan.words_per_chunk
+            out_block = out[: n_full * wpc].reshape(n_full, wpc)
+            config = PipelineConfig(
+                use_delta=header.use_delta,
+                use_bitshuffle=header.use_bitshuffle,
+                use_zero_elim=header.use_zero_elim,
+                bitmap_levels=header.bitmap_levels,
+            )
+            if tel.enabled:
+                with tel.span(
+                    "offload_decode", cat="scheduler", chunks=int(rows.size),
+                    bytes_in=int(sizes[rows].sum(dtype=np.int64)),
+                ):
+                    backend.decode_array(
+                        kernel.quantizer, config, kernel.chunk_bytes, stream,
+                        starts, sizes, rows, wpc, chunk_crcs, out_block,
+                    )
+            else:
+                backend.decode_array(
+                    kernel.quantizer, config, kernel.chunk_bytes, stream,
+                    starts, sizes, rows, wpc, chunk_crcs, out_block,
+                )
+        elif rows.size:
             payload = np.frombuffer(stream, dtype=np.uint8)
             wpc = plan.words_per_chunk
             out_block = out[: n_full * wpc].reshape(n_full, wpc)

@@ -14,6 +14,17 @@ Thread-locality makes the cache safe under :class:`ThreadedBackend`
 without locks -- pool threads are long-lived, so their arenas amortize
 across every shard they process.
 
+Long-lived *services* change the retention math: a worker thread that
+compressed one large request once would otherwise pin multi-MB arenas
+forever.  Two pressure valves exist for that:
+
+- :func:`scratch_release` drops every arena of the calling thread
+  (backends call it from their ``close()`` teardown, services between
+  requests);
+- :func:`set_scratch_cap` bounds the bytes a thread retains: when the
+  per-thread total exceeds the cap, least-recently-used arenas are
+  evicted (the arena just handed out is never evicted -- it is in use).
+
 Rules for callers:
 
 - A ``key`` names one *slot*.  Two buffers that are alive at the same
@@ -31,9 +42,56 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["scratch"]
+from ..errors import PFPLUsageError
+
+__all__ = ["scratch", "scratch_release", "scratch_bytes", "set_scratch_cap"]
 
 _local = threading.local()
+
+#: Optional process-wide cap on bytes each thread retains (None = unbounded).
+_cap: int | None = None
+_cap_lock = threading.Lock()
+
+
+def set_scratch_cap(max_bytes: int | None) -> None:
+    """Bound per-thread arena retention to ``max_bytes`` (None removes it).
+
+    The cap is enforced at the next :func:`scratch` call on each thread:
+    least-recently-used arenas are dropped until the retained total fits.
+    The arena being handed out is exempt (it is live), so a single
+    request larger than the cap still works -- everything else is
+    evicted around it.
+    """
+    global _cap
+    if max_bytes is not None and max_bytes < 0:
+        raise PFPLUsageError(
+            f"scratch cap must be non-negative or None, got {max_bytes}"
+        )
+    with _cap_lock:
+        _cap = None if max_bytes is None else int(max_bytes)
+
+
+def scratch_bytes() -> int:
+    """Bytes currently retained by the calling thread's arenas."""
+    cache: dict[str, np.ndarray] | None = getattr(_local, "cache", None)
+    if not cache:
+        return 0
+    return sum(a.nbytes for a in cache.values())
+
+
+def scratch_release() -> int:
+    """Drop every arena of the calling thread; returns the bytes freed.
+
+    Backends call this from ``close()`` (on each pool worker) and
+    long-running services call it between requests so multi-MB buffers
+    from one large request do not stay resident forever.
+    """
+    cache: dict[str, np.ndarray] | None = getattr(_local, "cache", None)
+    if not cache:
+        return 0
+    freed = sum(a.nbytes for a in cache.values())
+    cache.clear()
+    return freed
 
 
 def scratch(key: str, shape: int | tuple[int, ...], dtype: Any) -> np.ndarray:
@@ -41,6 +99,8 @@ def scratch(key: str, shape: int | tuple[int, ...], dtype: Any) -> np.ndarray:
 
     The backing arena is per-thread and per-key and only ever grows, so
     repeated calls with the same key are allocation-free once warm.
+    When a retention cap is set (:func:`set_scratch_cap`), serving a
+    request may evict other, least-recently-used arenas of this thread.
     """
     cache: dict[str, np.ndarray] | None = getattr(_local, "cache", None)
     if cache is None:
@@ -52,8 +112,18 @@ def scratch(key: str, shape: int | tuple[int, ...], dtype: Any) -> np.ndarray:
     nbytes = dt.itemsize
     for dim in shape:
         nbytes *= int(dim)
-    arena = cache.get(key)
+    arena = cache.pop(key, None)
     if arena is None or arena.nbytes < nbytes:
         arena = np.empty(max(nbytes, 1), dtype=np.uint8)
-        cache[key] = arena
+    # Re-insert so dict order is LRU (oldest first) for cap eviction.
+    cache[key] = arena
+    cap = _cap
+    if cap is not None:
+        total = sum(a.nbytes for a in cache.values())
+        for victim in list(cache):
+            if total <= cap:
+                break
+            if victim == key:
+                continue  # the arena being handed out is in use
+            total -= cache.pop(victim).nbytes
     return arena[:nbytes].view(dt).reshape(shape)

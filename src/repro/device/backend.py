@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from ..core.chunking import plan_shards
 from ..core.kernel import ChunkKernel
+from ..core.scratch import scratch_release
 from ..errors import PFPLUsageError
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
 from ..core.quantizers import Quantizer
@@ -43,6 +45,7 @@ __all__ = [
     "SerialBackend",
     "ThreadedBackend",
     "GpuSimBackend",
+    "ProcessPoolBackend",
     "get_backend",
     "BACKENDS",
 ]
@@ -64,6 +67,12 @@ class Backend:
     #: chunk-major batch kernels on this backend.  The GPU simulation
     #: opts out to keep its block-granular wave model faithful.
     batch_capable = True
+    #: Whether the backend can take *whole-array* offload: the compressor
+    #: hands over the full chunk-major block (plus a picklable kernel
+    #: spec) via :meth:`encode_array`/:meth:`decode_array` instead of
+    #: closure-based ``map_batch`` shards.  Only process-based backends
+    #: set this -- closures cannot cross a process boundary.
+    offload_capable = False
     #: Row cap per batched kernel call: bounds the working set (each row
     #: is one chunk, and the stages hold a few matrix temporaries).
     batch_rows = 64
@@ -148,6 +157,35 @@ class Backend:
         self.map_chunks(scatter, list(range(len(blobs))), costs=sizes)
         return bytes(buf)
 
+    def warm(self) -> None:
+        """Pre-create pooled resources (no-op for pool-less backends).
+
+        Long-running services call this *before* accepting connections:
+        a process pool forked lazily mid-request would inherit every
+        file descriptor open at that moment -- including accepted
+        sockets, which then never deliver EOF to clients while a worker
+        process holds the duplicate.  Warming at startup pins the fork
+        point to a moment when no connection fds exist.
+        """
+        return None
+
+    def close(self) -> None:
+        """Release pooled resources (worker pools, shared arenas).
+
+        The base implementation drops the calling thread's scratch
+        arenas; pooled backends additionally tear down their workers
+        (releasing each worker's arenas first) and may be closed from
+        ``atexit``.  A closed backend rebuilds its pool lazily on next
+        use, so ``close()`` is always safe to call.
+        """
+        scratch_release()
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class SerialBackend(Backend):
     """One thread, chunks in order -- PFPL_Serial."""
@@ -166,6 +204,36 @@ class SerialBackend(Backend):
         return exclusive_scan_reference(np.asarray(sizes, dtype=np.int64))
 
 
+def _shutdown_pool(pool: ThreadPoolExecutor) -> None:
+    """Finalizer target: stop a backend's pool when the backend is GC'd."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _release_worker_scratch(pool: ThreadPoolExecutor, n_threads: int) -> None:
+    """Run :func:`scratch_release` once on every pool worker thread.
+
+    A barrier pins each released-task to a distinct thread (otherwise a
+    fast worker could take several tasks and some arenas would survive).
+    Timeouts degrade to best-effort: the pool is being torn down anyway,
+    and dead threads free their thread-locals with the thread.
+    """
+    barrier = threading.Barrier(n_threads)
+
+    def release() -> int:
+        try:
+            barrier.wait(timeout=5.0)
+        except threading.BrokenBarrierError:
+            pass
+        return scratch_release()
+
+    futures = [pool.submit(release) for _ in range(n_threads)]
+    for fut in futures:
+        try:
+            fut.result(timeout=10.0)
+        except Exception:  # pragma: no cover - teardown is best-effort
+            barrier.abort()
+
+
 class ThreadedBackend(Backend):
     """Thread-pool chunk parallelism -- PFPL_OMP.
 
@@ -173,6 +241,13 @@ class ThreadedBackend(Backend):
     Section III-E; chunk offsets use the shared-carry-array scan.  NumPy
     kernels release the GIL for large array ops, so chunks genuinely
     overlap.
+
+    The pool is *persistent*: built lazily on first use and reused by
+    every subsequent ``map_chunks``/``map_batch`` call (a fresh pool per
+    call paid thread startup on the hot path and made worker identities
+    meaningless across calls).  ``close()`` tears it down -- releasing
+    each worker's scratch arenas first -- and the next call transparently
+    rebuilds it.
     """
 
     name = "cpu-omp"
@@ -191,6 +266,54 @@ class ThreadedBackend(Backend):
         #: pool's shared order record runs on instrumented primitives so
         #: tests can assert the lock discipline held.
         self.sanitizer = sanitizer
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        #: Pool-owned worker registry: OS thread ident -> dense worker id
+        #: (0..k-1 in first-execution order).  Telemetry labels read this
+        #: instead of parsing thread names, so ids stay dense and stable
+        #: for the pool's whole lifetime regardless of thread naming.
+        self._worker_ids: dict[int, int] = {}
+        self._finalizer: weakref.finalize | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.n_threads,
+                        thread_name_prefix=f"pfpl-omp-{id(self):x}",
+                    )
+                    self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+                    self._pool = pool
+        return pool
+
+    def warm(self) -> None:
+        """Start the thread pool now instead of on first ``map_chunks``."""
+        self._ensure_pool()
+
+    def worker_id(self) -> int:
+        """Dense id of the calling pool thread (assigned on first sight)."""
+        ident = threading.get_ident()
+        with self._pool_lock:
+            wid = self._worker_ids.get(ident)
+            if wid is None:
+                wid = self._worker_ids[ident] = len(self._worker_ids)
+            return wid
+
+    def close(self) -> None:
+        """Tear down the persistent pool (workers release their arenas)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._worker_ids = {}
+            finalizer, self._finalizer = self._finalizer, None
+        if pool is not None:
+            _release_worker_scratch(pool, self.n_threads)
+            pool.shutdown(wait=True)
+            if finalizer is not None:
+                finalizer.detach()
+        scratch_release()
 
     def map_chunks(self, fn: Callable, items: Sequence, costs=None) -> list:
         n = len(items)
@@ -215,8 +338,7 @@ class ThreadedBackend(Backend):
                 order_record.append(index)
             if not tel.enabled:
                 return fn(item)
-            # Pool worker names end in "_<i>": a stable dense worker id.
-            worker = threading.current_thread().name.rsplit("_", 1)[-1]
+            worker = str(self.worker_id())
             wait = t0 - t_submit
             with tel.span("chunk_exec", cat="scheduler", item=index,
                           queue_wait=wait, worker=worker):
@@ -227,15 +349,15 @@ class ThreadedBackend(Backend):
             tel.add("worker_items_total", 1, worker=worker)
             return result
 
-        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            if costs is None:
-                results = list(pool.map(run, range(n), items))
-            else:
-                # Known costs (e.g. the decode size table): feed the shared
-                # queue longest-first; results still land by original index.
-                order = submission_order(costs)
-                futures = {int(i): pool.submit(run, int(i), items[int(i)]) for i in order}
-                results = [futures[i].result() for i in range(n)]
+        pool = self._ensure_pool()
+        if costs is None:
+            results = list(pool.map(run, range(n), items))
+        else:
+            # Known costs (e.g. the decode size table): feed the shared
+            # queue longest-first; results still land by original index.
+            order = submission_order(costs)
+            futures = {int(i): pool.submit(run, int(i), items[int(i)]) for i in order}
+            results = [futures[i].result() for i in range(n)]
         self.last_order = list(order_record)
         return results
 
@@ -334,15 +456,20 @@ class GpuSimBackend(Backend):
         )
 
 
+# Imported late: procpool subclasses Backend from this module.
+from .procpool import ProcessPoolBackend  # noqa: E402
+
 BACKENDS = {
     "serial": SerialBackend,
     "omp": ThreadedBackend,
     "cuda": GpuSimBackend,
+    "procpool": ProcessPoolBackend,
 }
 
 
 def get_backend(name: str, **kwargs) -> Backend:
-    """Build a backend by short name: ``serial``, ``omp`` or ``cuda``."""
+    """Build a backend by short name: ``serial``, ``omp``, ``cuda`` or
+    ``procpool``."""
     try:
         cls = BACKENDS[name]
     except KeyError:

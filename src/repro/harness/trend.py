@@ -160,6 +160,16 @@ def compare_snapshots(
             ))
             continue
         for metric in _METRICS:
+            in_base, in_cur = metric in base, metric in cell
+            if not (in_base and in_cur):
+                # One-way cells (the service-streams rows measure a
+                # single direction) simply lack the other metric; a
+                # metric present on only one side is still reported.
+                if in_base or in_cur:
+                    report.skipped.append(
+                        (fld, label_backend, f"{metric} missing from one snapshot")
+                    )
+                continue
             report.cells.append(TrendCell(
                 field=fld, backend=backend, metric=metric,
                 baseline=float(base[metric]), current=float(cell[metric]),

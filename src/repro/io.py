@@ -116,6 +116,13 @@ class PFPLWriter:
         self._count = 0
         self._payload_bytes = 0
         self._closed = False
+        self._aborted = False
+        # NOA's error bound is eps * declared value_range: appends whose
+        # running span exceeds the declaration would silently break the
+        # guarantee, so the writer tracks min/max and rejects them.
+        self._noa_range = float(value_range) if mode == "noa" else None
+        self._noa_min = np.inf
+        self._noa_max = -np.inf
 
     # -- introspection -------------------------------------------------------
 
@@ -163,6 +170,28 @@ class PFPLWriter:
         tel = self.telemetry
         first = len(self._table_entries)
 
+        if getattr(self._backend, "offload_capable", False):
+            # Whole-array offload (process pools): the backend takes the
+            # block plus the picklable kernel spec; closures cannot cross
+            # a process boundary.
+            quantizer = self._kernel.quantizer
+            chunk_bytes = self._kernel.chunk_bytes
+            if tel.enabled:
+                with tel.span(
+                    "offload_encode", cat="scheduler", chunks=block.shape[0],
+                    first_chunk=first, values=int(block.size),
+                ) as sp:
+                    blobs, raws, st = self._backend.encode_array(
+                        quantizer, self.config, chunk_bytes, block
+                    )
+                    sp.set(bytes_out=sum(len(b) for b in blobs))
+            else:
+                blobs, raws, st = self._backend.encode_array(
+                    quantizer, self.config, chunk_bytes, block
+                )
+            self._write_blobs(blobs, raws, st)
+            return
+
         def encode_rows(lo: int, hi: int):
             if not tel.enabled:
                 return self._kernel.encode_batch(block[lo:hi])
@@ -179,14 +208,18 @@ class PFPLWriter:
             return blobs, raws, st
 
         for blobs, raws, st in self._backend.map_batch(encode_rows, block.shape[0]):
-            for blob, raw in zip(blobs, raws):
-                self._spool.write(blob)
-                self._table_entries.append(len(blob))
-                self._raw_flags.append(bool(raw))
-                if self.checksum:
-                    self._chunk_crcs.append(zlib.crc32(blob))
-                self._payload_bytes += len(blob)
-            self._stats += st
+            self._write_blobs(blobs, raws, st)
+
+    def _write_blobs(self, blobs, raws, st: ChunkStats) -> None:
+        """Spool encoded blobs and record their table entries."""
+        for blob, raw in zip(blobs, raws):
+            self._spool.write(blob)
+            self._table_entries.append(len(blob))
+            self._raw_flags.append(bool(raw))
+            if self.checksum:
+                self._chunk_crcs.append(zlib.crc32(blob))
+            self._payload_bytes += len(blob)
+        self._stats += st
 
     def append(self, values: np.ndarray) -> None:
         """Quantize and compress more values (any shape, any amount).
@@ -196,11 +229,18 @@ class PFPLWriter:
         preallocated chunk-sized buffer (appends are O(values appended),
         independent of how finely they are split).
         """
+        if self._aborted:
+            raise PFPLUsageError(
+                "writer was aborted; staged data is discarded and no "
+                "further appends are accepted"
+            )
         if self._closed:
             raise PFPLUsageError("writer already closed")
         flat = np.ascontiguousarray(values, dtype=self.layout.float_dtype).reshape(-1)
         if not flat.size:
             return
+        if self._noa_range is not None:
+            self._validate_noa_range(flat)
         self._count += flat.size
         pos = 0
         if self._pending_len:
@@ -224,6 +264,29 @@ class PFPLWriter:
         if tail:
             self._pending[:tail] = flat[pos:]
             self._pending_len = tail
+
+    def _validate_noa_range(self, flat: np.ndarray) -> None:
+        """Reject appends whose running span exceeds the declared range.
+
+        NOA's guarantee is ``eps * value_range``: values outside the
+        declared span would make the written header *misrepresent* the
+        actual error of already-quantized chunks.  Non-finite values are
+        exempt -- the quantizer stores them losslessly.
+        """
+        finite = flat[np.isfinite(flat)] if not np.all(np.isfinite(flat)) else flat
+        if not finite.size:
+            return
+        lo = min(self._noa_min, float(finite.min()))
+        hi = max(self._noa_max, float(finite.max()))
+        span = hi - lo
+        if span > self._noa_range:
+            raise PFPLUsageError(
+                f"NOA append widens the value span to {span:g}, beyond the "
+                f"declared value_range={self._noa_range:g}; the already-"
+                "written chunks' error bound would no longer hold. Declare "
+                "the full range up front (or compress in one shot)."
+            )
+        self._noa_min, self._noa_max = lo, hi
 
     def close(self) -> None:
         """Flush the tail chunk and write the container."""
@@ -285,6 +348,7 @@ class PFPLWriter:
     def abort(self) -> None:
         """Discard staged data without writing anything to the sink."""
         self._closed = True
+        self._aborted = True
         self._spool.close()
 
     def __enter__(self) -> "PFPLWriter":
@@ -338,6 +402,10 @@ class PFPLReader:
                 raise PFPLUsageError("PFPLReader slicing supports step 1 only")
             return self.read(start, stop - start)
         if isinstance(key, int):
-            idx = key if key >= 0 else self.header.count + key
+            idx = key + self.header.count if key < 0 else key
+            if not 0 <= idx < self.header.count:
+                raise IndexError(
+                    f"index {key} out of range for {self.header.count} values"
+                )
             return self.read(idx, 1)[0]
         raise TypeError(f"invalid index {key!r}")

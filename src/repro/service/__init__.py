@@ -1,0 +1,26 @@
+"""Long-running compression service: the ``pfpl serve`` surface.
+
+The paper's throughput story is many independent chunks saturating all
+parallel units; the ROADMAP's production framing is *many small streams
+from many users*.  This package provides that front end:
+
+- :mod:`repro.service.http` -- a minimal, dependency-free HTTP/1.1
+  request parser / response formatter (asyncio-friendly, one request
+  per connection);
+- :mod:`repro.service.server` -- :class:`PFPLService`: an asyncio
+  server exposing ``POST /v1/compress`` / ``POST /v1/decompress`` over
+  a shared persistent backend (process pool by default), with bounded
+  admission (queue-full requests get ``503`` instead of unbounded
+  latency), per-tenant byte/request counters, ``GET /metrics``
+  Prometheus exposition (request latency p50/p99 via the
+  ``span_duration_seconds`` histogram), and graceful shutdown that
+  drains in-flight work before the pool is torn down.
+
+Start it from the CLI::
+
+    pfpl serve --backend procpool --workers 8 --port 8787
+"""
+
+from .server import PFPLService, ServiceConfig
+
+__all__ = ["PFPLService", "ServiceConfig"]

@@ -1,0 +1,148 @@
+"""Minimal HTTP/1.1 wire handling for :mod:`repro.service.server`.
+
+The container ships no HTTP framework, and the service needs only a
+narrow slice of the protocol: one request per connection, explicit
+``Content-Length`` bodies, and binary responses.  This module keeps that
+slice small and testable -- parsing and formatting are plain functions
+over asyncio streams / bytes, with no service logic mixed in.
+
+Unsupported protocol features fail *closed*: chunked transfer encoding,
+oversized bodies and malformed framing raise :class:`HttpProtocolError`,
+which the server maps to a ``4xx`` response rather than guessing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import PFPLUsageError
+
+__all__ = [
+    "HttpProtocolError",
+    "Request",
+    "read_request",
+    "format_response",
+    "STATUS_REASONS",
+]
+
+#: Upper bound on a request body (raw float payloads are large, but a
+#: service must bound admission; 256 MiB is ~64M float32 values).
+MAX_BODY_BYTES = 256 << 20
+#: Upper bound on one header line / the request line.
+_MAX_LINE_BYTES = 16 << 10
+#: Upper bound on the number of header lines.
+_MAX_HEADERS = 64
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(PFPLUsageError):
+    """Malformed or unsupported HTTP framing; carries the status to send."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF-terminated line, bounded to :data:`_MAX_LINE_BYTES`."""
+    line = await reader.readline()
+    if len(line) > _MAX_LINE_BYTES:
+        raise HttpProtocolError(400, "header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Request:
+    """Parse one request from ``reader`` (request line, headers, body).
+
+    Only ``Content-Length`` bodies are supported; ``Transfer-Encoding``
+    is rejected with 501.  An empty stream (client connected and went
+    away) raises :class:`HttpProtocolError` with status 400.
+    """
+    line = await _read_line(reader)
+    if not line:
+        raise HttpProtocolError(400, "empty request")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        raw = await _read_line(reader)
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpProtocolError(400, "too many headers")
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(501, "chunked transfer encoding not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpProtocolError(400, "invalid Content-Length") from exc
+        if length < 0:
+            raise HttpProtocolError(400, "invalid Content-Length")
+        if length > max_body:
+            raise HttpProtocolError(
+                413, f"body of {length} bytes exceeds the {max_body}-byte limit"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError(400, "body shorter than Content-Length") from exc
+    return Request(method=method, path=split.path, query=query,
+                   headers=headers, body=body)
+
+
+def format_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/octet-stream",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one ``Connection: close`` HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

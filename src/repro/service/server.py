@@ -1,0 +1,312 @@
+"""`pfpl serve` core: asyncio front end over a shared persistent backend.
+
+Concurrency model
+-----------------
+The event loop owns connection handling and admission; codec work runs
+on a small thread pool (``job_threads``) sharing one persistent backend.
+With the default :class:`~repro.device.procpool.ProcessPoolBackend`,
+each job's bulk work fans out across worker *processes* -- the job
+threads only stage bytes and frame results, so the GIL never serializes
+the heavy stages.  Offload calls serialize on the backend's arena lock:
+the worker processes are the parallel resource, and interleaving two
+whole-array offloads would oversubscribe them.
+
+Admission is *bounded*: at most ``queue_depth`` requests may be admitted
+(queued or executing) at once; beyond that the service answers ``503``
+with ``Retry-After`` instead of building unbounded latency.  Graceful
+shutdown stops accepting, drains admitted work (up to
+``drain_timeout``), then tears the backend down.
+
+Ops surface
+-----------
+``GET /metrics`` exposes the shared :class:`~repro.telemetry.Telemetry`
+recorder in Prometheus text format: per-tenant request/byte counters
+(``service_requests_total{tenant,op,status}``,
+``service_bytes_{in,out}_total{tenant,op}``), rejection counters, and
+request latency distributions via the ``span_duration_seconds``
+histogram (``cat="service"``), from which p50/p99 are derived.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compressor import PFPLCompressor, decompress
+from ..device.backend import get_backend
+from ..errors import PFPLError, PFPLUsageError
+from ..telemetry import Telemetry
+from .http import (
+    HttpProtocolError,
+    Request,
+    format_response,
+    read_request,
+)
+
+__all__ = ["ServiceConfig", "PFPLService"]
+
+_DTYPES = {
+    "f4": np.float32, "float32": np.float32,
+    "f8": np.float64, "float64": np.float64,
+}
+_MODES = ("abs", "rel", "noa")
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for :class:`PFPLService`.
+
+    ``n_workers`` sizes the backend's pool (processes for ``procpool``,
+    threads for ``omp``; ignored by ``serial``/``cuda``).  ``job_threads``
+    bounds how many requests *stage* concurrently; keep it small -- the
+    backend pool is the real parallel resource.  ``queue_depth`` bounds
+    admitted-but-unfinished requests; beyond it clients get 503.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    backend: str = "procpool"
+    n_workers: int | None = None
+    job_threads: int = 8
+    queue_depth: int = 32
+    drain_timeout: float = 30.0
+
+
+def _build_backend(config: ServiceConfig):
+    """Instantiate the configured backend with its pool-size keyword."""
+    kwargs = {}
+    if config.n_workers is not None:
+        if config.backend == "omp":
+            kwargs["n_threads"] = config.n_workers
+        elif config.backend == "procpool":
+            kwargs["n_workers"] = config.n_workers
+    return get_backend(config.backend, **kwargs)
+
+
+class PFPLService:
+    """Asyncio compress/decompress service over one shared backend.
+
+    Usage::
+
+        service = PFPLService(ServiceConfig(port=0))
+        host, port = await service.start()
+        ...
+        await service.shutdown()    # drains in-flight work
+
+    Endpoints (one request per connection, ``Connection: close``):
+
+    - ``POST /v1/compress?mode=abs&bound=1e-3&dtype=f4[&checksum=1][&tenant=t]``
+      with the raw little-endian float array as the body; responds with
+      the PFPL stream.
+    - ``POST /v1/decompress[?tenant=t]`` with a PFPL stream body;
+      responds with the raw float array (streams are self-describing).
+    - ``GET /metrics`` -- Prometheus text exposition.
+    - ``GET /healthz`` -- 200 while serving, 503 while draining.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        backend=None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        #: The service *is* an ops surface, so telemetry defaults to live.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.backend = backend if backend is not None else _build_backend(self.config)
+        self._jobs = ThreadPoolExecutor(
+            max_workers=self.config.job_threads, thread_name_prefix="pfpl-serve"
+        )
+        self._pending = 0
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        The backend pool is warmed *first*: a process pool forked after
+        connections exist would inherit their fds and keep them open
+        past the parent's close (clients would never see EOF).
+        """
+        self.backend.warm()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new work, drain in-flight, close the pool.
+
+        Admitted requests keep running until done or ``drain_timeout``
+        elapses; afterwards the job threads and the backend (worker
+        pool, shared arenas) are torn down.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._pending and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        self._jobs.shutdown(wait=True)
+        self.backend.close()
+
+    # -- admission -----------------------------------------------------------
+
+    def _admit(self) -> bool:
+        """Take one admission slot; False when full or draining.
+
+        Single-threaded on the event loop, so a plain counter suffices.
+        """
+        if self._draining or self._pending >= self.config.queue_depth:
+            return False
+        self._pending += 1
+        return True
+
+    def _release(self) -> None:
+        """Return an admission slot."""
+        self._pending -= 1
+
+    # -- codec jobs (run on the job thread pool) -----------------------------
+
+    def _execute(self, op: str, request: Request) -> tuple[int, bytes, dict]:
+        """Run one codec job; returns ``(status, body, extra_headers)``.
+
+        Runs on a job thread.  Client mistakes (bad parameters, streams
+        that fail validation) map to 4xx; only genuinely unexpected
+        failures propagate to the handler's 500 path.
+        """
+        if op == "compress":
+            q = request.query
+            mode = q.get("mode", "abs")
+            if mode not in _MODES:
+                return 400, f"unknown mode {mode!r}".encode(), {}
+            dtype = _DTYPES.get(q.get("dtype", "f4"))
+            if dtype is None:
+                return 400, f"unknown dtype {q.get('dtype')!r}".encode(), {}
+            try:
+                bound = float(q.get("bound", "1e-3"))
+            except ValueError:
+                return 400, f"invalid bound {q.get('bound')!r}".encode(), {}
+            checksum = q.get("checksum", "0") in ("1", "true", "yes")
+            if len(request.body) % np.dtype(dtype).itemsize:
+                return 400, b"body length is not a multiple of the dtype size", {}
+            data = np.frombuffer(request.body, dtype=dtype)
+            try:
+                compressor = PFPLCompressor(
+                    mode=mode, error_bound=bound, dtype=dtype,
+                    backend=self.backend, checksum=checksum,
+                )
+                result = compressor.compress(data)
+            except PFPLUsageError as exc:
+                return 400, str(exc).encode(), {}
+            return 200, result.data, {
+                "X-PFPL-Original-Bytes": str(result.original_bytes),
+                "X-PFPL-Raw-Chunks": str(result.raw_chunks),
+            }
+        try:
+            out = decompress(request.body, backend=self.backend)
+        except PFPLError as exc:
+            # Self-describing decode: any PFPL rejection means the
+            # *stream* is unusable -- a client-data problem, not ours.
+            return 422, str(exc).encode(), {}
+        return 200, out.tobytes(), {
+            "X-PFPL-Dtype": np.dtype(out.dtype).str,
+            "X-PFPL-Count": str(out.size),
+        }
+
+    # -- request handling ----------------------------------------------------
+
+    async def _codec_response(self, op: str, request: Request) -> bytes:
+        """Admission + execution + per-tenant accounting for one codec op."""
+        tel = self.telemetry
+        tenant = request.query.get("tenant", "anonymous")
+        if not self._admit():
+            if tel.enabled:
+                tel.add("service_rejected_total", 1, tenant=tenant, op=op,
+                        reason="draining" if self._draining else "queue_full")
+            return format_response(
+                503, b"request queue full, retry later", "text/plain",
+                {"Retry-After": "1"},
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            if tel.enabled:
+                with tel.span(op, cat="service", tenant=tenant,
+                              bytes_in=len(request.body)):
+                    status, body, headers = await loop.run_in_executor(
+                        self._jobs, self._execute, op, request
+                    )
+            else:
+                status, body, headers = await loop.run_in_executor(
+                    self._jobs, self._execute, op, request
+                )
+        finally:
+            self._release()
+        if tel.enabled:
+            tel.add("service_requests_total", 1, tenant=tenant, op=op,
+                    status=str(status))
+            tel.add("service_bytes_in_total", len(request.body),
+                    tenant=tenant, op=op)
+            if status == 200:
+                tel.add("service_bytes_out_total", len(body),
+                        tenant=tenant, op=op)
+        ctype = "application/octet-stream" if status == 200 else "text/plain"
+        return format_response(status, body, ctype, headers)
+
+    async def _dispatch(self, request: Request) -> bytes:
+        """Route one parsed request to its endpoint."""
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return format_response(405, b"use GET", "text/plain")
+            if self._draining:
+                return format_response(503, b"draining", "text/plain")
+            return format_response(200, b"ok", "text/plain")
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return format_response(405, b"use GET", "text/plain")
+            text = self.telemetry.to_prometheus().encode()
+            return format_response(200, text, "text/plain; version=0.0.4")
+        if request.path in ("/v1/compress", "/v1/decompress"):
+            if request.method != "POST":
+                return format_response(405, b"use POST", "text/plain")
+            op = request.path.rsplit("/", 1)[-1]
+            return await self._codec_response(op, request)
+        return format_response(404, b"unknown endpoint", "text/plain")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection, then close it."""
+        tel = self.telemetry
+        try:
+            try:
+                request = await read_request(reader)
+                response = await self._dispatch(request)
+            except HttpProtocolError as exc:
+                response = format_response(exc.status, str(exc).encode(),
+                                           "text/plain")
+            except Exception:
+                if tel.enabled:
+                    tel.add("service_errors_total", 1)
+                response = format_response(500, b"internal error", "text/plain")
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # Client went away mid-exchange; nothing to answer.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

@@ -346,6 +346,75 @@ class Telemetry:
                         k = (f"stage_{attr}_total", stage_key)
                         c[k] = c.get(k, 0) + args[attr]
 
+    # -- cross-process merge -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable dump of everything recorded: counters, spans, histograms.
+
+        The inverse of :meth:`merge`: a worker *process* records into its
+        own ``Telemetry`` (locks do not cross ``fork``/``spawn``), ships
+        this plain-data snapshot back, and the parent folds it in.  Span
+        starts are relative to this recorder's epoch; the merging side
+        supplies the offset that aligns them with its own timebase.
+        """
+        with self._lock:
+            return {
+                "counters": [
+                    (name, list(labels), value)
+                    for (name, labels), value in self._counters.items()
+                ],
+                "spans": [
+                    (r.name, r.cat, r.start, r.duration, r.args)
+                    for r in self.spans
+                ],
+                "hists": [
+                    (name, list(labels), list(h[0]), h[1], h[2])
+                    for (name, labels), h in self._hists.items()
+                ],
+                "dropped": self._dropped,
+            }
+
+    def merge(self, snap: dict, offset: float = 0.0, track: str | None = None) -> None:
+        """Fold a :meth:`snapshot` from another recorder into this one.
+
+        ``offset`` (seconds, this recorder's timebase) shifts the
+        incoming span starts so a worker process's trace lines up with
+        the parent timeline; ``track`` labels every merged span with a
+        virtual track name (e.g. ``proc-3``) so the Chrome trace renders
+        each worker process as its own row.  Counters add; histogram
+        buckets add (the fixed bounds make them mergeable by
+        construction); stage counters arrive pre-aggregated inside the
+        snapshot's counters, so spans are appended without re-deriving
+        them.
+        """
+        tid = threading.get_ident()
+        with self._lock:
+            for name, labels, value in snap.get("counters", ()):
+                key = (name, tuple(tuple(kv) for kv in labels))
+                self._counters[key] = self._counters.get(key, 0) + value
+            for name, labels, buckets, total, count in snap.get("hists", ()):
+                key = (name, tuple(tuple(kv) for kv in labels))
+                hist = self._hists.get(key)
+                if hist is None:
+                    hist = self._hists[key] = [
+                        [0] * (len(HISTOGRAM_BOUNDS) + 1), 0.0, 0
+                    ]
+                for i, c in enumerate(buckets):
+                    hist[0][i] += c
+                hist[1] += total
+                hist[2] += count
+            for name, cat, start, duration, args in snap.get("spans", ()):
+                if track is not None:
+                    args = dict(args, track=track)
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(SpanRecord(
+                        name=name, cat=cat, start=start + offset,
+                        duration=duration, tid=tid, args=args,
+                    ))
+                else:
+                    self._dropped += 1
+            self._dropped += snap.get("dropped", 0)
+
     # -- introspection -------------------------------------------------------
 
     def counter(self, name: str, **labels) -> float:
@@ -553,18 +622,27 @@ class Telemetry:
         simulator's per-SM rows from :meth:`record_span` -- land under a
         separate pid 2 process named ``gpu-sim (modeled)``, one named
         track per distinct ``track`` string, so modeled occupancy
-        renders next to measured wall-clock.
+        renders next to measured wall-clock.  Spans merged from worker
+        *processes* (:meth:`merge` with a ``proc-N`` track) render under
+        their own pid 3 process named ``procpool workers``.
         """
         with self._lock:
             spans = list(self.spans)
         tid_map: dict[int, int] = {}
         track_map: dict[str, int] = {}
+        proc_map: dict[str, int] = {}
         events = []
         for rec in spans:
             virtual = rec.args.get("track")
             if isinstance(virtual, str):
-                pid = 2
-                track = track_map.setdefault(virtual, len(track_map))
+                if virtual.startswith("proc-"):
+                    # Merged worker-process spans (Telemetry.merge): their
+                    # own process in the trace, one row per pool worker.
+                    pid = 3
+                    track = proc_map.setdefault(virtual, len(proc_map))
+                else:
+                    pid = 2
+                    track = track_map.setdefault(virtual, len(track_map))
             else:
                 pid = 1
                 track = tid_map.setdefault(rec.tid, len(tid_map))
@@ -605,6 +683,24 @@ class Telemetry:
                     "args": {"name": name},
                 }
                 for name, tid in sorted(track_map.items(), key=lambda kv: kv[1])
+            )
+        if proc_map:
+            meta.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": 3,
+                "tid": 0,
+                "args": {"name": "procpool workers"},
+            })
+            meta.extend(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 3,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+                for name, tid in sorted(proc_map.items(), key=lambda kv: kv[1])
             )
         return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 

@@ -102,3 +102,11 @@ class TestTelemetryDiscipline:
         mine = [f for f in findings if f.rule == "telemetry-discipline"]
         # guarded branch, early exit, and *_traced helper are all clean.
         assert all(f.line < 13 for f in mine), mine
+
+    @pytest.mark.parametrize("rel", ["service/server.py", "device/procpool.py"])
+    def test_service_and_procpool_paths_in_scope(self, rel):
+        # The serving layer and the process-pool backend are hot paths
+        # too; a violation placed under either rel must be reported.
+        mine = [f for f in run("bad_telemetry.py", rel=rel)
+                if f.rule == "telemetry-discipline"]
+        assert {f.line for f in mine} == {5, 10}

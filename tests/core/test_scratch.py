@@ -1,0 +1,83 @@
+"""Scratch arena retention: release, accounting, and the byte cap."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.scratch import (
+    scratch,
+    scratch_bytes,
+    scratch_release,
+    set_scratch_cap,
+)
+from repro.errors import PFPLUsageError
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    scratch_release()
+    set_scratch_cap(None)
+    yield
+    scratch_release()
+    set_scratch_cap(None)
+
+
+class TestRelease:
+    def test_release_frees_and_reports_bytes(self):
+        scratch("a", 1024, np.uint8)
+        scratch("b", 256, np.float32)
+        retained = scratch_bytes()
+        assert retained == 1024 + 256 * 4
+        assert scratch_release() == retained
+        assert scratch_bytes() == 0
+        assert scratch_release() == 0  # idempotent
+
+    def test_release_is_thread_local(self):
+        scratch("mine", 4096, np.uint8)
+        freed_elsewhere = []
+
+        def other():
+            scratch("theirs", 2048, np.uint8)
+            freed_elsewhere.append(scratch_release())
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert freed_elsewhere == [2048]
+        assert scratch_bytes() == 4096  # this thread's arena untouched
+
+    def test_backend_close_releases_arenas(self):
+        from repro.device.backend import SerialBackend
+
+        scratch("warm", 1 << 16, np.uint8)
+        SerialBackend().close()
+        assert scratch_bytes() == 0
+
+
+class TestCap:
+    def test_cap_evicts_least_recently_used(self):
+        set_scratch_cap(3000)
+        scratch("old", 1024, np.uint8)
+        scratch("mid", 1024, np.uint8)
+        scratch("mid", 1024, np.uint8)   # touch: "old" is now the LRU
+        scratch("new", 1536, np.uint8)   # total 3584 > cap -> evict "old"
+        assert scratch_bytes() == 1024 + 1536
+
+    def test_request_larger_than_cap_still_served(self):
+        set_scratch_cap(100)
+        scratch("small", 64, np.uint8)
+        big = scratch("big", 4096, np.uint8)
+        assert big.size == 4096          # the live arena is never evicted
+        assert scratch_bytes() == 4096   # everything else was
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(PFPLUsageError, match="non-negative"):
+            set_scratch_cap(-1)
+
+    def test_unsetting_cap_stops_eviction(self):
+        set_scratch_cap(1000)
+        set_scratch_cap(None)
+        scratch("a", 4096, np.uint8)
+        scratch("b", 4096, np.uint8)
+        assert scratch_bytes() == 8192

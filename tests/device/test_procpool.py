@@ -1,0 +1,161 @@
+"""ProcessPoolBackend: byte identity, pool lifecycle, worker telemetry.
+
+The process pool runs the very same batched kernels as every other
+backend -- compressed bytes must match SerialBackend bit for bit, and
+the pool/arena plumbing (persistent workers, shared-memory segments,
+``warm()``/``close()``) must not leak across calls or teardowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.core.header import HEADER_BYTES, Header
+from repro.device import get_backend
+from repro.device.backend import ProcessPoolBackend, SerialBackend
+from repro.errors import PFPLIntegrityError, PFPLUsageError
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One shared two-worker pool for the whole module (forks are costly)."""
+    backend = ProcessPoolBackend(n_workers=2)
+    yield backend
+    backend.close()
+
+
+def _walk(dtype, n=60_000, seed=0):
+    r = np.random.default_rng(seed)
+    return np.cumsum(r.normal(0, 0.05, n)).astype(dtype)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_streams_match_serial(self, pool, mode, dtype):
+        data = _walk(dtype)
+        via_pool = compress(data, mode, 1e-3, backend=pool)
+        assert via_pool == compress(data, mode, 1e-3, backend=SerialBackend())
+
+    @pytest.mark.parametrize("checksum", [False, True])
+    def test_decode_bits_match_serial(self, pool, checksum):
+        data = _walk(np.float32, n=40_000, seed=7)
+        blob = compress(data, "rel", 1e-2, checksum=checksum)
+        out_pool = decompress(blob, backend=pool)
+        out_serial = decompress(blob, backend=SerialBackend())
+        assert np.array_equal(out_pool.view(np.uint32), out_serial.view(np.uint32))
+
+    def test_corrupted_stream_rejected_by_worker_crc(self, pool):
+        # Workers verify per-chunk CRCs before decoding their shard; a
+        # payload flip must surface as PFPLIntegrityError in the parent.
+        blob = compress(_walk(np.float32, n=40_000, seed=9), "abs", 1e-3,
+                        checksum=True)
+        header = Header.unpack(blob)
+        corrupt = bytearray(blob)
+        corrupt[HEADER_BYTES + 4 * header.n_chunks + 50] ^= 0xFF
+        with pytest.raises(PFPLIntegrityError, match="checksum mismatch"):
+            decompress(bytes(corrupt), backend=pool)
+
+
+class TestLifecycle:
+    def test_get_backend_builds_it(self):
+        backend = get_backend("procpool", n_workers=1)
+        try:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.n_workers == 1
+        finally:
+            backend.close()
+
+    def test_warm_forks_workers_up_front(self):
+        with ProcessPoolBackend(n_workers=2) as backend:
+            assert backend._res["exec"] is None
+            backend.warm()
+            assert backend._res["exec"] is not None
+
+    def test_pool_and_arenas_survive_across_calls(self, pool):
+        data = _walk(np.float32, n=20_000, seed=1)
+        first = compress(data, "abs", 1e-3, backend=pool)
+        executor = pool._res["exec"]
+        arena_names = {r: s.name for r, s in pool._res["arenas"].items()}
+        second = compress(data, "abs", 1e-3, backend=pool)
+        assert first == second
+        assert pool._res["exec"] is executor, "pool was rebuilt between calls"
+        for role, name in arena_names.items():
+            assert pool._res["arenas"][role].name == name, role
+
+    def test_close_is_idempotent_and_reuse_rebuilds(self):
+        backend = ProcessPoolBackend(n_workers=2)
+        data = _walk(np.float32, n=20_000, seed=2)
+        reference = compress(data, "abs", 1e-3, backend=SerialBackend())
+        assert compress(data, "abs", 1e-3, backend=backend) == reference
+        backend.close()
+        backend.close()  # second close must be a no-op
+        assert backend._res["exec"] is None and not backend._res["arenas"]
+        # The next offload transparently rebuilds pool and arenas.
+        assert compress(data, "abs", 1e-3, backend=backend) == reference
+        backend.close()
+
+    def test_encode_array_rejects_empty_block(self, pool):
+        from repro.core.chunking import CHUNK_BYTES
+        from repro.core.lossless.pipeline import PipelineConfig
+        from repro.core.quantizers import make_quantizer
+
+        q = make_quantizer("abs", 1e-3, dtype=np.float32)
+        with pytest.raises(PFPLUsageError, match="at least one full chunk"):
+            pool.encode_array(q, PipelineConfig(), CHUNK_BYTES,
+                              np.empty((0, 4096), dtype=np.float32))
+
+    def test_blob_views_survive_concurrent_encode(self, pool):
+        # Regression: the returned blobs are zero-copy views over the
+        # shared encode arena.  An offload from a *second* thread used to
+        # land at the same arena offsets and corrupt in-flight views --
+        # observed as compressed-byte divergence under `pfpl serve` with
+        # concurrent streams.  The arena is now per calling thread.
+        import threading
+
+        from repro.core.chunking import CHUNK_BYTES
+        from repro.core.lossless.pipeline import PipelineConfig
+        from repro.core.quantizers import make_quantizer
+
+        q = make_quantizer("abs", 1e-3, dtype=np.float32)
+        rng = np.random.default_rng(3)
+        a = np.cumsum(rng.normal(0, 0.05, (4, 4096)), axis=1).astype(np.float32)
+        b = np.ascontiguousarray(-a[::-1])
+        blobs_a, _, _ = pool.encode_array(q, PipelineConfig(), CHUNK_BYTES, a)
+        expect = [bytes(v) for v in blobs_a]
+
+        t = threading.Thread(
+            target=pool.encode_array, args=(q, PipelineConfig(), CHUNK_BYTES, b))
+        t.start()
+        t.join()
+        assert [bytes(v) for v in blobs_a] == expect
+
+
+class TestWorkerTelemetry:
+    def test_spans_merge_onto_proc_tracks(self):
+        tel = Telemetry()
+        with ProcessPoolBackend(n_workers=2, telemetry=tel) as backend:
+            data = _walk(np.float32, n=60_000, seed=3)
+            blob = compress(data, "abs", 1e-3, backend=backend, telemetry=tel)
+            decompress(blob, backend=backend, telemetry=tel)
+
+        trace = tel.chrome_trace()
+        procs = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"
+                 and e["pid"] == 3}
+        assert procs == {"procpool workers"}
+        merged = [e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and e["pid"] == 3]
+        assert {e["name"] for e in merged} >= {"batch_encode", "batch_decode"}
+        # Worker-side stage spans rode along with the batch spans.
+        assert any(e["cat"] == "encode" for e in merged)
+
+    def test_worker_item_labels_are_dense(self):
+        tel = Telemetry()
+        with ProcessPoolBackend(n_workers=2, telemetry=tel) as backend:
+            compress(_walk(np.float32, n=60_000, seed=4), "abs", 1e-3,
+                     backend=backend, telemetry=tel)
+        labels = {k.split('worker="')[1].rstrip('"}')
+                  for k in tel.counters() if k.startswith("worker_items_total")}
+        assert labels and labels <= {"0", "1"}, labels

@@ -22,7 +22,12 @@ import pytest
 from repro.core.compressor import compress, decompress
 from repro.core.lossless.pipeline import LosslessPipeline
 from repro.core.verify import check_bound
-from repro.device.backend import GpuSimBackend, SerialBackend, ThreadedBackend
+from repro.device.backend import (
+    GpuSimBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadedBackend,
+)
 from repro.device.gpu_sim import GpuLosslessPipeline
 from repro.harness.drift import drift_check
 from repro.telemetry import Telemetry
@@ -82,8 +87,16 @@ _IDENTITY_CASES = [
 ]
 
 
+@pytest.fixture(scope="module")
+def procpool_backend():
+    """One process pool for the whole identity matrix (forks are costly)."""
+    backend = ProcessPoolBackend(n_workers=2)
+    yield backend
+    backend.close()
+
+
 @pytest.mark.parametrize("case", _IDENTITY_CASES, ids=lambda c: c.case_id)
-def test_backends_byte_identical(case: Case):
+def test_backends_byte_identical(case: Case, procpool_backend):
     data = make_values(case)
     blobs = {
         name: compress(data, mode=case.mode, error_bound=case.bound,
@@ -92,11 +105,16 @@ def test_backends_byte_identical(case: Case):
             ("serial", SerialBackend()),
             ("omp", ThreadedBackend(n_threads=4)),
             ("cuda", GpuSimBackend()),
+            ("procpool", procpool_backend),
         )
     }
-    assert blobs["serial"] == blobs["omp"] == blobs["cuda"], case.case_id
+    assert len(set(blobs.values())) == 1, case.case_id
     recon = decompress(blobs["cuda"], backend=GpuSimBackend())
     assert check_bound(case.mode, data, recon, case.bound).ok
+    recon_pp = decompress(blobs["procpool"], backend=procpool_backend)
+    assert np.array_equal(
+        recon.view(np.uint8), recon_pp.view(np.uint8)
+    ), case.case_id
 
 
 @pytest.mark.parametrize("pipeline_cls", [LosslessPipeline, GpuLosslessPipeline],

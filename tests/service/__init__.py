@@ -1,0 +1,1 @@
+"""Tests for the ``pfpl serve`` service layer."""

@@ -27,7 +27,7 @@ from repro.core.header import HEADER_BYTES, Header
 from repro.device import get_backend
 from repro.io import PFPLReader, PFPLWriter
 
-BACKENDS = ["serial", "omp", "cuda"]
+BACKENDS = ["serial", "omp", "cuda", "procpool"]
 
 
 def _walk(dtype, n=60_000, seed=0):

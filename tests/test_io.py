@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import compress, decompress
+from repro.errors import PFPLUsageError
 from repro.io import PFPLReader, PFPLWriter
 
 
@@ -74,6 +75,45 @@ class TestWriter:
         assert sink.getvalue() == b""  # no partial container
 
 
+class TestWriterMisuse:
+    """Misuse must fail with precise, typed errors -- not silent corruption."""
+
+    def test_append_after_abort_names_the_abort(self):
+        w = PFPLWriter(io.BytesIO(), mode="abs", error_bound=1e-3)
+        w.append(np.ones(10, dtype=np.float32))
+        w.abort()
+        with pytest.raises(PFPLUsageError, match="aborted"):
+            w.append(np.zeros(4, dtype=np.float32))
+
+    def test_append_after_close_names_the_close(self):
+        w = PFPLWriter(io.BytesIO(), mode="abs", error_bound=1e-3)
+        w.close()
+        with pytest.raises(PFPLUsageError, match="closed"):
+            w.append(np.zeros(4, dtype=np.float32))
+
+    def test_noa_append_beyond_declared_range_rejected(self):
+        # NOA's bound is eps * value_range; values widening the span past
+        # the declaration would invalidate already-written chunks.
+        w = PFPLWriter(io.BytesIO(), mode="noa", error_bound=1e-3,
+                       value_range=2.0)
+        w.append(np.linspace(0.0, 2.0, 100, dtype=np.float32))
+        with pytest.raises(PFPLUsageError, match="value_range"):
+            w.append(np.array([3.5], dtype=np.float32))
+        # The rejected append left no trace: count unchanged, and valid
+        # appends still work.
+        assert w.values_appended == 100
+        w.append(np.array([1.0], dtype=np.float32))
+        assert w.values_appended == 101
+
+    def test_noa_range_check_ignores_nonfinite(self):
+        sink = io.BytesIO()
+        with PFPLWriter(sink, mode="noa", error_bound=1e-3,
+                        value_range=1.0) as w:
+            w.append(np.array([0.0, np.inf, np.nan, 0.5], dtype=np.float32))
+        out = decompress(sink.getvalue())
+        assert np.isinf(out[1]) and np.isnan(out[2])
+
+
 class TestReader:
     @pytest.fixture
     def stream(self, chunks_of_data):
@@ -105,3 +145,18 @@ class TestReader:
         blob, _ = stream
         with pytest.raises(ValueError):
             PFPLReader(blob)[::2]
+
+    def test_out_of_range_index_raises_indexerror(self, stream):
+        # Regression: indices past the end (or below -count) used to fall
+        # through to the decoder and fail obscurely; they must raise
+        # IndexError so iteration protocols terminate correctly.
+        blob, base = stream
+        r = PFPLReader(blob)
+        with pytest.raises(IndexError, match=str(base.size)):
+            r[base.size]
+        with pytest.raises(IndexError):
+            r[-base.size - 1]
+        # Boundary values still resolve.
+        full = decompress(blob)
+        assert r[base.size - 1] == full[-1]
+        assert r[-base.size] == full[0]

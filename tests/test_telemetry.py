@@ -107,6 +107,39 @@ class TestCounters:
                  if k.startswith("worker_queue_wait_seconds_total")]
         assert waits and all(w >= 0 for w in waits)
 
+    def test_worker_labels_are_dense_pool_ids(self):
+        # Regression: labels used to come from parsing thread *names*
+        # (`ThreadPoolExecutor-0_3` -> "3"), which leaked pool-global
+        # naming and went stale across pool rebuilds.  The backend now
+        # owns a registry handing out dense ids in first-execution order.
+        backend = ThreadedBackend(n_threads=4)
+        try:
+            ids = set(backend.map_chunks(
+                lambda _i: backend.worker_id(), list(range(64))))
+            assert ids <= set(range(4))
+            assert min(ids) == 0, "ids must start at 0"
+            assert ids == set(range(len(ids))), f"ids not dense: {sorted(ids)}"
+            # Ids stay dense for the pool's lifetime: a second map may
+            # recruit a lazily-created thread (new id), but the union
+            # never skips a number.
+            again = set(backend.map_chunks(
+                lambda _i: backend.worker_id(), list(range(64))))
+            both = ids | again
+            assert both == set(range(len(both))), f"ids not dense: {sorted(both)}"
+        finally:
+            backend.close()
+
+    def test_worker_ids_reset_when_pool_is_rebuilt(self):
+        backend = ThreadedBackend(n_threads=2)
+        try:
+            backend.map_chunks(lambda _i: backend.worker_id(), list(range(8)))
+            backend.close()
+            ids = set(backend.map_chunks(
+                lambda _i: backend.worker_id(), list(range(8))))
+            assert min(ids) == 0, "fresh pool must restart the dense ids"
+        finally:
+            backend.close()
+
 
 class TestExporters:
     def test_prometheus_round_trip(self, smooth_f32):
