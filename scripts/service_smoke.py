@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """CI smoke test for ``pfpl serve``: boot, concurrent load, scrape, drain.
 
-Starts the real CLI entry point as a subprocess, drives ``--streams``
-simultaneous compress and decompress requests against it (asserting
-every compressed body is byte-identical to the in-process serial
-reference), scrapes ``/metrics`` for the per-tenant counters and the
-``span_duration_seconds`` latency histogram, then sends ``SIGTERM`` and
-asserts the graceful-drain lines and a zero exit.
+Starts the real CLI entry point as a subprocess (with ``--access-log``),
+drives ``--streams`` simultaneous compress and decompress requests
+against it (asserting every compressed body is byte-identical to the
+in-process serial reference), sends one traced request with an inbound
+``traceparent`` and asserts ``/debug/trace/<id>`` shows the trace
+spanning all three tiers (service span, job thread, worker track),
+scrapes ``/metrics`` for the per-tenant counters and the
+``span_duration_seconds`` latency histogram, checks the access log
+joins on the trace id, then sends ``SIGTERM`` and asserts the
+graceful-drain lines and a zero exit.
 
 Usage::
 
@@ -18,10 +22,12 @@ from __future__ import annotations
 
 import argparse
 import http.client
+import json
 import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -34,12 +40,16 @@ BOOT_TIMEOUT_S = 60
 REQUEST_TIMEOUT_S = 120
 
 
-def start_server(backend: str, workers: int) -> tuple[subprocess.Popen, int]:
+def start_server(
+    backend: str, workers: int, access_log: str | None = None
+) -> tuple[subprocess.Popen, int]:
     """Launch ``pfpl serve`` on an ephemeral port; returns (proc, port)."""
     cmd = [
         sys.executable, "-m", "repro.cli", "serve",
         "--port", "0", "--backend", backend, "--workers", str(workers),
     ]
+    if access_log:
+        cmd += ["--access-log", access_log]
     proc = subprocess.Popen(
         cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONUNBUFFERED": "1"},
@@ -56,10 +66,11 @@ def start_server(backend: str, workers: int) -> tuple[subprocess.Popen, int]:
     raise AssertionError(f"server produced no readiness line in {BOOT_TIMEOUT_S}s")
 
 
-def request(port: int, method: str, target: str, body: bytes = b""):
+def request(port: int, method: str, target: str, body: bytes = b"",
+            headers: dict | None = None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=REQUEST_TIMEOUT_S)
     try:
-        conn.request(method, target, body=body)
+        conn.request(method, target, body=body, headers=headers or {})
         resp = conn.getresponse()
         return resp.status, resp.read()
     finally:
@@ -116,6 +127,53 @@ def check_metrics(port: int, n_streams: int) -> None:
           f"+ {len(latency)} latency buckets")
 
 
+def check_trace(port: int, backend: str, access_log: str) -> None:
+    """One traced request; assert the trace links every execution tier."""
+    trace_id = "c0ffee" * 5 + "ab"          # 32 hex chars
+    parent_span = "deadbeef" * 2            # 16 hex chars
+    data = np.cumsum(
+        np.random.default_rng(99).normal(0, 0.05, 120_000)
+    ).astype(np.float32)
+    status, _ = request(
+        port, "POST", "/v1/compress?mode=abs&bound=1e-4&dtype=f4&tenant=traced",
+        data.tobytes(),
+        headers={"traceparent": f"00-{trace_id}-{parent_span}-01"},
+    )
+    assert status == 200, f"traced compress: HTTP {status}"
+
+    status, raw = request(port, "GET", f"/debug/trace/{trace_id}")
+    assert status == 200, f"/debug/trace/{trace_id}: HTTP {status}"
+    doc = json.loads(raw)
+    spans = doc["spans"]
+
+    service = [s for s in spans if s["cat"] == "service" and s["name"] == "compress"]
+    jobs = [s for s in spans if s["name"] == "job_exec"]
+    assert service, "trace is missing the service-tier span"
+    assert jobs, "trace is missing the job-thread span"
+    assert service[0]["parent_id"] == parent_span, "inbound traceparent not honored"
+    assert jobs[0]["parent_id"] == service[0]["span_id"], "job not child of service"
+    tiers = 2
+    if backend == "procpool":
+        workers = [s for s in spans if (s["track"] or "").startswith("proc-")]
+        assert workers, "trace is missing worker-process spans"
+        shards = [w for w in workers if w["name"] == "batch_encode"]
+        assert shards and all(
+            s["parent_id"] == jobs[0]["span_id"] for s in shards
+        ), "worker shards not children of the job span"
+        tiers = 3
+    status, raw = request(port, "GET", f"/debug/trace/{trace_id}?format=chrome")
+    assert status == 200
+    slices = [e for e in json.loads(raw)["traceEvents"] if e.get("ph") == "X"]
+    assert {e["args"].get("trace_id") for e in slices} == {trace_id}
+
+    with open(access_log, encoding="utf-8") as fh:
+        lines = [json.loads(ln) for ln in fh if ln.strip()]
+    joined = [ln for ln in lines if ln["trace_id"] == trace_id]
+    assert joined and joined[0]["status"] == 200, "access log missing traced request"
+    print(f"smoke: trace {trace_id[:8]}… spans {tiers} tiers "
+          f"({len(spans)} spans) and joins the access log")
+
+
 def shutdown(proc: subprocess.Popen) -> None:
     proc.send_signal(signal.SIGTERM)
     try:
@@ -137,14 +195,17 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--streams", type=int, default=8)
     args = ap.parse_args(argv)
 
-    proc, port = start_server(args.backend, args.workers)
-    try:
-        drive_streams(port, args.streams)
-        check_metrics(port, args.streams)
-    except BaseException:
-        proc.kill()
-        raise
-    shutdown(proc)
+    with tempfile.TemporaryDirectory(prefix="pfpl-smoke-") as tmp:
+        access_log = os.path.join(tmp, "access.log")
+        proc, port = start_server(args.backend, args.workers, access_log)
+        try:
+            drive_streams(port, args.streams)
+            check_trace(port, args.backend, access_log)
+            check_metrics(port, args.streams)
+        except BaseException:
+            proc.kill()
+            raise
+        shutdown(proc)
     print("service smoke OK")
     return 0
 

@@ -13,6 +13,8 @@ This rule checks, in the per-chunk hot-path modules, that every call to
 ``enabled`` check.  Three idioms count as guarded:
 
 * lexically inside ``if <...>.enabled:``,
+* the true arm of a ``... if <...>.enabled else ...`` conditional
+  expression,
 * after an early-exit guard ``if not <...>.enabled: return ...``,
 * inside a ``*_traced`` helper -- the repo convention where the hot
   path dispatches ``if tel.enabled: return self._encode_chunk_traced``
@@ -31,7 +33,13 @@ from ..engine import Finding, Rule, Source, iter_parents, register_rule
 
 __all__ = ["TelemetryDisciplineRule"]
 
-_TELEMETRY_METHODS = frozenset({"span", "add", "chunk"})
+_TELEMETRY_METHODS = frozenset({
+    "span", "add", "chunk", "histogram", "record_span", "merge",
+    # Tracing helpers (PR 8): binding a trace context, opening/closing a
+    # flight-recorder entry and reading the bound context all allocate
+    # or take locks, so they follow the same guarded-hot-path contract.
+    "trace", "begin_trace", "finish_trace", "current_trace",
+})
 _TELEMETRY_NAMES = frozenset({"tel", "telemetry"})
 
 
@@ -85,6 +93,15 @@ def _is_guarded(call: ast.Call) -> bool:
             )
             and isinstance(prev, ast.stmt)
             and prev in anc.body
+        ):
+            return True
+        # The true arm of `<call> if <...>.enabled else <default>` -- the
+        # one-expression form of the same dominance (used for capturing
+        # the bound trace context at submit time).
+        if (
+            isinstance(anc, ast.IfExp)
+            and _mentions_enabled(anc.test)
+            and prev is anc.body
         ):
             return True
         # After an early exit `if not <...>.enabled: return ...` in any

@@ -5,7 +5,7 @@ Subcommands::
     pfpl compress   INPUT OUTPUT --mode abs --bound 1e-3 --dtype f32 [--backend omp]
     pfpl decompress INPUT OUTPUT
     pfpl info       INPUT
-    pfpl stats      INPUT --mode abs --bound 1e-3 [--format table|json|prom] [--drift]
+    pfpl stats      INPUT --mode abs --bound 1e-3 [--format table|json|prom] [--drift] [--trace-id ID]
     pfpl verify     ORIGINAL RECONSTRUCTED --mode abs --bound 1e-3
     pfpl table      {1,2,3}
     pfpl figure     FIGURE_ID [--files N]
@@ -35,7 +35,7 @@ from .device import get_backend
 from .errors import PFPLError
 from .io import PFPLReader, PFPLWriter
 from .log import enable_logging, get_logger
-from .telemetry import NULL_TELEMETRY, Telemetry
+from .telemetry import NULL_TELEMETRY, Telemetry, TraceContext
 
 log = get_logger("cli")
 
@@ -51,10 +51,31 @@ def _telemetry_for(args: argparse.Namespace) -> Telemetry | None:
     return Telemetry() if getattr(args, "trace", None) else None
 
 
-def _finish_trace(tel: Telemetry | None, args: argparse.Namespace) -> None:
+def _finish_trace(
+    tel: Telemetry | None, args: argparse.Namespace,
+    trace_id: str | None = None,
+) -> None:
     if tel is not None:
-        tel.write_chrome_trace(args.trace)
+        tel.write_chrome_trace(args.trace, trace_id=trace_id)
         log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
+
+
+def _stats_context(trace_id: str | None) -> "TraceContext | None":
+    """Build the ``pfpl stats --trace-id`` request context.
+
+    A 32-hex-char value is used verbatim (so a service trace can be
+    reproduced locally under the same id); anything else is hashed to a
+    stable trace id, letting ``--trace-id nightly-f32`` name a run.
+    """
+    if not trace_id:
+        return None
+    import hashlib
+
+    tid = trace_id.lower()
+    if len(tid) != 32 or any(c not in "0123456789abcdef" for c in tid):
+        tid = hashlib.blake2b(trace_id.encode(), digest_size=16).hexdigest()
+    root = hashlib.blake2b(f"{tid}:root".encode(), digest_size=8).hexdigest()
+    return TraceContext(trace_id=tid, span_id=root)
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -131,13 +152,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         mode=args.mode, error_bound=args.bound, dtype=dtype,
         backend=get_backend(args.backend), telemetry=tel,
     )
-    result = comp.compress(data)
-    comp.decompress(result.data)
+    ctx = _stats_context(getattr(args, "trace_id", None))
+    if ctx is not None:
+        tel.begin_trace(ctx, op="stats", input=str(args.input))
+        with tel.span("stats_roundtrip", cat="service", trace=ctx,
+                      values=int(data.size)):
+            with tel.trace(ctx):
+                result = comp.compress(data)
+                comp.decompress(result.data)
+        tel.finish_trace(ctx.trace_id)
+    else:
+        result = comp.compress(data)
+        comp.decompress(result.data)
     n_chunks = int(tel.counter("chunks_encoded_total"))
     log.info("stats round-trip: %d values, %d chunks", data.size, n_chunks)
 
     if args.trace:
-        _finish_trace(tel, args)
+        _finish_trace(tel, args, trace_id=ctx.trace_id if ctx else None)
     if args.format == "json":
         print(tel.to_json())
     elif args.format == "prom":
@@ -152,6 +183,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               f"{raw / max(1, n_chunks) * 100:.2f}%)")
         print(f"  outliers    : {int(outliers)} / {data.size} values "
               f"({outliers / data.size * 100:.4f}%)")
+        if ctx is not None:
+            print(f"  trace       : {ctx.trace_id} "
+                  f"({len(tel.trace_spans(ctx.trace_id))} spans)")
         for cat in ("encode", "decode"):
             table = tel.stage_table(cat)
             if not table:
@@ -287,7 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         host=args.host, port=args.port, backend=args.backend,
         n_workers=args.workers, queue_depth=args.queue_depth,
-        drain_timeout=args.drain_timeout,
+        drain_timeout=args.drain_timeout, access_log=args.access_log,
     )
 
     async def _run() -> int:
@@ -367,6 +401,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the Chrome trace_event JSON timeline",
     )
     p.add_argument(
+        "--trace-id", metavar="ID", default=None,
+        help="run the round-trip under one request trace: 32 hex chars "
+             "are used verbatim, any other string is hashed to a stable "
+             "id (combines with --trace to export just that trace)",
+    )
+    p.add_argument(
         "--drift", action="store_true",
         help="compare measured per-stage bytes against the analytic "
              "profile_chunk model (exit 1 on divergence)",
@@ -439,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--drain-timeout", type=float, default=30.0,
         help="seconds to wait for in-flight requests on shutdown",
+    )
+    p.add_argument(
+        "--access-log", metavar="FILE", default=None,
+        help="structured JSON access log: one line per request with "
+             "trace id, tenant, op, status and latency ('-' for stdout)",
     )
     p.set_defaults(func=_cmd_serve)
 

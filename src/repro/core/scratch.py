@@ -38,15 +38,38 @@ Rules for callers:
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Any
 
 import numpy as np
 
 from ..errors import PFPLUsageError
 
-__all__ = ["scratch", "scratch_release", "scratch_bytes", "set_scratch_cap"]
+__all__ = [
+    "scratch",
+    "scratch_release",
+    "scratch_bytes",
+    "scratch_bytes_total",
+    "set_scratch_cap",
+]
 
 _local = threading.local()
+
+
+class _Cache(dict):
+    """Per-thread arena map; a dict subclass so it can be weakly referenced
+    by the process-wide registry below (plain dicts cannot)."""
+
+    __slots__ = ("__weakref__",)
+
+
+#: Process-wide registry of live per-thread caches (thread ident -> weak
+#: cache ref) so ``/debug/pool`` can report total retained arena bytes
+#: across *all* threads, not just the caller's.  Weak refs mean a dead
+#: thread's arenas are not pinned by the registry; stale entries are
+#: pruned on read.
+_registry: dict[int, "weakref.ref[_Cache]"] = {}
+_registry_lock = threading.Lock()
 
 #: Optional process-wide cap on bytes each thread retains (None = unbounded).
 _cap: int | None = None
@@ -79,6 +102,27 @@ def scratch_bytes() -> int:
     return sum(a.nbytes for a in cache.values())
 
 
+def scratch_bytes_total() -> dict[str, int]:
+    """Process-wide arena footprint: ``{"threads": n, "bytes": total}``.
+
+    Sums retained bytes across every live thread's arenas (the
+    per-thread view is :func:`scratch_bytes`).  Registry entries whose
+    thread has exited are pruned as a side effect.
+    """
+    total = 0
+    threads = 0
+    with _registry_lock:
+        for ident, ref in list(_registry.items()):
+            cache = ref()
+            if cache is None:
+                del _registry[ident]
+                continue
+            if cache:
+                threads += 1
+                total += sum(a.nbytes for a in cache.values())
+    return {"threads": threads, "bytes": total}
+
+
 def scratch_release() -> int:
     """Drop every arena of the calling thread; returns the bytes freed.
 
@@ -104,8 +148,10 @@ def scratch(key: str, shape: int | tuple[int, ...], dtype: Any) -> np.ndarray:
     """
     cache: dict[str, np.ndarray] | None = getattr(_local, "cache", None)
     if cache is None:
-        cache = {}
+        cache = _Cache()
         _local.cache = cache
+        with _registry_lock:
+            _registry[threading.get_ident()] = weakref.ref(cache)
     if isinstance(shape, int):
         shape = (shape,)
     dt = np.dtype(dtype)

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core.chunking import plan_shards
 from ..core.kernel import ChunkKernel
-from ..core.scratch import scratch_release
+from ..core.scratch import scratch_bytes_total, scratch_release
 from ..errors import PFPLUsageError
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
 from ..core.quantizers import Quantizer
@@ -156,6 +156,19 @@ class Backend:
 
         self.map_chunks(scatter, list(range(len(blobs))), costs=sizes)
         return bytes(buf)
+
+    def pool_info(self) -> dict:
+        """Introspection snapshot for the service ``/debug/pool`` endpoint.
+
+        The base form reports the backend identity and the process-wide
+        scratch-arena footprint; pooled backends extend it with worker
+        liveness and queue depth.
+        """
+        return {
+            "backend": self.name,
+            "kind": "inline",
+            "scratch": scratch_bytes_total(),
+        }
 
     def warm(self) -> None:
         """Pre-create pooled resources (no-op for pool-less backends).
@@ -331,6 +344,9 @@ class ThreadedBackend(Backend):
             order_record = []
             record_lock = threading.Lock()
         t_submit = time.perf_counter()
+        # Pool threads have no trace binding of their own; capture the
+        # submitting thread's request context so worker spans link back.
+        ctx = tel.current_trace() if tel.enabled else None
 
         def run(index: int, item) -> object:
             t0 = time.perf_counter()
@@ -340,9 +356,10 @@ class ThreadedBackend(Backend):
                 return fn(item)
             worker = str(self.worker_id())
             wait = t0 - t_submit
-            with tel.span("chunk_exec", cat="scheduler", item=index,
-                          queue_wait=wait, worker=worker):
-                result = fn(item)
+            with tel.trace(ctx):
+                with tel.span("chunk_exec", cat="scheduler", item=index,
+                              queue_wait=wait, worker=worker):
+                    result = fn(item)
             busy = time.perf_counter() - t0
             tel.add("worker_queue_wait_seconds_total", wait, worker=worker)
             tel.add("worker_busy_seconds_total", busy, worker=worker)
@@ -360,6 +377,22 @@ class ThreadedBackend(Backend):
             results = [futures[i].result() for i in range(n)]
         self.last_order = list(order_record)
         return results
+
+    def pool_info(self) -> dict:
+        """Thread-pool snapshot: configured size, threads seen, queue depth."""
+        with self._pool_lock:
+            pool = self._pool
+            seen = len(self._worker_ids)
+            depth = pool._work_queue.qsize() if pool is not None else 0
+        return {
+            "backend": self.name,
+            "kind": "thread-pool",
+            "workers": self.n_threads,
+            "workers_seen": seen,
+            "pool_started": pool is not None,
+            "queue_depth": depth,
+            "scratch": scratch_bytes_total(),
+        }
 
     def batch_shards(self, n_rows: int, costs=None) -> list[tuple[int, int]]:
         """Shard into per-worker sub-batches: enough shards to feed every

@@ -63,8 +63,9 @@ from ..core.kernel import ChunkKernel, ChunkStats
 from ..core.lossless.pipeline import LosslessPipeline, PipelineConfig
 from ..core.quantizers import Quantizer
 from ..errors import PFPLIntegrityError, PFPLUsageError
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, Telemetry, TraceContext
 from .backend import Backend
+from ..core.scratch import scratch_bytes_total
 from .prefix_sum import exclusive_scan_reference
 from .spec import THREADRIPPER_2950X, DeviceSpec
 
@@ -143,6 +144,19 @@ def _build_kernel(
     return ChunkKernel(quantizer, pipeline, chunk_bytes, telemetry=telemetry)
 
 
+def _shard_ctx(trace) -> TraceContext | None:
+    """Rebuild this shard's trace context from its task-tuple descriptor.
+
+    ``trace`` is ``False`` (telemetry off), ``True`` (telemetry on, no
+    request trace — e.g. ``pfpl stats``), or a picklable
+    ``(trace_id, span_id, parent_id)`` triple derived by the parent, so
+    worker spans link back to the originating request.
+    """
+    if isinstance(trace, tuple):
+        return TraceContext(*trace)
+    return None
+
+
 def _encode_shard(task: tuple) -> tuple:
     """Encode rows ``[lo, hi)`` of the shared input block.
 
@@ -155,17 +169,20 @@ def _encode_shard(task: tuple) -> tuple:
     segs = _attach((in_name, enc_name))
     block = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=segs[in_name].buf)
     tel = Telemetry() if trace else NULL_TELEMETRY
+    ctx = _shard_ctx(trace)
     kernel = _build_kernel(quantizer, config, chunk_bytes, tel)
     if tel.enabled:
-        with tel.span(
-            "batch_encode", cat="chunk", first_chunk=lo, chunks=hi - lo,
-            values=(hi - lo) * block.shape[1],
-        ) as sp:
-            blobs, raws, stats = kernel.encode_batch(block[lo:hi])
-            sp.set(
-                bytes_out=sum(len(b) for b in blobs),
-                outliers=stats.lossless, raw_chunks=stats.raw_chunks,
-            )
+        with tel.trace(ctx):
+            with tel.span(
+                "batch_encode", cat="chunk", trace=ctx,
+                first_chunk=lo, chunks=hi - lo,
+                values=(hi - lo) * block.shape[1],
+            ) as sp:
+                blobs, raws, stats = kernel.encode_batch(block[lo:hi])
+                sp.set(
+                    bytes_out=sum(len(b) for b in blobs),
+                    outliers=stats.lossless, raw_chunks=stats.raw_chunks,
+                )
     else:
         blobs, raws, stats = kernel.encode_batch(block[lo:hi])
     out = segs[enc_name].buf
@@ -204,16 +221,18 @@ def _decode_shard(task: tuple) -> tuple:
                     f"chunk {int(index)} checksum mismatch (stream corrupted)"
                 )
     tel = Telemetry() if trace else NULL_TELEMETRY
+    ctx = _shard_ctx(trace)
     kernel = _build_kernel(quantizer, config, chunk_bytes, tel)
     out_mat = np.ndarray(
         (n_full, wpc), dtype=np.dtype(dtype_str), buffer=segs[out_name].buf
     )
     if tel.enabled:
-        with tel.span(
-            "batch_decode", cat="chunk", chunks=len(rows),
-            bytes_in=int(np.asarray(sizes, dtype=np.int64).sum()),
-        ):
-            out_mat[rows] = kernel.decode_batch(payload, starts, sizes, wpc)
+        with tel.trace(ctx):
+            with tel.span(
+                "batch_decode", cat="chunk", trace=ctx, chunks=len(rows),
+                bytes_in=int(np.asarray(sizes, dtype=np.int64).sum()),
+            ):
+                out_mat[rows] = kernel.decode_batch(payload, starts, sizes, wpc)
     else:
         out_mat[rows] = kernel.decode_batch(payload, starts, sizes, wpc)
     snap = tel.snapshot() if trace else None
@@ -395,6 +414,59 @@ class ProcessPoolBackend(Backend):
             tel.merge(snap, offset=t_submit, track=f"proc-{wid}")
             tel.add("worker_items_total", 1, worker=str(wid))
 
+    def _shard_trace(self, trace: bool, base, lo: int):
+        """Picklable per-shard trace descriptor for a task tuple.
+
+        Each shard gets a deterministic child of the calling thread's
+        bound request context (seeded by its start row, so two shards of
+        one offload never collide); with no bound context the plain
+        tracing flag is forwarded.
+        """
+        if not trace or base is None:
+            return trace
+        ctx = base.child(lo + 1)
+        return (ctx.trace_id, ctx.span_id, ctx.parent_id)
+
+    def pool_info(self) -> dict:
+        """Worker liveness, pending-task depth and arena footprint.
+
+        Lock-free on purpose: the service's ``/debug/pool`` handler runs
+        on the event loop, and taking ``self._lock`` here could stall it
+        behind a multi-second offload.  Reads are best-effort snapshots;
+        a concurrent resize just yields a partial view.
+        """
+        res = self._res
+        pool = res.get("exec")
+        workers: list[dict] = []
+        depth = 0
+        if pool is not None:
+            try:
+                procs = getattr(pool, "_processes", None) or {}
+                workers = [
+                    {"pid": int(pid), "alive": bool(proc.is_alive())}
+                    for pid, proc in list(procs.items())
+                ]
+            except RuntimeError:  # pragma: no cover - resized mid-iteration
+                workers = []
+            pending = getattr(pool, "_pending_work_items", None)
+            depth = len(pending) if pending is not None else 0
+        try:
+            arenas = {role: shm.size for role, shm in list(res["arenas"].items())}
+        except RuntimeError:  # pragma: no cover - resized mid-iteration
+            arenas = {}
+        return {
+            "backend": self.name,
+            "kind": "process-pool",
+            "workers": self.n_workers,
+            "pool_started": pool is not None,
+            "worker_procs": workers,
+            "queue_depth": depth,
+            "arena_bytes": int(sum(arenas.values())),
+            "arenas": arenas,
+            "retired_segments": len(res.get("retired", [])),
+            "scratch": scratch_bytes_total(),
+        }
+
     # -- whole-array offload --------------------------------------------------
 
     def encode_array(
@@ -418,6 +490,7 @@ class ProcessPoolBackend(Backend):
         raw_bytes = wpc * block.dtype.itemsize
         tel = self.telemetry
         trace = bool(tel.enabled)
+        base = tel.current_trace() if tel.enabled else None
         with self._lock:
             pool = self._ensure_pool()
             shm_in = self._arena("encode.in", block.nbytes)
@@ -437,7 +510,7 @@ class ProcessPoolBackend(Backend):
                 pool.submit(_encode_shard, (
                     quantizer, config, chunk_bytes, shm_in.name,
                     tuple(block.shape), block.dtype.str, lo, hi,
-                    shm_enc.name, raw_bytes, trace,
+                    shm_enc.name, raw_bytes, self._shard_trace(trace, base, lo),
                 ))
                 for lo, hi in shards
             ]
@@ -482,6 +555,7 @@ class ProcessPoolBackend(Backend):
         n_full, _ = out_block.shape
         tel = self.telemetry
         trace = bool(tel.enabled)
+        base = tel.current_trace() if tel.enabled else None
         with self._lock:
             pool = self._ensure_pool()
             shm_stream = self._arena("decode.in", len(stream))
@@ -500,7 +574,8 @@ class ProcessPoolBackend(Backend):
                 futures.append(pool.submit(_decode_shard, (
                     quantizer, config, chunk_bytes, shm_stream.name, len(stream),
                     shm_out.name, n_full, wpc, out_block.dtype.str,
-                    sel, starts[sel], sizes[sel], crcs, trace,
+                    sel, starts[sel], sizes[sel], crcs,
+                    self._shard_trace(trace, base, lo),
                 )))
             for fut, (_lo, _hi) in zip(futures, shards):
                 snap, wid = fut.result()

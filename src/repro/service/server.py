@@ -25,11 +25,27 @@ recorder in Prometheus text format: per-tenant request/byte counters
 ``service_bytes_{in,out}_total{tenant,op}``), rejection counters, and
 request latency distributions via the ``span_duration_seconds``
 histogram (``cat="service"``), from which p50/p99 are derived.
+
+Tracing
+-------
+Every codec request runs under a :class:`~repro.telemetry.TraceContext`:
+the service honors an inbound W3C ``traceparent`` header (malformed
+values are ignored), mints a request context, echoes ``traceparent``
+back on the response, and threads the context through the job thread
+into the backend -- with :class:`~repro.device.procpool.ProcessPoolBackend`
+the shard descriptors carry it into the worker processes, so one trace
+id links service, job-thread and worker spans.  ``/debug/traces`` lists
+the flight recorder, ``/debug/trace/<id>`` exports one trace (JSON or
+``?format=chrome``), ``/debug/pool`` reports pool liveness, and
+``--access-log`` writes one JSON line per request joinable on trace id.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -38,7 +54,7 @@ import numpy as np
 from ..core.compressor import PFPLCompressor, decompress
 from ..device.backend import get_backend
 from ..errors import PFPLError, PFPLUsageError
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, TraceContext
 from .http import (
     HttpProtocolError,
     Request,
@@ -73,6 +89,11 @@ class ServiceConfig:
     job_threads: int = 8
     queue_depth: int = 32
     drain_timeout: float = 30.0
+    #: Structured JSON access log: a path, ``"-"`` for stdout, or None
+    #: (off).  One line per codec request -- trace id, tenant, op,
+    #: status, byte counts, queue-wait and handler latency -- so logs
+    #: and ``/debug/trace/<id>`` join on the trace id.
+    access_log: str | None = None
 
 
 def _build_backend(config: ServiceConfig):
@@ -105,6 +126,8 @@ class PFPLService:
       responds with the raw float array (streams are self-describing).
     - ``GET /metrics`` -- Prometheus text exposition.
     - ``GET /healthz`` -- 200 while serving, 503 while draining.
+    - ``GET /debug/traces`` / ``/debug/trace/<id>[?format=chrome]`` /
+      ``/debug/pool`` -- flight-recorder and pool introspection.
     """
 
     def __init__(
@@ -123,6 +146,14 @@ class PFPLService:
         self._pending = 0
         self._draining = False
         self._server: asyncio.AbstractServer | None = None
+        log = self.config.access_log
+        self._access_fp = None
+        self._access_owned = False
+        if log == "-":
+            self._access_fp = sys.stdout
+        elif log:
+            self._access_fp = open(log, "a", encoding="utf-8")
+            self._access_owned = True
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -159,6 +190,9 @@ class PFPLService:
             await asyncio.sleep(0.01)
         self._jobs.shutdown(wait=True)
         self.backend.close()
+        if self._access_owned and self._access_fp is not None:
+            self._access_fp.close()
+            self._access_fp = None
 
     # -- admission -----------------------------------------------------------
 
@@ -205,6 +239,7 @@ class PFPLService:
                 compressor = PFPLCompressor(
                     mode=mode, error_bound=bound, dtype=dtype,
                     backend=self.backend, checksum=checksum,
+                    telemetry=self.telemetry,
                 )
                 result = compressor.compress(data)
             except PFPLUsageError as exc:
@@ -214,7 +249,9 @@ class PFPLService:
                 "X-PFPL-Raw-Chunks": str(result.raw_chunks),
             }
         try:
-            out = decompress(request.body, backend=self.backend)
+            out = decompress(
+                request.body, backend=self.backend, telemetry=self.telemetry
+            )
         except PFPLError as exc:
             # Self-describing decode: any PFPL rejection means the
             # *stream* is unusable -- a client-data problem, not ours.
@@ -224,31 +261,95 @@ class PFPLService:
             "X-PFPL-Count": str(out.size),
         }
 
+    def _execute_traced(
+        self, op: str, request: Request, ctx: TraceContext | None, t_admit: float
+    ) -> tuple[int, bytes, dict, float, float]:
+        """Job-thread wrapper around :meth:`_execute` with trace binding.
+
+        Binds a deterministic child of the request context to this
+        thread (``job_exec`` span) so every codec span the job records
+        -- and every shard descriptor the procpool backend derives --
+        links back to the request.  Returns the :meth:`_execute` triple
+        plus ``(queue_wait, handler)`` seconds for the access log.
+        """
+        tel = self.telemetry
+        t0 = time.perf_counter()
+        queue_wait = t0 - t_admit
+        if not tel.enabled or ctx is None:
+            status, body, headers = self._execute(op, request)
+            return status, body, headers, queue_wait, time.perf_counter() - t0
+        job_ctx = ctx.child(0)
+        with tel.trace(job_ctx):
+            with tel.span("job_exec", cat="service", trace=job_ctx,
+                          op=op, queue_wait=queue_wait):
+                status, body, headers = self._execute(op, request)
+        return status, body, headers, queue_wait, time.perf_counter() - t0
+
     # -- request handling ----------------------------------------------------
 
+    def _log_access(
+        self, ctx: TraceContext | None, tenant: str, op: str, status: int,
+        bytes_in: int, bytes_out: int, queue_wait: float, handler: float,
+    ) -> None:
+        """Append one JSON access-log line (no-op when the log is off)."""
+        fp = self._access_fp
+        if fp is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "trace_id": ctx.trace_id if ctx is not None else None,
+            "tenant": tenant,
+            "op": op,
+            "status": status,
+            "bytes_in": bytes_in,
+            "bytes_out": bytes_out,
+            "queue_wait_s": round(queue_wait, 6),
+            "handler_s": round(handler, 6),
+        }
+        fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+        fp.flush()
+
     async def _codec_response(self, op: str, request: Request) -> bytes:
-        """Admission + execution + per-tenant accounting for one codec op."""
+        """Admission + tracing + execution + accounting for one codec op."""
         tel = self.telemetry
         tenant = request.query.get("tenant", "anonymous")
+        # Honor the inbound traceparent (malformed values parse to None
+        # and are silently ignored); the minted context is this
+        # request's root span, echoed back as a response traceparent.
+        inbound = TraceContext.from_traceparent(request.headers.get("traceparent"))
+        ctx = TraceContext.mint(parent=inbound)
         if not self._admit():
             if tel.enabled:
                 tel.add("service_rejected_total", 1, tenant=tenant, op=op,
                         reason="draining" if self._draining else "queue_full")
+            self._log_access(ctx, tenant, op, 503, len(request.body), 0, 0.0, 0.0)
             return format_response(
                 503, b"request queue full, retry later", "text/plain",
-                {"Retry-After": "1"},
+                {"Retry-After": "1", "traceparent": ctx.to_traceparent()},
             )
         loop = asyncio.get_running_loop()
+        t_admit = time.perf_counter()
         try:
             if tel.enabled:
-                with tel.span(op, cat="service", tenant=tenant,
+                tel.begin_trace(ctx, op=op, tenant=tenant)
+                # The service span *is* the request context (explicit
+                # ``trace=``, not a thread binding: concurrent requests
+                # interleave on this event-loop thread).
+                with tel.span(op, cat="service", trace=ctx, tenant=tenant,
                               bytes_in=len(request.body)):
-                    status, body, headers = await loop.run_in_executor(
-                        self._jobs, self._execute, op, request
+                    status, body, headers, queue_wait, handler = (
+                        await loop.run_in_executor(
+                            self._jobs, self._execute_traced, op, request,
+                            ctx, t_admit,
+                        )
                     )
+                tel.finish_trace(ctx.trace_id, status=status)
             else:
-                status, body, headers = await loop.run_in_executor(
-                    self._jobs, self._execute, op, request
+                status, body, headers, queue_wait, handler = (
+                    await loop.run_in_executor(
+                        self._jobs, self._execute_traced, op, request,
+                        None, t_admit,
+                    )
                 )
         finally:
             self._release()
@@ -260,8 +361,64 @@ class PFPLService:
             if status == 200:
                 tel.add("service_bytes_out_total", len(body),
                         tenant=tenant, op=op)
+        self._log_access(ctx, tenant, op, status, len(request.body),
+                         len(body) if status == 200 else 0, queue_wait, handler)
+        headers = dict(headers)
+        headers["traceparent"] = ctx.to_traceparent()
+        headers["X-PFPL-Trace-Id"] = ctx.trace_id
         ctype = "application/octet-stream" if status == 200 else "text/plain"
         return format_response(status, body, ctype, headers)
+
+    def _debug_response(self, request: Request) -> bytes:
+        """Serve the ``/debug`` introspection family (GET only).
+
+        - ``/debug/traces`` -- flight-recorder summary, newest last;
+        - ``/debug/trace/<id>`` -- every retained span of one trace
+          (``?format=chrome`` exports a nested Chrome trace instead);
+        - ``/debug/pool`` -- admission state plus the backend's worker
+          pool and scratch-arena snapshot.
+        """
+        tel = self.telemetry
+
+        def json_response(payload, status: int = 200) -> bytes:
+            body = json.dumps(payload, indent=2, default=repr).encode()
+            return format_response(status, body, "application/json")
+
+        if request.path == "/debug/traces":
+            return json_response({"traces": tel.traces_summary()})
+        if request.path.startswith("/debug/trace/"):
+            trace_id = request.path.rsplit("/", 1)[-1]
+            spans = tel.trace_spans(trace_id)
+            if not spans:
+                return json_response(
+                    {"error": f"unknown trace {trace_id!r}"}, status=404
+                )
+            if request.query.get("format") == "chrome":
+                return json_response(tel.chrome_trace(trace_id=trace_id))
+            return json_response({
+                "trace_id": trace_id,
+                "spans": [
+                    {
+                        "name": s.name, "cat": s.cat,
+                        "start": s.start, "duration": s.duration,
+                        "span_id": s.span_id, "parent_id": s.parent_id,
+                        "track": s.args.get("track"),
+                        "args": {k: v for k, v in s.args.items() if k != "track"},
+                    }
+                    for s in spans
+                ],
+            })
+        if request.path == "/debug/pool":
+            return json_response({
+                "service": {
+                    "pending": self._pending,
+                    "queue_depth": self.config.queue_depth,
+                    "job_threads": self.config.job_threads,
+                    "draining": self._draining,
+                },
+                "backend": self.backend.pool_info(),
+            })
+        return json_response({"error": "unknown debug endpoint"}, status=404)
 
     async def _dispatch(self, request: Request) -> bytes:
         """Route one parsed request to its endpoint."""
@@ -276,6 +433,10 @@ class PFPLService:
                 return format_response(405, b"use GET", "text/plain")
             text = self.telemetry.to_prometheus().encode()
             return format_response(200, text, "text/plain; version=0.0.4")
+        if request.path.startswith("/debug/"):
+            if request.method != "GET":
+                return format_response(405, b"use GET", "text/plain")
+            return self._debug_response(request)
         if request.path in ("/v1/compress", "/v1/decompress"):
             if request.method != "POST":
                 return format_response(405, b"use POST", "text/plain")

@@ -1,0 +1,299 @@
+"""Tracing unit tests: TraceContext, flight recorder, exemplars, escaping.
+
+Covers the PR 8 telemetry surface in isolation (the service- and
+backend-level propagation paths have their own suites): W3C traceparent
+parsing including malformed-header rejection, deterministic child-id
+derivation, flight-recorder retention under span flooding, Prometheus
+exemplars and label-value escaping round trips, and per-trace Chrome
+export.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TraceContext,
+    parse_prometheus,
+)
+
+
+class TestTraceContext:
+    def test_mint_field_widths(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        int(ctx.trace_id, 16), int(ctx.span_id, 16)
+
+    def test_mint_child_of_parent(self):
+        parent = TraceContext.mint()
+        ctx = TraceContext.mint(parent=parent)
+        assert ctx.trace_id == parent.trace_id
+        assert ctx.parent_id == parent.span_id
+        assert ctx.span_id != parent.span_id
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.mint()
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-short-span-01",
+        "00-" + "g" * 32 + "-" + "1" * 16 + "-01",       # non-hex trace
+        "00-" + "a" * 32 + "-" + "z" * 16 + "-01",       # non-hex span
+        "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",       # forbidden version
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",       # all-zero trace
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",       # all-zero span
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",       # short trace
+    ])
+    def test_malformed_traceparent_parses_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_child_derivation_is_deterministic(self):
+        ctx = TraceContext.mint()
+        assert ctx.child(3).span_id == ctx.child(3).span_id
+        assert ctx.child(3).span_id != ctx.child(4).span_id
+        child = ctx.child(0)
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_id == ctx.span_id
+
+    def test_child_derivation_matches_across_holders(self):
+        """Two participants derive the same child id without coordination."""
+        ctx = TraceContext.mint()
+        other = TraceContext(trace_id=ctx.trace_id, span_id=ctx.span_id)
+        assert ctx.child(7).span_id == other.child(7).span_id
+
+
+class TestSpanTraceLinks:
+    def test_explicit_trace_span_is_the_context(self):
+        tel = Telemetry()
+        ctx = TraceContext.mint()
+        with tel.span("root", cat="service", trace=ctx):
+            pass
+        (rec,) = tel.trace_spans(ctx.trace_id)
+        assert rec.span_id == ctx.span_id
+        assert rec.trace_id == ctx.trace_id
+        assert rec.parent_id == ctx.parent_id
+
+    def test_bound_trace_spans_become_children(self):
+        tel = Telemetry()
+        ctx = TraceContext.mint()
+        with tel.trace(ctx):
+            with tel.span("leaf_a"):
+                pass
+            with tel.span("leaf_b"):
+                pass
+        a, b = tel.trace_spans(ctx.trace_id)
+        assert a.parent_id == ctx.span_id
+        assert b.parent_id == ctx.span_id
+        assert a.span_id != b.span_id
+        assert a.span_id != ctx.span_id
+
+    def test_binding_restores_previous_context(self):
+        tel = Telemetry()
+        outer, inner = TraceContext.mint(), TraceContext.mint()
+        with tel.trace(outer):
+            with tel.trace(inner):
+                assert tel.current_trace() is inner
+            assert tel.current_trace() is outer
+        assert tel.current_trace() is None
+
+    def test_untraced_spans_carry_no_links(self):
+        tel = Telemetry()
+        with tel.span("plain"):
+            pass
+        (rec,) = tel.spans
+        assert rec.trace_id is None and rec.span_id is None
+
+
+class TestFlightRecorder:
+    def test_trace_survives_span_flooding(self):
+        """Regression: max_spans pressure must not evict request traces.
+
+        Floods the global span list far past ``max_spans`` (so
+        ``pfpl_spans_dropped_total`` increments), then runs one traced
+        request -- its spans must still be exportable per trace id.
+        """
+        tel = Telemetry(max_spans=50)
+        for _ in range(200):
+            with tel.span("flood"):
+                pass
+        assert tel.summary()["spans_dropped"] > 0
+        ctx = TraceContext.mint()
+        tel.begin_trace(ctx, op="compress")
+        with tel.span("request", cat="service", trace=ctx):
+            with tel.trace(ctx):
+                for _ in range(10):
+                    with tel.span("stage"):
+                        pass
+        tel.finish_trace(ctx.trace_id, status=200)
+        spans = tel.trace_spans(ctx.trace_id)
+        assert len(spans) == 11
+        summary = tel.traces_summary()
+        assert summary[-1]["trace_id"] == ctx.trace_id
+        assert summary[-1]["finished"] is True
+
+    def test_ring_keeps_last_n_finished_traces(self):
+        tel = Telemetry(flight_traces=3)
+        ids = []
+        for i in range(8):
+            ctx = TraceContext.mint()
+            ids.append(ctx.trace_id)
+            tel.begin_trace(ctx, seq=i)
+            with tel.span("req", trace=ctx):
+                pass
+            tel.finish_trace(ctx.trace_id)
+        kept = [row["trace_id"] for row in tel.traces_summary()]
+        assert kept == ids[-3:]
+        for gone in ids[:-3]:
+            assert tel.trace_spans(gone) == []
+
+    def test_unfinished_traces_not_evicted(self):
+        tel = Telemetry(flight_traces=2)
+        live = TraceContext.mint()
+        tel.begin_trace(live)
+        with tel.span("still_running", trace=live):
+            pass
+        for _ in range(5):
+            ctx = TraceContext.mint()
+            tel.begin_trace(ctx)
+            with tel.span("req", trace=ctx):
+                pass
+            tel.finish_trace(ctx.trace_id)
+        assert tel.trace_spans(live.trace_id)
+
+    def test_per_trace_span_cap_counts_drops(self):
+        from repro.telemetry import _TRACE_SPAN_CAP
+
+        tel = Telemetry(max_spans=10)
+        ctx = TraceContext.mint()
+        tel.begin_trace(ctx)
+        with tel.trace(ctx):
+            for _ in range(_TRACE_SPAN_CAP + 5):
+                with tel.span("s"):
+                    pass
+        tel.finish_trace(ctx.trace_id)
+        (row,) = tel.traces_summary()
+        assert row["spans"] == _TRACE_SPAN_CAP
+        assert row["spans_dropped"] == 5
+
+
+class TestPrometheusEscaping:
+    HOSTILE = 'ten"ant\\with\nnewline'
+
+    def test_label_values_escaped_in_exposition(self):
+        tel = Telemetry()
+        tel.add("service_requests_total", 1, tenant=self.HOSTILE, op="compress")
+        text = tel.to_prometheus()
+        for line in text.splitlines():
+            assert "\n" not in line  # splitlines guarantees it; belt braces
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+
+    def test_round_trip_matches_counters(self):
+        tel = Telemetry()
+        tel.add("service_requests_total", 2, tenant=self.HOSTILE, op="compress")
+        tel.add("plain_total", 5)
+        parsed = parse_prometheus(tel.to_prometheus())
+        for key, value in tel.counters().items():
+            assert parsed[f"pfpl_{key}"] == value
+
+    def test_parse_ignores_exemplar_suffix(self):
+        line = ('pfpl_x_bucket{cat="service",span="compress",le="0.5"} 3 '
+                '# {trace_id="abc123"} 0.41')
+        parsed = parse_prometheus(line)
+        assert parsed == {
+            'pfpl_x_bucket{cat="service",span="compress",le="0.5"}': 3.0
+        }
+
+
+class TestExemplars:
+    def test_traced_histogram_buckets_carry_exemplars(self):
+        tel = Telemetry()
+        ctx = TraceContext.mint()
+        tel.begin_trace(ctx)
+        with tel.span("compress", cat="service", trace=ctx):
+            pass
+        tel.finish_trace(ctx.trace_id)
+        text = tel.to_prometheus()
+        exemplar_lines = [
+            ln for ln in text.splitlines() if "# {trace_id=" in ln
+        ]
+        assert exemplar_lines
+        assert any(ctx.trace_id in ln for ln in exemplar_lines)
+        # Exposition with exemplars must still parse.
+        assert parse_prometheus(text)
+
+    def test_untraced_spans_emit_no_exemplars(self):
+        tel = Telemetry()
+        with tel.span("compress", cat="service"):
+            pass
+        assert "# {trace_id=" not in tel.to_prometheus()
+
+
+class TestChromeTraceFilter:
+    def test_filtered_export_contains_only_the_trace(self):
+        tel = Telemetry()
+        ctx = TraceContext.mint()
+        with tel.span("other"):
+            pass
+        tel.begin_trace(ctx)
+        with tel.span("mine", trace=ctx):
+            pass
+        tel.finish_trace(ctx.trace_id)
+        doc = tel.chrome_trace(trace_id=ctx.trace_id)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert slices
+        assert all(e["args"]["trace_id"] == ctx.trace_id for e in slices)
+        assert all(e["name"] != "other" for e in slices)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_rows_carry_trace_links(self):
+        worker = Telemetry()
+        ctx = TraceContext.mint()
+        with worker.span("batch_encode", cat="chunk", trace=ctx):
+            pass
+        snap = worker.snapshot()
+        row = snap["spans"][0]
+        assert row[5] == ctx.trace_id and row[6] == ctx.span_id
+
+    def test_merge_files_worker_spans_into_flight_buffer(self):
+        worker = Telemetry()
+        ctx = TraceContext.mint()
+        with worker.span("batch_encode", cat="chunk", trace=ctx):
+            pass
+        parent = Telemetry()
+        parent.begin_trace(ctx)
+        parent.merge(worker.snapshot(), offset=1.5, track="proc-0")
+        (rec,) = parent.trace_spans(ctx.trace_id)
+        assert rec.trace_id == ctx.trace_id
+        assert rec.args["track"] == "proc-0"
+
+    def test_merge_accepts_pre_tracing_snapshots(self):
+        """5-tuple span rows from older snapshots still merge."""
+        parent = Telemetry()
+        parent.merge({
+            "spans": [("old_span", "codec", 0.0, 0.25, {})],
+            "counters": [], "hists": [], "dropped": 0,
+        }, track="proc-1")
+        (rec,) = parent.spans
+        assert rec.name == "old_span" and rec.trace_id is None
+
+
+class TestNullTelemetry:
+    def test_tracing_surface_is_noop(self):
+        ctx = TraceContext.mint()
+        with NULL_TELEMETRY.trace(ctx):
+            assert NULL_TELEMETRY.current_trace() is None
+        NULL_TELEMETRY.begin_trace(ctx)
+        NULL_TELEMETRY.finish_trace(ctx.trace_id)
+        assert NULL_TELEMETRY.trace_spans(ctx.trace_id) == []
+        assert NULL_TELEMETRY.traces_summary() == []
+        with NULL_TELEMETRY.span("s", trace=ctx):
+            pass
