@@ -204,7 +204,7 @@ def bench_service(quick: bool, n_streams: int = 8) -> list[dict]:
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
-    ap.add_argument("--out", default="BENCH_PR7.json", help="snapshot JSON path")
+    ap.add_argument("--out", default="BENCH_PR9.json", help="snapshot JSON path")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="write a Chrome trace of the first threaded run")
     ap.add_argument("--mode", default="abs", choices=("abs", "rel", "noa"))

@@ -19,9 +19,18 @@ The companion paper *"Lessons Learned on the Path to Guaranteeing the
 Error Bound in Lossy Quantizers"* (Fallin & Burtscher) documents how
 exactly these implementation slips break "guaranteed" bounds in
 practice, so this package checks them mechanically: an AST-walking rule
-engine (:mod:`repro.analysis.engine`), the five codec rules
-(:mod:`repro.analysis.rules`), table/JSON reporters, and the ``pfpl
-analyze`` CLI gate CI runs on every push.
+engine (:mod:`repro.analysis.engine`), the codec rules
+(:mod:`repro.analysis.rules`), table/JSON/SARIF reporters, and the
+``pfpl analyze`` CLI gate CI runs on every push.
+
+Since v2 the engine is *project-aware*: :mod:`repro.analysis.callgraph`
+resolves imports and builds a call graph over the analyzed set,
+:mod:`repro.analysis.dataflow` adds intraprocedural reaching
+definitions and a value-escape lattice, and four dataflow rules
+(**buffer-escape**, **async-blocking**, **lock-order**,
+**resource-lifecycle**) check the cross-function properties that the
+PR 7 races exploited.  :mod:`repro.analysis.cache` keys findings on
+content hashes so warm pre-commit runs skip unchanged files.
 
 Violations are suppressed inline, one line at a time, with::
 
@@ -35,7 +44,10 @@ under tests instead of assumed.
 
 from __future__ import annotations
 
+from .cache import AnalysisCache, DEFAULT_CACHE_PATH
+from .callgraph import Project, build_project
 from .engine import (
+    ENGINE_VERSION,
     Finding,
     Rule,
     Severity,
@@ -46,7 +58,7 @@ from .engine import (
     get_rule,
     register_rule,
 )
-from .reporters import render_json, render_table
+from .reporters import render_json, render_sarif, render_table
 from .sanitizer import (
     ConcurrencySanitizer,
     SanitizerError,
@@ -58,6 +70,7 @@ from .sanitizer import (
 from . import rules as _rules  # noqa: F401  (import for side effect)
 
 __all__ = [
+    "ENGINE_VERSION",
     "Finding",
     "Rule",
     "Severity",
@@ -69,6 +82,11 @@ __all__ = [
     "analyze_source",
     "render_table",
     "render_json",
+    "render_sarif",
+    "AnalysisCache",
+    "DEFAULT_CACHE_PATH",
+    "Project",
+    "build_project",
     "ConcurrencySanitizer",
     "SanitizerError",
     "SanitizerViolation",

@@ -1,0 +1,164 @@
+"""Incremental analysis cache: content hashes in, byte-identical findings out.
+
+``pfpl analyze`` has to be fast enough to sit in a pre-commit hook, and
+the project-wide dataflow rules made a from-scratch run strictly more
+expensive.  This cache makes the warm path cheap while staying
+*impossible to satisfy stale*:
+
+* a per-file **local** entry is valid only while the file's content
+  hash, the rule-set fingerprint and :data:`~repro.analysis.engine.ENGINE_VERSION`
+  all match -- editing the file, selecting different rules, editing any
+  rule's source, or bumping the engine each invalidates it;
+* a per-file **project** entry (findings of ``requires_project`` rules)
+  additionally keys on the fingerprint of *every* analyzed file's hash:
+  one edited file anywhere re-runs the dataflow rules everywhere, which
+  is exactly the soundness a call-graph analysis needs.
+
+Entries store post-suppression findings as plain dicts, so a warm run
+reproduces a cold run byte-for-byte (tested).  The cache file is a
+single JSON document; a missing, corrupt or foreign-format file
+degrades to a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .engine import ENGINE_VERSION, Finding, Rule
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_PATH", "rules_fingerprint"]
+
+#: Where ``pfpl analyze`` keeps its cache unless told otherwise.
+DEFAULT_CACHE_PATH = ".pfpl-analyze-cache.json"
+
+_FORMAT = 1
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rules_fingerprint(rules: Iterable[Rule]) -> str:
+    """Hash the rule set: names + each rule's defining source + engine.
+
+    Editing a rule module, adding/removing a rule from the run, or
+    bumping :data:`ENGINE_VERSION` all change the fingerprint.
+    """
+    h = hashlib.sha256()
+    h.update(f"engine={ENGINE_VERSION}".encode())
+    for rule in sorted(rules, key=lambda r: r.name):
+        h.update(rule.name.encode())
+        try:
+            src = inspect.getsource(type(rule))
+        except (OSError, TypeError):  # pragma: no cover - dynamic rules
+            src = repr(type(rule))
+        h.update(_sha(src.encode()).encode())
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Content-addressed findings cache used by ``analyze_paths``.
+
+    Lifecycle: the engine calls :meth:`begin` once with the resolved
+    rule split and every file's text, then :meth:`get`/:meth:`put` per
+    file and kind (``local``/``project``), then :meth:`save`.
+    ``hits``/``misses`` counters let the CLI report reuse.
+    """
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        self._file_sha: dict[str, str] = {}
+        self._local_fp = ""
+        self._project_fp = ""
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+            return
+        entries = doc.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def begin(
+        self,
+        local_rules: Iterable[Rule],
+        project_rules: Iterable[Rule],
+        file_texts: dict[str, str],
+    ) -> None:
+        """Fix this run's fingerprints from the rule split and file set."""
+        self._local_fp = rules_fingerprint(local_rules)
+        project_rules = list(project_rules)
+        rule_fp = rules_fingerprint(project_rules)
+        self._file_sha = {
+            path: _sha(text.encode("utf-8")) for path, text in file_texts.items()
+        }
+        h = hashlib.sha256(rule_fp.encode())
+        for path in sorted(self._file_sha):
+            h.update(path.encode())
+            h.update(self._file_sha[path].encode())
+        self._project_fp = h.hexdigest()
+
+    def _fingerprint(self, kind: str) -> str:
+        return self._local_fp if kind == "local" else self._project_fp
+
+    def get(self, path: str, kind: str) -> list[Finding] | None:
+        """Cached findings for ``(file, kind)``, or None on any mismatch."""
+        entry = self._entries.get(path)
+        sha = self._file_sha.get(path)
+        if (
+            entry is None
+            or sha is None
+            or entry.get("sha") != sha
+            or not isinstance(entry.get(kind), dict)
+            or entry[kind].get("fingerprint") != self._fingerprint(kind)
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(d) for d in entry[kind]["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, path: str, kind: str, findings: list[Finding]) -> None:
+        """Record fresh findings for ``(file, kind)``."""
+        sha = self._file_sha.get(path)
+        if sha is None:
+            return
+        entry = self._entries.setdefault(path, {})
+        if entry.get("sha") != sha:
+            # Content changed: both kinds' old results are stale.
+            entry.clear()
+            entry["sha"] = sha
+        entry[kind] = {
+            "fingerprint": self._fingerprint(kind),
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache back (atomic enough for a dev tool: tmp+rename)."""
+        if not self._dirty:
+            return
+        doc = {"format": _FORMAT, "engine": ENGINE_VERSION, "files": self._entries}
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:  # pragma: no cover - read-only checkout
+            return
+        self._dirty = False

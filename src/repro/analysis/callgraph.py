@@ -1,0 +1,343 @@
+"""Project model: module/import resolution and a call graph over the tree.
+
+The per-file rules see one AST at a time; the bug classes PR 7 shipped
+(a blocking call three frames below a coroutine, a shared-arena view
+returned across a lock scope) are *cross-function* properties.  This
+module builds the whole-project view those rules query:
+
+* :class:`Project` parses every analyzed file into a :class:`ModuleInfo`
+  (package-relative path, dotted module name, per-module import map,
+  every function/method as a :class:`FunctionInfo` with a stable
+  qualified name ``rel:Class.method``);
+* call sites are resolved to project functions where the AST supports
+  it -- local names, names imported from sibling modules, ``self.m()``
+  within the defining class -- and by *method-name match* across project
+  classes as a deliberate over-approximation for attribute calls whose
+  receiver type is unknowable statically.  Over-generic method names
+  (``close``, ``write``, ``get``, ...) are excluded from name matching:
+  resolving ``writer.close()`` to every project ``close`` would drown
+  the async-blocking rule in false paths through asyncio objects;
+* :meth:`Project.reachable_path` runs BFS over the resolved edges and
+  returns one concrete call path, which rules embed in findings so a
+  reviewer can follow the chain without re-deriving it.
+
+Offload boundaries are first-class: a function reference passed as an
+*argument* never creates an edge (``loop.run_in_executor(pool,
+self._execute, ...)`` is precisely how blocking work legally leaves a
+coroutine), so the thread-pool-offload allowlist falls out of the
+resolution rules instead of being a special case.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "FunctionInfo",
+    "CallSite",
+    "ModuleInfo",
+    "Project",
+    "GENERIC_METHOD_NAMES",
+]
+
+#: Method names too generic to resolve by name alone -- shared with
+#: builtins, asyncio, files and containers.  Attribute calls on unknown
+#: receivers with these names stay *external* (no project edge).
+GENERIC_METHOD_NAMES = frozenset({
+    "close", "open", "read", "write", "flush", "get", "put", "set",
+    "add", "append", "extend", "update", "pop", "clear", "copy",
+    "items", "keys", "values", "join", "split", "start", "stop",
+    "run", "send", "next", "sort", "index", "count", "insert",
+    "remove", "result", "submit", "map", "wait", "acquire", "release",
+    "encode", "decode", "name", "check", "shutdown",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qname: str                 #: ``rel:dotted.path`` (stable, display-friendly)
+    rel: str                   #: package-relative path of the defining file
+    name: str                  #: bare name (``start``, ``_execute``)
+    node: ast.AST              #: the FunctionDef / AsyncFunctionDef
+    is_async: bool
+    cls: str | None = None     #: enclosing class name, if a method
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a project function."""
+
+    caller: str                       #: qname of the enclosing function
+    node: ast.Call
+    targets: tuple[str, ...] = ()     #: project qnames this may dispatch to
+    external: str | None = None       #: dotted name when not a project target
+    #: True when resolution fell back to method-name matching (the
+    #: receiver's type was unknown); rules may treat these edges as
+    #: weaker evidence.
+    by_name: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: imports, defs, and raw call sites."""
+
+    rel: str
+    modname: str
+    tree: ast.Module
+    #: local name -> dotted target (``np`` -> ``numpy``,
+    #: ``compress`` -> ``repro.core.compressor.compress``)
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _module_name(rel: str) -> str:
+    """``service/server.py`` -> ``repro.service.server``."""
+    stem = rel[:-3] if rel.endswith(".py") else rel
+    parts = [p for p in stem.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+def _collect_imports(tree: ast.Module, modname: str) -> dict[str, str]:
+    """Map local names to the dotted names they import."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against this module's package.
+                base_parts = modname.split(".")[: -node.level or None]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return out
+
+
+class Project:
+    """Parsed modules + resolved call graph over one analyzed file set.
+
+    Build once per :func:`repro.analysis.engine.analyze_paths` run and
+    share across rules via ``Source.project``; the call-site table and
+    BFS caches make repeated reachability queries cheap.
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}          # rel -> module
+        self.functions: dict[str, FunctionInfo] = {}      # qname -> info
+        #: method/function bare name -> qnames defining it
+        self._by_name: dict[str, list[str]] = {}
+        #: class name -> {method name -> qname}
+        self._class_methods: dict[str, dict[str, str]] = {}
+        #: top-level function name per module: (modname, name) -> qname
+        self._module_funcs: dict[tuple[str, str], str] = {}
+        self._calls: dict[str, list[CallSite]] = {}
+        self._built = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_module(self, rel: str, tree: ast.Module) -> None:
+        """Index one parsed file (idempotent per ``rel``)."""
+        modname = _module_name(rel)
+        info = ModuleInfo(rel=rel, modname=modname, tree=tree,
+                          imports=_collect_imports(tree, modname))
+        self.modules[rel] = info
+        self._built = False
+
+        def visit(node: ast.AST, prefix: str, cls: str | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    dotted = f"{prefix}{child.name}"
+                    qname = f"{rel}:{dotted}"
+                    fn = FunctionInfo(
+                        qname=qname, rel=rel, name=child.name, node=child,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                        cls=cls,
+                    )
+                    info.functions[qname] = fn
+                    self.functions[qname] = fn
+                    self._by_name.setdefault(child.name, []).append(qname)
+                    if cls is not None:
+                        self._class_methods.setdefault(cls, {})[child.name] = qname
+                    else:
+                        self._module_funcs[(modname, child.name)] = qname
+                    # Nested defs are indexed too (prefixed), but only
+                    # one level of call context matters for resolution.
+                    visit(child, f"{dotted}.", cls)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, f"{child.name}.", child.name)
+                else:
+                    visit(child, prefix, cls)
+
+        visit(tree, "", None)
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_dotted(self, dotted: str) -> tuple[str, ...]:
+        """A fully dotted name (``repro.core.compressor.compress``) to qnames."""
+        if "." not in dotted:
+            return ()
+        mod, name = dotted.rsplit(".", 1)
+        hit = self._module_funcs.get((mod, name))
+        if hit is not None:
+            return (hit,)
+        # ``from ..device.backend import ThreadedBackend`` + ``T()``:
+        # a class constructor dispatches to its __init__.
+        init = self._class_methods.get(name, {}).get("__init__")
+        if init is not None and self.functions[init].rel.startswith(
+            self._mod_rel_prefix(mod)
+        ):
+            return (init,)
+        return ()
+
+    def _mod_rel_prefix(self, mod: str) -> str:
+        parts = mod.split(".")
+        return "/".join(parts[1:]) if parts[:1] == ["repro"] else mod
+
+    def _resolve_call(
+        self, call: ast.Call, info: ModuleInfo, fn: FunctionInfo
+    ) -> CallSite:
+        func = call.func
+        # Bare name: local def, imported name, or a class constructor.
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = self._module_funcs.get((info.modname, name))
+            if local is not None:
+                return CallSite(fn.qname, call, targets=(local,))
+            init = self._class_methods.get(name, {}).get("__init__")
+            if init is not None and self.functions[init].rel == info.rel:
+                return CallSite(fn.qname, call, targets=(init,))
+            dotted = info.imports.get(name)
+            if dotted is not None:
+                targets = self._resolve_dotted(dotted)
+                if targets:
+                    return CallSite(fn.qname, call, targets=targets)
+                return CallSite(fn.qname, call, external=dotted)
+            return CallSite(fn.qname, call, external=name)
+        if not isinstance(func, ast.Attribute):
+            return CallSite(fn.qname, call, external=None)
+        attr = func.attr
+        base = func.value
+        # ``module.func(...)`` through an imported module name.
+        if isinstance(base, ast.Name) and base.id in info.imports:
+            dotted = f"{info.imports[base.id]}.{attr}"
+            targets = self._resolve_dotted(dotted)
+            if targets:
+                return CallSite(fn.qname, call, targets=targets)
+            return CallSite(fn.qname, call, external=dotted)
+        # ``self.method(...)`` within the defining class.
+        if (
+            isinstance(base, ast.Name) and base.id == "self"
+            and fn.cls is not None
+        ):
+            hit = self._class_methods.get(fn.cls, {}).get(attr)
+            if hit is not None:
+                return CallSite(fn.qname, call, targets=(hit,))
+        # Unknown receiver: name-match across project methods, except for
+        # names too generic to mean anything (see GENERIC_METHOD_NAMES)
+        # and dunders (``super().__init__`` must not fan out to every
+        # constructor in the project).
+        if attr not in GENERIC_METHOD_NAMES and not attr.startswith("__"):
+            candidates = tuple(
+                q for q in self._by_name.get(attr, ())
+                if self.functions[q].cls is not None or self.functions[q].rel
+            )
+            if candidates:
+                return CallSite(fn.qname, call, targets=candidates, by_name=True)
+        return CallSite(fn.qname, call, external=attr)
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        self._calls = {q: [] for q in self.functions}
+        for info in self.modules.values():
+            for fn in info.functions.values():
+                body = getattr(fn.node, "body", [])
+                for stmt in body:
+                    for node in ast.walk(stmt):
+                        # Calls inside *nested* defs belong to the nested
+                        # function's own entry, not this one.
+                        if isinstance(node, ast.Call) and self._owner(node, fn):
+                            self._calls[fn.qname].append(
+                                self._resolve_call(node, info, fn)
+                            )
+        self._built = True
+
+    def _owner(self, node: ast.AST, fn: FunctionInfo) -> bool:
+        """True when ``node``'s nearest enclosing def is ``fn`` itself."""
+        current = getattr(node, "_pfpl_parent", None)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current is fn.node
+            current = getattr(current, "_pfpl_parent", None)
+        return True  # unparented trees (no engine links): best effort
+
+    # -- queries -------------------------------------------------------------
+
+    def call_sites(self, qname: str) -> list[CallSite]:
+        """Resolved call sites inside one project function."""
+        self._build()
+        return self._calls.get(qname, [])
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions.values())
+
+    def functions_in(self, rel: str) -> list[FunctionInfo]:
+        info = self.modules.get(rel)
+        return list(info.functions.values()) if info else []
+
+    def reachable_path(
+        self,
+        start: str,
+        hits: Callable[[CallSite], bool],
+        *,
+        max_depth: int = 12,
+        follow: Callable[[str], bool] | None = None,
+    ) -> list[str] | None:
+        """BFS from ``start``: shortest call chain to a site ``hits`` accepts.
+
+        Returns ``[start, ..., last_caller]`` -- the functions along the
+        chain -- or None when no matching site is reachable.  Edges only
+        follow *direct* calls, so references handed to executors/submit
+        do not propagate; ``follow`` can prune targets (e.g. skip async
+        callees, which are analyzed in their own right).
+        """
+        self._build()
+        seen = {start}
+        queue: list[tuple[str, list[str]]] = [(start, [start])]
+        while queue:
+            current, path = queue.pop(0)
+            if len(path) > max_depth:
+                continue
+            for site in self._calls.get(current, ()):
+                if hits(site):
+                    return path
+                for target in site.targets:
+                    if target not in seen and (follow is None or follow(target)):
+                        seen.add(target)
+                        queue.append((target, path + [target]))
+        return None
+
+
+def build_project(sources: Iterable[tuple[str, ast.Module]]) -> Project:
+    """Convenience constructor from ``(rel, tree)`` pairs."""
+    project = Project()
+    for rel, tree in sources:
+        project.add_module(rel, tree)
+    return project

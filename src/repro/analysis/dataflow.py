@@ -1,0 +1,373 @@
+"""Intraprocedural dataflow: reaching definitions and a value-escape lattice.
+
+The buffer-escape and resource-lifecycle rules need to answer, for one
+function at a time, "does a value derived from X leave this scope, and
+how?".  The machinery here is deliberately a *may*-analysis over names:
+
+* :func:`reaching_definitions` -- statement-ordered name -> definition
+  sites, with branch bodies unioned (no path sensitivity);
+* :class:`TaintTracker` -- seeds taint at source expressions, propagates
+  it through assignments, views, slices and aliasing calls to a
+  monotone fixpoint (taint only ever grows, so iteration terminates),
+  and stops it at *sanitizers* (calls that copy the bytes out:
+  ``bytes``, ``.tobytes()``, ``.copy()``, ...);
+* :class:`Escape` -- the ways a tainted value outlives the frame,
+  ordered as a small lattice::
+
+      SCOPED < RETURN < CLOSURE < ATTR < BOUNDARY
+
+  ``RETURN``/``yield`` hands the value to the caller; ``CLOSURE`` is a
+  nested def capturing the name; ``ATTR`` stores it on an object that
+  outlives the frame; ``BOUNDARY`` crosses a pickle/submit boundary
+  into another thread or process, the worst case for a mutable view.
+
+Aliasing model: subscripts and attributes of a tainted name are tainted;
+``container.append(tainted)`` taints the container (a list retains the
+reference); NumPy fancy-index *stores* (``out[rows] = tainted``) copy
+element values and are NOT escapes.  The model is unsound in both
+directions by design -- it exists to catch the arena-view bug class
+with reviewable findings, not to certify absence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "reaching_definitions",
+    "TaintTracker",
+    "Escape",
+    "ESCAPE_ORDER",
+]
+
+#: Escape lattice, least to greatest severity.
+ESCAPE_ORDER = ("scoped", "return", "closure", "attr", "boundary")
+
+#: Calls whose result is a *copy* of their argument -- taint stops here.
+_SANITIZERS = frozenset({
+    "bytes", "bytearray", "len", "int", "float", "bool", "str", "sum",
+    "tuple", "list", "sorted", "min", "max", "repr", "hash", "id",
+})
+_SANITIZER_METHODS = frozenset({"tobytes", "copy", "hex", "tolist", "sum", "item"})
+
+#: Attribute-call methods through which taint flows (result aliases the
+#: receiver's memory).
+_ALIASING_METHODS = frozenset({
+    "view", "reshape", "ravel", "transpose", "swapaxes", "squeeze",
+    "astype_view", "cast",
+})
+
+#: Calls whose result aliases one of their arguments.
+_ALIASING_FUNCS = frozenset({"memoryview", "np.frombuffer", "np.asarray", "np.ndarray"})
+
+#: Container-mutating methods that retain a reference to their argument.
+_RETAINING_METHODS = frozenset({"append", "add", "insert", "extend", "appendleft"})
+
+#: Attributes that read *metadata* about a buffer, never the buffer
+#: itself -- accessing them on a tainted value yields a clean scalar.
+_METADATA_ATTRS = frozenset({
+    "shape", "dtype", "nbytes", "size", "ndim", "itemsize", "strides",
+    "name", "str", "format",
+})
+
+#: Call names that move their arguments across a process/pickle or
+#: thread boundary -- the worst escape for a mutable shared view.
+_BOUNDARY_CALLS = frozenset({
+    "submit", "run_in_executor", "map_async", "apply_async",
+    "dumps", "dump",  # pickle
+})
+
+
+@dataclass(frozen=True)
+class Escape:
+    """One way a tainted value outlives its frame."""
+
+    kind: str        #: one of :data:`ESCAPE_ORDER` (never ``scoped``)
+    node: ast.AST    #: the escaping expression/statement
+    name: str        #: the tainted name (or a rendering of the expression)
+    detail: str = ""
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+def _bound_names(target: ast.expr) -> Iterator[str]:
+    """Names a store-target actually *rebinds*.
+
+    ``x = v`` and ``a, b = v`` bind names; ``x[i] = v`` and ``x.attr = v``
+    mutate an existing object without rebinding ``x`` -- for NumPy a
+    subscript store copies element values, so taint must not flow into
+    the container name.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _assign_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)) and stmt.value is not None:
+        return [stmt.target]
+    return []
+
+
+def reaching_definitions(fn: ast.AST) -> dict[str, list[ast.stmt]]:
+    """Name -> assignment statements that may define it in ``fn``.
+
+    Union over all branches (may-analysis); ``for`` targets and ``with
+    ... as`` bindings count as definitions.  Nested defs are opaque --
+    their bodies neither define nor read names here.
+    """
+    defs: dict[str, list[ast.stmt]] = {}
+
+    def record(target: ast.expr, stmt: ast.stmt) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                defs.setdefault(node.id, []).append(stmt)
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for target in _assign_targets(stmt):
+                record(target, stmt)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                record(stmt.target, stmt)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        record(item.optional_vars, stmt)
+            for name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, name, None)
+                if isinstance(inner, list):
+                    visit(inner)
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler.body)
+
+    visit(getattr(fn, "body", []))
+    return defs
+
+
+def _call_name(call: ast.Call) -> str:
+    """A dotted rendering of the callee (``np.ndarray``, ``pool.submit``)."""
+    parts: list[str] = []
+    node: ast.AST = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class TaintTracker:
+    """Propagate taint from source expressions through one function.
+
+    Parameters
+    ----------
+    is_source:
+        Predicate over expressions: True seeds taint (e.g. "a call to
+        ``scratch``" or "an ``.buf`` attribute access").
+    extra_sanitizers:
+        Additional callee names (bare or method) that stop taint.
+    """
+
+    def __init__(
+        self,
+        is_source: Callable[[ast.expr], bool],
+        extra_sanitizers: frozenset[str] = frozenset(),
+    ):
+        self.is_source = is_source
+        self._sanitizers = _SANITIZERS | extra_sanitizers
+        self._sanitizer_methods = _SANITIZER_METHODS | extra_sanitizers
+
+    # -- expression taint ----------------------------------------------------
+
+    def _expr_tainted(self, expr: ast.expr, tainted: set[str]) -> bool:
+        if self.is_source(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Subscript):
+            return self._expr_tainted(expr.value, tainted)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in _METADATA_ATTRS:
+                return False
+            return self._expr_tainted(expr.value, tainted)
+        if isinstance(expr, ast.Starred):
+            return self._expr_tainted(expr.value, tainted)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self._expr_tainted(e, tainted) for e in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            return (
+                self._expr_tainted(expr.body, tainted)
+                or self._expr_tainted(expr.orelse, tainted)
+            )
+        if isinstance(expr, ast.NamedExpr):
+            return self._expr_tainted(expr.value, tainted)
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            bare = name.rsplit(".", 1)[-1]
+            if bare in self._sanitizers or bare in self._sanitizer_methods:
+                return False
+            # Method on a tainted receiver: aliasing methods (and plain
+            # slicing helpers) keep the taint; unknown methods are
+            # conservatively aliasing too (``.__getitem__`` etc.).
+            if isinstance(expr.func, ast.Attribute):
+                if self._expr_tainted(expr.func.value, tainted):
+                    return True
+            if name in _ALIASING_FUNCS or bare in _ALIASING_METHODS:
+                return any(
+                    self._expr_tainted(a, tainted) for a in expr.args
+                ) or any(
+                    kw.value is not None and self._expr_tainted(kw.value, tainted)
+                    for kw in expr.keywords
+                )
+            return False
+        return False
+
+    # -- fixpoint over a function -------------------------------------------
+
+    def tainted_names(self, fn: ast.AST) -> set[str]:
+        """Names that may bind a tainted value anywhere in ``fn``."""
+        tainted: set[str] = set()
+        body = getattr(fn, "body", [])
+        changed = True
+        while changed:
+            changed = False
+            for stmt in ast.walk(ast.Module(body=body, type_ignores=[])):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                elif isinstance(stmt, ast.AugAssign):
+                    targets, value = [stmt.target], stmt.value
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if (
+                            item.optional_vars is not None
+                            and isinstance(item.optional_vars, ast.Name)
+                            and self._expr_tainted(item.context_expr, tainted)
+                            and item.optional_vars.id not in tainted
+                        ):
+                            tainted.add(item.optional_vars.id)
+                            changed = True
+                    continue
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    if self._expr_tainted(stmt.iter, tainted):
+                        for name in _bound_names(stmt.target):
+                            if name not in tainted:
+                                tainted.add(name)
+                                changed = True
+                    continue
+                else:
+                    continue
+                if value is None or not self._expr_tainted(value, tainted):
+                    continue
+                for target in targets:
+                    for name in _bound_names(target):
+                        if name not in tainted:
+                            tainted.add(name)
+                            changed = True
+        # Containers retaining tainted elements become tainted themselves.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _RETAINING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id not in tainted
+                    and any(self._expr_tainted(a, tainted) for a in node.args)
+                ):
+                    tainted.add(func.value.id)
+                    changed = True
+        return tainted
+
+    # -- escapes -------------------------------------------------------------
+
+    def escapes(self, fn: ast.AST) -> Iterator[Escape]:
+        """Every way a tainted value leaves ``fn``'s frame."""
+        tainted = self.tainted_names(fn)
+        body = getattr(fn, "body", [])
+        own_nested: list[ast.AST] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                    and node is not fn
+                ):
+                    own_nested.append(node)
+
+        def render(expr: ast.expr) -> str:
+            try:
+                return ast.unparse(expr)
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                return "<expr>"
+
+        nested_nodes: set[int] = set()
+        for n in own_nested:
+            nested_nodes.update(id(x) for x in ast.walk(n) if x is not n)
+
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if id(node) in nested_nodes:
+                        continue
+                    if self._expr_tainted(node.value, tainted):
+                        yield Escape("return", node, render(node.value))
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    if id(node) in nested_nodes:
+                        continue
+                    value = getattr(node, "value", None)
+                    if value is not None and self._expr_tainted(value, tainted):
+                        yield Escape("return", node, render(value), "yield")
+                elif isinstance(node, ast.Assign):
+                    if not self._expr_tainted(node.value, tainted):
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute):
+                            yield Escape(
+                                "attr", node, render(target),
+                                "stored on an object that outlives the frame",
+                            )
+                elif isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    bare = name.rsplit(".", 1)[-1]
+                    if bare in _BOUNDARY_CALLS:
+                        for arg in list(node.args) + [
+                            kw.value for kw in node.keywords
+                        ]:
+                            if self._expr_tainted(arg, tainted):
+                                yield Escape(
+                                    "boundary", node, render(arg),
+                                    f"passed across a {bare}() boundary",
+                                )
+        # Closure capture: a nested def reading a tainted name.
+        for nested in own_nested:
+            loads = {
+                n.id
+                for n in ast.walk(nested)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            captured = sorted(loads & tainted)
+            if captured:
+                yield Escape(
+                    "closure", nested, ", ".join(captured),
+                    "captured by a nested function",
+                )
+

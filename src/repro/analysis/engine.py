@@ -30,7 +30,10 @@ from fnmatch import fnmatch
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .callgraph import Project
+
 __all__ = [
+    "ENGINE_VERSION",
     "Severity",
     "Finding",
     "Source",
@@ -43,6 +46,12 @@ __all__ = [
     "analyze_paths",
     "iter_parents",
 ]
+
+#: Analysis-engine revision.  Bumped whenever the engine's semantics
+#: change in a way that can alter findings (new dataflow model, changed
+#: suppression handling, ...); the incremental cache keys on it so a
+#: stale cache can never mask an engine change.
+ENGINE_VERSION = 2
 
 
 class Severity(str, Enum):
@@ -76,6 +85,18 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            rule=str(d["rule"]),
+            severity=Severity(d["severity"]),
+            path=str(d["path"]),
+            line=int(d["line"]),
+            col=int(d["col"]),
+            message=str(d["message"]),
+        )
 
 
 _ALLOW_RE = re.compile(r"pfpl:\s*allow\[([^\]]*)\]")
@@ -119,6 +140,9 @@ class Source:
     text: str
     tree: ast.Module
     suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: Whole-project view (call graph, module index) for dataflow rules;
+    #: single-file analyses get a project containing just this file.
+    project: Project | None = None
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         names = self.suppressions.get(line)
@@ -151,6 +175,11 @@ class Rule:
     #: package-relative glob(s) the rule polices (``*`` crosses ``/``)
     scope: tuple[str, ...] = ("**",)
     exclude: tuple[str, ...] = ()
+    #: True for dataflow rules that consult ``Source.project`` (call
+    #: graph / cross-file reachability).  The incremental cache keys
+    #: these rules' results on the *whole-project* fingerprint, per-file
+    #: rules only on the file's own content hash.
+    requires_project: bool = False
 
     def applies_to(self, rel: str) -> bool:
         if any(fnmatch(rel, pat) for pat in self.exclude):
@@ -216,38 +245,22 @@ def _package_rel(path: str) -> str:
     return Path(path).name
 
 
-def analyze_source(
-    text: str,
-    path: str = "<string>",
-    rel: str | None = None,
-    rules: Iterable[Rule] | None = None,
-) -> list[Finding]:
-    """Analyze one source string; returns findings sorted by location."""
-    rel = rel if rel is not None else _package_rel(path)
-    try:
-        tree = ast.parse(text, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="syntax-error",
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    _link_parents(tree)
-    src = Source(
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="syntax-error",
+        severity=Severity.ERROR,
         path=path,
-        rel=rel,
-        text=text,
-        tree=tree,
-        suppressions=_collect_suppressions(text),
+        line=exc.lineno or 0,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
     )
+
+
+def _check_rules(src: Source, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one prepared Source, suppressions applied."""
     findings: list[Finding] = []
-    for rule in (list(rules) if rules is not None else all_rules()):
-        if not rule.applies_to(rel):
+    for rule in rules:
+        if not rule.applies_to(src.rel):
             continue
         for f in rule.check(src):
             if not src.is_suppressed(f.rule, f.line):
@@ -256,23 +269,52 @@ def analyze_source(
     return findings
 
 
+def analyze_source(
+    text: str,
+    path: str = "<string>",
+    rel: str | None = None,
+    rules: Iterable[Rule] | None = None,
+    project: Project | None = None,
+) -> list[Finding]:
+    """Analyze one source string; returns findings sorted by location.
+
+    Without an explicit ``project`` the dataflow rules see a project
+    containing just this file -- right for fixtures, an undercount for
+    real cross-module reachability (use :func:`analyze_paths` there).
+    """
+    rel = rel if rel is not None else _package_rel(path)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [_syntax_finding(path, exc)]
+    _link_parents(tree)
+    if project is None:
+        project = Project()
+        project.add_module(rel, tree)
+    src = Source(
+        path=path,
+        rel=rel,
+        text=text,
+        tree=tree,
+        suppressions=_collect_suppressions(text),
+        project=project,
+    )
+    return _check_rules(src, list(rules) if rules is not None else all_rules())
+
+
 def analyze_file(
     path: str | Path,
     rel: str | None = None,
     rules: Iterable[Rule] | None = None,
+    project: Project | None = None,
 ) -> list[Finding]:
     """Analyze one file on disk."""
     p = Path(path)
     text = p.read_text(encoding="utf-8")
-    return analyze_source(text, path=str(p), rel=rel, rules=rules)
+    return analyze_source(text, path=str(p), rel=rel, rules=rules, project=project)
 
 
-def analyze_paths(
-    paths: Iterable[str | Path],
-    rules: Iterable[Rule] | None = None,
-) -> list[Finding]:
-    """Analyze files and/or directory trees (``*.py``, sorted walk)."""
-    rules = list(rules) if rules is not None else None
+def _expand_paths(paths: Iterable[str | Path]) -> list[Path]:
     files: list[Path] = []
     for path in paths:
         p = Path(path)
@@ -282,8 +324,73 @@ def analyze_paths(
             )
         else:
             files.append(p)
-    findings: list[Finding] = []
+    return files
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+    cache=None,
+) -> list[Finding]:
+    """Analyze files and/or directory trees (``*.py``, sorted walk).
+
+    All files are parsed up front into one shared :class:`Project` so
+    the dataflow rules resolve calls *across* the analyzed set.  When a
+    ``cache`` (:class:`repro.analysis.cache.AnalysisCache`) is given,
+    per-file rules are skipped for files whose content hash is
+    unchanged, and project-wide rules for files whose content hash AND
+    the whole-set fingerprint are unchanged; cached findings are
+    returned byte-identically.
+    """
+    rule_list = list(rules) if rules is not None else all_rules()
+    files = _expand_paths(paths)
+
+    parsed: list[tuple[Path, str, str, ast.Module | None, Finding | None]] = []
+    project = Project()
     for f in files:
-        findings.extend(analyze_file(f, rules=rules))
+        text = f.read_text(encoding="utf-8")
+        rel = _package_rel(str(f))
+        try:
+            tree = ast.parse(text, filename=str(f))
+        except SyntaxError as exc:
+            parsed.append((f, rel, text, None, _syntax_finding(str(f), exc)))
+            continue
+        _link_parents(tree)
+        project.add_module(rel, tree)
+        parsed.append((f, rel, text, tree, None))
+
+    local_rules = [r for r in rule_list if not r.requires_project]
+    project_rules = [r for r in rule_list if r.requires_project]
+    if cache is not None:
+        cache.begin(
+            local_rules, project_rules,
+            {str(f): text for f, _rel, text, _t, _e in parsed},
+        )
+
+    findings: list[Finding] = []
+    for f, rel, text, tree, syntax_err in parsed:
+        if syntax_err is not None:
+            findings.append(syntax_err)
+            continue
+        src: Source | None = None
+        for kind, kind_rules in (("local", local_rules), ("project", project_rules)):
+            if not kind_rules:
+                continue
+            if cache is not None:
+                hit = cache.get(str(f), kind)
+                if hit is not None:
+                    findings.extend(hit)
+                    continue
+            if src is None:
+                src = Source(
+                    path=str(f), rel=rel, text=text, tree=tree,
+                    suppressions=_collect_suppressions(text), project=project,
+                )
+            fresh = _check_rules(src, kind_rules)
+            if cache is not None:
+                cache.put(str(f), kind, fresh)
+            findings.extend(fresh)
+    if cache is not None:
+        cache.save()
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

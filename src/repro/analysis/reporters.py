@@ -1,7 +1,9 @@
-"""Finding reporters: aligned text table and JSON.
+"""Finding reporters: aligned text table, JSON, and SARIF 2.1.0.
 
-Both render the same finding list; the table is what ``pfpl analyze``
-prints for humans, the JSON document is what CI archives.
+All render the same finding list; the table is what ``pfpl analyze``
+prints for humans, the JSON document is what CI archives, and the SARIF
+log is what code-review UIs (GitHub code scanning) ingest to annotate
+the offending lines directly on a PR diff.
 """
 
 from __future__ import annotations
@@ -9,9 +11,9 @@ from __future__ import annotations
 import json
 from collections import Counter
 
-from .engine import Finding
+from .engine import ENGINE_VERSION, Finding, all_rules
 
-__all__ = ["render_table", "render_json"]
+__all__ = ["render_table", "render_json", "render_sarif"]
 
 
 def render_table(findings: list[Finding]) -> str:
@@ -38,5 +40,74 @@ def render_json(findings: list[Finding], indent: int | None = 2) -> str:
         "findings": [f.to_dict() for f in findings],
         "total": len(findings),
         "by_rule": dict(sorted(by_rule.items())),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def render_sarif(findings: list[Finding], indent: int | None = 2) -> str:
+    """SARIF 2.1.0 log: one run, one result per finding.
+
+    Rule metadata covers every *registered* rule (not just the firing
+    ones) so review UIs can show descriptions for a clean run too.
+    Paths are emitted as given -- repo-relative when the analyzer was
+    invoked from the repo root, which is what GitHub's upload action
+    expects.
+    """
+    rules_meta = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity.value == "error" else "warning",
+            },
+        }
+        for rule in all_rules()
+    ]
+    known = {r["id"] for r in rules_meta}
+    index = {r["id"]: i for i, r in enumerate(rules_meta)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error" if f.severity.value == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in known:
+            result["ruleIndex"] = index[f.rule]
+        results.append(result)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pfpl-analyze",
+                        "informationUri": "https://example.invalid/pfpl",
+                        "version": f"{ENGINE_VERSION}.0.0",
+                        "rules": rules_meta,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(doc, indent=indent, sort_keys=True)

@@ -1,0 +1,172 @@
+"""async-blocking: no blocking call reachable from a coroutine.
+
+The service event loop runs every coroutine on one thread; a single
+``time.sleep``, synchronous socket read, ``Lock.acquire`` or direct
+``encode_array`` anywhere *below* an ``async def`` stalls every open
+connection.  PR 7's second bug was exactly this shape: a sync codec
+call three frames under a coroutine, invisible to any per-file lint
+because each intermediate frame looked innocent.
+
+For every ``async def`` in the service layer this rule walks the
+project call graph (:class:`~repro.analysis.callgraph.Project`) from
+each *non-awaited* call site and reports the shortest chain to a
+blocking primitive, embedding the chain in the message so the reviewer
+can follow it without re-deriving the path.
+
+What counts as blocking:
+
+* known blocking externals -- ``time.sleep``, ``os.system``,
+  ``subprocess.*``, sync socket/file verbs (``recv``, ``sendall``,
+  ``accept``, ``readline``), builtin ``open``/``input``;
+* sync concurrency primitives -- ``.acquire()``, ``.result()``,
+  ``.wait()``, ``.join(timeout=...)`` is deliberately excluded
+  (``str.join`` noise), ``.shutdown()``;
+* CPU-bound codec entry points (``encode_array``/``decode_array``/
+  ``encode_batch``/``decode_batch``) -- milliseconds of NumPy work is
+  blocking at event-loop timescales.
+
+The thread-pool-offload allowlist is structural, not a lookup table: a
+function *reference* passed to ``run_in_executor``/``submit`` never
+creates a call edge, so legally offloaded workers (``self._execute``)
+are unreachable by construction.  Awaited calls are skipped (awaiting
+yields the loop), and async callees are not descended into -- each
+``async def`` is checked in its own right.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import CallSite, Project
+from ..engine import Finding, Rule, Source, iter_parents, register_rule
+
+__all__ = ["AsyncBlockingRule"]
+
+#: Fully dotted external callees that block the calling thread.
+_BLOCKING_DOTTED = frozenset({
+    "time.sleep",
+    "os.system", "os.popen", "os.waitpid",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.request",
+})
+
+#: Bare-name callees (builtins / unresolved imports) that block.
+_BLOCKING_BARE = frozenset({"sleep", "open", "input"})
+
+#: Method names that block regardless of receiver type.  These are all
+#: in the call graph's generic-name stoplist, so they always surface as
+#: *external* sites here rather than resolving to project methods.
+_BLOCKING_METHODS = frozenset({
+    "acquire", "result", "wait", "shutdown",
+    "recv", "recv_into", "sendall", "accept", "connect",
+    "readline", "readinto",
+})
+
+#: Project codec entry points: CPU-bound enough to count as blocking.
+_CODEC_ENTRYPOINTS = frozenset({
+    "encode_array", "decode_array", "encode_batch", "decode_batch",
+})
+
+
+def _blocking_reason(site: CallSite, project: Project) -> str | None:
+    """Why this call site blocks, or None if it does not."""
+    ext = site.external
+    if ext:
+        if ext in _BLOCKING_DOTTED:
+            return f"`{ext}` blocks the thread"
+        if "." not in ext:
+            if ext in _BLOCKING_BARE:
+                return f"builtin `{ext}` does synchronous IO"
+            if ext in _BLOCKING_METHODS:
+                return f"`.{ext}()` is a synchronous concurrency/IO primitive"
+            if ext in _CODEC_ENTRYPOINTS:
+                return f"`{ext}` is a CPU-bound codec call"
+    for qname in site.targets:
+        fn = project.functions.get(qname)
+        if fn is not None and not fn.is_async and fn.name in _CODEC_ENTRYPOINTS:
+            return f"`{fn.qname}` is a CPU-bound codec call"
+    return None
+
+
+def _is_awaited(call: ast.Call) -> bool:
+    for parent in iter_parents(call):
+        if isinstance(parent, ast.Await):
+            return True
+        if isinstance(parent, (ast.stmt, ast.Lambda)):
+            return False
+    return False
+
+
+def _render(call: ast.Call) -> str:
+    try:
+        return ast.unparse(call.func)
+    except Exception:  # pragma: no cover
+        return "<call>"
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    """Coroutines must never (transitively) call blocking primitives."""
+
+    name = "async-blocking"
+    description = (
+        "a blocking call (sleep, sync IO, Lock.acquire, direct codec "
+        "entry) is reachable from an async def via the call graph"
+    )
+    scope = ("service/**",)
+    requires_project = True
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        project = src.project
+        if project is None:  # pragma: no cover - engine always provides one
+            return
+        for fn in project.functions_in(src.rel):
+            if not fn.is_async:
+                continue
+            for site in project.call_sites(fn.qname):
+                if _is_awaited(site.node):
+                    continue
+                reason = _blocking_reason(site, project)
+                if reason is not None:
+                    yield self.finding(
+                        src, site.node,
+                        f"coroutine `{fn.name}` makes a blocking call "
+                        f"`{_render(site.node)}`: {reason}; offload it via "
+                        "run_in_executor or use the async equivalent",
+                    )
+                    continue
+                sync_targets = [
+                    t for t in site.targets
+                    if t in project.functions and not project.functions[t].is_async
+                ]
+                for target in sync_targets:
+                    path = project.reachable_path(
+                        target,
+                        lambda s: _blocking_reason(s, project) is not None,
+                        follow=lambda q: not project.functions[q].is_async,
+                    )
+                    if path is None:
+                        continue
+                    primitive = self._first_blocking(project, path[-1])
+                    chain = " -> ".join(
+                        [fn.name] + [q.split(":", 1)[1] for q in path]
+                    )
+                    yield self.finding(
+                        src, site.node,
+                        f"coroutine `{fn.name}` reaches blocking call "
+                        f"{primitive} via {chain}; offload the whole chain "
+                        "via run_in_executor or break the blocking edge",
+                    )
+                    break  # one finding per site is enough
+
+    @staticmethod
+    def _first_blocking(project: Project, qname: str) -> str:
+        for site in project.call_sites(qname):
+            reason = _blocking_reason(site, project)
+            if reason is not None:
+                return f"`{_render(site.node)}` ({reason})"
+        return "a blocking primitive"  # pragma: no cover - path guaranteed

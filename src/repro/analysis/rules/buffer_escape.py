@@ -1,0 +1,113 @@
+"""buffer-escape: shared-arena views must not outlive their scope.
+
+The PR 7 race in one line: :meth:`ProcessPoolBackend.encode_array`
+returned ``memoryview`` slices over a *process-wide* shared-memory
+arena, and a concurrent encode from another thread re-filled that arena
+while the first caller was still reading its views.  The bytes changed
+under an in-flight blob -- a corruption no per-file AST pattern can
+see, because the view's creation, the escape and the overwrite are
+three different statements (and two of them are in other frames).
+
+This rule tracks, per function, every value derived from an arena
+source with the :class:`~repro.analysis.dataflow.TaintTracker`:
+
+* ``scratch(...)`` -- the thread-local scratch allocator
+  (:mod:`repro.core.scratch`); buffers are only valid until the same
+  key is requested again on the same thread;
+* ``<seg>.buf`` -- a :class:`multiprocessing.shared_memory.SharedMemory`
+  mapping (procpool arenas), including ``np.ndarray(..., buffer=seg.buf)``
+  and ``memoryview(seg.buf)`` wrappers.
+
+and flags the escapes that break each source's contract:
+
+==============  =======================================================
+source          escapes flagged
+==============  =======================================================
+``scratch``     ``boundary`` (crosses ``submit``/pickle into another
+                thread or process -- scratch is thread-local),
+                ``attr`` (stored on an object that outlives the call),
+                ``closure`` (captured by a nested function).  A plain
+                ``return`` is *allowed*: the batched stages chain
+                scratch buffers within one same-thread encode call.
+``.buf``        all of the above **plus** ``return``/``yield`` -- a raw
+                shared-mapping view handed to a caller is exactly the
+                PR 7 race surface.
+==============  =======================================================
+
+Copies (``bytes()``, ``.tobytes()``, ``.copy()``, ``np.array`` without
+``copy=False``) stop the taint; NumPy fancy-index *stores* copy element
+values and are not escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..dataflow import TaintTracker
+from ..engine import Finding, Rule, Source, register_rule
+
+__all__ = ["BufferEscapeRule"]
+
+#: Escape kinds flagged per source family.
+_FLAGGED = {
+    "scratch": frozenset({"boundary", "attr", "closure"}),
+    "buf": frozenset({"return", "boundary", "attr", "closure"}),
+}
+
+
+def _is_scratch_source(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    return (isinstance(func, ast.Name) and func.id == "scratch") or (
+        isinstance(func, ast.Attribute) and func.attr == "scratch"
+    )
+
+
+def _is_buf_source(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Attribute) and expr.attr == "buf"
+
+
+@register_rule
+class BufferEscapeRule(Rule):
+    """Mutable views of shared arenas must stay inside their scope."""
+
+    name = "buffer-escape"
+    description = (
+        "a NumPy/memoryview over a shared arena (scratch buffer, "
+        "shared_memory .buf) escapes its scope while mutable"
+    )
+    scope = ("core/**", "device/**", "service/**")
+    # scratch.py *is* the allocator: handing out arena views is its API.
+    exclude = ("core/scratch.py",)
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        trackers = (
+            ("scratch", TaintTracker(_is_scratch_source)),
+            ("buf", TaintTracker(_is_buf_source)),
+        )
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for family, tracker in trackers:
+                for escape in tracker.escapes(node):
+                    if escape.kind not in _FLAGGED[family]:
+                        continue
+                    what = (
+                        "thread-local scratch buffer"
+                        if family == "scratch"
+                        else "shared-memory arena view"
+                    )
+                    how = {
+                        "return": "returned to the caller",
+                        "boundary": escape.detail or "crosses a submit/pickle boundary",
+                        "attr": escape.detail or "stored on an outliving object",
+                        "closure": escape.detail or "captured by a nested function",
+                    }[escape.kind]
+                    yield self.finding(
+                        src, escape.node,
+                        f"{what} `{escape.name}` {how}; the backing memory "
+                        "is reused by later work on another thread/call -- "
+                        "copy the bytes out (bytes()/tobytes()) instead",
+                    )

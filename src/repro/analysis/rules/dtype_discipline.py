@@ -71,7 +71,7 @@ class DtypeDisciplineRule(Rule):
         "core/ and entropy/ NumPy constructors and accumulating "
         "reductions must pass an explicit dtype"
     )
-    scope = ("core/**", "entropy/**")
+    scope = ("core/**", "entropy/**", "lc/**", "datasets/**", "baselines/**")
 
     def check(self, src: Source) -> Iterator[Finding]:
         for node in ast.walk(src.tree):

@@ -1,0 +1,348 @@
+"""lock-order: static acquisition-order graph, cycles and await-under-lock.
+
+The runtime :class:`~repro.analysis.sanitizer.ConcurrencySanitizer`
+already records lock-acquisition order *for the interleavings a test
+happens to execute*.  This rule computes the same graph statically --
+every ``with``-acquisition of a known lock, nested acquisitions within
+a function, plus depth-1 call-mediated acquisitions (a call made while
+holding lock A into a function that acquires lock B contributes the
+edge ``A -> B``) -- and flags:
+
+* **cycles**: an edge whose destination can reach its source means two
+  threads taking the locks in opposite orders can deadlock;
+* **await under a held sync lock**: the event loop may schedule another
+  coroutine that blocks on the same lock while this frame is parked at
+  the ``await`` -- including ``await loop.run_in_executor(...)``
+  offloads, which park exactly the same way.
+
+Lock identities
+---------------
+
+* ``san.lock("carry_publish")`` / ``TrackedLock(..., "name")`` -- the
+  string literal itself, so static nodes line up with the runtime
+  sanitizer's names and :func:`static_lock_graph` diffs cleanly against
+  ``ConcurrencySanitizer.lock_graph()``;
+* ``self._lock = threading.Lock()`` -- ``rel:Class._lock``;
+* module/function locals -- ``rel:name`` / ``rel:func.name``.
+
+Locks that cannot be resolved to a creation site (parameters, dynamic
+containers) are skipped: a may-analysis that guessed identities would
+report phantom cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..callgraph import FunctionInfo, Project
+from ..engine import Finding, Rule, Source, register_rule
+
+__all__ = ["LockOrderRule", "static_lock_graph"]
+
+_LOCK_CLASS_NAMES = frozenset({"Lock", "RLock", "TrackedLock"})
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """``frm`` held while ``to`` is acquired, at ``rel:line``."""
+
+    frm: str
+    to: str
+    rel: str
+    line: int
+
+    @property
+    def site(self) -> str:
+        return f"{self.rel}:{self.line}"
+
+
+def _lock_identity_from_ctor(call: ast.Call) -> str | None:
+    """A sanitizer-tracked name if the ctor carries one, else ``""``.
+
+    Returns None when the call is not a lock constructor at all.
+    """
+    func = call.func
+    is_ctor = False
+    if isinstance(func, ast.Attribute):
+        if func.attr == "lock":  # san.lock("name") factory
+            is_ctor = True
+        elif func.attr in _LOCK_CLASS_NAMES:  # threading.Lock()
+            is_ctor = True
+    elif isinstance(func, ast.Name) and func.id in _LOCK_CLASS_NAMES:
+        is_ctor = True
+    if not is_ctor:
+        return None
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return ""
+
+
+class _LockGraph:
+    """Project-wide lock table + acquisition-order edges (built once)."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        #: (rel, name) -> lock id, module-level assignments
+        self.module_locks: dict[tuple[str, str], str] = {}
+        #: (rel, cls, attr) -> lock id, ``self.X = Lock()`` in any method
+        self.class_locks: dict[tuple[str, str, str], str] = {}
+        #: (fn qname, name) -> lock id, function-local assignments
+        self.local_locks: dict[tuple[str, str], str] = {}
+        self.nodes: set[str] = set()
+        self.edges: set[_Edge] = set()
+        #: fn qname -> lock ids the function acquires via ``with``
+        self.entry_locks: dict[str, set[str]] = {}
+        #: (lock id, await node, rel, fn name) awaits under a held lock
+        self.awaits_under_lock: list[tuple[str, ast.AST, str, str]] = []
+        self._collect_locks()
+        self._collect_entry_locks()
+        self._collect_edges()
+
+    # -- lock table ----------------------------------------------------------
+
+    def _register(self, rel: str, owner: str, bound: str, named: str) -> str:
+        lock_id = named if named else (f"{rel}:{owner}.{bound}" if owner else f"{rel}:{bound}")
+        self.nodes.add(lock_id)
+        return lock_id
+
+    def _collect_locks(self) -> None:
+        for rel, info in self.project.modules.items():
+            for stmt in info.tree.body:
+                if not (isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call)):
+                    continue
+                named = _lock_identity_from_ctor(stmt.value)
+                if named is None:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_locks[(rel, target.id)] = self._register(
+                            rel, "", target.id, named
+                        )
+            for fn in info.functions.values():
+                for stmt in ast.walk(fn.node):
+                    if not (
+                        isinstance(stmt, ast.Assign)
+                        and isinstance(stmt.value, ast.Call)
+                    ):
+                        continue
+                    named = _lock_identity_from_ctor(stmt.value)
+                    if named is None:
+                        continue
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and fn.cls is not None
+                        ):
+                            self.class_locks[(rel, fn.cls, target.attr)] = (
+                                self._register(rel, fn.cls, target.attr, named)
+                            )
+                        elif isinstance(target, ast.Name):
+                            self.local_locks[(fn.qname, target.id)] = self._register(
+                                rel, fn.qname.split(":", 1)[1], target.id, named
+                            )
+
+    def _resolve(self, expr: ast.expr, fn: FunctionInfo) -> str | None:
+        if isinstance(expr, ast.Name):
+            # Walk enclosing-function qnames so a closure acquiring a
+            # lock bound in its outer function still resolves.
+            qname = fn.qname
+            while True:
+                hit = self.local_locks.get((qname, expr.id))
+                if hit is not None:
+                    return hit
+                base, _, tail = qname.rpartition(".")
+                if not tail or ":" not in base:
+                    break
+                qname = base
+            return self.module_locks.get((fn.rel, expr.id))
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and fn.cls is not None
+        ):
+            return self.class_locks.get((fn.rel, fn.cls, expr.attr))
+        return None
+
+    # -- acquisitions --------------------------------------------------------
+
+    def _with_locks(self, stmt: ast.With | ast.AsyncWith, fn: FunctionInfo) -> list[str]:
+        out = []
+        for item in stmt.items:
+            lock = self._resolve(item.context_expr, fn)
+            if lock is not None:
+                out.append(lock)
+        return out
+
+    def _collect_entry_locks(self) -> None:
+        for fn in self.project.iter_functions():
+            acquired: set[str] = set()
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    acquired.update(self._with_locks(stmt, fn))
+            self.entry_locks[fn.qname] = acquired
+
+    def _collect_edges(self) -> None:
+        for fn in self.project.iter_functions():
+            sites = {id(s.node): s for s in self.project.call_sites(fn.qname)}
+            self._walk(list(getattr(fn.node, "body", [])), fn, [], sites)
+
+    def _walk(
+        self,
+        stmts: list[ast.stmt],
+        fn: FunctionInfo,
+        held: list[str],
+        sites: dict[int, object],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs are their own FunctionInfo
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = self._with_locks(stmt, fn)
+                for lock in acquired:
+                    for h in held:
+                        if h != lock:
+                            self.edges.add(_Edge(h, lock, fn.rel, stmt.lineno))
+                self._walk(stmt.body, fn, held + acquired, sites)
+                continue
+            if held:
+                self._scan_exprs(stmt, fn, held, sites)
+            for name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, name, None)
+                if isinstance(inner, list):
+                    self._walk(inner, fn, held, sites)
+            for handler in getattr(stmt, "handlers", []):
+                self._walk(handler.body, fn, held, sites)
+
+    def _scan_exprs(
+        self,
+        stmt: ast.stmt,
+        fn: FunctionInfo,
+        held: list[str],
+        sites: dict[int, object],
+    ) -> None:
+        """Awaits and call-mediated acquisitions in one statement's exprs."""
+        for _fname, value in ast.iter_fields(stmt):
+            exprs = (
+                [value] if isinstance(value, ast.expr)
+                else [v for v in value if isinstance(v, ast.expr)]
+                if isinstance(value, list) else []
+            )
+            for expr in exprs:
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Await):
+                        self.awaits_under_lock.append(
+                            (held[-1], node, fn.rel, fn.name)
+                        )
+                    elif isinstance(node, ast.Call):
+                        site = sites.get(id(node))
+                        if site is None:
+                            continue
+                        for target in site.targets:  # type: ignore[attr-defined]
+                            for lock in self.entry_locks.get(target, ()):
+                                for h in held:
+                                    if h != lock:
+                                        self.edges.add(
+                                            _Edge(h, lock, fn.rel, node.lineno)
+                                        )
+
+    # -- queries -------------------------------------------------------------
+
+    def cycle_edges(self) -> list[_Edge]:
+        adj: dict[str, set[str]] = {}
+        for e in self.edges:
+            adj.setdefault(e.frm, set()).add(e.to)
+        out = []
+        for e in self.edges:
+            # Edge is part of a cycle iff its destination reaches its source.
+            seen, queue = {e.to}, [e.to]
+            while queue:
+                cur = queue.pop()
+                if cur == e.frm:
+                    out.append(e)
+                    queue = []
+                    break
+                for nxt in adj.get(cur, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+        return out
+
+
+def _graph(project: Project) -> _LockGraph:
+    cached = getattr(project, "_pfpl_lock_graph", None)
+    if cached is None:
+        cached = _LockGraph(project)
+        project._pfpl_lock_graph = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def static_lock_graph(project: Project) -> dict:
+    """Acquisition-order graph in the shared static/runtime edge format.
+
+    Same shape as ``ConcurrencySanitizer.lock_graph()``::
+
+        {"nodes": [...], "edges": [{"from": a, "to": b, "site": "rel:line"}]}
+
+    so tests can diff the statically predicted order against what a
+    sanitized run actually observed.
+    """
+    g = _graph(project)
+    return {
+        "nodes": sorted(g.nodes),
+        "edges": [
+            {"from": e.frm, "to": e.to, "site": e.site}
+            for e in sorted(g.edges, key=lambda e: (e.frm, e.to, e.rel, e.line))
+        ],
+    }
+
+
+@register_rule
+class LockOrderRule(Rule):
+    """No lock-order cycles; no awaiting while holding a sync lock."""
+
+    name = "lock-order"
+    description = (
+        "lock-acquisition-order cycle, or a sync lock held across an "
+        "await/offload suspension point"
+    )
+    scope = ("core/**", "device/**", "service/**")
+    # The sanitizer module wraps locks; its internals are the machinery,
+    # not a client.
+    exclude = ("analysis/**",)
+    requires_project = True
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        project = src.project
+        if project is None:  # pragma: no cover - engine always provides one
+            return
+        g = _graph(project)
+        for edge in g.cycle_edges():
+            if edge.rel != src.rel:
+                continue
+            yield Finding(
+                rule=self.name, severity=self.severity, path=src.path,
+                line=edge.line, col=0,
+                message=(
+                    f"acquiring `{edge.to}` while holding `{edge.frm}` "
+                    "completes a lock-order cycle: another thread taking "
+                    "them in the opposite order deadlocks -- pick one "
+                    "global order (the runtime sanitizer flags the same "
+                    "inversion when a test happens to interleave it)"
+                ),
+            )
+        for lock, node, rel, fn_name in g.awaits_under_lock:
+            if rel != src.rel:
+                continue
+            yield self.finding(
+                src, node,
+                f"`{fn_name}` awaits while holding sync lock `{lock}`; "
+                "the loop may schedule a coroutine that blocks on the "
+                "same lock -- release before the suspension point or "
+                "use asyncio.Lock",
+            )

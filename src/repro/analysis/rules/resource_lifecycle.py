@@ -1,0 +1,197 @@
+"""resource-lifecycle: acquire/release pairing along *all* exits.
+
+A leaked ``SharedMemory`` segment outlives the process in ``/dev/shm``
+until a reboot; a leaked executor strands worker threads/processes; a
+leaked file descriptor is the classic slow-burn outage.  The procpool
+backend creates all three, and the only acceptable shapes are:
+
+* a ``with`` statement (context manager releases on every exit);
+* a release call inside a ``finally:`` block;
+* **ownership transfer** -- the resource is returned, yielded, stored
+  on an object/container, or passed to another call, making someone
+  else responsible for it (``self._res.arenas[name] = seg`` hands the
+  segment to ``close()``).
+
+Tracked pairs, per function (intraprocedural; escaped resources are the
+transfer case above):
+
+===========================================  ==============
+acquire                                      release
+===========================================  ==============
+``SharedMemory(..., create=True)``           ``.unlink()``
+``ThreadPoolExecutor``/``ProcessPoolExecutor``  ``.shutdown()``
+builtin ``open(...)``                        ``.close()``
+===========================================  ==============
+
+A release that exists but only on the happy path (not in a ``finally``)
+is flagged separately from a missing release: the fix is different
+(wrap in try/finally vs. actually write the release).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Rule, Source, iter_parents, register_rule
+
+__all__ = ["ResourceLifecycleRule"]
+
+
+def _call_bare_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _acquire_kind(call: ast.Call) -> tuple[str, frozenset[str]] | None:
+    """(human-readable kind, accepted release method names) or None."""
+    name = _call_bare_name(call)
+    if name == "SharedMemory":
+        for kw in call.keywords:
+            if (
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return ("shared_memory segment (create=True)", frozenset({"unlink"}))
+        return None
+    if name in ("ThreadPoolExecutor", "ProcessPoolExecutor"):
+        return ("executor", frozenset({"shutdown"}))
+    if name == "open" and isinstance(call.func, ast.Name):
+        return ("file handle", frozenset({"close"}))
+    return None
+
+
+def _mentions(expr: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name for n in ast.walk(expr)
+    )
+
+
+def _in_finally(node: ast.AST) -> bool:
+    """True when ``node`` sits in some enclosing ``finally:`` block."""
+    child: ast.AST = node
+    for parent in iter_parents(node):
+        if isinstance(parent, ast.Try) and any(
+            child is s or any(child is n for n in ast.walk(s))
+            for s in parent.finalbody
+        ):
+            return True
+        child = parent
+    return False
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    """Acquired OS resources must be released on every exit path."""
+
+    name = "resource-lifecycle"
+    description = (
+        "an acquired resource (SharedMemory create=True, executor, "
+        "open file) is not released along all exits -- use a context "
+        "manager, finally, or transfer ownership"
+    )
+    scope = (
+        "core/**", "device/**", "service/**", "io.py", "cli.py", "archive.py",
+    )
+
+    def check(self, src: Source) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(src, node)
+
+    def _check_function(self, src: Source, fn: ast.AST) -> Iterator[Finding]:
+        # Acquisitions bound to a plain local name, outside `with` items.
+        acquired: list[tuple[str, str, frozenset[str], ast.stmt]] = []
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                continue  # context-managed: released on every exit
+            if not (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                continue
+            if any(
+                isinstance(p, (ast.With, ast.AsyncWith))
+                and any(item.context_expr is stmt.value for item in p.items)
+                for p in iter_parents(stmt.value)
+            ):  # pragma: no cover - Assign value is never a with item
+                continue
+            kind = _acquire_kind(stmt.value)
+            if kind is not None:
+                acquired.append((stmt.targets[0].id, kind[0], kind[1], stmt))
+
+        if not acquired:
+            return
+
+        for name, kind, releases, acq_stmt in acquired:
+            transferred = False
+            release_nodes: list[ast.Call] = []
+            rebound_as_ctx = False
+            for node in ast.walk(fn):
+                if node is acq_stmt:
+                    continue
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    # `with seg:` / `with closing(seg):` hands cleanup
+                    # to a context manager.
+                    if any(
+                        _mentions(item.context_expr, name)
+                        for item in node.items
+                    ):
+                        rebound_as_ctx = True
+                elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                    value = getattr(node, "value", None)
+                    if value is not None and _mentions(value, name):
+                        transferred = True
+                elif isinstance(node, ast.Assign):
+                    if _mentions(node.value, name) and any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in node.targets
+                    ):
+                        transferred = True
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == name
+                    ):
+                        if func.attr in releases or func.attr == "close":
+                            release_nodes.append(node)
+                        continue
+                    # Passed to another call: ownership transferred
+                    # (registries, weakref.finalize, container.append).
+                    if any(_mentions(a, name) for a in node.args) or any(
+                        kw.value is not None and _mentions(kw.value, name)
+                        for kw in node.keywords
+                    ):
+                        transferred = True
+
+            if transferred or rebound_as_ctx:
+                continue
+            owning_release = [
+                n for n in release_nodes
+                if _call_bare_name(n) in releases
+            ]
+            if not owning_release:
+                yield self.finding(
+                    src, acq_stmt,
+                    f"{kind} `{name}` is acquired but never released "
+                    f"(expected `{name}.{sorted(releases)[0]}()`); leak on "
+                    "every path -- use a context manager or try/finally",
+                )
+            elif not any(_in_finally(n) for n in owning_release):
+                yield self.finding(
+                    src, acq_stmt,
+                    f"{kind} `{name}` is released only on the happy path; "
+                    "an exception between acquire and release leaks it -- "
+                    "move the release into a finally block or use a "
+                    "context manager",
+                )

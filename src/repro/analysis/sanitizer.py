@@ -32,6 +32,7 @@ Example::
 
 from __future__ import annotations
 
+import sys
 import threading
 import traceback
 from dataclasses import dataclass
@@ -71,6 +72,27 @@ def _call_site(skip: int = 3, depth: int = 4) -> str:
     return "".join(frames).rstrip()
 
 
+def _package_rel(path: str) -> str:
+    """Package-relative rendering of a filename (mirrors the engine's)."""
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[idx + 1:]
+        if tail:
+            return "/".join(tail)
+    return parts[-1] if parts else path
+
+
+def _acquire_site() -> str:
+    """``rel:line`` of the frame that acquired a lock (caller of ours)."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - always has a caller
+        return "<unknown>"
+    return f"{_package_rel(frame.f_code.co_filename)}:{frame.f_lineno}"
+
+
 class TrackedLock:
     """A named :class:`threading.Lock` that feeds the sanitizer's graph.
 
@@ -82,6 +104,7 @@ class TrackedLock:
         self._sanitizer = sanitizer
         self.name = name
         self._lock = threading.Lock()
+        sanitizer._on_created(self)
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         self._sanitizer._before_acquire(self)
@@ -210,6 +233,10 @@ class ConcurrencySanitizer:
         #: directed edges first-lock-name -> set of later-lock-names,
         #: with one representative stack per edge
         self._edges: dict[str, set[str]] = {}
+        #: every lock name created against this sanitizer
+        self._lock_names: set[str] = set()
+        #: (from, to) -> first-seen acquisition site, ``rel:line``
+        self._edge_sites: dict[tuple[str, str], str] = {}
         self.violations: list[SanitizerViolation] = []
 
     # -- lock / state factories ---------------------------------------------
@@ -258,6 +285,13 @@ class ConcurrencySanitizer:
                         stack=_call_site(),
                     ))
                 self._edges.setdefault(prior.name, set()).add(lock.name)
+                self._edge_sites.setdefault(
+                    (prior.name, lock.name), _acquire_site()
+                )
+
+    def _on_created(self, lock: TrackedLock) -> None:
+        with self._mu:
+            self._lock_names.add(lock.name)
 
     def _on_acquired(self, lock: TrackedLock) -> None:
         self._held_stack().append(lock)
@@ -266,6 +300,27 @@ class ConcurrencySanitizer:
         held = self._held_stack()
         if lock in held:
             held.remove(lock)
+
+    def lock_graph(self) -> dict:
+        """The observed acquisition-order graph, in the shared format.
+
+        Same shape as the static rule's
+        :func:`repro.analysis.rules.lock_order.static_lock_graph`::
+
+            {"nodes": [...], "edges": [{"from": a, "to": b, "site": "rel:line"}]}
+
+        so a test can assert that every order a sanitized run actually
+        exercised was predicted statically.  ``site`` is the first
+        acquisition site observed for that edge.
+        """
+        with self._mu:
+            return {
+                "nodes": sorted(self._lock_names),
+                "edges": [
+                    {"from": frm, "to": to, "site": site}
+                    for (frm, to), site in sorted(self._edge_sites.items())
+                ],
+            }
 
     # -- reporting -----------------------------------------------------------
 

@@ -86,7 +86,7 @@ class CuSZp(BaselineCompressor):
         step = 2.0 * eps_eff
         n = flat.size
         pad = (-n) % _BLOCK
-        padded = np.concatenate([flat, np.zeros(pad)]) if pad else flat
+        padded = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)]) if pad else flat
 
         if chain:
             # Pre-quantized difference chain: quantize d[i] = v[i]-v[i-1]
@@ -118,10 +118,12 @@ class CuSZp(BaselineCompressor):
 
         codes = fixedlen_decode(payload)
         if chain:
-            vals = np.cumsum(codes.reshape(-1, _CHAIN), axis=1).astype(np.float64) * step
+            vals = np.cumsum(
+                codes.reshape(-1, _CHAIN), axis=1, dtype=np.int64
+            ).astype(np.float64) * step
         else:
             vals = codes.astype(np.float64) * step
-        n = int(np.prod(shape)) if shape else 0
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 0
         out = vals.reshape(-1)[:n]
         nf_idx = np.frombuffer(nf_idx_raw, dtype=np.int64)
         nf_val = np.frombuffer(nf_val_raw, dtype=np.float64)

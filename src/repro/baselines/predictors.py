@@ -94,7 +94,8 @@ def lorenzo_decode(
     if axes is None:
         axes = tuple(range(arr.ndim))
     for axis in reversed(axes):
-        arr = np.cumsum(arr, axis=axis)
+        acc = arr.dtype if arr.dtype.kind == "f" else np.int64
+        arr = np.cumsum(arr, axis=axis, dtype=acc)
     return arr.reshape(-1)
 
 

@@ -115,7 +115,7 @@ def _decode_codes(blob: bytes) -> np.ndarray:
     escaped = z == _ESCAPE_CAP
     if not escaped.any() and side.size:
         raise PFPLIntegrityError("corrupt SZ stream: side data without escapes")
-    if int(escaped.sum()) != side.size:
+    if int(escaped.sum(dtype=np.int64)) != side.size:
         raise PFPLIntegrityError("corrupt SZ stream: escape count mismatch")
     out = unzigzag(z)
     out[escaped] = side

@@ -80,7 +80,7 @@ def _blockify(data: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
         shape2.extend([b, _BS])
     arr = padded.reshape(shape2)
     perm = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
-    arr = arr.transpose(perm).reshape(int(np.prod(nb)), _BS**ndim)
+    arr = arr.transpose(perm).reshape(int(np.prod(nb, dtype=np.int64)), _BS**ndim)
     return arr, tuple(nb)
 
 
@@ -203,7 +203,7 @@ class ZFP(BaselineCompressor):
         nplanes = np.maximum(0, msb - cut).astype(np.int64)
 
         # Emit plane bits: for block b, planes msb-1 .. cut (MSB first).
-        total_bits = int((nplanes * ncoeff).sum())
+        total_bits = int((nplanes * ncoeff).sum(dtype=np.int64))
         bits = np.zeros((total_bits + 7) // 8 * 8, dtype=np.uint8)
         starts = np.zeros(blocks.shape[0], dtype=np.int64)
         np.cumsum((nplanes * ncoeff)[:-1], out=starts[1:])
@@ -214,7 +214,10 @@ class ZFP(BaselineCompressor):
                 break
             plane_idx = (msb[sel] - 1 - p).astype(np.uint64)
             plane_bits = ((neg[sel] >> plane_idx[:, None]) & np.uint64(1)).astype(np.uint8)
-            pos = (starts[sel] + p * ncoeff)[:, None] + np.arange(ncoeff)[None, :]
+            pos = (
+                (starts[sel] + p * ncoeff)[:, None]
+                + np.arange(ncoeff, dtype=np.int64)[None, :]
+            )
             bits[pos.reshape(-1)] = plane_bits.reshape(-1)
         payload = np.packbits(bits).tobytes()
 
@@ -255,7 +258,7 @@ class ZFP(BaselineCompressor):
             cut = np.full(n_blocks, _QBITS + 2 - prec, dtype=np.int64)
         msb = nplanes + cut
 
-        total_bits = int((nplanes * ncoeff).sum())
+        total_bits = int((nplanes * ncoeff).sum(dtype=np.int64))
         bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=total_bits)
         starts = np.zeros(n_blocks, dtype=np.int64)
         np.cumsum((nplanes * ncoeff)[:-1], out=starts[1:])
@@ -267,7 +270,10 @@ class ZFP(BaselineCompressor):
             if not np.any(sel):
                 break
             plane_idx = (msb[sel] - 1 - p).astype(np.uint64)
-            pos = (starts[sel] + p * ncoeff)[:, None] + np.arange(ncoeff)[None, :]
+            pos = (
+                (starts[sel] + p * ncoeff)[:, None]
+                + np.arange(ncoeff, dtype=np.int64)[None, :]
+            )
             pb = bits[pos.reshape(-1)].reshape(-1, ncoeff).astype(np.uint64)
             neg[sel] |= pb << plane_idx[:, None]
 
@@ -280,7 +286,10 @@ class ZFP(BaselineCompressor):
         blocks = ints.astype(np.float64) * scale
 
         # ZFP stores >3-D data as 2-D; recover the stored shape first.
-        stored_shape = shape if len(shape) <= 3 else (shape[0], int(np.prod(shape[1:])))
+        stored_shape = (
+            shape if len(shape) <= 3
+            else (shape[0], int(np.prod(shape[1:], dtype=np.int64)))
+        )
         out = _unblockify(blocks, nb, stored_shape).reshape(-1)
         nf_idx = np.frombuffer(nf_idx_raw, dtype=np.int64)
         nf_val = np.frombuffer(nf_val_raw, dtype=np.float64)

@@ -9,7 +9,8 @@ Subcommands::
     pfpl verify     ORIGINAL RECONSTRUCTED --mode abs --bound 1e-3
     pfpl table      {1,2,3}
     pfpl figure     FIGURE_ID [--files N]
-    pfpl analyze    [PATHS...] [--format table|json] [--rules a,b] [--list-rules]
+    pfpl analyze    [PATHS...] [--format table|json|sarif] [--output F]
+                    [--rules a,b] [--list-rules] [--cache [PATH]] [--baseline F]
     pfpl serve      [--host H] [--port P] [--backend procpool] [--workers N]
 
 ``compress`` reads a raw binary array (like the SDRBench ``.f32``/
@@ -274,8 +275,35 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_baseline(path: str) -> set[tuple[str, str, str]] | None:
+    """Accepted-findings keys from a committed ratchet file, or None.
+
+    Keys are ``(rule, path, message)`` -- line numbers shift on every
+    edit and must not churn the baseline.
+    """
+    import json
+
+    try:
+        doc = json.loads(open(path, encoding="utf-8").read())
+    except (OSError, ValueError):
+        return None
+    out: set[tuple[str, str, str]] = set()
+    for entry in doc.get("findings", []) if isinstance(doc, dict) else []:
+        try:
+            out.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+        except (KeyError, TypeError):
+            continue
+    return out
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import all_rules, analyze_paths, render_json, render_table
+    from .analysis import (
+        all_rules,
+        analyze_paths,
+        render_json,
+        render_sarif,
+        render_table,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -292,11 +320,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return 2
     from .analysis import Severity
 
-    findings = analyze_paths(args.paths, rules=rules)
-    render = render_json if args.format == "json" else render_table
-    print(render(findings))
-    errors = [f for f in findings if f.severity is Severity.ERROR]
-    warnings = [f for f in findings if f.severity is Severity.WARNING]
+    cache = None
+    if args.cache is not None:
+        from .analysis import DEFAULT_CACHE_PATH, AnalysisCache
+
+        cache = AnalysisCache(args.cache or DEFAULT_CACHE_PATH)
+    findings = analyze_paths(args.paths, rules=rules, cache=cache)
+    if cache is not None:
+        print(
+            f"pfpl analyze cache: {cache.hits} hits, {cache.misses} misses",
+            file=sys.stderr,
+        )
+
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "table": render_table,
+    }[args.format]
+    report = render(findings)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(report + "\n")
+        # Humans (and CI logs) still get the table on stdout.
+        print(render_table(findings))
+    else:
+        print(report)
+
+    gating = list(findings)
+    if args.baseline:
+        accepted = _load_baseline(args.baseline)
+        if accepted is None:
+            print(
+                f"pfpl: baseline {args.baseline!r} missing or unreadable",
+                file=sys.stderr,
+            )
+            return 2
+        gating = [
+            f for f in findings if (f.rule, f.path, f.message) not in accepted
+        ]
+        if len(gating) < len(findings):
+            print(
+                f"{len(findings) - len(gating)} baseline finding(s) tolerated",
+                file=sys.stderr,
+            )
+    errors = [f for f in gating if f.severity is Severity.ERROR]
+    warnings = [f for f in gating if f.severity is Severity.WARNING]
     # Errors always gate; warnings gate only under --strict (CI runs
     # strict, local runs see them without failing).
     if errors:
@@ -439,8 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     p.add_argument(
-        "--format", choices=("table", "json"), default="table",
-        help="finding report format",
+        "--format", choices=("table", "json", "sarif"), default="table",
+        help="finding report format (sarif for code-review annotation)",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE (stdout still shows the table)",
     )
     p.add_argument(
         "--rules", default=None,
@@ -454,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="treat warning-severity findings as gating (exit 1); "
              "errors always gate",
+    )
+    p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="PATH",
+        help="reuse per-file findings for unchanged content hashes "
+             "(default path: .pfpl-analyze-cache.json)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="findings ratchet: tolerate findings listed in FILE "
+             "(render_json shape), gate only on new ones",
     )
     p.set_defaults(func=_cmd_analyze)
 

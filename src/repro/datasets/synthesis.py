@@ -89,7 +89,7 @@ def particle_data(
         disp = rng.normal(0.0, box / max(n, 1) * 8.0, n)
         return (base + disp).astype(dtype)
     if kind == "velocity":
-        bulk = np.cumsum(rng.normal(0.0, 0.02, n))  # large-scale flow
+        bulk = np.cumsum(rng.normal(0.0, 0.02, n), dtype=np.float64)  # large-scale flow
         thermal = rng.normal(0.0, 50.0, n)
         return (bulk * 20.0 + thermal).astype(dtype)
     raise PFPLUsageError(f"unknown particle array kind {kind!r}")
@@ -123,7 +123,7 @@ def brownian_walk(
 ) -> np.ndarray:
     """Brownian noise: cumulative sum of Gaussian steps (Brown samples)."""
     rng = np.random.default_rng(seed)
-    return np.cumsum(rng.normal(0.0, step_std, n)).astype(dtype)
+    return np.cumsum(rng.normal(0.0, step_std, n), dtype=np.float64).astype(dtype)
 
 
 def gaussian_mixture_series(
@@ -136,6 +136,6 @@ def gaussian_mixture_series(
     for s in range(n_segments):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
         scale = 10.0 ** rng.uniform(-6, 2)
-        seg = np.cumsum(rng.normal(0.0, 0.05, hi - lo)) * scale
+        seg = np.cumsum(rng.normal(0.0, 0.05, hi - lo), dtype=np.float64) * scale
         out[lo:hi] = seg + rng.normal(0.0, scale * 1e-3, hi - lo)
     return out.astype(dtype)

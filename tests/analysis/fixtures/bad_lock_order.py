@@ -1,0 +1,58 @@
+"""Seeded lock-order violations: an AB/BA cycle and await-under-lock.
+
+Lines < 40: violations the rule must flag.
+Lines >= 40: clean patterns that must NOT be flagged.
+"""
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+
+    async def hold_across_await(self, loop, pool, fn):
+        with self._a:
+            return await loop.run_in_executor(pool, fn)
+
+
+def _pad():
+    pass
+
+
+def _pad_to_line_40():
+    pass
+
+
+class CleanWorker:
+    def __init__(self, san):
+        self._x = threading.Lock()
+        self._y = threading.Lock()
+        self.named = san.lock("carry_publish")
+
+    def ordered_one(self):
+        with self._x:
+            with self._y:
+                return 1
+
+    def ordered_two(self):
+        # Same global order as ordered_one: no cycle.
+        with self._x:
+            with self._y:
+                return 2
+
+    def named_edge(self, san):
+        other = san.lock("lookback_status")
+        with self.named:
+            with other:
+                return 3

@@ -1,0 +1,66 @@
+"""Seeded resource-lifecycle violations: leaks and happy-path releases.
+
+Lines < 40: violations the rule must flag.
+Lines >= 40: clean patterns that must NOT be flagged.
+"""
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_segment(data):
+    shm = SharedMemory(create=True, size=len(data))
+    shm.buf[: len(data)] = data
+    return len(data)
+
+
+def happy_path_pool(items, fn):
+    pool = ThreadPoolExecutor(max_workers=2)
+    out = [f.result() for f in [pool.submit(fn, i) for i in items]]
+    pool.shutdown()  # skipped whenever the list comprehension raises
+    return out
+
+
+def happy_path_file(path):
+    fp = open(path, "rb")
+    data = fp.read()
+    fp.close()
+    return data
+
+
+def close_is_not_unlink(data):
+    # close() detaches this process; only unlink() frees the segment.
+    shm = SharedMemory(create=True, size=len(data))
+    shm.close()
+    return len(data)
+
+
+def _pad_to_line_40():
+    pass
+
+
+def finally_release(data):
+    shm = SharedMemory(create=True, size=len(data))
+    try:
+        shm.buf[: len(data)] = data
+        return bytes(shm.buf[: len(data)])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def context_managed(path, items, fn):
+    with open(path, "rb") as fp:
+        fp.read()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return [f.result() for f in [pool.submit(fn, i) for i in items]]
+
+
+def ownership_transfer(registry, data):
+    shm = SharedMemory(create=True, size=len(data))
+    registry["arena"] = shm
+    return shm
+
+
+def attribute_owned(obj, path):
+    # Bound straight onto an owner object: its close() is responsible.
+    obj.fp = open(path, "rb")

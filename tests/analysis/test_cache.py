@@ -1,0 +1,151 @@
+"""Incremental cache: reuse, invalidation, byte-identical warm runs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.analysis.cache as cache_mod
+from repro.analysis import AnalysisCache, analyze_paths, get_rule
+
+BAD_DETERMINISM = (
+    '"""Module under test."""\n'
+    "import time\n\n\n"
+    "def encode(values):\n"
+    '    """Seeded violation: wall clock in a kernel path."""\n'
+    "    return values, time.time()\n"
+)
+
+CLEAN = (
+    '"""Module under test."""\n\n\n'
+    "def encode(values):\n"
+    '    """No violations here."""\n'
+    "    return values, 0.0\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path: Path) -> Path:
+    # A fake package tree so _package_rel maps files under core/.
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "kernel.py").write_text(BAD_DETERMINISM)
+    (pkg / "other.py").write_text(CLEAN)
+    return tmp_path / "repro"
+
+
+def run(tree: Path, cache: AnalysisCache | None):
+    return analyze_paths([tree], cache=cache)
+
+
+class TestReuse:
+    def test_cold_then_warm_byte_identical(self, tree, tmp_path):
+        cache = AnalysisCache(tmp_path / "c.json")
+        cold = run(tree, cache)
+        assert cache.misses > 0 and cache.hits == 0
+        warm_cache = AnalysisCache(tmp_path / "c.json")
+        warm = run(tree, warm_cache)
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_warm_matches_uncached_run(self, tree, tmp_path):
+        cache = AnalysisCache(tmp_path / "c.json")
+        run(tree, cache)
+        warm = run(tree, AnalysisCache(tmp_path / "c.json"))
+        plain = run(tree, None)
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in plain]
+
+    def test_cached_findings_include_suppression_effects(self, tree, tmp_path):
+        # Suppressions apply before caching, so a warm run cannot
+        # resurrect a suppressed finding.
+        target = tree / "core" / "kernel.py"
+        target.write_text(BAD_DETERMINISM.replace(
+            "import time",
+            "import time  # pfpl: allow[determinism]",
+        ).replace(
+            "return values, time.time()",
+            "return values, time.time()  # pfpl: allow[determinism]",
+        ))
+        cache = AnalysisCache(tmp_path / "c.json")
+        cold = run(tree, cache)
+        warm = run(tree, AnalysisCache(tmp_path / "c.json"))
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+        assert not any(f.rule == "determinism" for f in warm)
+
+
+class TestInvalidation:
+    def test_file_edit_invalidates_that_file(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        run(tree, AnalysisCache(cache_path))
+        (tree / "core" / "kernel.py").write_text(CLEAN)
+        warm = AnalysisCache(cache_path)
+        findings = run(tree, warm)
+        assert warm.misses > 0  # the edited file re-ran
+        assert not any(f.rule == "determinism" for f in findings)
+
+    def test_rule_set_change_invalidates(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        cache = AnalysisCache(cache_path)
+        analyze_paths([tree], rules=[get_rule("determinism")], cache=cache)
+        narrowed = AnalysisCache(cache_path)
+        analyze_paths([tree], rules=[get_rule("portable-math")], cache=narrowed)
+        assert narrowed.hits == 0 and narrowed.misses > 0
+
+    def test_engine_version_bump_invalidates(self, tree, tmp_path, monkeypatch):
+        cache_path = tmp_path / "c.json"
+        run(tree, AnalysisCache(cache_path))
+        monkeypatch.setattr(cache_mod, "ENGINE_VERSION", 99)
+        bumped = AnalysisCache(cache_path)
+        run(tree, bumped)
+        assert bumped.hits == 0 and bumped.misses > 0
+
+    def test_project_rules_invalidate_on_any_file_edit(self, tree, tmp_path):
+        # Editing file A must re-run project-wide rules for file B too:
+        # cross-file reachability may have changed.
+        cache_path = tmp_path / "c.json"
+        run(tree, AnalysisCache(cache_path))
+        (tree / "core" / "other.py").write_text(CLEAN + "\n# touched\n")
+        warm = AnalysisCache(cache_path)
+        run(tree, warm)
+        doc = json.loads(cache_path.read_text())
+        kernel_key = next(k for k in doc["files"] if k.endswith("kernel.py"))
+        # kernel.py content unchanged: local findings were reused...
+        entry_hits = warm.hits
+        assert entry_hits > 0
+        # ...but its project-kind entry was recomputed (fingerprint moved).
+        assert doc["files"][kernel_key]["project"]["fingerprint"] != ""
+        assert warm.misses > 0
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        cache_path.write_text("{not json")
+        cache = AnalysisCache(cache_path)
+        findings = run(tree, cache)
+        assert cache.hits == 0
+        assert any(f.rule == "determinism" for f in findings)
+
+    def test_foreign_format_is_ignored(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        cache_path.write_text(json.dumps({"format": 999, "files": {"x": {}}}))
+        cache = AnalysisCache(cache_path)
+        run(tree, cache)
+        assert cache.hits == 0
+
+
+class TestPersistence:
+    def test_save_writes_loadable_json(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        run(tree, AnalysisCache(cache_path))
+        doc = json.loads(cache_path.read_text())
+        assert doc["format"] == 1
+        assert doc["engine"] == cache_mod.ENGINE_VERSION
+        assert all("sha" in entry for entry in doc["files"].values())
+
+    def test_clean_rerun_does_not_rewrite(self, tree, tmp_path):
+        cache_path = tmp_path / "c.json"
+        run(tree, AnalysisCache(cache_path))
+        mtime = cache_path.stat().st_mtime_ns
+        run(tree, AnalysisCache(cache_path))
+        assert cache_path.stat().st_mtime_ns == mtime

@@ -1,0 +1,179 @@
+"""Call-graph construction: import resolution, edges, reachability."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.callgraph import (
+    GENERIC_METHOD_NAMES,
+    Project,
+    build_project,
+)
+from repro.analysis.engine import _link_parents
+
+
+def project(*modules: tuple[str, str]) -> Project:
+    pairs = []
+    for rel, text in modules:
+        tree = ast.parse(text)
+        _link_parents(tree)
+        pairs.append((rel, tree))
+    return build_project(pairs)
+
+
+def targets_of(proj: Project, qname: str) -> set[str]:
+    out: set[str] = set()
+    for site in proj.call_sites(qname):
+        out.update(site.targets)
+    return out
+
+
+class TestResolution:
+    def test_local_function_call(self):
+        proj = project(("core/a.py", "def f():\n    return g()\ndef g():\n    return 1\n"))
+        assert targets_of(proj, "core/a.py:f") == {"core/a.py:g"}
+
+    def test_cross_module_from_import(self):
+        proj = project(
+            ("core/a.py", "from repro.core.b import helper\ndef f():\n    return helper()\n"),
+            ("core/b.py", "def helper():\n    return 1\n"),
+        )
+        assert targets_of(proj, "core/a.py:f") == {"core/b.py:helper"}
+
+    def test_relative_import(self):
+        proj = project(
+            ("service/a.py", "from ..core.b import helper\ndef f():\n    return helper()\n"),
+            ("core/b.py", "def helper():\n    return 1\n"),
+        )
+        assert targets_of(proj, "service/a.py:f") == {"core/b.py:helper"}
+
+    def test_module_attr_call(self):
+        proj = project(
+            ("core/a.py", "from repro.core import b\ndef f():\n    return b.helper()\n"),
+            ("core/b.py", "def helper():\n    return 1\n"),
+        )
+        assert targets_of(proj, "core/a.py:f") == {"core/b.py:helper"}
+
+    def test_self_method_in_class(self):
+        proj = project(("core/a.py", (
+            "class C:\n"
+            "    def f(self):\n"
+            "        return self.g()\n"
+            "    def g(self):\n"
+            "        return 1\n"
+        )))
+        assert targets_of(proj, "core/a.py:C.f") == {"core/a.py:C.g"}
+
+    def test_name_match_for_distinctive_methods(self):
+        proj = project(
+            ("core/a.py", "def f(codec):\n    return codec.warm_pool()\n"),
+            ("core/b.py", "class Pool:\n    def warm_pool(self):\n        return 1\n"),
+        )
+        assert targets_of(proj, "core/a.py:f") == {"core/b.py:Pool.warm_pool"}
+
+    def test_generic_names_stay_external(self):
+        proj = project(
+            ("core/a.py", "def f(writer):\n    writer.close()\n"),
+            ("core/b.py", "class Pool:\n    def close(self):\n        return 1\n"),
+        )
+        assert "close" in GENERIC_METHOD_NAMES
+        assert targets_of(proj, "core/a.py:f") == set()
+
+    def test_dunder_calls_never_name_match(self):
+        # super().__init__ must not fan out to every constructor.
+        proj = project(
+            ("core/a.py", (
+                "class E(Exception):\n"
+                "    def __init__(self, msg):\n"
+                "        super().__init__(msg)\n"
+            )),
+            ("core/b.py", (
+                "class Service:\n"
+                "    def __init__(self):\n"
+                "        self.fp = open('x')\n"
+            )),
+        )
+        assert targets_of(proj, "core/a.py:E.__init__") == set()
+
+    def test_function_reference_as_argument_is_not_an_edge(self):
+        # The thread-pool-offload allowlist is structural: references
+        # handed to submit/run_in_executor never become call edges.
+        proj = project(("core/a.py", (
+            "def work():\n"
+            "    return 1\n"
+            "def f(pool):\n"
+            "    return pool.submit(work)\n"
+        )))
+        assert targets_of(proj, "core/a.py:f") == set()
+
+    def test_nested_def_owns_its_calls(self):
+        proj = project(("core/a.py", (
+            "def g():\n"
+            "    return 1\n"
+            "def f():\n"
+            "    def inner():\n"
+            "        return g()\n"
+            "    return inner\n"
+        )))
+        assert targets_of(proj, "core/a.py:f") == set()
+        assert targets_of(proj, "core/a.py:f.inner") == {"core/a.py:g"}
+
+
+class TestReachability:
+    CHAIN = (
+        "import time\n"
+        "def a():\n"
+        "    return b()\n"
+        "def b():\n"
+        "    return c()\n"
+        "def c():\n"
+        "    time.sleep(1)\n"
+    )
+
+    def hits(self, site) -> bool:
+        return site.external == "time.sleep"
+
+    def test_shortest_path(self):
+        proj = project(("core/a.py", self.CHAIN))
+        path = proj.reachable_path("core/a.py:a", self.hits)
+        assert path == ["core/a.py:a", "core/a.py:b", "core/a.py:c"]
+
+    def test_unreachable_returns_none(self):
+        proj = project(("core/a.py", self.CHAIN))
+        assert proj.reachable_path("core/a.py:c", lambda s: False) is None
+
+    def test_follow_prunes_subtrees(self):
+        proj = project(("core/a.py", self.CHAIN))
+        path = proj.reachable_path(
+            "core/a.py:a", self.hits,
+            follow=lambda q: not q.endswith(":c"),
+        )
+        assert path is None
+
+    def test_max_depth_bounds_search(self):
+        proj = project(("core/a.py", self.CHAIN))
+        assert proj.reachable_path("core/a.py:a", self.hits, max_depth=1) is None
+
+
+class TestFunctionIndex:
+    def test_async_flag_and_class_attribution(self):
+        proj = project(("service/a.py", (
+            "class S:\n"
+            "    async def handle(self):\n"
+            "        return 1\n"
+            "def plain():\n"
+            "    return 2\n"
+        )))
+        handle = proj.functions["service/a.py:S.handle"]
+        assert handle.is_async and handle.cls == "S"
+        plain = proj.functions["service/a.py:plain"]
+        assert not plain.is_async and plain.cls is None
+
+    def test_functions_in_lists_only_that_module(self):
+        proj = project(
+            ("core/a.py", "def f():\n    return 1\n"),
+            ("core/b.py", "def g():\n    return 2\n"),
+        )
+        assert [f.qname for f in proj.functions_in("core/a.py")] == ["core/a.py:f"]

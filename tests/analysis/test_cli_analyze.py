@@ -78,3 +78,113 @@ class TestOptions:
             str(FIXTURES / "bad_error.py"),
         ]) == 0
         assert "no findings" in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, capsys):
+        assert main([
+            "analyze", "--format", "sarif", str(FIXTURES / "bad_error.py"),
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "pfpl-analyze"
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "buffer-escape" in rules and "lock-order" in rules
+        result = run["results"][0]
+        assert result["ruleId"] == rules[result["ruleIndex"]]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert loc["region"]["startLine"] >= 1
+
+    def test_sarif_clean_tree_has_empty_results(self, capsys):
+        assert main(["analyze", "--format", "sarif", str(SRC)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestOutputFile:
+    def test_output_writes_report_and_keeps_table(self, capsys, tmp_path):
+        target = tmp_path / "report.sarif"
+        assert main([
+            "analyze", "--format", "sarif", "--output", str(target),
+            str(FIXTURES / "bad_error.py"),
+        ]) == 1
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+        # The human-readable table still lands on stdout.
+        assert "error-discipline" in capsys.readouterr().out
+
+
+class TestBaseline:
+    def baseline_for(self, tmp_path, path) -> Path:
+        main(["analyze", "--format", "json", str(path)])
+        return path
+
+    def test_baselined_findings_are_tolerated(self, capsys, tmp_path):
+        fixture = FIXTURES / "bad_error.py"
+        main(["analyze", "--format", "json", str(fixture)])
+        doc = json.loads(capsys.readouterr().out)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"findings": [
+            {"rule": f["rule"], "path": f["path"], "message": f["message"]}
+            for f in doc["findings"]
+        ]}))
+        assert main([
+            "analyze", "--baseline", str(baseline), str(fixture),
+        ]) == 0
+        assert "tolerated" in capsys.readouterr().err
+
+    def test_new_findings_still_gate(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"findings": []}))
+        assert main([
+            "analyze", "--baseline", str(baseline),
+            str(FIXTURES / "bad_error.py"),
+        ]) == 1
+        capsys.readouterr()
+
+    def test_unreadable_baseline_exits_two(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main([
+            "analyze", "--baseline", str(missing), str(SRC),
+        ]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_line_moves_do_not_break_baseline(self, capsys, tmp_path):
+        # Keys are (rule, path, message): a finding that only moved to a
+        # different line is still baselined.
+        fixture = FIXTURES / "bad_error.py"
+        main(["analyze", "--format", "json", str(fixture)])
+        doc = json.loads(capsys.readouterr().out)
+        entries = [
+            {"rule": f["rule"], "path": f["path"], "message": f["message"],
+             "line": f["line"] + 1000}
+            for f in doc["findings"]
+        ]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"findings": entries}))
+        assert main(["analyze", "--baseline", str(baseline), str(fixture)]) == 0
+        capsys.readouterr()
+
+
+class TestCacheFlag:
+    def test_cache_flag_reports_hits(self, capsys, tmp_path):
+        cache = tmp_path / "cache.json"
+        assert main(["analyze", "--cache", str(cache), str(SRC)]) == 0
+        err = capsys.readouterr().err
+        assert "cache:" in err and "misses" in err
+        assert cache.exists()
+        assert main(["analyze", "--cache", str(cache), str(SRC)]) == 0
+        err = capsys.readouterr().err
+        assert ", 0 misses" in err
+
+    def test_cached_run_output_matches_uncached(self, capsys, tmp_path):
+        cache = tmp_path / "cache.json"
+        main(["analyze", "--format", "json", "--cache", str(cache), str(SRC)])
+        captured_cold = capsys.readouterr().out
+        main(["analyze", "--format", "json", "--cache", str(cache), str(SRC)])
+        captured_warm = capsys.readouterr().out
+        main(["analyze", "--format", "json", str(SRC)])
+        captured_plain = capsys.readouterr().out
+        assert captured_cold == captured_warm == captured_plain

@@ -1,0 +1,197 @@
+"""Dataflow primitives: reaching definitions, taint, escape lattice."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import (
+    ESCAPE_ORDER,
+    TaintTracker,
+    reaching_definitions,
+)
+
+
+def fn_of(text: str) -> ast.FunctionDef:
+    tree = ast.parse(text)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in fixture text")
+
+
+def scratch_tracker() -> TaintTracker:
+    def is_source(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "scratch"
+        )
+
+    return TaintTracker(is_source)
+
+
+class TestReachingDefinitions:
+    def test_branches_union(self):
+        defs = reaching_definitions(fn_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        ))
+        assert len(defs["x"]) == 2
+
+    def test_for_and_with_targets_count(self):
+        defs = reaching_definitions(fn_of(
+            "def f(items, cm):\n"
+            "    for i in items:\n"
+            "        pass\n"
+            "    with cm as handle:\n"
+            "        pass\n"
+        ))
+        assert "i" in defs and "handle" in defs
+
+    def test_nested_defs_are_opaque(self):
+        defs = reaching_definitions(fn_of(
+            "def f():\n"
+            "    def inner():\n"
+            "        y = 1\n"
+            "    return inner\n"
+        ))
+        assert "y" not in defs
+
+
+class TestTaintPropagation:
+    def taint(self, body: str) -> set[str]:
+        return scratch_tracker().tainted_names(fn_of(body))
+
+    def test_direct_and_aliased(self):
+        tainted = self.taint(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    b = a\n"
+            "    c = a[2:4]\n"
+            "    d = a.reshape(2, 4)\n"
+        )
+        assert {"a", "b", "c", "d"} <= tainted
+
+    def test_sanitizers_stop_taint(self):
+        tainted = self.taint(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    b = a.tobytes()\n"
+            "    c = bytes(a)\n"
+            "    d = a.copy()\n"
+        )
+        assert "a" in tainted
+        assert not {"b", "c", "d"} & tainted
+
+    def test_subscript_store_does_not_taint_container(self):
+        # NumPy fancy-index stores copy element values.
+        tainted = self.taint(
+            "def f(out, rows):\n"
+            "    a = scratch('k', 8)\n"
+            "    out[rows] = a[rows]\n"
+        )
+        assert "a" in tainted and "out" not in tainted
+
+    def test_attr_store_does_not_taint_receiver_name(self):
+        tainted = self.taint(
+            "def f(obj):\n"
+            "    a = scratch('k', 8)\n"
+            "    obj.buf = a\n"
+        )
+        assert "obj" not in tainted
+
+    def test_metadata_attributes_are_clean(self):
+        tainted = self.taint(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    n = a.shape\n"
+            "    d = a.dtype\n"
+        )
+        assert not {"n", "d"} & tainted
+
+    def test_container_retention(self):
+        tainted = self.taint(
+            "def f():\n"
+            "    out = []\n"
+            "    a = scratch('k', 8)\n"
+            "    out.append(a[0:2])\n"
+        )
+        assert "out" in tainted
+
+
+class TestEscapes:
+    def escapes(self, body: str):
+        return list(scratch_tracker().escapes(fn_of(body)))
+
+    def test_lattice_order(self):
+        assert ESCAPE_ORDER == ("scoped", "return", "closure", "attr", "boundary")
+
+    def test_return_escape(self):
+        kinds = {e.kind for e in self.escapes(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    return a\n"
+        )}
+        assert kinds == {"return"}
+
+    def test_yield_counts_as_return(self):
+        kinds = {e.kind for e in self.escapes(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    yield a\n"
+        )}
+        assert kinds == {"return"}
+
+    def test_boundary_escape(self):
+        escapes = self.escapes(
+            "def f(pool, g):\n"
+            "    a = scratch('k', 8)\n"
+            "    return pool.submit(g, a)\n"
+        )
+        assert {e.kind for e in escapes} >= {"boundary"}
+
+    def test_attr_escape(self):
+        escapes = self.escapes(
+            "def f(obj):\n"
+            "    a = scratch('k', 8)\n"
+            "    obj.cached = a\n"
+        )
+        assert [e.kind for e in escapes] == ["attr"]
+
+    def test_closure_escape(self):
+        escapes = self.escapes(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    def g():\n"
+            "        return a[0]\n"
+            "    return g\n"
+        )
+        assert [e.kind for e in escapes] == ["closure"]
+        assert escapes[0].name == "a"
+
+    def test_sanitized_values_do_not_escape(self):
+        assert self.escapes(
+            "def f(pool, g, obj):\n"
+            "    a = scratch('k', 8)\n"
+            "    obj.cached = a.tobytes()\n"
+            "    pool.submit(g, bytes(a))\n"
+            "    return a.copy()\n"
+        ) == []
+
+    def test_nested_def_returns_are_not_outer_escapes(self):
+        # inner's `return a` is a closure capture of the outer frame's
+        # value, not a return from f itself -- exactly one escape.
+        escapes = self.escapes(
+            "def f():\n"
+            "    a = scratch('k', 8)\n"
+            "    def inner():\n"
+            "        return a\n"
+            "    inner()\n"
+        )
+        assert [e.kind for e in escapes] == ["closure"]

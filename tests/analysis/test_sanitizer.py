@@ -233,3 +233,107 @@ class TestThreadedBackendOptIn:
         assert out == [x * 2 for x in range(40)]
         assert sorted(backend.last_order) == list(range(40))
         san.check()
+
+
+class TestLockGraphExport:
+    """`lock_graph()` and the static rule share one edge format."""
+
+    SCENARIO = (
+        "import threading\n"
+        "la = san.lock('alpha')\n"
+        "lb = san.lock('beta')\n"
+        "def transfer():\n"
+        "    with la:\n"
+        "        with lb:\n"
+        "            return 1\n"
+    )
+
+    def test_shape_nodes_and_sites(self):
+        san = ConcurrencySanitizer()
+        a, b = san.lock("alpha"), san.lock("beta")
+        with a:
+            with b:
+                pass
+        graph = san.lock_graph()
+        assert graph["nodes"] == ["alpha", "beta"]
+        assert [(e["from"], e["to"]) for e in graph["edges"]] == [("alpha", "beta")]
+        # The site is the acquiring frame, rel:line.
+        assert graph["edges"][0]["site"].endswith(f":{self.site_line()}")
+
+    def site_line(self) -> int:
+        # `with b:` above -- keep in sync with test_shape_nodes_and_sites.
+        import inspect
+
+        src, start = inspect.getsourcelines(type(self).test_shape_nodes_and_sites)
+        return start + next(
+            i for i, line in enumerate(src) if "with b:" in line
+        )
+
+    def test_uncontended_graph_has_no_edges(self):
+        san = ConcurrencySanitizer()
+        lock = san.lock("solo")
+        with lock:
+            pass
+        graph = san.lock_graph()
+        assert graph["nodes"] == ["solo"] and graph["edges"] == []
+
+    def test_static_and_runtime_agree_on_one_scenario(self):
+        # The same nested-acquisition scenario, analyzed statically and
+        # actually executed: identical (from, to) edge sets, and both
+        # carry site info in the shared format.
+        import ast
+
+        from repro.analysis.callgraph import build_project
+        from repro.analysis.engine import _link_parents
+        from repro.analysis.rules import static_lock_graph
+
+        tree = ast.parse(self.SCENARIO)
+        _link_parents(tree)
+        static = static_lock_graph(build_project([("device/scenario.py", tree)]))
+
+        san = ConcurrencySanitizer()
+        namespace = {"san": san}
+        exec(self.SCENARIO, namespace)  # noqa: S102 - fixture source
+        namespace["transfer"]()
+        runtime = san.lock_graph()
+
+        static_edges = {(e["from"], e["to"]) for e in static["edges"]}
+        runtime_edges = {(e["from"], e["to"]) for e in runtime["edges"]}
+        assert runtime_edges == static_edges == {("alpha", "beta")}
+        assert set(runtime["nodes"]) <= set(static["nodes"])
+        assert all("site" in e for e in static["edges"] + runtime["edges"])
+
+    def test_threaded_backend_runtime_subset_of_static(self):
+        # Everything a sanitized ThreadedBackend run observes must have
+        # been predicted by the static rule over the real tree.
+        import ast
+        from pathlib import Path
+
+        from repro.analysis.callgraph import Project
+        from repro.analysis.engine import _link_parents, _package_rel
+        from repro.analysis.rules import static_lock_graph
+
+        project = Project()
+        src = Path(__file__).parents[2] / "src" / "repro"
+        for path in sorted(src.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            _link_parents(tree)
+            project.add_module(_package_rel(str(path)), tree)
+        static = static_lock_graph(project)
+
+        san = ConcurrencySanitizer()
+        backend = ThreadedBackend(n_threads=4, sanitizer=san)
+        out = backend.map_chunks(lambda x: x + 1, list(range(16)))
+        assert out == [x + 1 for x in range(16)]
+        decoupled_lookback_scan(
+            np.arange(64, dtype=np.int64), window=4, sanitizer=san
+        )
+        san.check()
+        runtime = san.lock_graph()
+
+        assert set(runtime["nodes"]) <= set(static["nodes"])
+        static_edges = {(e["from"], e["to"]) for e in static["edges"]}
+        runtime_edges = {(e["from"], e["to"]) for e in runtime["edges"]}
+        assert runtime_edges <= static_edges
