@@ -24,6 +24,24 @@ field.  The assertion reads the snapshot's recorded host CPU count and
 skips loudly on single-core hosts -- a process pool cannot beat a thread
 pool without a second core, and silently gating there would only measure
 fork overhead.
+
+``--assert-selection-ratio FIELD`` requires, within the current
+snapshot, that the format-v3 selection cell's compression ratio beats
+the fixed-pipeline cell's by ``--min-ratio-gain`` (default 1.0: never
+worse; per-chunk minimum over candidates cannot lose, so a regression
+here means the selector or a candidate broke).  Use a gain > 1 on
+fields where selection must demonstrably *win* (e.g. the sparse cell).
+
+``--assert-selection-throughput FIELD`` bounds what that trade costs:
+the v3-select encode must stay within ``--min-selection-throughput``
+(a fraction, default 0.33) of the v2-fixed encode on that field.
+Selection runs every candidate's final stage to completion -- three
+zero-elim passes plus the shared delta/bitshuffle work -- so on a
+smooth field where all three candidates are live, roughly half the
+fixed pipeline's speed is the structural ceiling; the default floor at
+a third of v2 catches real regressions (a candidate suddenly running
+twice, a lost scratch arena) without pretending the candidate sweep is
+free.
 """
 
 from __future__ import annotations
@@ -114,6 +132,75 @@ def check_procpool_speedup(
     return failures
 
 
+def check_selection_ratio(
+    snapshot: dict, fields: list[str], min_gain: float
+) -> list[str]:
+    """Require v3-select ratio >= min_gain * v2-fixed ratio per field.
+
+    Returns failure strings (empty when all pass); a missing variant
+    cell is a failure, not a skip.
+    """
+    cells = {
+        (c["field"], c.get("variant", "")): c
+        for c in snapshot.get("cells", [])
+    }
+    failures = []
+    for fld in fields:
+        selected = cells.get((fld, "v3-select"))
+        fixed = cells.get((fld, "v2-fixed"))
+        if selected is None or fixed is None:
+            failures.append(f"{fld}: missing v3-select/v2-fixed cells")
+            continue
+        gain = selected["ratio"] / max(fixed["ratio"], 1e-12)
+        verdict = "ok" if gain >= min_gain else "FAIL"
+        rates = selected.get("selection_rate", {})
+        print(
+            f"selection ratio {fld}: {selected['ratio']:.2f} vs "
+            f"{fixed['ratio']:.2f} = {gain:.3f}x (need >= {min_gain:g}x) "
+            f"{verdict}  selection={ {k: round(v, 3) for k, v in rates.items()} }"
+        )
+        if gain < min_gain:
+            failures.append(
+                f"{fld}: v3 selection ratio only {gain:.3f}x the fixed "
+                f"pipeline (need >= {min_gain:g}x)"
+            )
+    return failures
+
+
+def check_selection_throughput(
+    snapshot: dict, fields: list[str], min_fraction: float
+) -> list[str]:
+    """Require v3-select encode >= min_fraction x v2-fixed encode.
+
+    Returns failure strings (empty when all pass); a missing variant
+    cell is a failure, not a skip.
+    """
+    cells = {
+        (c["field"], c.get("variant", "")): c
+        for c in snapshot.get("cells", [])
+    }
+    failures = []
+    for fld in fields:
+        selected = cells.get((fld, "v3-select"))
+        fixed = cells.get((fld, "v2-fixed"))
+        if selected is None or fixed is None:
+            failures.append(f"{fld}: missing v3-select/v2-fixed cells")
+            continue
+        fraction = selected["encode_gbps"] / max(fixed["encode_gbps"], 1e-12)
+        verdict = "ok" if fraction >= min_fraction else "FAIL"
+        print(
+            f"selection throughput {fld}: {selected['encode_gbps']:.3f} vs "
+            f"{fixed['encode_gbps']:.3f} GB/s encode = {fraction:.2f}x "
+            f"(need >= {min_fraction:g}x) {verdict}"
+        )
+        if fraction < min_fraction:
+            failures.append(
+                f"{fld}: v3 selection encode only {fraction:.2f}x the fixed "
+                f"pipeline (need >= {min_fraction:g}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly measured snapshot JSON")
@@ -142,6 +229,31 @@ def main(argv: list[str] | None = None) -> int:
              "(repeatable; skipped loudly when the snapshot host has "
              "fewer than 2 CPUs)",
     )
+    ap.add_argument(
+        "--assert-selection-ratio", action="append", default=[],
+        metavar="FIELD",
+        help="require the v3-select ratio >= --min-ratio-gain x the "
+             "v2-fixed ratio on FIELD (repeatable; checked within the "
+             "current snapshot)",
+    )
+    ap.add_argument(
+        "--min-ratio-gain", type=float, default=1.0,
+        help="minimum v3-select / v2-fixed compression-ratio gain "
+             "(default 1.0: selection never loses)",
+    )
+    ap.add_argument(
+        "--assert-selection-throughput", action="append", default=[],
+        metavar="FIELD",
+        help="require the v3-select encode >= --min-selection-throughput "
+             "x the v2-fixed encode on FIELD (repeatable; checked within "
+             "the current snapshot)",
+    )
+    ap.add_argument(
+        "--min-selection-throughput", type=float, default=0.33,
+        help="minimum v3-select / v2-fixed encode-throughput fraction "
+             "(default 0.33; see the module docstring for why ~0.5 is "
+             "the structural ceiling with three live candidates)",
+    )
     args = ap.parse_args(argv)
 
     with open(args.current, encoding="utf-8") as f:
@@ -164,6 +276,19 @@ def main(argv: list[str] | None = None) -> int:
     for line in procpool_failures:
         print(f"procpool-speedup FAILURE: {line}")
     speedup_failures += procpool_failures
+    selection_failures = check_selection_ratio(
+        current, args.assert_selection_ratio, args.min_ratio_gain,
+    )
+    for line in selection_failures:
+        print(f"selection-ratio FAILURE: {line}")
+    speedup_failures += selection_failures
+    throughput_failures = check_selection_throughput(
+        current, args.assert_selection_throughput,
+        args.min_selection_throughput,
+    )
+    for line in throughput_failures:
+        print(f"selection-throughput FAILURE: {line}")
+    speedup_failures += throughput_failures
 
     if not report.cells:
         return 2

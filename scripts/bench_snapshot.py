@@ -21,6 +21,12 @@ throughput (8 simultaneous compress / decompress requests against an
 in-process service on the procpool backend) with the request-latency
 p50/p99 the Prometheus scrape would report.
 
+Format-v3 cells measure per-chunk pipeline selection against the fixed
+legacy pipeline on three regimes (smooth spectral, sparse, particle
+positions): each field appears as ``variant="v2-fixed"`` and
+``variant="v3-select"``, the latter carrying the per-pipeline selection
+rates read from the ``pipeline_selected_total`` counters.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py                   # full
@@ -44,6 +50,7 @@ from repro.core.compressor import PFPLCompressor, decompress
 from repro.datasets.synthesis import (
     brownian_walk,
     gaussian_mixture_series,
+    particle_data,
     spectral_field,
 )
 from repro.device.backend import (
@@ -127,6 +134,78 @@ def bench_one(
     return cell, tel
 
 
+def selection_corpus(quick: bool) -> list[tuple[str, np.ndarray]]:
+    """The regimes where selection should (and should not) win."""
+    side = 128 if quick else 512
+    n = side * side
+    rng = np.random.default_rng(7)
+    sparse = np.zeros(n, dtype=np.float32)
+    sparse[rng.integers(0, n, n // 64)] = rng.normal(0, 10, n // 64)
+    return [
+        ("spectral_f32", spectral_field((side, side), beta=3.0, seed=7).reshape(-1)),
+        ("sparse_f32", sparse),
+        ("particle_f32", particle_data(n, kind="position", seed=7)),
+    ]
+
+
+def bench_selection(quick: bool, repeats: int) -> list[dict]:
+    """Fixed-pipeline vs format-v3 selection on the selection corpus.
+
+    Serial backend, so the cells isolate the codec cost of evaluating
+    every candidate (selection trades encode throughput for ratio; the
+    trend gate holds the ratio side, ``bench_compare
+    --assert-selection-ratio`` the win condition).
+    """
+    cells = []
+    for name, data in selection_corpus(quick):
+        for variant, kwargs in (("v2-fixed", {}), ("v3-select",
+                                                   {"format_version": 3})):
+            tel = Telemetry()
+            comp = PFPLCompressor(
+                mode="abs", error_bound=1e-3, dtype=data.dtype,
+                backend=SerialBackend(), telemetry=tel, **kwargs,
+            )
+            enc_s, dec_s = [], []
+            result = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = comp.compress(data)
+                t1 = time.perf_counter()
+                recon = decompress(result.data, telemetry=tel)
+                t2 = time.perf_counter()
+                enc_s.append(t1 - t0)
+                dec_s.append(t2 - t1)
+                if recon.size != data.size:
+                    raise AssertionError(f"{name}: round-trip size mismatch")
+            n_chunks = tel.counter("chunks_encoded_total")
+            selection_rate = {}
+            for key, value in tel.counters().items():
+                if key.startswith("pipeline_selected_total{"):
+                    pipeline = key.split('pipeline="', 1)[1].rstrip('"}')
+                    selection_rate[pipeline] = value / max(1, n_chunks)
+            cell = {
+                "field": name,
+                "backend": "serial",
+                "variant": variant,
+                "mode": "abs",
+                "bound": 1e-3,
+                "values": int(data.size),
+                "bytes": int(data.nbytes),
+                "ratio": result.ratio,
+                "encode_seconds": min(enc_s),
+                "decode_seconds": min(dec_s),
+                "encode_gbps": data.nbytes / min(enc_s) / 1e9,
+                "decode_gbps": data.nbytes / min(dec_s) / 1e9,
+                "fallback_rate": tel.counter("raw_chunks_total") / max(1, n_chunks),
+                "selection_rate": selection_rate,
+            }
+            cells.append(cell)
+            log.info("%s/%s: enc %.3f GB/s ratio %.2f selection %s",
+                     name, variant, cell["encode_gbps"], cell["ratio"],
+                     {k: round(v, 3) for k, v in selection_rate.items()} or "-")
+    return cells
+
+
 async def _drive_service(service: PFPLService, bodies: list[bytes], op: str,
                          params: str) -> float:
     """Fire all ``bodies`` at the service concurrently; returns seconds."""
@@ -204,7 +283,7 @@ def bench_service(quick: bool, n_streams: int = 8) -> list[dict]:
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
-    ap.add_argument("--out", default="BENCH_PR9.json", help="snapshot JSON path")
+    ap.add_argument("--out", default="BENCH_PR10.json", help="snapshot JSON path")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="write a Chrome trace of the first threaded run")
     ap.add_argument("--mode", default="abs", choices=("abs", "rel", "noa"))
@@ -242,10 +321,11 @@ def main(argv: list[str] | None = None) -> int:
                     log.info("wrote %d trace spans to %s", len(tel.spans), args.trace)
     for _, backend in backends:
         backend.close()
+    cells.extend(bench_selection(args.quick, repeats))
     cells.extend(bench_service(args.quick))
 
     snapshot = {
-        "bench": "PR7 procpool + service snapshot",
+        "bench": "PR10 pipeline-selection snapshot",
         "quick": bool(args.quick),
         "mode": args.mode,
         "bound": args.bound,

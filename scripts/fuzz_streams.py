@@ -2,10 +2,11 @@
 """Fault-injection harness for the PFPL decode path.
 
 Builds golden streams for every mode (abs/rel/noa) x dtype (f32/f64) x
-checksum (off/on), then mutates them -- truncation, single-bit flips
-weighted by stream region, zeroed windows, and cross-stream splices --
-and feeds each mutant to the decoders.  Every mutant must end one of
-two ways:
+checksum (off/on) x format (legacy/v3 pipeline selection), then mutates
+them -- truncation, single-bit flips weighted by stream region, zeroed
+windows, cross-stream splices, and targeted pipeline-id bit patterns in
+the size table -- and feeds each mutant to the decoders.  Every mutant
+must end one of two ways:
 
 * a :class:`repro.errors.PFPLError` subclass is raised (the stream was
   rejected), or
@@ -40,7 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compressor import compress, decompress
-from repro.core.header import Header
+from repro.core.header import HEADER_BYTES, Header
 from repro.core.verify import check_bound
 from repro.errors import PFPLError
 from repro.io import PFPLReader
@@ -68,6 +69,7 @@ class Golden:
     data: np.ndarray
     blob: bytes
     header: Header
+    select: bool = False
 
     def regions(self) -> dict[str, tuple[int, int]]:
         """Byte ranges of the stream's structural regions."""
@@ -104,29 +106,37 @@ def build_goldens(seed: int = 0) -> list[Golden]:
                 # must decode to exact zeros) but keep magnitudes sane.
                 data = np.where(data == 0, 0, data + np.sign(data))
             for checksum in (False, True):
-                blob = compress(
-                    data, mode=mode, error_bound=_BOUND, checksum=checksum
-                )
-                header = Header.unpack(blob)
-                g = Golden(
-                    name=f"{mode}-{np.dtype(dtype).name}-"
-                    f"{'crc' if checksum else 'nocrc'}",
-                    mode=mode,
-                    dtype=dtype,
-                    bound=_BOUND,
-                    value_range=header.value_range,
-                    checksum=checksum,
-                    data=data,
-                    blob=blob,
-                    header=header,
-                )
-                # The golden itself must be clean, or the sweep judges
-                # mutants against a broken reference.
-                rep = check_bound(mode, data, decompress(blob), _BOUND,
-                                  g.value_range or None)
-                if not rep.ok:
-                    raise AssertionError(f"golden {g.name} violates its bound")
-                goldens.append(g)
+                for select in (False, True):
+                    kwargs = {"checksum": checksum}
+                    if select:
+                        kwargs["format_version"] = 3
+                    blob = compress(
+                        data, mode=mode, error_bound=_BOUND, **kwargs
+                    )
+                    header = Header.unpack(blob)
+                    g = Golden(
+                        name=f"{mode}-{np.dtype(dtype).name}-"
+                        f"{'crc' if checksum else 'nocrc'}"
+                        f"{'-v3' if select else ''}",
+                        mode=mode,
+                        dtype=dtype,
+                        bound=_BOUND,
+                        value_range=header.value_range,
+                        checksum=checksum,
+                        data=data,
+                        blob=blob,
+                        header=header,
+                        select=select,
+                    )
+                    # The golden itself must be clean, or the sweep
+                    # judges mutants against a broken reference.
+                    rep = check_bound(mode, data, decompress(blob), _BOUND,
+                                      g.value_range or None)
+                    if not rep.ok:
+                        raise AssertionError(
+                            f"golden {g.name} violates its bound"
+                        )
+                    goldens.append(g)
     return goldens
 
 
@@ -257,6 +267,52 @@ def run_sweep(goldens: list[Golden], n_mutations: int, seed: int,
     return SweepResult(tallies, failures)
 
 
+#: Targeted size-table patterns: each valid pid bit alone, then both.
+PID_BIT_PATTERNS = (1 << 29, 1 << 30, 3 << 29)
+
+
+def check_pipeline_id_bits(golden: Golden) -> list:
+    """OR pipeline-id bits into every size-table entry; judge each mutant.
+
+    A legacy stream must reject any pid bit (its table predates pipeline
+    selection), a checksummed stream catches everything via the footer,
+    and a v3 stream without the footer must still catch the reserved
+    id 3 and a raw chunk carrying a nonzero pid.  A flip between *valid*
+    ids on a non-checksummed v3 stream is undetectable by design (the
+    candidate blobs are self-contained byte streams), so there the only
+    requirement is that no raw exception escapes.
+    """
+    h = golden.header
+    table = np.frombuffer(
+        golden.blob[HEADER_BYTES:HEADER_BYTES + 4 * h.n_chunks], dtype="<u4"
+    )
+    failures = []
+    for index in range(h.n_chunks):
+        entry = int(table[index])
+        for bits in PID_BIT_PATTERNS:
+            if entry | bits == entry:
+                continue  # pattern already present: not a mutation
+            buf = bytearray(golden.blob)
+            lo = HEADER_BYTES + 4 * index
+            buf[lo:lo + 4] = (entry | bits).to_bytes(4, "little")
+            outcome, detail = classify(golden, bytes(buf),
+                                       via_reader=bool(index % 2))
+            new_pid = ((entry | bits) >> 29) & 0b11
+            must_catch = (
+                golden.checksum
+                or not h.pipeline_select
+                or new_pid == 3
+                or bool(entry & (1 << 31))  # raw chunk, pid must stay 0
+            )
+            bad = (outcome != CAUGHT) if must_catch else (outcome == RAW)
+            if bad:
+                failures.append(
+                    (golden.name, f"table[{index}] |= {bits:#010x}",
+                     outcome, detail)
+                )
+    return failures
+
+
 def check_payload_bitflips(golden: Golden, n_flips: int, seed: int) -> list:
     """Every payload bit flip in a checksum stream must be *detected*."""
     assert golden.checksum
@@ -309,7 +365,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"payload bit-flip detection (checksum-on): "
           f"{n_flips * len(crc_on) - len(flip_failures)}/{n_flips * len(crc_on)} caught")
 
-    failures = strict.failures + loose.failures + flip_failures
+    pid_failures = []
+    for g in goldens:
+        pid_failures += check_pipeline_id_bits(g)
+    print("pipeline-id bit patterns (all goldens): "
+          f"{len(pid_failures)} failures")
+
+    failures = strict.failures + loose.failures + flip_failures + pid_failures
     if failures:
         print(f"\n{len(failures)} FAILURES:")
         for name, where, outcome, detail in failures[:25]:

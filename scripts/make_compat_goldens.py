@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Generate the committed cross-version compatibility goldens.
+
+Writes one PFPL stream per (format version x mode x dtype) cell --
+v1 (no checksum), v2 (CRC-32 footer), v3 without and with the footer --
+plus ``manifest.json`` recording each stream's SHA-256 and the exact
+writer configuration that produced it, under ``tests/goldens/compat/``.
+
+The committed bytes are the compatibility contract:
+
+* the v1/v2 cells pin the legacy formats -- today's writer must keep
+  producing these byte-identical streams when selection is off, and
+  every future reader must keep decoding them;
+* the v3 cells pin the per-chunk pipeline-selection format introduced
+  with format version 3.
+
+``tests/fuzz/test_compat_goldens.py`` enforces both directions on every
+run.  Regenerating this directory is only legitimate when the format
+itself changes on purpose::
+
+    PYTHONPATH=src python scripts/make_compat_goldens.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compressor import compress
+
+MODES = ("abs", "rel", "noa")
+DTYPES = {"f32": np.float32, "f64": np.float64}
+BOUND = 1e-3
+
+#: (cell tag, writer kwargs) per format version cell.
+VERSION_CELLS = (
+    ("v1", dict(checksum=False)),
+    ("v2", dict(checksum=True)),
+    ("v3", dict(format_version=3)),
+    ("v3crc", dict(format_version=3, checksum=True)),
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "tests" / "goldens" / "compat"
+
+
+def golden_data(dtype, mode: str) -> np.ndarray:
+    """Deterministic input mixing every selection regime.
+
+    Smooth walk (default pipeline), a sparse run (direct-zero), lattice
+    positions with jitter (no-shuffle territory) and outliers, sized to
+    a few chunks plus a ragged tail so the table and padding paths are
+    all represented in the committed bytes.
+    """
+    n = 2 * (16384 // np.dtype(dtype).itemsize) + 123
+    rng = np.random.default_rng(0xC0DEC)
+    t = np.linspace(0.0, 6.0 * np.pi, n)
+    data = np.sin(t) * 30.0 + np.cumsum(rng.normal(0, 0.02, n))
+    data[n // 4:n // 4 + n // 8] = 0.0
+    lat = np.arange(n // 8, dtype=np.float64)
+    data[n // 2:n // 2 + n // 8] = lat * 0.5 + rng.normal(0, 1e-4, n // 8)
+    data[::151] *= 1e4
+    if mode == "rel":
+        data = np.where(data == 0, 0, data + np.sign(data) * 2.0)
+    return data.astype(dtype)
+
+
+def build_goldens() -> dict[str, dict]:
+    """Compress every cell; returns ``name -> manifest entry + bytes``."""
+    out: dict[str, dict] = {}
+    for mode in MODES:
+        for tag, dtype in DTYPES.items():
+            data = golden_data(dtype, mode)
+            for cell, kwargs in VERSION_CELLS:
+                blob = compress(data, mode=mode, error_bound=BOUND, **kwargs)
+                name = f"{cell}-{mode}-{tag}"
+                out[name] = {
+                    "file": f"{name}.pfpl",
+                    "sha256": hashlib.sha256(blob).hexdigest(),
+                    "version": 3 if "format_version" in kwargs
+                    else 2 if kwargs.get("checksum") else 1,
+                    "mode": mode,
+                    "dtype": tag,
+                    "checksum": bool(kwargs.get("checksum")),
+                    "pipeline_select": "format_version" in kwargs,
+                    "count": int(data.size),
+                    "bound": BOUND,
+                    "blob": blob,
+                }
+    return out
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    goldens = build_goldens()
+    manifest = {}
+    for name, entry in sorted(goldens.items()):
+        blob = entry.pop("blob")
+        (GOLDEN_DIR / entry["file"]).write_bytes(blob)
+        manifest[name] = entry
+        print(f"  {name:<16} {len(blob):>7,} bytes  {entry['sha256'][:16]}...")
+    (GOLDEN_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"{len(manifest)} goldens -> {GOLDEN_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,10 +97,18 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                 vmax = max(vmax, float(np.fmax.reduce(block)))
         value_range = (vmax - vmin) if np.isfinite(vmax - vmin) else 0.0
 
+    pipelines = None
+    if args.pipelines:
+        pipelines = [
+            int(tok) if tok.lstrip("-").isdigit() else tok
+            for tok in (t.strip() for t in args.pipelines.split(","))
+            if tok
+        ]
     with open(args.input, "rb") as src, open(args.output, "wb") as dst:
         with PFPLWriter(
             dst, mode=args.mode, error_bound=args.bound, dtype=dtype,
             value_range=value_range, backend=backend, checksum=args.checksum,
+            format_version=args.format_version, pipelines=pipelines,
             telemetry=telemetry,
         ) as writer:
             while True:
@@ -222,13 +230,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         head = fh.read(64)
     header = Header.unpack(head)
+    version = 3 if header.pipeline_select else 2 if header.checksum else 1
     print(f"PFPL stream: mode={header.mode} dtype={header.dtype}")
+    print(f"  format      : v{version}"
+          + (" (per-chunk pipeline selection)" if header.pipeline_select else ""))
     print(f"  error bound : {header.error_bound:g}")
     if header.mode == "noa":
         print(f"  value range : {header.value_range:g}")
     print(f"  values      : {header.count}")
     print(f"  chunks      : {header.n_chunks} x {header.words_per_chunk} words")
     print(f"  checksums   : {'crc32 footer' if header.checksum else 'none'}")
+    if header.pipeline_select:
+        from .core.lossless.pipeline import PIPELINE_VARIANTS
+
+        print(f"  pipeline    : per-chunk best of {'|'.join(PIPELINE_VARIANTS)} "
+              f"(2-bit id per size-table entry)")
+        return 0
     stages = []
     if header.use_delta:
         stages.append("delta+negabinary")
@@ -390,6 +407,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, backend=args.backend,
         n_workers=args.workers, queue_depth=args.queue_depth,
         drain_timeout=args.drain_timeout, access_log=args.access_log,
+        pipelines=args.pipelines,
     )
 
     async def _run() -> int:
@@ -430,6 +448,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--checksum", action="store_true",
         help="emit a version-2 stream with a per-chunk CRC-32 footer",
+    )
+    p.add_argument(
+        "--format-version", type=int, choices=(1, 2, 3), default=None,
+        help="force the container version (default: lowest that fits; "
+        "3 enables per-chunk pipeline selection)",
+    )
+    p.add_argument(
+        "--pipelines", metavar="LIST", default=None,
+        help="comma-separated candidate pipelines for v3 selection "
+        "(default|no-shuffle|direct-zero or ids 0-2); implies "
+        "--format-version 3",
     )
     p.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -566,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", metavar="FILE", default=None,
         help="structured JSON access log: one line per request with "
              "trace id, tenant, op, status and latency ('-' for stdout)",
+    )
+    p.add_argument(
+        "--pipelines", metavar="LIST", default=None,
+        help="default v3 per-chunk pipeline candidates for compress "
+             "requests (comma-separated; requests may override)",
     )
     p.set_defaults(func=_cmd_serve)
 

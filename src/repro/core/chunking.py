@@ -14,6 +14,14 @@ a thread, on the GPU to a thread block.  Per chunk:
 The tail chunk is zero-padded to a multiple of 8 words so the bit
 shuffle always packs whole bytes; the global value count in the header
 tells the decoder how many words are real.
+
+Format v3 (per-chunk pipeline selection) packs a 2-bit pipeline id into
+bits 29-30 of each size-table entry, leaving 29 bits for the size; the
+encoder evaluates every candidate variant and stores the smallest.  For
+v1/v2 streams those bits are part of the size field and must be zero
+for any realistic chunk geometry -- :func:`validate_size_table` rejects
+a legacy table carrying pipeline ids (and a v3 table carrying the
+reserved id 3, or a raw chunk with a nonzero id).
 """
 
 from __future__ import annotations
@@ -23,11 +31,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import PFPLFormatError, PFPLIntegrityError, PFPLUsageError
-from .lossless.pipeline import LosslessPipeline
+from .lossless.pipeline import LosslessPipeline, variant_config
 
 __all__ = [
     "CHUNK_BYTES",
     "RAW_FLAG",
+    "PIPELINE_SHIFT",
     "ChunkCodec",
     "ChunkPlan",
     "plan_chunks",
@@ -41,6 +50,11 @@ CHUNK_BYTES = 16384
 #: High bit of a size-table entry: chunk stored raw (incompressible).
 RAW_FLAG = np.uint32(0x80000000)
 _SIZE_MASK = np.uint32(0x7FFFFFFF)
+
+#: v3 size-table layout: bits 29-30 hold the chunk's 2-bit pipeline id.
+PIPELINE_SHIFT = 29
+_PID_MASK = np.uint32(0x3)
+_SIZE_MASK_V3 = np.uint32((1 << PIPELINE_SHIFT) - 1)
 
 
 @dataclass(frozen=True)
@@ -162,6 +176,29 @@ class ChunkCodec:
         self.pipeline = pipeline
         self.chunk_bytes = chunk_bytes
         self.word_itemsize = pipeline.word_dtype.itemsize
+        #: Candidate pipeline ids evaluated per chunk (empty = fixed
+        #: pre-v3 pipeline; the size table then carries no ids).
+        self.select: tuple[int, ...] = tuple(pipeline.config.select)
+        #: Lazily-built per-variant decode pipelines, keyed by id.
+        self._variants: dict[int, LosslessPipeline] = {}
+
+    def pipeline_for(self, pipeline_id: int) -> LosslessPipeline:
+        """The (sub)pipeline that decodes chunks tagged ``pipeline_id``.
+
+        Variant pipelines are built with ``type(self.pipeline)`` so a
+        backend-specific subclass (the GPU sim's warp kernels) keeps its
+        execution shape; they share the base pipeline's telemetry sink.
+        Raises :class:`PFPLFormatError` on the reserved id 3.
+        """
+        if pipeline_id == 0:
+            return self.pipeline
+        variant = self._variants.get(pipeline_id)
+        if variant is None:
+            cfg = variant_config(self.pipeline.config, pipeline_id)
+            variant = type(self.pipeline)(self.pipeline.word_dtype, cfg)
+            variant.telemetry = self.pipeline.telemetry
+            self._variants[pipeline_id] = variant
+        return variant
 
     def plan(self, n_words: int) -> ChunkPlan:
         return plan_chunks(n_words, self.word_itemsize, self.chunk_bytes)
@@ -177,19 +214,34 @@ class ChunkCodec:
 
     # -- per-chunk kernels ---------------------------------------------------
 
-    def encode_chunk(self, chunk_words: np.ndarray) -> tuple[bytes, bool]:
-        """Compress one chunk; returns (blob, is_raw).
+    def encode_chunk(self, chunk_words: np.ndarray) -> tuple[bytes, bool, int]:
+        """Compress one chunk; returns (blob, is_raw, pipeline_id).
 
-        Falls back to the raw words whenever the pipeline fails to shrink
-        the chunk, exactly capping worst-case expansion.
+        With selection configured, every candidate variant is evaluated
+        (shared-stage, see :meth:`LosslessPipeline.encode_variants`) and
+        the smallest blob wins; ties go to the lowest id.  Falls back to
+        the raw words (id 0) whenever no candidate shrinks the chunk,
+        exactly capping worst-case expansion.
         """
-        blob = self.pipeline.encode_chunk(chunk_words)
         raw_size = chunk_words.size * self.word_itemsize
+        if self.select:
+            blobs = self.pipeline.encode_variants(chunk_words, self.select)
+            best = 0
+            for i in range(1, len(blobs)):
+                if len(blobs[i]) < len(blobs[best]):
+                    best = i
+            blob = blobs[best]
+            if len(blob) >= raw_size:
+                return chunk_words.tobytes(), True, 0
+            return blob, False, self.select[best]
+        blob = self.pipeline.encode_chunk(chunk_words)
         if len(blob) >= raw_size:
-            return chunk_words.tobytes(), True
-        return blob, False
+            return chunk_words.tobytes(), True, 0
+        return blob, False, 0
 
-    def decode_chunk(self, blob, n_words: int, is_raw: bool) -> np.ndarray:
+    def decode_chunk(
+        self, blob, n_words: int, is_raw: bool, pipeline_id: int = 0
+    ) -> np.ndarray:
         if is_raw:
             if isinstance(blob, np.ndarray):
                 arr = np.ascontiguousarray(blob).view(self.pipeline.word_dtype).reshape(-1)
@@ -202,27 +254,48 @@ class ChunkCodec:
                     f"raw chunk holds {arr.size} words, expected {n_words}"
                 )
             return arr.copy()
-        return self.pipeline.decode_chunk(blob, n_words)
+        return self.pipeline_for(pipeline_id).decode_chunk(blob, n_words)
 
     # -- chunk-major batch kernels --------------------------------------------
 
-    def encode_batch(self, words: np.ndarray) -> tuple[list[bytes], np.ndarray]:
+    def encode_batch(
+        self, words: np.ndarray
+    ) -> tuple[list[bytes], np.ndarray, np.ndarray]:
         """Compress a ``(n_chunks, n_words)`` block of full-size chunks.
 
-        Returns ``(blobs, raw_flags)`` with the per-row incompressible
-        fallback decided vectorized: any row whose pipeline blob failed
-        to shrink below the raw byte count is replaced by its raw words,
-        exactly as :meth:`encode_chunk` decides per chunk.
+        Returns ``(blobs, raw_flags, pipeline_ids)`` with the per-row
+        incompressible fallback decided vectorized: any row whose best
+        blob failed to shrink below the raw byte count is replaced by its
+        raw words (id 0), exactly as :meth:`encode_chunk` decides per
+        chunk.  With selection configured the per-row winner is the
+        argmin over candidate sizes (first minimum = lowest id, since
+        the candidate tuple is sorted).
         """
-        blobs = self.pipeline.encode_batch(words)
+        n_rows = words.shape[0]
         raw_size = words.shape[1] * self.word_itemsize
+        if self.select:
+            per_variant = self.pipeline.encode_batch_variants(words, self.select)
+            sizes = np.empty((len(per_variant), n_rows), dtype=np.int64)
+            for v, variant_blobs in enumerate(per_variant):
+                for i, b in enumerate(variant_blobs):
+                    sizes[v, i] = len(b)
+            best = np.argmin(sizes, axis=0)
+            pids = np.asarray(self.select, dtype=np.uint8)[best]
+            best_sizes = sizes[best, np.arange(n_rows, dtype=np.int64)]
+            raw_flags = best_sizes >= raw_size
+            blobs = [per_variant[int(best[i])][i] for i in range(n_rows)]
+            for i in np.flatnonzero(raw_flags):
+                blobs[int(i)] = words[int(i)].tobytes()
+                pids[int(i)] = 0
+            return blobs, raw_flags, pids
+        blobs = self.pipeline.encode_batch(words)
         sizes = np.fromiter(
             (len(b) for b in blobs), dtype=np.int64, count=len(blobs)
         )
         raw_flags = sizes >= raw_size
         for i in np.flatnonzero(raw_flags):
             blobs[int(i)] = words[int(i)].tobytes()
-        return blobs, raw_flags
+        return blobs, raw_flags, np.zeros(n_rows, dtype=np.uint8)
 
     def decode_batch(
         self,
@@ -230,35 +303,80 @@ class ChunkCodec:
         starts: np.ndarray,
         sizes: np.ndarray,
         n_words: int,
+        pipeline_id: int = 0,
     ) -> np.ndarray:
         """Decompress equal-geometry *non-raw* chunks out of the payload.
 
-        Raw chunks (and the ragged tail) stay on :meth:`decode_chunk`;
-        the caller partitions the size table accordingly.
+        Every chunk in the batch must share ``pipeline_id`` -- the caller
+        groups size-table rows by id, so the batch seam stays one
+        vectorized call per group with no per-chunk allocation.  Raw
+        chunks (and the ragged tail) stay on :meth:`decode_chunk`.
         """
-        return self.pipeline.decode_batch(stream, starts, sizes, n_words)
+        return self.pipeline_for(pipeline_id).decode_batch(
+            stream, starts, sizes, n_words
+        )
 
     # -- framing ---------------------------------------------------------------
 
     @staticmethod
-    def build_size_table(sizes: list[int], raw_flags: list[bool]) -> np.ndarray:
-        """Pack per-chunk byte sizes + raw flags into the u32 size table."""
+    def build_size_table(
+        sizes: list[int],
+        raw_flags: list[bool],
+        pipeline_ids=None,
+    ) -> np.ndarray:
+        """Pack per-chunk byte sizes + raw flags into the u32 size table.
+
+        ``pipeline_ids`` (v3 streams only) adds each chunk's 2-bit
+        pipeline id in bits 29-30; sizes must then fit in 29 bits.  Raw
+        chunks always carry id 0 on disk.
+        """
         table = np.asarray(sizes, dtype=np.uint32)
-        if np.any(table & RAW_FLAG):
-            raise PFPLFormatError("chunk blob exceeds 2 GiB size-table limit")
         flags = np.asarray(raw_flags, dtype=bool)
-        return table | np.where(flags, RAW_FLAG, np.uint32(0))
+        if pipeline_ids is None:
+            if np.any(table & RAW_FLAG):
+                raise PFPLFormatError("chunk blob exceeds 2 GiB size-table limit")
+            return table | np.where(flags, RAW_FLAG, np.uint32(0))
+        if np.any(table & ~_SIZE_MASK_V3):
+            raise PFPLFormatError(
+                "chunk blob exceeds the 512 MiB v3 size-table limit"
+            )
+        pids = np.asarray(pipeline_ids, dtype=np.uint32)
+        if np.any(pids & ~_PID_MASK) or np.any(pids == 3):
+            bad = int(pids[(pids & ~_PID_MASK) != 0][0]) if np.any(
+                pids & ~_PID_MASK
+            ) else 3
+            raise PFPLFormatError(f"reserved pipeline id {bad}")
+        pids = np.where(flags, np.uint32(0), pids)
+        return (
+            table
+            | (pids << np.uint32(PIPELINE_SHIFT))
+            | np.where(flags, RAW_FLAG, np.uint32(0))
+        )
 
     @staticmethod
-    def parse_size_table(table: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return (sizes, raw_flags, start_offsets) -- the decoder's prefix sum."""
+    def parse_size_table(
+        table: np.ndarray, pipeline_select: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (sizes, raw_flags, pipeline_ids, start_offsets).
+
+        ``pipeline_select`` selects the v3 entry layout (29-bit size +
+        2-bit pipeline id); legacy streams keep the 31-bit size field and
+        report id 0 for every chunk.
+        """
         table = np.ascontiguousarray(table, dtype=np.uint32)
-        sizes = (table & _SIZE_MASK).astype(np.int64)
         raw_flags = (table & RAW_FLAG) != 0
+        if pipeline_select:
+            sizes = (table & _SIZE_MASK_V3).astype(np.int64)
+            pids = ((table >> np.uint32(PIPELINE_SHIFT)) & _PID_MASK).astype(
+                np.uint8
+            )
+        else:
+            sizes = (table & _SIZE_MASK).astype(np.int64)
+            pids = np.zeros(table.size, dtype=np.uint8)
         starts = np.zeros(sizes.size, dtype=np.int64)
         if sizes.size > 1:
             np.cumsum(sizes[:-1], out=starts[1:])
-        return sizes, raw_flags, starts
+        return sizes, raw_flags, pids, starts
 
 
 def validate_size_table(
@@ -268,6 +386,8 @@ def validate_size_table(
     word_itemsize: int,
     use_zero_elim: bool = True,
     bitmap_levels: int | None = None,
+    pipeline_ids: np.ndarray | None = None,
+    pipeline_select: bool = False,
 ) -> None:
     """Reject size-table entries no conforming encoder can produce.
 
@@ -277,10 +397,20 @@ def validate_size_table(
     and only zero-byte elimination can shrink -- so with that stage
     disabled every chunk must be raw, and with it enabled a compressed
     chunk can never be smaller than its fully-collapsed serialization
-    (the top-level bitmap alone).  Checking all of this eagerly means a
-    hostile table can neither over-read the source, hand the lossless
-    stages a blob larger than any legitimate chunk, nor claim a huge
-    decoded extent backed by implausibly few bytes.
+    (the top-level bitmap alone -- every candidate variant shares that
+    floor, since all zero-elim streams for a chunk have equal byte
+    count).  Checking all of this eagerly means a hostile table can
+    neither over-read the source, hand the lossless stages a blob larger
+    than any legitimate chunk, nor claim a huge decoded extent backed by
+    implausibly few bytes.
+
+    ``pipeline_select`` / ``pipeline_ids`` add the v3 pipeline-id
+    invariants: a raw chunk must carry id 0 and the reserved id 3 is
+    rejected.  For legacy (v1/v2) streams the pid bits 29-30 are part of
+    the size field; whenever the chunk geometry cannot legitimately
+    reach them (raw bytes under 512 MiB -- every real configuration), a
+    nonzero pid bit is called out explicitly instead of surfacing as a
+    confusing out-of-range size.
 
     Raises :class:`PFPLFormatError` naming the first offending chunk.
     """
@@ -297,6 +427,34 @@ def validate_size_table(
         bitmap_levels = DEFAULT_LEVELS
     raw_bytes = np.full(n, plan.words_per_chunk * word_itemsize, dtype=np.int64)
     raw_bytes[-1] = plan.padded_tail_words * word_itemsize
+    if pipeline_select:
+        if pipeline_ids is None:
+            raise PFPLFormatError(
+                "pipeline-select table validation needs the parsed pipeline ids"
+            )
+        bad_pid = (pipeline_ids == 3) | (raw_flags & (pipeline_ids != 0))
+        if np.any(bad_pid):
+            i = int(np.argmax(bad_pid))
+            if pipeline_ids[i] == 3:
+                raise PFPLFormatError(
+                    f"corrupt size table: chunk {i} carries the reserved "
+                    "pipeline id 3"
+                )
+            raise PFPLFormatError(
+                f"corrupt size table: raw chunk {i} carries pipeline id "
+                f"{int(pipeline_ids[i])} (raw chunks must use id 0)"
+            )
+    elif int(raw_bytes.max()) < (1 << PIPELINE_SHIFT):
+        # Legacy stream whose geometry cannot reach bits 29-30 of the
+        # size field: any bit set there is a pipeline id smuggled into a
+        # v1/v2 table (the header version predates selection).
+        stray = (sizes >> PIPELINE_SHIFT) != 0
+        if np.any(stray):
+            i = int(np.argmax(stray))
+            raise PFPLFormatError(
+                f"corrupt size table: chunk {i} carries pipeline-id bits "
+                "but the header version predates pipeline selection"
+            )
     if use_zero_elim:
         min_bytes = np.full(
             n, bitmap_sizes(int(raw_bytes[0]), bitmap_levels)[-1], dtype=np.int64

@@ -30,7 +30,7 @@ Typical use::
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -41,13 +41,19 @@ from ..errors import (
     PFPLFormatError,
     PFPLIntegrityError,
     PFPLTruncatedError,
+    PFPLUsageError,
 )
 from ..telemetry import NULL_TELEMETRY
 from .chunking import CHUNK_BYTES, ChunkCodec, plan_shards, validate_size_table
 from .floatbits import layout_for
 from .header import Header
 from .kernel import ChunkKernel, ChunkStats
-from .lossless.pipeline import LosslessPipeline, PipelineConfig
+from .lossless.pipeline import (
+    LosslessPipeline,
+    PipelineConfig,
+    normalize_selection,
+    variant_config,
+)
 from .quantizers import Quantizer, make_quantizer
 
 __all__ = ["PFPLCompressor", "compress", "decompress", "CompressionResult", "InlineBackend"]
@@ -67,6 +73,50 @@ _INT_COERCION = {
     np.dtype(np.int64): np.float64,
     np.dtype(np.uint64): np.float64,
 }
+
+
+def resolve_format_options(
+    config: PipelineConfig | None,
+    checksum: bool,
+    format_version: int | None,
+    pipelines,
+) -> tuple[PipelineConfig, bool]:
+    """Resolve the (config, checksum) pair a writer should encode with.
+
+    Shared by :class:`PFPLCompressor` and :class:`repro.io.PFPLWriter` so
+    both surfaces apply identical rules: ``format_version=None`` infers
+    the version from ``checksum`` / ``pipelines`` (keeping v1/v2 output
+    byte-identical to earlier releases), ``format_version=3`` turns on
+    per-chunk pipeline selection (all three candidates unless
+    ``pipelines=`` narrows them), and contradictory combinations raise
+    :class:`~repro.errors.PFPLUsageError`.
+    """
+    config = config or PipelineConfig()
+    if format_version not in (None, 1, 2, 3):
+        raise PFPLUsageError(
+            f"unknown format_version {format_version!r} (supported: 1, 2, 3)"
+        )
+    if pipelines is not None and format_version in (1, 2):
+        raise PFPLUsageError(
+            f"format version {format_version} predates pipeline selection; "
+            "use format_version=3 (or leave it unset) with pipelines="
+        )
+    if format_version == 1 and checksum:
+        raise PFPLUsageError(
+            "format version 1 has no checksum footer; use format_version=2"
+        )
+    if format_version == 2:
+        checksum = True
+    if pipelines is not None:
+        config = replace(config, select=normalize_selection(pipelines))
+    elif format_version == 3 and not config.select:
+        config = replace(config, select=(0, 1, 2))
+    elif format_version in (1, 2) and config.select:
+        raise PFPLUsageError(
+            f"format version {format_version} predates pipeline selection; "
+            "drop select= from the PipelineConfig or use format_version=3"
+        )
+    return config, bool(checksum)
 
 
 def _crc_footer(prefix: bytes, blobs: Sequence[bytes]) -> bytes:
@@ -225,6 +275,19 @@ class PFPLCompressor:
         backend's ``batch_capable`` flag; ``True``/``False`` force the
         batched / per-chunk kernels.  The bytes are identical either way
         (golden-tested) -- this only selects the execution shape.
+    format_version:
+        Pin the on-disk format: 1 (no footer), 2 (checksum footer) or 3
+        (per-chunk pipeline selection, optionally with the footer).
+        ``None`` (default) infers it from ``checksum`` / ``pipelines``,
+        keeping the v1/v2 output byte-identical to earlier releases --
+        v3 stays opt-in.
+    pipelines:
+        Candidate lossless pipelines for per-chunk selection (format
+        v3): a sequence of ids or names among ``0/"default"``,
+        ``1/"no-shuffle"``, ``2/"direct-zero"``.  Each chunk stores
+        whichever candidate encoded smallest (raw stays the final
+        fallback).  ``format_version=3`` with ``pipelines=None`` enables
+        all three.
     """
 
     def __init__(
@@ -238,14 +301,17 @@ class PFPLCompressor:
         checksum: bool = False,
         telemetry=None,
         use_batch: bool | None = None,
+        format_version: int | None = None,
+        pipelines=None,
     ):
         self.mode = mode
         self.error_bound = float(error_bound)
         self.layout = layout_for(dtype)
         self.backend = backend or InlineBackend()
-        self.config = config or PipelineConfig()
+        self.config, self.checksum = resolve_format_options(
+            config, checksum, format_version, pipelines
+        )
         self.chunk_bytes = chunk_bytes or CHUNK_BYTES
-        self.checksum = bool(checksum)
         self.use_batch = use_batch
         self.telemetry = telemetry or NULL_TELEMETRY
         if self.telemetry.enabled and not getattr(
@@ -299,9 +365,9 @@ class PFPLCompressor:
             with tel.chunk(index), tel.span(
                 "chunk_encode", cat="chunk", values=int(float_slice.size)
             ) as sp:
-                blob, raw, st = kernel.encode_chunk(float_slice)
+                blob, raw, pid, st = kernel.encode_chunk(float_slice)
                 sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
-            return blob, raw, st
+            return blob, raw, pid, st
 
         if self._batch_enabled() and n_full and getattr(
             self.backend, "offload_capable", False
@@ -317,22 +383,24 @@ class PFPLCompressor:
                     "offload_encode", cat="scheduler", chunks=n_full,
                     values=n_full * plan.words_per_chunk,
                 ) as sp:
-                    blobs, raw_flags, stats = self.backend.encode_array(
+                    blobs, raw_flags, pids, stats = self.backend.encode_array(
                         quantizer, self.config, self.chunk_bytes, block
                     )
                     sp.set(bytes_out=sum(len(b) for b in blobs))
             else:
-                blobs, raw_flags, stats = self.backend.encode_array(
+                blobs, raw_flags, pids, stats = self.backend.encode_array(
                     quantizer, self.config, self.chunk_bytes, block
                 )
             blobs = list(blobs)
             raw_flags = [bool(r) for r in raw_flags]
+            pids = [int(p) for p in pids]
             for index in range(n_full, plan.n_chunks):
-                blob, raw, st = encode_one(
+                blob, raw, pid, st = encode_one(
                     (index, flat[slice(*plan.chunk_value_bounds(index))])
                 )
                 blobs.append(blob)
                 raw_flags.append(bool(raw))
+                pids.append(int(pid))
                 stats = stats + st
         elif self._batch_enabled() and n_full:
             block = flat[: n_full * plan.words_per_chunk].reshape(
@@ -346,26 +414,32 @@ class PFPLCompressor:
                     "batch_encode", cat="chunk", first_chunk=lo, chunks=hi - lo,
                     values=(hi - lo) * plan.words_per_chunk,
                 ) as sp:
-                    shard_blobs, shard_raws, st = kernel.encode_batch(block[lo:hi])
+                    shard_blobs, shard_raws, shard_pids, st = kernel.encode_batch(
+                        block[lo:hi]
+                    )
                     sp.set(
                         bytes_out=sum(len(b) for b in shard_blobs),
                         chunk_bytes_out=[len(b) for b in shard_blobs],
                         outliers=st.lossless, raw_chunks=st.raw_chunks,
                     )
-                return shard_blobs, shard_raws, st
+                return shard_blobs, shard_raws, shard_pids, st
 
             results = self.backend.map_batch(encode_rows, n_full)
-            blobs = [b for shard_blobs, _r, _st in results for b in shard_blobs]
+            blobs = [b for shard_blobs, _r, _p, _st in results for b in shard_blobs]
             raw_flags = [
-                bool(r) for _b, shard_raws, _st in results for r in shard_raws
+                bool(r) for _b, shard_raws, _p, _st in results for r in shard_raws
             ]
-            stats = sum((st for _b, _r, st in results), ChunkStats())
+            pids = [
+                int(p) for _b, _r, shard_pids, _st in results for p in shard_pids
+            ]
+            stats = sum((st for _b, _r, _p, st in results), ChunkStats())
             for index in range(n_full, plan.n_chunks):
-                blob, raw, st = encode_one(
+                blob, raw, pid, st = encode_one(
                     (index, flat[slice(*plan.chunk_value_bounds(index))])
                 )
                 blobs.append(blob)
                 raw_flags.append(bool(raw))
+                pids.append(int(pid))
                 stats = stats + st
         else:
             slices = [
@@ -375,9 +449,10 @@ class PFPLCompressor:
                 results = self.backend.map_chunks(encode_one, list(enumerate(slices)))
             else:
                 results = self.backend.map_chunks(kernel.encode_chunk, slices)
-            blobs = [blob for blob, _raw, _st in results]
-            raw_flags = [raw for _blob, raw, _st in results]
-            stats = sum((st for _b, _r, st in results), ChunkStats())
+            blobs = [blob for blob, _raw, _pid, _st in results]
+            raw_flags = [raw for _blob, raw, _pid, _st in results]
+            pids = [int(pid) for _b, _r, pid, _st in results]
+            stats = sum((st for _b, _r, _p, st in results), ChunkStats())
 
         header = Header(
             mode=self.mode,
@@ -392,9 +467,11 @@ class PFPLCompressor:
             use_zero_elim=self.config.use_zero_elim,
             bitmap_levels=self.config.bitmap_levels,
             checksum=self.checksum,
+            pipeline_select=bool(self.config.select),
         )
         table = ChunkCodec.build_size_table(
-            [len(b) for b in blobs], raw_flags
+            [len(b) for b in blobs], raw_flags,
+            pids if self.config.select else None,
         )
         prefix = header.pack() + table.astype("<u4").tobytes()
         if self.checksum:
@@ -461,6 +538,8 @@ def compress(
     config: PipelineConfig | None = None,
     checksum: bool = False,
     telemetry=None,
+    format_version: int | None = None,
+    pipelines=None,
 ) -> bytes:
     """One-shot convenience wrapper; returns just the compressed bytes.
 
@@ -471,7 +550,8 @@ def compress(
     strings, objects) raises :class:`~repro.errors.PFPLFormatError`.
 
     Pass ``checksum=True`` to emit a version-2 stream with the CRC-32
-    footer (see :class:`PFPLCompressor`).
+    footer, or ``format_version=3`` / ``pipelines=`` for per-chunk
+    pipeline selection (see :class:`PFPLCompressor`).
     """
     arr = np.asarray(data)
     if arr.dtype in _INT_COERCION:
@@ -487,6 +567,7 @@ def compress(
     comp = PFPLCompressor(
         mode=mode, error_bound=error_bound, dtype=arr.dtype,
         backend=backend, config=config, checksum=checksum, telemetry=telemetry,
+        format_version=format_version, pipelines=pipelines,
     )
     return comp.compress(arr).data
 
@@ -525,10 +606,13 @@ def decompress(
         raise PFPLFormatError("corrupt PFPL header: chunk plan mismatch")
 
     table = header.read_size_table(stream)
-    sizes, raw_flags, _ = ChunkCodec.parse_size_table(table)
+    sizes, raw_flags, pids, _ = ChunkCodec.parse_size_table(
+        table, header.pipeline_select
+    )
     validate_size_table(
         plan, sizes, raw_flags, kernel.layout.uint_dtype.itemsize,
         header.use_zero_elim, header.bitmap_levels,
+        pipeline_ids=pids, pipeline_select=header.pipeline_select,
     )
     starts = backend.prefix_sum(sizes) + header.payload_offset
     payload_end = int(starts[-1] + sizes[-1]) if header.n_chunks else header.payload_offset
@@ -565,7 +649,10 @@ def decompress(
                 f"chunk {index} checksum mismatch (stream corrupted)"
             )
         vlo, vhi = plan.chunk_value_bounds(index)
-        kernel.decode_chunk(blob, vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi])
+        kernel.decode_chunk(
+            blob, vhi - vlo, bool(raw_flags[index]), out=out[vlo:vhi],
+            pipeline_id=int(pids[index]),
+        )
 
     if use_batch is None:
         use_batch = bool(getattr(backend, "batch_capable", False))
@@ -574,38 +661,43 @@ def decompress(
         n_full -= 1
 
     if use_batch and n_full:
-        # Batched rows: non-raw full-size chunks.  Raw chunks and the
-        # ragged tail keep the per-chunk kernel below.
-        rows = np.flatnonzero(~raw_flags[:n_full])
-        if rows.size and getattr(backend, "offload_capable", False):
-            # Whole-array offload: the backend ships row shards to worker
-            # processes and scatters decoded rows into the output matrix.
-            wpc = plan.words_per_chunk
-            out_block = out[: n_full * wpc].reshape(n_full, wpc)
-            config = PipelineConfig(
-                use_delta=header.use_delta,
-                use_bitshuffle=header.use_bitshuffle,
-                use_zero_elim=header.use_zero_elim,
-                bitmap_levels=header.bitmap_levels,
-            )
-            if tel.enabled:
-                with tel.span(
-                    "offload_decode", cat="scheduler", chunks=int(rows.size),
-                    bytes_in=int(sizes[rows].sum(dtype=np.int64)),
-                ):
+        # Batched rows: non-raw full-size chunks, grouped by pipeline id
+        # so every batch decodes under a single lossless variant (v1/v2
+        # streams have one group, id 0).  Raw chunks and the ragged tail
+        # keep the per-chunk kernel below.
+        rows_all = np.flatnonzero(~raw_flags[:n_full])
+        wpc = plan.words_per_chunk
+        out_block = out[: n_full * wpc].reshape(n_full, wpc)
+        payload = np.frombuffer(stream, dtype=np.uint8)
+        base_config = PipelineConfig(
+            use_delta=header.use_delta,
+            use_bitshuffle=header.use_bitshuffle,
+            use_zero_elim=header.use_zero_elim,
+            bitmap_levels=header.bitmap_levels,
+        )
+        offload = bool(getattr(backend, "offload_capable", False))
+
+        def decode_group(rows: np.ndarray, pid: int) -> None:
+            if offload:
+                # Whole-array offload: the backend ships row shards to
+                # worker processes (rebuilt around this group's variant
+                # config) and scatters decoded rows into the output.
+                config = variant_config(base_config, pid)
+                if tel.enabled:
+                    with tel.span(
+                        "offload_decode", cat="scheduler", chunks=int(rows.size),
+                        bytes_in=int(sizes[rows].sum(dtype=np.int64)),
+                    ):
+                        backend.decode_array(
+                            kernel.quantizer, config, kernel.chunk_bytes, stream,
+                            starts, sizes, rows, wpc, chunk_crcs, out_block,
+                        )
+                else:
                     backend.decode_array(
                         kernel.quantizer, config, kernel.chunk_bytes, stream,
                         starts, sizes, rows, wpc, chunk_crcs, out_block,
                     )
-            else:
-                backend.decode_array(
-                    kernel.quantizer, config, kernel.chunk_bytes, stream,
-                    starts, sizes, rows, wpc, chunk_crcs, out_block,
-                )
-        elif rows.size:
-            payload = np.frombuffer(stream, dtype=np.uint8)
-            wpc = plan.words_per_chunk
-            out_block = out[: n_full * wpc].reshape(n_full, wpc)
+                return
 
             def decode_rows(lo: int, hi: int) -> None:
                 sel = rows[lo:hi]
@@ -619,7 +711,7 @@ def decompress(
                                 "(stream corrupted)"
                             )
                 out_block[sel] = kernel.decode_batch(
-                    payload, starts[sel], sizes[sel], wpc
+                    payload, starts[sel], sizes[sel], wpc, pipeline_id=pid
                 )
 
             def decode_rows_traced(lo: int, hi: int) -> None:
@@ -633,6 +725,10 @@ def decompress(
                 decode_rows_traced if tel.enabled else decode_rows,
                 int(rows.size), costs=sizes[rows],
             )
+
+        if rows_all.size:
+            for pid in np.unique(pids[rows_all]):
+                decode_group(rows_all[pids[rows_all] == pid], int(pid))
         rest = [
             i for i in range(plan.n_chunks) if i >= n_full or raw_flags[i]
         ]

@@ -4,7 +4,8 @@ Layout (little-endian)::
 
     offset  size  field
     0       4     magic  b"PFPL"
-    4       2     format version (1, or 2 with the checksum footer)
+    4       2     format version (1; 2 with the checksum footer;
+                  3 with per-chunk pipeline selection)
     6       1     error-bound mode   (0=abs, 1=rel, 2=noa)
     7       1     data dtype         (0=float32, 1=float64)
     8       8     error bound        (float64 bits)
@@ -13,14 +14,22 @@ Layout (little-endian)::
     32      4     words per chunk    (u32)
     36      4     chunk count        (u32)
     40      1     pipeline stage flags (bit0 delta, bit1 shuffle,
-                  bit2 zero-elim, bit3 checksum footer -- version 2 only)
+                  bit2 zero-elim, bit3 checksum footer,
+                  bit4 per-chunk pipeline selection -- version 3 only)
     41      1     bitmap levels
     42      2     reserved (0)
-    44      4*n   chunk size table   (u32 each; bit 31 = raw chunk)
+    44      4*n   chunk size table   (u32 each; bit 31 = raw chunk;
+                  version 3 adds bits 29-30 = pipeline id, leaving
+                  bits 0-28 for the size)
     ...           concatenated chunk payloads
-    [...]         checksum footer (version 2 only): CRC-32 of
+    [...]         checksum footer (checksum flag set): CRC-32 of
                   header+size table, then CRC-32 of each chunk payload
                   (u32 each)
+
+Version/flag consistency is strict: version 1 must have the checksum
+and pipeline-select flags clear, version 2 must set checksum (and not
+pipeline-select), version 3 must set pipeline-select and may combine it
+with the checksum footer.  Any other combination is a hostile header.
 
 The header stores everything the decoder needs so that decompression is
 embarrassingly parallel -- including the NOA range, so the decoder never
@@ -47,6 +56,7 @@ __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
     "FORMAT_VERSION_CHECKSUM",
+    "FORMAT_VERSION_SELECT",
     "HEADER_BYTES",
     "MAX_WORDS_PER_CHUNK",
 ]
@@ -57,7 +67,12 @@ MAGIC = b"PFPL"
 FORMAT_VERSION = 1
 #: Format carrying the per-chunk CRC-32 footer (flag bit 3 set).
 FORMAT_VERSION_CHECKSUM = 2
-_SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_CHECKSUM)
+#: Format carrying per-chunk pipeline selection (flag bit 4 set): the
+#: size table stores a 2-bit pipeline id in bits 29-30 of every entry.
+FORMAT_VERSION_SELECT = 3
+_SUPPORTED_VERSIONS = (
+    FORMAT_VERSION, FORMAT_VERSION_CHECKSUM, FORMAT_VERSION_SELECT
+)
 HEADER_BYTES = 44
 
 #: Sanity cap on the words-per-chunk field: 2**28 words (1 GiB of
@@ -72,6 +87,7 @@ _MODES = ("abs", "rel", "noa")
 _DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 _CHECKSUM_FLAG = 8
+_SELECT_FLAG = 16
 
 _STRUCT = struct.Struct("<4sHBBddQIIBBH")
 assert _STRUCT.size == HEADER_BYTES
@@ -93,6 +109,7 @@ class Header:
     use_zero_elim: bool
     bitmap_levels: int
     checksum: bool = False
+    pipeline_select: bool = False
 
     def pack(self) -> bytes:
         flags = (
@@ -100,10 +117,17 @@ class Header:
             | (2 if self.use_bitshuffle else 0)
             | (4 if self.use_zero_elim else 0)
             | (_CHECKSUM_FLAG if self.checksum else 0)
+            | (_SELECT_FLAG if self.pipeline_select else 0)
         )
+        if self.pipeline_select:
+            version = FORMAT_VERSION_SELECT
+        elif self.checksum:
+            version = FORMAT_VERSION_CHECKSUM
+        else:
+            version = FORMAT_VERSION
         return _STRUCT.pack(
             MAGIC,
-            FORMAT_VERSION_CHECKSUM if self.checksum else FORMAT_VERSION,
+            version,
             _MODES.index(self.mode),
             _DTYPES.index(np.dtype(self.dtype)),
             float(self.error_bound),
@@ -130,7 +154,15 @@ class Header:
         if version not in _SUPPORTED_VERSIONS:
             raise PFPLFormatError(f"unsupported PFPL format version {version}")
         checksum = bool(flags & _CHECKSUM_FLAG)
-        if checksum != (version == FORMAT_VERSION_CHECKSUM):
+        pipeline_select = bool(flags & _SELECT_FLAG)
+        if pipeline_select != (version == FORMAT_VERSION_SELECT):
+            raise PFPLFormatError(
+                f"corrupt header: version {version} with pipeline-select "
+                f"flag {'set' if pipeline_select else 'clear'}"
+            )
+        # Version 3 composes freely with the checksum footer; versions
+        # 1/2 keep the original strict flag<->version pairing.
+        if not pipeline_select and checksum != (version == FORMAT_VERSION_CHECKSUM):
             raise PFPLFormatError(
                 f"corrupt header: version {version} with checksum flag "
                 f"{'set' if checksum else 'clear'}"
@@ -152,6 +184,7 @@ class Header:
             use_zero_elim=bool(flags & 4),
             bitmap_levels=levels,
             checksum=checksum,
+            pipeline_select=pipeline_select,
         )
 
     def validate(self) -> "Header":
@@ -199,6 +232,21 @@ class Header:
             raise PFPLFormatError(
                 f"corrupt header: implausible bitmap level count {self.bitmap_levels}"
             )
+        if self.pipeline_select:
+            # Every candidate pipeline ends in zero-byte elimination (the
+            # only shrinking stage); a selecting stream without it is
+            # unproducible.  And the v3 size field is 29 bits, so the raw
+            # chunk byte count must fit under it.
+            if not self.use_zero_elim:
+                raise PFPLFormatError(
+                    "corrupt header: pipeline selection without zero-byte "
+                    "elimination (no candidate pipeline can shrink)"
+                )
+            if wpc * np.dtype(self.dtype).itemsize >= (1 << 29):
+                raise PFPLFormatError(
+                    f"corrupt header: chunk of {wpc} words cannot be "
+                    "addressed by the 29-bit v3 size field"
+                )
         return self
 
     @property

@@ -33,7 +33,7 @@ import numpy as np
 from ..errors import PFPLError, PFPLIntegrityError
 from ..telemetry import NULL_TELEMETRY
 from .chunking import CHUNK_BYTES, ChunkCodec, ChunkPlan
-from .lossless.pipeline import LosslessPipeline
+from .lossless.pipeline import PIPELINE_VARIANTS, LosslessPipeline
 from .quantizers import Quantizer
 from .scratch import scratch
 
@@ -107,13 +107,17 @@ class ChunkKernel:
 
     # -- the fused kernels ---------------------------------------------------
 
-    def encode_chunk(self, float_slice: np.ndarray) -> tuple[bytes, bool, ChunkStats]:
+    def encode_chunk(
+        self, float_slice: np.ndarray
+    ) -> tuple[bytes, bool, int, ChunkStats]:
         """Quantize + compress one chunk's float slice.
 
-        Returns ``(blob, is_raw, stats)``.  The tail chunk's slice may be
-        shorter than a full chunk; its shuffle padding (zero *words*, the
-        same bytes the classic path padded with) is synthesized here so
-        the blob is bit-identical to the whole-array formulation.
+        Returns ``(blob, is_raw, pipeline_id, stats)``.  The tail chunk's
+        slice may be shorter than a full chunk; its shuffle padding (zero
+        *words*, the same bytes the classic path padded with) is
+        synthesized here so the blob is bit-identical to the whole-array
+        formulation.  Without pipeline selection ``pipeline_id`` is
+        always 0.
         """
         n = int(float_slice.size)
         n_words = _padded_words(n)
@@ -125,14 +129,16 @@ class ChunkKernel:
         tel = self.telemetry
         if not tel.enabled:
             n_lossless = self.quantizer.encode_into(float_slice, words[:n])
-            blob, raw = self.codec.encode_chunk(words)
-            return blob, raw, ChunkStats(total=n, lossless=n_lossless, raw_chunks=int(raw))
+            blob, raw, pid = self.codec.encode_chunk(words)
+            return blob, raw, pid, ChunkStats(
+                total=n, lossless=n_lossless, raw_chunks=int(raw)
+            )
         word_bytes = n * self.layout.uint_dtype.itemsize
         with tel.span("quantize", cat="encode",
                       bytes_in=float_slice.nbytes, bytes_out=word_bytes) as sp:
             n_lossless = self.quantizer.encode_into(float_slice, words[:n])
             sp.set(outliers=n_lossless)
-        blob, raw = self.codec.encode_chunk(words)
+        blob, raw, pid = self.codec.encode_chunk(words)
         tel.add("chunks_encoded_total")
         tel.add("values_encoded_total", n)
         tel.add("outlier_values_total", n_lossless)
@@ -140,7 +146,12 @@ class ChunkKernel:
         tel.add("chunk_bytes_out_total", len(blob))
         if raw:
             tel.add("raw_chunks_total")
-        return blob, raw, ChunkStats(total=n, lossless=n_lossless, raw_chunks=int(raw))
+        elif self.codec.select:
+            tel.add("pipeline_selected_total",
+                    pipeline=PIPELINE_VARIANTS[pid])
+        return blob, raw, pid, ChunkStats(
+            total=n, lossless=n_lossless, raw_chunks=int(raw)
+        )
 
     def decode_chunk(
         self,
@@ -148,6 +159,7 @@ class ChunkKernel:
         n_values: int,
         is_raw: bool,
         out: np.ndarray | None = None,
+        pipeline_id: int = 0,
     ) -> np.ndarray:
         """Decompress + dequantize one chunk directly into ``out``.
 
@@ -155,6 +167,8 @@ class ChunkKernel:
         may be shorter); the stored word count including shuffle padding
         is derived from it.  When ``out`` (a slice of the caller's output
         array) is given, the floats land there with no extra copy.
+        ``pipeline_id`` names the lossless variant the encoder selected
+        for this chunk (always 0 for v1/v2 streams).
 
         The kernel is the decode path's exception barrier: any failure
         inside the lossless stages or the dequantizer on hostile bytes
@@ -165,7 +179,7 @@ class ChunkKernel:
         n_words = _padded_words(n_values)
         tel = self.telemetry
         try:
-            words = self.codec.decode_chunk(blob, n_words, is_raw)
+            words = self.codec.decode_chunk(blob, n_words, is_raw, pipeline_id)
             if out is None:
                 out = np.empty(n_values, dtype=self.layout.float_dtype)
             if tel.enabled:
@@ -191,15 +205,15 @@ class ChunkKernel:
 
     def encode_batch(
         self, float_block: np.ndarray
-    ) -> tuple[list[bytes], np.ndarray, ChunkStats]:
+    ) -> tuple[list[bytes], np.ndarray, np.ndarray, ChunkStats]:
         """Quantize + compress a ``(n_chunks, words_per_chunk)`` block.
 
         The chunk-major fast path: every stage runs once over the whole
         block instead of once per chunk, and the per-row raw fallback is
-        decided vectorized.  Returns ``(blobs, raw_flags, stats)``,
-        bit-identical to mapping :meth:`encode_chunk` over the rows.
-        Only full-size chunks qualify (no shuffle padding to synthesize);
-        the ragged tail stays on the per-chunk kernel.
+        decided vectorized.  Returns ``(blobs, raw_flags, pipeline_ids,
+        stats)``, bit-identical to mapping :meth:`encode_chunk` over the
+        rows.  Only full-size chunks qualify (no shuffle padding to
+        synthesize); the ragged tail stays on the per-chunk kernel.
         """
         n_chunks, n = float_block.shape
         # Scratch-backed: the word block dies inside codec.encode_batch
@@ -208,8 +222,8 @@ class ChunkKernel:
         tel = self.telemetry
         if not tel.enabled:
             n_lossless = self.quantizer.encode_batch_into(float_block, words)
-            blobs, raw_flags = self.codec.encode_batch(words)
-            return blobs, raw_flags, ChunkStats(
+            blobs, raw_flags, pids = self.codec.encode_batch(words)
+            return blobs, raw_flags, pids, ChunkStats(
                 total=n_chunks * n, lossless=n_lossless,
                 raw_chunks=int(np.count_nonzero(raw_flags)),
             )
@@ -217,7 +231,7 @@ class ChunkKernel:
                       bytes_in=float_block.nbytes, bytes_out=words.nbytes) as sp:
             n_lossless = self.quantizer.encode_batch_into(float_block, words)
             sp.set(outliers=n_lossless)
-        blobs, raw_flags = self.codec.encode_batch(words)
+        blobs, raw_flags, pids = self.codec.encode_batch(words)
         n_raw = int(np.count_nonzero(raw_flags))
         tel.add("chunks_encoded_total", n_chunks)
         tel.add("values_encoded_total", n_chunks * n)
@@ -226,7 +240,13 @@ class ChunkKernel:
         tel.add("chunk_bytes_out_total", sum(len(b) for b in blobs))
         if n_raw:
             tel.add("raw_chunks_total", n_raw)
-        return blobs, raw_flags, ChunkStats(
+        if self.codec.select:
+            counts = np.bincount(pids[~raw_flags], minlength=3)
+            for pid, count in enumerate(counts):
+                if count:
+                    tel.add("pipeline_selected_total", int(count),
+                            pipeline=PIPELINE_VARIANTS[pid])
+        return blobs, raw_flags, pids, ChunkStats(
             total=n_chunks * n, lossless=n_lossless, raw_chunks=n_raw,
         )
 
@@ -237,6 +257,7 @@ class ChunkKernel:
         sizes: np.ndarray,
         n_words: int,
         out: np.ndarray | None = None,
+        pipeline_id: int = 0,
     ) -> np.ndarray:
         """Decompress + dequantize non-raw full-size chunks in one pass.
 
@@ -244,13 +265,17 @@ class ChunkKernel:
         ``starts``/``sizes`` locate each chunk's blob.  Returns (or fills)
         the ``(n_chunks, n_words)`` float block.  Raw chunks and the
         ragged tail stay on :meth:`decode_chunk` -- the caller partitions
-        the size table.  Same exception barrier as the per-chunk kernel:
-        hostile bytes surface as :class:`~repro.errors.PFPLIntegrityError`.
+        the size table (for v3 streams, also grouping rows by
+        ``pipeline_id`` so each batch decodes under one variant).  Same
+        exception barrier as the per-chunk kernel: hostile bytes surface
+        as :class:`~repro.errors.PFPLIntegrityError`.
         """
         n_chunks = len(starts)
         tel = self.telemetry
         try:
-            words = self.codec.decode_batch(stream, starts, sizes, n_words)
+            words = self.codec.decode_batch(
+                stream, starts, sizes, n_words, pipeline_id
+            )
             if out is None:
                 out = np.empty((n_chunks, n_words), dtype=self.layout.float_dtype)
             if tel.enabled:

@@ -8,6 +8,16 @@ Any stage can be disabled for ablation studies (Section III-D notes that
 removing any one transformation "decreases the compression ratio by a
 substantial factor"; the ablation benchmark quantifies that claim).
 
+Format v3 promotes the ablation axis into the codec: a fixed family of
+candidate *variants* (:data:`PIPELINE_VARIANTS`) can be evaluated per
+chunk by actual encoded size, with the winner's 2-bit id stored in the
+size table.  :meth:`LosslessPipeline.encode_variants` /
+:meth:`~LosslessPipeline.encode_batch_variants` evaluate every candidate
+while running each shared stage exactly once (delta once, bitshuffle
+once, one zero-elim pass per candidate), so selection costs one extra
+zero-elim per extra candidate -- and the telemetry spans mirror that
+sharing exactly, which keeps the drift model honest.
+
 The pipeline is pure per-chunk computation: given the same words it
 produces the same bytes on every backend, which is the foundation of
 PFPL's bit-for-bit CPU/GPU compatibility.
@@ -15,11 +25,11 @@ PFPL's bit-for-bit CPU/GPU compatibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ...errors import PFPLIntegrityError
+from ...errors import PFPLFormatError, PFPLIntegrityError, PFPLUsageError
 from ...telemetry import NULL_TELEMETRY
 from ..scratch import scratch
 from .batch import compress_bytes_batch, decompress_bytes_batch
@@ -27,19 +37,83 @@ from .bitshuffle import bitshuffle, bitshuffle_batch, bitunshuffle, bitunshuffle
 from .delta import delta_decode, delta_decode_batch, delta_encode, delta_encode_batch
 from .zerobyte import DEFAULT_LEVELS, compress_bytes, decompress_bytes
 
-__all__ = ["LosslessPipeline", "PipelineConfig"]
+__all__ = [
+    "LosslessPipeline",
+    "PipelineConfig",
+    "PIPELINE_VARIANTS",
+    "normalize_selection",
+    "variant_config",
+]
+
+#: Candidate pipeline variants, indexed by the on-disk 2-bit pipeline id.
+#: id 0 is the paper's 3-stage default; id 1 skips the bit shuffle (wins
+#: on particle-like chunks whose deltas fill whole low bytes); id 2
+#: feeds the raw words straight to zero elimination (wins on sparse
+#: fields where delta would smear isolated spikes across two words).
+#: id 3 is reserved.
+PIPELINE_VARIANTS = ("default", "no-shuffle", "direct-zero")
+
+
+def normalize_selection(pipelines) -> tuple[int, ...]:
+    """Normalize a user-facing candidate list to sorted unique ids.
+
+    Accepts variant names from :data:`PIPELINE_VARIANTS` or integer ids,
+    in any order.  The returned tuple is strictly increasing, which makes
+    "lowest id wins ties" equal to "first candidate wins ties" for the
+    selection kernels.
+    """
+    ids = []
+    for p in pipelines:
+        if isinstance(p, str):
+            if p not in PIPELINE_VARIANTS:
+                raise PFPLUsageError(
+                    f"unknown pipeline variant {p!r}; choose from "
+                    f"{PIPELINE_VARIANTS}"
+                )
+            ids.append(PIPELINE_VARIANTS.index(p))
+        else:
+            pid = int(p)
+            if not 0 <= pid < len(PIPELINE_VARIANTS):
+                raise PFPLUsageError(
+                    f"pipeline id {pid} out of range "
+                    f"[0, {len(PIPELINE_VARIANTS)})"
+                )
+            ids.append(pid)
+    if not ids:
+        raise PFPLUsageError("pipeline selection needs at least one candidate")
+    return tuple(sorted(set(ids)))
 
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Stage toggles + parameters (defaults reproduce the paper)."""
+    """Stage toggles + parameters (defaults reproduce the paper).
+
+    ``select`` holds the candidate pipeline ids evaluated per chunk
+    (empty = no selection, the pre-v3 fixed pipeline).  Selection
+    requires zero elimination: it is the only shrinking stage, so every
+    candidate ends in it and a non-zero-elim base config has nothing to
+    select between.
+    """
 
     use_delta: bool = True
     use_bitshuffle: bool = True
     use_zero_elim: bool = True
     bitmap_levels: int = DEFAULT_LEVELS
+    select: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.select:
+            object.__setattr__(self, "select", normalize_selection(self.select))
+            if not self.use_zero_elim:
+                raise PFPLUsageError(
+                    "per-chunk pipeline selection requires zero-byte "
+                    "elimination (the only stage that can shrink a chunk)"
+                )
 
     def describe(self) -> str:
+        if self.select:
+            names = "|".join(PIPELINE_VARIANTS[i] for i in self.select)
+            return f"select({names})"
         stages = []
         if self.use_delta:
             stages.append("delta+negabinary")
@@ -48,6 +122,22 @@ class PipelineConfig:
         if self.use_zero_elim:
             stages.append(f"zero-elim(x{self.bitmap_levels})")
         return " -> ".join(stages) if stages else "identity"
+
+
+def variant_config(base: PipelineConfig, pipeline_id: int) -> PipelineConfig:
+    """The stage toggles pipeline id ``pipeline_id`` runs with.
+
+    Variants derive from the *base* config (preserving bitmap levels) but
+    never themselves select; id 3 is reserved and rejected here, which
+    makes this the decode path's single gate on hostile pipeline ids.
+    """
+    if pipeline_id == 0:
+        return replace(base, select=())
+    if pipeline_id == 1:
+        return replace(base, use_bitshuffle=False, select=())
+    if pipeline_id == 2:
+        return replace(base, use_delta=False, use_bitshuffle=False, select=())
+    raise PFPLFormatError(f"reserved pipeline id {pipeline_id}")
 
 
 class LosslessPipeline:
@@ -116,6 +206,75 @@ class LosslessPipeline:
                 sp.set(bytes_out=len(blob))
             return blob
         return stream.tobytes()
+
+    def encode_variants(self, words: np.ndarray, pids: tuple[int, ...]) -> list[bytes]:
+        """Encode one chunk under every candidate variant, sharing stages.
+
+        Returns one blob per id in ``pids`` (same order).  Delta runs at
+        most once, bitshuffle at most once, zero elimination once per
+        candidate -- so the blobs are byte-identical to encoding each
+        variant independently while the marginal cost per candidate is
+        one zero-elim pass.  The traced path records spans with exactly
+        that sharing, which the drift model mirrors.
+        """
+        tel = self.telemetry
+        if tel.enabled:
+            return self._encode_variants_traced(words, pids, tel)
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        delta = None
+        planes: dict[bool, np.ndarray] = {}
+        blobs = []
+        for pid in pids:
+            cfg = variant_config(self.config, pid)
+            w = words
+            if cfg.use_delta:
+                if delta is None:
+                    delta = delta_encode(words)
+                w = delta
+            if cfg.use_bitshuffle:
+                if cfg.use_delta not in planes:
+                    planes[cfg.use_delta] = bitshuffle(w)
+                stream = planes[cfg.use_delta]
+            else:
+                stream = w.view(np.uint8)
+            blobs.append(compress_bytes(stream, levels=cfg.bitmap_levels))
+        return blobs
+
+    def _encode_variants_traced(self, words, pids, tel) -> list[bytes]:
+        """Variant evaluation with the shared-stage span structure.
+
+        One ``delta+negabinary`` span and one ``bitshuffle`` span at most
+        (matching the single shared execution), plus one ``zero-elim``
+        span per candidate labeled with the variant name.
+        """
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        delta = None
+        planes: dict[bool, np.ndarray] = {}
+        blobs = []
+        for pid in pids:
+            cfg = variant_config(self.config, pid)
+            w = words
+            if cfg.use_delta:
+                if delta is None:
+                    with tel.span("delta+negabinary", cat="encode",
+                                  bytes_in=words.nbytes, bytes_out=words.nbytes):
+                        delta = delta_encode(words)
+                w = delta
+            if cfg.use_bitshuffle:
+                if cfg.use_delta not in planes:
+                    with tel.span("bitshuffle", cat="encode",
+                                  bytes_in=w.nbytes) as sp:
+                        planes[cfg.use_delta] = bitshuffle(w)
+                        sp.set(bytes_out=planes[cfg.use_delta].size)
+                stream = planes[cfg.use_delta]
+            else:
+                stream = w.view(np.uint8)
+            with tel.span("zero-elim", cat="encode", bytes_in=stream.size,
+                          pipeline=PIPELINE_VARIANTS[pid]) as sp:
+                blob = compress_bytes(stream, levels=cfg.bitmap_levels)
+                sp.set(bytes_out=len(blob))
+            blobs.append(blob)
+        return blobs
 
     def decode_chunk(self, blob, n_words: int) -> np.ndarray:
         """Decompress one chunk back into ``n_words`` words."""
@@ -235,6 +394,89 @@ class LosslessPipeline:
                 sp.set(bytes_out=sum(sizes), chunk_bytes_out=sizes)
             return blobs
         return [row.tobytes() for row in stream]
+
+    def encode_batch_variants(
+        self, words: np.ndarray, pids: tuple[int, ...]
+    ) -> list[list[bytes]]:
+        """Batched variant evaluation over a ``(n_chunks, n_words)`` block.
+
+        Returns one blob list per id in ``pids``, each bit-identical to
+        :meth:`encode_batch` under that variant's config.  Shared stages
+        run once over the whole matrix (same scratch arenas as
+        :meth:`encode_batch`); only zero elimination repeats per
+        candidate.  Stage sharing and span structure match
+        :meth:`encode_variants` exactly, so per-chunk and batched
+        selection account identically.
+        """
+        tel = self.telemetry
+        if tel.enabled:
+            return self._encode_batch_variants_traced(words, pids, tel)
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        delta = None
+        planes: dict[bool, np.ndarray] = {}
+        out = []
+        for pid in pids:
+            cfg = variant_config(self.config, pid)
+            w = words
+            if cfg.use_delta:
+                if delta is None:
+                    delta = delta_encode_batch(
+                        words,
+                        out=scratch("pipeline.delta", words.shape, self.word_dtype),
+                    )
+                w = delta
+            if cfg.use_bitshuffle:
+                if cfg.use_delta not in planes:
+                    planes[cfg.use_delta] = bitshuffle_batch(
+                        w, out=self._plane_scratch(w)
+                    )
+                stream = planes[cfg.use_delta]
+            else:
+                stream = np.ascontiguousarray(w).view(np.uint8)
+            out.append(compress_bytes_batch(stream, levels=cfg.bitmap_levels))
+        return out
+
+    def _encode_batch_variants_traced(self, words, pids, tel) -> list[list[bytes]]:
+        """Batched variant evaluation with shared-stage spans."""
+        words = np.ascontiguousarray(words, dtype=self.word_dtype)
+        n_chunks = words.shape[0]
+        delta = None
+        planes: dict[bool, np.ndarray] = {}
+        out = []
+        for pid in pids:
+            cfg = variant_config(self.config, pid)
+            w = words
+            if cfg.use_delta:
+                if delta is None:
+                    with tel.span("delta+negabinary", cat="encode",
+                                  chunks=n_chunks, bytes_in=words.nbytes,
+                                  bytes_out=words.nbytes):
+                        delta = delta_encode_batch(
+                            words,
+                            out=scratch(
+                                "pipeline.delta", words.shape, self.word_dtype
+                            ),
+                        )
+                w = delta
+            if cfg.use_bitshuffle:
+                if cfg.use_delta not in planes:
+                    with tel.span("bitshuffle", cat="encode", chunks=n_chunks,
+                                  bytes_in=w.nbytes) as sp:
+                        planes[cfg.use_delta] = bitshuffle_batch(
+                            w, out=self._plane_scratch(w)
+                        )
+                        sp.set(bytes_out=planes[cfg.use_delta].size)
+                stream = planes[cfg.use_delta]
+            else:
+                stream = np.ascontiguousarray(w).view(np.uint8)
+            with tel.span("zero-elim", cat="encode", chunks=n_chunks,
+                          bytes_in=stream.size,
+                          pipeline=PIPELINE_VARIANTS[pid]) as sp:
+                blobs = compress_bytes_batch(stream, levels=cfg.bitmap_levels)
+                sizes = [len(b) for b in blobs]
+                sp.set(bytes_out=sum(sizes), chunk_bytes_out=sizes)
+            out.append(blobs)
+        return out
 
     def decode_batch(
         self,

@@ -141,7 +141,9 @@ class StreamDecoder:
             self._source.fetch(HEADER_BYTES, 4 * self.header.n_chunks)
         )
         table = np.frombuffer(table_bytes, dtype="<u4")
-        self._sizes, self._raw_flags, _ = ChunkCodec.parse_size_table(table)
+        self._sizes, self._raw_flags, self._pids, _ = ChunkCodec.parse_size_table(
+            table, self.header.pipeline_select
+        )
         self._kernel = _kernel_for_header(
             self.header, self._backend, telemetry=self._telemetry
         )
@@ -153,6 +155,7 @@ class StreamDecoder:
             self._plan, self._sizes, self._raw_flags,
             self._kernel.layout.uint_dtype.itemsize,
             self.header.use_zero_elim, self.header.bitmap_levels,
+            pipeline_ids=self._pids, pipeline_select=self.header.pipeline_select,
         )
         self._starts = self._backend.prefix_sum(self._sizes) + self.header.payload_offset
         payload_end = (
@@ -209,7 +212,8 @@ class StreamDecoder:
                 f"chunk {index} checksum mismatch (stream corrupted)"
             )
         return self._kernel.decode_chunk(
-            blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
+            blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out,
+            pipeline_id=int(self._pids[index]),
         )
 
     def _decode_chunk_traced(self, index: int, out, tel) -> np.ndarray:
@@ -227,7 +231,8 @@ class StreamDecoder:
                         f"chunk {index} checksum mismatch (stream corrupted)"
                     )
                 return self._kernel.decode_chunk(
-                    blob, self.chunk_values(index), bool(self._raw_flags[index]), out=out
+                    blob, self.chunk_values(index), bool(self._raw_flags[index]),
+                    out=out, pipeline_id=int(self._pids[index]),
                 )
 
     def iter_chunks(self) -> Iterator[np.ndarray]:

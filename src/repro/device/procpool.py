@@ -178,13 +178,13 @@ def _encode_shard(task: tuple) -> tuple:
                 first_chunk=lo, chunks=hi - lo,
                 values=(hi - lo) * block.shape[1],
             ) as sp:
-                blobs, raws, stats = kernel.encode_batch(block[lo:hi])
+                blobs, raws, pids, stats = kernel.encode_batch(block[lo:hi])
                 sp.set(
                     bytes_out=sum(len(b) for b in blobs),
                     outliers=stats.lossless, raw_chunks=stats.raw_chunks,
                 )
     else:
-        blobs, raws, stats = kernel.encode_batch(block[lo:hi])
+        blobs, raws, pids, stats = kernel.encode_batch(block[lo:hi])
     out = segs[enc_name].buf
     off = lo * raw_bytes
     end = hi * raw_bytes
@@ -198,7 +198,7 @@ def _encode_shard(task: tuple) -> tuple:
         sizes.append(n)
         off += n
     snap = tel.snapshot() if trace else None
-    return sizes, [bool(r) for r in raws], stats, snap, _worker_id
+    return sizes, [bool(r) for r in raws], [int(p) for p in pids], stats, snap, _worker_id
 
 
 def _decode_shard(task: tuple) -> tuple:
@@ -475,14 +475,14 @@ class ProcessPoolBackend(Backend):
         config: PipelineConfig,
         chunk_bytes: int,
         block: np.ndarray,
-    ) -> tuple[list, list[bool], ChunkStats]:
+    ) -> tuple[list, list[bool], list[int], ChunkStats]:
         """Encode a full ``(n_chunks, words_per_chunk)`` block across workers.
 
-        Returns ``(blobs, raw_flags, stats)`` exactly like mapping
-        :meth:`ChunkKernel.encode_batch` over row shards; the blobs are
-        zero-copy ``memoryview`` slices over the shared encode arena
-        (valid until the next offload grows it -- the compressor consumes
-        them within the same ``compress`` call).
+        Returns ``(blobs, raw_flags, pipeline_ids, stats)`` exactly like
+        mapping :meth:`ChunkKernel.encode_batch` over row shards; the
+        blobs are zero-copy ``memoryview`` slices over the shared encode
+        arena (valid until the next offload grows it -- the compressor
+        consumes them within the same ``compress`` call).
         """
         n_rows, wpc = block.shape
         if n_rows == 0:
@@ -518,21 +518,25 @@ class ProcessPoolBackend(Backend):
             self.last_order = list(range(len(shards)))
             blobs: list = []
             raw_flags: list[bool] = []
+            pids: list[int] = []
             stats = ChunkStats()
             buf = shm_enc.buf
-            for (lo, _hi), (sizes, raws, st, snap, wid) in zip(shards, results):
+            for (lo, _hi), (sizes, raws, shard_pids, st, snap, wid) in zip(
+                shards, results
+            ):
                 off = lo * raw_bytes
                 for n in sizes:
                     blobs.append(buf[off:off + n])
                     off += n
                 raw_flags.extend(raws)
+                pids.extend(shard_pids)
                 stats = stats + st
                 self._merge_worker(snap, wid, t_submit)
             # The arena is keyed by calling thread (the PR 7 fix above),
             # so these views cannot be overwritten by a concurrent
             # encode; within one thread they are consumed before the
             # next offload.
-            return blobs, raw_flags, stats  # pfpl: allow[buffer-escape]
+            return blobs, raw_flags, pids, stats  # pfpl: allow[buffer-escape]
 
     def decode_array(
         self,

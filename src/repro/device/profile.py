@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.lossless.bitshuffle import bitshuffle
 from ..core.lossless.delta import delta_encode
+from ..core.lossless.pipeline import PIPELINE_VARIANTS, normalize_selection
 from ..core.lossless.zerobyte import compress_bytes
 from ..core.quantizers import make_quantizer
 from ..errors import PFPLUsageError
@@ -107,6 +108,7 @@ def profile_chunk(
     error_bound: float = 1e-3,
     quantizer_params: dict | None = None,
     direction: str = "encode",
+    pipelines=None,
 ) -> PipelineProfile:
     """Profile one chunk of float data through quantize + L1 + L2 + L3.
 
@@ -128,6 +130,17 @@ def profile_chunk(
     decode kernel's telemetry records.  A chunk the encoder would emit
     raw (blob >= the padded words) decodes without the lossless inverse
     stages, so its decode profile holds ``dequantize`` alone.
+
+    ``pipelines`` models format v3's per-chunk selection instead of the
+    fixed 3-stage pipeline: candidates (names or ids, normalized via
+    :func:`~repro.core.lossless.pipeline.normalize_selection`) share the
+    delta and bitshuffle stages exactly like
+    :meth:`~repro.core.lossless.pipeline.LosslessPipeline.encode_variants`,
+    then each candidate pays its own zero-elim pass, reported as a
+    ``zero-elim[<variant>]`` stage per candidate.  The decode profile
+    models only the *winner* (smallest blob, lowest id on ties): its
+    inverse stages if it beat the raw fallback, ``dequantize`` alone
+    otherwise.
     """
     if direction not in ("encode", "decode"):
         raise PFPLUsageError(
@@ -159,6 +172,12 @@ def profile_chunk(
     planes = bitshuffle(padded)
     blob = compress_bytes(planes)
     quantize_ops = 6 * n if mode != "rel" else 40 * n  # REL pays for log2/exp2
+
+    if pipelines is not None:
+        return _profile_variants(
+            profile, normalize_selection(pipelines), direction, mode,
+            words, delta, padded, planes, n, word_bytes, width, quantize_ops,
+        )
 
     if direction == "encode":
         profile.stages.append(StageProfile(
@@ -194,6 +213,87 @@ def profile_chunk(
         profile.stages.append(StageProfile(
             "delta-decode", padded_bytes, padded_bytes, ops=3 * n,
         ))
+    profile.stages.append(StageProfile(
+        f"dequantize[{mode}]", n * word_bytes, n * word_bytes, ops=quantize_ops,
+    ))
+    return profile
+
+
+def _profile_variants(
+    profile: PipelineProfile,
+    pids: tuple[int, ...],
+    direction: str,
+    mode: str,
+    words: np.ndarray,
+    delta: np.ndarray,
+    padded: np.ndarray,
+    planes: np.ndarray,
+    n: int,
+    word_bytes: int,
+    width: int,
+    quantize_ops: int,
+) -> PipelineProfile:
+    """Model per-chunk selection over ``pids`` (already normalized).
+
+    Mirrors ``LosslessPipeline.encode_variants``: every candidate stream
+    has the same byte count (the padded words), delta and bitshuffle run
+    at most once, and each candidate pays one zero-elim pass.  Candidate
+    streams: id 0 compresses the shuffled planes, id 1 the delta words
+    directly, id 2 the quantized words untouched.
+    """
+    pad = padded.size - delta.size
+    padded_words = (
+        np.concatenate([words, np.zeros(pad, dtype=words.dtype)]) if pad else words
+    )
+    streams = {
+        0: planes,
+        1: padded.view(np.uint8).reshape(-1),
+        2: padded_words.view(np.uint8).reshape(-1),
+    }
+    blobs = {pid: compress_bytes(streams[pid]) for pid in pids}
+
+    if direction == "encode":
+        profile.stages.append(StageProfile(
+            f"quantize[{mode}]", n * word_bytes, n * word_bytes, ops=quantize_ops,
+        ))
+        if any(pid in (0, 1) for pid in pids):
+            profile.stages.append(StageProfile(
+                "delta+negabin", n * word_bytes, n * word_bytes, ops=3 * n,
+            ))
+        if 0 in pids:
+            profile.stages.append(StageProfile(
+                "bitshuffle", padded.size * word_bytes, planes.size,
+                ops=int(np.log2(width)) * padded.size,
+            ))
+        for pid in pids:
+            stream_bytes = streams[pid].size
+            profile.stages.append(StageProfile(
+                f"zero-elim[{PIPELINE_VARIANTS[pid]}]",
+                stream_bytes, len(blobs[pid]),
+                ops=2 * stream_bytes + stream_bytes // 2,
+            ))
+        return profile
+
+    # Decode: only the winning candidate's inverse stages run.  Ties go
+    # to the lowest id (candidates are sorted ascending), and the raw
+    # fallback wins whenever no candidate beat the padded words.
+    winner = min(pids, key=lambda pid: (len(blobs[pid]), pid))
+    blob_len = len(blobs[winner])
+    padded_bytes = padded.size * word_bytes
+    if blob_len < padded_bytes:
+        profile.stages.append(StageProfile(
+            "zero-restore", blob_len, padded_bytes,
+            ops=2 * padded_bytes + padded_bytes // 2,
+        ))
+        if winner == 0:
+            profile.stages.append(StageProfile(
+                "bitunshuffle", padded_bytes, padded_bytes,
+                ops=int(np.log2(width)) * padded.size,
+            ))
+        if winner in (0, 1):
+            profile.stages.append(StageProfile(
+                "delta-decode", padded_bytes, padded_bytes, ops=3 * n,
+            ))
     profile.stages.append(StageProfile(
         f"dequantize[{mode}]", n * word_bytes, n * word_bytes, ops=quantize_ops,
     ))

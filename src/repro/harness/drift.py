@@ -201,6 +201,7 @@ def drift_check(
     mode: str = "abs",
     error_bound: float = 1e-3,
     chunk_bytes: int | None = None,
+    pipelines=None,
 ) -> DriftReport:
     """Round-trip ``values`` with telemetry on and diff against the model.
 
@@ -209,6 +210,14 @@ def drift_check(
     inverse analytic models.  Returns a :class:`DriftReport` whose
     :attr:`~DriftReport.bytes_ok` asserts the paper's byte-accounting
     claims against the live codec.
+
+    ``pipelines`` switches the codec to format v3 per-chunk selection
+    over the given candidates and diffs against the selection-aware
+    model: the per-candidate ``zero-elim[<variant>]`` analytic stages
+    collapse onto the one measured ``zero-elim`` row (telemetry
+    aggregates by stage name), so their byte totals must sum to the
+    measured total exactly, and the decode side must match the winning
+    candidate of every chunk.
     """
     values = np.ascontiguousarray(values).reshape(-1)
     if values.size == 0:
@@ -223,7 +232,7 @@ def drift_check(
     tel = Telemetry()
     comp = PFPLCompressor(
         mode=mode, error_bound=error_bound, dtype=values.dtype,
-        chunk_bytes=chunk_bytes, telemetry=tel,
+        chunk_bytes=chunk_bytes, telemetry=tel, pipelines=pipelines,
     )
     result = comp.compress(values)
     comp.decompress(result.data)
@@ -254,7 +263,7 @@ def drift_check(
             profile = profile_chunk(
                 values[start:start + words_per_chunk], mode=mode,
                 error_bound=error_bound, quantizer_params=quantizer_params,
-                direction=direction,
+                direction=direction, pipelines=pipelines,
             )
             for sp in profile.stages:
                 row = analytic[direction].setdefault(

@@ -30,7 +30,7 @@ from typing import BinaryIO, Iterator
 import numpy as np
 
 from .core.chunking import CHUNK_BYTES, ChunkCodec
-from .core.compressor import InlineBackend
+from .core.compressor import InlineBackend, resolve_format_options
 from .core.floatbits import layout_for
 from .core.header import Header
 from .core.kernel import ChunkStats
@@ -70,13 +70,16 @@ class PFPLWriter:
         checksum: bool = False,
         telemetry=None,
         use_batch: bool | None = None,
+        format_version: int | None = None,
+        pipelines=None,
     ):
         self._sink = sink
         self.mode = mode
         self.error_bound = float(error_bound)
         self.layout = layout_for(dtype)
-        self.config = config or PipelineConfig()
-        self.checksum = bool(checksum)
+        self.config, self.checksum = resolve_format_options(
+            config, checksum, format_version, pipelines
+        )
         self.telemetry = telemetry or NULL_TELEMETRY
         backend = backend or InlineBackend()
         self._backend = backend
@@ -111,6 +114,7 @@ class PFPLWriter:
         self._spool = tempfile.SpooledTemporaryFile(max_size=_SPOOL_MEMORY_BYTES)
         self._table_entries: list[int] = []
         self._raw_flags: list[bool] = []
+        self._pids: list[int] = []
         self._chunk_crcs: list[int] = []
         self._stats = ChunkStats()
         self._count = 0
@@ -152,13 +156,14 @@ class PFPLWriter:
             with tel.chunk(len(self._table_entries)), tel.span(
                 "chunk_encode", cat="chunk", values=int(float_slice.size)
             ) as sp:
-                blob, raw, st = self._kernel.encode_chunk(float_slice)
+                blob, raw, pid, st = self._kernel.encode_chunk(float_slice)
                 sp.set(bytes_out=len(blob), outliers=st.lossless, raw=bool(raw))
         else:
-            blob, raw, st = self._kernel.encode_chunk(float_slice)
+            blob, raw, pid, st = self._kernel.encode_chunk(float_slice)
         self._spool.write(blob)
         self._table_entries.append(len(blob))
         self._raw_flags.append(raw)
+        self._pids.append(int(pid))
         if self.checksum:
             self._chunk_crcs.append(zlib.crc32(blob))
         self._stats += st
@@ -181,15 +186,15 @@ class PFPLWriter:
                     "offload_encode", cat="scheduler", chunks=block.shape[0],
                     first_chunk=first, values=int(block.size),
                 ) as sp:
-                    blobs, raws, st = self._backend.encode_array(
+                    blobs, raws, pids, st = self._backend.encode_array(
                         quantizer, self.config, chunk_bytes, block
                     )
                     sp.set(bytes_out=sum(len(b) for b in blobs))
             else:
-                blobs, raws, st = self._backend.encode_array(
+                blobs, raws, pids, st = self._backend.encode_array(
                     quantizer, self.config, chunk_bytes, block
                 )
-            self._write_blobs(blobs, raws, st)
+            self._write_blobs(blobs, raws, pids, st)
             return
 
         def encode_rows(lo: int, hi: int):
@@ -199,23 +204,26 @@ class PFPLWriter:
                 "batch_encode", cat="chunk", first_chunk=first + lo,
                 chunks=hi - lo, values=(hi - lo) * self._wpc,
             ) as sp:
-                blobs, raws, st = self._kernel.encode_batch(block[lo:hi])
+                blobs, raws, pids, st = self._kernel.encode_batch(block[lo:hi])
                 sp.set(
                     bytes_out=sum(len(b) for b in blobs),
                     chunk_bytes_out=[len(b) for b in blobs],
                     outliers=st.lossless, raw_chunks=st.raw_chunks,
                 )
-            return blobs, raws, st
+            return blobs, raws, pids, st
 
-        for blobs, raws, st in self._backend.map_batch(encode_rows, block.shape[0]):
-            self._write_blobs(blobs, raws, st)
+        for blobs, raws, pids, st in self._backend.map_batch(
+            encode_rows, block.shape[0]
+        ):
+            self._write_blobs(blobs, raws, pids, st)
 
-    def _write_blobs(self, blobs, raws, st: ChunkStats) -> None:
+    def _write_blobs(self, blobs, raws, pids, st: ChunkStats) -> None:
         """Spool encoded blobs and record their table entries."""
-        for blob, raw in zip(blobs, raws):
+        for blob, raw, pid in zip(blobs, raws, pids):
             self._spool.write(blob)
             self._table_entries.append(len(blob))
             self._raw_flags.append(bool(raw))
+            self._pids.append(int(pid))
             if self.checksum:
                 self._chunk_crcs.append(zlib.crc32(blob))
             self._payload_bytes += len(blob)
@@ -313,8 +321,12 @@ class PFPLWriter:
                 use_zero_elim=self.config.use_zero_elim,
                 bitmap_levels=self.config.bitmap_levels,
                 checksum=self.checksum,
+                pipeline_select=bool(self.config.select),
             )
-            table = ChunkCodec.build_size_table(self._table_entries, self._raw_flags)
+            table = ChunkCodec.build_size_table(
+                self._table_entries, self._raw_flags,
+                self._pids if self.config.select else None,
+            )
             prefix = header.pack() + table.astype("<u4").tobytes()
             tel = self.telemetry
             if tel.enabled:

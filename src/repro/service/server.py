@@ -94,6 +94,22 @@ class ServiceConfig:
     #: status, byte counts, queue-wait and handler latency -- so logs
     #: and ``/debug/trace/<id>`` join on the trace id.
     access_log: str | None = None
+    #: Default candidate pipelines for format-v3 per-chunk selection,
+    #: as a comma-separated spec (``"default,no-shuffle,direct-zero"``
+    #: or ids).  None (the default) keeps compress responses on v1/v2;
+    #: a per-request ``pipelines=`` query parameter overrides this.
+    pipelines: str | None = None
+
+
+def _parse_pipelines(spec: str | None):
+    """Parse a comma-separated pipeline spec into normalize_selection input."""
+    if not spec:
+        return None
+    return [
+        int(tok) if tok.lstrip("-").isdigit() else tok
+        for tok in (t.strip() for t in spec.split(","))
+        if tok
+    ] or None
 
 
 def _build_backend(config: ServiceConfig):
@@ -119,9 +135,11 @@ class PFPLService:
 
     Endpoints (one request per connection, ``Connection: close``):
 
-    - ``POST /v1/compress?mode=abs&bound=1e-3&dtype=f4[&checksum=1][&tenant=t]``
+    - ``POST /v1/compress?mode=abs&bound=1e-3&dtype=f4[&checksum=1]
+      [&format_version=3][&pipelines=default,no-shuffle][&tenant=t]``
       with the raw little-endian float array as the body; responds with
-      the PFPL stream.
+      the PFPL stream (``pipelines`` / ``format_version=3`` select the
+      v3 per-chunk pipeline format; both default to the service config).
     - ``POST /v1/decompress[?tenant=t]`` with a PFPL stream body;
       responds with the raw float array (streams are self-describing).
     - ``GET /metrics`` -- Prometheus text exposition.
@@ -238,13 +256,25 @@ class PFPLService:
             except ValueError:
                 return 400, f"invalid bound {q.get('bound')!r}".encode(), {}
             checksum = q.get("checksum", "0") in ("1", "true", "yes")
+            format_version = None
+            if "format_version" in q:
+                try:
+                    format_version = int(q["format_version"])
+                except ValueError:
+                    return 400, (
+                        f"invalid format_version {q['format_version']!r}".encode()
+                    ), {}
             if len(request.body) % np.dtype(dtype).itemsize:
                 return 400, b"body length is not a multiple of the dtype size", {}
             data = np.frombuffer(request.body, dtype=dtype)
             try:
+                pipelines = _parse_pipelines(
+                    q.get("pipelines", self.config.pipelines)
+                )
                 compressor = PFPLCompressor(
                     mode=mode, error_bound=bound, dtype=dtype,
                     backend=self.backend, checksum=checksum,
+                    format_version=format_version, pipelines=pipelines,
                     telemetry=self.telemetry,
                 )
                 result = compressor.compress(data)

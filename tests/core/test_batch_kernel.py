@@ -46,10 +46,10 @@ class TestEncodeBatch:
         probe = _kernel(dtype=dtype)
         block = _mixed_block(rng, probe, 4, dtype)
         kernel = _kernel(mode, 1e-3, dtype, prepare=block.reshape(-1))
-        blobs, raw_flags, stats = kernel.encode_batch(block)
+        blobs, raw_flags, _pids, stats = kernel.encode_batch(block)
         ref_stats = None
         for i in range(block.shape[0]):
-            blob, raw, st = kernel.encode_chunk(block[i])
+            blob, raw, _pid, st = kernel.encode_chunk(block[i])
             assert blobs[i] == blob, f"row {i} blob differs"
             assert bool(raw_flags[i]) == raw, f"row {i} raw flag differs"
             ref_stats = st if ref_stats is None else ref_stats + st
@@ -60,7 +60,7 @@ class TestEncodeBatch:
     def test_raw_decision_is_per_row(self, rng):
         kernel = _kernel()
         block = _mixed_block(rng, kernel, 4, np.float32)
-        _, raw_flags, stats = kernel.encode_batch(block)
+        _, raw_flags, _pids, stats = kernel.encode_batch(block)
         assert bool(raw_flags[1])            # the noise row falls back raw
         assert not raw_flags[[0, 2, 3]].any()  # the smooth rows compress
         assert stats.raw_chunks == 1
@@ -72,7 +72,7 @@ class TestDecodeBatch:
         kernel = _kernel("abs", 1e-3, dtype)
         wpc = kernel.words_per_chunk
         block = np.cumsum(rng.normal(0, 0.02, (5, wpc)), axis=1).astype(dtype)
-        blobs, raw_flags, _ = kernel.encode_batch(block)
+        blobs, raw_flags, _pids, _ = kernel.encode_batch(block)
         assert not raw_flags.any()
         stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
         sizes = np.array([len(b) for b in blobs], dtype=np.int64)
@@ -89,7 +89,7 @@ class TestDecodeBatch:
         kernel = _kernel()
         wpc = kernel.words_per_chunk
         block = np.cumsum(rng.normal(0, 0.02, (3, wpc)), axis=1).astype(np.float32)
-        blobs, _, _ = kernel.encode_batch(block)
+        blobs, _, _pids, _ = kernel.encode_batch(block)
         stream = np.frombuffer(b"".join(blobs), dtype=np.uint8)
         sizes = np.array([len(b) for b in blobs], dtype=np.int64)
         starts = np.concatenate([[0], np.cumsum(sizes[:-1])])
@@ -102,7 +102,7 @@ class TestDecodeBatch:
         kernel = _kernel()
         wpc = kernel.words_per_chunk
         block = np.cumsum(rng.normal(0, 0.02, (2, wpc)), axis=1).astype(np.float32)
-        blobs, _, _ = kernel.encode_batch(block)
+        blobs, _, _pids, _ = kernel.encode_batch(block)
         stream = np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
         sizes = np.array([len(b) for b in blobs], dtype=np.int64)
         starts = np.concatenate([[0], np.cumsum(sizes[:-1])])

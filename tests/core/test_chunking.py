@@ -3,8 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.core.chunking import CHUNK_BYTES, RAW_FLAG, ChunkCodec, plan_chunks
+from repro.core.chunking import (
+    CHUNK_BYTES,
+    PIPELINE_SHIFT,
+    RAW_FLAG,
+    ChunkCodec,
+    plan_chunks,
+)
+from repro.core.compressor import compress, decompress
+from repro.core.header import HEADER_BYTES
 from repro.core.lossless.pipeline import LosslessPipeline
+from repro.errors import PFPLFormatError
 
 
 class TestPlan:
@@ -55,7 +64,7 @@ class TestCodec:
     def test_compressible_chunk(self):
         codec = self._codec()
         words = np.zeros(4096, dtype=np.uint32)
-        blob, raw = codec.encode_chunk(words)
+        blob, raw, _pid = codec.encode_chunk(words)
         assert not raw
         assert len(blob) < 64
         assert np.array_equal(codec.decode_chunk(blob, 4096, raw), words)
@@ -64,7 +73,7 @@ class TestCodec:
         codec = self._codec()
         r = np.random.default_rng(1)
         words = r.integers(0, 1 << 32, 4096).astype(np.uint32)
-        blob, raw = codec.encode_chunk(words)
+        blob, raw, _pid = codec.encode_chunk(words)
         assert raw
         assert len(blob) == CHUNK_BYTES  # exactly the raw bytes, capping expansion
         assert np.array_equal(codec.decode_chunk(blob, 4096, raw), words)
@@ -78,7 +87,7 @@ class TestCodec:
 class TestSizeTable:
     def test_roundtrip_with_flags(self):
         table = ChunkCodec.build_size_table([10, 20, 30], [False, True, False])
-        sizes, raw, starts = ChunkCodec.parse_size_table(table)
+        sizes, raw, _pids, starts = ChunkCodec.parse_size_table(table)
         assert list(sizes) == [10, 20, 30]
         assert list(raw) == [False, True, False]
         assert list(starts) == [0, 10, 30]
@@ -92,7 +101,89 @@ class TestSizeTable:
             ChunkCodec.build_size_table([1 << 31], [False])
 
     def test_empty(self):
-        sizes, raw, starts = ChunkCodec.parse_size_table(
+        sizes, raw, _pids, starts = ChunkCodec.parse_size_table(
             np.zeros(0, dtype=np.uint32)
         )
         assert sizes.size == raw.size == starts.size == 0
+
+
+class TestSizeTableV3:
+    """The 2-bit pipeline id stored next to the raw flag (bits 29-30)."""
+
+    def test_pid_roundtrip(self):
+        table = ChunkCodec.build_size_table(
+            [10, 20, 30], [False, False, False], [2, 1, 0]
+        )
+        sizes, raw, pids, starts = ChunkCodec.parse_size_table(table, True)
+        assert list(sizes) == [10, 20, 30]
+        assert list(pids) == [2, 1, 0]
+        assert not raw.any()
+        assert list(starts) == [0, 10, 30]
+
+    def test_pid_bits_sit_below_raw_flag(self):
+        table = ChunkCodec.build_size_table([5], [False], [2])
+        assert int(table[0]) == 5 | (2 << PIPELINE_SHIFT)
+        assert not int(table[0]) & int(RAW_FLAG)
+
+    def test_raw_chunk_forced_to_pid_zero(self):
+        # A raw chunk's stored pid is canonically 0 no matter what the
+        # selector evaluated: raw bypasses every candidate on decode.
+        table = ChunkCodec.build_size_table([10], [True], [2])
+        _, raw, pids, _ = ChunkCodec.parse_size_table(table, True)
+        assert raw[0] and pids[0] == 0
+
+    def test_v3_size_capped_at_29_bits(self):
+        with pytest.raises(ValueError, match="512 MiB"):
+            ChunkCodec.build_size_table([1 << 29], [False], [0])
+
+    def test_reserved_pid_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            ChunkCodec.build_size_table([10], [False], [3])
+
+
+class TestHostilePipelineBits:
+    """End-to-end: size-table entries whose pipeline-id bits contradict
+    the header version must be rejected by a typed error, both ways."""
+
+    def _smooth_stream(self, **kw):
+        data = np.cumsum(
+            np.random.default_rng(5).normal(0, 0.01, 2 * CHUNK_BYTES // 4)
+        ).astype(np.float32)
+        return compress(data, error_bound=1e-3, **kw)
+
+    @staticmethod
+    def _flip_entry(stream: bytes, index: int, bits: int) -> bytes:
+        buf = bytearray(stream)
+        lo = HEADER_BYTES + 4 * index
+        entry = int.from_bytes(buf[lo:lo + 4], "little") | bits
+        buf[lo:lo + 4] = entry.to_bytes(4, "little")
+        return bytes(buf)
+
+    def test_legacy_stream_with_pid_bits_rejected(self):
+        stream = self._smooth_stream()
+        corrupt = self._flip_entry(stream, 0, 1 << PIPELINE_SHIFT)
+        with pytest.raises(PFPLFormatError, match="predates pipeline"):
+            decompress(corrupt)
+
+    def test_v3_stream_with_reserved_pid_rejected(self):
+        stream = self._smooth_stream(format_version=3)
+        corrupt = self._flip_entry(stream, 1, 3 << PIPELINE_SHIFT)
+        with pytest.raises(PFPLFormatError, match="reserved"):
+            decompress(corrupt)
+
+    def test_v3_raw_chunk_with_nonzero_pid_rejected(self):
+        # Random mantissas under randomized large exponents: every chunk
+        # trips the raw fallback even with all candidates enabled.
+        rng = np.random.default_rng(7)
+        n = 2 * CHUNK_BYTES // 4
+        bits = rng.integers(0, 2 ** 32, n, dtype=np.uint32)
+        bits = (bits & np.uint32(0x00FFFFFF)) | (
+            rng.integers(0x40, 0x7F, n, dtype=np.uint32) << np.uint32(24)
+        )
+        stream = compress(bits.view(np.float32).copy(), error_bound=1e-3,
+                          format_version=3)
+        table = np.frombuffer(stream[HEADER_BYTES:HEADER_BYTES + 8], dtype="<u4")
+        assert int(table[0]) & int(RAW_FLAG), "fixture no longer raw"
+        corrupt = self._flip_entry(stream, 0, 1 << PIPELINE_SHIFT)
+        with pytest.raises(PFPLFormatError, match="raw"):
+            decompress(corrupt)

@@ -21,7 +21,7 @@ class TestEncodeDecode:
         kernel = _kernel(mode, 1e-3, dtype)
         data = np.cumsum(rng.normal(0, 0.05, kernel.words_per_chunk)).astype(dtype)
         data = np.abs(data) + 1.0  # keep REL away from zero
-        blob, raw, stats = kernel.encode_chunk(data)
+        blob, raw, _pid, stats = kernel.encode_chunk(data)
         out = kernel.decode_chunk(blob, data.size, raw)
         if mode == "abs":
             err = np.abs(data.astype(np.float64) - out.astype(np.float64)).max()
@@ -34,7 +34,7 @@ class TestEncodeDecode:
         """A short tail slice pads with zero words, like the classic path."""
         kernel = _kernel()
         data = rng.normal(0, 1, 13).astype(np.float32)
-        blob, raw, _ = kernel.encode_chunk(data)
+        blob, raw, _pid, _ = kernel.encode_chunk(data)
         out = kernel.decode_chunk(blob, 13, raw)
         assert out.size == 13
         assert np.abs(data - out).max() <= 1e-3
@@ -43,7 +43,7 @@ class TestEncodeDecode:
         """decode_chunk writes directly into the caller's output slice."""
         kernel = _kernel()
         data = rng.normal(0, 1, 4096).astype(np.float32)
-        blob, raw, _ = kernel.encode_chunk(data)
+        blob, raw, _pid, _ = kernel.encode_chunk(data)
         target = np.zeros(3 * 4096, dtype=np.float32)
         ret = kernel.decode_chunk(blob, 4096, raw, out=target[4096:8192])
         assert ret.base is target
@@ -59,7 +59,7 @@ class TestEncodeDecode:
         kernel = _kernel()
         data = rng.integers(0, 2**32, 4096, dtype=np.uint32).view(np.float32)
         with np.errstate(invalid="ignore"):
-            blob, raw, stats = kernel.encode_chunk(data)
+            blob, raw, _pid, stats = kernel.encode_chunk(data)
             assert raw
             assert stats.raw_chunks == 1
             out = kernel.decode_chunk(blob, 4096, raw)
@@ -73,7 +73,7 @@ class TestStats:
         kernel = _kernel()
         data = rng.normal(0, 1, 4096).astype(np.float32)
         data[7] = np.nan  # NaN always takes the lossless lane
-        _, _, stats = kernel.encode_chunk(data)
+        _, _, _pid, stats = kernel.encode_chunk(data)
         assert stats.total == 4096
         assert stats.lossless >= 1
 
@@ -103,6 +103,6 @@ class TestConstruction:
     def test_noa_with_bound_range(self, rng):
         kernel = _kernel("noa", 1e-3, value_range=10.0)
         data = rng.uniform(0, 10, 4096).astype(np.float32)
-        blob, raw, _ = kernel.encode_chunk(data)
+        blob, raw, _pid, _ = kernel.encode_chunk(data)
         out = kernel.decode_chunk(blob, 4096, raw)
         assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= 1e-2

@@ -122,7 +122,7 @@ class TestLifecycle:
         rng = np.random.default_rng(3)
         a = np.cumsum(rng.normal(0, 0.05, (4, 4096)), axis=1).astype(np.float32)
         b = np.ascontiguousarray(-a[::-1])
-        blobs_a, _, _ = pool.encode_array(q, PipelineConfig(), CHUNK_BYTES, a)
+        blobs_a, _, _pids, _ = pool.encode_array(q, PipelineConfig(), CHUNK_BYTES, a)
         expect = [bytes(v) for v in blobs_a]
 
         t = threading.Thread(

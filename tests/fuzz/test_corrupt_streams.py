@@ -8,7 +8,10 @@ smoke job runs standalone).  The contract under test:
   raw ``struct``/``numpy`` exception, never silent corruption;
 * checksum-off streams may corrupt silently (no redundancy to detect a
   payload flip) but must still never leak a raw exception;
-* a checksum-enabled stream detects *every* payload bit flip.
+* a checksum-enabled stream detects *every* payload bit flip;
+* pipeline-id bits in the size table are rejected with a typed error on
+  legacy streams, on any checksummed stream, and whenever a v3 stream
+  ends up with the reserved id 3 or a raw chunk with a nonzero id.
 """
 
 import sys
@@ -26,6 +29,7 @@ from fuzz_streams import (  # noqa: E402
     apply_mutation,
     build_goldens,
     check_payload_bitflips,
+    check_pipeline_id_bits,
     classify,
     run_sweep,
 )
@@ -50,7 +54,12 @@ def plain_goldens(goldens):
 
 def test_goldens_cover_all_configs(goldens):
     names = {g.name for g in goldens}
-    assert len(names) == 12  # 3 modes x 2 dtypes x 2 checksum settings
+    # 3 modes x 2 dtypes x 2 checksum settings x (legacy, v3 selection)
+    assert len(names) == 24
+    v3 = [g for g in goldens if g.select]
+    assert len(v3) == 12
+    assert all(g.header.pipeline_select for g in v3)
+    assert not any(g.header.pipeline_select for g in goldens if not g.select)
 
 
 def test_strict_sweep_checksum_on(crc_goldens):
@@ -82,6 +91,28 @@ def test_truncation_always_rejected(crc_goldens, plain_goldens):
         for cut in range(0, n, max(1, n // 64)):
             with pytest.raises(PFPLError):
                 fuzz_streams._decode(golden.blob[:cut], via_reader=bool(cut % 2))
+
+
+def test_pipeline_id_bits_judged_on_every_golden(goldens):
+    """Hostile pid bits: typed rejection wherever detection is possible,
+    and never a raw exception anywhere (see check_pipeline_id_bits)."""
+    for golden in goldens:
+        failures = check_pipeline_id_bits(golden)
+        assert failures == [], failures
+
+
+def test_legacy_stream_rejects_pid_bits_with_format_error(plain_goldens):
+    """The no-CRC legacy stream is the weakest case: rejection must come
+    from size-table validation itself, as a PFPLFormatError."""
+    from repro.errors import PFPLFormatError
+
+    golden = next(g for g in plain_goldens if not g.select)
+    buf = bytearray(golden.blob)
+    lo = 44  # first size-table entry
+    entry = int.from_bytes(buf[lo:lo + 4], "little") | (1 << 29)
+    buf[lo:lo + 4] = entry.to_bytes(4, "little")
+    with pytest.raises(PFPLFormatError, match="predates pipeline"):
+        fuzz_streams._decode(bytes(buf), via_reader=False)
 
 
 def test_every_mutation_kind_runs(crc_goldens):

@@ -106,6 +106,79 @@ class TestDecodeByteAccounting:
         assert "[decode]" in text and "zero-restore" in text
 
 
+def _selection_datasets():
+    """Named inputs covering every selection regime, raw mixed in."""
+    from repro.datasets.synthesis import particle_data
+
+    rng = np.random.default_rng(11)
+    wpc = 4096
+    smooth = np.cumsum(rng.normal(0, 0.01, 2 * wpc)).astype(np.float32)
+    sparse = np.zeros(2 * wpc, dtype=np.float32)
+    sparse[::256] = 300.0
+    particle = particle_data(2 * wpc, kind="position", seed=3, dtype=np.float32)
+    bits = rng.integers(0, 2 ** 32, wpc, dtype=np.uint32)
+    bits = (bits & np.uint32(0x00FFFFFF)) | (
+        rng.integers(0x40, 0x7F, wpc, dtype=np.uint32) << np.uint32(24)
+    )
+    raw_mixed = np.concatenate([smooth[:wpc], bits.view(np.float32)])
+    return {
+        "smooth": smooth, "sparse": sparse,
+        "particle": particle, "raw-mixed": raw_mixed,
+    }
+
+
+class TestPipelineSelectionDrift:
+    """Format v3 cells: every variant forced alone and full selection,
+    byte-exact in both directions, with the raw fallback mixed in."""
+
+    @pytest.mark.parametrize("pipelines", [[0], [1], [2], [0, 1, 2]],
+                             ids=["default", "no-shuffle", "direct-zero", "select"])
+    @pytest.mark.parametrize("name", ["smooth", "sparse", "particle", "raw-mixed"])
+    def test_exact_both_directions(self, name, pipelines):
+        values = _selection_datasets()[name]
+        report = drift_check(values, mode="abs", error_bound=1e-3,
+                             pipelines=pipelines)
+        assert report.stages and report.decode_stages
+        assert report.bytes_ok, report.render()
+
+    @pytest.mark.parametrize("mode", ["abs", "rel", "noa"])
+    def test_selection_exact_all_modes(self, mode):
+        values = _selection_datasets()["smooth"]
+        if mode == "rel":
+            values = np.abs(values) + 1.0
+        report = drift_check(values, mode=mode, error_bound=1e-3,
+                             pipelines=[0, 1, 2])
+        assert report.bytes_ok, report.render()
+
+    def test_shared_stage_structure(self):
+        # The analytic encode model mirrors encode_variants' sharing:
+        # delta appears only if a candidate uses it, bitshuffle only for
+        # the default candidate, zero-elim always (one row per candidate
+        # collapsed onto the measured name).
+        values = _selection_datasets()["smooth"]
+        stages = lambda sel: {  # noqa: E731
+            s.stage for s in drift_check(values, pipelines=sel).stages
+        }
+        assert stages([2]) == {"quantize", "zero-elim"}
+        assert stages([1]) == {"quantize", "delta+negabinary", "zero-elim"}
+        assert stages([0, 1, 2]) == {
+            "quantize", "delta+negabinary", "bitshuffle", "zero-elim",
+        }
+
+    def test_selection_zero_elim_counts_every_candidate(self):
+        # Three candidates => the zero-elim row's bytes_in triples the
+        # single-candidate row (every candidate pays its own pass over
+        # the same padded words), measured and analytic alike.
+        values = _selection_datasets()["smooth"]
+        one = drift_check(values, pipelines=[0])
+        three = drift_check(values, pipelines=[0, 1, 2])
+        pick = lambda rep: next(  # noqa: E731
+            s for s in rep.stages if s.stage == "zero-elim"
+        )
+        assert pick(three).measured_bytes_in == 3 * pick(one).measured_bytes_in
+        assert pick(three).analytic_bytes_in == 3 * pick(one).analytic_bytes_in
+
+
 class TestScheduleDrift:
     """Measured pool busy-time vs the dynamic_schedule simulation."""
 

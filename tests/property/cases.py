@@ -13,7 +13,15 @@ Value kinds:
   +/-0, denormals, finfo max/min) at fixed strides;
 * ``edges``   -- values sitting exactly on quantization bin edges and
   bin centers for the case's error bound, the worst case for
-  round-half ties.
+  round-half ties;
+* ``sparse``  -- mostly-zero fields with isolated spikes, the regime
+  where format v3's ``direct-zero`` candidate wins;
+* ``particle`` -- HACC/EXAALT-style particle positions (uniform box +
+  thermal jitter), the regime that flips chunks to ``no-shuffle``.
+
+The ``sparse`` / ``particle`` families are appended *after* the
+original matrix (a second loop) so their case ids and seeds never
+perturb the pre-existing ones.
 
 Sizes straddle every boundary the chunked codec cares about: 1 value,
 below/at/above the bitshuffle lane width (8), below/at/above one chunk,
@@ -31,6 +39,8 @@ from repro.core.chunking import CHUNK_BYTES
 MODES = ("abs", "rel", "noa")
 DTYPES = (np.float32, np.float64)
 KINDS = ("smooth", "special", "edges")
+#: PR 10 families (appended after the original matrix; see module doc).
+EXTRA_KINDS = ("sparse", "particle")
 BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
 
 _BASE_SEED = 0x5EED
@@ -79,6 +89,18 @@ def make_values(case: Case) -> np.ndarray:
         v = (k.astype(np.float64) * case.bound).astype(dtype)
         v[::5] = ((k[::5].astype(np.float64) + 0.5) * 2.0 * case.bound).astype(dtype)
         return v
+    if case.kind == "sparse":
+        # Mostly zeros with isolated spikes: delta would smear each
+        # spike across two words, so direct zero elimination wins.
+        v = np.zeros(n, dtype=dtype)
+        k = max(1, n // 64)
+        idx = rng.choice(n, size=k, replace=False)
+        v[idx] = rng.normal(0.0, 10.0, k).astype(dtype)
+        return v
+    if case.kind == "particle":
+        from repro.datasets.synthesis import particle_data
+
+        return particle_data(n, kind="position", seed=case.seed, dtype=dtype)
     if case.kind != "special":
         raise ValueError(f"unknown kind {case.kind!r}")
     v = rng.normal(0.0, 100.0, n).astype(dtype)
@@ -102,6 +124,23 @@ def build_cases() -> list[Case]:
     for dt_name, dtype in (("f32", np.float32), ("f64", np.float64)):
         for mode in MODES:
             for kind in KINDS:
+                for size in boundary_sizes(dtype):
+                    bound = BOUNDS[index % len(BOUNDS)]
+                    cases.append(Case(
+                        case_id=f"{dt_name}-{mode}-{kind}-n{size}-eb{bound:g}",
+                        dtype=dt_name,
+                        mode=mode,
+                        bound=bound,
+                        size=size,
+                        kind=kind,
+                        seed=_BASE_SEED + index,
+                    ))
+                    index += 1
+    # The PR 10 families ride in a second loop: existing case ids and
+    # seeds above stay bit-identical to earlier releases.
+    for dt_name, dtype in (("f32", np.float32), ("f64", np.float64)):
+        for mode in MODES:
+            for kind in EXTRA_KINDS:
                 for size in boundary_sizes(dtype):
                     bound = BOUNDS[index % len(BOUNDS)]
                     cases.append(Case(
